@@ -1,0 +1,28 @@
+//! Additional cluster-binding baselines from the paper's related-work
+//! discussion (Section 4), implemented for comparison:
+//!
+//! * [`uas`] — **Unified Assign-and-Schedule** (Özer, Banerjia, Conte,
+//!   MICRO-31 1998): a combined greedy binding/scheduling pass that
+//!   places each operation cycle by cycle, choosing the cluster at
+//!   scheduling time and booking the required inter-cluster copies on
+//!   the bus as it goes. The paper contrasts it with B-INIT: "theirs
+//!   requires the computation of ready times for operations being bound
+//!   \[and\] the schedule generated during the binding process is
+//!   considered to be the final schedule".
+//! * [`anneal`] — **simulated-annealing binding** in the spirit of
+//!   Leupers (PACT 2000): random single-operation re-bindings accepted
+//!   under a temperature schedule, each evaluated by a full list
+//!   schedule. Slow but a useful quality yardstick.
+//!
+//! Both produce the same [`vliw_binding::BindingResult`] as the main
+//! algorithms, so every binder in the workspace is judged by the
+//! identical list scheduler.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anneal;
+pub mod uas;
+
+pub use anneal::{Annealer, AnnealerConfig};
+pub use uas::{ClusterChoice, Uas};

@@ -1,0 +1,409 @@
+//! Unified Assign-and-Schedule (Özer, Banerjia, Conte — MICRO-31, 1998).
+//!
+//! UAS performs binding and scheduling in one greedy pass: operations
+//! are taken in priority order cycle by cycle; for each, a cluster is
+//! chosen *at scheduling time*, and any operands living in other
+//! clusters are copied over by booking bus slots between the producer's
+//! completion and the operation's issue cycle. The schedule built during
+//! the pass is the final schedule (no separate evaluation step) — the
+//! key structural difference from the paper's decoupled B-INIT, which
+//! never fixes start times while binding.
+
+use std::collections::HashMap;
+use vliw_binding::BindingResult;
+use vliw_datapath::{ClusterId, Machine};
+use vliw_dfg::{Dfg, FuType, OpId, Timing};
+use vliw_sched::{Binding, BoundDfg, Schedule};
+
+/// Cluster-selection heuristic applied when several clusters can accept
+/// an operation in the current cycle (the UAS paper compares several;
+/// these are the natural analogues for a fixed issue cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ClusterChoice {
+    /// Lowest-indexed feasible cluster.
+    FirstFit,
+    /// Cluster holding the most of the operation's operands locally —
+    /// minimizes new copies (the "majority weighted placement" idea).
+    /// Ties go to the least-loaded cluster. The default.
+    #[default]
+    MostLocalOperands,
+    /// Cluster with the fewest operations issued so far (pure load
+    /// balancing).
+    LeastLoaded,
+}
+
+/// The UAS binder.
+///
+/// # Example
+///
+/// ```
+/// use vliw_baselines::Uas;
+/// use vliw_datapath::Machine;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dfg = vliw_kernels::arf();
+/// let machine = Machine::parse("[1,1|1,1]")?;
+/// let result = Uas::new(&machine).bind(&dfg);
+/// assert!(result.latency() >= 8); // ARF critical path
+/// result.schedule.validate(&result.bound, &machine)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Uas<'m> {
+    machine: &'m Machine,
+    choice: ClusterChoice,
+}
+
+impl<'m> Uas<'m> {
+    /// A UAS binder with the default cluster-selection heuristic.
+    pub fn new(machine: &'m Machine) -> Self {
+        Uas {
+            machine,
+            choice: ClusterChoice::default(),
+        }
+    }
+
+    /// A UAS binder with an explicit cluster-selection heuristic.
+    pub fn with_choice(machine: &'m Machine, choice: ClusterChoice) -> Self {
+        Uas { machine, choice }
+    }
+
+    /// Runs the unified pass, returning the binding together with the
+    /// *native* UAS schedule (start times fixed during binding). The
+    /// booked copies coincide with the bound-DFG's deduplicated moves,
+    /// so the native schedule validates against the standard
+    /// [`BoundDfg`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine cannot execute some operation of `dfg`.
+    pub fn bind(&self, dfg: &Dfg) -> BindingResult {
+        let machine = self.machine;
+        let n = dfg.len();
+        let lat = machine.op_latencies(dfg);
+        let binding_empty = Binding::unbound(dfg);
+        if n == 0 {
+            let bound = BoundDfg::new(dfg, machine, &binding_empty);
+            let schedule = Schedule::from_starts(Vec::new(), &[]);
+            return BindingResult {
+                binding: binding_empty,
+                bound,
+                schedule,
+            };
+        }
+        let timing = Timing::with_critical_path(dfg, &lat);
+        let priority = |v: OpId| (timing.alap(v), timing.mobility(v), v);
+
+        let lat_move = machine.move_latency();
+        let bus_dii = machine.dii(FuType::Bus) as i64;
+        let n_clusters = machine.cluster_count();
+
+        // Cycle each value becomes readable per cluster (home or copy).
+        let mut avail: Vec<Vec<Option<u32>>> = vec![vec![None; n]; n_clusters];
+        // FU instance pools per cluster per regular type.
+        let mut pools: Vec<[Vec<u32>; 2]> = machine
+            .cluster_ids()
+            .map(|c| {
+                [
+                    vec![0u32; machine.fu_count(c, FuType::Alu) as usize],
+                    vec![0u32; machine.fu_count(c, FuType::Mul) as usize],
+                ]
+            })
+            .collect();
+        // Bus bookings: copy start cycles (window-checked against N_B).
+        let mut bus_starts: Vec<u32> = Vec::new();
+        let can_book = |bus_starts: &[u32], extra: &[u32], sigma: u32| -> bool {
+            let lo = sigma as i64 - bus_dii + 1;
+            let hi = sigma as i64 + bus_dii - 1;
+            // A start at σ conflicts with any start within ±(dii−1) only
+            // through shared windows; count starts whose window covers σ
+            // per sliding-window semantics: all starts in [σ-dii+1, σ]
+            // plus σ itself joining windows up to σ+dii-1. Conservative
+            // and exact for dii = 1; for dii > 1 check every window
+            // containing σ.
+            for w in lo..=sigma as i64 {
+                if w < 0 {
+                    continue;
+                }
+                let w_hi = w + bus_dii - 1;
+                let count = bus_starts
+                    .iter()
+                    .chain(extra)
+                    .filter(|&&s| (s as i64) >= w && (s as i64) <= w_hi)
+                    .count() as u32;
+                if count + 1 > machine.bus_count() {
+                    return false;
+                }
+            }
+            let _ = hi;
+            true
+        };
+
+        let mut binding = binding_empty;
+        let mut native_start = vec![0u32; n];
+        // (producer, destination) -> copy start cycle.
+        let mut copies: HashMap<(OpId, ClusterId), u32> = HashMap::new();
+        let mut indeg: Vec<usize> = dfg.op_ids().map(|v| dfg.in_degree(v)).collect();
+        let mut ready: Vec<OpId> = dfg.op_ids().filter(|v| indeg[v.index()] == 0).collect();
+        ready.sort_by_key(|&v| priority(v));
+        let mut issued_per_cluster = vec![0usize; n_clusters];
+        let mut scheduled = 0usize;
+        let mut tau = 0u32;
+        let safety: u64 = lat.iter().map(|&l| l as u64).sum::<u64>() * 4
+            + (n as u64) * (lat_move as u64 + 2)
+            + 64;
+
+        while scheduled < n {
+            assert!(
+                (tau as u64) < safety,
+                "UAS failed to make progress by cycle {tau}"
+            );
+            let mut i = 0;
+            while i < ready.len() {
+                let v = ready[i];
+                let ts = machine.target_set(dfg.op_type(v));
+                assert!(!ts.is_empty(), "operation {v} has an empty target set");
+                // Gather feasible placements at cycle tau.
+                let mut feasible: Vec<(ClusterId, Vec<(OpId, u32)>, usize)> = Vec::new();
+                for &c in &ts {
+                    let t = dfg.op_type(v).fu_type();
+                    let pool = &pools[c.index()][t.index()];
+                    if !pool.iter().any(|&free| free <= tau) {
+                        continue;
+                    }
+                    let mut needed: Vec<(OpId, u32)> = Vec::new();
+                    let mut local = 0usize;
+                    let mut ok = true;
+                    let mut tentative: Vec<u32> = Vec::new();
+                    for &u in dfg.preds(v) {
+                        match avail[c.index()][u.index()] {
+                            Some(at) if at <= tau => local += 1,
+                            Some(_) => {
+                                ok = false;
+                                break;
+                            }
+                            None => {
+                                // Copy from the producer's home cluster.
+                                let home = binding.cluster_of(u);
+                                let ready_at = avail[home.index()][u.index()]
+                                    .expect("producers are scheduled before consumers");
+                                if tau < ready_at + lat_move {
+                                    ok = false;
+                                    break;
+                                }
+                                let mut sigma = ready_at;
+                                let deadline = tau - lat_move;
+                                loop {
+                                    if sigma > deadline {
+                                        ok = false;
+                                        break;
+                                    }
+                                    if can_book(&bus_starts, &tentative, sigma) {
+                                        break;
+                                    }
+                                    sigma += 1;
+                                }
+                                if !ok {
+                                    break;
+                                }
+                                tentative.push(sigma);
+                                needed.push((u, sigma));
+                            }
+                        }
+                    }
+                    if ok {
+                        feasible.push((c, needed, local));
+                    }
+                }
+                let Some((c, needed, _)) = self.pick(&feasible, &issued_per_cluster) else {
+                    i += 1;
+                    continue;
+                };
+                // Commit.
+                let t = dfg.op_type(v).fu_type();
+                let slot = pools[c.index()][t.index()]
+                    .iter_mut()
+                    .find(|free| **free <= tau)
+                    .expect("feasibility checked the pool");
+                *slot = tau + machine.dii(t);
+                for (u, sigma) in needed {
+                    bus_starts.push(sigma);
+                    avail[c.index()][u.index()] = Some(sigma + lat_move);
+                    copies.insert((u, c), sigma);
+                }
+                binding.bind(v, c);
+                native_start[v.index()] = tau;
+                avail[c.index()][v.index()] = Some(tau + lat[v.index()]);
+                issued_per_cluster[c.index()] += 1;
+                scheduled += 1;
+                ready.remove(i);
+                for &s in dfg.succs(v) {
+                    indeg[s.index()] -= 1;
+                    if indeg[s.index()] == 0 {
+                        let pos = ready.partition_point(|&r| priority(r) < priority(s));
+                        ready.insert(pos, s);
+                        if pos <= i {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            tau += 1;
+        }
+
+        // Convert the native schedule onto the standard bound DFG: the
+        // booked copies are exactly the deduplicated (producer, dest)
+        // moves the bound graph materializes.
+        let bound = BoundDfg::new(dfg, machine, &binding);
+        let bound_lat = bound.latencies(machine);
+        let starts: Vec<u32> = bound
+            .dfg()
+            .op_ids()
+            .map(|bv| match bound.orig_of(bv) {
+                Some(orig) => native_start[orig.index()],
+                None => {
+                    let producer_bound = bound.dfg().preds(bv)[0];
+                    let producer = bound
+                        .orig_of(producer_bound)
+                        .expect("moves read regular producers");
+                    copies[&(producer, bound.cluster_of(bv))]
+                }
+            })
+            .collect();
+        let schedule = Schedule::from_starts(starts, &bound_lat);
+        BindingResult {
+            binding,
+            bound,
+            schedule,
+        }
+    }
+
+    fn pick(
+        &self,
+        feasible: &[(ClusterId, Vec<(OpId, u32)>, usize)],
+        issued: &[usize],
+    ) -> Option<(ClusterId, Vec<(OpId, u32)>, usize)> {
+        if feasible.is_empty() {
+            return None;
+        }
+        let best = match self.choice {
+            ClusterChoice::FirstFit => feasible.first(),
+            ClusterChoice::MostLocalOperands => feasible.iter().min_by_key(|(c, needed, local)| {
+                (needed.len(), issued[c.index()], usize::MAX - local, c.index())
+            }),
+            ClusterChoice::LeastLoaded => feasible
+                .iter()
+                .min_by_key(|(c, _, _)| (issued[c.index()], c.index())),
+        };
+        best.cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_dfg::{DfgBuilder, OpType};
+
+    #[test]
+    fn uas_schedule_is_valid_on_kernels() {
+        let machine = Machine::parse("[2,1|1,1]").expect("machine");
+        for kernel in vliw_kernels::Kernel::ALL {
+            let dfg = kernel.build();
+            let result = Uas::new(&machine).bind(&dfg);
+            assert!(
+                result.binding.validate(&dfg, &machine).is_ok(),
+                "{kernel}: binding invalid"
+            );
+            result
+                .schedule
+                .validate(&result.bound, &machine)
+                .unwrap_or_else(|e| panic!("{kernel}: native schedule invalid: {e}"));
+        }
+    }
+
+    #[test]
+    fn uas_respects_critical_path() {
+        let machine = Machine::parse("[2,1|2,1]").expect("machine");
+        for kernel in vliw_kernels::Kernel::ALL {
+            let dfg = kernel.build();
+            let (_, _, l_cp) = kernel.paper_stats();
+            let result = Uas::new(&machine).bind(&dfg);
+            assert!(result.latency() >= l_cp, "{kernel}");
+        }
+    }
+
+    #[test]
+    fn single_cluster_degenerates_to_list_scheduling() {
+        let machine = Machine::parse("[2,1]").expect("machine");
+        let dfg = vliw_kernels::arf();
+        let result = Uas::new(&machine).bind(&dfg);
+        assert_eq!(result.moves(), 0);
+        // One cluster, no copies: UAS is just list scheduling, so the
+        // standard scheduler can't beat it by more than priority noise.
+        let standard = vliw_sched::ListScheduler::new(&machine).schedule(&result.bound);
+        assert!(result.latency() as i64 - standard.latency() as i64 <= 1);
+    }
+
+    #[test]
+    fn copies_are_booked_within_bus_capacity() {
+        // Force heavy copying: wide producer layer on one cluster feeds
+        // consumers on another, with a single bus lane.
+        let mut b = DfgBuilder::new();
+        let producers: Vec<_> = (0..6).map(|_| b.add_op(OpType::Add, &[])).collect();
+        for &p in &producers {
+            b.add_op(OpType::Mul, &[p]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[6,0|0,6]").expect("machine").with_bus_count(1);
+        let result = Uas::new(&machine).bind(&dfg);
+        result
+            .schedule
+            .validate(&result.bound, &machine)
+            .expect("bus constraints hold");
+        assert_eq!(result.moves(), 6);
+        // Six serialized copies: latency at least 1 + 6 + 1.
+        assert!(result.latency() >= 8);
+    }
+
+    #[test]
+    fn cluster_choice_heuristics_all_produce_valid_results() {
+        let machine = Machine::parse("[1,1|1,1|1,1]").expect("machine");
+        let dfg = vliw_kernels::fft();
+        for choice in [
+            ClusterChoice::FirstFit,
+            ClusterChoice::MostLocalOperands,
+            ClusterChoice::LeastLoaded,
+        ] {
+            let result = Uas::with_choice(&machine, choice).bind(&dfg);
+            result
+                .schedule
+                .validate(&result.bound, &machine)
+                .unwrap_or_else(|e| panic!("{choice:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn two_cycle_moves_delay_copies_correctly() {
+        let mut b = DfgBuilder::new();
+        let a = b.add_op(OpType::Add, &[]);
+        let _ = b.add_op(OpType::Mul, &[a]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,0|0,1]").expect("machine").with_move_latency(2);
+        let result = Uas::new(&machine).bind(&dfg);
+        // add(1) ; copy(2) ; mul(1) = 4 cycles minimum.
+        assert_eq!(result.latency(), 4);
+        result
+            .schedule
+            .validate(&result.bound, &machine)
+            .expect("valid");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let machine = Machine::parse("[1,1]").expect("machine");
+        let dfg = DfgBuilder::new().finish().expect("empty");
+        let result = Uas::new(&machine).bind(&dfg);
+        assert_eq!(result.latency(), 0);
+    }
+}

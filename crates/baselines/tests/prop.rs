@@ -1,0 +1,98 @@
+//! Property tests for the related-work baselines: like every binder in
+//! the workspace, UAS and the annealer must produce valid bindings and
+//! schedules on arbitrary inputs.
+
+use proptest::prelude::*;
+use vliw_baselines::{Annealer, AnnealerConfig, ClusterChoice, Uas};
+use vliw_datapath::Machine;
+use vliw_dfg::{Dfg, DfgBuilder, OpType};
+
+fn arb_dfg(max_ops: usize) -> impl Strategy<Value = Dfg> {
+    (2..=max_ops).prop_flat_map(|n| {
+        let kinds = prop::collection::vec(0..2u8, n);
+        let picks = prop::collection::vec((0usize..usize::MAX, 0usize..usize::MAX, 0..3u8), n);
+        (kinds, picks).prop_map(|(kinds, picks)| {
+            let mut b = DfgBuilder::new();
+            let mut ids = Vec::new();
+            for (i, (&kind, &(p1, p2, arity))) in kinds.iter().zip(&picks).enumerate() {
+                let ty = if kind == 0 { OpType::Add } else { OpType::Mul };
+                let mut operands = Vec::new();
+                if i > 0 && arity >= 1 {
+                    operands.push(ids[p1 % i]);
+                    if arity >= 2 {
+                        let second = ids[p2 % i];
+                        if !operands.contains(&second) {
+                            operands.push(second);
+                        }
+                    }
+                }
+                ids.push(b.add_op(ty, &operands));
+            }
+            b.finish().expect("acyclic")
+        })
+    })
+}
+
+fn arb_machine() -> impl Strategy<Value = Machine> {
+    (
+        prop::sample::select(vec!["[1,1]", "[1,1|1,1]", "[2,1|1,1]", "[2,0|1,2]"]),
+        1..=2u32,
+        1..=2u32,
+    )
+        .prop_map(|(cfg, buses, move_lat)| {
+            Machine::parse(cfg)
+                .expect("valid")
+                .with_bus_count(buses)
+                .with_move_latency(move_lat)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// UAS always terminates with a valid native schedule, for every
+    /// cluster-selection heuristic.
+    #[test]
+    fn uas_is_sound(
+        dfg in arb_dfg(24),
+        machine in arb_machine(),
+        choice_idx in 0usize..3,
+    ) {
+        let choice = [
+            ClusterChoice::FirstFit,
+            ClusterChoice::MostLocalOperands,
+            ClusterChoice::LeastLoaded,
+        ][choice_idx];
+        let result = Uas::with_choice(&machine, choice).bind(&dfg);
+        prop_assert!(result.binding.validate(&dfg, &machine).is_ok());
+        prop_assert_eq!(result.schedule.validate(&result.bound, &machine), Ok(()));
+        // The native schedule cannot beat the bound graph's critical path.
+        let lat = result.bound.latencies(&machine);
+        let cp = vliw_dfg::critical_path_len(result.bound.dfg(), &lat);
+        prop_assert!(result.latency() >= cp);
+    }
+
+    /// UAS preserves dataflow semantics through its copy insertion.
+    #[test]
+    fn uas_preserves_semantics(dfg in arb_dfg(20), machine in arb_machine()) {
+        let result = Uas::new(&machine).bind(&dfg);
+        prop_assert!(vliw_sim::functional_check(&dfg, &result.bound).is_ok());
+    }
+
+    /// The annealer produces valid results under arbitrary (fast)
+    /// schedules.
+    #[test]
+    fn annealer_is_sound(dfg in arb_dfg(16), seed in 0u64..64) {
+        let machine = Machine::parse("[1,1|1,1]").expect("valid");
+        let config = AnnealerConfig {
+            seed,
+            t0: 2.0,
+            cooling: 0.5,
+            moves_per_op: 2,
+            t_min: 0.2,
+        };
+        let result = Annealer::with_config(&machine, config).bind(&dfg);
+        prop_assert!(result.binding.validate(&dfg, &machine).is_ok());
+        prop_assert_eq!(result.schedule.validate(&result.bound, &machine), Ok(()));
+    }
+}

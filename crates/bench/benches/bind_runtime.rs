@@ -1,0 +1,95 @@
+//! Criterion benchmarks for the CPU-time columns of the paper's tables:
+//! B-INIT (the `msec` columns), PCC (`msec`), and the full B-ITER driver
+//! (the `sec` column), one group per benchmark kernel on a representative
+//! datapath.
+//!
+//! The paper measured an IBM RS6000; only the *relative* ordering
+//! (B-INIT ≪ PCC ≪ B-ITER) is expected to transfer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vliw_binding::{Binder, BinderConfig};
+use vliw_datapath::Machine;
+use vliw_kernels::Kernel;
+use vliw_pcc::Pcc;
+
+/// (kernel, datapath) pairs mirroring Table 1's two-cluster rows.
+fn workloads() -> Vec<(Kernel, Machine)> {
+    Kernel::ALL
+        .into_iter()
+        .map(|k| (k, Machine::parse("[2,1|1,1]").expect("datapath parses")))
+        .collect()
+}
+
+fn bench_b_init(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b_init");
+    for (kernel, machine) in workloads() {
+        let dfg = kernel.build();
+        let binder = Binder::new(&machine);
+        group.bench_with_input(BenchmarkId::from_parameter(kernel), &dfg, |b, dfg| {
+            b.iter(|| binder.bind_initial(dfg).latency())
+        });
+    }
+    group.finish();
+}
+
+fn bench_pcc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pcc");
+    group.sample_size(20);
+    for (kernel, machine) in workloads() {
+        let dfg = kernel.build();
+        let pcc = Pcc::new(&machine);
+        group.bench_with_input(BenchmarkId::from_parameter(kernel), &dfg, |b, dfg| {
+            b.iter(|| pcc.bind(dfg).latency())
+        });
+    }
+    group.finish();
+}
+
+fn bench_b_iter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b_iter");
+    group.sample_size(10);
+    for (kernel, machine) in workloads() {
+        let dfg = kernel.build();
+        let binder = Binder::new(&machine);
+        group.bench_with_input(BenchmarkId::from_parameter(kernel), &dfg, |b, dfg| {
+            b.iter(|| binder.bind(dfg).latency())
+        });
+    }
+    group.finish();
+}
+
+fn bench_table2_parameters(c: &mut Criterion) {
+    // Table 2: the FFT kernel on the 5-cluster machine over the bus
+    // parameter grid.
+    let mut group = c.benchmark_group("table2_fft");
+    group.sample_size(10);
+    let dfg = Kernel::Fft.build();
+    for (buses, move_lat) in [(1u32, 1u32), (2, 1), (1, 2), (2, 2)] {
+        let machine = Machine::parse("[2,2|2,1|2,2|3,1|1,1]")
+            .expect("datapath parses")
+            .with_bus_count(buses)
+            .with_move_latency(move_lat);
+        let config = BinderConfig::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("nb{buses}_lat{move_lat}")),
+            &dfg,
+            |b, dfg| {
+                b.iter(|| {
+                    Binder::with_config(&machine, config.clone())
+                        .bind(dfg)
+                        .latency()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_b_init,
+    bench_pcc,
+    bench_b_iter,
+    bench_table2_parameters
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benchmarks for the substrate layers: bound-DFG
+//! construction, list scheduling, timing analysis and the simulator —
+//! the per-evaluation costs that dominate B-ITER's and PCC's inner
+//! loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vliw_binding::Binder;
+use vliw_datapath::Machine;
+use vliw_dfg::Timing;
+use vliw_kernels::Kernel;
+use vliw_sched::{BoundDfg, ListScheduler};
+use vliw_sim::Simulator;
+
+fn bench_bound_construction(c: &mut Criterion) {
+    let machine = Machine::parse("[2,1|1,1]").expect("datapath parses");
+    let mut group = c.benchmark_group("bound_dfg");
+    for kernel in [Kernel::Arf, Kernel::DctDit, Kernel::DctDit2] {
+        let dfg = kernel.build();
+        let binding = Binder::new(&machine).bind_initial(&dfg).binding;
+        group.bench_with_input(BenchmarkId::from_parameter(kernel), &dfg, |b, dfg| {
+            b.iter(|| BoundDfg::new(dfg, &machine, &binding).move_count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_list_scheduler(c: &mut Criterion) {
+    let machine = Machine::parse("[2,1|1,1]").expect("datapath parses");
+    let mut group = c.benchmark_group("list_schedule");
+    for kernel in [Kernel::Arf, Kernel::DctDit, Kernel::DctDit2] {
+        let dfg = kernel.build();
+        let result = Binder::new(&machine).bind_initial(&dfg);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel),
+            &result.bound,
+            |b, bound| b.iter(|| ListScheduler::new(&machine).schedule(bound).latency()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_timing_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timing");
+    for kernel in [Kernel::Arf, Kernel::DctDit2] {
+        let dfg = kernel.build();
+        let lat = vec![1u32; dfg.len()];
+        group.bench_with_input(BenchmarkId::from_parameter(kernel), &dfg, |b, dfg| {
+            b.iter(|| Timing::with_critical_path(dfg, &lat).critical_path_len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let machine = Machine::parse("[2,1|1,1]").expect("datapath parses");
+    let mut group = c.benchmark_group("simulate");
+    for kernel in [Kernel::Arf, Kernel::DctDit2] {
+        let dfg = kernel.build();
+        let result = Binder::new(&machine).bind_initial(&dfg);
+        group.bench_function(BenchmarkId::from_parameter(kernel), |b| {
+            b.iter(|| {
+                Simulator::new(&machine)
+                    .run(&result.bound, &result.schedule)
+                    .expect("valid")
+                    .cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bound_construction,
+    bench_list_scheduler,
+    bench_timing_analysis,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,195 @@
+//! Ablation studies over the design choices the paper calls out.
+//!
+//! * `gamma` — the transfer-penalty coefficient (Section 3.1.2 fixes
+//!   `γ = 1.1`, "just a slightly larger priority" than `α = β = 1`);
+//! * `lpr` — stretching the load-profile latency (Section 3.1.3);
+//! * `reverse` — binding from the outputs (Section 3.1.4);
+//! * `quality` — `Q_U`-then-`Q_M` versus `Q_M`-only in B-ITER
+//!   (Section 3.2, Figure 6 discussion);
+//! * `pairs` — boundary perturbations on singles / adjacent pairs / all
+//!   pairs (Section 3.2);
+//! * `optimal` — heuristic versus exhaustive binding on small random
+//!   DFGs (the paper's optimality spot-check).
+
+use vliw_binding::{exact, Binder, BinderConfig, PairMode, QualityKind};
+use vliw_datapath::Machine;
+use vliw_kernels::Kernel;
+
+/// Kernels × datapaths used by the ablations: a representative slice of
+/// Table 1 (kept small enough that every ablation variant reruns it).
+pub fn ablation_workloads() -> Vec<(Kernel, Machine)> {
+    [
+        (Kernel::DctDif, "[2,1|1,1]"),
+        (Kernel::DctDit, "[2,1|2,1]"),
+        (Kernel::Fft, "[1,1|1,1|1,1]"),
+        (Kernel::Ewf, "[1,1|1,1]"),
+        (Kernel::Arf, "[1,1|1,1]"),
+    ]
+    .into_iter()
+    .map(|(k, d)| (k, Machine::parse(d).expect("datapath parses")))
+    .collect()
+}
+
+/// Sum of B-INIT latencies over the ablation workloads for one `γ`.
+pub fn total_init_latency_for_gamma(gamma: f64) -> u32 {
+    let config = BinderConfig {
+        gamma,
+        ..BinderConfig::default()
+    };
+    ablation_workloads()
+        .iter()
+        .map(|(kernel, machine)| {
+            Binder::with_config(machine, config.clone())
+                .bind_initial(&kernel.build())
+                .latency()
+        })
+        .sum()
+}
+
+/// Sum of B-INIT latencies with a given driver configuration.
+pub fn total_init_latency(config: &BinderConfig) -> u32 {
+    ablation_workloads()
+        .iter()
+        .map(|(kernel, machine)| {
+            Binder::with_config(machine, config.clone())
+                .bind_initial(&kernel.build())
+                .latency()
+        })
+        .sum()
+}
+
+/// Sum of B-ITER latencies with a given configuration, optionally
+/// restricting the improvement to a single quality vector.
+pub fn total_iter_latency(config: &BinderConfig, quality: Option<QualityKind>) -> u32 {
+    ablation_workloads()
+        .iter()
+        .map(|(kernel, machine)| {
+            let dfg = kernel.build();
+            let binder = Binder::with_config(machine, config.clone());
+            let start = binder.bind_initial(&dfg);
+            let improved = match quality {
+                None => binder.improve(&dfg, start),
+                Some(kind) => {
+                    vliw_binding::iter::improve_with(&dfg, machine, config, start, kind)
+                }
+            };
+            improved.latency()
+        })
+        .sum()
+}
+
+/// Heuristic-vs-exact comparison on small random DFGs: returns
+/// `(instances, exact_latency_hits, total_heuristic_excess_cycles)`.
+pub fn optimality_check(instances: usize) -> (usize, usize, u32) {
+    use vliw_kernels::random::{generate, RandomDfgConfig};
+    let machine = Machine::parse("[1,1|1,1]").expect("machine");
+    let mut hits = 0;
+    let mut excess = 0;
+    let mut done = 0;
+    for seed in 0..instances as u64 * 4 {
+        if done == instances {
+            break;
+        }
+        let dfg = generate(
+            seed,
+            RandomDfgConfig {
+                ops: 10,
+                layers: 4,
+                ..RandomDfgConfig::default()
+            },
+        );
+        let Some(best) = exact::bind_exhaustive(&dfg, &machine, 1 << 22) else {
+            continue;
+        };
+        let heuristic = Binder::new(&machine).bind(&dfg);
+        done += 1;
+        if heuristic.latency() == best.latency() {
+            hits += 1;
+        }
+        excess += heuristic.latency() - best.latency();
+    }
+    (done, hits, excess)
+}
+
+/// Cost-model comparison: total B-INIT and B-ITER latency per
+/// [`vliw_binding::CostModel`] variant.
+pub fn cost_model_latencies() -> Vec<(vliw_binding::CostModel, u32, u32)> {
+    use vliw_binding::CostModel;
+    [
+        CostModel::BinaryCycles,
+        CostModel::ExcessMass,
+        CostModel::TotalExcess,
+        CostModel::Hybrid,
+    ]
+    .into_iter()
+    .map(|model| {
+        let config = BinderConfig {
+            cost_model: model,
+            ..BinderConfig::default()
+        };
+        (
+            model,
+            total_init_latency(&config),
+            total_iter_latency(&config, None),
+        )
+    })
+    .collect()
+}
+
+/// Scheduler-priority comparison: total B-INIT latency when the
+/// evaluating list scheduler uses each ready-list priority.
+pub fn scheduler_priority_latencies() -> Vec<(vliw_sched::SchedulePriority, u32)> {
+    use vliw_sched::{BoundDfg, ListScheduler, SchedulePriority};
+    [
+        SchedulePriority::AlapMobility,
+        SchedulePriority::Height,
+        SchedulePriority::Mobility,
+    ]
+    .into_iter()
+    .map(|priority| {
+        let total = ablation_workloads()
+            .iter()
+            .map(|(kernel, machine)| {
+                let dfg = kernel.build();
+                let binding = Binder::new(machine).bind_initial(&dfg).binding;
+                let bound = BoundDfg::new(&dfg, machine, &binding);
+                ListScheduler::with_priority(machine, priority)
+                    .schedule(&bound)
+                    .latency()
+            })
+            .sum();
+        (priority, total)
+    })
+    .collect()
+}
+
+/// `PairMode` comparison: total B-ITER latency per mode.
+pub fn pair_mode_latencies() -> Vec<(PairMode, u32)> {
+    [PairMode::None, PairMode::Adjacent, PairMode::All]
+        .into_iter()
+        .map(|mode| {
+            let config = BinderConfig {
+                pair_mode: mode,
+                ..BinderConfig::default()
+            };
+            (mode, total_iter_latency(&config, None))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_build() {
+        assert_eq!(ablation_workloads().len(), 5);
+    }
+
+    #[test]
+    fn optimality_check_runs() {
+        let (done, hits, _excess) = optimality_check(3);
+        assert_eq!(done, 3);
+        assert!(hits <= 3);
+    }
+}

@@ -1,0 +1,89 @@
+//! Ablation studies over the paper's design choices.
+//!
+//! Usage: `cargo run -p vliw-bench --release --bin ablation -- <study>`
+//! where `<study>` is one of `gamma`, `lpr`, `reverse`, `quality`,
+//! `pairs`, `fucost`, `priority`, `optimal`, or `all`.
+
+use vliw_bench::ablation;
+use vliw_binding::{BinderConfig, QualityKind};
+
+fn main() {
+    let study = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let all = study == "all";
+    let mut ran = false;
+
+    if all || study == "gamma" {
+        ran = true;
+        println!("# gamma sweep (paper Section 3.1.2: gamma = 1.1 works best)");
+        println!("total B-INIT latency over the ablation workloads:");
+        for gamma in [0.0, 0.5, 1.0, 1.1, 1.5, 2.0, 4.0] {
+            println!(
+                "  gamma = {gamma:<4} -> {}",
+                ablation::total_init_latency_for_gamma(gamma)
+            );
+        }
+    }
+    if all || study == "lpr" {
+        ran = true;
+        println!("# L_PR stretching (paper Section 3.1.3)");
+        let with = ablation::total_init_latency(&BinderConfig::default());
+        let without = ablation::total_init_latency(&BinderConfig::default().without_lpr_sweep());
+        println!("  with sweep:    {with}");
+        println!("  L_PR = L_CP:   {without}");
+    }
+    if all || study == "reverse" {
+        ran = true;
+        println!("# reverse-order binding (paper Section 3.1.4)");
+        let with = ablation::total_init_latency(&BinderConfig::default());
+        let without = ablation::total_init_latency(&BinderConfig::default().without_reverse());
+        println!("  forward+reverse: {with}");
+        println!("  forward only:    {without}");
+    }
+    if all || study == "quality" {
+        ran = true;
+        println!("# B-ITER quality vector (paper Section 3.2, Figure 6)");
+        let cfg = BinderConfig::default();
+        let qu_then_qm = ablation::total_iter_latency(&cfg, None);
+        let qm_only = ablation::total_iter_latency(&cfg, Some(QualityKind::Qm));
+        let qu_only = ablation::total_iter_latency(&cfg, Some(QualityKind::Qu));
+        println!("  Q_U then Q_M (paper): {qu_then_qm}");
+        println!("  Q_U only:             {qu_only}");
+        println!("  Q_M only:             {qm_only}");
+    }
+    if all || study == "pairs" {
+        ran = true;
+        println!("# pair perturbations (paper Section 3.2)");
+        for (mode, total) in ablation::pair_mode_latencies() {
+            println!("  {mode:?}: {total}");
+        }
+    }
+    if all || study == "fucost" {
+        ran = true;
+        println!("# serialization cost model (Section 3.1.2 interpretation)");
+        println!("total B-INIT / B-ITER latency over the ablation workloads:");
+        for (model, init, iter) in ablation::cost_model_latencies() {
+            println!("  {model:?}: {init} / {iter}");
+        }
+    }
+    if all || study == "priority" {
+        ran = true;
+        println!("# list-scheduler ready-list priority");
+        println!("total latency of fixed B-INIT bindings re-scheduled per priority:");
+        for (priority, total) in ablation::scheduler_priority_latencies() {
+            println!("  {priority:?}: {total}");
+        }
+    }
+    if all || study == "optimal" {
+        ran = true;
+        println!("# optimality spot-check (paper Section 3.2)");
+        let (done, hits, excess) = ablation::optimality_check(20);
+        println!(
+            "  {hits}/{done} random 10-op DFGs bound to the exact optimum \
+             (total excess: {excess} cycles)"
+        );
+    }
+    if !ran {
+        eprintln!("unknown study {study:?}; try gamma|lpr|reverse|quality|pairs|fucost|priority|optimal|all");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,81 @@
+//! Five-way algorithm comparison across the Table-1 experiment matrix:
+//! PCC and the two related-work baselines (UAS, simulated annealing)
+//! against B-INIT and B-ITER. Extends the paper's two-baseline
+//! evaluation with the other algorithms its Section 4 discusses.
+//!
+//! Usage: `cargo run -p vliw-bench --release --bin baselines [--quick]`
+
+use std::time::Instant;
+use vliw_baselines::{Annealer, Uas};
+use vliw_bench::TABLE1;
+use vliw_binding::{Binder, BinderConfig};
+use vliw_datapath::Machine;
+use vliw_pcc::Pcc;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = BinderConfig::default();
+    let mut totals = [0u64; 5];
+    let mut times = [0f64; 5];
+    let mut rows = 0u32;
+
+    println!(
+        "{:<11} {:<18} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "KERNEL", "DATAPATH", "UAS", "SA", "PCC", "B-INIT", "B-ITER"
+    );
+    for row in TABLE1 {
+        if quick && rows % 3 != 0 {
+            rows += 1;
+            continue;
+        }
+        let dfg = row.kernel.build();
+        let machine = Machine::parse(row.datapath).expect("datapath parses");
+        let binder = Binder::with_config(&machine, config.clone());
+
+        let mut cell = |idx: usize, f: &mut dyn FnMut() -> (u32, usize)| -> String {
+            let t = Instant::now();
+            let (l, m) = f();
+            times[idx] += t.elapsed().as_secs_f64();
+            totals[idx] += l as u64;
+            format!("{l}/{m}")
+        };
+        let uas = cell(0, &mut || {
+            let r = Uas::new(&machine).bind(&dfg);
+            (r.latency(), r.moves())
+        });
+        let sa = cell(1, &mut || {
+            let r = Annealer::new(&machine).bind(&dfg);
+            (r.latency(), r.moves())
+        });
+        let pcc = cell(2, &mut || {
+            let r = Pcc::new(&machine).bind(&dfg);
+            (r.latency(), r.moves())
+        });
+        let init = cell(3, &mut || {
+            let r = binder.bind_initial(&dfg);
+            (r.latency(), r.moves())
+        });
+        let iter = cell(4, &mut || {
+            let r = binder.bind(&dfg);
+            (r.latency(), r.moves())
+        });
+        println!(
+            "{:<11} {:<18} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            row.kernel.name(),
+            row.datapath,
+            uas,
+            sa,
+            pcc,
+            init,
+            iter
+        );
+        rows += 1;
+    }
+    println!("\ntotal latency over the matrix:");
+    for (name, (total, time)) in ["UAS", "SA", "PCC", "B-INIT", "B-ITER"]
+        .iter()
+        .zip(totals.iter().zip(times.iter()))
+    {
+        println!("  {name:<8} {total:>5} cycles   {:>8.2}s", time);
+    }
+}

@@ -1,0 +1,107 @@
+//! Software-pipelining table: initiation intervals for loop kernels
+//! across datapaths — the modulo-scheduling extension's counterpart of
+//! Table 1. For each (loop, datapath): MII bounds, the II achieved from
+//! a block-latency binding, and the II achieved by the II-driven binder.
+//!
+//! Usage: `cargo run -p vliw-bench --release --bin pipeline`
+
+use vliw_binding::{Binder, BinderConfig};
+use vliw_datapath::Machine;
+use vliw_dfg::{DfgBuilder, LoopCarry, OpType};
+use vliw_kernels::Kernel;
+use vliw_modulo::{bind_loop, mii, LoopDfg, ModuloBinder, ModuloScheduler};
+
+/// The loop workloads: kernels with natural recurrences.
+fn loops() -> Vec<(&'static str, LoopDfg)> {
+    let mut out = Vec::new();
+
+    // EWF per-sample loop (filter states carried).
+    let ewf = Kernel::Ewf.build();
+    let find = |dfg: &vliw_dfg::Dfg, name: &str| {
+        dfg.op_ids()
+            .find(|&v| dfg.name(v) == Some(name))
+            .unwrap_or_else(|| panic!("{name} exists"))
+    };
+    let carries = [
+        ("A1.s'", "A1.t"),
+        ("A2.s2'", "A2.t1"),
+        ("A2.s1'", "A2.t2"),
+        ("B1.s2'", "B1.t1"),
+        ("B1.s1'", "B1.t2"),
+        ("B2.s2'", "B2.t1"),
+        ("B2.s1'", "B2.t2"),
+    ]
+    .map(|(from, to)| LoopCarry::next_iteration(find(&ewf, from), find(&ewf, to)))
+    .to_vec();
+    out.push(("EWF-loop", LoopDfg::new(ewf, carries).expect("valid")));
+
+    // ARF per-sample loop: lattice state feeds back into stage 1.
+    let arf = Kernel::Arf.build();
+    let u1_4 = find(&arf, "st4.u1");
+    let u2_4 = find(&arf, "st4.u2");
+    let t1_1 = find(&arf, "st1.t1");
+    let t2_1 = find(&arf, "st1.t2");
+    let carries = vec![
+        LoopCarry::next_iteration(u1_4, t1_1),
+        LoopCarry::next_iteration(u2_4, t2_1),
+    ];
+    out.push(("ARF-loop", LoopDfg::new(arf, carries).expect("valid")));
+
+    // Complex MAC (adaptive-filter inner loop).
+    let mut b = DfgBuilder::new();
+    let m1 = b.add_op(OpType::Mul, &[]);
+    let m2 = b.add_op(OpType::Mul, &[]);
+    let m3 = b.add_op(OpType::Mul, &[]);
+    let m4 = b.add_op(OpType::Mul, &[]);
+    let pr = b.add_op(OpType::Sub, &[m1, m2]);
+    let pi = b.add_op(OpType::Add, &[m3, m4]);
+    let ar = b.add_op(OpType::Add, &[pr]);
+    let ai = b.add_op(OpType::Add, &[pi]);
+    let cmac = b.finish().expect("acyclic");
+    let carries = vec![
+        LoopCarry::next_iteration(ar, ar),
+        LoopCarry::next_iteration(ai, ai),
+    ];
+    out.push(("CMAC", LoopDfg::new(cmac, carries).expect("valid")));
+
+    // FIR-16: no recurrence at all (fully parallel across iterations).
+    out.push((
+        "FIR-16",
+        LoopDfg::new(vliw_kernels::extra::fir(16), vec![]).expect("valid"),
+    ));
+
+    out
+}
+
+fn main() {
+    let machines = ["[1,1]", "[2,1]", "[1,1|1,1]", "[2,1|2,1]", "[3,1|3,1]"];
+    println!(
+        "{:<10} {:<12} {:>7} {:>7} {:>9} {:>9} {:>8} {:>12}",
+        "LOOP", "DATAPATH", "ResMII", "RecMII", "II-block", "II-driven", "stages", "block L"
+    );
+    for (name, looped) in loops() {
+        for text in machines {
+            let machine = Machine::parse(text).expect("machine parses");
+            let block_bound = bind_loop(&looped, &machine, &BinderConfig::default());
+            let block_ii = ModuloScheduler::new(&machine)
+                .schedule(&block_bound)
+                .expect("schedulable")
+                .ii();
+            let (bound, schedule) = ModuloBinder::new(&machine).bind(&looped);
+            schedule.validate(&bound, &machine).expect("valid");
+            let block_latency = Binder::new(&machine).bind(looped.body()).latency();
+            println!(
+                "{:<10} {:<12} {:>7} {:>7} {:>9} {:>9} {:>8} {:>12}",
+                name,
+                text,
+                mii::res_mii(&bound, &machine),
+                mii::rec_mii(&bound, &machine),
+                block_ii,
+                schedule.ii(),
+                schedule.stage_count(&bound, &machine),
+                block_latency
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,90 @@
+//! Regenerates the paper's Table 1: all 33 (kernel × datapath) rows with
+//! `N_B = 2`, `lat(move) = 1`, printing paper-vs-measured side by side.
+//!
+//! Usage: `cargo run -p vliw-bench --release --bin table1 [--json FILE]`
+
+use std::collections::BTreeMap;
+use vliw_bench::runner::lm;
+use vliw_bench::{run_row, TABLE1};
+use vliw_binding::BinderConfig;
+use vliw_datapath::Machine;
+use vliw_dfg::DfgStats;
+
+fn main() {
+    let json_path = std::env::args()
+        .skip_while(|a| a != "--json")
+        .nth(1);
+    let config = vliw_bench::runner::config_from_args(BinderConfig::default());
+    let mut json_rows: Vec<serde_json::Value> = Vec::new();
+    let mut current_kernel = None;
+    let mut wins = BTreeMap::from([("init", 0i32), ("iter", 0i32)]);
+    let mut rows_done = 0;
+
+    println!("Table 1 reproduction: N_B = 2, lat(move) = 1");
+    println!("paper values in parentheses; ΔL% is improvement over measured PCC\n");
+
+    for row in TABLE1 {
+        if current_kernel != Some(row.kernel) {
+            current_kernel = Some(row.kernel);
+            let stats = DfgStats::unit_latency(&row.kernel.build());
+            println!(
+                "--- {}: N_V = {}, N_CC = {}, L_CP = {} ---",
+                row.kernel, stats.n_v, stats.n_cc, stats.l_cp
+            );
+            println!(
+                "{:<18} {:>12} {:>8} {:>12} {:>7} {:>8} {:>12} {:>7} {:>9}",
+                "DATAPATH", "PCC L/M", "ms", "B-INIT L/M", "dL%", "ms", "B-ITER L/M", "dL%", "ms"
+            );
+        }
+        let dfg = row.kernel.build();
+        let machine = Machine::parse(row.datapath).expect("datapath parses");
+        let m = run_row(&dfg, &machine, &config);
+        println!(
+            "{:<18} {:>6} {:>5} {:>8.1} {:>6} {:>5} {:>7.1} {:>8.1} {:>6} {:>5} {:>7.1} {:>9.2}",
+            row.datapath,
+            lm(m.pcc),
+            format!("({})", lm(row.paper.pcc)),
+            m.timings.pcc_ms,
+            lm(m.init),
+            format!("({})", lm(row.paper.init)),
+            m.init_gain_pct(),
+            m.timings.init_ms,
+            lm(m.iter),
+            format!("({})", lm(row.paper.iter)),
+            m.iter_gain_pct(),
+            m.timings.iter_ms,
+        );
+        if m.init.0 <= m.pcc.0 {
+            *wins.get_mut("init").expect("key") += 1;
+        }
+        if m.iter.0 <= m.pcc.0 {
+            *wins.get_mut("iter").expect("key") += 1;
+        }
+        rows_done += 1;
+        json_rows.push(serde_json::json!({
+            "kernel": row.kernel.name(),
+            "datapath": row.datapath,
+            "paper": {
+                "pcc": row.paper.pcc, "init": row.paper.init, "iter": row.paper.iter,
+            },
+            "measured": {
+                "pcc": m.pcc, "init": m.init, "iter": m.iter,
+                "init_gain_pct": m.init_gain_pct(),
+                "iter_gain_pct": m.iter_gain_pct(),
+                "timings_ms": m.timings,
+            },
+        }));
+    }
+
+    println!("\nsummary over {rows_done} rows:");
+    println!(
+        "  B-INIT no worse than PCC on {} rows; B-ITER no worse on {} rows",
+        wins["init"], wins["iter"]
+    );
+
+    if let Some(path) = json_path {
+        let blob = serde_json::to_string_pretty(&json_rows).expect("serializable");
+        std::fs::write(&path, blob).expect("write json output");
+        println!("  wrote {path}");
+    }
+}

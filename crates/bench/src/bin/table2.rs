@@ -1,0 +1,62 @@
+//! Regenerates the paper's Table 2: the FFT kernel on the five-cluster
+//! datapath `[2,2|2,1|2,2|3,1|1,1]` with `N_B ∈ {1,2}` and
+//! `lat(move) ∈ {1,2}`.
+//!
+//! Usage: `cargo run -p vliw-bench --release --bin table2 [--json FILE]`
+
+use vliw_bench::rows::TABLE2_DATAPATH;
+use vliw_bench::runner::lm;
+use vliw_bench::{run_row, TABLE2};
+use vliw_binding::BinderConfig;
+use vliw_datapath::Machine;
+use vliw_kernels::Kernel;
+
+fn main() {
+    let json_path = std::env::args().skip_while(|a| a != "--json").nth(1);
+    let config = vliw_bench::runner::config_from_args(BinderConfig::default());
+    let dfg = Kernel::Fft.build();
+    let mut json_rows: Vec<serde_json::Value> = Vec::new();
+
+    println!("Table 2 reproduction: FFT on {TABLE2_DATAPATH}");
+    println!("paper values in parentheses\n");
+    println!(
+        "{:>4} {:>10} {:>14} {:>14} {:>7} {:>14} {:>7}",
+        "N_B", "lat(move)", "PCC L/M", "B-INIT L/M", "dL%", "B-ITER L/M", "dL%"
+    );
+
+    for row in TABLE2 {
+        let machine = Machine::parse(TABLE2_DATAPATH)
+            .expect("datapath parses")
+            .with_bus_count(row.buses)
+            .with_move_latency(row.move_latency);
+        let m = run_row(&dfg, &machine, &config);
+        println!(
+            "{:>4} {:>10} {:>7} {:>6} {:>7} {:>6} {:>7.1} {:>7} {:>6} {:>7.1}",
+            row.buses,
+            row.move_latency,
+            lm(m.pcc),
+            format!("({})", lm(row.paper.pcc)),
+            lm(m.init),
+            format!("({})", lm(row.paper.init)),
+            m.init_gain_pct(),
+            lm(m.iter),
+            format!("({})", lm(row.paper.iter)),
+            m.iter_gain_pct(),
+        );
+        json_rows.push(serde_json::json!({
+            "buses": row.buses,
+            "move_latency": row.move_latency,
+            "paper": { "pcc": row.paper.pcc, "init": row.paper.init, "iter": row.paper.iter },
+            "measured": {
+                "pcc": m.pcc, "init": m.init, "iter": m.iter,
+                "timings_ms": m.timings,
+            },
+        }));
+    }
+
+    if let Some(path) = json_path {
+        let blob = serde_json::to_string_pretty(&json_rows).expect("serializable");
+        std::fs::write(&path, blob).expect("write json output");
+        println!("\nwrote {path}");
+    }
+}

@@ -1,0 +1,24 @@
+//! Benchmark harness regenerating the paper's evaluation (Section 5).
+//!
+//! The paper reports two tables:
+//!
+//! * **Table 1** — 33 (kernel × datapath) rows with `N_B = 2` and
+//!   `lat(move) = 1`: `L/M` for PCC, B-INIT (+ΔL%), B-ITER (+ΔL%), plus
+//!   CPU times;
+//! * **Table 2** — the FFT kernel on the five-cluster datapath
+//!   `[2,2|2,1|2,2|3,1|1,1]` with `N_B ∈ {1,2}` × `lat(move) ∈ {1,2}`.
+//!
+//! This crate embeds the paper's reported numbers next to each
+//! experiment so the binaries print paper-vs-measured side by side, and
+//! exposes the shared row runner used by `table1`, `table2`, `ablation`
+//! and the Criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod rows;
+pub mod runner;
+
+pub use rows::{PaperRow, Table1Row, Table2Row, TABLE1, TABLE2};
+pub use runner::{run_row, MeasuredRow, RowTimings};

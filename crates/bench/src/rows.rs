@@ -1,0 +1,192 @@
+//! The experiment matrix of the paper's Tables 1 and 2, with the
+//! published `L/M` values embedded for side-by-side comparison.
+
+use vliw_kernels::Kernel;
+
+/// `(L, M)` triple-set of one published row: PCC, B-INIT, B-ITER.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperRow {
+    /// PCC schedule latency / transfers.
+    pub pcc: (u32, u32),
+    /// B-INIT schedule latency / transfers.
+    pub init: (u32, u32),
+    /// B-ITER schedule latency / transfers.
+    pub iter: (u32, u32),
+}
+
+/// One row of Table 1: a kernel on a datapath (`N_B = 2`,
+/// `lat(move) = 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table1Row {
+    /// The benchmark kernel.
+    pub kernel: Kernel,
+    /// Datapath in the paper's `[alus,muls|…]` notation.
+    pub datapath: &'static str,
+    /// The values the paper reports for this row.
+    pub paper: PaperRow,
+}
+
+const fn row(kernel: Kernel, datapath: &'static str, paper: PaperRow) -> Table1Row {
+    Table1Row {
+        kernel,
+        datapath,
+        paper,
+    }
+}
+
+const fn p(pcc: (u32, u32), init: (u32, u32), iter: (u32, u32)) -> PaperRow {
+    PaperRow { pcc, init, iter }
+}
+
+/// All 33 rows of the paper's Table 1.
+pub const TABLE1: &[Table1Row] = &[
+    // DCT-DIF: N_V = 41, N_CC = 2, L_CP = 7.
+    row(Kernel::DctDif, "[1,1|1,1]", p((16, 15), (15, 2), (15, 2))),
+    row(Kernel::DctDif, "[2,1|2,1]", p((11, 0), (11, 10), (10, 6))),
+    row(Kernel::DctDif, "[2,1|1,1]", p((11, 12), (11, 6), (10, 6))),
+    row(Kernel::DctDif, "[1,1|1,1|1,1]", p((12, 8), (12, 9), (11, 8))),
+    // DCT-LEE: N_V = 49, N_CC = 2, L_CP = 9.
+    row(Kernel::DctLee, "[1,1|1,1]", p((16, 11), (16, 7), (16, 6))),
+    row(Kernel::DctLee, "[2,1|2,1]", p((12, 8), (12, 2), (12, 2))),
+    row(Kernel::DctLee, "[2,1|1,1]", p((13, 9), (13, 5), (13, 3))),
+    row(Kernel::DctLee, "[2,2|2,1]", p((11, 0), (10, 2), (10, 1))),
+    row(Kernel::DctLee, "[1,1|1,1|1,1]", p((14, 8), (12, 14), (12, 10))),
+    // DCT-DIT: N_V = 48, N_CC = 1, L_CP = 7.
+    row(Kernel::DctDit, "[1,1|1,1]", p((19, 18), (19, 7), (19, 7))),
+    row(Kernel::DctDit, "[2,1|2,1]", p((13, 18), (13, 7), (12, 7))),
+    row(Kernel::DctDit, "[1,1|1,1|1,1]", p((15, 18), (15, 19), (13, 15))),
+    row(Kernel::DctDit, "[2,1|2,1|1,1]", p((12, 6), (11, 13), (11, 9))),
+    row(Kernel::DctDit, "[3,1|2,2|1,3]", p((11, 12), (11, 12), (9, 9))),
+    row(
+        Kernel::DctDit,
+        "[1,1|1,1|1,1|1,1]",
+        p((14, 17), (13, 17), (11, 14)),
+    ),
+    // DCT-DIT-2: N_V = 96, N_CC = 2, L_CP = 7.
+    row(Kernel::DctDit2, "[1,1|1,1]", p((37, 32), (37, 14), (37, 13))),
+    row(Kernel::DctDit2, "[2,1|2,1]", p((23, 28), (23, 17), (22, 23))),
+    row(
+        Kernel::DctDit2,
+        "[1,1|1,1|1,1]",
+        p((25, 28), (27, 15), (25, 13)),
+    ),
+    row(Kernel::DctDit2, "[3,1|2,2|1,3]", p((17, 18), (17, 20), (14, 20))),
+    row(
+        Kernel::DctDit2,
+        "[1,1|1,1|1,1|1,1]",
+        p((22, 30), (20, 21), (19, 18)),
+    ),
+    // FFT: N_V = 38, N_CC = 1, L_CP = 6.
+    row(Kernel::Fft, "[1,1|1,1]", p((14, 6), (14, 4), (14, 4))),
+    row(Kernel::Fft, "[2,1|2,1]", p((10, 6), (10, 4), (10, 4))),
+    row(Kernel::Fft, "[1,1|1,1|1,1]", p((12, 8), (10, 12), (10, 9))),
+    row(Kernel::Fft, "[2,1|2,1|1,2]", p((10, 4), (8, 10), (8, 5))),
+    row(Kernel::Fft, "[3,2|3,1|1,3]", p((7, 4), (7, 6), (6, 5))),
+    row(
+        Kernel::Fft,
+        "[1,1|1,1|1,1|1,1]",
+        p((11, 10), (10, 12), (9, 6)),
+    ),
+    // EWF: N_V = 34, N_CC = 1, L_CP = 14.
+    row(Kernel::Ewf, "[1,1|1,1]", p((18, 5), (17, 3), (17, 3))),
+    row(Kernel::Ewf, "[2,1|2,1]", p((15, 2), (16, 3), (15, 1))),
+    row(Kernel::Ewf, "[2,1|1,1]", p((15, 2), (16, 5), (15, 3))),
+    row(Kernel::Ewf, "[1,1|1,1|1,1]", p((18, 5), (17, 7), (16, 5))),
+    row(Kernel::Ewf, "[2,2|2,1|1,1]", p((15, 2), (15, 5), (14, 5))),
+    // ARF: N_V = 28, N_CC = 1, L_CP = 8.
+    row(Kernel::Arf, "[1,1|1,1]", p((13, 5), (11, 4), (11, 4))),
+    row(Kernel::Arf, "[1,2|1,2]", p((10, 5), (10, 5), (10, 4))),
+];
+
+/// One row of Table 2: the FFT kernel on `[2,2|2,1|2,2|3,1|1,1]` with
+/// varying bus parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table2Row {
+    /// Number of buses `N_B`.
+    pub buses: u32,
+    /// Transfer latency `lat(move)`.
+    pub move_latency: u32,
+    /// The values the paper reports for this row.
+    pub paper: PaperRow,
+}
+
+/// The datapath used throughout Table 2.
+pub const TABLE2_DATAPATH: &str = "[2,2|2,1|2,2|3,1|1,1]";
+
+/// All four rows of the paper's Table 2.
+pub const TABLE2: &[Table2Row] = &[
+    Table2Row {
+        buses: 1,
+        move_latency: 1,
+        paper: p((9, 5), (8, 4), (7, 4)),
+    },
+    Table2Row {
+        buses: 2,
+        move_latency: 1,
+        paper: p((8, 4), (8, 4), (7, 5)),
+    },
+    Table2Row {
+        buses: 1,
+        move_latency: 2,
+        paper: p((10, 5), (8, 4), (8, 2)),
+    },
+    Table2Row {
+        buses: 2,
+        move_latency: 2,
+        paper: p((8, 4), (8, 4), (7, 4)),
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_all_33_rows() {
+        assert_eq!(TABLE1.len(), 33);
+    }
+
+    #[test]
+    fn table1_datapaths_parse() {
+        for row in TABLE1 {
+            assert!(
+                vliw_datapath::Machine::parse(row.datapath).is_ok(),
+                "{}",
+                row.datapath
+            );
+        }
+    }
+
+    #[test]
+    fn table2_has_four_rows_and_parses() {
+        assert_eq!(TABLE2.len(), 4);
+        assert!(vliw_datapath::Machine::parse(TABLE2_DATAPATH).is_ok());
+    }
+
+    #[test]
+    fn paper_improvements_match_reported_percentages() {
+        // Spot-check the paper's headline claims with its own ΔL%
+        // convention, (L_PCC − L_X) / L_X: up to 25% for B-INIT and up to
+        // 29% for B-ITER (both maxima occur in Table 2).
+        let gain = |pcc: u32, x: u32| (pcc as f64 - x as f64) / x as f64;
+        let max_init = TABLE1
+            .iter()
+            .map(|r| gain(r.paper.pcc.0, r.paper.init.0))
+            .chain(TABLE2.iter().map(|r| gain(r.paper.pcc.0, r.paper.init.0)))
+            .fold(0.0f64, f64::max);
+        assert!((max_init - 0.25).abs() < 0.01, "max B-INIT gain {max_init}");
+        let max_iter = TABLE1
+            .iter()
+            .map(|r| gain(r.paper.pcc.0, r.paper.iter.0))
+            .chain(TABLE2.iter().map(|r| gain(r.paper.pcc.0, r.paper.iter.0)))
+            .fold(0.0f64, f64::max);
+        assert!((max_iter - 0.29).abs() < 0.01, "max B-ITER gain {max_iter}");
+    }
+
+    #[test]
+    fn every_kernel_appears_in_table1() {
+        for kernel in Kernel::ALL {
+            assert!(TABLE1.iter().any(|r| r.kernel == kernel), "{kernel}");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Shared row runner: binds one kernel on one machine with all three
+//! algorithms, timing each.
+
+use serde::Serialize;
+use std::time::Instant;
+use vliw_binding::{Binder, BinderConfig};
+use vliw_datapath::Machine;
+use vliw_dfg::Dfg;
+use vliw_pcc::Pcc;
+
+/// Wall-clock timings of one row, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RowTimings {
+    /// PCC total time.
+    pub pcc_ms: f64,
+    /// B-INIT sweep time.
+    pub init_ms: f64,
+    /// B-ITER time (on top of B-INIT).
+    pub iter_ms: f64,
+}
+
+/// Measured `L/M` values of one row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MeasuredRow {
+    /// PCC latency / transfers.
+    pub pcc: (u32, u32),
+    /// B-INIT latency / transfers.
+    pub init: (u32, u32),
+    /// B-ITER latency / transfers.
+    pub iter: (u32, u32),
+    /// Wall-clock timings.
+    pub timings: RowTimings,
+}
+
+impl MeasuredRow {
+    /// Latency improvement of B-INIT over PCC in percent (negative when
+    /// B-INIT is worse). The paper's `ΔL%` columns are relative to the
+    /// *new* algorithm's latency — e.g. PCC 16 vs B-INIT 15 prints 6.7%
+    /// (= 1/15) and the headline "up to 25%" is Table 2's 10-vs-8 row —
+    /// so the same convention is used here.
+    pub fn init_gain_pct(&self) -> f64 {
+        100.0 * (self.pcc.0 as f64 - self.init.0 as f64) / self.init.0 as f64
+    }
+
+    /// Latency improvement of B-ITER over PCC in percent (same
+    /// convention as [`MeasuredRow::init_gain_pct`]).
+    pub fn iter_gain_pct(&self) -> f64 {
+        100.0 * (self.pcc.0 as f64 - self.iter.0 as f64) / self.iter.0 as f64
+    }
+}
+
+/// Runs PCC, B-INIT and B-ITER on one (kernel, machine) pair.
+pub fn run_row(dfg: &Dfg, machine: &Machine, config: &BinderConfig) -> MeasuredRow {
+    let t0 = Instant::now();
+    let pcc = Pcc::new(machine).bind(dfg);
+    let pcc_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let binder = Binder::with_config(machine, config.clone());
+    let t1 = Instant::now();
+    let init = binder.bind_initial(dfg);
+    let init_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let t2 = Instant::now();
+    let iter = binder.bind(dfg);
+    let iter_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+    MeasuredRow {
+        pcc: (pcc.latency(), pcc.moves() as u32),
+        init: (init.latency(), init.moves() as u32),
+        iter: (iter.latency(), iter.moves() as u32),
+        timings: RowTimings {
+            pcc_ms,
+            init_ms,
+            iter_ms,
+        },
+    }
+}
+
+/// Formats one `(L, M)` pair the way the paper prints it.
+pub fn lm(pair: (u32, u32)) -> String {
+    format!("{}/{}", pair.0, pair.1)
+}
+
+/// Applies the common CLI overrides of the table binaries to a config:
+/// `--pairs none|adjacent|all` and `--starts N`.
+pub fn config_from_args(mut config: BinderConfig) -> BinderConfig {
+    use vliw_binding::PairMode;
+    let args: Vec<String> = std::env::args().collect();
+    for window in args.windows(2) {
+        match (window[0].as_str(), window[1].as_str()) {
+            ("--pairs", "none") => config.pair_mode = PairMode::None,
+            ("--pairs", "adjacent") => config.pair_mode = PairMode::Adjacent,
+            ("--pairs", "all") => config.pair_mode = PairMode::All,
+            ("--starts", n) => {
+                config.improve_starts = n.parse().expect("--starts takes a number")
+            }
+            _ => {}
+        }
+    }
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_kernels::Kernel;
+
+    #[test]
+    fn runner_produces_consistent_row() {
+        let dfg = Kernel::Arf.build();
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let row = run_row(&dfg, &machine, &BinderConfig::default());
+        // B-ITER never loses to B-INIT on (L, M).
+        assert!(row.iter <= row.init);
+        // Nobody beats the critical path.
+        assert!(row.pcc.0 >= 8 && row.init.0 >= 8 && row.iter.0 >= 8);
+        assert!(row.timings.pcc_ms >= 0.0);
+    }
+
+    #[test]
+    fn gain_percentages() {
+        let row = MeasuredRow {
+            pcc: (14, 6),
+            init: (12, 4),
+            iter: (10, 4),
+            timings: RowTimings {
+                pcc_ms: 1.0,
+                init_ms: 1.0,
+                iter_ms: 1.0,
+            },
+        };
+        assert!((row.init_gain_pct() - 100.0 * 2.0 / 12.0).abs() < 0.01);
+        assert!((row.iter_gain_pct() - 40.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn lm_formats_like_the_paper() {
+        assert_eq!(lm((16, 15)), "16/15");
+    }
+}

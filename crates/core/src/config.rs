@@ -1,0 +1,180 @@
+//! Tunable parameters of the binding algorithm.
+
+use serde::{Deserialize, Serialize};
+
+/// Which operation pairs B-ITER perturbs jointly (paper Section 3.2:
+/// "we perform such re-binding for individual operations and for pairs of
+/// operations").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PairMode {
+    /// Singles only — cheapest, weakest.
+    None,
+    /// Singles plus pairs connected by a cluster-crossing data dependence
+    /// (the perturbations that reposition/eliminate/collapse the transfer
+    /// on that edge, cf. Figure 5). The default.
+    #[default]
+    Adjacent,
+    /// Singles plus every pair of boundary operations — the most thorough
+    /// and by far the slowest; used by the ablation bench.
+    All,
+}
+
+/// How the serialization penalties `fucost`/`buscost` measure profile
+/// overload (paper Section 3.1.2).
+///
+/// The paper's text says the penalty "is increased by 1 for each clock
+/// cycle τ" where the profile exceeds its threshold
+/// ([`CostModel::BinaryCycles`]). That indicator saturates: once a cycle
+/// is overloaded, piling further operations onto it is free, so a greedy
+/// pass happily serializes a whole butterfly on one multiplier. The
+/// mass-based variants integrate the *amount* of overload instead, which
+/// keeps growing past saturation but loses the sharp threshold step.
+/// [`CostModel::Hybrid`] combines both and best reproduces the paper's
+/// reported quality across Tables 1–2, so it is the default; the
+/// `ablation -- fucost` study compares all four.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum CostModel {
+    /// Count overloaded cycles (the paper's literal wording).
+    BinaryCycles,
+    /// Integrate the marginal overload mass the candidate adds
+    /// (`Σ_τ [load_after − thr]₊ − [load_before − thr]₊`).
+    ExcessMass,
+    /// Integrate the *total* overload mass of the updated profile —
+    /// like [`CostModel::ExcessMass`] but also repelling candidates from
+    /// clusters that are already overloaded at the candidate's time
+    /// frame, regardless of the candidate's own contribution.
+    TotalExcess,
+    /// Sum of [`CostModel::BinaryCycles`] and [`CostModel::TotalExcess`]:
+    /// the cycle count provides the threshold-crossing step the paper
+    /// describes, the mass term keeps growing past saturation (default).
+    #[default]
+    Hybrid,
+}
+
+/// Configuration of [`crate::Binder`].
+///
+/// The defaults reproduce the paper's reported settings: cost
+/// coefficients `α = β = 1.0`, `γ = 1.1` (Section 3.1.2 — the transfer
+/// penalty gets "just a slightly larger priority"), `L_PR` sweeping and
+/// reverse-order binding enabled (Sections 3.1.3–3.1.4), and adjacent-pair
+/// boundary perturbations in B-ITER.
+///
+/// # Example
+///
+/// ```
+/// use vliw_binding::{BinderConfig, PairMode};
+///
+/// let fast = BinderConfig {
+///     pair_mode: PairMode::None,
+///     ..BinderConfig::default()
+/// };
+/// assert_eq!(fast.gamma, 1.1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinderConfig {
+    /// Weight `α` of the FU serialization penalty `fucost`.
+    pub alpha: f64,
+    /// Weight `β` of the bus serialization penalty `buscost`.
+    pub beta: f64,
+    /// Weight `γ` of the data-transfer penalty `trcost`; the paper found
+    /// `γ = 1.1` (slightly above `α = β = 1`) to work best.
+    pub gamma: f64,
+    /// How far beyond `L_CP` the driver stretches the load-profile
+    /// latency `L_PR` (Section 3.1.3). `None` selects
+    /// `max(4, ⌈L_CP/2⌉)` extra levels automatically.
+    pub lpr_stretch: Option<u32>,
+    /// Whether the driver also tries binding from the output nodes
+    /// (Section 3.1.4).
+    pub try_reverse: bool,
+    /// Joint-perturbation policy for B-ITER.
+    pub pair_mode: PairMode,
+    /// Safety cap on B-ITER improvement iterations per quality function.
+    pub max_iterations: usize,
+    /// Overload measure used by the serialization penalties.
+    pub cost_model: CostModel,
+    /// How many distinct initial bindings from the driver's
+    /// `L_PR`/direction sweep B-ITER refines (the best refined result is
+    /// returned). `1` reproduces the paper's single-start description;
+    /// larger values trade compile time for robustness against local
+    /// minima of the boundary-perturbation search.
+    pub improve_starts: usize,
+}
+
+impl Default for BinderConfig {
+    fn default() -> Self {
+        BinderConfig {
+            alpha: 1.0,
+            beta: 1.0,
+            gamma: 1.1,
+            lpr_stretch: None,
+            try_reverse: true,
+            pair_mode: PairMode::Adjacent,
+            max_iterations: 1_000,
+            cost_model: CostModel::Hybrid,
+            improve_starts: 3,
+        }
+    }
+}
+
+impl BinderConfig {
+    /// The `L_PR` values the driver will sweep for a DFG with critical
+    /// path `l_cp`: `L_CP ..= L_CP + stretch`.
+    pub fn lpr_values(&self, l_cp: u32) -> std::ops::RangeInclusive<u32> {
+        let stretch = self.lpr_stretch.unwrap_or_else(|| 4.max(l_cp.div_ceil(2)));
+        l_cp..=l_cp.saturating_add(stretch)
+    }
+
+    /// A configuration with `L_PR` sweeping disabled (only `L_PR = L_CP`),
+    /// for the ablation study.
+    pub fn without_lpr_sweep(mut self) -> Self {
+        self.lpr_stretch = Some(0);
+        self
+    }
+
+    /// A configuration that never tries reverse-order binding, for the
+    /// ablation study.
+    pub fn without_reverse(mut self) -> Self {
+        self.try_reverse = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = BinderConfig::default();
+        assert_eq!(cfg.alpha, 1.0);
+        assert_eq!(cfg.beta, 1.0);
+        assert_eq!(cfg.gamma, 1.1);
+        assert!(cfg.try_reverse);
+        assert_eq!(cfg.pair_mode, PairMode::Adjacent);
+    }
+
+    #[test]
+    fn lpr_values_auto_stretch() {
+        let cfg = BinderConfig::default();
+        // L_CP = 6 -> stretch max(4, 3) = 4 -> 6..=10.
+        assert_eq!(cfg.lpr_values(6), 6..=10);
+        // L_CP = 14 -> stretch max(4, 7) = 7 -> 14..=21.
+        assert_eq!(cfg.lpr_values(14), 14..=21);
+    }
+
+    #[test]
+    fn lpr_values_explicit_stretch() {
+        let cfg = BinderConfig {
+            lpr_stretch: Some(2),
+            ..BinderConfig::default()
+        };
+        assert_eq!(cfg.lpr_values(7), 7..=9);
+    }
+
+    #[test]
+    fn ablation_helpers() {
+        let cfg = BinderConfig::default().without_lpr_sweep().without_reverse();
+        assert_eq!(cfg.lpr_values(9), 9..=9);
+        assert!(!cfg.try_reverse);
+    }
+}

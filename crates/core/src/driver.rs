@@ -1,0 +1,285 @@
+//! The driver algorithm (paper Section 3): sweep B-INIT over the
+//! load-profile latency and binding direction, pick the best by actual
+//! list-schedule quality, then refine with B-ITER.
+
+use crate::config::BinderConfig;
+use crate::init::initial_binding;
+use crate::iter;
+use vliw_datapath::Machine;
+use vliw_dfg::{critical_path_len, Dfg};
+use vliw_sched::{Binding, BoundDfg, ListScheduler, Schedule};
+
+/// The outcome of binding a DFG: the binding itself, the bound graph with
+/// materialized transfers, and its list schedule.
+///
+/// The paper's tables report this as an `L/M` pair —
+/// [`BindingResult::latency`] / [`BindingResult::moves`].
+#[derive(Debug, Clone)]
+pub struct BindingResult {
+    /// The operation-to-cluster assignment.
+    pub binding: Binding,
+    /// The bound DFG (original operations plus inserted transfers).
+    pub bound: BoundDfg,
+    /// The list schedule of the bound DFG.
+    pub schedule: Schedule,
+}
+
+impl BindingResult {
+    /// Materializes the bound graph for `binding` and schedules it —
+    /// the evaluation step used throughout the driver and B-ITER.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the binding is incomplete or mismatched with `dfg`.
+    pub fn evaluate(dfg: &Dfg, machine: &Machine, binding: Binding) -> Self {
+        let bound = BoundDfg::new(dfg, machine, &binding);
+        let schedule = ListScheduler::new(machine).schedule(&bound);
+        BindingResult {
+            binding,
+            bound,
+            schedule,
+        }
+    }
+
+    /// Schedule latency `L` in cycles.
+    pub fn latency(&self) -> u32 {
+        self.schedule.latency()
+    }
+
+    /// Number of inserted data transfers `N_MV`.
+    pub fn moves(&self) -> usize {
+        self.bound.move_count()
+    }
+
+    /// The `(L, N_MV)` pair as reported in the paper's tables.
+    pub fn lm(&self) -> (u32, usize) {
+        (self.latency(), self.moves())
+    }
+}
+
+/// The binding driver: B-INIT parameter sweep plus B-ITER refinement.
+///
+/// # Example
+///
+/// ```
+/// use vliw_binding::{Binder, BinderConfig};
+/// use vliw_datapath::Machine;
+/// use vliw_dfg::{DfgBuilder, OpType};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DfgBuilder::new();
+/// let x = b.add_op(OpType::Mul, &[]);
+/// let y = b.add_op(OpType::Mul, &[]);
+/// let _ = b.add_op(OpType::Add, &[x, y]);
+/// let dfg = b.finish()?;
+/// let machine = Machine::parse("[1,1|1,1]")?;
+///
+/// // Fast path: initial binding only (compile-time critical contexts).
+/// let quick = Binder::new(&machine).bind_initial(&dfg);
+/// // Full quality: initial + iterative improvement.
+/// let best = Binder::new(&machine).bind(&dfg);
+/// assert!(best.latency() <= quick.latency());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Binder<'m> {
+    machine: &'m Machine,
+    config: BinderConfig,
+}
+
+impl<'m> Binder<'m> {
+    /// A binder with the paper's default configuration.
+    pub fn new(machine: &'m Machine) -> Self {
+        Binder {
+            machine,
+            config: BinderConfig::default(),
+        }
+    }
+
+    /// A binder with an explicit configuration (ablations, tuning).
+    pub fn with_config(machine: &'m Machine, config: BinderConfig) -> Self {
+        Binder { machine, config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BinderConfig {
+        &self.config
+    }
+
+    /// The target machine.
+    pub fn machine(&self) -> &Machine {
+        self.machine
+    }
+
+    /// Phase 1 only — **B-INIT** under the driver's parameter sweep
+    /// (Sections 3.1.3–3.1.4): runs the greedy binding for every
+    /// `L_PR ∈ {L_CP, …}` and both directions, evaluates each candidate
+    /// with a real list schedule, and returns the lexicographically best
+    /// `(L, N_MV)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine cannot execute some operation of `dfg`
+    /// (empty target set) or `dfg` already contains `move` operations.
+    pub fn bind_initial(&self, dfg: &Dfg) -> BindingResult {
+        self.initial_candidates(dfg)
+            .into_iter()
+            .next()
+            .expect("the L_PR sweep is never empty")
+    }
+
+    /// All *distinct* bindings produced by the driver sweep, evaluated
+    /// and sorted best-first by `(L, N_MV)`. [`Binder::bind`] refines the
+    /// top [`BinderConfig::improve_starts`] of these with B-ITER.
+    pub fn initial_candidates(&self, dfg: &Dfg) -> Vec<BindingResult> {
+        let lat = self.machine.op_latencies(dfg);
+        let l_cp = critical_path_len(dfg, &lat);
+        let directions: &[bool] = if self.config.try_reverse {
+            &[false, true]
+        } else {
+            &[false]
+        };
+        let mut results: Vec<BindingResult> = Vec::new();
+        for l_pr in self.config.lpr_values(l_cp) {
+            for &reverse in directions {
+                let binding = initial_binding(dfg, self.machine, &self.config, l_pr, reverse);
+                if results.iter().any(|r| r.binding == binding) {
+                    continue;
+                }
+                results.push(BindingResult::evaluate(dfg, self.machine, binding));
+            }
+        }
+        results.sort_by_key(BindingResult::lm);
+        results
+    }
+
+    /// Phase 2 — **B-ITER** refinement of an existing result
+    /// (Section 3.2).
+    pub fn improve(&self, dfg: &Dfg, start: BindingResult) -> BindingResult {
+        iter::improve(dfg, self.machine, &self.config, start)
+    }
+
+    /// The complete algorithm: B-INIT sweep followed by B-ITER on the
+    /// top [`BinderConfig::improve_starts`] distinct initial bindings,
+    /// keeping the best refined result.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Binder::bind_initial`].
+    pub fn bind(&self, dfg: &Dfg) -> BindingResult {
+        let starts = self.config.improve_starts.max(1);
+        let mut best: Option<BindingResult> = None;
+        for start in self.initial_candidates(dfg).into_iter().take(starts) {
+            let improved = self.improve(dfg, start);
+            if best.as_ref().map_or(true, |b| improved.lm() < b.lm()) {
+                best = Some(improved);
+            }
+        }
+        best.expect("at least one initial candidate exists")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_dfg::{DfgBuilder, OpType};
+
+    /// A two-chain graph wide enough to benefit from both clusters.
+    fn two_chains(len: usize) -> Dfg {
+        let mut b = DfgBuilder::new();
+        for _ in 0..2 {
+            let mut prev = b.add_op(OpType::Add, &[]);
+            for _ in 1..len {
+                prev = b.add_op(OpType::Add, &[prev]);
+            }
+        }
+        b.finish().expect("acyclic")
+    }
+
+    #[test]
+    fn bind_initial_achieves_ideal_split() {
+        let dfg = two_chains(5);
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let result = Binder::new(&machine).bind_initial(&dfg);
+        assert_eq!(result.latency(), 5);
+        assert_eq!(result.moves(), 0);
+        result
+            .schedule
+            .validate(&result.bound, &machine)
+            .expect("valid schedule");
+    }
+
+    #[test]
+    fn bind_never_worse_than_bind_initial() {
+        let mut b = DfgBuilder::new();
+        let mut frontier = Vec::new();
+        for _ in 0..4 {
+            frontier.push(b.add_op(OpType::Mul, &[]));
+        }
+        while frontier.len() > 1 {
+            let x = frontier.remove(0);
+            let y = frontier.remove(0);
+            frontier.push(b.add_op(OpType::Add, &[x, y]));
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let binder = Binder::new(&machine);
+        let init = binder.bind_initial(&dfg);
+        let full = binder.bind(&dfg);
+        assert!(full.lm() <= init.lm());
+    }
+
+    #[test]
+    fn single_cluster_machine_is_trivially_bound() {
+        let dfg = two_chains(3);
+        let machine = Machine::parse("[2,1]").expect("machine");
+        let result = Binder::new(&machine).bind(&dfg);
+        assert_eq!(result.moves(), 0);
+        assert_eq!(result.latency(), 3);
+    }
+
+    #[test]
+    fn empty_dfg_binds_to_empty_result() {
+        let dfg = DfgBuilder::new().finish().expect("empty");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let result = Binder::new(&machine).bind(&dfg);
+        assert_eq!(result.latency(), 0);
+        assert_eq!(result.moves(), 0);
+    }
+
+    #[test]
+    fn heterogeneous_machine_respected_end_to_end() {
+        // Mul-heavy DFG on a machine whose cluster 0 has no multiplier.
+        let mut b = DfgBuilder::new();
+        let mut prev = b.add_op(OpType::Mul, &[]);
+        for _ in 0..3 {
+            let other = b.add_op(OpType::Mul, &[]);
+            prev = b.add_op(OpType::Add, &[prev, other]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[3,0|1,2]").expect("machine");
+        let result = Binder::new(&machine).bind(&dfg);
+        assert!(result.binding.validate(&dfg, &machine).is_ok());
+        result
+            .schedule
+            .validate(&result.bound, &machine)
+            .expect("valid schedule");
+    }
+
+    #[test]
+    fn lm_pairs_order_latency_first() {
+        let dfg = two_chains(4);
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let r = Binder::new(&machine).bind(&dfg);
+        assert_eq!(r.lm(), (r.latency(), r.moves()));
+    }
+
+    #[test]
+    fn config_accessors() {
+        let machine = Machine::parse("[1,1]").expect("machine");
+        let binder = Binder::new(&machine);
+        assert_eq!(binder.config().gamma, 1.1);
+        assert_eq!(binder.machine().cluster_count(), 1);
+    }
+}

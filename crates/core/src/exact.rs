@@ -1,0 +1,267 @@
+//! Exhaustive/exact binding for small DFGs — an optimality oracle.
+//!
+//! The paper notes that "in some cases we were able to verify that the
+//! generated solutions were optimal (at our level of abstraction)". This
+//! module provides that verification: a depth-first search over all
+//! bindings, evaluating each leaf with the same list scheduler, with
+//! cluster-permutation symmetry breaking on homogeneous machines and
+//! early exit at provable lower bounds.
+//!
+//! Intended for graphs of a dozen operations or so; the search space is
+//! `∏ |TS(v)|` and the caller supplies a hard cap.
+
+use crate::driver::BindingResult;
+use vliw_datapath::Machine;
+use vliw_dfg::{critical_path_len, topo_order, Dfg, FuType};
+use vliw_sched::Binding;
+
+/// Exhaustively searches all bindings of `dfg`, returning the one whose
+/// list schedule minimizes `(L, N_MV)` lexicographically.
+///
+/// Returns `None` when the search space `∏ |TS(v)|` exceeds `max_leaves`
+/// (after symmetry reduction), so callers can skip oversized instances
+/// instead of hanging.
+///
+/// # Panics
+///
+/// Panics if some operation has an empty target set.
+///
+/// # Example
+///
+/// ```
+/// use vliw_binding::{exact, Binder};
+/// use vliw_datapath::Machine;
+/// use vliw_dfg::{DfgBuilder, OpType};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DfgBuilder::new();
+/// let x = b.add_op(OpType::Add, &[]);
+/// let y = b.add_op(OpType::Add, &[]);
+/// let _ = b.add_op(OpType::Add, &[x, y]);
+/// let dfg = b.finish()?;
+/// let machine = Machine::parse("[1,1|1,1]")?;
+/// let best = exact::bind_exhaustive(&dfg, &machine, 1 << 20).expect("small");
+/// let heuristic = Binder::new(&machine).bind(&dfg);
+/// assert_eq!(heuristic.latency(), best.latency()); // optimal here
+/// # Ok(())
+/// # }
+/// ```
+pub fn bind_exhaustive(dfg: &Dfg, machine: &Machine, max_leaves: u64) -> Option<BindingResult> {
+    let order = topo_order(dfg).expect("acyclic");
+    let target_sets: Vec<_> = order
+        .iter()
+        .map(|&v| {
+            let ts = machine.target_set(dfg.op_type(v));
+            assert!(!ts.is_empty(), "operation {v} has an empty target set");
+            ts
+        })
+        .collect();
+
+    // Size check (with first-op symmetry reduction on homogeneous
+    // machines: any cluster permutation maps a solution to an equally
+    // good one, so the first operation may be pinned).
+    let symmetric = machine.is_homogeneous();
+    let mut leaves: u64 = 1;
+    for (i, ts) in target_sets.iter().enumerate() {
+        let width = if i == 0 && symmetric { 1 } else { ts.len() as u64 };
+        leaves = leaves.saturating_mul(width);
+        if leaves > max_leaves {
+            return None;
+        }
+    }
+
+    if dfg.is_empty() {
+        let binding = Binding::unbound(dfg);
+        return Some(BindingResult::evaluate(dfg, machine, binding));
+    }
+
+    // Absolute lower bounds for early exit: the critical path, and the
+    // per-type work bound ceil(Σ dii / N(t)) (both binding-independent).
+    let lat = machine.op_latencies(dfg);
+    let mut lower = critical_path_len(dfg, &lat);
+    for t in FuType::REGULAR {
+        let work: u32 = dfg
+            .op_ids()
+            .filter(|&v| dfg.op_type(v).fu_type() == t)
+            .count() as u32
+            * machine.dii(t);
+        let n_t = machine.fu_count_total(t);
+        if n_t > 0 && work > 0 {
+            lower = lower.max(work.div_ceil(n_t));
+        }
+    }
+
+    let mut best: Option<BindingResult> = None;
+    let mut binding = Binding::unbound(dfg);
+    search(
+        dfg,
+        machine,
+        &order,
+        &target_sets,
+        0,
+        symmetric,
+        lower,
+        &mut binding,
+        &mut best,
+    );
+    best
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    dfg: &Dfg,
+    machine: &Machine,
+    order: &[vliw_dfg::OpId],
+    target_sets: &[Vec<vliw_datapath::ClusterId>],
+    depth: usize,
+    symmetric: bool,
+    lower: u32,
+    binding: &mut Binding,
+    best: &mut Option<BindingResult>,
+) {
+    // Early exit once a provably optimal solution (latency at the lower
+    // bound with zero transfers) is in hand.
+    if let Some(b) = best {
+        if b.latency() == lower && b.moves() == 0 {
+            return;
+        }
+    }
+    if depth == order.len() {
+        let result = BindingResult::evaluate(dfg, machine, binding.clone());
+        if best.as_ref().map_or(true, |b| result.lm() < b.lm()) {
+            *best = Some(result);
+        }
+        return;
+    }
+    let v = order[depth];
+    let choices: &[vliw_datapath::ClusterId] = if depth == 0 && symmetric {
+        &target_sets[0][..1]
+    } else {
+        &target_sets[depth]
+    };
+    for &c in choices {
+        binding.bind(v, c);
+        search(
+            dfg,
+            machine,
+            order,
+            target_sets,
+            depth + 1,
+            symmetric,
+            lower,
+            binding,
+            best,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Binder;
+    use vliw_dfg::{DfgBuilder, OpType};
+
+    #[test]
+    fn exhaustive_finds_obvious_optimum() {
+        // Two independent 3-chains on two 1-ALU clusters: optimum 3/0.
+        let mut b = DfgBuilder::new();
+        for _ in 0..2 {
+            let mut prev = b.add_op(OpType::Add, &[]);
+            for _ in 0..2 {
+                prev = b.add_op(OpType::Add, &[prev]);
+            }
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let best = bind_exhaustive(&dfg, &machine, 1 << 20).expect("small instance");
+        assert_eq!(best.lm(), (3, 0));
+    }
+
+    #[test]
+    fn returns_none_when_space_exceeds_cap() {
+        let mut b = DfgBuilder::new();
+        for _ in 0..20 {
+            b.add_op(OpType::Add, &[]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1|1,1]").expect("machine");
+        assert!(bind_exhaustive(&dfg, &machine, 1 << 10).is_none());
+    }
+
+    #[test]
+    fn symmetry_reduction_preserves_optimum() {
+        // Same instance searched with and without homogeneity must agree
+        // (a heterogeneous machine that happens to dominate the
+        // homogeneous one would differ; here we compare by re-running on
+        // an equivalent machine expressed heterogeneously is impossible,
+        // so instead check against the heuristic upper bound).
+        let mut b = DfgBuilder::new();
+        let x = b.add_op(OpType::Mul, &[]);
+        let y = b.add_op(OpType::Add, &[x]);
+        let z = b.add_op(OpType::Mul, &[]);
+        let _ = b.add_op(OpType::Add, &[y, z]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let exact = bind_exhaustive(&dfg, &machine, 1 << 20).expect("small");
+        let heuristic = Binder::new(&machine).bind(&dfg);
+        assert!(exact.lm() <= heuristic.lm());
+        assert!(exact.latency() <= heuristic.latency());
+    }
+
+    #[test]
+    fn heuristic_matches_exact_on_small_batch() {
+        // The paper's optimality observation, in miniature: across a
+        // family of small structured graphs, B-INIT+B-ITER should land on
+        // the exact optimum latency most of the time — here we require
+        // every instance to be within one cycle and count exact hits.
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let mut exact_hits = 0;
+        let mut total = 0;
+        for shape in 0..8u32 {
+            let mut b = DfgBuilder::new();
+            let i0 = b.add_op(OpType::Add, &[]);
+            let i1 = b.add_op(OpType::Mul, &[]);
+            let i2 = b.add_op(OpType::Add, &[]);
+            let m0 = b.add_op(
+                if shape & 1 == 0 { OpType::Add } else { OpType::Mul },
+                &[i0, i1],
+            );
+            let m1 = b.add_op(
+                if shape & 2 == 0 { OpType::Add } else { OpType::Mul },
+                &[i1, i2],
+            );
+            let top = b.add_op(OpType::Add, &[m0, m1]);
+            if shape & 4 != 0 {
+                let _ = b.add_op(OpType::Mul, &[top]);
+            }
+            let dfg = b.finish().expect("acyclic");
+            let exact = bind_exhaustive(&dfg, &machine, 1 << 22).expect("small");
+            let heuristic = Binder::new(&machine).bind(&dfg);
+            total += 1;
+            if heuristic.latency() == exact.latency() {
+                exact_hits += 1;
+            }
+            assert!(
+                heuristic.latency() <= exact.latency() + 1,
+                "shape {shape}: heuristic {} vs exact {}",
+                heuristic.latency(),
+                exact.latency()
+            );
+        }
+        assert!(
+            exact_hits * 2 >= total,
+            "heuristic should be optimal on at least half the batch ({exact_hits}/{total})"
+        );
+    }
+
+    #[test]
+    fn exact_respects_heterogeneous_target_sets() {
+        let mut b = DfgBuilder::new();
+        let m = b.add_op(OpType::Mul, &[]);
+        let _ = b.add_op(OpType::Add, &[m]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[2,0|1,1]").expect("machine");
+        let best = bind_exhaustive(&dfg, &machine, 1 << 10).expect("tiny");
+        assert!(best.binding.validate(&dfg, &machine).is_ok());
+    }
+}

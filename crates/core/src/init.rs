@@ -1,0 +1,277 @@
+//! B-INIT: the greedy initial binding phase (paper Section 3.1).
+//!
+//! Operations are visited in the three-component order of
+//! [`crate::order::binding_order`]; each is bound to the cluster of its
+//! target set minimizing Equation 1:
+//!
+//! ```text
+//! icost(v,c) = fucost(v,c)·α·dii(v) + buscost(v,c)·β·dii(move)
+//!            + trcost(v,c)·γ·lat(move)
+//! ```
+//!
+//! with `trcost = trcost_dd + trcost_cc` (direct data dependencies plus
+//! the common-consumer look-ahead). Reverse-order binding (Section 3.1.4)
+//! runs the identical algorithm on the transposed graph.
+
+use crate::config::BinderConfig;
+use crate::order::binding_order;
+use crate::profile::LoadProfiles;
+use vliw_datapath::{ClusterId, Machine};
+use vliw_dfg::{Dfg, OpId, OpType, Timing};
+use vliw_sched::Binding;
+
+/// `trcost_dd(v,c)`: the number of `v`'s operands whose (already bound)
+/// producers live in a different cluster than `c` — each needs a data
+/// transfer if `v` is bound to `c` (paper Figure 3, left).
+pub fn trcost_dd(dfg: &Dfg, binding: &Binding, v: OpId, c: ClusterId) -> u32 {
+    dfg.preds(v)
+        .iter()
+        .filter(|&&u| matches!(binding.get(u), Some(b) if b != c))
+        .count() as u32
+}
+
+/// `trcost_cc(v,c)`: the common-consumer look-ahead (paper Figure 3,
+/// right). For each (possibly unbound) consumer `u ∈ succ(v)`: if some
+/// *other* operand producer `z ∈ pred(u)` is already bound to a cluster
+/// different from `c`, a transfer will be needed no matter where `u` ends
+/// up, so add 1.
+pub fn trcost_cc(dfg: &Dfg, binding: &Binding, v: OpId, c: ClusterId) -> u32 {
+    dfg.succs(v)
+        .iter()
+        .filter(|&&u| {
+            dfg.preds(u)
+                .iter()
+                .any(|&z| z != v && matches!(binding.get(z), Some(b) if b != c))
+        })
+        .count() as u32
+}
+
+/// One run of the greedy initial binding for a fixed load-profile latency
+/// `l_pr` and direction.
+///
+/// `reverse = true` binds "from the output nodes" (Section 3.1.4) by
+/// running the same algorithm on the transposed DFG; the returned binding
+/// is expressed in original operation ids either way.
+///
+/// # Panics
+///
+/// Panics if some operation has an empty target set (the machine cannot
+/// execute the DFG) or if `l_pr` is below the critical-path length.
+pub fn initial_binding(
+    dfg: &Dfg,
+    machine: &Machine,
+    config: &BinderConfig,
+    l_pr: u32,
+    reverse: bool,
+) -> Binding {
+    if reverse {
+        let transposed = dfg.transposed();
+        return initial_binding_forward(&transposed, machine, config, l_pr);
+    }
+    initial_binding_forward(dfg, machine, config, l_pr)
+}
+
+fn initial_binding_forward(
+    dfg: &Dfg,
+    machine: &Machine,
+    config: &BinderConfig,
+    l_pr: u32,
+) -> Binding {
+    let lat = machine.op_latencies(dfg);
+    let timing = Timing::new(dfg, &lat, l_pr);
+    let order = binding_order(dfg, &timing);
+    let mut profiles = LoadProfiles::new(dfg, machine, &timing);
+    let mut binding = Binding::unbound(dfg);
+
+    let lat_move = machine.move_latency() as f64;
+    let dii_move = machine.dii_of_op(OpType::Move) as f64;
+
+    for v in order {
+        let ts = machine.target_set(dfg.op_type(v));
+        assert!(
+            !ts.is_empty(),
+            "operation {v} ({}) has an empty target set on {machine}",
+            dfg.op_type(v)
+        );
+        let dii_v = machine.dii_of_op(dfg.op_type(v)) as f64;
+        let mut best: Option<(f64, ClusterId)> = None;
+        for &c in &ts {
+            let fucost = profiles.fu_cost(config.cost_model, v, c);
+            let buscost = profiles.bus_cost(config.cost_model, &binding, v, c);
+            let trcost = (trcost_dd(dfg, &binding, v, c) + trcost_cc(dfg, &binding, v, c)) as f64;
+            let icost = fucost * config.alpha * dii_v
+                + buscost * config.beta * dii_move
+                + trcost * config.gamma * lat_move;
+            // Strict `<` keeps the lowest-indexed cluster on ties, making
+            // the greedy pass deterministic.
+            if best.map_or(true, |(b, _)| icost < b - 1e-12) {
+                best = Some((icost, c));
+            }
+        }
+        let (_, c) = best.expect("target set is non-empty");
+        profiles.commit(&binding, v, c);
+        binding.bind(v, c);
+    }
+    binding
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_dfg::DfgBuilder;
+
+    fn cl(i: usize) -> ClusterId {
+        ClusterId::from_index(i)
+    }
+
+    fn cfg() -> BinderConfig {
+        BinderConfig::default()
+    }
+
+    #[test]
+    fn trcost_dd_counts_cross_cluster_operands() {
+        // Figure 3: v1 bound to A, evaluating v on B -> dd cost 1.
+        let mut b = DfgBuilder::new();
+        let v1 = b.add_op(OpType::Add, &[]);
+        let v = b.add_op(OpType::Add, &[v1]);
+        let dfg = b.finish().expect("acyclic");
+        let mut bn = Binding::unbound(&dfg);
+        bn.bind(v1, cl(0));
+        assert_eq!(trcost_dd(&dfg, &bn, v, cl(1)), 1);
+        assert_eq!(trcost_dd(&dfg, &bn, v, cl(0)), 0);
+    }
+
+    #[test]
+    fn trcost_dd_ignores_unbound_producers() {
+        let mut b = DfgBuilder::new();
+        let u = b.add_op(OpType::Add, &[]);
+        let v = b.add_op(OpType::Add, &[u]);
+        let dfg = b.finish().expect("acyclic");
+        let bn = Binding::unbound(&dfg);
+        assert_eq!(trcost_dd(&dfg, &bn, v, cl(0)), 0);
+    }
+
+    #[test]
+    fn trcost_cc_detects_common_consumer() {
+        // Figure 3: v and v2 share consumer v3; v2 bound to A. Binding v
+        // to B forces a transfer regardless of v3's placement.
+        let mut b = DfgBuilder::new();
+        let v1 = b.add_op(OpType::Add, &[]);
+        let v = b.add_op(OpType::Add, &[v1]);
+        let v2 = b.add_op(OpType::Add, &[]);
+        let _v3 = b.add_op(OpType::Add, &[v, v2]);
+        let dfg = b.finish().expect("acyclic");
+        let mut bn = Binding::unbound(&dfg);
+        bn.bind(v1, cl(0));
+        bn.bind(v2, cl(0));
+        assert_eq!(trcost_cc(&dfg, &bn, v, cl(1)), 1);
+        assert_eq!(trcost_cc(&dfg, &bn, v, cl(0)), 0);
+        // Total figure-3 cost on B: dd(1) + cc(1) = 2.
+        assert_eq!(
+            trcost_dd(&dfg, &bn, v, cl(1)) + trcost_cc(&dfg, &bn, v, cl(1)),
+            2
+        );
+    }
+
+    #[test]
+    fn greedy_keeps_dependent_chain_together() {
+        // A single chain must stay in one cluster: transfers would only
+        // hurt and the load never exceeds one unit.
+        let mut b = DfgBuilder::new();
+        let mut prev = b.add_op(OpType::Add, &[]);
+        for _ in 0..5 {
+            prev = b.add_op(OpType::Add, &[prev]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let bn = initial_binding(&dfg, &machine, &cfg(), 6, false);
+        let first = bn.cluster_of(OpId::from_index(0));
+        for v in dfg.op_ids() {
+            assert_eq!(bn.cluster_of(v), first, "chain must not be split");
+        }
+    }
+
+    #[test]
+    fn greedy_splits_parallel_chains() {
+        // Two independent chains on two 1-ALU clusters: serialization
+        // pressure must push them apart.
+        let mut b = DfgBuilder::new();
+        for _ in 0..2 {
+            let mut prev = b.add_op(OpType::Add, &[]);
+            for _ in 0..3 {
+                prev = b.add_op(OpType::Add, &[prev]);
+            }
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let bn = initial_binding(&dfg, &machine, &cfg(), 4, false);
+        let c_first = bn.cluster_of(OpId::from_index(0));
+        let c_second = bn.cluster_of(OpId::from_index(4));
+        assert_ne!(c_first, c_second, "independent chains should split");
+        // And each chain stays whole.
+        for i in 0..4 {
+            assert_eq!(bn.cluster_of(OpId::from_index(i)), c_first);
+            assert_eq!(bn.cluster_of(OpId::from_index(4 + i)), c_second);
+        }
+    }
+
+    #[test]
+    fn binding_respects_target_sets() {
+        // Multiplications can only go to cluster 1.
+        let mut b = DfgBuilder::new();
+        let m1 = b.add_op(OpType::Mul, &[]);
+        let a1 = b.add_op(OpType::Add, &[m1]);
+        let m2 = b.add_op(OpType::Mul, &[a1]);
+        let _ = b.add_op(OpType::Add, &[m2]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[2,0|1,1]").expect("machine");
+        let bn = initial_binding(&dfg, &machine, &cfg(), 4, false);
+        assert!(bn.validate(&dfg, &machine).is_ok());
+        assert_eq!(bn.cluster_of(m1), cl(1));
+        assert_eq!(bn.cluster_of(m2), cl(1));
+    }
+
+    #[test]
+    fn reverse_direction_produces_valid_binding() {
+        let mut b = DfgBuilder::new();
+        let src = b.add_op(OpType::Add, &[]);
+        // One input fanning out to four outputs: the shape Section 3.1.4
+        // says benefits from reverse binding.
+        for _ in 0..4 {
+            let mid = b.add_op(OpType::Mul, &[src]);
+            let _ = b.add_op(OpType::Add, &[mid]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[2,1|2,1]").expect("machine");
+        let fwd = initial_binding(&dfg, &machine, &cfg(), 3, false);
+        let rev = initial_binding(&dfg, &machine, &cfg(), 3, true);
+        assert!(fwd.validate(&dfg, &machine).is_ok());
+        assert!(rev.validate(&dfg, &machine).is_ok());
+    }
+
+    #[test]
+    fn stretched_lpr_produces_valid_binding() {
+        let mut b = DfgBuilder::new();
+        let mut prev = b.add_op(OpType::Mul, &[]);
+        for i in 0..7 {
+            let other = b.add_op(OpType::Add, &[]);
+            prev = b.add_op(if i % 2 == 0 { OpType::Add } else { OpType::Mul }, &[prev, other]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        for stretch in 0..4 {
+            let bn = initial_binding(&dfg, &machine, &cfg(), 8 + stretch, false);
+            assert!(bn.validate(&dfg, &machine).is_ok(), "L_PR = {}", 8 + stretch);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty target set")]
+    fn unsupported_op_panics() {
+        let mut b = DfgBuilder::new();
+        let _ = b.add_op(OpType::Mul, &[]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[2,0]").expect("machine");
+        let _ = initial_binding(&dfg, &machine, &cfg(), 1, false);
+    }
+}

@@ -1,0 +1,391 @@
+//! B-ITER: iterative improvement by boundary perturbations
+//! (paper Section 3.2).
+//!
+//! Operations at cluster boundaries (those with an operand or result
+//! crossing clusters) are tentatively re-bound — singly and in pairs — and
+//! every perturbed binding is evaluated by an actual list schedule. The
+//! search is steepest-descent under the lexicographic quality vector
+//! `Q_U = (L, U_0, U_1, …)` (latency, then the number of regular
+//! operations completing at the last cycle, the cycle before, …), which
+//! rewards "thinning out" the tail of the schedule even when the latency
+//! itself cannot drop in a single step (Figure 6). A second descent under
+//! `Q_M = (L, N_MV)` then sheds redundant data transfers at equal latency.
+
+use crate::config::{BinderConfig, PairMode};
+use crate::driver::BindingResult;
+use vliw_datapath::{ClusterId, Machine};
+use vliw_dfg::{Dfg, OpId};
+use vliw_sched::{Binding, BoundDfg, Schedule};
+
+/// Which quality vector steers an improvement pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QualityKind {
+    /// `Q_U = (L, U_0, U_1, …)` — latency, then completion-tail counts.
+    Qu,
+    /// `Q_M = (L, N_MV)` — latency, then number of data transfers.
+    Qm,
+}
+
+/// A measured quality vector; smaller is better, compared
+/// lexicographically (latency first, then the tail vector).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Quality {
+    latency: u32,
+    tail: Vec<usize>,
+}
+
+impl Quality {
+    /// Measures a bound graph + schedule under the chosen vector.
+    pub fn measure(kind: QualityKind, bound: &BoundDfg, schedule: &Schedule) -> Self {
+        let tail = match kind {
+            QualityKind::Qu => schedule.completion_profile(bound),
+            QualityKind::Qm => vec![bound.move_count()],
+        };
+        Quality {
+            latency: schedule.latency(),
+            tail,
+        }
+    }
+
+    /// The schedule latency component `L`.
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// The secondary components (`U_i` profile or `[N_MV]`).
+    pub fn tail(&self) -> &[usize] {
+        &self.tail
+    }
+}
+
+/// One perturbation: re-bind up to two operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Perturbation {
+    first: (OpId, ClusterId),
+    second: Option<(OpId, ClusterId)>,
+}
+
+/// Runs the full B-ITER improvement: a `Q_U` steepest descent to minimum
+/// latency, then a `Q_M` descent to shed transfers (paper: "we first use
+/// `Q_U` to achieve the minimum latency and then use `Q_M` to minimize
+/// `N_MV`").
+pub fn improve(
+    dfg: &Dfg,
+    machine: &Machine,
+    config: &BinderConfig,
+    start: BindingResult,
+) -> BindingResult {
+    let mut current = improve_with(dfg, machine, config, start, QualityKind::Qu);
+    current = improve_with(dfg, machine, config, current, QualityKind::Qm);
+    current
+}
+
+/// A single steepest-descent pass under one quality vector.
+pub fn improve_with(
+    dfg: &Dfg,
+    machine: &Machine,
+    config: &BinderConfig,
+    start: BindingResult,
+    kind: QualityKind,
+) -> BindingResult {
+    let mut current = start;
+    let mut quality = Quality::measure(kind, &current.bound, &current.schedule);
+    for _ in 0..config.max_iterations {
+        let candidates = perturbations(dfg, machine, config, &current.binding);
+        let mut best: Option<(Quality, BindingResult)> = None;
+        for p in candidates {
+            let mut binding = current.binding.clone();
+            binding.bind(p.first.0, p.first.1);
+            if let Some((v, c)) = p.second {
+                binding.bind(v, c);
+            }
+            let result = BindingResult::evaluate(dfg, machine, binding);
+            let q = Quality::measure(kind, &result.bound, &result.schedule);
+            if best.as_ref().map_or(true, |(bq, _)| q < *bq) {
+                best = Some((q, result));
+            }
+        }
+        match best {
+            Some((q, result)) if q < quality => {
+                quality = q;
+                current = result;
+            }
+            _ => break,
+        }
+    }
+    current
+}
+
+/// Enumerates boundary perturbations of a binding: single re-binds of
+/// boundary operations to the clusters of their neighbors, plus joint
+/// re-binds of operation pairs according to [`PairMode`].
+fn perturbations(
+    dfg: &Dfg,
+    machine: &Machine,
+    config: &BinderConfig,
+    binding: &Binding,
+) -> Vec<Perturbation> {
+    let mut out = Vec::new();
+    // Clusters where v's operands/results reside, minus its own,
+    // restricted to TS(v).
+    let neighbor_clusters = |v: OpId| -> Vec<ClusterId> {
+        let own = binding.cluster_of(v);
+        let mut cs: Vec<ClusterId> = dfg
+            .preds(v)
+            .iter()
+            .chain(dfg.succs(v))
+            .map(|&u| binding.cluster_of(u))
+            .filter(|&c| c != own && machine.supports(c, dfg.op_type(v)))
+            .collect();
+        cs.sort_unstable();
+        cs.dedup();
+        cs
+    };
+
+    let boundary: Vec<OpId> = dfg
+        .op_ids()
+        .filter(|&v| {
+            let own = binding.cluster_of(v);
+            dfg.preds(v)
+                .iter()
+                .chain(dfg.succs(v))
+                .any(|&u| binding.cluster_of(u) != own)
+        })
+        .collect();
+
+    for &v in &boundary {
+        for c in neighbor_clusters(v) {
+            out.push(Perturbation {
+                first: (v, c),
+                second: None,
+            });
+        }
+    }
+
+    match config.pair_mode {
+        PairMode::None => {}
+        PairMode::Adjacent => {
+            // Pairs joined by a cluster-crossing dependence: swap their
+            // clusters or collapse both onto one cluster (Figure 5 moves a
+            // producer across the boundary; jointly moving its partner
+            // covers the cases a single move cannot reach).
+            for (u, v) in dfg.edges() {
+                let cu = binding.cluster_of(u);
+                let cv = binding.cluster_of(v);
+                if cu == cv {
+                    continue;
+                }
+                if machine.supports(cv, dfg.op_type(u)) && machine.supports(cu, dfg.op_type(v)) {
+                    out.push(Perturbation {
+                        first: (u, cv),
+                        second: Some((v, cu)),
+                    });
+                }
+                let mut joint: Vec<ClusterId> = neighbor_clusters(u);
+                joint.extend(neighbor_clusters(v));
+                joint.sort_unstable();
+                joint.dedup();
+                for c in joint {
+                    if machine.supports(c, dfg.op_type(u)) && machine.supports(c, dfg.op_type(v))
+                    {
+                        let first = if binding.cluster_of(u) != c {
+                            (u, c)
+                        } else {
+                            (v, c)
+                        };
+                        let second = if binding.cluster_of(v) != c && first.0 != v {
+                            Some((v, c))
+                        } else {
+                            None
+                        };
+                        out.push(Perturbation { first, second });
+                    }
+                }
+            }
+        }
+        PairMode::All => {
+            for (i, &u) in boundary.iter().enumerate() {
+                for &v in &boundary[i + 1..] {
+                    for cu in neighbor_clusters(u) {
+                        for cv in neighbor_clusters(v) {
+                            out.push(Perturbation {
+                                first: (u, cu),
+                                second: Some((v, cv)),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Binder;
+    use vliw_dfg::{DfgBuilder, OpType};
+
+    fn cl(i: usize) -> ClusterId {
+        ClusterId::from_index(i)
+    }
+
+    /// A deliberately poor hand binding that B-ITER must repair: a chain
+    /// zig-zagged across clusters.
+    #[test]
+    fn iter_heals_zigzag_chain() {
+        let mut b = DfgBuilder::new();
+        let mut prev = b.add_op(OpType::Add, &[]);
+        for _ in 0..5 {
+            prev = b.add_op(OpType::Add, &[prev]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[2,1|2,1]").expect("machine");
+        let zigzag: Vec<ClusterId> = (0..6).map(|i| cl(i % 2)).collect();
+        let bad = Binding::new(&dfg, &machine, zigzag).expect("valid");
+        let start = BindingResult::evaluate(&dfg, &machine, bad);
+        assert!(start.latency() > 6, "zigzag pays for its transfers");
+        let improved = improve(&dfg, &machine, &BinderConfig::default(), start);
+        assert_eq!(improved.latency(), 6, "chain belongs on one cluster");
+        assert_eq!(improved.moves(), 0);
+    }
+
+    #[test]
+    fn qm_phase_sheds_redundant_transfers() {
+        // Two independent 2-op chains forced to cross clusters; latency is
+        // already minimal (2 with 2 ALUs per cluster) but moves are not.
+        let mut b = DfgBuilder::new();
+        for _ in 0..2 {
+            let p = b.add_op(OpType::Add, &[]);
+            let _ = b.add_op(OpType::Add, &[p]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[2,1|2,1]").expect("machine");
+        let crossed = Binding::new(&dfg, &machine, vec![cl(0), cl(1), cl(1), cl(0)]).expect("ok");
+        let start = BindingResult::evaluate(&dfg, &machine, crossed);
+        assert_eq!(start.moves(), 2);
+        let improved = improve(&dfg, &machine, &BinderConfig::default(), start);
+        assert_eq!(improved.moves(), 0, "no transfer is ever needed here");
+        assert_eq!(improved.latency(), 2);
+    }
+
+    #[test]
+    fn quality_vectors_order_lexicographically() {
+        let a = Quality {
+            latency: 5,
+            tail: vec![2, 1, 0],
+        };
+        let b = Quality {
+            latency: 5,
+            tail: vec![1, 9, 9],
+        };
+        let c = Quality {
+            latency: 4,
+            tail: vec![9, 9, 9, 9],
+        };
+        assert!(b < a, "fewer ops at the last cycle wins at equal latency");
+        assert!(c < b, "lower latency always wins");
+    }
+
+    #[test]
+    fn qu_distinguishes_equal_latency_bindings() {
+        // Figure 6's insight: at equal L, fewer completions in the final
+        // cycle is strictly better under Q_U but invisible to Q_M.
+        let mk = |finishes: Vec<u32>| {
+            // Build a star so every op is regular and independent.
+            let mut b = DfgBuilder::new();
+            for _ in 0..finishes.len() {
+                b.add_op(OpType::Add, &[]);
+            }
+            let dfg = b.finish().expect("acyclic");
+            let machine = Machine::parse("[4,1]").expect("machine");
+            let bn = Binding::new(&dfg, &machine, vec![cl(0); finishes.len()]).expect("ok");
+            let bound = BoundDfg::new(&dfg, &machine, &bn);
+            let starts: Vec<u32> = finishes.iter().map(|&f| f - 1).collect();
+            let lat = bound.latencies(&machine);
+            (bound, Schedule::from_starts(starts, &lat))
+        };
+        let (bound_a, sched_a) = mk(vec![3, 3, 2, 1]);
+        let (bound_b, sched_b) = mk(vec![3, 2, 2, 1]);
+        let qa = Quality::measure(QualityKind::Qu, &bound_a, &sched_a);
+        let qb = Quality::measure(QualityKind::Qu, &bound_b, &sched_b);
+        assert!(qb < qa);
+        let ma = Quality::measure(QualityKind::Qm, &bound_a, &sched_a);
+        let mb = Quality::measure(QualityKind::Qm, &bound_b, &sched_b);
+        assert_eq!(ma, mb, "Q_M cannot tell them apart");
+    }
+
+    #[test]
+    fn improvement_never_worsens_quality() {
+        // On a batch of structured graphs, B-ITER output must never be
+        // worse than its input under (L, N_MV).
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        for seed in 0..6u32 {
+            let mut b = DfgBuilder::new();
+            let mut layer = vec![b.add_op(OpType::Add, &[]), b.add_op(OpType::Mul, &[])];
+            for i in 0..6 {
+                let kind = if (seed + i) % 3 == 0 { OpType::Mul } else { OpType::Add };
+                let n = b.add_op(kind, &[layer[0], layer[1]]);
+                layer = vec![layer[1], n];
+            }
+            let dfg = b.finish().expect("acyclic");
+            let start = Binder::new(&machine).bind_initial(&dfg);
+            let (l0, m0) = (start.latency(), start.moves());
+            let improved = improve(&dfg, &machine, &BinderConfig::default(), start);
+            assert!(
+                (improved.latency(), improved.moves()) <= (l0, m0),
+                "seed {seed}: ({}, {}) vs ({l0}, {m0})",
+                improved.latency(),
+                improved.moves()
+            );
+        }
+    }
+
+    #[test]
+    fn pair_mode_none_still_improves_singles() {
+        let mut b = DfgBuilder::new();
+        let mut prev = b.add_op(OpType::Add, &[]);
+        for _ in 0..3 {
+            prev = b.add_op(OpType::Add, &[prev]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let bad = Binding::new(&dfg, &machine, vec![cl(0), cl(1), cl(0), cl(1)]).expect("ok");
+        let start = BindingResult::evaluate(&dfg, &machine, bad);
+        let cfg = BinderConfig {
+            pair_mode: PairMode::None,
+            ..BinderConfig::default()
+        };
+        let improved = improve(&dfg, &machine, &cfg, start);
+        assert_eq!(improved.latency(), 4);
+    }
+
+    #[test]
+    fn all_pairs_mode_matches_or_beats_adjacent() {
+        let mut b = DfgBuilder::new();
+        let x0 = b.add_op(OpType::Add, &[]);
+        let x1 = b.add_op(OpType::Mul, &[]);
+        let x2 = b.add_op(OpType::Add, &[x0, x1]);
+        let x3 = b.add_op(OpType::Mul, &[x0]);
+        let x4 = b.add_op(OpType::Add, &[x2, x3]);
+        let _ = b.add_op(OpType::Add, &[x4, x1]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let start = Binder::new(&machine).bind_initial(&dfg);
+        let adj = improve(
+            &dfg,
+            &machine,
+            &BinderConfig::default(),
+            BindingResult::evaluate(&dfg, &machine, start.binding.clone()),
+        );
+        let cfg_all = BinderConfig {
+            pair_mode: PairMode::All,
+            ..BinderConfig::default()
+        };
+        let all = improve(&dfg, &machine, &cfg_all, start);
+        assert!(all.latency() <= adj.latency());
+    }
+}

@@ -1,0 +1,66 @@
+//! High-quality operation binding for clustered VLIW datapaths —
+//! the algorithm of Lapinskii, Jacome and de Veciana (DAC 2001).
+//!
+//! The binding problem: given a basic block's dataflow graph and a
+//! clustered datapath, choose a cluster `bn(v) ∈ TS(v)` for every
+//! operation so that the resulting *bound* graph (with inter-cluster
+//! `move`s materialized) schedules in as few cycles as possible, with the
+//! number of data transfers as the secondary figure of merit.
+//!
+//! The algorithm has two phases plus a driver:
+//!
+//! * [`init`] — **B-INIT**, a greedy initial binding ordered by
+//!   `(alap, mobility, consumer count)` and driven by the cost function
+//!   `icost(v,c) = α·fucost·dii(v) + β·buscost·dii(move) + γ·trcost·lat(move)`
+//!   built on force-directed-style load profiles (paper Section 3.1);
+//! * [`iter`] — **B-ITER**, iterative improvement by boundary
+//!   perturbations under the lexicographic quality vectors
+//!   `Q_U = (L, U_0, U_1, …)` then `Q_M = (L, N_MV)` (Section 3.2);
+//! * [`Binder`] — the driver (Section 3): sweeps the load-profile latency
+//!   `L_PR` (Section 3.1.3) and the binding direction (Section 3.1.4),
+//!   evaluates every candidate with a real list schedule, and hands the
+//!   best initial binding to B-ITER.
+//!
+//! An exact branch-and-bound binder ([`exact`]) serves as an optimality
+//! oracle for small graphs, mirroring the paper's observation that B-INIT
+//! solutions are frequently optimal.
+//!
+//! # Example
+//!
+//! ```
+//! use vliw_binding::Binder;
+//! use vliw_datapath::Machine;
+//! use vliw_dfg::{DfgBuilder, OpType};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A small mul/add tree on a two-cluster machine.
+//! let mut b = DfgBuilder::new();
+//! let m1 = b.add_op(OpType::Mul, &[]);
+//! let m2 = b.add_op(OpType::Mul, &[]);
+//! let a1 = b.add_op(OpType::Add, &[m1, m2]);
+//! let m3 = b.add_op(OpType::Mul, &[]);
+//! let _ = b.add_op(OpType::Add, &[a1, m3]);
+//! let dfg = b.finish()?;
+//!
+//! let machine = Machine::parse("[1,1|1,1]")?;
+//! let result = Binder::new(&machine).bind(&dfg);
+//! assert!(result.latency() >= 3);
+//! result.schedule.validate(&result.bound, &machine)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod driver;
+pub mod exact;
+pub mod init;
+pub mod iter;
+pub mod order;
+pub mod profile;
+
+pub use config::{BinderConfig, CostModel, PairMode};
+pub use driver::{Binder, BindingResult};
+pub use iter::{Quality, QualityKind};

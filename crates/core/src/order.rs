@@ -1,0 +1,146 @@
+//! The three-component binding order (paper Section 3.1.1).
+//!
+//! Operations are ranked lexicographically by:
+//!
+//! 1. `alap(v)` — earlier ALAP levels first, so the order is
+//!    "level-oriented" and cluster load can be estimated without fixing
+//!    start times;
+//! 2. mobility `μ(v)` — lower mobility (more constrained) first;
+//! 3. number of consumers of the result — more consumers first (their
+//!    placement constrains more of the remaining graph).
+//!
+//! Ties beyond that are broken by operation id, keeping the whole
+//! algorithm deterministic. The order guarantees that when an operation
+//! is bound, all its predecessors already are (ALAP of a consumer strictly
+//! exceeds its producers' in a level-compatible sense — see
+//! `order_is_topological` below, which pins this invariant down by test).
+
+use vliw_dfg::{Dfg, OpId, Timing};
+
+/// Computes the binding order for a DFG under the given timing
+/// (ASAP/ALAP computed with `L_TG = L_PR`).
+///
+/// For the paper's Figure 2 graph the result is `v1 v2 v3 v4 v5 v6`.
+///
+/// # Example
+///
+/// ```
+/// use vliw_binding::order::binding_order;
+/// use vliw_dfg::{DfgBuilder, OpType, Timing};
+///
+/// # fn main() -> Result<(), vliw_dfg::DfgError> {
+/// let mut b = DfgBuilder::new();
+/// let v1 = b.add_op(OpType::Add, &[]);
+/// let v2 = b.add_op(OpType::Add, &[v1]);
+/// let dfg = b.finish()?;
+/// let timing = Timing::with_critical_path(&dfg, &[1, 1]);
+/// assert_eq!(binding_order(&dfg, &timing), vec![v1, v2]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn binding_order(dfg: &Dfg, timing: &Timing) -> Vec<OpId> {
+    let mut order: Vec<OpId> = dfg.op_ids().collect();
+    order.sort_by_key(|&v| {
+        (
+            timing.alap(v),
+            timing.mobility(v),
+            std::cmp::Reverse(dfg.out_degree(v)),
+            v,
+        )
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_dfg::{DfgBuilder, OpType};
+
+    /// The DFG of the paper's Figure 2.
+    fn figure2() -> (Dfg, Vec<OpId>) {
+        let mut b = DfgBuilder::new();
+        let v1 = b.add_op(OpType::Add, &[]);
+        let v2 = b.add_op(OpType::Add, &[v1]);
+        let v3 = b.add_op(OpType::Add, &[]);
+        let v4 = b.add_op(OpType::Add, &[v2, v3]);
+        let v5 = b.add_op(OpType::Add, &[]);
+        let v6 = b.add_op(OpType::Add, &[v4, v5]);
+        (b.finish().expect("acyclic"), vec![v1, v2, v3, v4, v5, v6])
+    }
+
+    #[test]
+    fn figure2_order_matches_paper() {
+        let (dfg, v) = figure2();
+        let timing = Timing::with_critical_path(&dfg, &vec![1; dfg.len()]);
+        let order = binding_order(&dfg, &timing);
+        assert_eq!(order, v, "paper says the order is v1 v2 v3 v4 v5 v6");
+    }
+
+    #[test]
+    fn order_is_topological() {
+        // Producers always precede consumers: alap(u) < alap(v) whenever
+        // u -> v, since a producer must be able to start strictly earlier.
+        let (dfg, _) = figure2();
+        let timing = Timing::with_critical_path(&dfg, &vec![1; dfg.len()]);
+        let order = binding_order(&dfg, &timing);
+        let mut pos = vec![0; dfg.len()];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        for (u, v) in dfg.edges() {
+            assert!(pos[u.index()] < pos[v.index()], "{u} must come before {v}");
+        }
+    }
+
+    #[test]
+    fn lower_mobility_wins_within_level() {
+        // Two ops at the same ALAP level; the one on the longer chain has
+        // less mobility and must come first.
+        let mut b = DfgBuilder::new();
+        let head = b.add_op(OpType::Add, &[]);
+        let critical = b.add_op(OpType::Add, &[head]); // alap 1, mobility 0
+        let mobile = b.add_op(OpType::Add, &[]); //        alap 1, mobility 1
+        let _tail = b.add_op(OpType::Add, &[critical, mobile]);
+        let dfg = b.finish().expect("acyclic");
+        let timing = Timing::with_critical_path(&dfg, &vec![1; dfg.len()]);
+        let order = binding_order(&dfg, &timing);
+        let pos = |x: OpId| order.iter().position(|&o| o == x).expect("present");
+        assert!(pos(critical) < pos(mobile));
+    }
+
+    #[test]
+    fn more_consumers_wins_at_equal_level_and_mobility() {
+        // Both sources are mobile by one level; `shared` feeds two
+        // consumers, `single` feeds one -> `shared` first.
+        let mut b = DfgBuilder::new();
+        let chain0 = b.add_op(OpType::Add, &[]);
+        let chain1 = b.add_op(OpType::Add, &[chain0]);
+        let _chain2 = b.add_op(OpType::Add, &[chain1]);
+        let shared = b.add_op(OpType::Add, &[]);
+        let single = b.add_op(OpType::Add, &[]);
+        let _c1 = b.add_op(OpType::Add, &[shared, single]);
+        let _c2 = b.add_op(OpType::Add, &[shared]);
+        let dfg = b.finish().expect("acyclic");
+        let timing = Timing::with_critical_path(&dfg, &vec![1; dfg.len()]);
+        assert_eq!(timing.alap(shared), timing.alap(single));
+        assert_eq!(timing.mobility(shared), timing.mobility(single));
+        let order = binding_order(&dfg, &timing);
+        let pos = |x: OpId| order.iter().position(|&o| o == x).expect("present");
+        assert!(pos(shared) < pos(single));
+    }
+
+    #[test]
+    fn stretched_lpr_preserves_topological_property() {
+        let (dfg, _) = figure2();
+        let lat = vec![1; dfg.len()];
+        let timing = Timing::new(&dfg, &lat, 9);
+        let order = binding_order(&dfg, &timing);
+        let mut pos = vec![0; dfg.len()];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        for (u, v) in dfg.edges() {
+            assert!(pos[u.index()] < pos[v.index()]);
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! Load profiles and serialization penalties (paper Section 3.1.2).
+//!
+//! B-INIT estimates resource pressure with a relaxation in the spirit of
+//! force-directed scheduling: every operation spreads one unit of load
+//! uniformly over its time frame `[asap(v), alap(v) + dii(v) − 1]`, with
+//! intensity `1/(μ(v)+1)`. Profiles exist at three levels:
+//!
+//! * the **centralized datapath** profile `load_DP(t,τ)` — what an ideal
+//!   unclustered machine with all `N(t)` units would experience; computed
+//!   once, it is the yardstick clusters are compared against;
+//! * per-**cluster** profiles `load_CL(c,t,τ)` over *bound* operations
+//!   only, normalized by `N(c,t)`;
+//! * the **bus** profile over the data transfers committed so far, each
+//!   placed "on the side" right after its producer completes, normalized
+//!   by `N_B`.
+//!
+//! [`LoadProfiles::fu_cost`] and [`LoadProfiles::bus_cost`] count the
+//! cycles by which a tentative binding would push a profile into overload
+//! — the `fucost`/`buscost` terms of the paper's Equation 1.
+
+use crate::config::CostModel;
+use vliw_datapath::{ClusterId, Machine};
+use vliw_dfg::{Dfg, FuType, OpId, Timing};
+use vliw_sched::Binding;
+
+/// Tolerance for floating-point profile comparisons: a profile exactly at
+/// the threshold is *not* overloaded.
+const EPS: f64 = 1e-9;
+
+/// The mutable load-profile state carried through one B-INIT run.
+///
+/// # Example
+///
+/// ```
+/// use vliw_binding::profile::LoadProfiles;
+/// use vliw_binding::CostModel;
+/// use vliw_datapath::Machine;
+/// use vliw_dfg::{DfgBuilder, OpType, Timing};
+/// use vliw_sched::Binding;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DfgBuilder::new();
+/// let v = b.add_op(OpType::Add, &[]);
+/// let dfg = b.finish()?;
+/// let machine = Machine::parse("[1,1|1,1]")?;
+/// let timing = Timing::with_critical_path(&dfg, &[1]);
+/// let binding = Binding::unbound(&dfg);
+/// let profiles = LoadProfiles::new(&dfg, &machine, &timing);
+/// let c0 = machine.cluster_ids().next().unwrap();
+/// // An empty cluster can absorb the op without serialization.
+/// let model = CostModel::ExcessMass;
+/// assert_eq!(profiles.fu_cost(model, v, c0), 0.0);
+/// assert_eq!(profiles.bus_cost(model, &binding, v, c0), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoadProfiles<'a> {
+    dfg: &'a Dfg,
+    machine: &'a Machine,
+    timing: &'a Timing,
+    horizon: usize,
+    /// Centralized profile per regular FU type, normalized by `N(t)`.
+    dp: [Vec<f64>; 2],
+    /// Per-cluster profile per regular FU type, normalized by `N(c,t)`.
+    cl: Vec<[Vec<f64>; 2]>,
+    /// Bus profile over committed transfers, normalized by `N_B`.
+    bus: Vec<f64>,
+    /// Transfers already accounted in `bus`, keyed by
+    /// (producer, destination cluster) — matching the bound-DFG dedup.
+    committed: std::collections::HashSet<(OpId, ClusterId)>,
+}
+
+impl<'a> LoadProfiles<'a> {
+    /// Builds the centralized profile and empty cluster/bus profiles.
+    ///
+    /// `timing` must have been computed on `dfg` with `L_TG = L_PR`
+    /// (the load-profile latency being explored).
+    pub fn new(dfg: &'a Dfg, machine: &'a Machine, timing: &'a Timing) -> Self {
+        let max_dii = FuType::ALL.iter().map(|&t| machine.dii(t)).max().unwrap_or(1);
+        let horizon = (2 * timing.target_latency() + max_dii + 2) as usize;
+        let mut dp = [vec![0.0; horizon], vec![0.0; horizon]];
+        for v in dfg.op_ids() {
+            let t = dfg.op_type(v).fu_type();
+            if !t.is_regular() {
+                continue;
+            }
+            let n_t = machine.fu_count_total(t) as f64;
+            let (lo, hi, w) = op_load(dfg, machine, timing, v);
+            for tau in lo..=hi.min(horizon as u32 - 1) {
+                dp[t.index()][tau as usize] += w / n_t;
+            }
+        }
+        let cl = machine
+            .cluster_ids()
+            .map(|_| [vec![0.0; horizon], vec![0.0; horizon]])
+            .collect();
+        LoadProfiles {
+            dfg,
+            machine,
+            timing,
+            horizon,
+            dp,
+            cl,
+            bus: vec![0.0; horizon],
+            committed: std::collections::HashSet::new(),
+        }
+    }
+
+    /// `fucost(v,c)`: the serialization penalty of binding `v` to `c`,
+    /// measured against the threshold `max(load_DP(t,τ), 1)` — a cluster
+    /// pays nothing while it is no more (normalized-)loaded than the
+    /// equivalent centralized datapath (Section 3.1.2).
+    ///
+    /// Under [`CostModel::BinaryCycles`] this counts overloaded cycles of
+    /// the temporarily updated profile (the paper's literal wording); the
+    /// mass-based models integrate the overload mass instead, which does
+    /// not saturate once a cycle is overloaded (see [`CostModel`] for the
+    /// variants and the default).
+    pub fn fu_cost(&self, model: CostModel, v: OpId, c: ClusterId) -> f64 {
+        let t = self.dfg.op_type(v).fu_type();
+        debug_assert!(t.is_regular(), "fu_cost is for regular operations");
+        let n_ct = self.machine.fu_count(c, t);
+        debug_assert!(n_ct > 0, "candidate cluster must be in TS(v)");
+        let (lo, hi, w) = op_load(self.dfg, self.machine, self.timing, v);
+        let contribution = w / n_ct as f64;
+        let cl = &self.cl[c.index()][t.index()];
+        let dp = &self.dp[t.index()];
+        let binary = || {
+            let mut cost = 0.0;
+            for tau in 0..self.horizon {
+                let mut load = cl[tau];
+                if (tau as u32) >= lo && (tau as u32) <= hi {
+                    load += contribution;
+                }
+                if load > dp[tau].max(1.0) + EPS {
+                    cost += 1.0;
+                }
+            }
+            cost
+        };
+        let mass = |marginal: bool| {
+            // Only cycles the candidate touches can change the mass.
+            let mut cost = 0.0;
+            for tau in lo..=hi.min(self.horizon as u32 - 1) {
+                let thr = dp[tau as usize].max(1.0);
+                let after = (cl[tau as usize] + contribution - thr).max(0.0);
+                let before = if marginal {
+                    (cl[tau as usize] - thr).max(0.0)
+                } else {
+                    0.0
+                };
+                cost += after - before;
+            }
+            cost
+        };
+        match model {
+            CostModel::BinaryCycles => binary(),
+            CostModel::ExcessMass => mass(true),
+            CostModel::TotalExcess => mass(false),
+            CostModel::Hybrid => binary() + mass(false),
+        }
+    }
+
+    /// `buscost(v,c)`: the bus serialization penalty — the overload of
+    /// the bus profile including the tentative transfers needed to
+    /// deliver `v`'s cross-cluster operands (`load_BUS > 1`,
+    /// Section 3.1.2), measured per [`CostModel`] like
+    /// [`LoadProfiles::fu_cost`].
+    ///
+    /// Only operands whose producers are already bound contribute
+    /// (the binding order guarantees that is all of them in B-INIT).
+    pub fn bus_cost(&self, model: CostModel, binding: &Binding, v: OpId, c: ClusterId) -> f64 {
+        let mut tentative = vec![0.0; 0];
+        let n_b = self.machine.bus_count() as f64;
+        for &u in self.dfg.preds(v) {
+            let Some(bu) = binding.get(u) else { continue };
+            if bu == c || self.committed.contains(&(u, c)) {
+                continue;
+            }
+            if tentative.is_empty() {
+                tentative = vec![0.0; self.horizon];
+            }
+            let (lo, hi, w) = move_load(self.dfg, self.machine, self.timing, u, v);
+            for tau in lo..=hi.min(self.horizon as u32 - 1) {
+                tentative[tau as usize] += w / n_b;
+            }
+        }
+        let binary = || {
+            let mut cost = 0.0;
+            for tau in 0..self.horizon {
+                let extra = if tentative.is_empty() { 0.0 } else { tentative[tau] };
+                if self.bus[tau] + extra > 1.0 + EPS {
+                    cost += 1.0;
+                }
+            }
+            cost
+        };
+        let mass = |marginal: bool| {
+            if tentative.is_empty() {
+                return 0.0;
+            }
+            let mut cost = 0.0;
+            for tau in 0..self.horizon {
+                if tentative[tau] == 0.0 {
+                    continue;
+                }
+                let after = (self.bus[tau] + tentative[tau] - 1.0).max(0.0);
+                let before = if marginal {
+                    (self.bus[tau] - 1.0).max(0.0)
+                } else {
+                    0.0
+                };
+                cost += after - before;
+            }
+            cost
+        };
+        match model {
+            CostModel::BinaryCycles => binary(),
+            CostModel::ExcessMass => mass(true),
+            CostModel::TotalExcess => mass(false),
+            CostModel::Hybrid => binary() + mass(false),
+        }
+    }
+
+    /// Commits the binding `v → c`: adds `v`'s load to the cluster profile
+    /// and the loads of its newly required incoming transfers to the bus
+    /// profile (deduplicated per (producer, destination), mirroring the
+    /// bound-DFG construction).
+    pub fn commit(&mut self, binding: &Binding, v: OpId, c: ClusterId) {
+        let t = self.dfg.op_type(v).fu_type();
+        let n_ct = self.machine.fu_count(c, t) as f64;
+        let (lo, hi, w) = op_load(self.dfg, self.machine, self.timing, v);
+        let profile = &mut self.cl[c.index()][t.index()];
+        for tau in lo..=hi.min(self.horizon as u32 - 1) {
+            profile[tau as usize] += w / n_ct;
+        }
+        let n_b = self.machine.bus_count() as f64;
+        for &u in self.dfg.preds(v) {
+            let Some(bu) = binding.get(u) else { continue };
+            if bu == c || !self.committed.insert((u, c)) {
+                continue;
+            }
+            let (lo, hi, w) = move_load(self.dfg, self.machine, self.timing, u, v);
+            for tau in lo..=hi.min(self.horizon as u32 - 1) {
+                self.bus[tau as usize] += w / n_b;
+            }
+        }
+    }
+
+    /// Whether a transfer of `u`'s value to cluster `c` has already been
+    /// committed by an earlier binding decision (in which case a further
+    /// consumer of `u` in `c` needs no new transfer).
+    pub fn has_committed_transfer(&self, u: OpId, c: ClusterId) -> bool {
+        self.committed.contains(&(u, c))
+    }
+
+    /// The centralized profile value `load_DP(t,τ)` (exposed for tests and
+    /// the ablation tooling).
+    pub fn dp_load(&self, t: FuType, tau: u32) -> f64 {
+        self.dp[t.index()][tau as usize]
+    }
+
+    /// The cluster profile value `load_CL(c,t,τ)`.
+    pub fn cluster_load(&self, c: ClusterId, t: FuType, tau: u32) -> f64 {
+        self.cl[c.index()][t.index()][tau as usize]
+    }
+
+    /// The bus profile value `load_BUS(τ)`.
+    pub fn bus_load(&self, tau: u32) -> f64 {
+        self.bus[tau as usize]
+    }
+
+    /// Number of profile steps tracked.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+}
+
+/// Time frame and intensity of a regular operation's load: it occupies
+/// `[asap(v), alap(v) + dii(v) − 1]` with weight `1/(μ(v)+1)` — for a
+/// fully pipelined unit this spreads exactly one unit of load over the
+/// `μ+1` possible start steps; a larger `dii` extends the occupancy beyond
+/// the time frame (paper: "the load is extended beyond the operation's
+/// time frame").
+fn op_load(dfg: &Dfg, machine: &Machine, timing: &Timing, v: OpId) -> (u32, u32, f64) {
+    let dii = machine.dii_of_op(dfg.op_type(v));
+    let lo = timing.asap(v);
+    let hi = timing.alap(v) + dii - 1;
+    let w = 1.0 / (timing.mobility(v) as f64 + 1.0);
+    (lo, hi, w)
+}
+
+/// Time frame and intensity of a tentative transfer for edge `u → v`:
+/// placed "on the side" right after the producer completes, with mobility
+/// `max(μ(v) − lat(move), 0)` (Section 3.1.2, "Bus serialization
+/// penalty").
+fn move_load(dfg: &Dfg, machine: &Machine, timing: &Timing, u: OpId, v: OpId) -> (u32, u32, f64) {
+    let lo = timing.asap(u) + machine.latency(dfg.op_type(u));
+    let mobility = timing.mobility(v).saturating_sub(machine.move_latency());
+    let dii = machine.dii(FuType::Bus);
+    let hi = lo + mobility + dii - 1;
+    let w = 1.0 / (mobility as f64 + 1.0);
+    (lo, hi, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_dfg::{DfgBuilder, OpType};
+
+    fn cl(i: usize) -> ClusterId {
+        ClusterId::from_index(i)
+    }
+
+    /// Four independent adds, L_PR = 1: every op pinned to step 0 with
+    /// weight 1.
+    #[test]
+    fn centralized_profile_sums_pinned_ops() {
+        let mut b = DfgBuilder::new();
+        for _ in 0..4 {
+            b.add_op(OpType::Add, &[]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let timing = Timing::with_critical_path(&dfg, &vec![1; 4]);
+        let p = LoadProfiles::new(&dfg, &machine, &timing);
+        // 4 ops, N(ALU) = 2 -> normalized centralized load 2.0 at step 0.
+        assert!((p.dp_load(FuType::Alu, 0) - 2.0).abs() < 1e-12);
+        assert!(p.dp_load(FuType::Alu, 1).abs() < 1e-12);
+        assert!(p.dp_load(FuType::Mul, 0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mobile_op_spreads_load_over_time_frame() {
+        // Chain of 3 + 1 independent op, L_PR = 3: the free op has
+        // mobility 2, weight 1/3 over steps 0..=2.
+        let mut b = DfgBuilder::new();
+        let c0 = b.add_op(OpType::Add, &[]);
+        let c1 = b.add_op(OpType::Add, &[c0]);
+        let _ = b.add_op(OpType::Add, &[c1]);
+        let _free = b.add_op(OpType::Add, &[]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let timing = Timing::with_critical_path(&dfg, &vec![1; 4]);
+        let p = LoadProfiles::new(&dfg, &machine, &timing);
+        // Chain contributes 1/2 per step (N=2); free op 1/6 per step.
+        for tau in 0..3 {
+            assert!((p.dp_load(FuType::Alu, tau) - (0.5 + 1.0 / 6.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fu_cost_zero_until_cluster_saturates() {
+        // Three pinned adds onto a 1-ALU cluster, one at a time.
+        let mut b = DfgBuilder::new();
+        for _ in 0..3 {
+            b.add_op(OpType::Add, &[]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let timing = Timing::with_critical_path(&dfg, &vec![1; 3]);
+        let mut p = LoadProfiles::new(&dfg, &machine, &timing);
+        let mut bn = Binding::unbound(&dfg);
+        let v: Vec<OpId> = dfg.op_ids().collect();
+
+        // First op: cluster profile goes to 1.0 — not overloaded (<=1 is
+        // free), and the centralized profile is 1.5 anyway.
+        assert_eq!(p.fu_cost(CostModel::BinaryCycles, v[0], cl(0)), 0.0);
+        assert_eq!(p.fu_cost(CostModel::ExcessMass, v[0], cl(0)), 0.0);
+        p.commit(&bn, v[0], cl(0));
+        bn.bind(v[0], cl(0));
+        // Second op on the same cluster: load 2.0 > max(1.5, 1). Binary:
+        // one overloaded cycle. Mass: 2.0 - 1.5 = 0.5 beyond fair share.
+        assert_eq!(p.fu_cost(CostModel::BinaryCycles, v[1], cl(0)), 1.0);
+        assert!((p.fu_cost(CostModel::ExcessMass, v[1], cl(0)) - 0.5).abs() < 1e-12);
+        assert_eq!(p.fu_cost(CostModel::ExcessMass, v[1], cl(1)), 0.0);
+    }
+
+    #[test]
+    fn excess_mass_does_not_saturate() {
+        // Binary counting says op 3, 4, 5 on the same saturated cycle all
+        // cost "1"; excess mass keeps growing — the property that stops
+        // the greedy pass from serializing everything on one unit.
+        let mut b = DfgBuilder::new();
+        for _ in 0..5 {
+            b.add_op(OpType::Mul, &[]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1|1,1]").expect("machine");
+        let timing = Timing::with_critical_path(&dfg, &vec![1; 5]);
+        let mut p = LoadProfiles::new(&dfg, &machine, &timing);
+        let bn = Binding::unbound(&dfg);
+        let v: Vec<OpId> = dfg.op_ids().collect();
+        // dp(MUL, 0) = 5/3; stack ops onto cluster 0.
+        let mut previous = 0.0;
+        for i in 0..4 {
+            p.commit(&bn, v[i], cl(0));
+            let binary = p.fu_cost(CostModel::BinaryCycles, v[4], cl(0));
+            let mass = p.fu_cost(CostModel::ExcessMass, v[4], cl(0));
+            if i >= 1 {
+                assert_eq!(binary, 1.0, "binary saturates at one cycle");
+                assert!(mass >= previous, "mass must not decrease");
+            }
+            previous = mass;
+        }
+        // With 4 ops committed, the 5th costs a full unit of excess mass.
+        assert!((previous - 1.0).abs() < 1e-12, "got {previous}");
+    }
+
+    #[test]
+    fn fu_cost_not_incurred_while_under_centralized_load() {
+        // Heavily loaded centralized profile: 6 pinned adds, N(ALU) = 2
+        // -> load_DP = 3. A 2-ALU cluster absorbing 4 of them (load 2)
+        // still pays nothing; the 5th (load 2.5 <= 3) also free.
+        let mut b = DfgBuilder::new();
+        for _ in 0..6 {
+            b.add_op(OpType::Add, &[]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[2,1|0,1]").expect("machine");
+        let timing = Timing::with_critical_path(&dfg, &vec![1; 6]);
+        let mut p = LoadProfiles::new(&dfg, &machine, &timing);
+        let bn = Binding::unbound(&dfg);
+        let v: Vec<OpId> = dfg.op_ids().collect();
+        for i in 0..5 {
+            assert_eq!(
+                p.fu_cost(CostModel::ExcessMass, v[i], cl(0)),
+                0.0,
+                "op {i} under DP load"
+            );
+            p.commit(&bn, v[i], cl(0));
+        }
+        // Sixth op: cluster load 3.0 == DP load 3.0 -> still no penalty
+        // (strict inequality).
+        assert_eq!(p.fu_cost(CostModel::ExcessMass, v[5], cl(0)), 0.0);
+        assert_eq!(p.fu_cost(CostModel::BinaryCycles, v[5], cl(0)), 0.0);
+    }
+
+    #[test]
+    fn bus_cost_counts_overloaded_cycles() {
+        // Three producers on cluster 0, consumers on cluster 1, N_B = 1,
+        // everything pinned (L_PR = L_CP = 2): each transfer wants the
+        // same cycle.
+        let mut b = DfgBuilder::new();
+        let mut prods = Vec::new();
+        for _ in 0..3 {
+            prods.push(b.add_op(OpType::Add, &[]));
+        }
+        let mut cons = Vec::new();
+        for &u in &prods {
+            cons.push(b.add_op(OpType::Add, &[u]));
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[3,1|3,1]").expect("machine").with_bus_count(1);
+        let timing = Timing::with_critical_path(&dfg, &vec![1; 6]);
+        let mut p = LoadProfiles::new(&dfg, &machine, &timing);
+        let mut bn = Binding::unbound(&dfg);
+        for &u in &prods {
+            p.commit(&bn, u, cl(0));
+            bn.bind(u, cl(0));
+        }
+        // First consumer on cluster 1: bus profile empty, its own single
+        // transfer fits (load 1.0 at cycle 1, not > 1).
+        assert_eq!(p.bus_cost(CostModel::ExcessMass, &bn, cons[0], cl(1)), 0.0);
+        p.commit(&bn, cons[0], cl(1));
+        bn.bind(cons[0], cl(1));
+        // Second consumer cross-cluster: 2.0 > 1 at cycle 1 -> penalty 1.
+        assert_eq!(p.bus_cost(CostModel::BinaryCycles, &bn, cons[1], cl(1)), 1.0);
+        assert_eq!(p.bus_cost(CostModel::ExcessMass, &bn, cons[1], cl(1)), 1.0);
+        // Binding it to the producers' cluster avoids the transfer.
+        assert_eq!(p.bus_cost(CostModel::ExcessMass, &bn, cons[1], cl(0)), 0.0);
+    }
+
+    #[test]
+    fn committed_transfers_are_deduplicated() {
+        // One producer, two consumers in the destination cluster: the
+        // second consumer's transfer is already covered.
+        let mut b = DfgBuilder::new();
+        let u = b.add_op(OpType::Add, &[]);
+        let c1 = b.add_op(OpType::Add, &[u]);
+        let c2 = b.add_op(OpType::Add, &[u]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[2,1|2,1]").expect("machine").with_bus_count(1);
+        let timing = Timing::with_critical_path(&dfg, &vec![1; 3]);
+        let mut p = LoadProfiles::new(&dfg, &machine, &timing);
+        let mut bn = Binding::unbound(&dfg);
+        p.commit(&bn, u, cl(0));
+        bn.bind(u, cl(0));
+        p.commit(&bn, c1, cl(1));
+        bn.bind(c1, cl(1));
+        let bus_after_first = p.bus_load(1);
+        // The second consumer needs no new transfer: no bus cost, and
+        // committing it leaves the bus profile unchanged.
+        assert_eq!(p.bus_cost(CostModel::ExcessMass, &bn, c2, cl(1)), 0.0);
+        p.commit(&bn, c2, cl(1));
+        assert_eq!(p.bus_load(1), bus_after_first);
+    }
+
+    #[test]
+    fn dii_extends_load_beyond_time_frame() {
+        use vliw_datapath::{Cluster, MachineBuilder};
+        let mut b = DfgBuilder::new();
+        let _ = b.add_op(OpType::Mul, &[]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = MachineBuilder::new()
+            .cluster(Cluster::new(1, 1))
+            .op_latency(OpType::Mul, 2)
+            .fu_dii(FuType::Mul, 2)
+            .build()
+            .expect("machine");
+        let timing = Timing::with_critical_path(&dfg, &[2]);
+        let p = LoadProfiles::new(&dfg, &machine, &timing);
+        // asap = alap = 0, dii = 2 -> load on steps 0 and 1.
+        assert!((p.dp_load(FuType::Mul, 0) - 1.0).abs() < 1e-12);
+        assert!((p.dp_load(FuType::Mul, 1) - 1.0).abs() < 1e-12);
+        assert!(p.dp_load(FuType::Mul, 2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn move_mobility_clamped_at_zero() {
+        // Consumer with zero mobility: transfer mobility clamps to 0 and
+        // the transfer is pinned right after the producer.
+        let mut b = DfgBuilder::new();
+        let u = b.add_op(OpType::Add, &[]);
+        let v = b.add_op(OpType::Add, &[u]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let timing = Timing::with_critical_path(&dfg, &vec![1; 2]);
+        let (lo, hi, w) = move_load(&dfg, &machine, &timing, u, v);
+        assert_eq!((lo, hi), (1, 1));
+        assert!((w - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of the binding algorithm's invariants on random
+//! DFGs and machines.
+
+use proptest::prelude::*;
+use vliw_binding::{init, iter, Binder, BinderConfig, CostModel, PairMode, QualityKind};
+use vliw_datapath::Machine;
+use vliw_dfg::{critical_path_len, Dfg, DfgBuilder, OpType};
+use vliw_sched::Binding;
+
+/// Random DAG: every op draws 0-2 operands from earlier ops.
+fn arb_dfg(max_ops: usize) -> impl Strategy<Value = Dfg> {
+    (2..=max_ops).prop_flat_map(|n| {
+        let kinds = prop::collection::vec(0..3u8, n);
+        let picks = prop::collection::vec((0usize..usize::MAX, 0usize..usize::MAX, 0..3u8), n);
+        (kinds, picks).prop_map(|(kinds, picks)| {
+            let mut b = DfgBuilder::new();
+            let mut ids = Vec::new();
+            for (i, (&kind, &(p1, p2, arity))) in kinds.iter().zip(&picks).enumerate() {
+                let ty = match kind {
+                    0 => OpType::Add,
+                    1 => OpType::Sub,
+                    _ => OpType::Mul,
+                };
+                let mut operands = Vec::new();
+                if i > 0 && arity >= 1 {
+                    operands.push(ids[p1 % i]);
+                    if arity >= 2 {
+                        let second = ids[p2 % i];
+                        if !operands.contains(&second) {
+                            operands.push(second);
+                        }
+                    }
+                }
+                ids.push(b.add_op(ty, &operands));
+            }
+            b.finish().expect("acyclic by construction")
+        })
+    })
+}
+
+fn arb_machine() -> impl Strategy<Value = Machine> {
+    prop::sample::select(vec![
+        "[1,1]",
+        "[1,1|1,1]",
+        "[2,1|1,1]",
+        "[2,1|2,1|1,2]",
+        "[1,1|1,1|1,1|1,1]",
+    ])
+    .prop_map(|cfg| Machine::parse(cfg).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every (L_PR, direction, cost model) combination of B-INIT yields
+    /// a complete, target-set-respecting binding.
+    #[test]
+    fn initial_binding_is_always_valid(
+        dfg in arb_dfg(28),
+        machine in arb_machine(),
+        stretch in 0u32..4,
+        reverse in any::<bool>(),
+        model_idx in 0usize..4,
+    ) {
+        let model = [
+            CostModel::BinaryCycles,
+            CostModel::ExcessMass,
+            CostModel::TotalExcess,
+            CostModel::Hybrid,
+        ][model_idx];
+        let config = BinderConfig { cost_model: model, ..BinderConfig::default() };
+        let lat = machine.op_latencies(&dfg);
+        let l_cp = critical_path_len(&dfg, &lat);
+        let binding = init::initial_binding(&dfg, &machine, &config, l_cp + stretch, reverse);
+        prop_assert!(binding.is_complete());
+        prop_assert!(binding.validate(&dfg, &machine).is_ok());
+    }
+
+    /// B-ITER never worsens (L, N_MV) regardless of the starting binding
+    /// or pair mode.
+    #[test]
+    fn improvement_is_monotone_from_any_start(
+        dfg in arb_dfg(20),
+        machine in arb_machine(),
+        seeds in prop::collection::vec(0usize..64, 20),
+        pair_idx in 0usize..3,
+    ) {
+        let pair_mode = [PairMode::None, PairMode::Adjacent, PairMode::All][pair_idx];
+        let config = BinderConfig { pair_mode, ..BinderConfig::default() };
+        let mut start = Binding::unbound(&dfg);
+        for v in dfg.op_ids() {
+            let ts = machine.target_set(dfg.op_type(v));
+            start.bind(v, ts[seeds[v.index() % seeds.len()] % ts.len()]);
+        }
+        let before = vliw_binding::BindingResult::evaluate(&dfg, &machine, start);
+        let before_lm = before.lm();
+        let after = iter::improve(&dfg, &machine, &config, before);
+        prop_assert!(after.lm() <= before_lm,
+            "B-ITER worsened {:?} -> {:?}", before_lm, after.lm());
+        prop_assert!(after.binding.validate(&dfg, &machine).is_ok());
+    }
+
+    /// The Q_U-then-Q_M sequence never ends with higher latency than a
+    /// Q_M-only descent (the paper's argument for Q_U).
+    #[test]
+    fn qu_first_is_no_worse_than_qm_only(
+        dfg in arb_dfg(16),
+        machine in arb_machine(),
+    ) {
+        let config = BinderConfig::default();
+        let binder = Binder::with_config(&machine, config.clone());
+        let start = binder.bind_initial(&dfg);
+        let qm_only = iter::improve_with(&dfg, &machine, &config, start.clone(), QualityKind::Qm);
+        let full = iter::improve(&dfg, &machine, &config, start);
+        prop_assert!(full.latency() <= qm_only.latency());
+    }
+
+    /// The driver's reported result is reproducible: binding twice gives
+    /// identical (L, M) and identical bindings (full determinism).
+    #[test]
+    fn binder_is_deterministic(
+        dfg in arb_dfg(20),
+        machine in arb_machine(),
+    ) {
+        let binder = Binder::new(&machine);
+        let a = binder.bind(&dfg);
+        let b = binder.bind(&dfg);
+        prop_assert_eq!(a.lm(), b.lm());
+        prop_assert_eq!(a.binding, b.binding);
+    }
+
+    /// Binding the transposed graph in reverse "mirrors": the reverse
+    /// pass on the original equals the forward pass on the transpose
+    /// (definitionally), and both produce valid bindings of the original.
+    #[test]
+    fn reverse_equals_forward_on_transpose(
+        dfg in arb_dfg(20),
+        machine in arb_machine(),
+    ) {
+        let config = BinderConfig::default();
+        let lat = machine.op_latencies(&dfg);
+        let l_pr = critical_path_len(&dfg, &lat) + 1;
+        let rev = init::initial_binding(&dfg, &machine, &config, l_pr, true);
+        let fwd_on_t = init::initial_binding(&dfg.transposed(), &machine, &config, l_pr, false);
+        prop_assert_eq!(rev, fwd_on_t);
+    }
+}

@@ -1,0 +1,46 @@
+//! Clustered VLIW datapath machine model (paper Section 2, "Datapath
+//! model").
+//!
+//! A datapath is a collection of *clusters*, each containing a local
+//! register file and a number of functional units per FU type, connected by
+//! a BUS able to perform `N_B` simultaneous inter-cluster data transfers.
+//! Register files are modeled as unbounded (the paper binds before register
+//! allocation and argues spills are rare on clustered machines).
+//!
+//! The crate provides:
+//!
+//! * [`Machine`] — the machine description: clusters, bus, operation
+//!   latencies `lat(p)` and data-introduction intervals `dii(t)`;
+//! * [`MachineBuilder`] — programmatic construction with non-default
+//!   latencies/pipelining;
+//! * [`Machine::parse`] — the paper's compact `[i,j|i,j|…]` notation where
+//!   `i` is the number of ALUs and `j` the number of multipliers per
+//!   cluster.
+//!
+//! # Example
+//!
+//! The Table-2 datapath with one bus and two-cycle transfers:
+//!
+//! ```
+//! use vliw_datapath::Machine;
+//!
+//! # fn main() -> Result<(), vliw_datapath::ParseMachineError> {
+//! let machine = Machine::parse("[2,2|2,1|2,2|3,1|1,1]")?
+//!     .with_bus_count(1)
+//!     .with_move_latency(2);
+//! assert_eq!(machine.cluster_count(), 5);
+//! assert_eq!(machine.bus_count(), 1);
+//! assert_eq!(machine.move_latency(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod machine;
+mod parse;
+mod presets;
+
+pub use machine::{Cluster, ClusterId, Machine, MachineBuilder, MachineError};
+pub use parse::ParseMachineError;

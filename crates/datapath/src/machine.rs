@@ -1,0 +1,621 @@
+//! The machine description: clusters, bus, latencies, pipelining.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use vliw_dfg::{Dfg, FuType, OpId, OpType};
+
+/// Identifier of a cluster (`c ∈ CL` in the paper). Dense indices
+/// `0..machine.cluster_count()`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ClusterId(pub(crate) u32);
+
+impl ClusterId {
+    /// Creates a `ClusterId` from a raw dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        ClusterId(u32::try_from(index).expect("more than u32::MAX clusters"))
+    }
+
+    /// The dense index of this cluster, usable for table lookup.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cl{}", self.0)
+    }
+}
+
+/// One cluster: the number of functional units of each regular FU type
+/// (`N(c,t)` in the paper). The paper's `[i,j]` notation means
+/// `i` ALUs and `j` multipliers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cluster {
+    /// FU counts indexed by [`FuType::index`] over the regular types
+    /// (`[n_alu, n_mul]`).
+    fus: [u32; 2],
+}
+
+impl Cluster {
+    /// A cluster with `alus` ALUs and `muls` multipliers.
+    pub fn new(alus: u32, muls: u32) -> Self {
+        Cluster { fus: [alus, muls] }
+    }
+
+    /// Number of FUs of regular type `t` in this cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is [`FuType::Bus`]; the bus is a machine-level
+    /// resource, not a cluster-level one.
+    #[inline]
+    pub fn fu_count(&self, t: FuType) -> u32 {
+        assert!(t.is_regular(), "the bus is not a cluster resource");
+        self.fus[t.index()]
+    }
+
+    /// Total FUs in this cluster.
+    pub fn total_fus(&self) -> u32 {
+        self.fus.iter().sum()
+    }
+}
+
+impl fmt::Display for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{},{}", self.fus[0], self.fus[1])
+    }
+}
+
+/// Error produced when assembling an invalid [`Machine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// A machine must contain at least one cluster.
+    NoClusters,
+    /// A cluster with zero functional units can execute nothing.
+    EmptyCluster(ClusterId),
+    /// The bus must be able to perform at least one transfer at a time.
+    NoBus,
+    /// Latencies must be at least one cycle.
+    ZeroLatency(OpType),
+    /// Data-introduction intervals must be at least one cycle.
+    ZeroDii(FuType),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::NoClusters => write!(f, "machine has no clusters"),
+            MachineError::EmptyCluster(c) => write!(f, "cluster {c} has no functional units"),
+            MachineError::NoBus => write!(f, "bus count must be at least 1"),
+            MachineError::ZeroLatency(p) => write!(f, "operation type {p} has zero latency"),
+            MachineError::ZeroDii(t) => {
+                write!(f, "FU type {t} has zero data-introduction interval")
+            }
+        }
+    }
+}
+
+impl Error for MachineError {}
+
+/// A clustered VLIW datapath description (paper Section 2).
+///
+/// Combines the cluster structure `CL`, the bus (`N_B` simultaneous
+/// transfers, `lat(move)` cycles each), the operation-latency function
+/// `lat(p)` and the per-FU-type data-introduction interval `dii(t)`
+/// (footnote 3: a non-pipelined resource has `dii = lat`).
+///
+/// Construct with [`Machine::parse`] for the paper's notation or
+/// [`MachineBuilder`] for full control; the free-standing `with_*` methods
+/// tweak a parsed machine.
+///
+/// # Example
+///
+/// ```
+/// use vliw_datapath::Machine;
+/// use vliw_dfg::{FuType, OpType};
+///
+/// # fn main() -> Result<(), vliw_datapath::ParseMachineError> {
+/// let m = Machine::parse("[2,1|1,1]")?;
+/// assert_eq!(m.fu_count_total(FuType::Alu), 3);
+/// assert_eq!(m.fu_count_total(FuType::Mul), 2);
+/// assert_eq!(m.latency(OpType::Add), 1);
+/// assert_eq!(m.target_set(OpType::Mul).len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Machine {
+    clusters: Vec<Cluster>,
+    bus_count: u32,
+    /// `lat(p)` for every regular op type, indexed by position in
+    /// [`OpType::REGULAR`]; moves are stored separately.
+    op_latency: Vec<u32>,
+    move_latency: u32,
+    /// `dii(t)` per FU type (ALU, MUL, BUS) indexed by [`FuType::index`].
+    dii: [u32; 3],
+}
+
+impl Machine {
+    /// Default-latency machine from a list of clusters: all operations
+    /// take one cycle, two buses, one-cycle moves, fully pipelined — the
+    /// exact assumptions of the paper's Table 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::NoClusters`] for an empty list or
+    /// [`MachineError::EmptyCluster`] if any cluster has no FUs.
+    pub fn new(clusters: Vec<Cluster>) -> Result<Self, MachineError> {
+        MachineBuilder::new().clusters(clusters).build()
+    }
+
+    /// Number of clusters `|CL|`.
+    #[inline]
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Iterator over all cluster ids in dense order.
+    pub fn cluster_ids(&self) -> impl ExactSizeIterator<Item = ClusterId> + Clone {
+        (0..self.clusters.len() as u32).map(ClusterId)
+    }
+
+    /// The cluster with id `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[inline]
+    pub fn cluster(&self, c: ClusterId) -> &Cluster {
+        &self.clusters[c.index()]
+    }
+
+    /// `N(c,t)`: number of FUs of regular type `t` in cluster `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is [`FuType::Bus`] or `c` is out of range.
+    #[inline]
+    pub fn fu_count(&self, c: ClusterId, t: FuType) -> u32 {
+        self.clusters[c.index()].fu_count(t)
+    }
+
+    /// `N(t)`: total number of FUs of regular type `t` across clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is [`FuType::Bus`] (use [`Machine::bus_count`]).
+    pub fn fu_count_total(&self, t: FuType) -> u32 {
+        self.clusters.iter().map(|cl| cl.fu_count(t)).sum()
+    }
+
+    /// `N_B = N(BUS)`: number of simultaneous inter-cluster transfers.
+    #[inline]
+    pub fn bus_count(&self) -> u32 {
+        self.bus_count
+    }
+
+    /// `lat(p)` for any operation type, including `move`.
+    #[inline]
+    pub fn latency(&self, p: OpType) -> u32 {
+        match p {
+            OpType::Move => self.move_latency,
+            _ => {
+                let idx = OpType::REGULAR
+                    .iter()
+                    .position(|&q| q == p)
+                    .expect("regular op type");
+                self.op_latency[idx]
+            }
+        }
+    }
+
+    /// `lat(move)`: latency of an inter-cluster data transfer.
+    #[inline]
+    pub fn move_latency(&self) -> u32 {
+        self.move_latency
+    }
+
+    /// `dii(t)`: data-introduction interval of FU type `t` — the number of
+    /// cycles after which a unit of that type can start a new operation.
+    #[inline]
+    pub fn dii(&self, t: FuType) -> u32 {
+        self.dii[t.index()]
+    }
+
+    /// `dii(v)` shortcut for an operation type (paper footnote 1:
+    /// `dii(v) = dii(futype(v))`).
+    #[inline]
+    pub fn dii_of_op(&self, p: OpType) -> u32 {
+        self.dii(p.fu_type())
+    }
+
+    /// Whether cluster `c` can execute operations of type `p`
+    /// (`N(c, futype(p)) > 0`). Moves are supported "between" clusters, so
+    /// `supports(c, Move)` is true whenever the machine has a bus.
+    pub fn supports(&self, c: ClusterId, p: OpType) -> bool {
+        match p.fu_type() {
+            FuType::Bus => self.bus_count > 0,
+            t => self.fu_count(c, t) > 0,
+        }
+    }
+
+    /// `TS(v)`: the target set of an operation type — all clusters with at
+    /// least one FU able to execute it.
+    pub fn target_set(&self, p: OpType) -> Vec<ClusterId> {
+        self.cluster_ids().filter(|&c| self.supports(c, p)).collect()
+    }
+
+    /// Per-operation latency vector for a DFG under this machine, in the
+    /// layout expected by [`vliw_dfg::Timing`].
+    pub fn op_latencies(&self, dfg: &Dfg) -> Vec<u32> {
+        dfg.op_ids().map(|v| self.latency(dfg.op_type(v))).collect()
+    }
+
+    /// Checks that every operation of `dfg` can be executed somewhere on
+    /// this machine, returning the first unsupported operation otherwise.
+    pub fn check_supports_dfg(&self, dfg: &Dfg) -> Result<(), OpId> {
+        for v in dfg.op_ids() {
+            if self.target_set(dfg.op_type(v)).is_empty() {
+                return Err(v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with a different bus count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_bus_count(mut self, n: u32) -> Self {
+        assert!(n > 0, "bus count must be at least 1");
+        self.bus_count = n;
+        self
+    }
+
+    /// Returns a copy with a different `lat(move)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lat` is zero.
+    pub fn with_move_latency(mut self, lat: u32) -> Self {
+        assert!(lat > 0, "move latency must be at least 1");
+        self.move_latency = lat;
+        self
+    }
+
+    /// Whether all clusters have identical FU complements (Capitanio's
+    /// algorithm requires this; ours and PCC do not).
+    pub fn is_homogeneous(&self) -> bool {
+        self.clusters.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Total number of regular FUs in the datapath.
+    pub fn total_fus(&self) -> u32 {
+        self.clusters.iter().map(Cluster::total_fus).sum()
+    }
+}
+
+impl fmt::Display for Machine {
+    /// Formats in the paper's notation, e.g. `[2,1|1,1]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        for (i, cl) in self.clusters.iter().enumerate() {
+            if i > 0 {
+                f.write_str("|")?;
+            }
+            write!(f, "{cl}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+/// Builder for [`Machine`]s with non-default latencies and pipelining.
+///
+/// # Example
+///
+/// A machine with 2-cycle non-pipelined multipliers:
+///
+/// ```
+/// use vliw_datapath::{Cluster, MachineBuilder};
+/// use vliw_dfg::{FuType, OpType};
+///
+/// # fn main() -> Result<(), vliw_datapath::MachineError> {
+/// let m = MachineBuilder::new()
+///     .cluster(Cluster::new(2, 1))
+///     .cluster(Cluster::new(1, 1))
+///     .op_latency(OpType::Mul, 2)
+///     .fu_dii(FuType::Mul, 2) // dii = lat: not pipelined (footnote 3)
+///     .build()?;
+/// assert_eq!(m.latency(OpType::Mul), 2);
+/// assert_eq!(m.dii(FuType::Mul), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    clusters: Vec<Cluster>,
+    bus_count: u32,
+    op_latency: Vec<u32>,
+    move_latency: u32,
+    dii: [u32; 3],
+}
+
+impl Default for MachineBuilder {
+    fn default() -> Self {
+        MachineBuilder {
+            clusters: Vec::new(),
+            bus_count: 2,
+            op_latency: vec![1; OpType::REGULAR.len()],
+            move_latency: 1,
+            dii: [1, 1, 1],
+        }
+    }
+}
+
+impl MachineBuilder {
+    /// Creates a builder with the paper's Table-1 defaults: two buses,
+    /// all latencies one cycle, fully pipelined resources.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a cluster.
+    pub fn cluster(mut self, cl: Cluster) -> Self {
+        self.clusters.push(cl);
+        self
+    }
+
+    /// Replaces the cluster list.
+    pub fn clusters(mut self, cls: Vec<Cluster>) -> Self {
+        self.clusters = cls;
+        self
+    }
+
+    /// Sets the number of buses `N_B`.
+    pub fn bus_count(mut self, n: u32) -> Self {
+        self.bus_count = n;
+        self
+    }
+
+    /// Sets `lat(p)` for a regular operation type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is [`OpType::Move`] (use
+    /// [`MachineBuilder::move_latency`]).
+    pub fn op_latency(mut self, p: OpType, lat: u32) -> Self {
+        let idx = OpType::REGULAR
+            .iter()
+            .position(|&q| q == p)
+            .expect("set move latency via move_latency()");
+        self.op_latency[idx] = lat;
+        self
+    }
+
+    /// Sets `lat(move)`.
+    pub fn move_latency(mut self, lat: u32) -> Self {
+        self.move_latency = lat;
+        self
+    }
+
+    /// Sets `dii(t)` for an FU type (including the bus).
+    pub fn fu_dii(mut self, t: FuType, dii: u32) -> Self {
+        self.dii[t.index()] = dii;
+        self
+    }
+
+    /// Finalizes the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MachineError`] if the machine has no clusters, an empty
+    /// cluster, no bus, a zero latency, or a zero data-introduction
+    /// interval.
+    pub fn build(self) -> Result<Machine, MachineError> {
+        if self.clusters.is_empty() {
+            return Err(MachineError::NoClusters);
+        }
+        for (i, cl) in self.clusters.iter().enumerate() {
+            if cl.total_fus() == 0 {
+                return Err(MachineError::EmptyCluster(ClusterId::from_index(i)));
+            }
+        }
+        if self.bus_count == 0 {
+            return Err(MachineError::NoBus);
+        }
+        for (idx, &lat) in self.op_latency.iter().enumerate() {
+            if lat == 0 {
+                return Err(MachineError::ZeroLatency(OpType::REGULAR[idx]));
+            }
+        }
+        if self.move_latency == 0 {
+            return Err(MachineError::ZeroLatency(OpType::Move));
+        }
+        for t in FuType::ALL {
+            if self.dii[t.index()] == 0 {
+                return Err(MachineError::ZeroDii(t));
+            }
+        }
+        Ok(Machine {
+            clusters: self.clusters,
+            bus_count: self.bus_count,
+            op_latency: self.op_latency,
+            move_latency: self.move_latency,
+            dii: self.dii,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_one_one_one() -> Machine {
+        Machine::new(vec![Cluster::new(2, 1), Cluster::new(1, 1)]).expect("valid machine")
+    }
+
+    #[test]
+    fn fu_counts() {
+        let m = two_one_one_one();
+        let c0 = ClusterId::from_index(0);
+        let c1 = ClusterId::from_index(1);
+        assert_eq!(m.fu_count(c0, FuType::Alu), 2);
+        assert_eq!(m.fu_count(c0, FuType::Mul), 1);
+        assert_eq!(m.fu_count(c1, FuType::Alu), 1);
+        assert_eq!(m.fu_count_total(FuType::Alu), 3);
+        assert_eq!(m.fu_count_total(FuType::Mul), 2);
+        assert_eq!(m.total_fus(), 5);
+    }
+
+    #[test]
+    fn defaults_match_table1_assumptions() {
+        let m = two_one_one_one();
+        assert_eq!(m.bus_count(), 2);
+        assert_eq!(m.move_latency(), 1);
+        for p in OpType::REGULAR {
+            assert_eq!(m.latency(p), 1);
+        }
+        for t in FuType::ALL {
+            assert_eq!(m.dii(t), 1);
+        }
+    }
+
+    #[test]
+    fn target_set_excludes_clusters_without_fu() {
+        let m = Machine::new(vec![Cluster::new(2, 0), Cluster::new(1, 1)]).expect("valid");
+        let ts = m.target_set(OpType::Mul);
+        assert_eq!(ts, vec![ClusterId::from_index(1)]);
+        assert_eq!(m.target_set(OpType::Add).len(), 2);
+    }
+
+    #[test]
+    fn supports_move_iff_bus_present() {
+        let m = two_one_one_one();
+        for c in m.cluster_ids() {
+            assert!(m.supports(c, OpType::Move));
+        }
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let m = two_one_one_one();
+        assert_eq!(m.to_string(), "[2,1|1,1]");
+        let parsed = Machine::parse(&m.to_string()).expect("round trip");
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_machines() {
+        assert_eq!(
+            MachineBuilder::new().build(),
+            Err(MachineError::NoClusters)
+        );
+        assert_eq!(
+            MachineBuilder::new().cluster(Cluster::new(0, 0)).build(),
+            Err(MachineError::EmptyCluster(ClusterId::from_index(0)))
+        );
+        assert_eq!(
+            MachineBuilder::new()
+                .cluster(Cluster::new(1, 1))
+                .bus_count(0)
+                .build(),
+            Err(MachineError::NoBus)
+        );
+        assert_eq!(
+            MachineBuilder::new()
+                .cluster(Cluster::new(1, 1))
+                .op_latency(OpType::Add, 0)
+                .build(),
+            Err(MachineError::ZeroLatency(OpType::Add))
+        );
+        assert_eq!(
+            MachineBuilder::new()
+                .cluster(Cluster::new(1, 1))
+                .move_latency(0)
+                .build(),
+            Err(MachineError::ZeroLatency(OpType::Move))
+        );
+        assert_eq!(
+            MachineBuilder::new()
+                .cluster(Cluster::new(1, 1))
+                .fu_dii(FuType::Mul, 0)
+                .build(),
+            Err(MachineError::ZeroDii(FuType::Mul))
+        );
+    }
+
+    #[test]
+    fn with_methods_adjust_bus_parameters() {
+        let m = two_one_one_one().with_bus_count(1).with_move_latency(2);
+        assert_eq!(m.bus_count(), 1);
+        assert_eq!(m.move_latency(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bus count")]
+    fn with_bus_count_zero_panics() {
+        let _ = two_one_one_one().with_bus_count(0);
+    }
+
+    #[test]
+    fn homogeneity() {
+        assert!(!two_one_one_one().is_homogeneous());
+        let homo =
+            Machine::new(vec![Cluster::new(1, 1), Cluster::new(1, 1)]).expect("valid machine");
+        assert!(homo.is_homogeneous());
+    }
+
+    #[test]
+    fn non_pipelined_resource_dii_equals_lat() {
+        let m = MachineBuilder::new()
+            .cluster(Cluster::new(1, 1))
+            .op_latency(OpType::Mul, 2)
+            .fu_dii(FuType::Mul, 2)
+            .build()
+            .expect("valid machine");
+        assert_eq!(m.dii_of_op(OpType::Mul), m.latency(OpType::Mul));
+        assert_eq!(m.dii_of_op(OpType::Add), 1);
+    }
+
+    #[test]
+    fn op_latencies_vector() {
+        use vliw_dfg::DfgBuilder;
+        let mut b = DfgBuilder::new();
+        let a = b.add_op(OpType::Mul, &[]);
+        let _ = b.add_op(OpType::Add, &[a]);
+        let dfg = b.finish().expect("acyclic");
+        let m = MachineBuilder::new()
+            .cluster(Cluster::new(1, 1))
+            .op_latency(OpType::Mul, 3)
+            .build()
+            .expect("valid machine");
+        assert_eq!(m.op_latencies(&dfg), vec![3, 1]);
+    }
+
+    #[test]
+    fn check_supports_dfg_finds_unsupported_op() {
+        use vliw_dfg::DfgBuilder;
+        let mut b = DfgBuilder::new();
+        let _ = b.add_op(OpType::Mul, &[]);
+        let dfg = b.finish().expect("acyclic");
+        let no_mul = Machine::new(vec![Cluster::new(2, 0)]).expect("valid machine");
+        assert!(no_mul.check_supports_dfg(&dfg).is_err());
+        let with_mul = Machine::new(vec![Cluster::new(2, 1)]).expect("valid machine");
+        assert!(with_mul.check_supports_dfg(&dfg).is_ok());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = two_one_one_one();
+        let json = serde_json::to_string(&m).expect("serialize");
+        let back: Machine = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,193 @@
+//! Parser for the paper's compact datapath notation.
+//!
+//! Tables 1 and 2 describe datapaths as `[i,j|i,j|…]` where each
+//! `i,j` pair is one cluster with `i` ALUs and `j` multipliers. Table 2
+//! writes the outer brackets as bars (`|2,2|2,1|…|`); both spellings are
+//! accepted, as is the bare body without brackets.
+
+use crate::machine::{Cluster, Machine, MachineBuilder, MachineError};
+use std::error::Error;
+use std::fmt;
+
+/// Error from [`Machine::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseMachineError {
+    /// The description was empty after trimming brackets.
+    Empty,
+    /// A cluster segment was not of the form `i,j`.
+    BadCluster(String),
+    /// A FU count failed to parse as an integer.
+    BadCount(String),
+    /// The parsed structure is not a valid machine (e.g. empty cluster).
+    Invalid(MachineError),
+}
+
+impl fmt::Display for ParseMachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseMachineError::Empty => write!(f, "empty datapath description"),
+            ParseMachineError::BadCluster(s) => {
+                write!(f, "cluster segment {s:?} is not of the form \"alus,muls\"")
+            }
+            ParseMachineError::BadCount(s) => write!(f, "invalid FU count {s:?}"),
+            ParseMachineError::Invalid(e) => write!(f, "invalid machine: {e}"),
+        }
+    }
+}
+
+impl Error for ParseMachineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseMachineError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MachineError> for ParseMachineError {
+    fn from(e: MachineError) -> Self {
+        ParseMachineError::Invalid(e)
+    }
+}
+
+impl Machine {
+    /// Parses the paper's datapath notation, e.g. `"[2,1|1,1]"` — two
+    /// clusters, the first with 2 ALUs and 1 multiplier, the second with
+    /// one of each. Whitespace is ignored; outer `[`/`]` or `|` delimiters
+    /// are optional.
+    ///
+    /// The result uses the Table-1 defaults (two buses, unit latencies,
+    /// fully pipelined); adjust with [`Machine::with_bus_count`] /
+    /// [`Machine::with_move_latency`] or rebuild via [`MachineBuilder`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseMachineError`] describing the first malformed
+    /// segment.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vliw_datapath::Machine;
+    /// # fn main() -> Result<(), vliw_datapath::ParseMachineError> {
+    /// let a = Machine::parse("[3,1|2,2|1,3]")?;
+    /// let b = Machine::parse("|3,1|2,2|1,3|")?; // Table-2 spelling
+    /// let c = Machine::parse("3,1 | 2,2 | 1,3")?;
+    /// assert_eq!(a, b);
+    /// assert_eq!(b, c);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn parse(s: &str) -> Result<Self, ParseMachineError> {
+        let trimmed = s.trim();
+        let body = trimmed
+            .strip_prefix('[')
+            .and_then(|t| t.strip_suffix(']'))
+            .unwrap_or(trimmed);
+        let body = body.trim_matches('|');
+        if body.trim().is_empty() {
+            return Err(ParseMachineError::Empty);
+        }
+        let mut builder = MachineBuilder::new();
+        for seg in body.split('|') {
+            let seg = seg.trim();
+            let (alus, muls) = seg
+                .split_once(',')
+                .ok_or_else(|| ParseMachineError::BadCluster(seg.to_owned()))?;
+            let alus: u32 = alus
+                .trim()
+                .parse()
+                .map_err(|_| ParseMachineError::BadCount(alus.trim().to_owned()))?;
+            let muls: u32 = muls
+                .trim()
+                .parse()
+                .map_err(|_| ParseMachineError::BadCount(muls.trim().to_owned()))?;
+            builder = builder.cluster(Cluster::new(alus, muls));
+        }
+        Ok(builder.build()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_dfg::FuType;
+
+    #[test]
+    fn parses_table1_configs() {
+        for (text, clusters, alus, muls) in [
+            ("[1,1|1,1]", 2, 2, 2),
+            ("[2,1|2,1]", 2, 4, 2),
+            ("[2,1|1,1]", 2, 3, 2),
+            ("[1,1|1,1|1,1]", 3, 3, 3),
+            ("[3,1|2,2|1,3]", 3, 6, 6),
+            ("[1,1|1,1|1,1|1,1]", 4, 4, 4),
+            ("[2,2|2,1]", 2, 4, 3),
+            ("[2,1|2,1|1,2]", 3, 5, 4),
+            ("[3,2|3,1|1,3]", 3, 7, 6),
+            ("[2,2|2,1|1,1]", 3, 5, 4),
+            ("[1,2|1,2]", 2, 2, 4),
+        ] {
+            let m = Machine::parse(text).expect(text);
+            assert_eq!(m.cluster_count(), clusters, "{text}");
+            assert_eq!(m.fu_count_total(FuType::Alu), alus, "{text}");
+            assert_eq!(m.fu_count_total(FuType::Mul), muls, "{text}");
+        }
+    }
+
+    #[test]
+    fn parses_table2_spelling() {
+        let m = Machine::parse("|2,2|2,1|2,2|3,1|1,1|").expect("table 2 datapath");
+        assert_eq!(m.cluster_count(), 5);
+        assert_eq!(m.fu_count_total(FuType::Alu), 10);
+        assert_eq!(m.fu_count_total(FuType::Mul), 7);
+    }
+
+    #[test]
+    fn whitespace_is_ignored() {
+        let a = Machine::parse(" [ 2,1 | 1,1 ] ").expect("spaces ok");
+        let b = Machine::parse("[2,1|1,1]").expect("canonical");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert_eq!(Machine::parse(""), Err(ParseMachineError::Empty));
+        assert_eq!(Machine::parse("[]"), Err(ParseMachineError::Empty));
+        assert!(matches!(
+            Machine::parse("[2|1,1]"),
+            Err(ParseMachineError::BadCluster(_))
+        ));
+        assert!(matches!(
+            Machine::parse("[a,1]"),
+            Err(ParseMachineError::BadCount(_))
+        ));
+        assert!(matches!(
+            Machine::parse("[0,0|1,1]"),
+            Err(ParseMachineError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_names_the_problem() {
+        let err = Machine::parse("[x,1]").unwrap_err();
+        assert!(err.to_string().contains('x'));
+    }
+
+    #[test]
+    fn parse_display_round_trip_all_eval_configs() {
+        for text in [
+            "[1,1|1,1]",
+            "[2,1|2,1]",
+            "[2,2|2,1]",
+            "[1,1|1,1|1,1]",
+            "[2,1|2,1|1,1]",
+            "[3,1|2,2|1,3]",
+            "[1,1|1,1|1,1|1,1]",
+            "[2,2|2,1|2,2|3,1|1,1]",
+        ] {
+            let m = Machine::parse(text).expect(text);
+            assert_eq!(m.to_string(), text);
+        }
+    }
+}

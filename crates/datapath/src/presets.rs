@@ -1,0 +1,106 @@
+//! Machine presets modeled after real clustered VLIW processors.
+//!
+//! The literature the paper builds on is anchored by two machine
+//! families: Texas Instruments' TMS320C6x (the two-cluster DSP Leupers'
+//! baseline targets) and the HP/ST Lx / ST200 family (Faraboschi et al.,
+//! reference [4] — scalable 1-4 cluster embedded cores, and Desoli's PCC
+//! target). These constructors map their datapaths onto this crate's
+//! ALU/MUL model; memory and branch units are outside the model (the
+//! paper's too), so only the arithmetic complement is represented.
+
+use crate::machine::{Cluster, Machine, MachineBuilder};
+
+impl Machine {
+    /// A TMS320C62x-style datapath: two clusters (register files A and
+    /// B), each with one multiplier (`.M`) and three ALU-class units
+    /// (`.L`, `.S`, `.D`), connected by the two cross-path buses —
+    /// `[3,1|3,1]`, `N_B = 2`, single-cycle transfers.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vliw_datapath::Machine;
+    /// let c6x = Machine::tms320c6x();
+    /// assert_eq!(c6x.to_string(), "[3,1|3,1]");
+    /// assert_eq!(c6x.bus_count(), 2);
+    /// ```
+    pub fn tms320c6x() -> Machine {
+        MachineBuilder::new()
+            .cluster(Cluster::new(3, 1))
+            .cluster(Cluster::new(3, 1))
+            .bus_count(2)
+            .build()
+            .expect("preset is valid")
+    }
+
+    /// An HP/ST Lx-style datapath: `clusters` identical clusters of four
+    /// issue slots (modeled as 3 ALUs + 1 multiplier each), one
+    /// inter-cluster path per cluster pair boundary approximated as
+    /// `clusters − 1` buses (minimum 1), single-cycle transfers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters == 0` or `clusters > 4` (the Lx scales 1-4).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vliw_datapath::Machine;
+    /// let lx = Machine::lx(4);
+    /// assert_eq!(lx.cluster_count(), 4);
+    /// assert_eq!(lx.bus_count(), 3);
+    /// ```
+    pub fn lx(clusters: usize) -> Machine {
+        assert!(
+            (1..=4).contains(&clusters),
+            "the Lx family scales from 1 to 4 clusters"
+        );
+        let mut b = MachineBuilder::new().bus_count(1.max(clusters as u32 - 1));
+        for _ in 0..clusters {
+            b = b.cluster(Cluster::new(3, 1));
+        }
+        b.build().expect("preset is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_dfg::FuType;
+
+    #[test]
+    fn c6x_shape() {
+        let m = Machine::tms320c6x();
+        assert_eq!(m.cluster_count(), 2);
+        assert_eq!(m.fu_count_total(FuType::Alu), 6);
+        assert_eq!(m.fu_count_total(FuType::Mul), 2);
+        assert!(m.is_homogeneous());
+    }
+
+    #[test]
+    fn lx_scales() {
+        for n in 1..=4usize {
+            let m = Machine::lx(n);
+            assert_eq!(m.cluster_count(), n);
+            assert_eq!(m.fu_count_total(FuType::Alu) as usize, 3 * n);
+            assert_eq!(m.bus_count() as usize, 1.max(n - 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 to 4")]
+    fn lx_rejects_oversize() {
+        let _ = Machine::lx(5);
+    }
+
+    #[test]
+    fn presets_support_the_benchmark_ops() {
+        use vliw_dfg::{DfgBuilder, OpType};
+        let mut b = DfgBuilder::new();
+        let m = b.add_op(OpType::Mul, &[]);
+        let _ = b.add_op(OpType::Add, &[m]);
+        let dfg = b.finish().expect("acyclic");
+        assert!(Machine::tms320c6x().check_supports_dfg(&dfg).is_ok());
+        assert!(Machine::lx(2).check_supports_dfg(&dfg).is_ok());
+    }
+}

@@ -1,0 +1,255 @@
+//! Structural graph analyses: topological order, connected components,
+//! critical path, and the summary statistics printed in the paper's table
+//! sub-headers (`N_V`, `N_CC`, `L_CP`).
+
+use crate::graph::{Dfg, OpId};
+use std::fmt;
+
+/// Computes a topological order of the graph with Kahn's algorithm.
+///
+/// Returns `None` if the dependence relation is cyclic (which
+/// [`crate::DfgBuilder::finish`] rejects, so this only returns `None` for
+/// hand-rolled or corrupted graphs).
+///
+/// The produced order is deterministic: among ready operations, the one
+/// with the smallest id comes first. Determinism matters because the
+/// binding heuristics break ties by visitation order and the reproduction
+/// must be repeatable run-to-run.
+pub fn topo_order(dfg: &Dfg) -> Option<Vec<OpId>> {
+    let n = dfg.len();
+    let mut in_deg: Vec<usize> = dfg.op_ids().map(|v| dfg.in_degree(v)).collect();
+    // Binary heap would give O(E log V); for the kernel sizes at hand a
+    // sorted ready list is plenty and keeps the order fully deterministic.
+    let mut ready: Vec<OpId> = dfg.op_ids().filter(|v| in_deg[v.index()] == 0).collect();
+    ready.sort_unstable_by(|a, b| b.cmp(a)); // pop() takes the smallest id
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = ready.pop() {
+        order.push(v);
+        for &s in dfg.succs(v) {
+            in_deg[s.index()] -= 1;
+            if in_deg[s.index()] == 0 {
+                // Insert keeping `ready` sorted descending.
+                let pos = ready.partition_point(|&r| r > s);
+                ready.insert(pos, s);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Assigns every operation to a weakly-connected component.
+///
+/// Returns `(component_of, component_count)` where `component_of[v.index()]`
+/// is a dense component id in `0..component_count`. The number of connected
+/// components is the `N_CC` statistic from the paper's benchmark
+/// sub-headers.
+pub fn connected_components(dfg: &Dfg) -> (Vec<usize>, usize) {
+    const UNVISITED: usize = usize::MAX;
+    let mut comp = vec![UNVISITED; dfg.len()];
+    let mut count = 0;
+    let mut stack = Vec::new();
+    for v in dfg.op_ids() {
+        if comp[v.index()] != UNVISITED {
+            continue;
+        }
+        stack.push(v);
+        comp[v.index()] = count;
+        while let Some(u) = stack.pop() {
+            for &w in dfg.preds(u).iter().chain(dfg.succs(u)) {
+                if comp[w.index()] == UNVISITED {
+                    comp[w.index()] = count;
+                    stack.push(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count)
+}
+
+/// Critical-path length `L_CP` in clock cycles for the given per-operation
+/// latencies: the completion time of the longest dependence chain, i.e. the
+/// minimum schedule latency with unlimited resources.
+///
+/// # Panics
+///
+/// Panics if `lat.len() != dfg.len()` or the graph is cyclic.
+pub fn critical_path_len(dfg: &Dfg, lat: &[u32]) -> u32 {
+    assert_eq!(lat.len(), dfg.len(), "one latency per operation required");
+    let order = topo_order(dfg).expect("critical path requires an acyclic graph");
+    let mut finish = vec![0u32; dfg.len()];
+    let mut cp = 0;
+    for v in order {
+        let start = dfg
+            .preds(v)
+            .iter()
+            .map(|&u| finish[u.index()])
+            .max()
+            .unwrap_or(0);
+        finish[v.index()] = start + lat[v.index()];
+        cp = cp.max(finish[v.index()]);
+    }
+    cp
+}
+
+/// Summary statistics of a benchmark DFG, matching the sub-headers of the
+/// paper's Table 1 (`N_V`, `N_CC`, `L_CP`) plus the ALU/MUL operation mix.
+///
+/// # Example
+///
+/// ```
+/// use vliw_dfg::{DfgBuilder, DfgStats, OpType};
+/// # fn main() -> Result<(), vliw_dfg::DfgError> {
+/// let mut b = DfgBuilder::new();
+/// let a = b.add_op(OpType::Mul, &[]);
+/// let _ = b.add_op(OpType::Add, &[a]);
+/// let dfg = b.finish()?;
+/// let stats = DfgStats::unit_latency(&dfg);
+/// assert_eq!((stats.n_v, stats.n_cc, stats.l_cp), (2, 1, 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DfgStats {
+    /// Number of operations `N_V`.
+    pub n_v: usize,
+    /// Number of weakly-connected components `N_CC`.
+    pub n_cc: usize,
+    /// Critical-path length `L_CP` in cycles.
+    pub l_cp: u32,
+    /// Number of ALU-class operations.
+    pub n_alu: usize,
+    /// Number of multiplier-class operations.
+    pub n_mul: usize,
+}
+
+impl DfgStats {
+    /// Computes statistics with explicit per-operation latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lat.len() != dfg.len()`.
+    pub fn new(dfg: &Dfg, lat: &[u32]) -> Self {
+        let (_, n_cc) = connected_components(dfg);
+        let (n_alu, n_mul) = dfg.regular_op_mix();
+        DfgStats {
+            n_v: dfg.len(),
+            n_cc,
+            l_cp: critical_path_len(dfg, lat),
+            n_alu,
+            n_mul,
+        }
+    }
+
+    /// Statistics under the paper's Table-1 assumption that every operation
+    /// takes one cycle.
+    pub fn unit_latency(dfg: &Dfg) -> Self {
+        Self::new(dfg, &vec![1; dfg.len()])
+    }
+}
+
+impl fmt::Display for DfgStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "N_V = {}, N_CC = {}, L_CP = {} ({} ALU / {} MUL ops)",
+            self.n_v, self.n_cc, self.l_cp, self.n_alu, self.n_mul
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DfgBuilder, OpType};
+
+    fn two_chains() -> Dfg {
+        // Component A: v0 -> v1 -> v2 ; Component B: v3 -> v4
+        let mut b = DfgBuilder::new();
+        let v0 = b.add_op(OpType::Add, &[]);
+        let v1 = b.add_op(OpType::Mul, &[v0]);
+        let _v2 = b.add_op(OpType::Add, &[v1]);
+        let v3 = b.add_op(OpType::Add, &[]);
+        let _v4 = b.add_op(OpType::Add, &[v3]);
+        b.finish().expect("acyclic")
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let dfg = two_chains();
+        let order = topo_order(&dfg).expect("acyclic");
+        let pos: Vec<usize> = {
+            let mut p = vec![0; dfg.len()];
+            for (i, v) in order.iter().enumerate() {
+                p[v.index()] = i;
+            }
+            p
+        };
+        for (u, v) in dfg.edges() {
+            assert!(pos[u.index()] < pos[v.index()], "{u} must precede {v}");
+        }
+    }
+
+    #[test]
+    fn topo_order_is_deterministic_smallest_id_first() {
+        let mut b = DfgBuilder::new();
+        let v0 = b.add_op(OpType::Add, &[]);
+        let v1 = b.add_op(OpType::Add, &[]);
+        let v2 = b.add_op(OpType::Add, &[]);
+        let _ = b.add_op(OpType::Add, &[v0, v1, v2]);
+        let dfg = b.finish().expect("acyclic");
+        let order = topo_order(&dfg).expect("acyclic");
+        assert_eq!(
+            order.iter().map(|v| v.index()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn components_counted_correctly() {
+        let dfg = two_chains();
+        let (comp, count) = connected_components(&dfg);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn critical_path_unit_latency() {
+        let dfg = two_chains();
+        assert_eq!(critical_path_len(&dfg, &vec![1; dfg.len()]), 3);
+    }
+
+    #[test]
+    fn critical_path_weighted_latency() {
+        let dfg = two_chains();
+        // v1 is a Mul; give multiplies latency 2 -> chain A takes 1+2+1 = 4.
+        let lat: Vec<u32> = dfg
+            .op_ids()
+            .map(|v| if dfg.op_type(v) == OpType::Mul { 2 } else { 1 })
+            .collect();
+        assert_eq!(critical_path_len(&dfg, &lat), 4);
+    }
+
+    #[test]
+    fn stats_match_expectations() {
+        let dfg = two_chains();
+        let stats = DfgStats::unit_latency(&dfg);
+        assert_eq!(stats.n_v, 5);
+        assert_eq!(stats.n_cc, 2);
+        assert_eq!(stats.l_cp, 3);
+        assert_eq!(stats.n_alu, 4);
+        assert_eq!(stats.n_mul, 1);
+        assert!(stats.to_string().contains("N_V = 5"));
+    }
+
+    #[test]
+    fn empty_graph_analyses() {
+        let dfg = DfgBuilder::new().finish().expect("empty");
+        assert_eq!(topo_order(&dfg), Some(vec![]));
+        assert_eq!(connected_components(&dfg).1, 0);
+        assert_eq!(critical_path_len(&dfg, &[]), 0);
+    }
+}

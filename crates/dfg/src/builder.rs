@@ -1,0 +1,335 @@
+//! Incremental construction of [`Dfg`]s.
+//!
+//! [`DfgBuilder`] lets kernels and tests assemble graphs operation by
+//! operation. Operands must already exist when an operation is added, so a
+//! graph built purely with [`DfgBuilder::add_op`] is acyclic by
+//! construction; extra edges added with [`DfgBuilder::add_edge`] (e.g. when
+//! deserializing foreign formats) are checked for cycles and duplicates in
+//! [`DfgBuilder::finish`].
+
+use crate::graph::{Dfg, OpId, OpNode};
+use crate::op::OpType;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`DfgBuilder::finish`] and other fallible DFG
+/// constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfgError {
+    /// An edge refers to an operation id that was never created.
+    UnknownOp {
+        /// The out-of-range id.
+        id: OpId,
+        /// Number of operations in the graph under construction.
+        len: usize,
+    },
+    /// The edge set contains a cycle (data dependencies must form a DAG).
+    Cycle,
+    /// The same `producer -> consumer` edge was added twice.
+    DuplicateEdge {
+        /// Producer operation.
+        from: OpId,
+        /// Consumer operation.
+        to: OpId,
+    },
+    /// An operation consumes its own result.
+    SelfLoop(OpId),
+}
+
+impl fmt::Display for DfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfgError::UnknownOp { id, len } => {
+                write!(f, "edge references unknown operation {id} (graph has {len} ops)")
+            }
+            DfgError::Cycle => write!(f, "data-dependence edges form a cycle"),
+            DfgError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate data-dependence edge {from} -> {to}")
+            }
+            DfgError::SelfLoop(v) => write!(f, "operation {v} consumes its own result"),
+        }
+    }
+}
+
+impl Error for DfgError {}
+
+/// Builder for [`Dfg`]s.
+///
+/// # Example
+///
+/// ```
+/// use vliw_dfg::{DfgBuilder, OpType};
+/// # fn main() -> Result<(), vliw_dfg::DfgError> {
+/// let mut b = DfgBuilder::new();
+/// let x = b.add_named_op(OpType::Mul, &[], "x*c1");
+/// let y = b.add_op(OpType::Add, &[x]);
+/// b.add_edge(x, y)?; // would duplicate the operand edge -> caught later
+/// assert!(b.finish().is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DfgBuilder {
+    ops: Vec<OpNode>,
+    preds: Vec<Vec<OpId>>,
+    succs: Vec<Vec<OpId>>,
+    extra_edges: bool,
+}
+
+impl DfgBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder expecting roughly `n` operations.
+    pub fn with_capacity(n: usize) -> Self {
+        DfgBuilder {
+            ops: Vec::with_capacity(n),
+            preds: Vec::with_capacity(n),
+            succs: Vec::with_capacity(n),
+            extra_edges: false,
+        }
+    }
+
+    /// Number of operations added so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no operations have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Adds an operation of type `kind` consuming the results of
+    /// `operands`, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand id has not been created by this builder —
+    /// operands must be added before their consumers, which is what keeps
+    /// builder-constructed graphs acyclic.
+    pub fn add_op(&mut self, kind: OpType, operands: &[OpId]) -> OpId {
+        self.push(kind, operands, None)
+    }
+
+    /// Like [`DfgBuilder::add_op`] but attaches a debug name, which shows up
+    /// in DOT dumps and schedule listings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand id is unknown (see [`DfgBuilder::add_op`]).
+    pub fn add_named_op(&mut self, kind: OpType, operands: &[OpId], name: &str) -> OpId {
+        self.push(kind, operands, Some(name.to_owned()))
+    }
+
+    fn push(&mut self, kind: OpType, operands: &[OpId], name: Option<String>) -> OpId {
+        let id = OpId::from_index(self.ops.len());
+        for &u in operands {
+            assert!(
+                u.index() < self.ops.len(),
+                "operand {u} does not exist yet (adding {id})"
+            );
+        }
+        self.ops.push(OpNode { kind, name });
+        self.preds.push(operands.to_vec());
+        self.succs.push(Vec::new());
+        for &u in operands {
+            self.succs[u.index()].push(id);
+        }
+        id
+    }
+
+    /// Adds a data-dependence edge between two existing operations.
+    ///
+    /// Unlike operand lists given to [`DfgBuilder::add_op`], edges added
+    /// here may create cycles or duplicates; both are diagnosed by
+    /// [`DfgBuilder::finish`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::UnknownOp`] if either endpoint does not exist,
+    /// or [`DfgError::SelfLoop`] if `from == to`.
+    pub fn add_edge(&mut self, from: OpId, to: OpId) -> Result<(), DfgError> {
+        let len = self.ops.len();
+        for id in [from, to] {
+            if id.index() >= len {
+                return Err(DfgError::UnknownOp { id, len });
+            }
+        }
+        if from == to {
+            return Err(DfgError::SelfLoop(from));
+        }
+        self.preds[to.index()].push(from);
+        self.succs[from.index()].push(to);
+        self.extra_edges = true;
+        Ok(())
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::DuplicateEdge`] if the same edge appears twice
+    /// and [`DfgError::Cycle`] if the dependence relation is cyclic (only
+    /// possible when [`DfgBuilder::add_edge`] was used).
+    pub fn finish(self) -> Result<Dfg, DfgError> {
+        let dfg = Dfg {
+            ops: self.ops,
+            preds: self.preds,
+            succs: self.succs,
+        };
+        // Duplicate detection.
+        for v in dfg.op_ids() {
+            let mut seen = dfg.preds(v).to_vec();
+            seen.sort_unstable();
+            for w in seen.windows(2) {
+                if w[0] == w[1] {
+                    return Err(DfgError::DuplicateEdge { from: w[0], to: v });
+                }
+            }
+        }
+        // Cycle detection via Kahn's algorithm; only add_edge can introduce
+        // cycles but we always validate, so deserialized graphs can be
+        // re-checked through `Dfg::validate` below too.
+        if self.extra_edges && crate::analysis::topo_order(&dfg).is_none() {
+            return Err(DfgError::Cycle);
+        }
+        Ok(dfg)
+    }
+}
+
+impl Dfg {
+    /// Re-validates a graph obtained from an untrusted source (e.g.
+    /// deserialized JSON): adjacency consistency, no duplicate edges, no
+    /// cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural problem found as a [`DfgError`].
+    pub fn validate(&self) -> Result<(), DfgError> {
+        let len = self.len();
+        for v in self.op_ids() {
+            for &u in self.preds(v) {
+                if u.index() >= len {
+                    return Err(DfgError::UnknownOp { id: u, len });
+                }
+                if u == v {
+                    return Err(DfgError::SelfLoop(v));
+                }
+                if !self.succs(u).contains(&v) {
+                    return Err(DfgError::UnknownOp { id: v, len });
+                }
+            }
+            let mut sorted = self.preds(v).to_vec();
+            sorted.sort_unstable();
+            for w in sorted.windows(2) {
+                if w[0] == w[1] {
+                    return Err(DfgError::DuplicateEdge { from: w[0], to: v });
+                }
+            }
+        }
+        if crate::analysis::topo_order(self).is_none() {
+            return Err(DfgError::Cycle);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_linear_chain() {
+        let mut b = DfgBuilder::new();
+        let mut prev = b.add_op(OpType::Add, &[]);
+        for _ in 0..9 {
+            prev = b.add_op(OpType::Add, &[prev]);
+        }
+        let dfg = b.finish().expect("chain");
+        assert_eq!(dfg.len(), 10);
+        assert_eq!(dfg.edge_count(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist yet")]
+    fn forward_operand_panics() {
+        let mut b = DfgBuilder::new();
+        let ghost = OpId::from_index(5);
+        b.add_op(OpType::Add, &[ghost]);
+    }
+
+    #[test]
+    fn add_edge_rejects_unknown_ids() {
+        let mut b = DfgBuilder::new();
+        let v = b.add_op(OpType::Add, &[]);
+        let ghost = OpId::from_index(9);
+        assert!(matches!(
+            b.add_edge(v, ghost),
+            Err(DfgError::UnknownOp { .. })
+        ));
+    }
+
+    #[test]
+    fn add_edge_rejects_self_loop() {
+        let mut b = DfgBuilder::new();
+        let v = b.add_op(OpType::Add, &[]);
+        assert_eq!(b.add_edge(v, v), Err(DfgError::SelfLoop(v)));
+    }
+
+    #[test]
+    fn finish_detects_cycle_from_extra_edges() {
+        let mut b = DfgBuilder::new();
+        let a = b.add_op(OpType::Add, &[]);
+        let c = b.add_op(OpType::Add, &[a]);
+        b.add_edge(c, a).expect("edge endpoints exist");
+        assert_eq!(b.finish(), Err(DfgError::Cycle));
+    }
+
+    #[test]
+    fn finish_detects_duplicate_edge() {
+        let mut b = DfgBuilder::new();
+        let a = b.add_op(OpType::Add, &[]);
+        let c = b.add_op(OpType::Add, &[a]);
+        b.add_edge(a, c).expect("edge endpoints exist");
+        assert!(matches!(b.finish(), Err(DfgError::DuplicateEdge { .. })));
+    }
+
+    #[test]
+    fn names_are_preserved() {
+        let mut b = DfgBuilder::new();
+        let v = b.add_named_op(OpType::Mul, &[], "x*c3");
+        let dfg = b.finish().expect("single op");
+        assert_eq!(dfg.name(v), Some("x*c3"));
+    }
+
+    #[test]
+    fn validate_accepts_builder_output() {
+        let mut b = DfgBuilder::new();
+        let a = b.add_op(OpType::Add, &[]);
+        let c = b.add_op(OpType::Mul, &[a]);
+        let _d = b.add_op(OpType::Sub, &[a, c]);
+        let dfg = b.finish().expect("valid");
+        assert_eq!(dfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = DfgError::UnknownOp {
+            id: OpId::from_index(3),
+            len: 2,
+        };
+        assert!(err.to_string().contains("v3"));
+        assert!(DfgError::Cycle.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut b = DfgBuilder::with_capacity(16);
+        assert!(b.is_empty());
+        b.add_op(OpType::Add, &[]);
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Graphviz (DOT) export of dataflow graphs.
+//!
+//! Useful for eyeballing benchmark kernels and bound graphs (the inserted
+//! `move` operations render as gray boxes, mirroring the paper's Figure 1
+//! illustration of a bound DFG).
+
+use crate::graph::{Dfg, OpId};
+use crate::op::OpType;
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// Regular operations are ellipses labeled with their mnemonic (and debug
+/// name if present); `move` operations are gray boxes. `cluster_of` may
+/// supply a binding, in which case nodes are colored per cluster.
+///
+/// # Example
+///
+/// ```
+/// use vliw_dfg::{DfgBuilder, OpType, dot};
+/// # fn main() -> Result<(), vliw_dfg::DfgError> {
+/// let mut b = DfgBuilder::new();
+/// let a = b.add_op(OpType::Add, &[]);
+/// let _m = b.add_op(OpType::Mul, &[a]);
+/// let text = dot::to_dot(&b.finish()?, "example", |_| None);
+/// assert!(text.starts_with("digraph example"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(
+    dfg: &Dfg,
+    graph_name: &str,
+    cluster_of: impl Fn(OpId) -> Option<usize>,
+) -> String {
+    const PALETTE: [&str; 8] = [
+        "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+    ];
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {graph_name} {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    for v in dfg.op_ids() {
+        let label = match dfg.name(v) {
+            Some(name) => format!("{v}: {} [{name}]", dfg.op_type(v)),
+            None => format!("{v}: {}", dfg.op_type(v)),
+        };
+        let shape = if dfg.op_type(v) == OpType::Move {
+            "box, style=filled, fillcolor=\"#dddddd\""
+        } else {
+            "ellipse"
+        };
+        match cluster_of(v) {
+            Some(c) => {
+                let color = PALETTE[c % PALETTE.len()];
+                let _ = writeln!(
+                    out,
+                    "  n{} [label=\"{label}\\ncl{c}\", shape={shape}, style=filled, fillcolor=\"{color}\"];",
+                    v.index()
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  n{} [label=\"{label}\", shape={shape}];", v.index());
+            }
+        }
+    }
+    for (u, v) in dfg.edges() {
+        let _ = writeln!(out, "  n{} -> n{};", u.index(), v.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DfgBuilder, OpType};
+
+    fn sample() -> Dfg {
+        let mut b = DfgBuilder::new();
+        let a = b.add_named_op(OpType::Add, &[], "in0+in1");
+        let m = b.add_op(OpType::Mul, &[a]);
+        let _t = b.add_op(OpType::Move, &[m]);
+        b.finish().expect("acyclic")
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let dfg = sample();
+        let text = to_dot(&dfg, "g", |_| None);
+        for v in dfg.op_ids() {
+            assert!(text.contains(&format!("n{}", v.index())));
+        }
+        assert!(text.contains("n0 -> n1;"));
+        assert!(text.contains("n1 -> n2;"));
+    }
+
+    #[test]
+    fn moves_render_as_boxes() {
+        let text = to_dot(&sample(), "g", |_| None);
+        assert!(text.contains("shape=box"));
+    }
+
+    #[test]
+    fn names_appear_in_labels() {
+        let text = to_dot(&sample(), "g", |_| None);
+        assert!(text.contains("in0+in1"));
+    }
+
+    #[test]
+    fn clusters_color_nodes() {
+        let text = to_dot(&sample(), "g", |v| Some(v.index() % 2));
+        assert!(text.contains("cl0"));
+        assert!(text.contains("cl1"));
+        assert!(text.contains("fillcolor"));
+    }
+
+    #[test]
+    fn output_is_well_formed() {
+        let text = to_dot(&sample(), "g", |_| None);
+        assert!(text.starts_with("digraph g {"));
+        assert!(text.trim_end().ends_with('}'));
+    }
+}

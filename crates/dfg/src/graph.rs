@@ -1,0 +1,354 @@
+//! The arena-based dataflow DAG.
+//!
+//! [`Dfg`] stores operations in a flat arena indexed by [`OpId`] and keeps
+//! both predecessor (operand) and successor (consumer) adjacency, so every
+//! query the binding and scheduling algorithms need — `pred(v)`, `succ(v)`,
+//! in/out degrees, topological iteration — is O(1) amortized.
+//!
+//! Construction happens through [`crate::DfgBuilder`], which guarantees the
+//! graph is acyclic by construction; deserialized graphs are re-validated.
+
+use crate::op::OpType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an operation in a [`Dfg`] arena.
+///
+/// `OpId`s are dense indices `0..dfg.len()`, stable across clones and
+/// serialization, so algorithms can use them directly as `Vec` indices via
+/// [`OpId::index`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct OpId(pub(crate) u32);
+
+impl OpId {
+    /// Creates an `OpId` from a raw dense index.
+    ///
+    /// Intended for algorithms that iterate `0..dfg.len()`; the id is only
+    /// meaningful for the graph it was derived from.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        OpId(u32::try_from(index).expect("DFG larger than u32::MAX operations"))
+    }
+
+    /// The dense index of this operation, usable for table lookup.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// One operation vertex: its type and an optional debug name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct OpNode {
+    pub(crate) kind: OpType,
+    pub(crate) name: Option<String>,
+}
+
+/// A dataflow graph representing a basic block (paper Section 2,
+/// "Dataflow model"): a DAG whose vertices are operations and whose edges
+/// are data dependencies.
+///
+/// The graph can be in *original* form (no [`OpType::Move`] vertices) or in
+/// *bound* form, where data transfers have been materialized between
+/// producers and consumers bound to different clusters (paper Figure 1).
+/// `Dfg` itself is agnostic; the scheduler crate constructs bound graphs.
+///
+/// # Example
+///
+/// ```
+/// use vliw_dfg::{DfgBuilder, OpType};
+/// # fn main() -> Result<(), vliw_dfg::DfgError> {
+/// let mut b = DfgBuilder::new();
+/// let a = b.add_op(OpType::Mul, &[]);
+/// let c = b.add_op(OpType::Add, &[a]);
+/// let dfg = b.finish()?;
+/// assert_eq!(dfg.len(), 2);
+/// assert_eq!(dfg.preds(c), &[a]);
+/// assert_eq!(dfg.succs(a), &[c]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dfg {
+    pub(crate) ops: Vec<OpNode>,
+    pub(crate) preds: Vec<Vec<OpId>>,
+    pub(crate) succs: Vec<Vec<OpId>>,
+}
+
+impl Dfg {
+    /// Number of operations `N_V = |V|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the graph contains no operations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Iterator over all operation ids in dense order.
+    pub fn op_ids(&self) -> impl ExactSizeIterator<Item = OpId> + Clone {
+        (0..self.ops.len() as u32).map(OpId)
+    }
+
+    /// The operation type `optype(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an id of this graph.
+    #[inline]
+    pub fn op_type(&self, v: OpId) -> OpType {
+        self.ops[v.index()].kind
+    }
+
+    /// The optional debug name attached at build time.
+    #[inline]
+    pub fn name(&self, v: OpId) -> Option<&str> {
+        self.ops[v.index()].name.as_deref()
+    }
+
+    /// Direct predecessors (operand producers) `pred(v)`.
+    #[inline]
+    pub fn preds(&self, v: OpId) -> &[OpId] {
+        &self.preds[v.index()]
+    }
+
+    /// Direct successors (result consumers) `succ(v)`.
+    #[inline]
+    pub fn succs(&self, v: OpId) -> &[OpId] {
+        &self.succs[v.index()]
+    }
+
+    /// Number of operands of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: OpId) -> usize {
+        self.preds[v.index()].len()
+    }
+
+    /// Number of consumers of `v`'s result — the third component of the
+    /// paper's binding order (Section 3.1.1).
+    #[inline]
+    pub fn out_degree(&self, v: OpId) -> usize {
+        self.succs[v.index()].len()
+    }
+
+    /// Operations with no operands (DFG inputs).
+    pub fn sources(&self) -> Vec<OpId> {
+        self.op_ids().filter(|&v| self.in_degree(v) == 0).collect()
+    }
+
+    /// Operations with no consumers (DFG outputs).
+    pub fn sinks(&self) -> Vec<OpId> {
+        self.op_ids().filter(|&v| self.out_degree(v) == 0).collect()
+    }
+
+    /// Total number of data-dependence edges `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.preds.iter().map(Vec::len).sum()
+    }
+
+    /// Iterator over all edges as `(producer, consumer)` pairs.
+    pub fn edges(&self) -> EdgeIter<'_> {
+        EdgeIter {
+            dfg: self,
+            consumer: 0,
+            slot: 0,
+        }
+    }
+
+    /// Whether an edge `u -> v` exists.
+    pub fn has_edge(&self, u: OpId, v: OpId) -> bool {
+        self.preds[v.index()].contains(&u)
+    }
+
+    /// Number of operations of each [`crate::FuType`]'s operation class
+    /// that are *regular* (`Move` excluded): `(n_alu, n_mul)`.
+    pub fn regular_op_mix(&self) -> (usize, usize) {
+        let mut alu = 0;
+        let mut mul = 0;
+        for node in &self.ops {
+            match node.kind.fu_type() {
+                crate::FuType::Alu => alu += 1,
+                crate::FuType::Mul => mul += 1,
+                crate::FuType::Bus => {}
+            }
+        }
+        (alu, mul)
+    }
+
+    /// Ids of all `Move` operations (non-empty only in bound graphs).
+    pub fn moves(&self) -> Vec<OpId> {
+        self.op_ids()
+            .filter(|&v| self.op_type(v) == OpType::Move)
+            .collect()
+    }
+
+    /// Ids of all regular (non-`Move`) operations.
+    pub fn regular_ops(&self) -> Vec<OpId> {
+        self.op_ids()
+            .filter(|&v| self.op_type(v).is_regular())
+            .collect()
+    }
+
+    /// The transposed graph: same operations (ids and types preserved),
+    /// every edge reversed.
+    ///
+    /// Binding "from the output nodes" (paper Section 3.1.4) is
+    /// implemented by running the forward algorithm on the transpose —
+    /// data flows backwards, so producers/consumers swap roles while all
+    /// level analyses mirror symmetrically.
+    pub fn transposed(&self) -> Dfg {
+        Dfg {
+            ops: self.ops.clone(),
+            preds: self.succs.clone(),
+            succs: self.preds.clone(),
+        }
+    }
+}
+
+/// Iterator over the edges of a [`Dfg`] as `(producer, consumer)` pairs;
+/// created by [`Dfg::edges`].
+#[derive(Debug, Clone)]
+pub struct EdgeIter<'a> {
+    dfg: &'a Dfg,
+    consumer: usize,
+    slot: usize,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = (OpId, OpId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.consumer < self.dfg.len() {
+            let preds = &self.dfg.preds[self.consumer];
+            if self.slot < preds.len() {
+                let edge = (preds[self.slot], OpId(self.consumer as u32));
+                self.slot += 1;
+                return Some(edge);
+            }
+            self.consumer += 1;
+            self.slot = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{DfgBuilder, OpType};
+
+    fn diamond() -> crate::Dfg {
+        // v0 -> {v1, v2} -> v3
+        let mut b = DfgBuilder::new();
+        let v0 = b.add_op(OpType::Add, &[]);
+        let v1 = b.add_op(OpType::Mul, &[v0]);
+        let v2 = b.add_op(OpType::Sub, &[v0]);
+        let _v3 = b.add_op(OpType::Add, &[v1, v2]);
+        b.finish().expect("diamond is acyclic")
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let dfg = diamond();
+        for (u, v) in dfg.edges() {
+            assert!(dfg.succs(u).contains(&v));
+            assert!(dfg.preds(v).contains(&u));
+        }
+        assert_eq!(dfg.edge_count(), 4);
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let dfg = diamond();
+        assert_eq!(dfg.sources().len(), 1);
+        assert_eq!(dfg.sinks().len(), 1);
+        assert_eq!(dfg.sources()[0].index(), 0);
+        assert_eq!(dfg.sinks()[0].index(), 3);
+    }
+
+    #[test]
+    fn degrees() {
+        let dfg = diamond();
+        let ids: Vec<_> = dfg.op_ids().collect();
+        assert_eq!(dfg.out_degree(ids[0]), 2);
+        assert_eq!(dfg.in_degree(ids[3]), 2);
+        assert_eq!(dfg.in_degree(ids[0]), 0);
+        assert_eq!(dfg.out_degree(ids[3]), 0);
+    }
+
+    #[test]
+    fn op_mix_counts_alu_and_mul() {
+        let dfg = diamond();
+        let (alu, mul) = dfg.regular_op_mix();
+        assert_eq!(alu, 3);
+        assert_eq!(mul, 1);
+    }
+
+    #[test]
+    fn edge_iter_yields_every_edge_once() {
+        let dfg = diamond();
+        let edges: Vec<_> = dfg.edges().collect();
+        assert_eq!(edges.len(), dfg.edge_count());
+        let mut dedup = edges.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), edges.len());
+    }
+
+    #[test]
+    fn has_edge_matches_adjacency() {
+        let dfg = diamond();
+        let ids: Vec<_> = dfg.op_ids().collect();
+        assert!(dfg.has_edge(ids[0], ids[1]));
+        assert!(!dfg.has_edge(ids[1], ids[0]));
+        assert!(!dfg.has_edge(ids[0], ids[3]));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_graph() {
+        let dfg = diamond();
+        let json = serde_json::to_string(&dfg).expect("serialize");
+        let back: crate::Dfg = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(dfg, back);
+    }
+
+    #[test]
+    fn display_for_opid() {
+        assert_eq!(crate::OpId::from_index(7).to_string(), "v7");
+    }
+
+    #[test]
+    fn transpose_reverses_every_edge() {
+        let dfg = diamond();
+        let t = dfg.transposed();
+        assert_eq!(t.len(), dfg.len());
+        assert_eq!(t.edge_count(), dfg.edge_count());
+        for (u, v) in dfg.edges() {
+            assert!(t.has_edge(v, u));
+        }
+        for v in dfg.op_ids() {
+            assert_eq!(t.op_type(v), dfg.op_type(v));
+        }
+        // Transposing twice is the identity.
+        assert_eq!(t.transposed(), dfg);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let dfg = DfgBuilder::new().finish().expect("empty is fine");
+        assert!(dfg.is_empty());
+        assert_eq!(dfg.len(), 0);
+        assert_eq!(dfg.edge_count(), 0);
+        assert!(dfg.edges().next().is_none());
+    }
+}

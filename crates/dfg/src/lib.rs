@@ -1,0 +1,61 @@
+//! Dataflow-graph substrate for clustered-VLIW operation binding.
+//!
+//! This crate implements the *dataflow model* of Lapinskii, Jacome and
+//! de Veciana, "High-Quality Operation Binding for Clustered VLIW
+//! Datapaths" (DAC 2001), Section 2: a basic block is represented as a
+//! directed acyclic graph `DAG = (V, E)` whose vertices are operations and
+//! whose edges are data dependencies.
+//!
+//! Provided here:
+//!
+//! * [`Dfg`] — an arena-based DAG with constant-time predecessor/successor
+//!   access, built through [`DfgBuilder`];
+//! * [`OpType`] — the operation-type alphabet (`optype(v)` in the paper),
+//!   including the inter-cluster data-transfer type [`OpType::Move`];
+//! * [`Timing`] — ASAP/ALAP/mobility/criticality analysis for a given
+//!   per-operation latency assignment and target latency `L_TG`
+//!   (paper footnote 2);
+//! * [`analysis`] helpers — topological order, connected components,
+//!!  critical-path length, graph statistics;
+//! * [`dot`] — Graphviz export for debugging and documentation.
+//!
+//! # Example
+//!
+//! Build the three-operation graph of the paper's Figure 1(a) and analyze
+//! it:
+//!
+//! ```
+//! use vliw_dfg::{DfgBuilder, OpType, Timing};
+//!
+//! # fn main() -> Result<(), vliw_dfg::DfgError> {
+//! let mut b = DfgBuilder::new();
+//! let v1 = b.add_op(OpType::Add, &[]);
+//! let v2 = b.add_op(OpType::Add, &[]);
+//! let v3 = b.add_op(OpType::Add, &[v1, v2]);
+//! let dfg = b.finish()?;
+//!
+//! let lat = vec![1u32; dfg.len()];
+//! let timing = Timing::with_critical_path(&dfg, &lat);
+//! assert_eq!(timing.critical_path_len(), 2);
+//! assert_eq!(timing.mobility(v3), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod builder;
+pub mod dot;
+pub mod graph;
+pub mod op;
+pub mod timing;
+pub mod unroll;
+
+pub use analysis::{connected_components, critical_path_len, topo_order, DfgStats};
+pub use builder::{DfgBuilder, DfgError};
+pub use graph::{Dfg, EdgeIter, OpId};
+pub use op::{FuType, OpType};
+pub use timing::Timing;
+pub use unroll::{unroll, LoopCarry};

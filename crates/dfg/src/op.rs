@@ -1,0 +1,239 @@
+//! Operation and functional-unit type alphabets.
+//!
+//! The paper associates every operation type `p` with exactly one
+//! functional-unit type `futype(p)` (Section 2, "Datapath model"): the set
+//! of FU types partitions the set of operation types. The evaluation uses
+//! two regular FU classes — ALUs and multipliers — plus the bus, which is
+//! modeled as a resource of type `BUS` executing the `move` operation type.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Functional-unit type (`FT` in the paper).
+///
+/// Every operation executes on exactly one FU type; the inter-cluster
+/// data-transfer (`move`) operation executes on the [`FuType::Bus`].
+///
+/// # Example
+///
+/// ```
+/// use vliw_dfg::{FuType, OpType};
+/// assert_eq!(OpType::Mul.fu_type(), FuType::Mul);
+/// assert_eq!(OpType::Move.fu_type(), FuType::Bus);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FuType {
+    /// Arithmetic-logic unit: additions, subtractions, logic, shifts,
+    /// comparisons.
+    Alu,
+    /// Multiplier: multiplications and multiply-accumulate.
+    Mul,
+    /// The inter-cluster bus, treated as a resource of type `BUS`
+    /// (paper Section 2).
+    Bus,
+}
+
+impl FuType {
+    /// The two *regular* (in-cluster) FU types, i.e. everything except the
+    /// bus. Iterating over this is how per-cluster resource tables are laid
+    /// out.
+    pub const REGULAR: [FuType; 2] = [FuType::Alu, FuType::Mul];
+
+    /// All FU types including the bus.
+    pub const ALL: [FuType; 3] = [FuType::Alu, FuType::Mul, FuType::Bus];
+
+    /// Dense index of this FU type, usable for table lookup.
+    ///
+    /// `Alu → 0`, `Mul → 1`, `Bus → 2`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            FuType::Alu => 0,
+            FuType::Mul => 1,
+            FuType::Bus => 2,
+        }
+    }
+
+    /// Whether this FU type lives inside clusters (ALU, multiplier) rather
+    /// than between them (bus).
+    #[inline]
+    pub const fn is_regular(self) -> bool {
+        !matches!(self, FuType::Bus)
+    }
+}
+
+impl fmt::Display for FuType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuType::Alu => "ALU",
+            FuType::Mul => "MUL",
+            FuType::Bus => "BUS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Operation type (`optype(v)` / `OT` in the paper).
+///
+/// The alphabet covers the operations appearing in the paper's DSP kernels
+/// (EWF, ARF, FFT, DCTs): additions/subtractions and their ALU relatives,
+/// multiplications, and the `move` data transfer inserted by binding.
+///
+/// # Example
+///
+/// ```
+/// use vliw_dfg::OpType;
+/// assert!(OpType::Sub.is_regular());
+/// assert!(!OpType::Move.is_regular());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpType {
+    /// Two-operand addition (ALU).
+    Add,
+    /// Two-operand subtraction (ALU).
+    Sub,
+    /// Arithmetic negation (ALU).
+    Neg,
+    /// Logical/arithmetic shift (ALU).
+    Shift,
+    /// Comparison / min / max style ALU operation.
+    Cmp,
+    /// Bitwise logic operation (ALU).
+    Logic,
+    /// Two-operand multiplication (multiplier).
+    Mul,
+    /// Multiply-accumulate (multiplier).
+    Mac,
+    /// Inter-cluster data transfer over the bus; inserted by binding, never
+    /// present in an original (unbound) DFG.
+    Move,
+}
+
+impl OpType {
+    /// All operation types executable on regular FUs (everything except
+    /// [`OpType::Move`]).
+    pub const REGULAR: [OpType; 8] = [
+        OpType::Add,
+        OpType::Sub,
+        OpType::Neg,
+        OpType::Shift,
+        OpType::Cmp,
+        OpType::Logic,
+        OpType::Mul,
+        OpType::Mac,
+    ];
+
+    /// The FU type executing this operation type (`futype(p)`).
+    #[inline]
+    pub const fn fu_type(self) -> FuType {
+        match self {
+            OpType::Add
+            | OpType::Sub
+            | OpType::Neg
+            | OpType::Shift
+            | OpType::Cmp
+            | OpType::Logic => FuType::Alu,
+            OpType::Mul | OpType::Mac => FuType::Mul,
+            OpType::Move => FuType::Bus,
+        }
+    }
+
+    /// Whether this operation executes on an in-cluster FU (i.e. is not a
+    /// data transfer).
+    #[inline]
+    pub const fn is_regular(self) -> bool {
+        !matches!(self, OpType::Move)
+    }
+
+    /// Short mnemonic used by the DOT exporter and schedule printers.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            OpType::Add => "add",
+            OpType::Sub => "sub",
+            OpType::Neg => "neg",
+            OpType::Shift => "shift",
+            OpType::Cmp => "cmp",
+            OpType::Logic => "logic",
+            OpType::Mul => "mul",
+            OpType::Mac => "mac",
+            OpType::Move => "move",
+        }
+    }
+}
+
+impl fmt::Display for OpType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn futype_partitions_optypes() {
+        // Every regular op type maps to a regular FU type; only Move maps
+        // to the bus. This is the partition property from Section 2.
+        for op in OpType::REGULAR {
+            assert!(op.fu_type().is_regular(), "{op} should be regular");
+        }
+        assert_eq!(OpType::Move.fu_type(), FuType::Bus);
+    }
+
+    #[test]
+    fn futype_indices_are_dense_and_distinct() {
+        let mut seen = [false; 3];
+        for t in FuType::ALL {
+            assert!(!seen[t.index()], "duplicate index for {t}");
+            seen[t.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn alu_ops_map_to_alu() {
+        for op in [
+            OpType::Add,
+            OpType::Sub,
+            OpType::Neg,
+            OpType::Shift,
+            OpType::Cmp,
+            OpType::Logic,
+        ] {
+            assert_eq!(op.fu_type(), FuType::Alu);
+        }
+    }
+
+    #[test]
+    fn mul_ops_map_to_mul() {
+        assert_eq!(OpType::Mul.fu_type(), FuType::Mul);
+        assert_eq!(OpType::Mac.fu_type(), FuType::Mul);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for t in FuType::ALL {
+            assert!(!t.to_string().is_empty());
+        }
+        for op in OpType::REGULAR {
+            assert!(!op.to_string().is_empty());
+        }
+        assert_eq!(OpType::Move.to_string(), "move");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for op in OpType::REGULAR.into_iter().chain([OpType::Move]) {
+            let json = serde_json::to_string(&op).expect("serialize");
+            let back: OpType = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(op, back);
+        }
+    }
+
+    #[test]
+    fn regular_list_excludes_move() {
+        assert!(!OpType::REGULAR.contains(&OpType::Move));
+        assert!(OpType::REGULAR.iter().all(|op| op.is_regular()));
+    }
+}

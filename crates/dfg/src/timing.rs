@@ -1,0 +1,257 @@
+//! ASAP/ALAP/mobility analysis (paper Section 3.1.1, footnote 2).
+//!
+//! For a target latency `L_TG`, every operation `v` gets an
+//! "as soon as possible" start step `asap(v)`, an "as late as possible"
+//! start step `alap(v)`, and a mobility `μ(v) = alap(v) − asap(v)`. The
+//! paper's binding order and load profiles are both defined in terms of
+//! these quantities; the load-profile latency `L_PR` of Section 3.1.3 is
+//! simply a `Timing` computed with `L_TG = L_PR`.
+
+use crate::analysis::topo_order;
+use crate::graph::{Dfg, OpId};
+
+/// ASAP/ALAP/mobility tables for a DFG under a given per-operation latency
+/// assignment and target latency.
+///
+/// Start-time convention: an operation starting at step `τ` with latency
+/// `l` occupies steps `τ .. τ+l` and its result is available at step
+/// `τ + l`. Steps are 0-based; a schedule of latency `L` finishes all
+/// operations by step `L` (i.e. the last operation *starts* at `L − l`).
+///
+/// # Example
+///
+/// ```
+/// use vliw_dfg::{DfgBuilder, OpType, Timing};
+/// # fn main() -> Result<(), vliw_dfg::DfgError> {
+/// let mut b = DfgBuilder::new();
+/// let a = b.add_op(OpType::Add, &[]);
+/// let c = b.add_op(OpType::Add, &[a]);
+/// let _free = b.add_op(OpType::Add, &[]); // independent: mobile
+/// let dfg = b.finish()?;
+/// let timing = Timing::new(&dfg, &[1, 1, 1], 2);
+/// assert_eq!(timing.mobility(a), 0);
+/// assert_eq!(timing.mobility(c), 0);
+/// assert_eq!(timing.mobility(vliw_dfg::OpId::from_index(2)), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timing {
+    asap: Vec<u32>,
+    alap: Vec<u32>,
+    lat: Vec<u32>,
+    l_tg: u32,
+    l_cp: u32,
+}
+
+impl Timing {
+    /// Computes ASAP/ALAP for target latency `l_tg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lat.len() != dfg.len()`, if the graph is cyclic, or if
+    /// `l_tg` is smaller than the critical-path length (which would make
+    /// mobilities negative).
+    pub fn new(dfg: &Dfg, lat: &[u32], l_tg: u32) -> Self {
+        assert_eq!(lat.len(), dfg.len(), "one latency per operation required");
+        let order = topo_order(dfg).expect("timing requires an acyclic graph");
+
+        let mut asap = vec![0u32; dfg.len()];
+        let mut l_cp = 0u32;
+        for &v in &order {
+            let start = dfg
+                .preds(v)
+                .iter()
+                .map(|&u| asap[u.index()] + lat[u.index()])
+                .max()
+                .unwrap_or(0);
+            asap[v.index()] = start;
+            l_cp = l_cp.max(start + lat[v.index()]);
+        }
+        assert!(
+            l_tg >= l_cp,
+            "target latency {l_tg} below critical path {l_cp}"
+        );
+
+        // tail(v) = longest completion chain starting at v, including v.
+        let mut tail = vec![0u32; dfg.len()];
+        for &v in order.iter().rev() {
+            let below = dfg.succs(v).iter().map(|&s| tail[s.index()]).max().unwrap_or(0);
+            tail[v.index()] = lat[v.index()] + below;
+        }
+        let alap: Vec<u32> = dfg
+            .op_ids()
+            .map(|v| l_tg - tail[v.index()])
+            .collect();
+
+        Timing {
+            asap,
+            alap,
+            lat: lat.to_vec(),
+            l_tg,
+            l_cp,
+        }
+    }
+
+    /// Computes ASAP/ALAP with the tightest possible target latency,
+    /// `L_TG = L_CP` (so critical operations have zero mobility).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Timing::new`].
+    pub fn with_critical_path(dfg: &Dfg, lat: &[u32]) -> Self {
+        let l_cp = crate::analysis::critical_path_len(dfg, lat);
+        Self::new(dfg, lat, l_cp)
+    }
+
+    /// Earliest possible start step of `v`.
+    #[inline]
+    pub fn asap(&self, v: OpId) -> u32 {
+        self.asap[v.index()]
+    }
+
+    /// Latest start step of `v` that still meets the target latency.
+    #[inline]
+    pub fn alap(&self, v: OpId) -> u32 {
+        self.alap[v.index()]
+    }
+
+    /// Mobility `μ(v) = alap(v) − asap(v)` (paper footnote 2).
+    #[inline]
+    pub fn mobility(&self, v: OpId) -> u32 {
+        self.alap[v.index()] - self.asap[v.index()]
+    }
+
+    /// Latency of `v` under this analysis' latency assignment.
+    #[inline]
+    pub fn lat(&self, v: OpId) -> u32 {
+        self.lat[v.index()]
+    }
+
+    /// The target latency `L_TG` this analysis was computed for.
+    #[inline]
+    pub fn target_latency(&self) -> u32 {
+        self.l_tg
+    }
+
+    /// The critical-path length `L_CP` of the graph.
+    #[inline]
+    pub fn critical_path_len(&self) -> u32 {
+        self.l_cp
+    }
+
+    /// Whether `v` lies on a critical path (zero mobility at `L_TG = L_CP`;
+    /// more generally, mobility equal to `L_TG − L_CP`).
+    #[inline]
+    pub fn is_critical(&self, v: OpId) -> bool {
+        self.mobility(v) == self.l_tg - self.l_cp
+    }
+
+    /// Number of operations analyzed.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.asap.len()
+    }
+
+    /// Whether the analysis covers zero operations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.asap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DfgBuilder, OpType};
+
+    /// The DFG of the paper's Figure 2: v1 -> v2 -> v4 -> v6 as the
+    /// critical chain, v3 joining at v4's level, v5 feeding v6.
+    fn figure2() -> (Dfg, Vec<OpId>) {
+        let mut b = DfgBuilder::new();
+        let v1 = b.add_op(OpType::Add, &[]);
+        let v2 = b.add_op(OpType::Add, &[v1]);
+        let v3 = b.add_op(OpType::Add, &[]);
+        let v4 = b.add_op(OpType::Add, &[v2, v3]);
+        let v5 = b.add_op(OpType::Add, &[]);
+        let v6 = b.add_op(OpType::Add, &[v4, v5]);
+        let dfg = b.finish().expect("acyclic");
+        (dfg, vec![v1, v2, v3, v4, v5, v6])
+    }
+
+    #[test]
+    fn asap_alap_on_figure2() {
+        let (dfg, v) = figure2();
+        let t = Timing::with_critical_path(&dfg, &vec![1; dfg.len()]);
+        assert_eq!(t.critical_path_len(), 4);
+        assert_eq!(t.asap(v[0]), 0);
+        assert_eq!(t.asap(v[3]), 2);
+        assert_eq!(t.asap(v[5]), 3);
+        assert_eq!(t.alap(v[0]), 0);
+        assert_eq!(t.alap(v[2]), 1); // v3 can slip one level
+        assert_eq!(t.mobility(v[2]), 1);
+        assert_eq!(t.alap(v[4]), 2); // v5 can slip to just before v6
+        assert_eq!(t.mobility(v[4]), 2);
+    }
+
+    #[test]
+    fn critical_ops_have_zero_mobility_at_lcp() {
+        let (dfg, v) = figure2();
+        let t = Timing::with_critical_path(&dfg, &vec![1; dfg.len()]);
+        for &c in &[v[0], v[1], v[3], v[5]] {
+            assert_eq!(t.mobility(c), 0, "{c} is on the critical path");
+            assert!(t.is_critical(c));
+        }
+        assert!(!t.is_critical(v[2]));
+    }
+
+    #[test]
+    fn stretching_target_latency_shifts_alap_uniformly() {
+        let (dfg, _) = figure2();
+        let lat = vec![1; dfg.len()];
+        let tight = Timing::with_critical_path(&dfg, &lat);
+        let loose = Timing::new(&dfg, &lat, tight.critical_path_len() + 3);
+        for v in dfg.op_ids() {
+            assert_eq!(loose.asap(v), tight.asap(v), "asap is latency-independent");
+            assert_eq!(loose.alap(v), tight.alap(v) + 3);
+            assert_eq!(loose.mobility(v), tight.mobility(v) + 3);
+        }
+    }
+
+    #[test]
+    fn multi_cycle_latencies_extend_asap() {
+        let mut b = DfgBuilder::new();
+        let m = b.add_op(OpType::Mul, &[]);
+        let a = b.add_op(OpType::Add, &[m]);
+        let dfg = b.finish().expect("acyclic");
+        let t = Timing::with_critical_path(&dfg, &[3, 1]);
+        assert_eq!(t.asap(a), 3);
+        assert_eq!(t.critical_path_len(), 4);
+        assert_eq!(t.alap(m), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below critical path")]
+    fn target_below_cp_panics() {
+        let (dfg, _) = figure2();
+        let _ = Timing::new(&dfg, &vec![1; dfg.len()], 2);
+    }
+
+    #[test]
+    fn mobility_is_nonnegative_everywhere() {
+        let (dfg, _) = figure2();
+        let t = Timing::new(&dfg, &vec![1; dfg.len()], 10);
+        for v in dfg.op_ids() {
+            assert!(t.alap(v) >= t.asap(v));
+        }
+    }
+
+    #[test]
+    fn empty_timing() {
+        let dfg = DfgBuilder::new().finish().expect("empty");
+        let t = Timing::with_critical_path(&dfg, &[]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.critical_path_len(), 0);
+    }
+}

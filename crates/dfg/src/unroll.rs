@@ -1,0 +1,279 @@
+//! Loop unrolling of basic-block DFGs.
+//!
+//! The paper evaluates on DCT-DIT-2, "an unrolled version of DCT-DIT",
+//! and argues (Section 4) that "a final, high quality binding and
+//! scheduling solution should always be generated for the selected
+//! retiming function (or unrolling factor, etc.)" — i.e. transform
+//! first, then bind the transformed DFG with full information. This
+//! module provides the transform: replicate a loop-body DFG `factor`
+//! times and wire the loop-carried values between iterations.
+//!
+//! A value produced in iteration `i` and consumed in iteration
+//! `i + distance` becomes a real data dependence between the copies;
+//! consumers in the first `distance` copies read the pre-loop value,
+//! which stays a primary input (no edge), exactly like the original
+//! body's own inputs.
+
+use crate::builder::{DfgBuilder, DfgError};
+use crate::graph::{Dfg, OpId};
+
+/// One loop-carried dependence of the loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoopCarry {
+    /// Producer operation inside the body.
+    pub from: OpId,
+    /// Consumer operation inside the body (reads the value produced
+    /// `distance` iterations earlier).
+    pub to: OpId,
+    /// Dependence distance in iterations (must be ≥ 1; a distance of 0
+    /// is an ordinary intra-body edge).
+    pub distance: u32,
+}
+
+impl LoopCarry {
+    /// The common case: a value carried to the next iteration.
+    pub fn next_iteration(from: OpId, to: OpId) -> Self {
+        LoopCarry {
+            from,
+            to,
+            distance: 1,
+        }
+    }
+}
+
+/// Unrolls `body` by `factor`, wiring `carries` across the copies.
+///
+/// With no carries the result is `factor` disjoint copies (exactly how
+/// the paper's DCT-DIT-2 arises from DCT-DIT); with carries the copies
+/// chain and the critical path grows accordingly.
+///
+/// Operation ids of copy `k` occupy the contiguous range
+/// `k*body.len() .. (k+1)*body.len()` in body order, so
+/// `OpId::from_index(k * body.len() + v.index())` addresses copy `k`'s
+/// instance of body operation `v`.
+///
+/// # Errors
+///
+/// Returns [`DfgError::UnknownOp`] if a carry references an operation
+/// outside the body and [`DfgError::SelfLoop`] for a zero-distance carry
+/// (which would be an ordinary edge, or a genuine self-loop when
+/// `from == to`).
+///
+/// # Panics
+///
+/// Panics if `factor` is zero.
+///
+/// # Example
+///
+/// A multiply-accumulate loop unrolled four times: the accumulator adds
+/// chain serially, the multiplies stay parallel.
+///
+/// ```
+/// use vliw_dfg::{critical_path_len, DfgBuilder, LoopCarry, OpType, unroll};
+///
+/// # fn main() -> Result<(), vliw_dfg::DfgError> {
+/// let mut b = DfgBuilder::new();
+/// let product = b.add_op(OpType::Mul, &[]);          // x[i] * c[i]
+/// let acc = b.add_op(OpType::Add, &[product]);       // acc += product
+/// let body = b.finish()?;
+///
+/// let unrolled = unroll(&body, &[LoopCarry::next_iteration(acc, acc)], 4)?;
+/// assert_eq!(unrolled.len(), 8);
+/// // mul(1) + 4 chained adds = 5.
+/// assert_eq!(critical_path_len(&unrolled, &vec![1; 8]), 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn unroll(body: &Dfg, carries: &[LoopCarry], factor: usize) -> Result<Dfg, DfgError> {
+    assert!(factor > 0, "unroll factor must be at least 1");
+    let n = body.len();
+    for carry in carries {
+        for id in [carry.from, carry.to] {
+            if id.index() >= n {
+                return Err(DfgError::UnknownOp { id, len: n });
+            }
+        }
+        if carry.distance == 0 {
+            return Err(DfgError::SelfLoop(carry.from));
+        }
+    }
+
+    // Operations first, edges second: a body may legally contain edges
+    // from higher to lower ids (e.g. transfers appended to an existing
+    // graph), so operand lists cannot be passed during creation.
+    let mut b = DfgBuilder::with_capacity(n * factor);
+    for k in 0..factor {
+        let base = k * n;
+        for v in body.op_ids() {
+            let id = match body.name(v) {
+                Some(name) => b.add_named_op(body.op_type(v), &[], &format!("{name}#{k}")),
+                None => b.add_op(body.op_type(v), &[]),
+            };
+            debug_assert_eq!(id.index(), base + v.index());
+        }
+    }
+    for k in 0..factor {
+        let base = k * n;
+        for v in body.op_ids() {
+            for &u in body.preds(v) {
+                b.add_edge(
+                    OpId::from_index(base + u.index()),
+                    OpId::from_index(base + v.index()),
+                )?;
+            }
+        }
+        for carry in carries {
+            let Some(src_copy) = k.checked_sub(carry.distance as usize) else {
+                // Reads the pre-loop value: a primary input, no edge.
+                continue;
+            };
+            b.add_edge(
+                OpId::from_index(src_copy * n + carry.from.index()),
+                OpId::from_index(base + carry.to.index()),
+            )?;
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{connected_components, critical_path_len};
+    use crate::op::OpType;
+
+    fn mac_body() -> (Dfg, OpId, OpId) {
+        let mut b = DfgBuilder::new();
+        let product = b.add_op(OpType::Mul, &[]);
+        let acc = b.add_op(OpType::Add, &[product]);
+        (b.finish().expect("acyclic"), product, acc)
+    }
+
+    #[test]
+    fn unroll_without_carries_yields_disjoint_copies() {
+        let (body, _, _) = mac_body();
+        let u = unroll(&body, &[], 3).expect("valid");
+        assert_eq!(u.len(), 6);
+        assert_eq!(u.edge_count(), 3 * body.edge_count());
+        assert_eq!(connected_components(&u).1, 3);
+    }
+
+    #[test]
+    fn carried_accumulator_chains_copies() {
+        let (body, _, acc) = mac_body();
+        let u = unroll(&body, &[LoopCarry::next_iteration(acc, acc)], 4).expect("valid");
+        assert_eq!(u.len(), 8);
+        assert_eq!(connected_components(&u).1, 1);
+        // mul feeds add; adds chain: CP = 1 + 4.
+        assert_eq!(critical_path_len(&u, &vec![1; u.len()]), 5);
+    }
+
+    #[test]
+    fn distance_two_skips_a_copy() {
+        let (body, _, acc) = mac_body();
+        let carry = LoopCarry {
+            from: acc,
+            to: acc,
+            distance: 2,
+        };
+        let u = unroll(&body, &[carry], 4).expect("valid");
+        // Two interleaved accumulator chains of length 2 each.
+        assert_eq!(connected_components(&u).1, 2);
+        assert_eq!(critical_path_len(&u, &vec![1; u.len()]), 3);
+    }
+
+    #[test]
+    fn first_copies_read_preloop_values() {
+        let (body, _, acc) = mac_body();
+        let u = unroll(&body, &[LoopCarry::next_iteration(acc, acc)], 3).expect("valid");
+        // Copy 0's accumulator has only the product operand; later
+        // copies also read the previous accumulator.
+        let acc0 = OpId::from_index(acc.index());
+        let acc1 = OpId::from_index(body.len() + acc.index());
+        assert_eq!(u.in_degree(acc0), 1);
+        assert_eq!(u.in_degree(acc1), 2);
+    }
+
+    #[test]
+    fn names_are_suffixed_per_copy() {
+        let mut b = DfgBuilder::new();
+        let _ = b.add_named_op(OpType::Add, &[], "acc");
+        let body = b.finish().expect("acyclic");
+        let u = unroll(&body, &[], 2).expect("valid");
+        assert_eq!(u.name(OpId::from_index(0)), Some("acc#0"));
+        assert_eq!(u.name(OpId::from_index(1)), Some("acc#1"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_carry() {
+        let (body, _, _) = mac_body();
+        let bogus = LoopCarry::next_iteration(OpId::from_index(9), OpId::from_index(0));
+        assert!(matches!(
+            unroll(&body, &[bogus], 2),
+            Err(DfgError::UnknownOp { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_distance() {
+        let (body, product, acc) = mac_body();
+        let zero = LoopCarry {
+            from: product,
+            to: acc,
+            distance: 0,
+        };
+        assert!(matches!(unroll(&body, &[zero], 2), Err(DfgError::SelfLoop(_))));
+    }
+
+    #[test]
+    fn factor_one_reproduces_the_body_shape() {
+        let (body, _, acc) = mac_body();
+        let u = unroll(&body, &[LoopCarry::next_iteration(acc, acc)], 1).expect("valid");
+        assert_eq!(u.len(), body.len());
+        assert_eq!(u.edge_count(), body.edge_count());
+    }
+
+    #[test]
+    fn bodies_with_backward_id_edges_unroll() {
+        // Regression: a body whose edge goes from a higher to a lower id
+        // (legal via add_edge; bound loop bodies with appended transfer
+        // nodes have this shape) must unroll without panicking.
+        let mut b = DfgBuilder::new();
+        let consumer = b.add_op(OpType::Add, &[]);
+        let late_producer = b.add_op(OpType::Mul, &[]);
+        b.add_edge(late_producer, consumer).expect("ids exist");
+        let body = b.finish().expect("acyclic");
+        let u = unroll(&body, &[LoopCarry::next_iteration(consumer, late_producer)], 3)
+            .expect("unrolls");
+        assert_eq!(u.len(), 6);
+        assert!(u.validate().is_ok());
+        // Intra edge preserved in every copy.
+        for k in 0..3 {
+            assert!(u.has_edge(
+                OpId::from_index(2 * k + 1),
+                OpId::from_index(2 * k),
+            ));
+        }
+    }
+
+    #[test]
+    fn unrolled_graph_always_validates() {
+        let (body, product, acc) = mac_body();
+        for factor in 1..=6 {
+            let u = unroll(
+                &body,
+                &[
+                    LoopCarry::next_iteration(acc, acc),
+                    LoopCarry {
+                        from: product,
+                        to: acc,
+                        distance: 2,
+                    },
+                ],
+                factor,
+            )
+            .expect("valid");
+            assert!(u.validate().is_ok(), "factor {factor}");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the DFG substrate's structural invariants.
+
+use proptest::prelude::*;
+use vliw_dfg::{
+    connected_components, critical_path_len, topo_order, unroll, Dfg, DfgBuilder, LoopCarry,
+    OpId, OpType, Timing,
+};
+
+fn arb_dfg(max_ops: usize) -> impl Strategy<Value = Dfg> {
+    (1..=max_ops).prop_flat_map(|n| {
+        let kinds = prop::collection::vec(0..3u8, n);
+        let picks = prop::collection::vec((0usize..usize::MAX, 0usize..usize::MAX, 0..3u8), n);
+        (kinds, picks).prop_map(|(kinds, picks)| {
+            let mut b = DfgBuilder::new();
+            let mut ids = Vec::new();
+            for (i, (&kind, &(p1, p2, arity))) in kinds.iter().zip(&picks).enumerate() {
+                let ty = match kind {
+                    0 => OpType::Add,
+                    1 => OpType::Sub,
+                    _ => OpType::Mul,
+                };
+                let mut operands = Vec::new();
+                if i > 0 && arity >= 1 {
+                    operands.push(ids[p1 % i]);
+                    if arity >= 2 {
+                        let second = ids[p2 % i];
+                        if !operands.contains(&second) {
+                            operands.push(second);
+                        }
+                    }
+                }
+                ids.push(b.add_op(ty, &operands));
+            }
+            b.finish().expect("acyclic by construction")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Topological order respects every edge and covers every op once.
+    #[test]
+    fn topo_order_is_a_valid_permutation(dfg in arb_dfg(40)) {
+        let order = topo_order(&dfg).expect("builder graphs are acyclic");
+        prop_assert_eq!(order.len(), dfg.len());
+        let mut pos = vec![usize::MAX; dfg.len()];
+        for (i, v) in order.iter().enumerate() {
+            prop_assert_eq!(pos[v.index()], usize::MAX, "duplicate in order");
+            pos[v.index()] = i;
+        }
+        for (u, v) in dfg.edges() {
+            prop_assert!(pos[u.index()] < pos[v.index()]);
+        }
+    }
+
+    /// ASAP/ALAP sandwich every feasible start; mobility grows linearly
+    /// with the target latency.
+    #[test]
+    fn timing_bounds_are_consistent(dfg in arb_dfg(40), stretch in 0u32..6) {
+        let lat = vec![1u32; dfg.len()];
+        let cp = critical_path_len(&dfg, &lat);
+        let t = Timing::new(&dfg, &lat, cp + stretch);
+        for v in dfg.op_ids() {
+            prop_assert!(t.asap(v) <= t.alap(v));
+            prop_assert_eq!(t.mobility(v), t.alap(v) - t.asap(v));
+            for &u in dfg.preds(v) {
+                prop_assert!(t.asap(v) >= t.asap(u) + 1);
+            }
+        }
+        // Some op is critical at every stretch.
+        prop_assert!(dfg.op_ids().any(|v| t.is_critical(v)));
+    }
+
+    /// Transposition is an involution preserving all analyses' duals.
+    #[test]
+    fn transpose_involution(dfg in arb_dfg(40)) {
+        let t = dfg.transposed();
+        prop_assert_eq!(t.transposed(), dfg.clone());
+        prop_assert_eq!(t.edge_count(), dfg.edge_count());
+        let lat = vec![1u32; dfg.len()];
+        prop_assert_eq!(critical_path_len(&t, &lat), critical_path_len(&dfg, &lat));
+        prop_assert_eq!(connected_components(&t).1, connected_components(&dfg).1);
+    }
+
+    /// Unrolling without carries multiplies sizes and components.
+    #[test]
+    fn unroll_scales_structure(dfg in arb_dfg(20), factor in 1usize..5) {
+        let u = unroll(&dfg, &[], factor).expect("unrolls");
+        prop_assert_eq!(u.len(), dfg.len() * factor);
+        prop_assert_eq!(u.edge_count(), dfg.edge_count() * factor);
+        prop_assert_eq!(
+            connected_components(&u).1,
+            connected_components(&dfg).1 * factor
+        );
+        let lat_body = vec![1u32; dfg.len()];
+        let lat_u = vec![1u32; u.len()];
+        prop_assert_eq!(critical_path_len(&u, &lat_u), critical_path_len(&dfg, &lat_body));
+    }
+
+    /// A self-carry on a *deepest* sink chains copies: the critical
+    /// path grows by at least one per extra copy along that chain.
+    #[test]
+    fn self_carry_chains_copies(dfg in arb_dfg(16), factor in 2usize..5) {
+        let lat0 = vec![1u32; dfg.len()];
+        let timing = Timing::with_critical_path(&dfg, &lat0);
+        let sink = dfg
+            .sinks()
+            .into_iter()
+            .max_by_key(|&v| timing.asap(v))
+            .expect("every DAG has a sink");
+        let carry = LoopCarry::next_iteration(sink, sink);
+        let u = unroll(&dfg, &[carry], factor).expect("unrolls");
+        prop_assert!(u.validate().is_ok());
+        let lat_body = vec![1u32; dfg.len()];
+        let lat_u = vec![1u32; u.len()];
+        let cp_body = critical_path_len(&dfg, &lat_body);
+        let cp_u = critical_path_len(&u, &lat_u);
+        prop_assert!(cp_u >= cp_body + (factor as u32 - 1));
+    }
+
+    /// Serde round trips preserve graphs exactly.
+    #[test]
+    fn serde_round_trip(dfg in arb_dfg(30)) {
+        let json = serde_json::to_string(&dfg).expect("serializes");
+        let back: Dfg = serde_json::from_str(&json).expect("deserializes");
+        prop_assert_eq!(&back, &dfg);
+        prop_assert!(back.validate().is_ok());
+    }
+
+    /// Degree bookkeeping matches adjacency on every op.
+    #[test]
+    fn degrees_match_adjacency(dfg in arb_dfg(40)) {
+        let mut outs = vec![0usize; dfg.len()];
+        for (u, _) in dfg.edges() {
+            outs[u.index()] += 1;
+        }
+        for v in dfg.op_ids() {
+            prop_assert_eq!(dfg.out_degree(v), outs[v.index()]);
+            prop_assert_eq!(dfg.in_degree(v), dfg.preds(v).len());
+        }
+        let _ = OpId::from_index(0);
+    }
+}

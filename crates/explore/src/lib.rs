@@ -1,0 +1,404 @@
+//! Design-space exploration for clustered VLIW datapaths.
+//!
+//! The paper closes: "the flexibility and efficiency of this algorithm
+//! make it a very good candidate for use within a design space
+//! exploration framework for application-specific VLIW processors. This
+//! is part of our ongoing work." This crate is that framework in
+//! miniature:
+//!
+//! * [`Explorer::enumerate`] generates every *canonical* clustered
+//!   datapath under an area budget (clusters sorted descending so that
+//!   permutation-symmetric machines are enumerated once);
+//! * [`Explorer::explore`] binds a kernel onto each candidate with the
+//!   paper's algorithm and collects [`DesignPoint`]s;
+//! * [`Exploration`] extracts the area/latency Pareto frontier, the best
+//!   design under an area cap, and the cheapest design meeting a latency
+//!   target — the three queries an architecture team actually asks.
+//!
+//! The area model is deliberately simple and explicit: one unit per
+//! functional unit plus a configurable per-bus cost; the worst cluster's
+//! register-file port count (3 per local FU) is reported alongside,
+//! since controlling that is the whole point of clustering (paper
+//! Section 1).
+//!
+//! # Example
+//!
+//! ```
+//! use vliw_explore::{Explorer, ExplorerConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dfg = vliw_kernels::arf();
+//! let explorer = Explorer::new(ExplorerConfig {
+//!     max_clusters: 2,
+//!     max_alus_per_cluster: 2,
+//!     max_muls_per_cluster: 2,
+//!     max_total_fus: 6,
+//!     ..ExplorerConfig::default()
+//! });
+//! let exploration = explorer.explore(&dfg);
+//! let frontier = exploration.pareto();
+//! assert!(!frontier.is_empty());
+//! // The frontier is strictly improving in latency as area grows.
+//! for pair in frontier.windows(2) {
+//!     assert!(pair[1].latency() < pair[0].latency());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use vliw_binding::{Binder, BinderConfig, BindingResult};
+use vliw_datapath::{Cluster, Machine, MachineBuilder};
+use vliw_dfg::Dfg;
+
+/// Bounds and models for the enumeration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplorerConfig {
+    /// Maximum number of clusters per candidate.
+    pub max_clusters: usize,
+    /// Maximum ALUs in any single cluster.
+    pub max_alus_per_cluster: u32,
+    /// Maximum multipliers in any single cluster.
+    pub max_muls_per_cluster: u32,
+    /// Area budget: maximum total FUs across the datapath.
+    pub max_total_fus: u32,
+    /// Bus widths to consider.
+    pub bus_counts: Vec<u32>,
+    /// Transfer latencies to consider.
+    pub move_latencies: Vec<u32>,
+    /// Area charged per bus lane (FU-equivalents).
+    pub bus_area: f64,
+    /// Binder configuration used to evaluate each candidate.
+    pub binder: BinderConfig,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        ExplorerConfig {
+            max_clusters: 3,
+            max_alus_per_cluster: 3,
+            max_muls_per_cluster: 2,
+            max_total_fus: 8,
+            bus_counts: vec![2],
+            move_latencies: vec![1],
+            bus_area: 0.5,
+            binder: BinderConfig::default(),
+        }
+    }
+}
+
+/// One evaluated candidate: a machine and the binding quality the
+/// paper's algorithm achieved on it.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// The candidate datapath.
+    pub machine: Machine,
+    /// The binding/schedule produced by the full B-INIT + B-ITER driver.
+    pub result: BindingResult,
+    /// Area in FU-equivalents (FUs plus weighted bus lanes).
+    pub area: f64,
+    /// Register-file ports of the worst cluster (3 per local FU) — the
+    /// clock-rate limiter clustering exists to control.
+    pub worst_rf_ports: u32,
+}
+
+impl DesignPoint {
+    /// Schedule latency of this design.
+    pub fn latency(&self) -> u32 {
+        self.result.latency()
+    }
+
+    /// Inter-cluster transfers of this design.
+    pub fn moves(&self) -> usize {
+        self.result.moves()
+    }
+}
+
+/// The outcome of exploring one kernel over the candidate space.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Every feasible evaluated candidate, in enumeration order.
+    pub points: Vec<DesignPoint>,
+}
+
+impl Exploration {
+    /// The area/latency Pareto frontier, sorted by increasing area; each
+    /// successive point strictly improves latency.
+    pub fn pareto(&self) -> Vec<&DesignPoint> {
+        let mut sorted: Vec<&DesignPoint> = self.points.iter().collect();
+        sorted.sort_by(|a, b| {
+            a.area
+                .partial_cmp(&b.area)
+                .expect("area is finite")
+                .then(a.latency().cmp(&b.latency()))
+        });
+        let mut frontier: Vec<&DesignPoint> = Vec::new();
+        let mut best = u32::MAX;
+        for p in sorted {
+            if p.latency() < best {
+                best = p.latency();
+                frontier.push(p);
+            }
+        }
+        frontier
+    }
+
+    /// The lowest-latency design whose area does not exceed `max_area`
+    /// (ties broken by smaller area, then fewer transfers).
+    pub fn best_under_area(&self, max_area: f64) -> Option<&DesignPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.area <= max_area)
+            .min_by(|a, b| {
+                a.latency()
+                    .cmp(&b.latency())
+                    .then(a.area.partial_cmp(&b.area).expect("finite"))
+                    .then(a.moves().cmp(&b.moves()))
+            })
+    }
+
+    /// The cheapest design meeting a latency target.
+    pub fn cheapest_meeting(&self, latency: u32) -> Option<&DesignPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.latency() <= latency)
+            .min_by(|a, b| {
+                a.area
+                    .partial_cmp(&b.area)
+                    .expect("finite")
+                    .then(a.latency().cmp(&b.latency()))
+            })
+    }
+
+    /// The design with the lowest worst-cluster register-file port count
+    /// among those meeting a latency target — the "keep the clock rate"
+    /// query.
+    pub fn fewest_ports_meeting(&self, latency: u32) -> Option<&DesignPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.latency() <= latency)
+            .min_by_key(|p| (p.worst_rf_ports, p.latency()))
+    }
+}
+
+/// The exploration driver.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    config: ExplorerConfig,
+}
+
+impl Explorer {
+    /// Creates an explorer with the given bounds.
+    pub fn new(config: ExplorerConfig) -> Self {
+        Explorer { config }
+    }
+
+    /// An explorer with [`ExplorerConfig::default`] bounds.
+    pub fn with_defaults() -> Self {
+        Explorer {
+            config: ExplorerConfig::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ExplorerConfig {
+        &self.config
+    }
+
+    /// Enumerates every canonical machine under the configured bounds:
+    /// cluster multisets (sorted descending, so `[2,1|1,1]` appears and
+    /// `[1,1|2,1]` does not) crossed with the bus parameter lists.
+    pub fn enumerate(&self) -> Vec<Machine> {
+        let cfg = &self.config;
+        let mut shapes: Vec<Vec<Cluster>> = Vec::new();
+        let mut current: Vec<Cluster> = Vec::new();
+        enumerate_shapes(cfg, &mut current, None, &mut shapes);
+
+        let mut machines = Vec::new();
+        for shape in shapes {
+            for &buses in &cfg.bus_counts {
+                for &move_lat in &cfg.move_latencies {
+                    let machine = MachineBuilder::new()
+                        .clusters(shape.clone())
+                        .bus_count(buses)
+                        .move_latency(move_lat)
+                        .build()
+                        .expect("enumerated shapes are valid");
+                    machines.push(machine);
+                }
+            }
+        }
+        machines
+    }
+
+    /// Binds `dfg` onto every feasible candidate and collects the
+    /// results. Candidates that cannot execute some operation of `dfg`
+    /// (e.g. no multiplier anywhere) are skipped.
+    pub fn explore(&self, dfg: &Dfg) -> Exploration {
+        let mut points = Vec::new();
+        for machine in self.enumerate() {
+            if machine.check_supports_dfg(dfg).is_err() {
+                continue;
+            }
+            let result = Binder::with_config(&machine, self.config.binder.clone()).bind(dfg);
+            let area = machine.total_fus() as f64
+                + self.config.bus_area * machine.bus_count() as f64;
+            let worst_rf_ports = machine
+                .cluster_ids()
+                .map(|c| 3 * machine.cluster(c).total_fus())
+                .max()
+                .unwrap_or(0);
+            points.push(DesignPoint {
+                machine,
+                result,
+                area,
+                worst_rf_ports,
+            });
+        }
+        Exploration { points }
+    }
+}
+
+/// Recursively builds cluster multisets in non-increasing order
+/// (lexicographic on `(alus, muls)`), respecting the per-cluster caps
+/// and the total-FU budget.
+fn enumerate_shapes(
+    cfg: &ExplorerConfig,
+    current: &mut Vec<Cluster>,
+    bound: Option<(u32, u32)>,
+    out: &mut Vec<Vec<Cluster>>,
+) {
+    if !current.is_empty() {
+        out.push(current.clone());
+    }
+    if current.len() == cfg.max_clusters {
+        return;
+    }
+    let used: u32 = current.iter().map(Cluster::total_fus).sum();
+    let (max_a, max_m) = bound.unwrap_or((cfg.max_alus_per_cluster, cfg.max_muls_per_cluster));
+    for a in (0..=max_a).rev() {
+        let m_cap = if a == max_a {
+            max_m
+        } else {
+            cfg.max_muls_per_cluster
+        };
+        for m in (0..=m_cap).rev() {
+            if a + m == 0 || used + a + m > cfg.max_total_fus {
+                continue;
+            }
+            current.push(Cluster::new(a, m));
+            enumerate_shapes(cfg, current, Some((a, m)), out);
+            current.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_dfg::FuType;
+
+    fn small() -> ExplorerConfig {
+        ExplorerConfig {
+            max_clusters: 2,
+            max_alus_per_cluster: 2,
+            max_muls_per_cluster: 1,
+            max_total_fus: 5,
+            ..ExplorerConfig::default()
+        }
+    }
+
+    #[test]
+    fn enumeration_is_canonical_and_within_budget() {
+        let explorer = Explorer::new(small());
+        let machines = explorer.enumerate();
+        assert!(!machines.is_empty());
+        for m in &machines {
+            assert!(m.total_fus() <= 5, "{m}");
+            assert!(m.cluster_count() <= 2, "{m}");
+            // Canonical ordering: non-increasing (alus, muls) pairs.
+            let pairs: Vec<(u32, u32)> = m
+                .cluster_ids()
+                .map(|c| (m.fu_count(c, FuType::Alu), m.fu_count(c, FuType::Mul)))
+                .collect();
+            for w in pairs.windows(2) {
+                assert!(w[0] >= w[1], "{m} is not canonical");
+            }
+        }
+        // No duplicates.
+        let mut texts: Vec<String> = machines.iter().map(|m| m.to_string()).collect();
+        let before = texts.len();
+        texts.sort();
+        texts.dedup();
+        assert_eq!(texts.len(), before, "duplicate machines enumerated");
+    }
+
+    #[test]
+    fn enumeration_contains_known_shapes() {
+        let machines = Explorer::new(small()).enumerate();
+        let texts: Vec<String> = machines.iter().map(|m| m.to_string()).collect();
+        // [2,1|2,1] would be 6 FUs, over the 5-FU budget: excluded.
+        for expected in ["[2,1]", "[1,1|1,1]", "[2,1|1,1]", "[1,0]", "[2,0|2,0]"] {
+            assert!(
+                texts.iter().any(|t| t == expected),
+                "{expected} missing from {texts:?}"
+            );
+        }
+        // Non-canonical spelling must not appear.
+        assert!(!texts.iter().any(|t| t == "[1,1|2,1]"));
+    }
+
+    #[test]
+    fn exploration_skips_infeasible_machines() {
+        // ARF needs multipliers; ALU-only machines must be skipped.
+        let dfg = vliw_kernels::arf();
+        let exploration = Explorer::new(small()).explore(&dfg);
+        for p in &exploration.points {
+            assert!(p.machine.fu_count_total(FuType::Mul) > 0, "{}", p.machine);
+        }
+        assert!(!exploration.points.is_empty());
+    }
+
+    #[test]
+    fn pareto_frontier_is_monotone() {
+        let dfg = vliw_kernels::arf();
+        let exploration = Explorer::new(small()).explore(&dfg);
+        let frontier = exploration.pareto();
+        assert!(!frontier.is_empty());
+        for w in frontier.windows(2) {
+            assert!(w[0].area < w[1].area);
+            assert!(w[0].latency() > w[1].latency());
+        }
+    }
+
+    #[test]
+    fn queries_agree_with_each_other() {
+        let dfg = vliw_kernels::arf();
+        let exploration = Explorer::new(small()).explore(&dfg);
+        let fastest = exploration
+            .points
+            .iter()
+            .map(DesignPoint::latency)
+            .min()
+            .expect("non-empty");
+        let best = exploration.best_under_area(f64::INFINITY).expect("non-empty");
+        assert_eq!(best.latency(), fastest);
+        let cheapest = exploration.cheapest_meeting(fastest).expect("achievable");
+        assert!(cheapest.latency() <= fastest);
+        // Port-minimizing query returns something meeting the target.
+        let ports = exploration.fewest_ports_meeting(fastest + 4).expect("achievable");
+        assert!(ports.latency() <= fastest + 4);
+    }
+
+    #[test]
+    fn bus_parameters_multiply_the_space() {
+        let mut cfg = small();
+        let base = Explorer::new(cfg.clone()).enumerate().len();
+        cfg.bus_counts = vec![1, 2];
+        cfg.move_latencies = vec![1, 2];
+        let grid = Explorer::new(cfg).enumerate().len();
+        assert_eq!(grid, base * 4);
+    }
+}

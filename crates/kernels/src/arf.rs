@@ -1,0 +1,102 @@
+//! Auto-regression filter (ARF).
+//!
+//! Reconstructed as a four-stage lattice AR filter: each stage
+//! cross-multiplies the two state signals by four reflection coefficients
+//! and combines them pairwise, and a running output accumulation chain
+//! taps the stage outputs. This matches the classic ARF benchmark mix of
+//! 16 multiplications and 12 additions with an 8-level critical path
+//! (paper Table 1: `N_V = 28`, `N_CC = 1`, `L_CP = 8`).
+
+use vliw_dfg::{Dfg, DfgBuilder, OpId, OpType};
+
+/// One lattice stage: four coefficient multiplications of the two state
+/// signals, combined pairwise. `None` inputs are primary (initial states).
+fn stage(b: &mut DfgBuilder, s1: Option<OpId>, s2: Option<OpId>, k: usize) -> (OpId, OpId) {
+    let operands = |s: Option<OpId>| -> Vec<OpId> { s.into_iter().collect() };
+    let t1 = b.add_named_op(OpType::Mul, &operands(s1), &format!("st{k}.t1"));
+    let t2 = b.add_named_op(OpType::Mul, &operands(s2), &format!("st{k}.t2"));
+    let t3 = b.add_named_op(OpType::Mul, &operands(s1), &format!("st{k}.t3"));
+    let t4 = b.add_named_op(OpType::Mul, &operands(s2), &format!("st{k}.t4"));
+    let u1 = b.add_named_op(OpType::Add, &[t1, t2], &format!("st{k}.u1"));
+    let u2 = b.add_named_op(OpType::Add, &[t3, t4], &format!("st{k}.u2"));
+    (u1, u2)
+}
+
+/// Builds the ARF dataflow graph (28 operations: 12 ALU, 16 MUL; one
+/// connected component; critical path 8).
+///
+/// # Example
+///
+/// ```
+/// let dfg = vliw_kernels::arf();
+/// assert_eq!(dfg.len(), 28);
+/// assert_eq!(dfg.regular_op_mix(), (12, 16));
+/// ```
+pub fn arf() -> Dfg {
+    let mut b = DfgBuilder::with_capacity(28);
+    let (u1_1, u2_1) = stage(&mut b, None, None, 1);
+    let (u1_2, u2_2) = stage(&mut b, Some(u1_1), Some(u2_1), 2);
+    let (u1_3, u2_3) = stage(&mut b, Some(u1_2), Some(u2_2), 3);
+    let (_u1_4, _u2_4) = stage(&mut b, Some(u1_3), Some(u2_3), 4);
+    // Output accumulation chain tapping successive stage outputs; each
+    // tap lands two levels after the previous, tracking the lattice depth
+    // so the chain finishes exactly at the critical path.
+    let a1 = b.add_named_op(OpType::Add, &[u1_1, u2_1], "acc1");
+    let a2 = b.add_named_op(OpType::Add, &[a1, u1_2], "acc2");
+    let a3 = b.add_named_op(OpType::Add, &[a2, u1_3], "acc3");
+    let _a4 = b.add_named_op(OpType::Add, &[a3, u2_3], "acc4");
+    b.finish().expect("ARF is acyclic by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_dfg::{DfgStats, Timing};
+
+    #[test]
+    fn stats_match_paper_sub_header() {
+        let stats = DfgStats::unit_latency(&arf());
+        assert_eq!((stats.n_v, stats.n_cc, stats.l_cp), (28, 1, 8));
+    }
+
+    #[test]
+    fn operation_mix_matches_classic_arf() {
+        assert_eq!(arf().regular_op_mix(), (12, 16));
+    }
+
+    #[test]
+    fn multiplications_alternate_with_additions() {
+        // Lattice structure: every multiplication sits at an odd level,
+        // every stage addition at an even level.
+        let dfg = arf();
+        let timing = Timing::with_critical_path(&dfg, &vec![1; dfg.len()]);
+        for v in dfg.op_ids() {
+            if dfg.op_type(v) == OpType::Mul {
+                assert_eq!(timing.asap(v) % 2, 0, "{v} muls start at even steps");
+            }
+        }
+    }
+
+    #[test]
+    fn stage_outputs_feed_next_stage() {
+        let dfg = arf();
+        // Stage-1 u1 feeds stage-2 muls and the accumulator: 3 consumers.
+        let u1_1 = dfg
+            .op_ids()
+            .find(|&v| dfg.name(v) == Some("st1.u1"))
+            .expect("named op exists");
+        assert_eq!(dfg.out_degree(u1_1), 3);
+    }
+
+    #[test]
+    fn accumulator_is_a_sink_on_the_critical_path() {
+        let dfg = arf();
+        let timing = Timing::with_critical_path(&dfg, &vec![1; dfg.len()]);
+        let acc4 = dfg
+            .op_ids()
+            .find(|&v| dfg.name(v) == Some("acc4"))
+            .expect("named op exists");
+        assert!(dfg.succs(acc4).is_empty());
+        assert_eq!(timing.asap(acc4) + 1, timing.critical_path_len());
+    }
+}

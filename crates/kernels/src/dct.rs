@@ -1,0 +1,337 @@
+//! 8-point fast DCT variants (Ifeachor & Jervis-style flow graphs).
+//!
+//! All three algorithms start from the eight input samples (primary
+//! inputs, so the first butterfly stage appears as DFG sources):
+//!
+//! * **DCT-DIF** (decimation in frequency): input butterflies split the
+//!   samples into a sum half (even coefficients, a 4-point DCT) and a
+//!   difference half (odd coefficients, rotations). The two halves share
+//!   no DFG node — hence `N_CC = 2`.
+//! * **DCT-LEE** (Lee's algorithm): same input split, but the odd half
+//!   runs through `1/(2cos)` pre-scalings and ends in Lee's recursive
+//!   output post-addition chain, giving the deeper `L_CP = 9`.
+//! * **DCT-DIT** (decimation in time): coefficient multiplications come
+//!   first and the output butterfly stages last; the final stages combine
+//!   both halves, so the graph is a single component.
+//! * **DCT-DIT-2**: two independent DCT-DIT instances (the paper's
+//!   unrolled variant), `N_CC = 2`.
+
+use vliw_dfg::{Dfg, DfgBuilder, OpId, OpType};
+
+/// Emits the even half shared by DIF and LEE: the sum butterflies and a
+/// 4-point DCT (adds for X0/X4, one rotation for X2/X6).
+/// 16 operations (12 ALU + 4 MUL), depth 4.
+fn emit_even_half(b: &mut DfgBuilder, tag: &str) {
+    let n = |s: &str| format!("{tag}.{s}");
+    // L1: sum butterflies s_i = x_i + x_{7-i} (inputs are primary).
+    let s: Vec<OpId> = (0..4)
+        .map(|i| b.add_named_op(OpType::Add, &[], &n(&format!("s{i}"))))
+        .collect();
+    // L2: second butterfly stage.
+    let t0 = b.add_named_op(OpType::Add, &[s[0], s[3]], &n("t0"));
+    let t1 = b.add_named_op(OpType::Add, &[s[1], s[2]], &n("t1"));
+    let t2 = b.add_named_op(OpType::Sub, &[s[1], s[2]], &n("t2"));
+    let t3 = b.add_named_op(OpType::Sub, &[s[0], s[3]], &n("t3"));
+    // L3: X0/X4 plus the rotation products for X2/X6.
+    let _x0 = b.add_named_op(OpType::Add, &[t0, t1], &n("X0"));
+    let _x4 = b.add_named_op(OpType::Sub, &[t0, t1], &n("X4"));
+    let m1 = b.add_named_op(OpType::Mul, &[t2], &n("t2*c6"));
+    let m2 = b.add_named_op(OpType::Mul, &[t3], &n("t3*s6"));
+    let m3 = b.add_named_op(OpType::Mul, &[t2], &n("t2*s6"));
+    let m4 = b.add_named_op(OpType::Mul, &[t3], &n("t3*c6"));
+    // L4: rotated outputs.
+    let _x2 = b.add_named_op(OpType::Add, &[m1, m2], &n("X2"));
+    let _x6 = b.add_named_op(OpType::Sub, &[m4, m3], &n("X6"));
+}
+
+/// Builds the DCT-DIF dataflow graph (41 operations: 29 ALU, 12 MUL;
+/// two connected components; critical path 7).
+///
+/// # Example
+///
+/// ```
+/// let dfg = vliw_kernels::dct_dif();
+/// assert_eq!(dfg.len(), 41);
+/// ```
+pub fn dct_dif() -> Dfg {
+    let mut b = DfgBuilder::with_capacity(41);
+    emit_even_half(&mut b, "ev");
+
+    // Odd half: difference butterflies, two rotation layers and the
+    // final output butterflies. 25 operations (17 ALU + 8 MUL), depth 7.
+    let n = |s: &str| format!("od.{s}");
+    let d: Vec<OpId> = (0..4)
+        .map(|i| b.add_named_op(OpType::Sub, &[], &n(&format!("d{i}"))))
+        .collect();
+    // L2: first rotation products on d1/d2, plus the outer sums.
+    let m5 = b.add_named_op(OpType::Mul, &[d[1]], &n("d1*c4"));
+    let m6 = b.add_named_op(OpType::Mul, &[d[2]], &n("d2*c4"));
+    let m7 = b.add_named_op(OpType::Mul, &[d[1]], &n("d1*s4"));
+    let m8 = b.add_named_op(OpType::Mul, &[d[2]], &n("d2*s4"));
+    let b1 = b.add_named_op(OpType::Add, &[d[0], d[3]], &n("b1"));
+    let b2 = b.add_named_op(OpType::Add, &[d[1], d[2]], &n("b2"));
+    // L3.
+    let a5 = b.add_named_op(OpType::Add, &[m5, m6], &n("a5"));
+    let a6 = b.add_named_op(OpType::Sub, &[m7, m8], &n("a6"));
+    let a7 = b.add_named_op(OpType::Add, &[b1, b2], &n("a7"));
+    let a8 = b.add_named_op(OpType::Sub, &[b1, b2], &n("a8"));
+    // L4: second rotation layer.
+    let m9 = b.add_named_op(OpType::Mul, &[a7], &n("a7*c2"));
+    let m10 = b.add_named_op(OpType::Mul, &[a8], &n("a8*s2"));
+    let m11 = b.add_named_op(OpType::Mul, &[a5], &n("a5*c2"));
+    let m12 = b.add_named_op(OpType::Mul, &[a6], &n("a6*s2"));
+    // L5.
+    let a9 = b.add_named_op(OpType::Add, &[m9, m10], &n("a9"));
+    let a10 = b.add_named_op(OpType::Sub, &[m11, m12], &n("a10"));
+    let a11 = b.add_named_op(OpType::Sub, &[m9, m10], &n("a11"));
+    // L6.
+    let a12 = b.add_named_op(OpType::Add, &[a9, a10], &n("X1"));
+    let a13 = b.add_named_op(OpType::Sub, &[a9, a10], &n("X7"));
+    // L7: output butterflies.
+    let _x3 = b.add_named_op(OpType::Add, &[a12, a11], &n("X3"));
+    let _x5 = b.add_named_op(OpType::Sub, &[a13, a11], &n("X5"));
+    b.finish().expect("DCT-DIF is acyclic by construction")
+}
+
+/// Builds the DCT-LEE dataflow graph (49 operations: 35 ALU, 14 MUL;
+/// two connected components; critical path 9).
+///
+/// # Example
+///
+/// ```
+/// let dfg = vliw_kernels::dct_lee();
+/// assert_eq!(dfg.len(), 49);
+/// ```
+pub fn dct_lee() -> Dfg {
+    let mut b = DfgBuilder::with_capacity(49);
+    emit_even_half(&mut b, "ev");
+
+    // Odd half in Lee's style: 1/(2cos) pre-scalings alternate with
+    // butterfly adds, finishing with the recursive output post-addition
+    // chain. 33 operations (23 ALU + 10 MUL), depth 9.
+    let n = |s: &str| format!("od.{s}");
+    let d: Vec<OpId> = (0..4)
+        .map(|i| b.add_named_op(OpType::Sub, &[], &n(&format!("d{i}"))))
+        .collect();
+    // L2: pre-scaling by 1/(2cos((2i+1)π/16)).
+    let m: Vec<OpId> = (0..4)
+        .map(|i| b.add_named_op(OpType::Mul, &[d[i]], &n(&format!("d{i}/2c"))))
+        .collect();
+    // L3: butterfly adds.
+    let a1 = b.add_named_op(OpType::Add, &[m[0], m[1]], &n("a1"));
+    let a2 = b.add_named_op(OpType::Add, &[m[1], m[2]], &n("a2"));
+    let a3 = b.add_named_op(OpType::Add, &[m[2], m[3]], &n("a3"));
+    let a4 = b.add_named_op(OpType::Add, &[m[0], m[3]], &n("a4"));
+    // L4: second scaling layer.
+    let m5 = b.add_named_op(OpType::Mul, &[a1], &n("a1/2c"));
+    let m6 = b.add_named_op(OpType::Mul, &[a2], &n("a2/2c"));
+    let m7 = b.add_named_op(OpType::Mul, &[a3], &n("a3/2c"));
+    let m8 = b.add_named_op(OpType::Mul, &[a4], &n("a4/2c"));
+    // L5.
+    let b1 = b.add_named_op(OpType::Add, &[m5, m6], &n("b1"));
+    let b2 = b.add_named_op(OpType::Add, &[m6, m7], &n("b2"));
+    let b3 = b.add_named_op(OpType::Add, &[m7, m8], &n("b3"));
+    let b4 = b.add_named_op(OpType::Add, &[m5, m8], &n("b4"));
+    // L6: innermost 2-point scaling.
+    let m9 = b.add_named_op(OpType::Mul, &[b1], &n("b1/2c"));
+    let m10 = b.add_named_op(OpType::Mul, &[b3], &n("b3/2c"));
+    // L7: innermost butterflies.
+    let c1 = b.add_named_op(OpType::Add, &[m9, b2], &n("c1"));
+    let c2 = b.add_named_op(OpType::Sub, &[m9, b2], &n("c2"));
+    let c3 = b.add_named_op(OpType::Add, &[m10, b4], &n("c3"));
+    let c4 = b.add_named_op(OpType::Sub, &[m10, b4], &n("c4"));
+    // L8: unfold.
+    let e1 = b.add_named_op(OpType::Add, &[c1, c3], &n("e1"));
+    let e2 = b.add_named_op(OpType::Sub, &[c1, c3], &n("e2"));
+    let e3 = b.add_named_op(OpType::Add, &[c2, c4], &n("e3"));
+    let e4 = b.add_named_op(OpType::Sub, &[c2, c4], &n("e4"));
+    // L9: Lee's output post-addition chain X_{2i+1} = y_i + y_{i+1}.
+    let _o1 = b.add_named_op(OpType::Add, &[e1, e2], &n("X1"));
+    let _o2 = b.add_named_op(OpType::Add, &[e2, e3], &n("X3"));
+    let _o3 = b.add_named_op(OpType::Add, &[e3, e4], &n("X5"));
+    b.finish().expect("DCT-LEE is acyclic by construction")
+}
+
+/// Emits one DCT-DIT instance: coefficient multiplications first, output
+/// butterflies last. 48 operations (36 ALU + 12 MUL), depth 7, single
+/// component.
+fn emit_dit(b: &mut DfgBuilder, tag: &str) {
+    let n = |s: &str| format!("{tag}.{s}");
+    // L1: input coefficient products and input sums (all primary-fed).
+    let m: Vec<OpId> = (1..=8)
+        .map(|i| b.add_named_op(OpType::Mul, &[], &n(&format!("m{i}"))))
+        .collect();
+    let a: Vec<OpId> = (1..=4)
+        .map(|i| b.add_named_op(OpType::Add, &[], &n(&format!("a{i}"))))
+        .collect();
+    // L2: pairwise combinations; b7/b8 bridge the two input groups.
+    let b1 = b.add_named_op(OpType::Add, &[m[0], m[1]], &n("b1"));
+    let b2 = b.add_named_op(OpType::Sub, &[m[2], m[3]], &n("b2"));
+    let b3 = b.add_named_op(OpType::Add, &[m[4], m[5]], &n("b3"));
+    let b4 = b.add_named_op(OpType::Sub, &[m[6], m[7]], &n("b4"));
+    let b5 = b.add_named_op(OpType::Add, &[a[0], a[1]], &n("b5"));
+    let b6 = b.add_named_op(OpType::Sub, &[a[2], a[3]], &n("b6"));
+    let b7 = b.add_named_op(OpType::Add, &[m[1], a[1]], &n("b7"));
+    let b8 = b.add_named_op(OpType::Add, &[m[3], a[3]], &n("b8"));
+    // L3: mid rotations.
+    let c1 = b.add_named_op(OpType::Mul, &[b1], &n("c1"));
+    let c2 = b.add_named_op(OpType::Mul, &[b3], &n("c2"));
+    let c3 = b.add_named_op(OpType::Mul, &[b5], &n("c3"));
+    let c4 = b.add_named_op(OpType::Mul, &[b7], &n("c4"));
+    // L4.
+    let d1 = b.add_named_op(OpType::Add, &[c1, b2], &n("d1"));
+    let d2 = b.add_named_op(OpType::Sub, &[c1, b2], &n("d2"));
+    let d3 = b.add_named_op(OpType::Add, &[c2, b4], &n("d3"));
+    let d4 = b.add_named_op(OpType::Add, &[c3, b6], &n("d4"));
+    let d5 = b.add_named_op(OpType::Sub, &[c3, b6], &n("d5"));
+    let d6 = b.add_named_op(OpType::Add, &[c4, b8], &n("d6"));
+    // L5.
+    let e1 = b.add_named_op(OpType::Add, &[d1, d3], &n("e1"));
+    let e2 = b.add_named_op(OpType::Sub, &[d1, d3], &n("e2"));
+    let e3 = b.add_named_op(OpType::Add, &[d2, d4], &n("e3"));
+    let e4 = b.add_named_op(OpType::Sub, &[d2, d4], &n("e4"));
+    let e5 = b.add_named_op(OpType::Add, &[d5, d6], &n("e5"));
+    let e6 = b.add_named_op(OpType::Sub, &[d5, d6], &n("e6"));
+    // L6.
+    let f1 = b.add_named_op(OpType::Add, &[e1, e5], &n("f1"));
+    let f2 = b.add_named_op(OpType::Sub, &[e1, e5], &n("f2"));
+    let f3 = b.add_named_op(OpType::Add, &[e2, e6], &n("f3"));
+    let f4 = b.add_named_op(OpType::Sub, &[e2, e6], &n("f4"));
+    let f5 = b.add_named_op(OpType::Add, &[e3, e4], &n("f5"));
+    let f6 = b.add_named_op(OpType::Sub, &[e3, e4], &n("f6"));
+    // L7: final output butterflies.
+    let _x: Vec<OpId> = [
+        (f1, f5, OpType::Add, "X0"),
+        (f1, f5, OpType::Sub, "X4"),
+        (f2, f6, OpType::Add, "X2"),
+        (f2, f6, OpType::Sub, "X6"),
+        (f3, f5, OpType::Add, "X1"),
+        (f4, f6, OpType::Add, "X3"),
+    ]
+    .into_iter()
+    .map(|(u, v, op, name)| b.add_named_op(op, &[u, v], &n(name)))
+    .collect();
+}
+
+/// Builds the DCT-DIT dataflow graph (48 operations: 36 ALU, 12 MUL;
+/// one connected component; critical path 7).
+///
+/// # Example
+///
+/// ```
+/// let dfg = vliw_kernels::dct_dit();
+/// assert_eq!(dfg.len(), 48);
+/// ```
+pub fn dct_dit() -> Dfg {
+    let mut b = DfgBuilder::with_capacity(48);
+    emit_dit(&mut b, "dit");
+    b.finish().expect("DCT-DIT is acyclic by construction")
+}
+
+/// Builds DCT-DIT-2: two unrolled, independent DCT-DIT instances
+/// (96 operations; two connected components; critical path 7).
+///
+/// # Example
+///
+/// ```
+/// let dfg = vliw_kernels::dct_dit2();
+/// assert_eq!(dfg.len(), 96);
+/// ```
+pub fn dct_dit2() -> Dfg {
+    let mut b = DfgBuilder::with_capacity(96);
+    emit_dit(&mut b, "it0");
+    emit_dit(&mut b, "it1");
+    b.finish().expect("DCT-DIT-2 is acyclic by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_dfg::{connected_components, DfgStats};
+
+    #[test]
+    fn dif_stats() {
+        let stats = DfgStats::unit_latency(&dct_dif());
+        assert_eq!((stats.n_v, stats.n_cc, stats.l_cp), (41, 2, 7));
+        assert_eq!((stats.n_alu, stats.n_mul), (29, 12));
+    }
+
+    #[test]
+    fn lee_stats() {
+        let stats = DfgStats::unit_latency(&dct_lee());
+        assert_eq!((stats.n_v, stats.n_cc, stats.l_cp), (49, 2, 9));
+        assert_eq!((stats.n_alu, stats.n_mul), (35, 14));
+    }
+
+    #[test]
+    fn dit_stats() {
+        let stats = DfgStats::unit_latency(&dct_dit());
+        assert_eq!((stats.n_v, stats.n_cc, stats.l_cp), (48, 1, 7));
+        assert_eq!((stats.n_alu, stats.n_mul), (36, 12));
+    }
+
+    #[test]
+    fn dit2_stats() {
+        let stats = DfgStats::unit_latency(&dct_dit2());
+        assert_eq!((stats.n_v, stats.n_cc, stats.l_cp), (96, 2, 7));
+    }
+
+    #[test]
+    fn dif_components_are_even_and_odd_halves() {
+        let dfg = dct_dif();
+        let (comp, count) = connected_components(&dfg);
+        assert_eq!(count, 2);
+        for v in dfg.op_ids() {
+            let name = dfg.name(v).expect("all ops named");
+            let expected = comp[dfg
+                .op_ids()
+                .next()
+                .expect("nonempty")
+                .index()];
+            if name.starts_with("ev.") {
+                assert_eq!(comp[v.index()], expected, "{name} in even half");
+            } else {
+                assert_ne!(comp[v.index()], expected, "{name} in odd half");
+            }
+        }
+    }
+
+    #[test]
+    fn even_half_mirrors_between_dif_and_lee() {
+        let dif = dct_dif();
+        let lee = dct_lee();
+        let evens = |dfg: &vliw_dfg::Dfg| {
+            dfg.op_ids()
+                .filter(|&v| dfg.name(v).is_some_and(|n| n.starts_with("ev.")))
+                .count()
+        };
+        assert_eq!(evens(&dif), 16);
+        assert_eq!(evens(&lee), 16);
+    }
+
+    #[test]
+    fn lee_output_chain_is_the_deepest_layer() {
+        let dfg = dct_lee();
+        let timing = vliw_dfg::Timing::with_critical_path(&dfg, &vec![1; dfg.len()]);
+        for v in dfg.op_ids() {
+            let name = dfg.name(v).expect("all ops named");
+            if matches!(name, "od.X1" | "od.X3" | "od.X5") {
+                assert_eq!(timing.asap(v), 8, "{name} sits on level 9");
+            }
+        }
+    }
+
+    #[test]
+    fn dit_bridges_input_groups() {
+        // b7 connects the multiplier subtree to the adder subtree,
+        // making DIT a single component where DIF splits in two.
+        let dfg = dct_dit();
+        let b7 = dfg
+            .op_ids()
+            .find(|&v| dfg.name(v) == Some("dit.b7"))
+            .expect("named op exists");
+        let pred_types: Vec<_> = dfg.preds(b7).iter().map(|&u| dfg.op_type(u)).collect();
+        assert!(pred_types.contains(&OpType::Mul));
+        assert!(pred_types.contains(&OpType::Add));
+    }
+}

@@ -1,0 +1,309 @@
+//! Parametric DSP kernels beyond the paper's seven benchmarks.
+//!
+//! The paper's evaluation fixes seven basic blocks; downstream users of
+//! a binding library want to feed it *their* kernels. This module
+//! provides generators for the standard shapes — FIR, IIR biquad
+//! cascades, FFT stages, matrix-vector products, lattice filters and 2D
+//! convolution — with documented operation counts and critical paths,
+//! useful both as workloads and as scalability stress tests.
+
+use vliw_dfg::{Dfg, DfgBuilder, OpId, OpType};
+
+/// `taps`-tap FIR filter: `y = Σ c_i·x_i` as products into a balanced
+/// adder tree.
+///
+/// Operations: `taps` multiplications + `taps − 1` additions; critical
+/// path `1 + ⌈log2 taps⌉`.
+///
+/// # Panics
+///
+/// Panics if `taps == 0`.
+///
+/// # Example
+///
+/// ```
+/// let dfg = vliw_kernels::extra::fir(16);
+/// assert_eq!(dfg.len(), 31);
+/// assert_eq!(vliw_dfg::critical_path_len(&dfg, &vec![1; 31]), 5);
+/// ```
+pub fn fir(taps: usize) -> Dfg {
+    assert!(taps > 0, "a FIR filter needs at least one tap");
+    let mut b = DfgBuilder::with_capacity(2 * taps);
+    let products: Vec<OpId> = (0..taps)
+        .map(|i| b.add_named_op(OpType::Mul, &[], &format!("x{i}*c{i}")))
+        .collect();
+    reduce_tree(&mut b, products, "s");
+    b.finish().expect("FIR is acyclic by construction")
+}
+
+/// Balanced binary adder-tree reduction; returns the root.
+fn reduce_tree(b: &mut DfgBuilder, mut frontier: Vec<OpId>, tag: &str) -> OpId {
+    let mut level = 0;
+    while frontier.len() > 1 {
+        level += 1;
+        frontier = frontier
+            .chunks(2)
+            .enumerate()
+            .map(|(i, pair)| match pair {
+                [x, y] => b.add_named_op(OpType::Add, &[*x, *y], &format!("{tag}{level}_{i}")),
+                [x] => *x,
+                _ => unreachable!("chunks(2)"),
+            })
+            .collect();
+    }
+    frontier[0]
+}
+
+/// Cascade of `sections` direct-form-II biquad IIR sections.
+///
+/// Each section: 5 coefficient multiplications, 4 additions, serially
+/// chained through the section output. Operations: `9·sections`;
+/// critical path `5·sections + 1` (the through path runs
+/// sub, sub, mul, add, add per section, plus the first section's
+/// coefficient multiply).
+///
+/// # Panics
+///
+/// Panics if `sections == 0`.
+///
+/// # Example
+///
+/// ```
+/// let dfg = vliw_kernels::extra::iir_biquad_cascade(3);
+/// assert_eq!(dfg.len(), 27);
+/// assert_eq!(vliw_dfg::critical_path_len(&dfg, &vec![1; 27]), 16);
+/// ```
+pub fn iir_biquad_cascade(sections: usize) -> Dfg {
+    assert!(sections > 0, "a cascade needs at least one section");
+    let mut b = DfgBuilder::with_capacity(9 * sections);
+    let mut x: Option<OpId> = None; // primary input for the first section
+    for s in 0..sections {
+        let n = |part: &str| format!("bq{s}.{part}");
+        let x_ops: Vec<OpId> = x.into_iter().collect();
+        // w = x - a1*w1 - a2*w2 (delays w1, w2 are primary inputs).
+        let a1 = b.add_named_op(OpType::Mul, &[], &n("a1*w1"));
+        let a2 = b.add_named_op(OpType::Mul, &[], &n("a2*w2"));
+        let t = b.add_named_op(
+            OpType::Sub,
+            &x_ops.iter().copied().chain([a1]).collect::<Vec<_>>(),
+            &n("t"),
+        );
+        let w = b.add_named_op(OpType::Sub, &[t, a2], &n("w"));
+        // y = b0*w + b1*w1 + b2*w2.
+        let b0 = b.add_named_op(OpType::Mul, &[w], &n("b0*w"));
+        let b1 = b.add_named_op(OpType::Mul, &[], &n("b1*w1"));
+        let b2 = b.add_named_op(OpType::Mul, &[], &n("b2*w2"));
+        let p = b.add_named_op(OpType::Add, &[b0, b1], &n("p"));
+        let y = b.add_named_op(OpType::Add, &[p, b2], &n("y"));
+        x = Some(y);
+    }
+    b.finish().expect("IIR cascade is acyclic by construction")
+}
+
+/// One radix-2 FFT stage of `butterflies` butterflies with general
+/// twiddles: each is 4 multiplications and 6 additions at depth 3, all
+/// independent (the shape of a stage-inner loop body after unrolling).
+/// The real/imaginary product chains of one butterfly share no DFG node
+/// (the `a` operands are primary inputs), so the graph decomposes into
+/// `2·butterflies` components.
+///
+/// Operations: `10·butterflies`; critical path 3.
+///
+/// # Panics
+///
+/// Panics if `butterflies == 0`.
+///
+/// # Example
+///
+/// ```
+/// let dfg = vliw_kernels::extra::fft_stage(4);
+/// assert_eq!(dfg.len(), 40);
+/// assert_eq!(vliw_dfg::connected_components(&dfg).1, 8);
+/// ```
+pub fn fft_stage(butterflies: usize) -> Dfg {
+    assert!(butterflies > 0, "a stage needs at least one butterfly");
+    let mut b = DfgBuilder::with_capacity(10 * butterflies);
+    for k in 0..butterflies {
+        let n = |part: &str| format!("bf{k}.{part}");
+        let t1 = b.add_named_op(OpType::Mul, &[], &n("br*wr"));
+        let t2 = b.add_named_op(OpType::Mul, &[], &n("bi*wi"));
+        let t3 = b.add_named_op(OpType::Mul, &[], &n("br*wi"));
+        let t4 = b.add_named_op(OpType::Mul, &[], &n("bi*wr"));
+        let cr = b.add_named_op(OpType::Sub, &[t1, t2], &n("cr"));
+        let ci = b.add_named_op(OpType::Add, &[t3, t4], &n("ci"));
+        let _ = b.add_named_op(OpType::Add, &[cr], &n("xr"));
+        let _ = b.add_named_op(OpType::Add, &[ci], &n("xi"));
+        let _ = b.add_named_op(OpType::Sub, &[cr], &n("yr"));
+        let _ = b.add_named_op(OpType::Sub, &[ci], &n("yi"));
+    }
+    b.finish().expect("FFT stage is acyclic by construction")
+}
+
+/// Dense matrix-vector product `y = A·x` for an `n×n` block: `n²`
+/// multiplications into `n` balanced adder trees.
+///
+/// Operations: `n² + n·(n−1)`; critical path `1 + ⌈log2 n⌉`; `n`
+/// connected components (one per output row).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// let dfg = vliw_kernels::extra::matvec(4);
+/// assert_eq!(dfg.len(), 28);
+/// assert_eq!(vliw_dfg::connected_components(&dfg).1, 4);
+/// ```
+pub fn matvec(n: usize) -> Dfg {
+    assert!(n > 0, "matrix dimension must be positive");
+    let mut b = DfgBuilder::with_capacity(2 * n * n);
+    for row in 0..n {
+        let products: Vec<OpId> = (0..n)
+            .map(|col| b.add_named_op(OpType::Mul, &[], &format!("a{row}{col}*x{col}")))
+            .collect();
+        reduce_tree(&mut b, products, &format!("y{row}_"));
+    }
+    b.finish().expect("matvec is acyclic by construction")
+}
+
+/// `stages`-stage lattice filter (the ARF generalized): each stage
+/// cross-multiplies two running signals by four reflection coefficients.
+///
+/// Operations: `6·stages`; critical path `2·stages`.
+///
+/// # Panics
+///
+/// Panics if `stages == 0`.
+///
+/// # Example
+///
+/// ```
+/// // Four stages reproduce the ARF's lattice core (without its
+/// // output-accumulation chain).
+/// let dfg = vliw_kernels::extra::lattice(4);
+/// assert_eq!(dfg.len(), 24);
+/// assert_eq!(dfg.regular_op_mix(), (8, 16));
+/// ```
+pub fn lattice(stages: usize) -> Dfg {
+    assert!(stages > 0, "a lattice needs at least one stage");
+    let mut b = DfgBuilder::with_capacity(6 * stages);
+    let mut state: Option<(OpId, OpId)> = None;
+    for s in 0..stages {
+        let n = |part: &str| format!("st{s}.{part}");
+        let ops = |x: Option<OpId>| -> Vec<OpId> { x.into_iter().collect() };
+        let (s1, s2) = state.map_or((None, None), |(a, c)| (Some(a), Some(c)));
+        let t1 = b.add_named_op(OpType::Mul, &ops(s1), &n("t1"));
+        let t2 = b.add_named_op(OpType::Mul, &ops(s2), &n("t2"));
+        let t3 = b.add_named_op(OpType::Mul, &ops(s1), &n("t3"));
+        let t4 = b.add_named_op(OpType::Mul, &ops(s2), &n("t4"));
+        let u1 = b.add_named_op(OpType::Add, &[t1, t2], &n("u1"));
+        let u2 = b.add_named_op(OpType::Add, &[t3, t4], &n("u2"));
+        state = Some((u1, u2));
+    }
+    b.finish().expect("lattice is acyclic by construction")
+}
+
+/// 3×3 2D convolution at one output pixel: 9 multiplications into a
+/// balanced adder tree. 17 operations, critical path 5.
+///
+/// # Example
+///
+/// ```
+/// let dfg = vliw_kernels::extra::conv3x3();
+/// assert_eq!(dfg.len(), 17);
+/// ```
+pub fn conv3x3() -> Dfg {
+    let mut b = DfgBuilder::with_capacity(17);
+    let products: Vec<OpId> = (0..9)
+        .map(|i| b.add_named_op(OpType::Mul, &[], &format!("p{}{}", i / 3, i % 3)))
+        .collect();
+    reduce_tree(&mut b, products, "acc");
+    b.finish().expect("conv3x3 is acyclic by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_dfg::{connected_components, critical_path_len, DfgStats};
+
+    #[test]
+    fn fir_counts_and_depth() {
+        for taps in [1usize, 2, 3, 8, 16, 33] {
+            let dfg = fir(taps);
+            assert_eq!(dfg.len(), 2 * taps - 1, "taps {taps}");
+            let expected_cp = 1 + (taps as f64).log2().ceil() as u32;
+            assert_eq!(
+                critical_path_len(&dfg, &vec![1; dfg.len()]),
+                expected_cp,
+                "taps {taps}"
+            );
+            assert!(dfg.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn iir_cascade_counts_and_depth() {
+        for sections in [1usize, 2, 5] {
+            let dfg = iir_biquad_cascade(sections);
+            assert_eq!(dfg.len(), 9 * sections);
+            assert_eq!(
+                critical_path_len(&dfg, &vec![1; dfg.len()]) as usize,
+                5 * sections + 1
+            );
+            assert_eq!(connected_components(&dfg).1, 1);
+        }
+    }
+
+    #[test]
+    fn fft_stage_is_flat_and_parallel() {
+        let dfg = fft_stage(6);
+        assert_eq!(dfg.len(), 60);
+        assert_eq!(critical_path_len(&dfg, &vec![1; 60]), 3);
+        assert_eq!(connected_components(&dfg).1, 12);
+        assert_eq!(dfg.regular_op_mix(), (36, 24));
+    }
+
+    #[test]
+    fn matvec_structure() {
+        for n in [1usize, 2, 4, 5] {
+            let dfg = matvec(n);
+            assert_eq!(dfg.len(), n * n + n * (n - 1), "n {n}");
+            assert_eq!(connected_components(&dfg).1, n, "n {n}");
+        }
+    }
+
+    #[test]
+    fn lattice_generalizes_arf_core() {
+        let dfg = lattice(4);
+        let stats = DfgStats::unit_latency(&dfg);
+        assert_eq!(stats.n_v, 24);
+        assert_eq!(stats.l_cp, 8);
+        assert_eq!(stats.n_mul, 16);
+    }
+
+    #[test]
+    fn conv3x3_shape() {
+        let dfg = conv3x3();
+        let stats = DfgStats::unit_latency(&dfg);
+        assert_eq!((stats.n_v, stats.l_cp), (17, 5));
+        assert_eq!(stats.n_mul, 9);
+    }
+
+    #[test]
+    fn all_extra_kernels_bindable_smoke() {
+        // They must be valid original DFGs (no moves, acyclic).
+        for dfg in [
+            fir(12),
+            iir_biquad_cascade(3),
+            fft_stage(3),
+            matvec(3),
+            lattice(5),
+            conv3x3(),
+        ] {
+            assert!(dfg.validate().is_ok());
+            assert!(dfg.moves().is_empty());
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! FFT kernel (the main kernel of the RASTA benchmark, MediaBench).
+//!
+//! Reconstructed as the inner-loop basic block of a radix-2 FFT: two
+//! stages of two complex butterflies. Three butterflies carry a general
+//! twiddle factor (4 multiplications + 6 additions each), one uses the
+//! trivial twiddle `W = −j` (swap + negate), and three magnitude
+//! partial-sum taps close the block — 38 operations, single connected
+//! component, critical path 6 (paper Table 1 sub-header:
+//! `N_V = 38`, `N_CC = 1`, `L_CP = 6`).
+
+use vliw_dfg::{Dfg, DfgBuilder, OpId, OpType};
+
+/// Complex signal: (real, imaginary) node pair; `None` components are
+/// primary inputs.
+type Complex = (Option<OpId>, Option<OpId>);
+
+fn ops(x: Option<OpId>) -> Vec<OpId> {
+    x.into_iter().collect()
+}
+
+fn ops2(x: Option<OpId>, y: Option<OpId>) -> Vec<OpId> {
+    x.into_iter().chain(y).collect()
+}
+
+/// A full radix-2 butterfly with complex twiddle `W = wr + j·wi`:
+/// `(a, b) → (a + W·b, a − W·b)`. 4 muls + 6 adds, depth 3.
+fn butterfly(
+    b: &mut DfgBuilder,
+    a: Complex,
+    x: Complex,
+    tag: &str,
+) -> (Complex, Complex) {
+    let (ar, ai) = a;
+    let (br, bi) = x;
+    let t1 = b.add_named_op(OpType::Mul, &ops(br), &format!("{tag}.br*wr"));
+    let t2 = b.add_named_op(OpType::Mul, &ops(bi), &format!("{tag}.bi*wi"));
+    let t3 = b.add_named_op(OpType::Mul, &ops(br), &format!("{tag}.br*wi"));
+    let t4 = b.add_named_op(OpType::Mul, &ops(bi), &format!("{tag}.bi*wr"));
+    let cr = b.add_named_op(OpType::Sub, &[t1, t2], &format!("{tag}.cr"));
+    let ci = b.add_named_op(OpType::Add, &[t3, t4], &format!("{tag}.ci"));
+    let xr = b.add_named_op(OpType::Add, &ops2(ar, Some(cr)), &format!("{tag}.xr"));
+    let xi = b.add_named_op(OpType::Add, &ops2(ai, Some(ci)), &format!("{tag}.xi"));
+    let yr = b.add_named_op(OpType::Sub, &ops2(ar, Some(cr)), &format!("{tag}.yr"));
+    let yi = b.add_named_op(OpType::Sub, &ops2(ai, Some(ci)), &format!("{tag}.yi"));
+    ((Some(xr), Some(xi)), (Some(yr), Some(yi)))
+}
+
+/// A butterfly with the trivial twiddle `W = −j`: `W·b = bi − j·br`, so
+/// only a negation and four additions are needed (depth 2).
+fn butterfly_neg_j(
+    b: &mut DfgBuilder,
+    a: Complex,
+    x: Complex,
+    tag: &str,
+) -> (Complex, Complex) {
+    let (ar, ai) = a;
+    let (br, bi) = x;
+    let nbr = b.add_named_op(OpType::Neg, &ops(br), &format!("{tag}.-br"));
+    let xr = b.add_named_op(OpType::Add, &ops2(ar, bi), &format!("{tag}.xr"));
+    let xi = b.add_named_op(OpType::Add, &ops2(ai, Some(nbr)), &format!("{tag}.xi"));
+    let yr = b.add_named_op(OpType::Sub, &ops2(ar, bi), &format!("{tag}.yr"));
+    let yi = b.add_named_op(OpType::Sub, &ops2(ai, Some(nbr)), &format!("{tag}.yi"));
+    ((Some(xr), Some(xi)), (Some(yr), Some(yi)))
+}
+
+/// Builds the FFT kernel DFG (38 operations: 26 ALU, 12 MUL; one
+/// connected component; critical path 6).
+///
+/// # Example
+///
+/// ```
+/// let dfg = vliw_kernels::fft();
+/// assert_eq!(dfg.len(), 38);
+/// assert_eq!(dfg.regular_op_mix(), (26, 12));
+/// ```
+pub fn fft() -> Dfg {
+    let mut b = DfgBuilder::with_capacity(38);
+    let input: Complex = (None, None);
+    // Stage 1: two full butterflies on primary inputs.
+    let (s1a_top, s1a_bot) = butterfly(&mut b, input, input, "bf1");
+    let (s1b_top, s1b_bot) = butterfly(&mut b, input, input, "bf2");
+    // Stage 2: cross-combine the stage-1 outputs (this is what makes the
+    // block a single connected component).
+    let (s2a_top, _s2a_bot) = butterfly(&mut b, s1a_top, s1b_top, "bf3");
+    let (s2b_top, s2b_bot) = butterfly_neg_j(&mut b, s1a_bot, s1b_bot, "bf4");
+    // Magnitude partial sums on the −j butterfly outputs (the RASTA
+    // kernel squares/accumulates spectrum terms right in the loop body).
+    let p1 = b.add_named_op(
+        OpType::Add,
+        &[s2b_top.0.expect("real"), s2b_bot.0.expect("real")],
+        "mag.re",
+    );
+    let _p2 = b.add_named_op(
+        OpType::Add,
+        &[s2b_top.1.expect("imag"), s2b_bot.1.expect("imag")],
+        "mag.im",
+    );
+    let _p3 = b.add_named_op(OpType::Add, &[p1, s2b_top.1.expect("imag")], "mag.mix");
+    let _ = s2a_top;
+    b.finish().expect("FFT kernel is acyclic by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_dfg::{DfgStats, Timing};
+
+    #[test]
+    fn stats_match_paper_sub_header() {
+        let stats = DfgStats::unit_latency(&fft());
+        assert_eq!((stats.n_v, stats.n_cc, stats.l_cp), (38, 1, 6));
+    }
+
+    #[test]
+    fn operation_mix_is_butterfly_heavy() {
+        assert_eq!(fft().regular_op_mix(), (26, 12));
+    }
+
+    #[test]
+    fn stage2_full_butterfly_sets_the_critical_path() {
+        let dfg = fft();
+        let timing = Timing::with_critical_path(&dfg, &vec![1; dfg.len()]);
+        let deepest: Vec<_> = dfg
+            .op_ids()
+            .filter(|&v| timing.asap(v) == 5)
+            .map(|v| dfg.name(v).expect("all ops named").to_owned())
+            .collect();
+        assert!(
+            deepest.iter().any(|n| n.starts_with("bf3")),
+            "bf3 outputs should reach depth 6: {deepest:?}"
+        );
+        assert!(
+            deepest.iter().all(|n| n.starts_with("bf3") || n.starts_with("mag")),
+            "only bf3 outputs and magnitude taps may reach depth 6: {deepest:?}"
+        );
+    }
+
+    #[test]
+    fn butterflies_cross_connect_the_stages() {
+        // bf3 consumes outputs of both bf1 and bf2.
+        let dfg = fft();
+        let find = |name: &str| {
+            dfg.op_ids()
+                .find(|&v| dfg.name(v) == Some(name))
+                .expect("named op exists")
+        };
+        let bf3_mul = find("bf3.br*wr");
+        let bf2_xr = find("bf2.xr");
+        assert!(dfg.preds(bf3_mul).contains(&bf2_xr));
+        let bf3_xr = find("bf3.xr");
+        let bf1_xr = find("bf1.xr");
+        assert!(dfg.preds(bf3_xr).contains(&bf1_xr));
+    }
+
+    #[test]
+    fn neg_j_butterfly_has_no_multiplications() {
+        let dfg = fft();
+        for v in dfg.op_ids() {
+            let name = dfg.name(v).expect("all ops named");
+            if name.starts_with("bf4") {
+                assert_ne!(dfg.op_type(v), OpType::Mul, "{name} must be mul-free");
+            }
+        }
+    }
+}

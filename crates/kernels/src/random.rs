@@ -1,0 +1,169 @@
+//! Seeded random layered DAGs for property tests and stress runs.
+//!
+//! The generator emulates basic-block shapes seen in DSP codes: a fixed
+//! number of layers, random in-layer width, operands drawn from the
+//! recent layers (locality), and a configurable multiplier fraction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vliw_dfg::{Dfg, DfgBuilder, OpId, OpType};
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomDfgConfig {
+    /// Total number of operations.
+    pub ops: usize,
+    /// Number of layers the operations are spread over (≥ 1); deeper
+    /// configurations produce longer critical paths.
+    pub layers: usize,
+    /// Fraction of multiplier-class operations (0.0 ..= 1.0).
+    pub mul_fraction: f64,
+    /// Probability that an operation takes a second operand.
+    pub second_operand: f64,
+}
+
+impl Default for RandomDfgConfig {
+    fn default() -> Self {
+        RandomDfgConfig {
+            ops: 40,
+            layers: 8,
+            mul_fraction: 0.3,
+            second_operand: 0.8,
+        }
+    }
+}
+
+/// Generates a random layered DAG; the same `seed` and config always
+/// produce the identical graph.
+///
+/// Operations in layer 0 are sources; an operation in layer `k > 0` takes
+/// its first operand from layer `k−1` (guaranteeing the layer count is
+/// the critical-path length when `ops >= layers`) and an optional second
+/// operand from any earlier layer.
+///
+/// # Panics
+///
+/// Panics if `ops < layers` or `layers == 0`.
+///
+/// # Example
+///
+/// ```
+/// use vliw_kernels::random::{generate, RandomDfgConfig};
+///
+/// let dfg = generate(7, RandomDfgConfig::default());
+/// assert_eq!(dfg.len(), 40);
+/// assert_eq!(dfg, generate(7, RandomDfgConfig::default())); // deterministic
+/// ```
+pub fn generate(seed: u64, config: RandomDfgConfig) -> Dfg {
+    assert!(config.layers > 0, "at least one layer required");
+    assert!(
+        config.ops >= config.layers,
+        "need at least one op per layer ({} ops, {} layers)",
+        config.ops,
+        config.layers
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DfgBuilder::with_capacity(config.ops);
+    let mut layers: Vec<Vec<OpId>> = Vec::with_capacity(config.layers);
+
+    // Distribute ops over layers: one guaranteed per layer, the rest
+    // drawn uniformly.
+    let mut layer_sizes = vec![1usize; config.layers];
+    for _ in 0..config.ops - config.layers {
+        let l = rng.gen_range(0..config.layers);
+        layer_sizes[l] += 1;
+    }
+
+    for (l, &size) in layer_sizes.iter().enumerate() {
+        let mut layer = Vec::with_capacity(size);
+        for i in 0..size {
+            let kind = if rng.gen_bool(config.mul_fraction) {
+                OpType::Mul
+            } else if rng.gen_bool(0.5) {
+                OpType::Add
+            } else {
+                OpType::Sub
+            };
+            let mut operands = Vec::new();
+            if l > 0 {
+                let prev: &Vec<OpId> = &layers[l - 1];
+                operands.push(prev[rng.gen_range(0..prev.len())]);
+                if rng.gen_bool(config.second_operand) {
+                    let src_layer = rng.gen_range(0..l);
+                    let src = &layers[src_layer];
+                    let cand = src[rng.gen_range(0..src.len())];
+                    if !operands.contains(&cand) {
+                        operands.push(cand);
+                    }
+                }
+            }
+            layer.push(b.add_named_op(kind, &operands, &format!("l{l}n{i}")));
+        }
+        layers.push(layer);
+    }
+    b.finish().expect("layered construction is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_dfg::{critical_path_len, DfgStats};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = RandomDfgConfig::default();
+        assert_eq!(generate(42, cfg), generate(42, cfg));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = RandomDfgConfig::default();
+        assert_ne!(generate(1, cfg), generate(2, cfg));
+    }
+
+    #[test]
+    fn critical_path_equals_layer_count() {
+        for seed in 0..8 {
+            let cfg = RandomDfgConfig {
+                ops: 50,
+                layers: 10,
+                ..RandomDfgConfig::default()
+            };
+            let dfg = generate(seed, cfg);
+            assert_eq!(critical_path_len(&dfg, &vec![1; dfg.len()]), 10);
+        }
+    }
+
+    #[test]
+    fn mul_fraction_zero_yields_alu_only() {
+        let cfg = RandomDfgConfig {
+            mul_fraction: 0.0,
+            ..RandomDfgConfig::default()
+        };
+        let dfg = generate(3, cfg);
+        assert_eq!(dfg.regular_op_mix().1, 0);
+    }
+
+    #[test]
+    fn graphs_validate() {
+        for seed in 0..16 {
+            let dfg = generate(seed, RandomDfgConfig::default());
+            assert!(dfg.validate().is_ok());
+            let stats = DfgStats::unit_latency(&dfg);
+            assert_eq!(stats.n_v, 40);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one op per layer")]
+    fn too_few_ops_panics() {
+        let _ = generate(
+            0,
+            RandomDfgConfig {
+                ops: 3,
+                layers: 5,
+                ..RandomDfgConfig::default()
+            },
+        );
+    }
+}

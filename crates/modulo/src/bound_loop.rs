@@ -1,0 +1,326 @@
+//! Loop bodies, and their bound form with carried transfers.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use vliw_binding::{Binder, BinderConfig};
+use vliw_datapath::{ClusterId, Machine};
+use vliw_dfg::{Dfg, DfgBuilder, LoopCarry, OpId, OpType};
+
+/// Error constructing a [`LoopDfg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoopDfgError {
+    /// A carry references an operation outside the body.
+    UnknownOp(OpId),
+    /// A carry has distance zero (that is an ordinary edge).
+    ZeroDistance {
+        /// Producer of the offending carry.
+        from: OpId,
+        /// Consumer of the offending carry.
+        to: OpId,
+    },
+    /// The body contains `move` operations (binding inserts those).
+    BodyHasMoves(OpId),
+}
+
+impl fmt::Display for LoopDfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoopDfgError::UnknownOp(v) => write!(f, "carry references unknown operation {v}"),
+            LoopDfgError::ZeroDistance { from, to } => {
+                write!(f, "carry {from} -> {to} has distance 0 (use an ordinary edge)")
+            }
+            LoopDfgError::BodyHasMoves(v) => {
+                write!(f, "loop body already contains a move operation ({v})")
+            }
+        }
+    }
+}
+
+impl Error for LoopDfgError {}
+
+/// A loop body: an acyclic intra-iteration DFG plus the loop-carried
+/// dependences closing the recurrences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopDfg {
+    body: Dfg,
+    carries: Vec<LoopCarry>,
+}
+
+impl LoopDfg {
+    /// Wraps a body and its carried dependences. Duplicate carries (the
+    /// same producer, consumer and distance listed twice — e.g. a
+    /// consumer reading the carried value as both operands) are folded
+    /// into one: the dependence constraint is idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LoopDfgError`] if a carry references a missing
+    /// operation or has distance zero, or if the body contains `move`s.
+    pub fn new(body: Dfg, mut carries: Vec<LoopCarry>) -> Result<Self, LoopDfgError> {
+        for v in body.op_ids() {
+            if body.op_type(v) == OpType::Move {
+                return Err(LoopDfgError::BodyHasMoves(v));
+            }
+        }
+        for c in &carries {
+            for id in [c.from, c.to] {
+                if id.index() >= body.len() {
+                    return Err(LoopDfgError::UnknownOp(id));
+                }
+            }
+            if c.distance == 0 {
+                return Err(LoopDfgError::ZeroDistance {
+                    from: c.from,
+                    to: c.to,
+                });
+            }
+        }
+        carries.sort_by_key(|c| (c.from, c.to, c.distance));
+        carries.dedup();
+        Ok(LoopDfg { body, carries })
+    }
+
+    /// The intra-iteration DFG.
+    pub fn body(&self) -> &Dfg {
+        &self.body
+    }
+
+    /// The loop-carried dependences.
+    pub fn carries(&self) -> &[LoopCarry] {
+        &self.carries
+    }
+}
+
+/// A bound loop body: binding applied, intra-iteration transfers
+/// materialized as `move` operations in the (acyclic) graph, and
+/// loop-carried dependences — including those routed through carried
+/// transfers — kept as an explicit distance-annotated edge list.
+#[derive(Debug, Clone)]
+pub struct BoundLoop {
+    dfg: Dfg,
+    cluster: Vec<ClusterId>,
+    carried: Vec<(OpId, OpId, u32)>,
+    move_count: usize,
+}
+
+impl BoundLoop {
+    /// The acyclic part of the bound body (regular operations plus all
+    /// inserted transfers; carried dependences are *not* edges here).
+    pub fn dfg(&self) -> &Dfg {
+        &self.dfg
+    }
+
+    /// Cluster of a bound operation (destination cluster for moves).
+    pub fn cluster_of(&self, v: OpId) -> ClusterId {
+        self.cluster[v.index()]
+    }
+
+    /// Loop-carried dependences `(producer, consumer, distance)` in the
+    /// bound id space.
+    pub fn carried(&self) -> &[(OpId, OpId, u32)] {
+        &self.carried
+    }
+
+    /// Total inserted transfers per iteration (intra + carried).
+    pub fn move_count(&self) -> usize {
+        self.move_count
+    }
+
+    /// Per-operation latency vector under `machine`.
+    pub fn latencies(&self, machine: &Machine) -> Vec<u32> {
+        machine.op_latencies(&self.dfg)
+    }
+}
+
+/// Binds a loop body with the paper's (block-latency-driven) B-INIT and
+/// materializes every inter-cluster transfer. For an II-driven binding
+/// use [`crate::ModuloBinder`], which refines this result under the
+/// initiation-interval objective.
+///
+/// The binder sees the acyclic body (recurrences influence scheduling,
+/// not target sets); intra-iteration cross-cluster values get moves via
+/// the standard bound-DFG construction, and each *carried* value crossing
+/// clusters gets a carried move: the transfer executes in the consumer's
+/// iteration (`carry.distance` iterations after the producer) and feeds
+/// the consumer through an ordinary edge.
+///
+/// # Panics
+///
+/// Panics if the machine cannot execute some operation of the body.
+pub fn bind_loop(looped: &LoopDfg, machine: &Machine, config: &BinderConfig) -> BoundLoop {
+    let body = looped.body();
+    let result = Binder::with_config(machine, config.clone()).bind_initial(body);
+    bound_loop_with(looped, machine, &result.binding)
+}
+
+/// Materializes the bound loop for an explicit binding of the body
+/// (the evaluation step of [`crate::ModuloBinder`]).
+///
+/// # Panics
+///
+/// Panics if the binding is incomplete or mismatched with the body.
+pub fn bound_loop_with(
+    looped: &LoopDfg,
+    machine: &Machine,
+    binding: &vliw_sched::Binding,
+) -> BoundLoop {
+    let body = looped.body();
+    let bound = &vliw_sched::BoundDfg::new(body, machine, binding);
+
+    // Re-emit the bound graph so we can append carried moves.
+    let mut b = DfgBuilder::with_capacity(bound.dfg().len() + looped.carries().len());
+    let mut cluster: Vec<ClusterId> = Vec::new();
+    for v in bound.dfg().op_ids() {
+        let preds = bound.dfg().preds(v).to_vec();
+        let id = match bound.dfg().name(v) {
+            Some(name) => b.add_named_op(bound.dfg().op_type(v), &preds, name),
+            None => b.add_op(bound.dfg().op_type(v), &preds),
+        };
+        debug_assert_eq!(id, v);
+        cluster.push(bound.cluster_of(v));
+    }
+
+    let mut carried: Vec<(OpId, OpId, u32)> = Vec::new();
+    // One carried move per (producer, destination cluster, distance).
+    let mut carried_moves: HashMap<(OpId, ClusterId, u32), OpId> = HashMap::new();
+    let mut extra_moves = 0usize;
+    for carry in looped.carries() {
+        let from = bound.bound_of(carry.from);
+        let to = bound.bound_of(carry.to);
+        let src = bound.cluster_of(from);
+        let dst = bound.cluster_of(to);
+        if src == dst {
+            carried.push((from, to, carry.distance));
+            continue;
+        }
+        let mv = *carried_moves
+            .entry((from, dst, carry.distance))
+            .or_insert_with(|| {
+                let name = format!("{from}=>{dst}@{}", carry.distance);
+                let id = b.add_named_op(OpType::Move, &[], &name);
+                cluster.push(dst);
+                extra_moves += 1;
+                // The transfer reads the value produced `distance`
+                // iterations earlier...
+                carried.push((from, id, carry.distance));
+                id
+            });
+        // ...and feeds the consumer within its own iteration.
+        b.add_edge(mv, to).expect("move precedes consumer");
+        carried.push((mv, to, 0));
+    }
+    // Distance-0 entries introduced above are ordinary edges; fold them
+    // into the graph instead of the carried list.
+    let carried: Vec<(OpId, OpId, u32)> = carried
+        .into_iter()
+        .filter(|&(_, _, d)| d > 0)
+        .collect();
+
+    let dfg = b.finish().expect("bound loop body is acyclic");
+    BoundLoop {
+        dfg,
+        cluster,
+        carried,
+        move_count: bound.move_count() + extra_moves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_dfg::DfgBuilder;
+
+    fn mac() -> LoopDfg {
+        let mut b = DfgBuilder::new();
+        let m = b.add_op(OpType::Mul, &[]);
+        let acc = b.add_op(OpType::Add, &[m]);
+        let body = b.finish().expect("acyclic");
+        LoopDfg::new(body, vec![LoopCarry::next_iteration(acc, acc)]).expect("valid")
+    }
+
+    #[test]
+    fn loop_dfg_rejects_bad_carries() {
+        let mut b = DfgBuilder::new();
+        let v = b.add_op(OpType::Add, &[]);
+        let body = b.finish().expect("acyclic");
+        assert!(matches!(
+            LoopDfg::new(
+                body.clone(),
+                vec![LoopCarry::next_iteration(OpId::from_index(5), v)]
+            ),
+            Err(LoopDfgError::UnknownOp(_))
+        ));
+        assert!(matches!(
+            LoopDfg::new(
+                body,
+                vec![LoopCarry {
+                    from: v,
+                    to: v,
+                    distance: 0
+                }]
+            ),
+            Err(LoopDfgError::ZeroDistance { .. })
+        ));
+    }
+
+    #[test]
+    fn same_cluster_carry_needs_no_transfer() {
+        let looped = mac();
+        let machine = Machine::parse("[1,1]").expect("machine");
+        let bound = bind_loop(&looped, &machine, &BinderConfig::default());
+        assert_eq!(bound.move_count(), 0);
+        assert_eq!(bound.carried().len(), 1);
+        let (from, to, d) = bound.carried()[0];
+        assert_eq!(d, 1);
+        assert_eq!(bound.cluster_of(from), bound.cluster_of(to));
+    }
+
+    #[test]
+    fn cross_cluster_carry_gets_a_carried_move() {
+        // Force the accumulator's producer and consumer apart: a body
+        // where the carry crosses clusters because the consumer's FU type
+        // exists on only one cluster.
+        let mut b = DfgBuilder::new();
+        let m = b.add_op(OpType::Mul, &[]); // cluster 1 (only mul there)
+        let a = b.add_op(OpType::Add, &[]); // cheap on cluster 0
+        let s = b.add_op(OpType::Add, &[a]);
+        let body = b.finish().expect("acyclic");
+        // m's value is carried into next iteration's s.
+        let looped =
+            LoopDfg::new(body, vec![LoopCarry::next_iteration(m, s)]).expect("valid");
+        let machine = Machine::parse("[2,0|0,1]").expect("machine");
+        let bound = bind_loop(&looped, &machine, &BinderConfig::default());
+        // m is forced to cluster 1, s to cluster 0: the carry must route
+        // through a carried move.
+        assert_eq!(bound.move_count(), 1);
+        assert_eq!(bound.carried().len(), 1);
+        let (from, mv, d) = bound.carried()[0];
+        assert_eq!(d, 1);
+        assert_eq!(bound.dfg().op_type(mv), OpType::Move);
+        assert_eq!(bound.cluster_of(from).index(), 1);
+        assert_eq!(bound.cluster_of(mv).index(), 0);
+    }
+
+    #[test]
+    fn carried_moves_are_deduplicated() {
+        // One carried value consumed twice in the destination cluster:
+        // a single carried move.
+        let mut b = DfgBuilder::new();
+        let m = b.add_op(OpType::Mul, &[]);
+        let c1 = b.add_op(OpType::Add, &[]);
+        let c2 = b.add_op(OpType::Add, &[c1]);
+        let body = b.finish().expect("acyclic");
+        let looped = LoopDfg::new(
+            body,
+            vec![
+                LoopCarry::next_iteration(m, c1),
+                LoopCarry::next_iteration(m, c2),
+            ],
+        )
+        .expect("valid");
+        let machine = Machine::parse("[2,0|0,1]").expect("machine");
+        let bound = bind_loop(&looped, &machine, &BinderConfig::default());
+        assert_eq!(bound.move_count(), 1, "shared carried transfer");
+    }
+}

@@ -1,0 +1,148 @@
+//! Steady-state kernel listings for modulo schedules.
+//!
+//! In steady state a software-pipelined loop executes one `II`-cycle
+//! kernel: slot `s` runs every operation with `start ≡ s (mod II)`, each
+//! belonging to iteration `i − stage(v)` when iteration `i` is the one
+//! entering the pipeline. The listing renders that kernel with stage
+//! annotations — the exact shape the loop body takes in generated code:
+//!
+//! ```text
+//! ;; II = 2, 3 stages, [1,1]
+//! { cl0: add acc[-1], mul p[0] | bus: nop }   ;; slot 0
+//! { cl0: nop                   | bus: nop }   ;; slot 1
+//! ```
+
+use crate::bound_loop::BoundLoop;
+use crate::sched::ModuloSchedule;
+use std::fmt::Write as _;
+use vliw_datapath::Machine;
+use vliw_dfg::{OpId, OpType};
+
+/// Renders the steady-state kernel, one instruction word per modulo
+/// slot, with `[−stage]` iteration annotations.
+///
+/// # Panics
+///
+/// Panics if the schedule does not cover the bound loop body.
+pub fn emit_kernel(bound: &BoundLoop, schedule: &ModuloSchedule, machine: &Machine) -> String {
+    let dfg = bound.dfg();
+    assert_eq!(schedule.len(), dfg.len(), "schedule must cover the body");
+    let ii = schedule.ii();
+    let n_clusters = machine.cluster_count();
+
+    let mut slots: Vec<Vec<Vec<OpId>>> = vec![vec![Vec::new(); n_clusters + 1]; ii as usize];
+    for v in dfg.op_ids() {
+        let group = if dfg.op_type(v) == OpType::Move {
+            n_clusters
+        } else {
+            bound.cluster_of(v).index()
+        };
+        slots[(schedule.start(v) % ii) as usize][group].push(v);
+    }
+    let label = |v: OpId| -> String {
+        let stage = schedule.start(v) / ii;
+        let name = dfg
+            .name(v)
+            .map(str::to_owned)
+            .unwrap_or_else(|| v.to_string());
+        format!("{} {name}[-{stage}]", dfg.op_type(v).mnemonic())
+    };
+    let rendered: Vec<Vec<String>> = slots
+        .iter()
+        .map(|word| {
+            word.iter()
+                .map(|ops| {
+                    if ops.is_empty() {
+                        "nop".to_owned()
+                    } else {
+                        ops.iter().map(|&v| label(v)).collect::<Vec<_>>().join(", ")
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let widths: Vec<usize> = (0..=n_clusters)
+        .map(|g| rendered.iter().map(|w| w[g].len()).max().unwrap_or(3))
+        .collect();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        ";; II = {ii}, {} stages, {machine}, {} transfers/iteration",
+        schedule.stage_count(bound, machine),
+        bound.move_count()
+    );
+    for (slot, word) in rendered.iter().enumerate() {
+        let _ = write!(out, "{{ ");
+        for (g, cell) in word.iter().enumerate() {
+            if g > 0 {
+                let _ = write!(out, " | ");
+            }
+            let name = if g == n_clusters {
+                "bus".to_owned()
+            } else {
+                format!("cl{g}")
+            };
+            let _ = write!(out, "{name}: {cell:<width$}", width = widths[g]);
+        }
+        let _ = writeln!(out, " }}   ;; slot {slot}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound_loop::{bind_loop, LoopDfg};
+    use crate::sched::ModuloScheduler;
+    use vliw_binding::BinderConfig;
+    use vliw_dfg::{DfgBuilder, LoopCarry};
+
+    fn mac_kernel() -> (BoundLoop, ModuloSchedule, Machine) {
+        let mut b = DfgBuilder::new();
+        let m = b.add_named_op(OpType::Mul, &[], "p");
+        let acc = b.add_named_op(OpType::Add, &[m], "acc");
+        let looped = LoopDfg::new(
+            b.finish().expect("acyclic"),
+            vec![LoopCarry::next_iteration(acc, acc)],
+        )
+        .expect("valid");
+        let machine = Machine::parse("[1,1]").expect("machine");
+        let bound = bind_loop(&looped, &machine, &BinderConfig::default());
+        let schedule = ModuloScheduler::new(&machine).schedule(&bound).expect("ok");
+        (bound, schedule, machine)
+    }
+
+    #[test]
+    fn kernel_has_one_word_per_slot() {
+        let (bound, schedule, machine) = mac_kernel();
+        let listing = emit_kernel(&bound, &schedule, &machine);
+        let words = listing.lines().filter(|l| l.starts_with('{')).count() as u32;
+        assert_eq!(words, schedule.ii());
+    }
+
+    #[test]
+    fn stage_annotations_are_present() {
+        let (bound, schedule, machine) = mac_kernel();
+        let listing = emit_kernel(&bound, &schedule, &machine);
+        assert!(listing.contains("p[-0]") || listing.contains("p[-1]"), "{listing}");
+        assert!(listing.contains("acc[-"), "{listing}");
+    }
+
+    #[test]
+    fn header_reports_ii_and_stages() {
+        let (bound, schedule, machine) = mac_kernel();
+        let listing = emit_kernel(&bound, &schedule, &machine);
+        assert!(listing.starts_with(&format!(";; II = {}", schedule.ii())), "{listing}");
+    }
+
+    #[test]
+    fn every_body_op_appears() {
+        let (bound, schedule, machine) = mac_kernel();
+        let listing = emit_kernel(&bound, &schedule, &machine);
+        for v in bound.dfg().op_ids() {
+            let name = bound.dfg().name(v).expect("named");
+            assert!(listing.contains(name), "{name} missing:\n{listing}");
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Minimum initiation interval bounds.
+//!
+//! `MII = max(ResMII, RecMII)`:
+//!
+//! * **ResMII** — resource bound: some resource must execute its share
+//!   of every iteration, so `II ≥ ⌈work / capacity⌉` for every
+//!   (cluster, FU type) and for the bus;
+//! * **RecMII** — recurrence bound: every dependence cycle through
+//!   loop-carried edges must satisfy `II ≥ ⌈Σ lat / Σ dist⌉`; computed
+//!   by binary search over `II` with a positive-cycle (Bellman-Ford)
+//!   feasibility test on edge weights `lat(u) − II·dist`.
+
+use crate::bound_loop::BoundLoop;
+use vliw_datapath::Machine;
+use vliw_dfg::FuType;
+
+/// Resource-constrained lower bound on the initiation interval for a
+/// *bound* loop body: the busiest (cluster, FU type) pair or the bus.
+pub fn res_mii(bound: &BoundLoop, machine: &Machine) -> u32 {
+    let dfg = bound.dfg();
+    let mut work = vec![[0u32; 2]; machine.cluster_count()];
+    let mut bus_work = 0u32;
+    for v in dfg.op_ids() {
+        let t = dfg.op_type(v).fu_type();
+        match t {
+            FuType::Bus => bus_work += machine.dii(t),
+            _ => work[bound.cluster_of(v).index()][t.index()] += machine.dii(t),
+        }
+    }
+    let mut mii = 1;
+    for (ci, per_type) in work.iter().enumerate() {
+        for t in FuType::REGULAR {
+            let w = per_type[t.index()];
+            if w == 0 {
+                continue;
+            }
+            let n = machine.fu_count(vliw_datapath::ClusterId::from_index(ci), t);
+            assert!(n > 0, "work bound to a cluster without the FU type");
+            mii = mii.max(w.div_ceil(n));
+        }
+    }
+    if bus_work > 0 {
+        mii = mii.max(bus_work.div_ceil(machine.bus_count()));
+    }
+    mii
+}
+
+/// Recurrence-constrained lower bound on the initiation interval.
+///
+/// Returns 1 when the loop has no carried dependences (no recurrences).
+pub fn rec_mii(bound: &BoundLoop, machine: &Machine) -> u32 {
+    if bound.carried().is_empty() {
+        return 1;
+    }
+    let lat = bound.latencies(machine);
+    let hi: u32 = lat.iter().sum::<u32>().max(1);
+    // Feasibility is monotone in II: search the smallest feasible value.
+    let mut lo = 1u32;
+    let mut hi = hi;
+    debug_assert!(ii_feasible(bound, &lat, hi));
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if ii_feasible(bound, &lat, mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// Whether the dependence inequalities admit *some* assignment of start
+/// times at initiation interval `ii` (ignoring resources): true iff the
+/// constraint graph with weights `lat(u) − ii·dist` has no positive
+/// cycle.
+fn ii_feasible(bound: &BoundLoop, lat: &[u32], ii: u32) -> bool {
+    let dfg = bound.dfg();
+    let n = dfg.len();
+    // Bellman-Ford longest-path relaxation from a virtual source at 0.
+    let mut dist = vec![0i64; n];
+    let edges: Vec<(usize, usize, i64)> = dfg
+        .edges()
+        .map(|(u, v)| (u.index(), v.index(), lat[u.index()] as i64))
+        .chain(bound.carried().iter().map(|&(u, v, d)| {
+            (
+                u.index(),
+                v.index(),
+                lat[u.index()] as i64 - (ii as i64) * d as i64,
+            )
+        }))
+        .collect();
+    for _ in 0..n {
+        let mut changed = false;
+        for &(u, v, w) in &edges {
+            if dist[u] + w > dist[v] {
+                dist[v] = dist[u] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+    // Still relaxing after n rounds: positive cycle.
+    false
+}
+
+/// `MII = max(ResMII, RecMII)`.
+pub fn mii(bound: &BoundLoop, machine: &Machine) -> u32 {
+    res_mii(bound, machine).max(rec_mii(bound, machine))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound_loop::{bind_loop, LoopDfg};
+    use vliw_binding::BinderConfig;
+    use vliw_dfg::{DfgBuilder, LoopCarry, OpType};
+
+    fn bound_mac(machine: &Machine, distance: u32) -> BoundLoop {
+        let mut b = DfgBuilder::new();
+        let m = b.add_op(OpType::Mul, &[]);
+        let acc = b.add_op(OpType::Add, &[m]);
+        let body = b.finish().expect("acyclic");
+        let looped = LoopDfg::new(
+            body,
+            vec![LoopCarry {
+                from: acc,
+                to: acc,
+                distance,
+            }],
+        )
+        .expect("valid");
+        bind_loop(&looped, machine, &BinderConfig::default())
+    }
+
+    #[test]
+    fn rec_mii_of_unit_accumulator_is_one() {
+        let machine = Machine::parse("[1,1]").expect("machine");
+        let bound = bound_mac(&machine, 1);
+        assert_eq!(rec_mii(&bound, &machine), 1);
+    }
+
+    #[test]
+    fn rec_mii_scales_with_latency_over_distance() {
+        use vliw_datapath::{Cluster, MachineBuilder};
+        // Make the accumulator a 3-cycle operation: Σlat/Σdist = 3.
+        let machine = MachineBuilder::new()
+            .cluster(Cluster::new(1, 1))
+            .op_latency(OpType::Add, 3)
+            .build()
+            .expect("machine");
+        let bound = bound_mac(&machine, 1);
+        assert_eq!(rec_mii(&bound, &machine), 3);
+        // Distance 2 halves it (rounded up).
+        let bound2 = bound_mac(&machine, 2);
+        assert_eq!(rec_mii(&bound2, &machine), 2);
+    }
+
+    #[test]
+    fn res_mii_tracks_the_busiest_unit() {
+        // Four adds + one mul on [1,1]: the ALU needs 4 slots.
+        let mut b = DfgBuilder::new();
+        let m = b.add_op(OpType::Mul, &[]);
+        let mut prev = b.add_op(OpType::Add, &[m]);
+        for _ in 0..3 {
+            prev = b.add_op(OpType::Add, &[prev]);
+        }
+        let body = b.finish().expect("acyclic");
+        let looped = LoopDfg::new(body, vec![]).expect("valid");
+        let machine = Machine::parse("[1,1]").expect("machine");
+        let bound = bind_loop(&looped, &machine, &BinderConfig::default());
+        assert_eq!(res_mii(&bound, &machine), 4);
+        // With two ALUs the bound halves.
+        let machine2 = Machine::parse("[2,1]").expect("machine");
+        let bound2 = bind_loop(&looped, &machine2, &BinderConfig::default());
+        assert_eq!(res_mii(&bound2, &machine2), 2);
+    }
+
+    #[test]
+    fn bus_work_bounds_res_mii() {
+        // Three values crossing clusters every iteration on one bus.
+        let mut b = DfgBuilder::new();
+        let mut muls = Vec::new();
+        for _ in 0..3 {
+            muls.push(b.add_op(OpType::Mul, &[]));
+        }
+        for &m in &muls {
+            b.add_op(OpType::Add, &[m]);
+        }
+        let body = b.finish().expect("acyclic");
+        let looped = LoopDfg::new(body, vec![]).expect("valid");
+        let machine = Machine::parse("[3,0|0,3]").expect("machine").with_bus_count(1);
+        let bound = bind_loop(&looped, &machine, &BinderConfig::default());
+        assert_eq!(bound.move_count(), 3);
+        assert!(res_mii(&bound, &machine) >= 3);
+    }
+
+    #[test]
+    fn no_carries_means_rec_mii_one() {
+        let mut b = DfgBuilder::new();
+        let x = b.add_op(OpType::Add, &[]);
+        let _ = b.add_op(OpType::Add, &[x]);
+        let body = b.finish().expect("acyclic");
+        let looped = LoopDfg::new(body, vec![]).expect("valid");
+        let machine = Machine::parse("[1,1]").expect("machine");
+        let bound = bind_loop(&looped, &machine, &BinderConfig::default());
+        assert_eq!(rec_mii(&bound, &machine), 1);
+    }
+
+    #[test]
+    fn mii_is_the_max_of_both_bounds() {
+        let machine = Machine::parse("[1,1]").expect("machine");
+        let bound = bound_mac(&machine, 1);
+        assert_eq!(
+            mii(&bound, &machine),
+            res_mii(&bound, &machine).max(rec_mii(&bound, &machine))
+        );
+    }
+}

@@ -1,0 +1,522 @@
+//! Restart-based iterative modulo scheduling.
+//!
+//! For a candidate initiation interval `II`, every resource is a modulo
+//! reservation table (MRT) of `II` slots: an operation starting at cycle
+//! `s` occupies slots `(s+k) mod II` for `k < dii`, once per `k` — so a
+//! non-pipelined unit whose `dii` exceeds `II` correctly demands several
+//! units. Operations are placed in decreasing-height order with both
+//! forward (scheduled producers) and backward (scheduled consumers)
+//! dependence bounds; a failure restarts at `II + 1` (Rau's IMS with
+//! eviction would retry in place — the restart variant is simpler and
+//! adequate at these kernel sizes).
+
+use crate::bound_loop::BoundLoop;
+use crate::mii;
+use std::error::Error;
+use std::fmt;
+use vliw_datapath::Machine;
+use vliw_dfg::{FuType, OpId};
+
+/// Error reported by [`ModuloSchedule::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModuloScheduleError {
+    /// A dependence inequality `start(v) + II·dist ≥ start(u) + lat(u)`
+    /// is violated.
+    Precedence {
+        /// Producer operation.
+        producer: OpId,
+        /// Consumer operation.
+        consumer: OpId,
+        /// Dependence distance in iterations (0 = intra-iteration).
+        distance: u32,
+    },
+    /// A modulo-reservation-table slot exceeds its resource capacity.
+    Overload {
+        /// Cluster index (`usize::MAX` for the bus).
+        cluster: usize,
+        /// The overloaded slot.
+        slot: u32,
+    },
+    /// The schedule does not cover the bound loop body.
+    WrongLength {
+        /// Entries provided.
+        got: usize,
+        /// Operations in the body.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for ModuloScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModuloScheduleError::Precedence {
+                producer,
+                consumer,
+                distance,
+            } => write!(
+                f,
+                "{consumer} violates its dependence on {producer} (distance {distance})"
+            ),
+            ModuloScheduleError::Overload { cluster, slot } => {
+                if *cluster == usize::MAX {
+                    write!(f, "bus reservation table overloaded at slot {slot}")
+                } else {
+                    write!(f, "cluster cl{cluster} reservation table overloaded at slot {slot}")
+                }
+            }
+            ModuloScheduleError::WrongLength { got, expected } => {
+                write!(f, "schedule covers {got} ops, body has {expected}")
+            }
+        }
+    }
+}
+
+impl Error for ModuloScheduleError {}
+
+/// A modulo schedule: per-operation start cycles at a fixed initiation
+/// interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuloSchedule {
+    start: Vec<u32>,
+    ii: u32,
+}
+
+impl ModuloSchedule {
+    /// The achieved initiation interval (cycles per iteration in steady
+    /// state — the figure of merit of modulo scheduling).
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Start cycle of a bound operation within its iteration's frame.
+    pub fn start(&self, v: OpId) -> u32 {
+        self.start[v.index()]
+    }
+
+    /// Number of scheduled operations.
+    pub fn len(&self) -> usize {
+        self.start.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start.is_empty()
+    }
+
+    /// Number of pipeline stages (`⌈span / II⌉`): how many iterations
+    /// are in flight in steady state, which sizes the prologue/epilogue.
+    pub fn stage_count(&self, bound: &BoundLoop, machine: &Machine) -> u32 {
+        let lat = bound.latencies(machine);
+        let span = bound
+            .dfg()
+            .op_ids()
+            .map(|v| self.start(v) + lat[v.index()])
+            .max()
+            .unwrap_or(0);
+        span.div_ceil(self.ii.max(1))
+    }
+
+    /// Independently re-checks every dependence inequality and every
+    /// reservation-table bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(
+        &self,
+        bound: &BoundLoop,
+        machine: &Machine,
+    ) -> Result<(), ModuloScheduleError> {
+        let dfg = bound.dfg();
+        if self.start.len() != dfg.len() {
+            return Err(ModuloScheduleError::WrongLength {
+                got: self.start.len(),
+                expected: dfg.len(),
+            });
+        }
+        let lat = bound.latencies(machine);
+        for (u, v) in dfg.edges() {
+            if self.start(v) < self.start(u) + lat[u.index()] {
+                return Err(ModuloScheduleError::Precedence {
+                    producer: u,
+                    consumer: v,
+                    distance: 0,
+                });
+            }
+        }
+        for &(u, v, d) in bound.carried() {
+            if (self.start(v) as u64) + (self.ii as u64) * (d as u64)
+                < (self.start(u) + lat[u.index()]) as u64
+            {
+                return Err(ModuloScheduleError::Precedence {
+                    producer: u,
+                    consumer: v,
+                    distance: d,
+                });
+            }
+        }
+        // Reservation tables.
+        let ii = self.ii as usize;
+        let mut mrt = vec![[0u32; 2].map(|_| vec![0u32; ii]); machine.cluster_count()];
+        let mut bus = vec![0u32; ii];
+        for v in dfg.op_ids() {
+            let t = dfg.op_type(v).fu_type();
+            let dii = machine.dii(t);
+            for k in 0..dii {
+                let slot = ((self.start(v) + k) as usize) % ii;
+                match t {
+                    FuType::Bus => bus[slot] += 1,
+                    _ => mrt[bound.cluster_of(v).index()][t.index()][slot] += 1,
+                }
+            }
+        }
+        for (ci, per_type) in mrt.iter().enumerate() {
+            for t in FuType::REGULAR {
+                let cap = machine.fu_count(vliw_datapath::ClusterId::from_index(ci), t);
+                for (slot, &used) in per_type[t.index()].iter().enumerate() {
+                    if used > cap {
+                        return Err(ModuloScheduleError::Overload {
+                            cluster: ci,
+                            slot: slot as u32,
+                        });
+                    }
+                }
+            }
+        }
+        for (slot, &used) in bus.iter().enumerate() {
+            if used > machine.bus_count() {
+                return Err(ModuloScheduleError::Overload {
+                    cluster: usize::MAX,
+                    slot: slot as u32,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The modulo scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct ModuloScheduler<'m> {
+    machine: &'m Machine,
+    max_ii: u32,
+}
+
+impl<'m> ModuloScheduler<'m> {
+    /// A scheduler with the default II cap (the fully serial iteration —
+    /// always sufficient).
+    pub fn new(machine: &'m Machine) -> Self {
+        ModuloScheduler {
+            machine,
+            max_ii: u32::MAX,
+        }
+    }
+
+    /// Restricts the II search to `max_ii` (useful to bound work when
+    /// only near-MII schedules are interesting).
+    pub fn with_max_ii(machine: &'m Machine, max_ii: u32) -> Self {
+        ModuloScheduler { machine, max_ii }
+    }
+
+    /// Searches upward from `MII` for the smallest II the restart-based
+    /// placement achieves. Returns `None` only if the cap cut the search
+    /// short.
+    pub fn schedule(&self, bound: &BoundLoop) -> Option<ModuloSchedule> {
+        if bound.dfg().is_empty() {
+            return Some(ModuloSchedule {
+                start: Vec::new(),
+                ii: 1,
+            });
+        }
+        let lat = bound.latencies(self.machine);
+        let serial: u32 = lat.iter().sum();
+        let cap = self.max_ii.min(serial.max(1) + 1);
+        let start_ii = mii::mii(bound, self.machine);
+        (start_ii..=cap).find_map(|ii| self.schedule_at(bound, ii))
+    }
+
+    /// Attempts a schedule at exactly `ii`.
+    pub fn schedule_at(&self, bound: &BoundLoop, ii: u32) -> Option<ModuloSchedule> {
+        let machine = self.machine;
+        let dfg = bound.dfg();
+        let n = dfg.len();
+        let lat = bound.latencies(machine);
+
+        // Height-based priority over intra-iteration edges.
+        let order = vliw_dfg::topo_order(dfg).expect("body is acyclic");
+        let mut height = vec![0u32; n];
+        for &v in order.iter().rev() {
+            let below = dfg
+                .succs(v)
+                .iter()
+                .map(|&s| height[s.index()])
+                .max()
+                .unwrap_or(0);
+            height[v.index()] = lat[v.index()] + below;
+        }
+        let mut place_order: Vec<OpId> = dfg.op_ids().collect();
+        place_order.sort_by_key(|&v| (std::cmp::Reverse(height[v.index()]), v));
+
+        let ii_us = ii as usize;
+        let mut mrt = vec![[0u32; 2].map(|_| vec![0u32; ii_us]); machine.cluster_count()];
+        let mut bus = vec![0u32; ii_us];
+        let mut start: Vec<Option<u32>> = vec![None; n];
+
+        // Edge lists per op for bound computation (intra dist 0 +
+        // carried with distance).
+        let mut in_edges: Vec<Vec<(OpId, u32)>> = vec![Vec::new(); n];
+        let mut out_edges: Vec<Vec<(OpId, u32)>> = vec![Vec::new(); n];
+        for (u, v) in dfg.edges() {
+            in_edges[v.index()].push((u, 0));
+            out_edges[u.index()].push((v, 0));
+        }
+        for &(u, v, d) in bound.carried() {
+            in_edges[v.index()].push((u, d));
+            out_edges[u.index()].push((v, d));
+        }
+
+        for v in place_order {
+            let mut earliest: i64 = 0;
+            for &(u, d) in &in_edges[v.index()] {
+                if let Some(su) = start[u.index()] {
+                    earliest = earliest
+                        .max(su as i64 + lat[u.index()] as i64 - ii as i64 * d as i64);
+                }
+            }
+            let mut latest: i64 = i64::MAX;
+            for &(w, d) in &out_edges[v.index()] {
+                if let Some(sw) = start[w.index()] {
+                    latest = latest
+                        .min(sw as i64 - lat[v.index()] as i64 + ii as i64 * d as i64);
+                }
+            }
+            let earliest = earliest.max(0) as u32;
+            if (latest as i64) < earliest as i64 {
+                return None;
+            }
+            let window_end = (earliest as i64 + ii as i64 - 1).min(latest) as u32;
+            let t = dfg.op_type(v).fu_type();
+            let dii = machine.dii(t);
+            let cap = match t {
+                FuType::Bus => machine.bus_count(),
+                _ => machine.fu_count(bound.cluster_of(v), t),
+            };
+            let table: &mut Vec<u32> = match t {
+                FuType::Bus => &mut bus,
+                _ => &mut mrt[bound.cluster_of(v).index()][t.index()],
+            };
+            let mut placed = false;
+            's: for s in earliest..=window_end {
+                for k in 0..dii {
+                    if table[((s + k) as usize) % ii_us] + 1 > cap {
+                        continue 's;
+                    }
+                }
+                for k in 0..dii {
+                    table[((s + k) as usize) % ii_us] += 1;
+                }
+                start[v.index()] = Some(s);
+                placed = true;
+                break;
+            }
+            if !placed {
+                return None;
+            }
+        }
+        let start: Vec<u32> = start.into_iter().map(|s| s.expect("all placed")).collect();
+        let schedule = ModuloSchedule { start, ii };
+        debug_assert_eq!(schedule.validate(bound, machine), Ok(()));
+        Some(schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound_loop::{bind_loop, LoopDfg};
+    use vliw_binding::BinderConfig;
+    use vliw_dfg::{DfgBuilder, LoopCarry, OpType};
+
+    fn schedule_loop(
+        body_build: impl FnOnce(&mut DfgBuilder) -> Vec<LoopCarry>,
+        machine_text: &str,
+    ) -> (BoundLoop, ModuloSchedule, Machine) {
+        let mut b = DfgBuilder::new();
+        let carries = body_build(&mut b);
+        let body = b.finish().expect("acyclic");
+        let looped = LoopDfg::new(body, carries).expect("valid");
+        let machine = Machine::parse(machine_text).expect("machine");
+        let bound = bind_loop(&looped, &machine, &BinderConfig::default());
+        let schedule = ModuloScheduler::new(&machine)
+            .schedule(&bound)
+            .expect("schedulable");
+        schedule.validate(&bound, &machine).expect("valid");
+        (bound, schedule, machine)
+    }
+
+    #[test]
+    fn mac_pipelines_to_ii_one() {
+        let (_, schedule, _) = schedule_loop(
+            |b| {
+                let m = b.add_op(OpType::Mul, &[]);
+                let acc = b.add_op(OpType::Add, &[m]);
+                vec![LoopCarry::next_iteration(acc, acc)]
+            },
+            "[1,1]",
+        );
+        assert_eq!(schedule.ii(), 1);
+    }
+
+    #[test]
+    fn resource_pressure_raises_ii() {
+        // Three independent adds per iteration on one ALU: II = 3.
+        let (_, schedule, _) = schedule_loop(
+            |b| {
+                for _ in 0..3 {
+                    b.add_op(OpType::Add, &[]);
+                }
+                vec![]
+            },
+            "[1,1]",
+        );
+        assert_eq!(schedule.ii(), 3);
+    }
+
+    #[test]
+    fn recurrence_dominates_when_serial() {
+        use vliw_datapath::{Cluster, MachineBuilder};
+        // acc = acc + x with a 2-cycle non-pipelined adder: II = 2 even
+        // though resources are plentiful.
+        let mut b = DfgBuilder::new();
+        let acc = b.add_op(OpType::Add, &[]);
+        let body = b.finish().expect("acyclic");
+        let looped =
+            LoopDfg::new(body, vec![LoopCarry::next_iteration(acc, acc)]).expect("valid");
+        let machine = MachineBuilder::new()
+            .cluster(Cluster::new(4, 1))
+            .op_latency(OpType::Add, 2)
+            .fu_dii(vliw_dfg::FuType::Alu, 2)
+            .build()
+            .expect("machine");
+        let bound = bind_loop(&looped, &machine, &BinderConfig::default());
+        let schedule = ModuloScheduler::new(&machine)
+            .schedule(&bound)
+            .expect("schedulable");
+        assert_eq!(schedule.ii(), 2);
+    }
+
+    #[test]
+    fn clustering_halves_ii_of_wide_loops() {
+        // Eight independent adds: one [1,1] cluster -> II 8; two clusters
+        // -> II 4 (binder splits the work).
+        let build = |b: &mut DfgBuilder| {
+            for _ in 0..8 {
+                b.add_op(OpType::Add, &[]);
+            }
+            Vec::new()
+        };
+        let (_, narrow, _) = schedule_loop(build, "[1,1]");
+        assert_eq!(narrow.ii(), 8);
+        let (_, wide, _) = schedule_loop(build, "[1,1|1,1]");
+        assert_eq!(wide.ii(), 4);
+    }
+
+    #[test]
+    fn carried_cross_cluster_value_costs_bus_slots() {
+        // Producer on cluster 1 (only multiplier), carried consumer on
+        // cluster 0: the carried move occupies the bus each iteration and
+        // the dependence chain mul -> move -> add spans iterations.
+        let (bound, schedule, machine) = schedule_loop(
+            |b| {
+                let m = b.add_op(OpType::Mul, &[]);
+                let a = b.add_op(OpType::Add, &[]);
+                let s = b.add_op(OpType::Add, &[a]);
+                vec![LoopCarry::next_iteration(m, s)]
+            },
+            "[2,0|0,1]",
+        );
+        assert_eq!(bound.move_count(), 1);
+        assert!(schedule.ii() >= 1);
+        assert!(schedule.stage_count(&bound, &machine) >= 1);
+    }
+
+    #[test]
+    fn deep_recurrence_chain_sets_ii() {
+        // Recurrence: three chained adds feeding back with distance 1:
+        // RecMII = 3 and the scheduler achieves it.
+        let (_, schedule, _) = schedule_loop(
+            |b| {
+                let a1 = b.add_op(OpType::Add, &[]);
+                let a2 = b.add_op(OpType::Add, &[a1]);
+                let a3 = b.add_op(OpType::Add, &[a2]);
+                vec![LoopCarry::next_iteration(a3, a1)]
+            },
+            "[2,1]",
+        );
+        assert_eq!(schedule.ii(), 3);
+    }
+
+    #[test]
+    fn kernels_can_be_software_pipelined_back_to_back() {
+        // The EWF body with its filter states wired as carried deps:
+        // the canonical "can we pipeline a real kernel" smoke test.
+        let dfg = vliw_kernels::ewf();
+        let find = |name: &str| {
+            dfg.op_ids()
+                .find(|&v| dfg.name(v) == Some(name))
+                .unwrap_or_else(|| panic!("{name} exists"))
+        };
+        let carries = vec![
+            LoopCarry::next_iteration(find("A1.s'"), find("A1.t")),
+            LoopCarry::next_iteration(find("A2.s2'"), find("A2.t1")),
+            LoopCarry::next_iteration(find("A2.s1'"), find("A2.t2")),
+            LoopCarry::next_iteration(find("B1.s2'"), find("B1.t1")),
+            LoopCarry::next_iteration(find("B1.s1'"), find("B1.t2")),
+            LoopCarry::next_iteration(find("B2.s2'"), find("B2.t1")),
+            LoopCarry::next_iteration(find("B2.s1'"), find("B2.t2")),
+        ];
+        let looped = LoopDfg::new(dfg, carries).expect("valid");
+        let machine = Machine::parse("[2,1|2,1]").expect("machine");
+        let bound = bind_loop(&looped, &machine, &BinderConfig::default());
+        let schedule = ModuloScheduler::new(&machine)
+            .schedule(&bound)
+            .expect("schedulable");
+        schedule.validate(&bound, &machine).expect("valid");
+        // The adaptor recurrences (t -> u -> s' feeding back) bound II
+        // from below; block latency 14 from Table 1 is the non-pipelined
+        // reference, so II must land well under it.
+        assert!(schedule.ii() >= crate::mii::rec_mii(&bound, &machine));
+        assert!(schedule.ii() < 14, "got II = {}", schedule.ii());
+    }
+
+    #[test]
+    fn schedule_at_rejects_sub_mii() {
+        let (bound, schedule, machine) = schedule_loop(
+            |b| {
+                for _ in 0..3 {
+                    b.add_op(OpType::Add, &[]);
+                }
+                vec![]
+            },
+            "[1,1]",
+        );
+        assert_eq!(schedule.ii(), 3);
+        assert!(ModuloScheduler::new(&machine).schedule_at(&bound, 2).is_none());
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let (bound, schedule, machine) = schedule_loop(
+            |b| {
+                let m = b.add_op(OpType::Mul, &[]);
+                let acc = b.add_op(OpType::Add, &[m]);
+                vec![LoopCarry::next_iteration(acc, acc)]
+            },
+            "[1,1]",
+        );
+        let mut bad = schedule.clone();
+        // Swap the chain order: consumer before producer.
+        bad.start.swap(0, 1);
+        assert!(bad.validate(&bound, &machine).is_err());
+    }
+}

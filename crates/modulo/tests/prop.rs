@@ -1,0 +1,96 @@
+//! Property tests for the modulo-scheduling extension: on random loop
+//! bodies with random carried dependences, the scheduler's output must
+//! always validate, respect the MII bounds, and survive the block-level
+//! expansion oracle.
+
+use proptest::prelude::*;
+use vliw_binding::BinderConfig;
+use vliw_datapath::Machine;
+use vliw_dfg::{Dfg, DfgBuilder, LoopCarry, OpType};
+use vliw_modulo::{bind_loop, expand, mii, LoopDfg, ModuloBinder, ModuloScheduler};
+
+/// Random acyclic body plus random backward carries.
+fn arb_loop(max_ops: usize) -> impl Strategy<Value = LoopDfg> {
+    (2..=max_ops).prop_flat_map(|n| {
+        let kinds = prop::collection::vec(0..2u8, n);
+        let picks = prop::collection::vec((0usize..usize::MAX, 0..2u8), n);
+        let carries = prop::collection::vec((0usize..usize::MAX, 0usize..usize::MAX, 1..3u32), 0..3);
+        (kinds, picks, carries).prop_map(move |(kinds, picks, raw_carries)| {
+            let mut b = DfgBuilder::new();
+            let mut ids = Vec::new();
+            for (i, (&kind, &(p1, arity))) in kinds.iter().zip(&picks).enumerate() {
+                let ty = if kind == 0 { OpType::Add } else { OpType::Mul };
+                let mut operands = Vec::new();
+                if i > 0 && arity >= 1 {
+                    operands.push(ids[p1 % i]);
+                }
+                ids.push(b.add_op(ty, &operands));
+            }
+            let body: Dfg = b.finish().expect("acyclic");
+            let carries: Vec<LoopCarry> = raw_carries
+                .into_iter()
+                .map(|(f, t, d)| LoopCarry {
+                    from: ids[f % ids.len()],
+                    to: ids[t % ids.len()],
+                    distance: d,
+                })
+                .collect();
+            LoopDfg::new(body, carries).expect("carries are in range")
+        })
+    })
+}
+
+fn arb_machine() -> impl Strategy<Value = Machine> {
+    prop::sample::select(vec!["[1,1]", "[2,1]", "[1,1|1,1]", "[2,1|1,1]"])
+        .prop_map(|cfg| Machine::parse(cfg).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The scheduler always finds a schedule, it validates, and II never
+    /// undercuts MII.
+    #[test]
+    fn modulo_schedule_is_sound(looped in arb_loop(16), machine in arb_machine()) {
+        let bound = bind_loop(&looped, &machine, &BinderConfig::default());
+        let schedule = ModuloScheduler::new(&machine)
+            .schedule(&bound)
+            .expect("restart search reaches the serial II");
+        prop_assert_eq!(schedule.validate(&bound, &machine), Ok(()));
+        prop_assert!(schedule.ii() >= mii::mii(&bound, &machine));
+    }
+
+    /// Overlapping iterations never breaks block-level rules.
+    #[test]
+    fn expansion_passes_block_rules(looped in arb_loop(12), machine in arb_machine()) {
+        let bound = bind_loop(&looped, &machine, &BinderConfig::default());
+        let schedule = ModuloScheduler::new(&machine)
+            .schedule(&bound)
+            .expect("schedulable");
+        let flat = expand(&bound, &schedule, &machine, 4);
+        prop_assert_eq!(flat.validate(&machine), Ok(()));
+    }
+
+    /// The II-driven binder never does worse than the block-latency
+    /// binding it starts from.
+    #[test]
+    fn ii_driver_is_monotone(looped in arb_loop(12), machine in arb_machine()) {
+        let block = bind_loop(&looped, &machine, &BinderConfig::default());
+        let block_ii = ModuloScheduler::new(&machine)
+            .schedule(&block)
+            .expect("schedulable")
+            .ii();
+        let (_, schedule) = ModuloBinder::new(&machine).bind(&looped);
+        prop_assert!(schedule.ii() <= block_ii);
+    }
+
+    /// Determinism: identical inputs, identical schedules.
+    #[test]
+    fn modulo_pipeline_is_deterministic(looped in arb_loop(12)) {
+        let machine = Machine::parse("[1,1|1,1]").expect("valid");
+        let (b1, s1) = ModuloBinder::new(&machine).bind(&looped);
+        let (b2, s2) = ModuloBinder::new(&machine).bind(&looped);
+        prop_assert_eq!(s1.ii(), s2.ii());
+        prop_assert_eq!(b1.move_count(), b2.move_count());
+    }
+}

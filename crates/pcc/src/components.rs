@@ -1,0 +1,193 @@
+//! Phase 1: partial-component growth.
+//!
+//! Desoli's first phase partitions the DFG into connected "partial
+//! components" by a depth-first traversal "similarly to the Bottom-Up
+//! Greedy (BUG) algorithm": starting from exit (sink) operations and
+//! walking up through operands, greedily absorbing producers until the
+//! size bound `θ` is hit. Producers whose value is consumed exclusively
+//! inside the growing component are preferred — keeping such edges
+//! internal can never force a transfer.
+
+use vliw_dfg::{topo_order, Dfg, OpId};
+
+/// A partition of the operations into connected components of size ≤ θ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialComponents {
+    /// Component index of every operation.
+    pub component_of: Vec<usize>,
+    /// Operations of each component, in discovery order.
+    pub members: Vec<Vec<OpId>>,
+}
+
+impl PartialComponents {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the partition is empty (empty DFG).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Grows partial components of at most `theta` operations each.
+///
+/// Exit operations are seeds, visited in reverse topological order; each
+/// component absorbs unassigned predecessors depth-first (single-consumer
+/// producers first) until `theta` is reached. Leftover operations seed
+/// further components, so the result always covers the whole graph.
+///
+/// # Panics
+///
+/// Panics if `theta == 0`.
+pub fn grow(dfg: &Dfg, theta: usize) -> PartialComponents {
+    assert!(theta > 0, "components must hold at least one operation");
+    const UNASSIGNED: usize = usize::MAX;
+    let mut component_of = vec![UNASSIGNED; dfg.len()];
+    let mut members: Vec<Vec<OpId>> = Vec::new();
+
+    let order = topo_order(dfg).expect("DFG is acyclic");
+    // Seeds: reverse topological order puts sinks (exit operations) first.
+    for &seed in order.iter().rev() {
+        if component_of[seed.index()] != UNASSIGNED {
+            continue;
+        }
+        let id = members.len();
+        let mut comp = Vec::new();
+        let mut stack = vec![seed];
+        while let Some(v) = stack.pop() {
+            if component_of[v.index()] != UNASSIGNED || comp.len() >= theta {
+                continue;
+            }
+            component_of[v.index()] = id;
+            comp.push(v);
+            // Absorb producers; push shared producers first so exclusive
+            // (single-consumer) producers are popped — and absorbed —
+            // before the size budget runs out.
+            let mut preds: Vec<OpId> = dfg
+                .preds(v)
+                .iter()
+                .copied()
+                .filter(|&u| component_of[u.index()] == UNASSIGNED)
+                .collect();
+            preds.sort_by_key(|&u| std::cmp::Reverse(dfg.out_degree(u)));
+            stack.extend(preds);
+        }
+        members.push(comp);
+    }
+    PartialComponents {
+        component_of,
+        members,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_dfg::{DfgBuilder, OpType};
+
+    fn chain(n: usize) -> Dfg {
+        let mut b = DfgBuilder::new();
+        let mut prev = b.add_op(OpType::Add, &[]);
+        for _ in 1..n {
+            prev = b.add_op(OpType::Add, &[prev]);
+        }
+        b.finish().expect("acyclic")
+    }
+
+    #[test]
+    fn covers_every_operation_exactly_once() {
+        let dfg = vliw_kernels_like_graph();
+        for theta in [1, 2, 3, 5, 100] {
+            let comps = grow(&dfg, theta);
+            let mut seen = vec![false; dfg.len()];
+            for (id, comp) in comps.members.iter().enumerate() {
+                for &v in comp {
+                    assert!(!seen[v.index()], "{v} assigned twice");
+                    seen[v.index()] = true;
+                    assert_eq!(comps.component_of[v.index()], id);
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "every op covered");
+        }
+    }
+
+    /// A small mixed graph used by several tests.
+    fn vliw_kernels_like_graph() -> Dfg {
+        let mut b = DfgBuilder::new();
+        let x0 = b.add_op(OpType::Mul, &[]);
+        let x1 = b.add_op(OpType::Add, &[]);
+        let y0 = b.add_op(OpType::Add, &[x0, x1]);
+        let y1 = b.add_op(OpType::Mul, &[x1]);
+        let z0 = b.add_op(OpType::Sub, &[y0, y1]);
+        let _z1 = b.add_op(OpType::Add, &[y1]);
+        let _w = b.add_op(OpType::Add, &[z0]);
+        b.finish().expect("acyclic")
+    }
+
+    #[test]
+    fn respects_size_bound() {
+        let dfg = chain(10);
+        for theta in 1..=10 {
+            let comps = grow(&dfg, theta);
+            for comp in &comps.members {
+                assert!(comp.len() <= theta);
+            }
+        }
+    }
+
+    #[test]
+    fn theta_one_isolates_every_op() {
+        let dfg = chain(5);
+        let comps = grow(&dfg, 1);
+        assert_eq!(comps.len(), 5);
+    }
+
+    #[test]
+    fn large_theta_swallows_a_chain_whole() {
+        let dfg = chain(7);
+        let comps = grow(&dfg, 100);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps.members[0].len(), 7);
+    }
+
+    #[test]
+    fn components_are_connected_subgraphs() {
+        let dfg = vliw_kernels_like_graph();
+        for theta in [2, 3, 4] {
+            let comps = grow(&dfg, theta);
+            for comp in &comps.members {
+                if comp.len() == 1 {
+                    continue;
+                }
+                // Every member after the seed must touch an earlier member
+                // through an edge (in either direction).
+                for (i, &v) in comp.iter().enumerate().skip(1) {
+                    let touches = comp[..i].iter().any(|&u| {
+                        dfg.preds(v).contains(&u)
+                            || dfg.succs(v).contains(&u)
+                            || dfg.preds(u).contains(&v)
+                            || dfg.succs(u).contains(&v)
+                    });
+                    assert!(touches, "{v} disconnected inside its component");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn growth_starts_from_exits() {
+        // The deepest sink must be in the first component.
+        let dfg = chain(6);
+        let comps = grow(&dfg, 3);
+        let sink = dfg.sinks()[0];
+        assert_eq!(comps.component_of[sink.index()], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operation")]
+    fn theta_zero_panics() {
+        let _ = grow(&chain(3), 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Phase 3: iterative improvement of the initial assignment.
+//!
+//! Hill climbing over two move kinds — relocating a whole partial
+//! component, or a single boundary operation, to another cluster — driven
+//! by the `(L, N_MV)` cost the paper identifies as Desoli's ("a cost
+//! function similar to our Q_M ... with latency obtained by a fast
+//! approximate scheduler", Section 4). Latency comes from the shared list
+//! scheduler so the baseline and our algorithm are judged identically.
+
+use crate::components::PartialComponents;
+use vliw_binding::BindingResult;
+use vliw_datapath::{ClusterId, Machine};
+use vliw_dfg::{Dfg, OpId};
+
+/// Steepest-descent improvement until `(L, N_MV)` stops decreasing or
+/// `max_iterations` is exhausted.
+pub fn improve(
+    dfg: &Dfg,
+    machine: &Machine,
+    comps: &PartialComponents,
+    start: BindingResult,
+    max_iterations: usize,
+) -> BindingResult {
+    let mut current = start;
+    for _ in 0..max_iterations {
+        let mut best: Option<BindingResult> = None;
+        for (ops, c) in moves(dfg, machine, comps, &current) {
+            let mut binding = current.binding.clone();
+            for &v in &ops {
+                binding.bind(v, c);
+            }
+            let result = BindingResult::evaluate(dfg, machine, binding);
+            if best.as_ref().map_or(true, |b| result.lm() < b.lm()) {
+                best = Some(result);
+            }
+        }
+        match best {
+            Some(result) if result.lm() < current.lm() => current = result,
+            _ => break,
+        }
+    }
+    current
+}
+
+/// Candidate moves: every component to every other feasible cluster, and
+/// every boundary operation to the clusters of its neighbors.
+fn moves(
+    dfg: &Dfg,
+    machine: &Machine,
+    comps: &PartialComponents,
+    current: &BindingResult,
+) -> Vec<(Vec<OpId>, ClusterId)> {
+    let binding = &current.binding;
+    let mut out = Vec::new();
+    for members in &comps.members {
+        let own = binding.cluster_of(members[0]);
+        for c in machine.cluster_ids() {
+            if c == own {
+                continue;
+            }
+            if members.iter().all(|&v| machine.supports(c, dfg.op_type(v))) {
+                out.push((members.clone(), c));
+            }
+        }
+    }
+    for v in dfg.op_ids() {
+        let own = binding.cluster_of(v);
+        let mut neighbors: Vec<ClusterId> = dfg
+            .preds(v)
+            .iter()
+            .chain(dfg.succs(v))
+            .map(|&u| binding.cluster_of(u))
+            .filter(|&c| c != own && machine.supports(c, dfg.op_type(v)))
+            .collect();
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        for c in neighbors {
+            out.push((vec![v], c));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::grow;
+    use vliw_dfg::{DfgBuilder, OpType};
+    use vliw_sched::Binding;
+
+    fn cl(i: usize) -> ClusterId {
+        ClusterId::from_index(i)
+    }
+
+    #[test]
+    fn improvement_never_worsens_lm() {
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        for kernel in [vliw_kernels::Kernel::Arf, vliw_kernels::Kernel::Fft] {
+            let dfg = kernel.build();
+            let comps = grow(&dfg, 4);
+            let binding = crate::assign::assign(&dfg, &machine, &comps);
+            let start = BindingResult::evaluate(&dfg, &machine, binding);
+            let start_lm = start.lm();
+            let improved = improve(&dfg, &machine, &comps, start, 1_000);
+            assert!(improved.lm() <= start_lm, "{kernel}");
+        }
+    }
+
+    #[test]
+    fn repairs_a_deliberately_bad_assignment() {
+        // Chain zig-zagged across clusters; component moves + single
+        // moves must pull it back together.
+        let mut b = DfgBuilder::new();
+        let mut prev = b.add_op(OpType::Add, &[]);
+        for _ in 0..4 {
+            prev = b.add_op(OpType::Add, &[prev]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let comps = grow(&dfg, 1); // singleton components
+        let zigzag: Vec<ClusterId> = (0..5).map(|i| cl(i % 2)).collect();
+        let bad = Binding::new(&dfg, &machine, zigzag).expect("valid");
+        let start = BindingResult::evaluate(&dfg, &machine, bad);
+        let improved = improve(&dfg, &machine, &comps, start, 1_000);
+        assert_eq!(improved.latency(), 5);
+        assert_eq!(improved.moves(), 0);
+    }
+
+    #[test]
+    fn stops_within_iteration_budget() {
+        let dfg = vliw_kernels::dct_dif();
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let comps = grow(&dfg, 4);
+        let binding = crate::assign::assign(&dfg, &machine, &comps);
+        let start = BindingResult::evaluate(&dfg, &machine, binding);
+        // A budget of zero iterations returns the start unchanged.
+        let same = improve(&dfg, &machine, &comps, start.clone(), 0);
+        assert_eq!(same.lm(), start.lm());
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests of the PCC baseline on random DFGs.
+
+use proptest::prelude::*;
+use vliw_datapath::Machine;
+use vliw_dfg::{Dfg, DfgBuilder, OpType};
+use vliw_pcc::{components, Pcc, PccConfig};
+
+fn arb_dfg(max_ops: usize) -> impl Strategy<Value = Dfg> {
+    (2..=max_ops).prop_flat_map(|n| {
+        let kinds = prop::collection::vec(0..2u8, n);
+        let picks = prop::collection::vec((0usize..usize::MAX, 0..3u8), n);
+        (kinds, picks).prop_map(|(kinds, picks)| {
+            let mut b = DfgBuilder::new();
+            let mut ids = Vec::new();
+            for (i, (&kind, &(p1, arity))) in kinds.iter().zip(&picks).enumerate() {
+                let ty = if kind == 0 { OpType::Add } else { OpType::Mul };
+                let mut operands = Vec::new();
+                if i > 0 && arity >= 1 {
+                    operands.push(ids[p1 % i]);
+                }
+                ids.push(b.add_op(ty, &operands));
+            }
+            b.finish().expect("acyclic")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Component growth is a partition for any θ: total coverage, no
+    /// duplicates, sizes within bound.
+    #[test]
+    fn growth_partitions_for_any_theta(dfg in arb_dfg(40), theta in 1usize..12) {
+        let comps = components::grow(&dfg, theta);
+        let mut seen = vec![false; dfg.len()];
+        for comp in &comps.members {
+            prop_assert!(comp.len() <= theta);
+            for &v in comp {
+                prop_assert!(!seen[v.index()]);
+                seen[v.index()] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// The full PCC pipeline produces valid bindings and schedules on
+    /// arbitrary graphs and machines.
+    #[test]
+    fn pcc_pipeline_is_sound(
+        dfg in arb_dfg(24),
+        cfg_idx in 0usize..3,
+    ) {
+        let machine = Machine::parse(
+            ["[1,1|1,1]", "[2,1|1,1]", "[2,0|1,2]"][cfg_idx]
+        ).expect("valid");
+        let result = Pcc::new(&machine).bind(&dfg);
+        prop_assert!(result.binding.validate(&dfg, &machine).is_ok());
+        prop_assert_eq!(result.schedule.validate(&result.bound, &machine), Ok(()));
+    }
+
+    /// A wider θ sweep can only help (the driver keeps the best).
+    #[test]
+    fn wider_sweep_never_hurts(dfg in arb_dfg(20)) {
+        let machine = Machine::parse("[1,1|1,1]").expect("valid");
+        let narrow = Pcc::with_config(&machine, PccConfig {
+            component_sizes: vec![4],
+            ..PccConfig::default()
+        }).bind(&dfg);
+        let wide = Pcc::with_config(&machine, PccConfig {
+            component_sizes: vec![2, 4, 8],
+            ..PccConfig::default()
+        }).bind(&dfg);
+        prop_assert!(wide.lm() <= narrow.lm());
+    }
+
+    /// PCC is deterministic.
+    #[test]
+    fn pcc_is_deterministic(dfg in arb_dfg(24)) {
+        let machine = Machine::parse("[2,1|1,1]").expect("valid");
+        let a = Pcc::new(&machine).bind(&dfg);
+        let b = Pcc::new(&machine).bind(&dfg);
+        prop_assert_eq!(a.lm(), b.lm());
+        prop_assert_eq!(&a.binding, &b.binding);
+    }
+}

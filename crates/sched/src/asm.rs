@@ -1,0 +1,205 @@
+//! VLIW assembly-style emission of scheduled code.
+//!
+//! Renders a (bound, schedule) pair as one *instruction word* per cycle
+//! — the long instructions a clustered VLIW actually fetches — with one
+//! slot group per cluster and one for the bus:
+//!
+//! ```text
+//! { cl0: add s1_0, mul x0*c0 | cl1: sub t3 | bus: mov v2->cl1 }   ;; 0
+//! { cl0: nop                 | cl1: add t4 | bus: nop         }   ;; 1
+//! ```
+//!
+//! Operations are labeled with their debug names when present (ids
+//! otherwise); `nop` marks empty slot groups. The output is
+//! deterministic and intended for human inspection, golden tests and
+//! downstream tooling — not a real ISA encoding.
+
+use crate::bound::BoundDfg;
+use crate::schedule::Schedule;
+use std::fmt::Write as _;
+use vliw_datapath::Machine;
+use vliw_dfg::{OpId, OpType};
+
+/// Renders the scheduled block as one instruction word per cycle.
+///
+/// # Panics
+///
+/// Panics if the schedule does not cover the bound graph.
+///
+/// # Example
+///
+/// ```
+/// use vliw_datapath::Machine;
+/// use vliw_dfg::{DfgBuilder, OpType};
+/// use vliw_sched::{asm, Binding, BoundDfg, ListScheduler};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DfgBuilder::new();
+/// let x = b.add_op(OpType::Add, &[]);
+/// let _ = b.add_op(OpType::Mul, &[x]);
+/// let dfg = b.finish()?;
+/// let machine = Machine::parse("[1,1]")?;
+/// let c0 = machine.cluster_ids().next().unwrap();
+/// let binding = Binding::new(&dfg, &machine, vec![c0; 2])?;
+/// let bound = BoundDfg::new(&dfg, &machine, &binding);
+/// let schedule = ListScheduler::new(&machine).schedule(&bound);
+/// let listing = asm::emit_block(&bound, &schedule, &machine);
+/// assert!(listing.contains("mul"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn emit_block(bound: &BoundDfg, schedule: &Schedule, machine: &Machine) -> String {
+    let dfg = bound.dfg();
+    assert_eq!(schedule.len(), dfg.len(), "schedule must cover the graph");
+    let cycles = schedule.latency() as usize;
+    let n_clusters = machine.cluster_count();
+
+    // Group ops per (cycle, slot group).
+    let mut words: Vec<Vec<Vec<OpId>>> = vec![vec![Vec::new(); n_clusters + 1]; cycles.max(1)];
+    for v in dfg.op_ids() {
+        let group = if dfg.op_type(v) == OpType::Move {
+            n_clusters
+        } else {
+            bound.cluster_of(v).index()
+        };
+        words[schedule.start(v) as usize][group].push(v);
+    }
+
+    let label = |v: OpId| -> String {
+        let mnemonic = match dfg.op_type(v) {
+            OpType::Move => {
+                return format!(
+                    "mov {}->cl{}",
+                    dfg.name(dfg.preds(v)[0])
+                        .map(str::to_owned)
+                        .unwrap_or_else(|| dfg.preds(v)[0].to_string()),
+                    bound.cluster_of(v).index()
+                );
+            }
+            kind => kind.mnemonic(),
+        };
+        match dfg.name(v) {
+            Some(name) => format!("{mnemonic} {name}"),
+            None => format!("{mnemonic} {v}"),
+        }
+    };
+
+    // Render with aligned columns.
+    let rendered: Vec<Vec<String>> = words
+        .iter()
+        .map(|word| {
+            word.iter()
+                .map(|ops| {
+                    if ops.is_empty() {
+                        "nop".to_owned()
+                    } else {
+                        ops.iter().map(|&v| label(v)).collect::<Vec<_>>().join(", ")
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let widths: Vec<usize> = (0..=n_clusters)
+        .map(|g| rendered.iter().map(|w| w[g].len()).max().unwrap_or(3))
+        .collect();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        ";; {} | {} cycles, {} ops ({} transfers)",
+        machine,
+        schedule.latency(),
+        dfg.len(),
+        bound.move_count()
+    );
+    for (tau, word) in rendered.iter().enumerate() {
+        let _ = write!(out, "{{ ");
+        for (g, cell) in word.iter().enumerate() {
+            if g > 0 {
+                let _ = write!(out, " | ");
+            }
+            let name = if g == n_clusters {
+                "bus".to_owned()
+            } else {
+                format!("cl{g}")
+            };
+            let _ = write!(out, "{name}: {cell:<width$}", width = widths[g]);
+        }
+        let _ = writeln!(out, " }}   ;; {tau}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::Binding;
+    use crate::list::ListScheduler;
+    use vliw_datapath::ClusterId;
+    use vliw_dfg::{DfgBuilder, OpType};
+
+    fn emit_simple() -> String {
+        let mut b = DfgBuilder::new();
+        let a = b.add_named_op(OpType::Add, &[], "a");
+        let _ = b.add_named_op(OpType::Mul, &[a], "m");
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let c: Vec<ClusterId> = machine.cluster_ids().collect();
+        let bn = Binding::new(&dfg, &machine, vec![c[0], c[1]]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        let schedule = ListScheduler::new(&machine).schedule(&bound);
+        emit_block(&bound, &schedule, &machine)
+    }
+
+    #[test]
+    fn listing_has_one_word_per_cycle() {
+        let listing = emit_simple();
+        // Header + 3 cycles (add ; mov ; mul).
+        let words = listing.lines().filter(|l| l.starts_with('{')).count();
+        assert_eq!(words, 3, "{listing}");
+    }
+
+    #[test]
+    fn moves_render_with_destination() {
+        let listing = emit_simple();
+        assert!(listing.contains("mov a->cl1"), "{listing}");
+    }
+
+    #[test]
+    fn empty_slots_are_nops() {
+        let listing = emit_simple();
+        assert!(listing.contains("nop"), "{listing}");
+    }
+
+    #[test]
+    fn header_summarizes_the_block() {
+        let listing = emit_simple();
+        assert!(listing.starts_with(";; [1,1|1,1] | 3 cycles, 3 ops (1 transfers)"), "{listing}");
+    }
+
+    #[test]
+    fn every_operation_appears_in_the_listing() {
+        // A wider block: two parallel chains with named ops split across
+        // clusters.
+        let mut b = DfgBuilder::new();
+        let mut names = Vec::new();
+        for chain in 0..2 {
+            let mut prev = b.add_named_op(OpType::Add, &[], &format!("c{chain}n0"));
+            names.push(format!("c{chain}n0"));
+            for i in 1..4 {
+                prev = b.add_named_op(OpType::Add, &[prev], &format!("c{chain}n{i}"));
+                names.push(format!("c{chain}n{i}"));
+            }
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let of: Vec<ClusterId> = (0..8).map(|i| ClusterId::from_index(i / 4)).collect();
+        let bn = Binding::new(&dfg, &machine, of).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        let schedule = ListScheduler::new(&machine).schedule(&bound);
+        let listing = emit_block(&bound, &schedule, &machine);
+        for name in names {
+            assert!(listing.contains(&name), "{name} missing:\n{listing}");
+        }
+    }
+}

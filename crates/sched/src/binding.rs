@@ -1,0 +1,300 @@
+//! The operation-to-cluster binding function `bn(v)`.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use vliw_datapath::{ClusterId, Machine};
+use vliw_dfg::{Dfg, OpId};
+
+/// Error produced when constructing an invalid [`Binding`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindingError {
+    /// The assignment vector length does not match the DFG.
+    WrongLength {
+        /// Number of entries provided.
+        got: usize,
+        /// Number of operations in the DFG.
+        expected: usize,
+    },
+    /// An operation was bound to a cluster outside its target set
+    /// (`bn(v) = c` requires `N(c, futype(optype(v))) > 0`).
+    OutsideTargetSet {
+        /// The offending operation.
+        op: OpId,
+        /// The cluster it was bound to.
+        cluster: ClusterId,
+    },
+    /// A cluster id does not exist on the machine.
+    UnknownCluster(ClusterId),
+}
+
+impl fmt::Display for BindingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindingError::WrongLength { got, expected } => {
+                write!(f, "binding has {got} entries but the DFG has {expected} operations")
+            }
+            BindingError::OutsideTargetSet { op, cluster } => {
+                write!(f, "operation {op} bound to {cluster} which cannot execute it")
+            }
+            BindingError::UnknownCluster(c) => write!(f, "cluster {c} does not exist"),
+        }
+    }
+}
+
+impl Error for BindingError {}
+
+/// A complete binding `bn : V → CL` of an *original* (move-free) DFG.
+///
+/// Constructed from a dense per-operation cluster vector by
+/// [`Binding::new`], which validates every assignment against the
+/// machine's target sets, or grown incrementally during greedy binding via
+/// [`Binding::unbound`] / [`Binding::bind`].
+///
+/// # Example
+///
+/// ```
+/// use vliw_datapath::Machine;
+/// use vliw_dfg::{DfgBuilder, OpType};
+/// use vliw_sched::Binding;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DfgBuilder::new();
+/// let m = b.add_op(OpType::Mul, &[]);
+/// let _ = b.add_op(OpType::Add, &[m]);
+/// let dfg = b.finish()?;
+/// let machine = Machine::parse("[2,0|1,1]")?; // cluster 0 has no multiplier
+/// let c0 = machine.cluster_ids().next().unwrap();
+/// let c1 = machine.cluster_ids().nth(1).unwrap();
+/// assert!(Binding::new(&dfg, &machine, vec![c0, c0]).is_err());
+/// assert!(Binding::new(&dfg, &machine, vec![c1, c0]).is_ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Binding {
+    of: Vec<ClusterId>,
+}
+
+impl Binding {
+    /// Creates a binding from a dense vector (`of[v.index()] = bn(v)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BindingError`] if the vector length is wrong, a cluster
+    /// id is out of range, or an operation is bound outside its target
+    /// set.
+    pub fn new(dfg: &Dfg, machine: &Machine, of: Vec<ClusterId>) -> Result<Self, BindingError> {
+        if of.len() != dfg.len() {
+            return Err(BindingError::WrongLength {
+                got: of.len(),
+                expected: dfg.len(),
+            });
+        }
+        for v in dfg.op_ids() {
+            let c = of[v.index()];
+            if c.index() >= machine.cluster_count() {
+                return Err(BindingError::UnknownCluster(c));
+            }
+            if !machine.supports(c, dfg.op_type(v)) {
+                return Err(BindingError::OutsideTargetSet { op: v, cluster: c });
+            }
+        }
+        Ok(Binding { of })
+    }
+
+    /// A partial binding with every operation still unassigned; greedy
+    /// binders fill it in with [`Binding::bind`]. The sentinel for
+    /// "unbound" is internal; query with [`Binding::is_bound`].
+    pub fn unbound(dfg: &Dfg) -> Self {
+        Binding {
+            of: vec![ClusterId::from_index(Self::UNBOUND); dfg.len()],
+        }
+    }
+
+    const UNBOUND: usize = u32::MAX as usize;
+
+    /// `bn(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or not yet bound.
+    #[inline]
+    pub fn cluster_of(&self, v: OpId) -> ClusterId {
+        let c = self.of[v.index()];
+        assert!(
+            c.index() != Self::UNBOUND,
+            "operation {v} is not bound yet"
+        );
+        c
+    }
+
+    /// Whether `v` has been assigned a cluster.
+    #[inline]
+    pub fn is_bound(&self, v: OpId) -> bool {
+        self.of[v.index()].index() != Self::UNBOUND
+    }
+
+    /// `bn(v)` as an `Option`, `None` while unbound.
+    #[inline]
+    pub fn get(&self, v: OpId) -> Option<ClusterId> {
+        let c = self.of[v.index()];
+        (c.index() != Self::UNBOUND).then_some(c)
+    }
+
+    /// Assigns (or reassigns) `v` to cluster `c` without validation;
+    /// callers in the binding algorithms guarantee `c ∈ TS(v)`.
+    #[inline]
+    pub fn bind(&mut self, v: OpId, c: ClusterId) {
+        self.of[v.index()] = c;
+    }
+
+    /// Number of operations covered (bound or not).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.of.len()
+    }
+
+    /// Whether the binding covers zero operations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.of.is_empty()
+    }
+
+    /// Whether every operation has been assigned.
+    pub fn is_complete(&self) -> bool {
+        self.of.iter().all(|c| c.index() != Self::UNBOUND)
+    }
+
+    /// Validates a (complete) binding against a machine's target sets.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Binding::new`].
+    pub fn validate(&self, dfg: &Dfg, machine: &Machine) -> Result<(), BindingError> {
+        let _ = Binding::new(dfg, machine, self.of.clone())?;
+        Ok(())
+    }
+
+    /// Number of operations bound to each cluster, indexed by cluster
+    /// index (unbound operations are not counted).
+    pub fn cluster_sizes(&self, cluster_count: usize) -> Vec<usize> {
+        let mut sizes = vec![0; cluster_count];
+        for c in &self.of {
+            if c.index() != Self::UNBOUND {
+                sizes[c.index()] += 1;
+            }
+        }
+        sizes
+    }
+
+    /// Number of *cut* edges — data dependencies crossing clusters; equals
+    /// the transfer count before per-destination deduplication.
+    pub fn cut_edges(&self, dfg: &Dfg) -> usize {
+        dfg.edges()
+            .filter(|&(u, v)| self.of[u.index()] != self.of[v.index()])
+            .count()
+    }
+
+    /// The underlying dense vector.
+    pub fn as_slice(&self) -> &[ClusterId] {
+        &self.of
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_dfg::{DfgBuilder, OpType};
+
+    fn setup() -> (Dfg, Machine) {
+        let mut b = DfgBuilder::new();
+        let m = b.add_op(OpType::Mul, &[]);
+        let a = b.add_op(OpType::Add, &[m]);
+        let _ = b.add_op(OpType::Add, &[a]);
+        (
+            b.finish().expect("acyclic"),
+            Machine::parse("[2,0|1,1]").expect("machine"),
+        )
+    }
+
+    fn cl(i: usize) -> ClusterId {
+        ClusterId::from_index(i)
+    }
+
+    #[test]
+    fn new_validates_target_sets() {
+        let (dfg, machine) = setup();
+        // Mul on cluster 0 (no multiplier) is illegal.
+        let err = Binding::new(&dfg, &machine, vec![cl(0), cl(0), cl(0)]).unwrap_err();
+        assert!(matches!(err, BindingError::OutsideTargetSet { .. }));
+        assert!(Binding::new(&dfg, &machine, vec![cl(1), cl(0), cl(1)]).is_ok());
+    }
+
+    #[test]
+    fn new_rejects_wrong_length_and_unknown_cluster() {
+        let (dfg, machine) = setup();
+        assert!(matches!(
+            Binding::new(&dfg, &machine, vec![cl(1)]),
+            Err(BindingError::WrongLength { got: 1, expected: 3 })
+        ));
+        assert!(matches!(
+            Binding::new(&dfg, &machine, vec![cl(1), cl(7), cl(0)]),
+            Err(BindingError::UnknownCluster(_))
+        ));
+    }
+
+    #[test]
+    fn unbound_then_bind_incrementally() {
+        let (dfg, machine) = setup();
+        let mut bn = Binding::unbound(&dfg);
+        assert!(!bn.is_complete());
+        assert!(!bn.is_bound(OpId::from_index(0)));
+        assert_eq!(bn.get(OpId::from_index(0)), None);
+        for v in dfg.op_ids() {
+            bn.bind(v, cl(1));
+        }
+        assert!(bn.is_complete());
+        assert!(bn.validate(&dfg, &machine).is_ok());
+        assert_eq!(bn.cluster_of(OpId::from_index(2)), cl(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not bound yet")]
+    fn cluster_of_unbound_panics() {
+        let (dfg, _) = setup();
+        let bn = Binding::unbound(&dfg);
+        let _ = bn.cluster_of(OpId::from_index(0));
+    }
+
+    #[test]
+    fn cluster_sizes_and_cut_edges() {
+        let (dfg, machine) = setup();
+        let bn = Binding::new(&dfg, &machine, vec![cl(1), cl(0), cl(1)]).expect("valid");
+        assert_eq!(bn.cluster_sizes(machine.cluster_count()), vec![1, 2]);
+        // Edges m->a and a->last both cross clusters.
+        assert_eq!(bn.cut_edges(&dfg), 2);
+        let same = Binding::new(&dfg, &machine, vec![cl(1), cl(1), cl(1)]).expect("valid");
+        assert_eq!(same.cut_edges(&dfg), 0);
+    }
+
+    #[test]
+    fn rebinding_overwrites() {
+        let (dfg, _) = setup();
+        let mut bn = Binding::unbound(&dfg);
+        let v = OpId::from_index(1);
+        bn.bind(v, cl(0));
+        bn.bind(v, cl(1));
+        assert_eq!(bn.cluster_of(v), cl(1));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (dfg, machine) = setup();
+        let bn = Binding::new(&dfg, &machine, vec![cl(1), cl(0), cl(1)]).expect("valid");
+        let json = serde_json::to_string(&bn).expect("serialize");
+        let back: Binding = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(bn, back);
+    }
+}

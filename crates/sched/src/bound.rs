@@ -1,0 +1,324 @@
+//! Bound-DFG construction: materializing inter-cluster data transfers.
+//!
+//! A DFG "can assume two forms: the original and the bound" (paper
+//! Section 2, Figure 1). The bound form contains one `move` operation for
+//! every value that must travel from the cluster producing it to a
+//! *different* cluster consuming it. A value consumed by several
+//! operations in the same destination cluster is transferred **once**
+//! (cf. the common-consumer argument of Section 3.1.2: once the data is in
+//! the destination register file every local consumer can read it).
+
+use crate::binding::Binding;
+use std::collections::HashMap;
+use vliw_datapath::{ClusterId, Machine};
+use vliw_dfg::{Dfg, DfgBuilder, OpId, OpType};
+
+/// An original DFG plus a complete [`Binding`], with the induced `move`
+/// operations materialized (paper Figure 1b).
+///
+/// Operation ids of the bound graph differ from the original's (moves are
+/// interleaved); [`BoundDfg::bound_of`] / [`BoundDfg::orig_of`] translate
+/// between the two id spaces.
+///
+/// # Example
+///
+/// ```
+/// use vliw_datapath::Machine;
+/// use vliw_dfg::{DfgBuilder, OpType};
+/// use vliw_sched::{Binding, BoundDfg};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // One producer, two consumers in the other cluster: a single move.
+/// let mut b = DfgBuilder::new();
+/// let p = b.add_op(OpType::Add, &[]);
+/// let _u = b.add_op(OpType::Add, &[p]);
+/// let _w = b.add_op(OpType::Add, &[p]);
+/// let dfg = b.finish()?;
+/// let machine = Machine::parse("[1,1|1,1]")?;
+/// let c: Vec<_> = machine.cluster_ids().collect();
+/// let bn = Binding::new(&dfg, &machine, vec![c[0], c[1], c[1]])?;
+/// let bound = BoundDfg::new(&dfg, &machine, &bn);
+/// assert_eq!(bound.move_count(), 1);
+/// assert_eq!(bound.dfg().len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundDfg {
+    dfg: Dfg,
+    cluster: Vec<ClusterId>,
+    orig_of: Vec<Option<OpId>>,
+    bound_of: Vec<OpId>,
+    move_count: usize,
+}
+
+impl BoundDfg {
+    /// Builds the bound graph for `binding`, inserting one `move` per
+    /// (producer, destination-cluster) pair actually crossed by a data
+    /// dependence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the binding is incomplete, its length does not match
+    /// `dfg`, or `dfg` already contains `move` operations (binding binds
+    /// *original* graphs only).
+    pub fn new(dfg: &Dfg, machine: &Machine, binding: &Binding) -> Self {
+        assert_eq!(binding.len(), dfg.len(), "binding/DFG length mismatch");
+        assert!(binding.is_complete(), "binding must cover every operation");
+        let _ = machine; // the machine defines cluster ids; construction needs no counts
+        let order = vliw_dfg::topo_order(dfg).expect("original DFG is acyclic");
+
+        let mut b = DfgBuilder::with_capacity(dfg.len() + dfg.len() / 2);
+        let unset = OpId::from_index(u32::MAX as usize - 1);
+        let mut bound_of = vec![unset; dfg.len()];
+        let mut orig_of: Vec<Option<OpId>> = Vec::new();
+        let mut cluster: Vec<ClusterId> = Vec::new();
+        // (original producer, destination cluster) -> bound move id
+        let mut moves: HashMap<(OpId, ClusterId), OpId> = HashMap::new();
+
+        for v in order {
+            assert!(
+                dfg.op_type(v) != OpType::Move,
+                "binding applies to original (move-free) DFGs, found {v}: move"
+            );
+            let dest = binding.cluster_of(v);
+            let mut operands = Vec::with_capacity(dfg.in_degree(v));
+            for &u in dfg.preds(v) {
+                let src = binding.cluster_of(u);
+                if src == dest {
+                    operands.push(bound_of[u.index()]);
+                } else {
+                    let mv = *moves.entry((u, dest)).or_insert_with(|| {
+                        let name = format!("{u}->{dest}");
+                        let id = b.add_named_op(OpType::Move, &[bound_of[u.index()]], &name);
+                        orig_of.push(None);
+                        cluster.push(dest);
+                        id
+                    });
+                    operands.push(mv);
+                }
+            }
+            let id = match dfg.name(v) {
+                Some(name) => b.add_named_op(dfg.op_type(v), &operands, name),
+                None => b.add_op(dfg.op_type(v), &operands),
+            };
+            bound_of[v.index()] = id;
+            orig_of.push(Some(v));
+            cluster.push(dest);
+        }
+
+        let move_count = moves.len();
+        BoundDfg {
+            dfg: b.finish().expect("bound graph is acyclic by construction"),
+            cluster,
+            orig_of,
+            bound_of,
+            move_count,
+        }
+    }
+
+    /// The bound graph itself (regular operations plus moves).
+    #[inline]
+    pub fn dfg(&self) -> &Dfg {
+        &self.dfg
+    }
+
+    /// Number of inserted data transfers (`N_MV` / the `M` column of the
+    /// paper's tables).
+    #[inline]
+    pub fn move_count(&self) -> usize {
+        self.move_count
+    }
+
+    /// Cluster of a *bound* operation: the binding cluster for regular
+    /// operations, the destination cluster for moves.
+    #[inline]
+    pub fn cluster_of(&self, bound: OpId) -> ClusterId {
+        self.cluster[bound.index()]
+    }
+
+    /// The original operation behind a bound id; `None` for moves.
+    #[inline]
+    pub fn orig_of(&self, bound: OpId) -> Option<OpId> {
+        self.orig_of[bound.index()]
+    }
+
+    /// The bound id of an original operation.
+    #[inline]
+    pub fn bound_of(&self, orig: OpId) -> OpId {
+        self.bound_of[orig.index()]
+    }
+
+    /// Whether a bound operation is an inserted data transfer.
+    #[inline]
+    pub fn is_move(&self, bound: OpId) -> bool {
+        self.dfg.op_type(bound) == OpType::Move
+    }
+
+    /// For a move, the cluster the transferred value originates from
+    /// (the cluster of its single predecessor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is not a move.
+    pub fn move_source_cluster(&self, bound: OpId) -> ClusterId {
+        assert!(self.is_move(bound), "{bound} is not a move");
+        let src = self.dfg.preds(bound)[0];
+        self.cluster_of(src)
+    }
+
+    /// Per-operation latency vector of the bound graph under `machine`,
+    /// in the layout expected by [`vliw_dfg::Timing`].
+    pub fn latencies(&self, machine: &Machine) -> Vec<u32> {
+        machine.op_latencies(&self.dfg)
+    }
+
+    /// Number of operations in the original graph.
+    #[inline]
+    pub fn original_len(&self) -> usize {
+        self.bound_of.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::Binding;
+
+    fn cl(i: usize) -> ClusterId {
+        ClusterId::from_index(i)
+    }
+
+    fn machine2() -> Machine {
+        Machine::parse("[2,1|2,1]").expect("machine")
+    }
+
+    /// Figure 1 of the paper: v1,v2 -> v3 with v2 on another cluster than
+    /// v3 requires transfer t1.
+    #[test]
+    fn figure1_transfer_insertion() {
+        let mut b = DfgBuilder::new();
+        let v1 = b.add_op(OpType::Add, &[]);
+        let v2 = b.add_op(OpType::Add, &[]);
+        let v3 = b.add_op(OpType::Add, &[v1, v2]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = machine2();
+        let bn = Binding::new(&dfg, &machine, vec![cl(0), cl(1), cl(0)]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+
+        assert_eq!(bound.move_count(), 1);
+        assert_eq!(bound.dfg().len(), 4);
+        let b3 = bound.bound_of(v3);
+        // v3 now reads v1 directly and v2 through the move.
+        let preds = bound.dfg().preds(b3);
+        assert_eq!(preds.len(), 2);
+        let mv = preds
+            .iter()
+            .copied()
+            .find(|&p| bound.is_move(p))
+            .expect("one operand is a move");
+        assert_eq!(bound.cluster_of(mv), cl(0));
+        assert_eq!(bound.move_source_cluster(mv), cl(1));
+        assert_eq!(bound.dfg().preds(mv), &[bound.bound_of(v2)]);
+    }
+
+    #[test]
+    fn no_transfers_when_single_cluster() {
+        let mut b = DfgBuilder::new();
+        let a = b.add_op(OpType::Mul, &[]);
+        let c = b.add_op(OpType::Add, &[a]);
+        let _ = b.add_op(OpType::Sub, &[a, c]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = machine2();
+        let bn = Binding::new(&dfg, &machine, vec![cl(0); 3]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        assert_eq!(bound.move_count(), 0);
+        assert_eq!(bound.dfg().len(), 3);
+        // Id mapping is a bijection on originals.
+        for v in dfg.op_ids() {
+            assert_eq!(bound.orig_of(bound.bound_of(v)), Some(v));
+        }
+    }
+
+    #[test]
+    fn one_move_per_destination_cluster() {
+        // Producer feeds two consumers on cluster 1 and one on cluster 2:
+        // exactly two moves.
+        let mut b = DfgBuilder::new();
+        let p = b.add_op(OpType::Add, &[]);
+        let _c1 = b.add_op(OpType::Add, &[p]);
+        let _c2 = b.add_op(OpType::Add, &[p]);
+        let _c3 = b.add_op(OpType::Add, &[p]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1|1,1]").expect("machine");
+        let bn =
+            Binding::new(&dfg, &machine, vec![cl(0), cl(1), cl(1), cl(2)]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        assert_eq!(bound.move_count(), 2);
+        assert_eq!(bound.dfg().len(), 6);
+    }
+
+    #[test]
+    fn moves_preserve_dependence_topology() {
+        let mut b = DfgBuilder::new();
+        let a = b.add_op(OpType::Add, &[]);
+        let m = b.add_op(OpType::Mul, &[a]);
+        let s = b.add_op(OpType::Sub, &[m]);
+        let _ = b.add_op(OpType::Add, &[s, a]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = machine2();
+        // Alternate clusters to force transfers on every edge.
+        let bn = Binding::new(&dfg, &machine, vec![cl(0), cl(1), cl(0), cl(1)]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        // Edges: a->m (cross), m->s (cross), s->last (cross), a->last (same
+        // as a? a is cl0, last cl1 -> cross). A->last and a->m both go to
+        // cluster 1 -> shared move. So moves: a->cl1 (shared), m->cl0,
+        // s->cl1 = 3 moves.
+        assert_eq!(bound.move_count(), 3);
+        assert!(bound.dfg().validate().is_ok());
+        // Every move has exactly one operand and at least one consumer.
+        for v in bound.dfg().moves() {
+            assert_eq!(bound.dfg().in_degree(v), 1);
+            assert!(bound.dfg().out_degree(v) >= 1);
+        }
+    }
+
+    #[test]
+    fn clusters_of_regular_ops_match_binding() {
+        let mut b = DfgBuilder::new();
+        let a = b.add_op(OpType::Add, &[]);
+        let _ = b.add_op(OpType::Mul, &[a]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = machine2();
+        let bn = Binding::new(&dfg, &machine, vec![cl(1), cl(0)]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        for v in dfg.op_ids() {
+            assert_eq!(bound.cluster_of(bound.bound_of(v)), bn.cluster_of(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover every operation")]
+    fn incomplete_binding_panics() {
+        let mut b = DfgBuilder::new();
+        let _ = b.add_op(OpType::Add, &[]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = machine2();
+        let bn = Binding::unbound(&dfg);
+        let _ = BoundDfg::new(&dfg, &machine, &bn);
+    }
+
+    #[test]
+    fn latencies_cover_moves() {
+        let mut b = DfgBuilder::new();
+        let a = b.add_op(OpType::Add, &[]);
+        let _ = b.add_op(OpType::Add, &[a]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = machine2().with_move_latency(2);
+        let bn = Binding::new(&dfg, &machine, vec![cl(0), cl(1)]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        let lat = bound.latencies(&machine);
+        let mv = bound.dfg().moves()[0];
+        assert_eq!(lat[mv.index()], 2);
+    }
+}

@@ -1,0 +1,64 @@
+//! Bound-DFG construction and resource-constrained list scheduling for
+//! clustered VLIW datapaths.
+//!
+//! Binding algorithms (our B-INIT/B-ITER and the PCC baseline) decide a
+//! [`Binding`] — a cluster for every operation of an *original* DFG. This
+//! crate turns a binding into a *bound* DFG (paper Figure 1b) by
+//! materializing the inter-cluster `move` operations, and evaluates it
+//! with a cycle-based list scheduler honoring per-cluster FU counts, bus
+//! width `N_B` and data-introduction intervals `dii(t)`.
+//!
+//! * [`Binding`] — validated operation-to-cluster map (`bn(v)`);
+//! * [`BoundDfg`] — original DFG + binding with transfers materialized,
+//!   one `move` per (producer, destination cluster) pair;
+//! * [`ListScheduler`] / [`Schedule`] — the scheduler the paper uses to
+//!   evaluate bindings ("we use a list scheduling algorithm for quality
+//!   estimation", Section 3.2) and the resulting start-time table;
+//! * [`Schedule::validate`] — independent re-check of precedence and
+//!   resource constraints, used by tests and the simulator crate.
+//!
+//! # Example
+//!
+//! ```
+//! use vliw_datapath::Machine;
+//! use vliw_dfg::{DfgBuilder, OpType};
+//! use vliw_sched::{Binding, BoundDfg, ListScheduler};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // v0 and v1 feed v2; bind v1 on the other cluster to force a transfer.
+//! let mut b = DfgBuilder::new();
+//! let v0 = b.add_op(OpType::Add, &[]);
+//! let v1 = b.add_op(OpType::Mul, &[]);
+//! let _v2 = b.add_op(OpType::Add, &[v0, v1]);
+//! let dfg = b.finish()?;
+//!
+//! let machine = Machine::parse("[1,1|1,1]")?;
+//! let c0 = machine.cluster_ids().next().unwrap();
+//! let c1 = machine.cluster_ids().nth(1).unwrap();
+//! let binding = Binding::new(&dfg, &machine, vec![c0, c1, c0])?;
+//!
+//! let bound = BoundDfg::new(&dfg, &machine, &binding);
+//! assert_eq!(bound.move_count(), 1);
+//!
+//! let schedule = ListScheduler::new(&machine).schedule(&bound);
+//! assert_eq!(schedule.latency(), 3); // v1 ; move ; v2 (v0 in parallel)
+//! schedule.validate(&bound, &machine)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+mod binding;
+mod bound;
+mod list;
+mod pressure;
+mod schedule;
+
+pub use binding::{Binding, BindingError};
+pub use bound::BoundDfg;
+pub use list::{ListScheduler, SchedulePriority};
+pub use pressure::RegisterPressure;
+pub use schedule::{Schedule, ScheduleError};

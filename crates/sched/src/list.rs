@@ -1,0 +1,408 @@
+//! The resource-constrained list scheduler.
+//!
+//! The paper evaluates candidate bindings by list-scheduling the bound
+//! DFG ("we use a list scheduling algorithm for quality estimation",
+//! Section 3.2): operations "can only be delayed by either resource
+//! constraints or inserted data transfers", so the resulting latency
+//! directly measures binding quality.
+
+use crate::bound::BoundDfg;
+use crate::schedule::Schedule;
+use vliw_datapath::Machine;
+use vliw_dfg::{FuType, OpId, Timing};
+
+/// Cycle-based list scheduler for bound DFGs on a clustered machine.
+///
+/// Priority: smallest ALAP first (most critical), ties broken by smaller
+/// mobility, then by operation id — the same lexicographic flavor as the
+/// paper's binding order (Section 3.1.1), which keeps evaluation
+/// deterministic.
+///
+/// Resource model: each functional unit (and each bus lane) is an
+/// instance that can accept a new operation every `dii` cycles
+/// (paper Section 2); an operation bound to cluster `c` may only use
+/// instances of `c`, moves only bus lanes.
+///
+/// # Example
+///
+/// ```
+/// use vliw_datapath::Machine;
+/// use vliw_dfg::{DfgBuilder, OpType};
+/// use vliw_sched::{Binding, BoundDfg, ListScheduler};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Three independent adds on a single-ALU cluster serialize fully.
+/// let mut b = DfgBuilder::new();
+/// for _ in 0..3 {
+///     b.add_op(OpType::Add, &[]);
+/// }
+/// let dfg = b.finish()?;
+/// let machine = Machine::parse("[1,1]")?;
+/// let c0 = machine.cluster_ids().next().unwrap();
+/// let bn = Binding::new(&dfg, &machine, vec![c0; 3])?;
+/// let bound = BoundDfg::new(&dfg, &machine, &bn);
+/// let schedule = ListScheduler::new(&machine).schedule(&bound);
+/// assert_eq!(schedule.latency(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ListScheduler<'m> {
+    machine: &'m Machine,
+    priority: SchedulePriority,
+}
+
+/// Which urgency measure orders the ready list (ablation knob; the
+/// default reproduces the paper-aligned behavior and is what every
+/// binder in the workspace uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedulePriority {
+    /// Smallest ALAP first, ties by mobility — level-oriented, matching
+    /// the flavor of the paper's binding order (default).
+    #[default]
+    AlapMobility,
+    /// Largest height (longest dependent chain below) first — the
+    /// classic critical-path priority. At the critical-path target,
+    /// height = `L_CP − alap`, so this coincides with ALAP ordering but
+    /// drops the mobility tiebreak.
+    Height,
+    /// Smallest mobility first — pure slack ordering.
+    Mobility,
+}
+
+impl<'m> ListScheduler<'m> {
+    /// Creates a scheduler for `machine` with the default priority.
+    pub fn new(machine: &'m Machine) -> Self {
+        ListScheduler {
+            machine,
+            priority: SchedulePriority::default(),
+        }
+    }
+
+    /// Creates a scheduler with an explicit ready-list priority.
+    pub fn with_priority(machine: &'m Machine, priority: SchedulePriority) -> Self {
+        ListScheduler { machine, priority }
+    }
+
+    /// Schedules a bound DFG, returning the start-time table.
+    ///
+    /// The produced schedule always satisfies [`Schedule::validate`]; the
+    /// property-based tests assert this on random graphs and bindings.
+    pub fn schedule(&self, bound: &BoundDfg) -> Schedule {
+        let dfg = bound.dfg();
+        let n = dfg.len();
+        let lat = bound.latencies(self.machine);
+        if n == 0 {
+            return Schedule::from_starts(Vec::new(), &lat);
+        }
+        let timing = Timing::with_critical_path(dfg, &lat);
+
+        // Priority key — lower is more urgent.
+        let key = |v: OpId| -> (u32, u32, OpId) {
+            match self.priority {
+                SchedulePriority::AlapMobility => (timing.alap(v), timing.mobility(v), v),
+                // height = L_CP − alap: ascending ALAP is descending
+                // height; no secondary component.
+                SchedulePriority::Height => (timing.alap(v), 0, v),
+                SchedulePriority::Mobility => (timing.mobility(v), timing.alap(v), v),
+            }
+        };
+
+        // FU instance pools: next cycle each instance can accept an op.
+        let machine = self.machine;
+        let n_clusters = machine.cluster_count();
+        let mut pools: Vec<[Vec<u32>; 2]> = machine
+            .cluster_ids()
+            .map(|c| {
+                [
+                    vec![0u32; machine.fu_count(c, FuType::Alu) as usize],
+                    vec![0u32; machine.fu_count(c, FuType::Mul) as usize],
+                ]
+            })
+            .collect();
+        let mut bus_pool = vec![0u32; machine.bus_count() as usize];
+        debug_assert_eq!(pools.len(), n_clusters);
+
+        let mut indeg: Vec<usize> = dfg.op_ids().map(|v| dfg.in_degree(v)).collect();
+        // Earliest data-ready cycle, updated as producers get scheduled.
+        let mut earliest: Vec<u32> = vec![0; n];
+        let mut ready: Vec<OpId> = dfg.op_ids().filter(|v| indeg[v.index()] == 0).collect();
+        // Keep `ready` sorted by priority *descending* so pop() yields the
+        // most urgent op and removals at the tail are cheap.
+        ready.sort_unstable_by_key(|&v| std::cmp::Reverse(key(v)));
+
+        let mut start = vec![0u32; n];
+        let mut scheduled = 0usize;
+        let mut tau = 0u32;
+        while scheduled < n {
+            // Try every ready op at cycle tau in priority order.
+            let mut i = ready.len();
+            while i > 0 {
+                i -= 1;
+                let v = ready[i];
+                if earliest[v.index()] > tau {
+                    continue;
+                }
+                let t = dfg.op_type(v).fu_type();
+                let pool: &mut Vec<u32> = match t {
+                    FuType::Bus => &mut bus_pool,
+                    _ => &mut pools[bound.cluster_of(v).index()][t.index()],
+                };
+                let Some(slot) = pool.iter_mut().find(|free_at| **free_at <= tau) else {
+                    continue;
+                };
+                *slot = tau + machine.dii(t);
+                start[v.index()] = tau;
+                scheduled += 1;
+                ready.remove(i);
+                let fin = tau + lat[v.index()];
+                for &s in dfg.succs(v) {
+                    earliest[s.index()] = earliest[s.index()].max(fin);
+                    indeg[s.index()] -= 1;
+                    if indeg[s.index()] == 0 {
+                        let pos = ready
+                            .partition_point(|&r| std::cmp::Reverse(key(r)) < std::cmp::Reverse(key(s)));
+                        ready.insert(pos, s);
+                        // Successors inserted below the cursor would be
+                        // visited this same cycle; that is fine (they can
+                        // never be data-ready at `tau` since fin > tau),
+                        // but keep the cursor consistent anyway.
+                        if pos <= i {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            tau += 1;
+        }
+        Schedule::from_starts(start, &lat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::Binding;
+    use vliw_datapath::ClusterId;
+    use vliw_dfg::{DfgBuilder, OpType};
+
+    fn cl(i: usize) -> ClusterId {
+        ClusterId::from_index(i)
+    }
+
+    fn schedule_all_on(
+        dfg: &vliw_dfg::Dfg,
+        machine: &Machine,
+        of: Vec<ClusterId>,
+    ) -> (BoundDfg, Schedule) {
+        let bn = Binding::new(dfg, machine, of).expect("valid binding");
+        let bound = BoundDfg::new(dfg, machine, &bn);
+        let s = ListScheduler::new(machine).schedule(&bound);
+        s.validate(&bound, machine).expect("scheduler output is valid");
+        (bound, s)
+    }
+
+    #[test]
+    fn unconstrained_chain_matches_critical_path() {
+        let mut b = DfgBuilder::new();
+        let mut prev = b.add_op(OpType::Add, &[]);
+        for _ in 0..4 {
+            prev = b.add_op(OpType::Add, &[prev]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[2,1]").expect("machine");
+        let (_, s) = schedule_all_on(&dfg, &machine, vec![cl(0); 5]);
+        assert_eq!(s.latency(), 5);
+    }
+
+    #[test]
+    fn serialization_on_narrow_cluster() {
+        // 6 independent adds, 2 ALUs -> 3 cycles.
+        let mut b = DfgBuilder::new();
+        for _ in 0..6 {
+            b.add_op(OpType::Add, &[]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[2,1]").expect("machine");
+        let (_, s) = schedule_all_on(&dfg, &machine, vec![cl(0); 6]);
+        assert_eq!(s.latency(), 3);
+    }
+
+    #[test]
+    fn transfer_lengthens_cross_cluster_chain() {
+        let mut b = DfgBuilder::new();
+        let a = b.add_op(OpType::Add, &[]);
+        let _ = b.add_op(OpType::Add, &[a]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let (bound_same, s_same) = schedule_all_on(&dfg, &machine, vec![cl(0), cl(0)]);
+        assert_eq!(bound_same.move_count(), 0);
+        assert_eq!(s_same.latency(), 2);
+        let (bound_x, s_x) = schedule_all_on(&dfg, &machine, vec![cl(0), cl(1)]);
+        assert_eq!(bound_x.move_count(), 1);
+        assert_eq!(s_x.latency(), 3); // add ; move ; add
+    }
+
+    #[test]
+    fn bus_width_limits_parallel_transfers() {
+        // Four values crossing clusters simultaneously on a 1-bus machine.
+        let mut b = DfgBuilder::new();
+        let mut producers = Vec::new();
+        for _ in 0..4 {
+            producers.push(b.add_op(OpType::Add, &[]));
+        }
+        for &p in &producers {
+            b.add_op(OpType::Add, &[p]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[4,1|4,1]").expect("machine").with_bus_count(1);
+        let mut of = vec![cl(0); 4];
+        of.extend(vec![cl(1); 4]);
+        let (bound, s) = schedule_all_on(&dfg, &machine, of);
+        assert_eq!(bound.move_count(), 4);
+        // producers@0, transfers serialized over cycles 1..=4, consumers
+        // one cycle after their transfer -> latency 6.
+        assert_eq!(s.latency(), 6);
+        let machine2 = Machine::parse("[4,1|4,1]").expect("machine"); // N_B = 2
+        let mut of2 = vec![cl(0); 4];
+        of2.extend(vec![cl(1); 4]);
+        let bn2 = Binding::new(&dfg, &machine2, of2).expect("valid binding");
+        let bound2 = BoundDfg::new(&dfg, &machine2, &bn2);
+        let s2 = ListScheduler::new(&machine2).schedule(&bound2);
+        assert_eq!(s2.latency(), 4);
+    }
+
+    #[test]
+    fn critical_ops_take_precedence_over_mobile_ones() {
+        // One ALU; a 3-op chain plus one independent add. The chain must
+        // not be delayed by the filler op.
+        let mut b = DfgBuilder::new();
+        let c1 = b.add_op(OpType::Add, &[]);
+        let c2 = b.add_op(OpType::Add, &[c1]);
+        let _c3 = b.add_op(OpType::Add, &[c2]);
+        let _free = b.add_op(OpType::Add, &[]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1]").expect("machine");
+        let (_, s) = schedule_all_on(&dfg, &machine, vec![cl(0); 4]);
+        // chain occupies cycles 0,1,2; filler slots into any cycle 1..3
+        // ... but with one ALU it must take cycle 3? No: cycles 0-2 are
+        // taken by the chain ops, so filler lands at 3 -> latency 4.
+        assert_eq!(s.latency(), 4);
+        assert_eq!(s.start(c1), 0);
+        assert_eq!(s.start(c2), 1);
+    }
+
+    #[test]
+    fn move_latency_two_extends_schedule() {
+        let mut b = DfgBuilder::new();
+        let a = b.add_op(OpType::Add, &[]);
+        let _ = b.add_op(OpType::Add, &[a]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine").with_move_latency(2);
+        let (_, s) = schedule_all_on(&dfg, &machine, vec![cl(0), cl(1)]);
+        assert_eq!(s.latency(), 4); // add ; move(2) ; add
+    }
+
+    #[test]
+    fn non_pipelined_multiplier_serializes_by_dii() {
+        use vliw_datapath::{Cluster, MachineBuilder};
+        let mut b = DfgBuilder::new();
+        for _ in 0..3 {
+            b.add_op(OpType::Mul, &[]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = MachineBuilder::new()
+            .cluster(Cluster::new(1, 1))
+            .op_latency(OpType::Mul, 2)
+            .fu_dii(FuType::Mul, 2)
+            .build()
+            .expect("machine");
+        let (_, s) = schedule_all_on(&dfg, &machine, vec![cl(0); 3]);
+        // Starts at 0, 2, 4; finishes at 6.
+        assert_eq!(s.latency(), 6);
+    }
+
+    #[test]
+    fn pipelined_multicycle_multiplier_overlaps() {
+        use vliw_datapath::{Cluster, MachineBuilder};
+        let mut b = DfgBuilder::new();
+        for _ in 0..3 {
+            b.add_op(OpType::Mul, &[]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = MachineBuilder::new()
+            .cluster(Cluster::new(1, 1))
+            .op_latency(OpType::Mul, 2) // dii stays 1: fully pipelined
+            .build()
+            .expect("machine");
+        let (_, s) = schedule_all_on(&dfg, &machine, vec![cl(0); 3]);
+        // Starts 0,1,2; last finishes at 4.
+        assert_eq!(s.latency(), 4);
+    }
+
+    #[test]
+    fn empty_graph_schedules_to_zero() {
+        let dfg = DfgBuilder::new().finish().expect("empty");
+        let machine = Machine::parse("[1,1]").expect("machine");
+        let bn = Binding::new(&dfg, &machine, vec![]).expect("valid binding");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        let s = ListScheduler::new(&machine).schedule(&bound);
+        assert_eq!(s.latency(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn heterogeneous_machine_respects_mul_placement() {
+        // Cluster 0 has no multiplier: muls bound to cluster 1 only.
+        let mut b = DfgBuilder::new();
+        let m1 = b.add_op(OpType::Mul, &[]);
+        let m2 = b.add_op(OpType::Mul, &[]);
+        let _ = b.add_op(OpType::Add, &[m1, m2]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[2,0|1,2]").expect("machine");
+        let (_, s) = schedule_all_on(&dfg, &machine, vec![cl(1), cl(1), cl(1)]);
+        assert_eq!(s.latency(), 2);
+    }
+}
+
+#[cfg(test)]
+mod priority_tests {
+    use super::*;
+    use crate::binding::Binding;
+    use vliw_datapath::ClusterId;
+    use vliw_dfg::{DfgBuilder, OpType};
+
+    /// Every priority variant must produce a valid schedule; on a graph
+    /// with a critical chain plus filler, none may delay the chain.
+    #[test]
+    fn all_priorities_produce_valid_schedules() {
+        let mut b = DfgBuilder::new();
+        let c1 = b.add_op(OpType::Add, &[]);
+        let c2 = b.add_op(OpType::Mul, &[c1]);
+        let _c3 = b.add_op(OpType::Add, &[c2]);
+        let _f1 = b.add_op(OpType::Add, &[]);
+        let _f2 = b.add_op(OpType::Add, &[]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1]").expect("machine");
+        let bn = Binding::new(&dfg, &machine, vec![ClusterId::from_index(0); 5]).expect("ok");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        for priority in [
+            SchedulePriority::AlapMobility,
+            SchedulePriority::Height,
+            SchedulePriority::Mobility,
+        ] {
+            let s = ListScheduler::with_priority(&machine, priority).schedule(&bound);
+            s.validate(&bound, &machine)
+                .unwrap_or_else(|e| panic!("{priority:?}: {e}"));
+            // Chain (add, mul, add) + two filler adds on one ALU: the
+            // four ALU ops need 4 cycles; a priority that delays the
+            // chain pays one more.
+            assert!((4..=5).contains(&s.latency()), "{priority:?}: {}", s.latency());
+        }
+    }
+
+    #[test]
+    fn default_priority_is_alap_mobility() {
+        assert_eq!(SchedulePriority::default(), SchedulePriority::AlapMobility);
+    }
+}

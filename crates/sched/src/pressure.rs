@@ -1,0 +1,224 @@
+//! Register-pressure analysis of scheduled bound DFGs.
+//!
+//! The paper binds *before* register allocation and models register
+//! files as unbounded, arguing that "clustered machines distribute
+//! operations, which generally decreases register demand on each local
+//! register file" (Section 2). This module makes that claim measurable:
+//! given a bound DFG and its schedule, it computes the maximum number of
+//! simultaneously live values in every cluster's register file.
+//!
+//! Lifetime model: a value is written to its producer's cluster at the
+//! producer's finish cycle and must stay readable through the start
+//! cycle of its last reader — regular consumers live in the same
+//! cluster; a `move` reads from the source cluster at its start and
+//! deposits a copy in the destination cluster at its finish. Block
+//! outputs (operations without consumers) stay live to the end of the
+//! schedule.
+
+use crate::bound::BoundDfg;
+use crate::schedule::Schedule;
+use vliw_datapath::Machine;
+
+/// Per-cluster register-pressure figures for one scheduled binding;
+/// produced by [`Schedule::register_pressure`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterPressure {
+    /// Maximum simultaneously live values per cluster register file.
+    pub per_cluster: Vec<usize>,
+    /// The worst cluster's pressure (what sizes the largest RF).
+    pub max: usize,
+}
+
+impl Schedule {
+    /// Computes the maximum number of simultaneously live values in each
+    /// cluster's register file under this schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule does not cover the bound graph (use
+    /// [`Schedule::validate`] first for a graceful error).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vliw_datapath::Machine;
+    /// use vliw_dfg::{DfgBuilder, OpType};
+    /// use vliw_sched::{Binding, BoundDfg, ListScheduler};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = DfgBuilder::new();
+    /// let x = b.add_op(OpType::Add, &[]);
+    /// let _ = b.add_op(OpType::Add, &[x]);
+    /// let dfg = b.finish()?;
+    /// let machine = Machine::parse("[1,1]")?;
+    /// let c0 = machine.cluster_ids().next().unwrap();
+    /// let bn = Binding::new(&dfg, &machine, vec![c0, c0])?;
+    /// let bound = BoundDfg::new(&dfg, &machine, &bn);
+    /// let schedule = ListScheduler::new(&machine).schedule(&bound);
+    /// let pressure = schedule.register_pressure(&bound, &machine);
+    /// assert_eq!(pressure.max, 1); // only one value alive at any cycle
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn register_pressure(&self, bound: &BoundDfg, machine: &Machine) -> RegisterPressure {
+        let dfg = bound.dfg();
+        assert_eq!(self.len(), dfg.len(), "schedule must cover the bound graph");
+        let horizon = self.latency() as usize + 1;
+        let mut live = vec![vec![0usize; horizon]; machine.cluster_count()];
+
+        for v in dfg.op_ids() {
+            let birth = self.finish(v);
+            // Last read of the value *from its own cluster*: regular
+            // consumers and outgoing moves both read there at their
+            // start cycle.
+            let death = dfg
+                .succs(v)
+                .iter()
+                .map(|&s| self.start(s))
+                .max()
+                // Block outputs survive to the end of the schedule.
+                .unwrap_or_else(|| self.latency().saturating_sub(1));
+            let cluster = bound.cluster_of(v).index();
+            for tau in birth..=death.max(birth) {
+                live[cluster][tau as usize] += 1;
+            }
+        }
+
+        let per_cluster: Vec<usize> = live
+            .iter()
+            .map(|profile| profile.iter().copied().max().unwrap_or(0))
+            .collect();
+        let max = per_cluster.iter().copied().max().unwrap_or(0);
+        RegisterPressure { per_cluster, max }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::Binding;
+    use crate::list::ListScheduler;
+    use vliw_datapath::ClusterId;
+    use vliw_dfg::{DfgBuilder, OpType};
+
+    fn cl(i: usize) -> ClusterId {
+        ClusterId::from_index(i)
+    }
+
+    #[test]
+    fn chain_has_unit_pressure() {
+        let mut b = DfgBuilder::new();
+        let mut prev = b.add_op(OpType::Add, &[]);
+        for _ in 0..5 {
+            prev = b.add_op(OpType::Add, &[prev]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1]").expect("machine");
+        let bn = Binding::new(&dfg, &machine, vec![cl(0); 6]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        let schedule = ListScheduler::new(&machine).schedule(&bound);
+        let p = schedule.register_pressure(&bound, &machine);
+        assert_eq!(p.max, 1);
+    }
+
+    #[test]
+    fn parallel_values_accumulate() {
+        // Four producers all feeding one late consumer: with one ALU the
+        // producers serialize and all four values pile up before the
+        // consumer issues. (Consumers take at most two operands, so fan
+        // into a small tree.)
+        let mut b = DfgBuilder::new();
+        let p: Vec<_> = (0..4).map(|_| b.add_op(OpType::Add, &[])).collect();
+        let s1 = b.add_op(OpType::Add, &[p[0], p[1]]);
+        let s2 = b.add_op(OpType::Add, &[p[2], p[3]]);
+        let _ = b.add_op(OpType::Add, &[s1, s2]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1]").expect("machine");
+        let bn = Binding::new(&dfg, &machine, vec![cl(0); 7]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        let schedule = ListScheduler::new(&machine).schedule(&bound);
+        let p = schedule.register_pressure(&bound, &machine);
+        assert!(p.max >= 3, "got {}", p.max);
+    }
+
+    #[test]
+    fn transfers_hold_values_in_both_clusters() {
+        // a (cl0) -> consumer (cl1): the value lives in cl0 until the
+        // move reads it, and the move's copy lives in cl1 until the
+        // consumer reads it -> both clusters see pressure 1.
+        let mut b = DfgBuilder::new();
+        let a = b.add_op(OpType::Add, &[]);
+        let _ = b.add_op(OpType::Add, &[a]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let bn = Binding::new(&dfg, &machine, vec![cl(0), cl(1)]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        let schedule = ListScheduler::new(&machine).schedule(&bound);
+        let p = schedule.register_pressure(&bound, &machine);
+        assert_eq!(p.per_cluster, vec![1, 1]);
+    }
+
+    #[test]
+    fn clustering_distributes_register_demand() {
+        // The paper's Section-2 argument on a concrete case: two
+        // independent wide reduction trees. On one cluster every
+        // intermediate value competes for the same RF; split across two
+        // clusters each RF holds about half.
+        let mut b = DfgBuilder::new();
+        for _ in 0..2 {
+            let leaves: Vec<_> = (0..8).map(|_| b.add_op(OpType::Add, &[])).collect();
+            let mut level = leaves;
+            while level.len() > 1 {
+                level = level
+                    .chunks(2)
+                    .map(|p| b.add_op(OpType::Add, &[p[0], p[1]]))
+                    .collect();
+            }
+        }
+        let dfg = b.finish().expect("acyclic");
+
+        let single = Machine::parse("[2,1]").expect("machine");
+        let c0 = cl(0);
+        let bn1 = Binding::new(&dfg, &single, vec![c0; dfg.len()]).expect("valid");
+        let bound1 = BoundDfg::new(&dfg, &single, &bn1);
+        let s1 = ListScheduler::new(&single).schedule(&bound1);
+        let p1 = s1.register_pressure(&bound1, &single);
+
+        let dual = Machine::parse("[1,1|1,1]").expect("machine");
+        let of: Vec<ClusterId> = (0..dfg.len())
+            .map(|i| if i < dfg.len() / 2 { cl(0) } else { cl(1) })
+            .collect();
+        let bn2 = Binding::new(&dfg, &dual, of).expect("valid");
+        let bound2 = BoundDfg::new(&dfg, &dual, &bn2);
+        let s2 = ListScheduler::new(&dual).schedule(&bound2);
+        let p2 = s2.register_pressure(&bound2, &dual);
+
+        assert!(
+            p2.max < p1.max,
+            "distributed pressure {} should undercut centralized {}",
+            p2.max,
+            p1.max
+        );
+    }
+
+    #[test]
+    fn outputs_stay_live_to_the_end() {
+        // Early-finishing output + long independent chain: the output
+        // value occupies its RF the whole time.
+        let mut b = DfgBuilder::new();
+        let _out = b.add_op(OpType::Add, &[]);
+        let mut prev = b.add_op(OpType::Add, &[]);
+        for _ in 0..4 {
+            prev = b.add_op(OpType::Add, &[prev]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[2,1]").expect("machine");
+        let bn = Binding::new(&dfg, &machine, vec![cl(0); 6]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        let schedule = ListScheduler::new(&machine).schedule(&bound);
+        let p = schedule.register_pressure(&bound, &machine);
+        // During the chain's tail both the early output and the chain's
+        // running value are live.
+        assert!(p.max >= 2);
+    }
+}

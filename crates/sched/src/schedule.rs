@@ -1,0 +1,427 @@
+//! Schedules: start/finish tables, validation, quality profiles.
+
+use crate::bound::BoundDfg;
+use std::error::Error;
+use std::fmt;
+use vliw_datapath::Machine;
+use vliw_dfg::{FuType, OpId, OpType};
+
+/// Error reported by [`Schedule::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A consumer starts before one of its producers finishes.
+    PrecedenceViolation {
+        /// The producer.
+        producer: OpId,
+        /// The consumer starting too early.
+        consumer: OpId,
+    },
+    /// More operations of one FU type started within a `dii` window than
+    /// the cluster has units.
+    FuOverload {
+        /// Cluster index.
+        cluster: usize,
+        /// FU type overloaded.
+        fu: FuType,
+        /// Cycle where the window constraint is violated.
+        cycle: u32,
+    },
+    /// More transfers started within a bus `dii` window than `N_B`.
+    BusOverload {
+        /// Cycle where the window constraint is violated.
+        cycle: u32,
+    },
+    /// The schedule does not cover every operation of the bound graph.
+    WrongLength {
+        /// Entries in the schedule.
+        got: usize,
+        /// Operations in the bound graph.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::PrecedenceViolation { producer, consumer } => {
+                write!(f, "{consumer} starts before its producer {producer} finishes")
+            }
+            ScheduleError::FuOverload { cluster, fu, cycle } => {
+                write!(f, "cluster cl{cluster} overloads its {fu}s at cycle {cycle}")
+            }
+            ScheduleError::BusOverload { cycle } => {
+                write!(f, "bus overloaded at cycle {cycle}")
+            }
+            ScheduleError::WrongLength { got, expected } => {
+                write!(f, "schedule covers {got} ops but the graph has {expected}")
+            }
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+/// A start-time table for a bound DFG, produced by
+/// [`crate::ListScheduler`].
+///
+/// Uses the same convention as [`vliw_dfg::Timing`]: an operation starting
+/// at cycle `τ` with latency `l` finishes at `τ + l`; the schedule latency
+/// `L` is the maximum finish time (so a single unit-latency operation
+/// yields `L = 1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    start: Vec<u32>,
+    finish: Vec<u32>,
+    latency: u32,
+}
+
+impl Schedule {
+    /// Creates a schedule from explicit per-operation start times and
+    /// latencies (used by the scheduler and by tests that hand-craft
+    /// schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices differ in length.
+    pub fn from_starts(start: Vec<u32>, lat: &[u32]) -> Self {
+        assert_eq!(start.len(), lat.len(), "one latency per start time");
+        let finish: Vec<u32> = start.iter().zip(lat).map(|(&s, &l)| s + l).collect();
+        let latency = finish.iter().copied().max().unwrap_or(0);
+        Schedule {
+            start,
+            finish,
+            latency,
+        }
+    }
+
+    /// Schedule latency `L`: the cycle by which every operation (data
+    /// transfers included) has completed.
+    #[inline]
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// Start cycle of a bound operation.
+    #[inline]
+    pub fn start(&self, v: OpId) -> u32 {
+        self.start[v.index()]
+    }
+
+    /// Finish cycle of a bound operation (`start + lat`).
+    #[inline]
+    pub fn finish(&self, v: OpId) -> u32 {
+        self.finish[v.index()]
+    }
+
+    /// Number of scheduled operations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.start.len()
+    }
+
+    /// Whether the schedule is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start.is_empty()
+    }
+
+    /// `U_i` profile of the paper's quality vector `Q_U = (L, U_0, U_1, …)`
+    /// (Section 3.2, Figure 6): element `i` counts the *regular*
+    /// operations (moves excluded) completing at step `L − i`.
+    ///
+    /// The returned vector has length `L`; comparing two schedules'
+    /// vectors lexicographically (after `L` itself) prefers the schedule
+    /// with fewer operations pinned to the final cycles — the property the
+    /// paper exploits to escape plateaus of the plain latency objective.
+    pub fn completion_profile(&self, bound: &BoundDfg) -> Vec<usize> {
+        let l = self.latency as usize;
+        let mut profile = vec![0usize; l];
+        for v in bound.dfg().op_ids() {
+            if bound.is_move(v) {
+                continue;
+            }
+            let fin = self.finish[v.index()] as usize;
+            // fin is in 1..=L; U_i counts completions at L - i.
+            profile[l - fin] += 1;
+        }
+        profile
+    }
+
+    /// Independently re-checks that this schedule respects data
+    /// dependences, per-cluster FU counts and bus width under the `dii`
+    /// pipelining model (a unit of type `t` can start a new operation
+    /// every `dii(t)` cycles).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a [`ScheduleError`].
+    pub fn validate(&self, bound: &BoundDfg, machine: &Machine) -> Result<(), ScheduleError> {
+        let dfg = bound.dfg();
+        if self.start.len() != dfg.len() {
+            return Err(ScheduleError::WrongLength {
+                got: self.start.len(),
+                expected: dfg.len(),
+            });
+        }
+        // Precedence.
+        for (u, v) in dfg.edges() {
+            if self.start[v.index()] < self.finish[u.index()] {
+                return Err(ScheduleError::PrecedenceViolation {
+                    producer: u,
+                    consumer: v,
+                });
+            }
+        }
+        // Resources: count starts per cycle, then check every dii window.
+        let horizon = self.latency as usize + 1;
+        let n_clusters = machine.cluster_count();
+        // starts[c][fu][cycle]
+        let mut fu_starts = vec![[0u32; 2].map(|_| vec![0u32; horizon]); n_clusters];
+        let mut bus_starts = vec![0u32; horizon];
+        for v in dfg.op_ids() {
+            let t = dfg.op_type(v).fu_type();
+            let s = self.start[v.index()] as usize;
+            match t {
+                FuType::Bus => bus_starts[s] += 1,
+                _ => fu_starts[bound.cluster_of(v).index()][t.index()][s] += 1,
+            }
+        }
+        for (ci, per_fu) in fu_starts.iter().enumerate() {
+            for t in FuType::REGULAR {
+                let dii = machine.dii(t) as usize;
+                let cap = machine.fu_count(vliw_datapath::ClusterId::from_index(ci), t);
+                let starts = &per_fu[t.index()];
+                let mut window = 0u32;
+                for tau in 0..horizon {
+                    window += starts[tau];
+                    if tau >= dii {
+                        window -= starts[tau - dii];
+                    }
+                    if window > cap {
+                        return Err(ScheduleError::FuOverload {
+                            cluster: ci,
+                            fu: t,
+                            cycle: tau as u32,
+                        });
+                    }
+                }
+            }
+        }
+        let bus_dii = machine.dii(FuType::Bus) as usize;
+        let mut window = 0u32;
+        for tau in 0..horizon {
+            window += bus_starts[tau];
+            if tau >= bus_dii {
+                window -= bus_starts[tau - bus_dii];
+            }
+            if window > machine.bus_count() {
+                return Err(ScheduleError::BusOverload { cycle: tau as u32 });
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the schedule as a cycle-by-cycle table, one line per cycle,
+    /// with each operation shown in its cluster column (moves in the BUS
+    /// column). Intended for examples and debugging.
+    pub fn to_table(&self, bound: &BoundDfg, machine: &Machine) -> String {
+        use std::fmt::Write as _;
+        let dfg = bound.dfg();
+        let n_clusters = machine.cluster_count();
+        let mut rows: Vec<Vec<Vec<String>>> =
+            vec![vec![Vec::new(); n_clusters + 1]; self.latency as usize];
+        for v in dfg.op_ids() {
+            let cell = format!("{v}:{}", dfg.op_type(v).mnemonic());
+            let col = if dfg.op_type(v) == OpType::Move {
+                n_clusters
+            } else {
+                bound.cluster_of(v).index()
+            };
+            rows[self.start[v.index()] as usize][col].push(cell);
+        }
+        let mut out = String::new();
+        let _ = write!(out, "cycle");
+        for c in 0..n_clusters {
+            let _ = write!(out, " | cl{c}");
+        }
+        let _ = writeln!(out, " | bus");
+        for (tau, row) in rows.iter().enumerate() {
+            let _ = write!(out, "{tau:5}");
+            for cell in row {
+                let _ = write!(out, " | {}", cell.join(" "));
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::Binding;
+    use vliw_datapath::ClusterId;
+    use vliw_dfg::DfgBuilder;
+
+    fn cl(i: usize) -> ClusterId {
+        ClusterId::from_index(i)
+    }
+
+    /// Chain a->b on one cluster plus a cross-cluster consumer.
+    fn setup() -> (BoundDfg, Machine) {
+        let mut b = DfgBuilder::new();
+        let a = b.add_op(OpType::Add, &[]);
+        let m = b.add_op(OpType::Mul, &[a]);
+        let _ = b.add_op(OpType::Add, &[m]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let bn = Binding::new(&dfg, &machine, vec![cl(0), cl(0), cl(1)]).expect("valid");
+        (BoundDfg::new(&dfg, &machine, &bn), machine)
+    }
+
+    #[test]
+    fn from_starts_computes_latency() {
+        let s = Schedule::from_starts(vec![0, 1, 3], &[1, 2, 1]);
+        assert_eq!(s.latency(), 4);
+        assert_eq!(s.finish(OpId::from_index(1)), 3);
+    }
+
+    #[test]
+    fn validate_accepts_legal_schedule() {
+        let (bound, machine) = setup();
+        // a@0, m@1, move@2, consumer@3 (bound graph order: a, m, move, c).
+        let lat = bound.latencies(&machine);
+        let s = Schedule::from_starts(vec![0, 1, 2, 3], &lat);
+        assert_eq!(s.validate(&bound, &machine), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_precedence_violation() {
+        let (bound, machine) = setup();
+        let lat = bound.latencies(&machine);
+        let s = Schedule::from_starts(vec![0, 0, 2, 3], &lat); // m starts with a
+        assert!(matches!(
+            s.validate(&bound, &machine),
+            Err(ScheduleError::PrecedenceViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_fu_overload() {
+        // Two independent adds on a 1-ALU cluster in the same cycle.
+        let mut b = DfgBuilder::new();
+        let _ = b.add_op(OpType::Add, &[]);
+        let _ = b.add_op(OpType::Add, &[]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1]").expect("machine");
+        let bn = Binding::new(&dfg, &machine, vec![cl(0), cl(0)]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        let lat = bound.latencies(&machine);
+        let s = Schedule::from_starts(vec![0, 0], &lat);
+        assert!(matches!(
+            s.validate(&bound, &machine),
+            Err(ScheduleError::FuOverload { .. })
+        ));
+        let ok = Schedule::from_starts(vec![0, 1], &lat);
+        assert_eq!(ok.validate(&bound, &machine), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bus_overload() {
+        // Three parallel transfers on a 2-bus machine in one cycle.
+        let mut b = DfgBuilder::new();
+        let mut srcs = Vec::new();
+        for _ in 0..3 {
+            srcs.push(b.add_op(OpType::Add, &[]));
+        }
+        for &s in &srcs {
+            let _ = b.add_op(OpType::Add, &[s]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[3,1|3,1]").expect("machine");
+        let of = vec![cl(0), cl(0), cl(0), cl(1), cl(1), cl(1)];
+        let bn = Binding::new(&dfg, &machine, of).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        assert_eq!(bound.move_count(), 3);
+        let lat = bound.latencies(&machine);
+        // Bound order: a0, a1, a2 then moves interleaved before consumers.
+        // Start everything as early as dependence alone allows: all moves
+        // at cycle 1 -> bus overload (N_B = 2).
+        let starts: Vec<u32> = bound
+            .dfg()
+            .op_ids()
+            .map(|v| {
+                if bound.is_move(v) {
+                    1
+                } else if bound.dfg().in_degree(v) == 0 {
+                    0
+                } else {
+                    2
+                }
+            })
+            .collect();
+        let s = Schedule::from_starts(starts, &lat);
+        assert!(matches!(
+            s.validate(&bound, &machine),
+            Err(ScheduleError::BusOverload { cycle: 1 })
+        ));
+    }
+
+    #[test]
+    fn validate_respects_dii_windows() {
+        // Non-pipelined 2-cycle multiplier: two muls started 1 cycle apart
+        // overload it; 2 cycles apart is fine.
+        use vliw_datapath::{Cluster, MachineBuilder};
+        let mut b = DfgBuilder::new();
+        let _ = b.add_op(OpType::Mul, &[]);
+        let _ = b.add_op(OpType::Mul, &[]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = MachineBuilder::new()
+            .cluster(Cluster::new(1, 1))
+            .op_latency(OpType::Mul, 2)
+            .fu_dii(FuType::Mul, 2)
+            .build()
+            .expect("machine");
+        let bn = Binding::new(&dfg, &machine, vec![cl(0), cl(0)]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        let lat = bound.latencies(&machine);
+        let clash = Schedule::from_starts(vec![0, 1], &lat);
+        assert!(matches!(
+            clash.validate(&bound, &machine),
+            Err(ScheduleError::FuOverload { .. })
+        ));
+        let ok = Schedule::from_starts(vec![0, 2], &lat);
+        assert_eq!(ok.validate(&bound, &machine), Ok(()));
+    }
+
+    #[test]
+    fn completion_profile_counts_regular_ops_only() {
+        let (bound, machine) = setup();
+        let lat = bound.latencies(&machine);
+        let s = Schedule::from_starts(vec![0, 1, 2, 3], &lat);
+        // L = 4. Finishes: a@1, m@2, move@3 (excluded), consumer@4.
+        assert_eq!(s.completion_profile(&bound), vec![1, 0, 1, 1]);
+    }
+
+    #[test]
+    fn wrong_length_is_reported() {
+        let (bound, machine) = setup();
+        let s = Schedule::from_starts(vec![0], &[1]);
+        assert!(matches!(
+            s.validate(&bound, &machine),
+            Err(ScheduleError::WrongLength { .. })
+        ));
+    }
+
+    #[test]
+    fn table_lists_every_operation() {
+        let (bound, machine) = setup();
+        let lat = bound.latencies(&machine);
+        let s = Schedule::from_starts(vec![0, 1, 2, 3], &lat);
+        let table = s.to_table(&bound, &machine);
+        for v in bound.dfg().op_ids() {
+            assert!(table.contains(&v.to_string()), "missing {v} in:\n{table}");
+        }
+        assert!(table.contains("bus"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests: on random layered DAGs with random bindings, the
+//! list scheduler must always produce a valid schedule, never beat the
+//! critical path, and never exceed the fully-serial bound.
+
+use proptest::prelude::*;
+use vliw_datapath::{ClusterId, Machine};
+use vliw_dfg::{critical_path_len, Dfg, DfgBuilder, OpType};
+use vliw_sched::{Binding, BoundDfg, ListScheduler};
+
+/// Strategy: a random DAG of `n` ops where each op draws 0-2 operands from
+/// earlier ops, with a random ALU/MUL mix.
+fn arb_dfg(max_ops: usize) -> impl Strategy<Value = Dfg> {
+    (1..=max_ops).prop_flat_map(|n| {
+        let op_kinds = prop::collection::vec(0..2u8, n);
+        let operand_picks = prop::collection::vec((0usize..usize::MAX, 0usize..usize::MAX, 0..3u8), n);
+        (op_kinds, operand_picks).prop_map(|(kinds, picks)| {
+            let mut b = DfgBuilder::new();
+            let mut ids = Vec::new();
+            for (i, (&kind, &(p1, p2, arity))) in kinds.iter().zip(&picks).enumerate() {
+                let ty = if kind == 0 { OpType::Add } else { OpType::Mul };
+                let mut operands = Vec::new();
+                if i > 0 {
+                    if arity >= 1 {
+                        operands.push(ids[p1 % i]);
+                    }
+                    if arity >= 2 {
+                        let second = ids[p2 % i];
+                        if !operands.contains(&second) {
+                            operands.push(second);
+                        }
+                    }
+                }
+                ids.push(b.add_op(ty, &operands));
+            }
+            b.finish().expect("acyclic by construction")
+        })
+    })
+}
+
+fn arb_machine() -> impl Strategy<Value = Machine> {
+    let configs = prop::sample::select(vec![
+        "[1,1]",
+        "[2,1]",
+        "[1,1|1,1]",
+        "[2,1|1,1]",
+        "[2,1|2,1]",
+        "[1,1|1,1|1,1]",
+        "[3,1|2,2|1,3]",
+        "[2,2|2,1|2,2|3,1|1,1]",
+    ]);
+    (configs, 1..=2u32, 1..=2u32).prop_map(|(cfg, buses, move_lat)| {
+        Machine::parse(cfg)
+            .expect("config is valid")
+            .with_bus_count(buses)
+            .with_move_latency(move_lat)
+    })
+}
+
+fn random_binding(dfg: &Dfg, machine: &Machine, seeds: &[usize]) -> Binding {
+    let mut bn = Binding::unbound(dfg);
+    for v in dfg.op_ids() {
+        let ts = machine.target_set(dfg.op_type(v));
+        bn.bind(v, ts[seeds[v.index()] % ts.len()]);
+    }
+    bn
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn scheduler_output_is_always_valid(
+        dfg in arb_dfg(40),
+        machine in arb_machine(),
+        seeds in prop::collection::vec(0usize..1024, 40),
+    ) {
+        let bn = random_binding(&dfg, &machine, &seeds);
+        prop_assert!(bn.validate(&dfg, &machine).is_ok());
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        let schedule = ListScheduler::new(&machine).schedule(&bound);
+        prop_assert_eq!(schedule.validate(&bound, &machine), Ok(()));
+    }
+
+    #[test]
+    fn latency_bounded_by_cp_and_serialization(
+        dfg in arb_dfg(40),
+        machine in arb_machine(),
+        seeds in prop::collection::vec(0usize..1024, 40),
+    ) {
+        let bn = random_binding(&dfg, &machine, &seeds);
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        let schedule = ListScheduler::new(&machine).schedule(&bound);
+        // Lower bound: critical path of the *bound* graph.
+        let lat = bound.latencies(&machine);
+        let cp = critical_path_len(bound.dfg(), &lat);
+        prop_assert!(schedule.latency() >= cp);
+        // Upper bound: complete serialization of every operation.
+        let serial: u32 = lat.iter().sum();
+        prop_assert!(schedule.latency() <= serial.max(cp));
+    }
+
+    #[test]
+    fn single_cluster_binding_inserts_no_moves(
+        dfg in arb_dfg(30),
+    ) {
+        let machine = Machine::parse("[4,4]").expect("machine");
+        let c0 = ClusterId::from_index(0);
+        let bn = Binding::new(&dfg, &machine, vec![c0; dfg.len()]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        prop_assert_eq!(bound.move_count(), 0);
+        prop_assert_eq!(bound.dfg().len(), dfg.len());
+    }
+
+    #[test]
+    fn move_count_bounded_by_cut_edges(
+        dfg in arb_dfg(40),
+        machine in arb_machine(),
+        seeds in prop::collection::vec(0usize..1024, 40),
+    ) {
+        let bn = random_binding(&dfg, &machine, &seeds);
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        // Dedup can only reduce the number of transfers relative to the
+        // number of cluster-crossing edges.
+        prop_assert!(bound.move_count() <= bn.cut_edges(&dfg));
+    }
+
+    #[test]
+    fn completion_profile_sums_to_regular_ops(
+        dfg in arb_dfg(40),
+        machine in arb_machine(),
+        seeds in prop::collection::vec(0usize..1024, 40),
+    ) {
+        let bn = random_binding(&dfg, &machine, &seeds);
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        let schedule = ListScheduler::new(&machine).schedule(&bound);
+        let profile = schedule.completion_profile(&bound);
+        prop_assert_eq!(profile.iter().sum::<usize>(), dfg.len());
+        prop_assert_eq!(profile.len() as u32, schedule.latency());
+    }
+}

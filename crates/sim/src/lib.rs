@@ -1,0 +1,384 @@
+//! Cycle-accurate clustered-VLIW datapath simulator.
+//!
+//! An independent execution oracle for (binding, schedule) pairs: instead
+//! of checking graph precedence like [`vliw_sched::Schedule::validate`],
+//! the simulator actually *runs* the machine cycle by cycle — register
+//! files hold produced values, functional units and bus lanes are
+//! occupied and released under the `dii` pipelining model, and an
+//! operation may only issue when its operand values are physically
+//! present in its cluster's register file. Divergence between the two
+//! checkers would indicate a bug in one of them; the property tests
+//! exercise exactly that.
+//!
+//! The simulator also reports utilization statistics used by the examples
+//! and the benchmark harness.
+//!
+//! # Example
+//!
+//! ```
+//! use vliw_binding::Binder;
+//! use vliw_datapath::Machine;
+//! use vliw_sim::Simulator;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dfg = vliw_kernels::arf();
+//! let machine = Machine::parse("[1,1|1,1]")?;
+//! let result = Binder::new(&machine).bind(&dfg);
+//! let report = Simulator::new(&machine).run(&result.bound, &result.schedule)?;
+//! assert_eq!(report.cycles, result.latency());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod functional;
+
+pub use functional::{functional_check, FunctionalError};
+
+use std::error::Error;
+use std::fmt;
+use vliw_datapath::{ClusterId, Machine};
+use vliw_dfg::{FuType, OpId, OpType};
+use vliw_sched::{BoundDfg, Schedule};
+
+/// Execution failure reported by [`Simulator::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An operation issued before an operand value reached its cluster's
+    /// register file.
+    OperandNotReady {
+        /// The operation that issued too early.
+        op: OpId,
+        /// The missing operand's producer.
+        operand: OpId,
+        /// Issue cycle.
+        cycle: u32,
+    },
+    /// An operand is produced in a different cluster with no transfer —
+    /// a malformed bound graph.
+    OperandForeign {
+        /// The consuming operation.
+        op: OpId,
+        /// The foreign producer.
+        operand: OpId,
+    },
+    /// No free functional unit of the required type at issue time.
+    NoFreeUnit {
+        /// The operation that could not issue.
+        op: OpId,
+        /// Cluster it is bound to.
+        cluster: ClusterId,
+        /// FU type required.
+        fu: FuType,
+        /// Issue cycle.
+        cycle: u32,
+    },
+    /// No free bus lane for a transfer at issue time.
+    NoFreeBusLane {
+        /// The move that could not issue.
+        op: OpId,
+        /// Issue cycle.
+        cycle: u32,
+    },
+    /// The schedule does not cover the bound graph.
+    WrongLength {
+        /// Entries provided.
+        got: usize,
+        /// Operations in the bound graph.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OperandNotReady { op, operand, cycle } => {
+                write!(f, "{op} issued at cycle {cycle} before operand {operand} was ready")
+            }
+            SimError::OperandForeign { op, operand } => {
+                write!(f, "{op} reads {operand} from another cluster without a transfer")
+            }
+            SimError::NoFreeUnit { op, cluster, fu, cycle } => {
+                write!(f, "no free {fu} on {cluster} for {op} at cycle {cycle}")
+            }
+            SimError::NoFreeBusLane { op, cycle } => {
+                write!(f, "no free bus lane for {op} at cycle {cycle}")
+            }
+            SimError::WrongLength { got, expected } => {
+                write!(f, "schedule covers {got} ops, graph has {expected}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Outcome of a successful simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Total cycles until the last value was written.
+    pub cycles: u32,
+    /// Issue counts per cluster (regular operations only).
+    pub issues_per_cluster: Vec<usize>,
+    /// Number of transfers executed on the bus.
+    pub bus_transfers: usize,
+    /// Fraction of (FU × cycle) issue slots actually used, per cluster.
+    pub fu_utilization: Vec<f64>,
+    /// Fraction of (bus lane × cycle) slots used.
+    pub bus_utilization: f64,
+}
+
+/// The simulator. Construct per machine and [`Simulator::run`] any number
+/// of bound graphs.
+#[derive(Debug, Clone, Copy)]
+pub struct Simulator<'m> {
+    machine: &'m Machine,
+}
+
+impl<'m> Simulator<'m> {
+    /// Creates a simulator for `machine`.
+    pub fn new(machine: &'m Machine) -> Self {
+        Simulator { machine }
+    }
+
+    /// Executes the schedule cycle by cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] encountered: an operand missing
+    /// from the issuing cluster's register file, an over-subscribed
+    /// functional unit or bus lane, or a malformed bound graph.
+    pub fn run(&self, bound: &BoundDfg, schedule: &Schedule) -> Result<SimReport, SimError> {
+        let dfg = bound.dfg();
+        let machine = self.machine;
+        if schedule.len() != dfg.len() {
+            return Err(SimError::WrongLength {
+                got: schedule.len(),
+                expected: dfg.len(),
+            });
+        }
+
+        // Structural pre-check: every operand of a regular op must live in
+        // the same cluster (moves deliver values); a move reads from its
+        // producer's cluster by definition.
+        for v in dfg.op_ids() {
+            if dfg.op_type(v) == OpType::Move {
+                continue;
+            }
+            for &u in dfg.preds(v) {
+                if bound.cluster_of(u) != bound.cluster_of(v) {
+                    return Err(SimError::OperandForeign { op: v, operand: u });
+                }
+            }
+        }
+
+        // Issue order: by start cycle (stable on op id).
+        let mut order: Vec<OpId> = dfg.op_ids().collect();
+        order.sort_by_key(|&v| (schedule.start(v), v));
+
+        // Register files: cycle at which each value becomes readable in
+        // its destination cluster (the producing/move op's finish time).
+        // `u32::MAX` = never (not yet executed).
+        let mut ready_at = vec![u32::MAX; dfg.len()];
+        // FU instances: cycle at which each unit can accept a new op.
+        let mut fus: Vec<[Vec<u32>; 2]> = machine
+            .cluster_ids()
+            .map(|c| {
+                [
+                    vec![0u32; machine.fu_count(c, FuType::Alu) as usize],
+                    vec![0u32; machine.fu_count(c, FuType::Mul) as usize],
+                ]
+            })
+            .collect();
+        let mut bus = vec![0u32; machine.bus_count() as usize];
+
+        let mut issues_per_cluster = vec![0usize; machine.cluster_count()];
+        let mut bus_transfers = 0usize;
+
+        for v in order {
+            let tau = schedule.start(v);
+            // Operands must be readable in this cluster now. (The
+            // structural pre-check made producer clusters match, so
+            // `ready_at` is exactly "present in the local RF".)
+            for &u in dfg.preds(v) {
+                if ready_at[u.index()] == u32::MAX || ready_at[u.index()] > tau {
+                    return Err(SimError::OperandNotReady {
+                        op: v,
+                        operand: u,
+                        cycle: tau,
+                    });
+                }
+            }
+            let t = dfg.op_type(v).fu_type();
+            let pool: &mut Vec<u32> = match t {
+                FuType::Bus => &mut bus,
+                _ => &mut fus[bound.cluster_of(v).index()][t.index()],
+            };
+            let Some(slot) = pool.iter_mut().find(|free| **free <= tau) else {
+                return Err(match t {
+                    FuType::Bus => SimError::NoFreeBusLane { op: v, cycle: tau },
+                    _ => SimError::NoFreeUnit {
+                        op: v,
+                        cluster: bound.cluster_of(v),
+                        fu: t,
+                        cycle: tau,
+                    },
+                });
+            };
+            *slot = tau + machine.dii(t);
+            ready_at[v.index()] = tau + machine.latency(dfg.op_type(v));
+            match t {
+                FuType::Bus => bus_transfers += 1,
+                _ => issues_per_cluster[bound.cluster_of(v).index()] += 1,
+            }
+        }
+
+        let cycles = schedule.latency();
+        let fu_utilization = machine
+            .cluster_ids()
+            .map(|c| {
+                let slots = (machine.cluster(c).total_fus() as u64 * cycles as u64).max(1);
+                issues_per_cluster[c.index()] as f64 / slots as f64
+            })
+            .collect();
+        let bus_slots = (machine.bus_count() as u64 * cycles as u64).max(1);
+        Ok(SimReport {
+            cycles,
+            issues_per_cluster,
+            bus_transfers,
+            fu_utilization,
+            bus_utilization: bus_transfers as f64 / bus_slots as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_binding::Binder;
+    use vliw_dfg::{DfgBuilder, OpType};
+    use vliw_sched::{Binding, BoundDfg, ListScheduler};
+
+    fn cl(i: usize) -> ClusterId {
+        ClusterId::from_index(i)
+    }
+
+    #[test]
+    fn accepts_scheduler_output_on_kernels() {
+        let machine = Machine::parse("[2,1|1,1]").expect("machine");
+        for kernel in vliw_kernels::Kernel::ALL {
+            let dfg = kernel.build();
+            let result = Binder::new(&machine).bind_initial(&dfg);
+            let report = Simulator::new(&machine)
+                .run(&result.bound, &result.schedule)
+                .unwrap_or_else(|e| panic!("{kernel}: {e}"));
+            assert_eq!(report.cycles, result.latency());
+            assert_eq!(report.bus_transfers, result.moves());
+            assert_eq!(
+                report.issues_per_cluster.iter().sum::<usize>(),
+                dfg.len()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_premature_issue() {
+        let mut b = DfgBuilder::new();
+        let a = b.add_op(OpType::Add, &[]);
+        let _ = b.add_op(OpType::Add, &[a]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1]").expect("machine");
+        let bn = Binding::new(&dfg, &machine, vec![cl(0), cl(0)]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        let lat = bound.latencies(&machine);
+        let bad = vliw_sched::Schedule::from_starts(vec![0, 0], &lat);
+        assert!(matches!(
+            Simulator::new(&machine).run(&bound, &bad),
+            Err(SimError::OperandNotReady { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_fu_oversubscription() {
+        let mut b = DfgBuilder::new();
+        let _ = b.add_op(OpType::Add, &[]);
+        let _ = b.add_op(OpType::Add, &[]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1]").expect("machine");
+        let bn = Binding::new(&dfg, &machine, vec![cl(0), cl(0)]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        let lat = bound.latencies(&machine);
+        let bad = vliw_sched::Schedule::from_starts(vec![0, 0], &lat);
+        assert!(matches!(
+            Simulator::new(&machine).run(&bound, &bad),
+            Err(SimError::NoFreeUnit { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bus_oversubscription() {
+        let mut b = DfgBuilder::new();
+        let p1 = b.add_op(OpType::Add, &[]);
+        let p2 = b.add_op(OpType::Add, &[]);
+        let _ = b.add_op(OpType::Add, &[p1]);
+        let _ = b.add_op(OpType::Add, &[p2]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[2,1|2,1]").expect("machine").with_bus_count(1);
+        let bn = Binding::new(&dfg, &machine, vec![cl(0), cl(0), cl(1), cl(1)]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        // Both moves at cycle 1 on the single bus lane.
+        let starts: Vec<u32> = bound
+            .dfg()
+            .op_ids()
+            .map(|v| {
+                if bound.is_move(v) {
+                    1
+                } else if bound.dfg().in_degree(v) == 0 {
+                    0
+                } else {
+                    2
+                }
+            })
+            .collect();
+        let lat = bound.latencies(&machine);
+        let bad = vliw_sched::Schedule::from_starts(starts, &lat);
+        assert!(matches!(
+            Simulator::new(&machine).run(&bound, &bad),
+            Err(SimError::NoFreeBusLane { .. })
+        ));
+    }
+
+    #[test]
+    fn utilization_is_sane() {
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let dfg = vliw_kernels::fft();
+        let result = Binder::new(&machine).bind(&dfg);
+        let report = Simulator::new(&machine)
+            .run(&result.bound, &result.schedule)
+            .expect("valid execution");
+        for u in &report.fu_utilization {
+            assert!((0.0..=1.0).contains(u));
+        }
+        assert!((0.0..=1.0).contains(&report.bus_utilization));
+    }
+
+    #[test]
+    fn wrong_length_reported() {
+        let machine = Machine::parse("[1,1]").expect("machine");
+        let mut b = DfgBuilder::new();
+        let _ = b.add_op(OpType::Add, &[]);
+        let dfg = b.finish().expect("acyclic");
+        let bn = Binding::new(&dfg, &machine, vec![cl(0)]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        let empty = vliw_sched::Schedule::from_starts(vec![], &[]);
+        assert!(matches!(
+            Simulator::new(&machine).run(&bound, &empty),
+            Err(SimError::WrongLength { .. })
+        ));
+        // And the real schedule passes.
+        let good = ListScheduler::new(&machine).schedule(&bound);
+        assert!(Simulator::new(&machine).run(&bound, &good).is_ok());
+    }
+}

@@ -1,0 +1,385 @@
+//! The `vliw` command-line tool: bind, schedule, inspect and explore
+//! clustered-VLIW kernels from the shell.
+//!
+//! ```text
+//! vliw kernels                                 list built-in kernels
+//! vliw stats   --kernel EWF                    N_V / N_CC / L_CP / op mix
+//! vliw bind    --kernel FFT --machine "[2,1|1,1]" [--algo biter] [--json]
+//! vliw dot     --kernel ARF --machine "[1,1|1,1]"    bound-DFG Graphviz
+//! vliw explore --kernel DCT-DIT --max-fus 8          area/latency frontier
+//! ```
+//!
+//! Kernels may also come from disk: `--dfg path.json` reads a
+//! serde-serialized [`vliw_dfg::Dfg`] (the format `vliw bind --json`
+//! emits under `"dfg"`, and the format produced by
+//! `serde_json::to_string(&dfg)`).
+//!
+//! Every command is a pure function from parsed arguments to an output
+//! string, so the whole surface is unit-testable without spawning
+//! processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use vliw_baselines::{Annealer, Uas};
+use vliw_binding::{Binder, BindingResult};
+use vliw_datapath::Machine;
+use vliw_dfg::{Dfg, DfgStats};
+use vliw_kernels::Kernel;
+use vliw_pcc::Pcc;
+use vliw_sim::Simulator;
+
+/// A fatal CLI error with the message shown to the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    command: String,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parses `argv[1..]`-style arguments: one subcommand followed by
+    /// `--flag value` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Rejects missing subcommands and flags without values.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, CliError> {
+        let mut it = argv.into_iter();
+        let command = it.next().ok_or_else(|| err(USAGE))?;
+        let mut flags = Vec::new();
+        while let Some(flag) = it.next() {
+            let name = flag
+                .strip_prefix("--")
+                .ok_or_else(|| err(format!("expected --flag, got {flag:?}")))?;
+            // Boolean flags take no value.
+            if matches!(name, "json" | "asm") {
+                flags.push((name.to_owned(), "true".to_owned()));
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| err(format!("--{name} needs a value")))?;
+            flags.push((name.to_owned(), value));
+        }
+        Ok(Args { command, flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Usage text shown on errors and `vliw help`.
+pub const USAGE: &str = "\
+usage: vliw <command> [--flag value ...]
+
+commands:
+  kernels                               list built-in kernels
+  stats   --kernel K | --dfg FILE       graph statistics
+  bind    --kernel K | --dfg FILE  --machine \"[2,1|1,1]\"
+          [--algo binit|biter|pcc|uas|sa] [--buses N] [--move-latency N]
+          [--json | --asm]
+  dot     --kernel K | --dfg FILE  --machine \"[...]\"   bound-DFG Graphviz
+  explore --kernel K | --dfg FILE  [--max-fus N] [--max-clusters N]
+";
+
+/// Runs a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown commands, bad flags, unreadable
+/// inputs or invalid machine descriptions.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "kernels" => Ok(cmd_kernels()),
+        "stats" => cmd_stats(args),
+        "bind" => cmd_bind(args),
+        "dot" => cmd_dot(args),
+        "explore" => cmd_explore(args),
+        "help" => Ok(USAGE.to_owned()),
+        other => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+fn load_dfg(args: &Args) -> Result<Dfg, CliError> {
+    if let Some(name) = args.get("kernel") {
+        let kernel = Kernel::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| err(format!("unknown kernel {name:?} (try `vliw kernels`)")))?;
+        return Ok(kernel.build());
+    }
+    if let Some(path) = args.get("dfg") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        let dfg: Dfg =
+            serde_json::from_str(&text).map_err(|e| err(format!("bad DFG in {path}: {e}")))?;
+        dfg.validate()
+            .map_err(|e| err(format!("invalid DFG in {path}: {e}")))?;
+        return Ok(dfg);
+    }
+    Err(err("need --kernel NAME or --dfg FILE"))
+}
+
+fn load_machine(args: &Args) -> Result<Machine, CliError> {
+    let text = args.get("machine").ok_or_else(|| err("need --machine \"[a,m|...]\""))?;
+    let mut machine = Machine::parse(text).map_err(|e| err(e.to_string()))?;
+    if let Some(buses) = args.get("buses") {
+        let n: u32 = buses.parse().map_err(|_| err("--buses takes a number"))?;
+        machine = machine.with_bus_count(n);
+    }
+    if let Some(lat) = args.get("move-latency") {
+        let n: u32 = lat.parse().map_err(|_| err("--move-latency takes a number"))?;
+        machine = machine.with_move_latency(n);
+    }
+    Ok(machine)
+}
+
+fn cmd_kernels() -> String {
+    let mut out = String::new();
+    for kernel in Kernel::ALL {
+        let (n_v, n_cc, l_cp) = kernel.paper_stats();
+        let _ = writeln!(out, "{:<10} N_V = {n_v:<3} N_CC = {n_cc}  L_CP = {l_cp}", kernel.name());
+    }
+    out
+}
+
+fn cmd_stats(args: &Args) -> Result<String, CliError> {
+    let dfg = load_dfg(args)?;
+    let stats = DfgStats::unit_latency(&dfg);
+    Ok(format!("{stats}\n"))
+}
+
+fn cmd_bind(args: &Args) -> Result<String, CliError> {
+    let dfg = load_dfg(args)?;
+    let machine = load_machine(args)?;
+    machine
+        .check_supports_dfg(&dfg)
+        .map_err(|v| err(format!("machine {machine} cannot execute operation {v}")))?;
+    let algo = args.get("algo").unwrap_or("biter");
+    let result: BindingResult = match algo {
+        "binit" => Binder::new(&machine).bind_initial(&dfg),
+        "biter" => Binder::new(&machine).bind(&dfg),
+        "pcc" => Pcc::new(&machine).bind(&dfg),
+        "uas" => Uas::new(&machine).bind(&dfg),
+        "sa" => Annealer::new(&machine).bind(&dfg),
+        other => return Err(err(format!("unknown --algo {other:?}"))),
+    };
+    result
+        .schedule
+        .validate(&result.bound, &machine)
+        .map_err(|e| err(format!("internal error: invalid schedule: {e}")))?;
+
+    if args.get("json").is_some() {
+        let report = Simulator::new(&machine)
+            .run(&result.bound, &result.schedule)
+            .map_err(|e| err(format!("internal error: simulator rejected: {e}")))?;
+        let blob = serde_json::json!({
+            "algo": algo,
+            "machine": machine.to_string(),
+            "latency": result.latency(),
+            "moves": result.moves(),
+            "bus_utilization": report.bus_utilization,
+            "binding": result.binding,
+            "dfg": dfg,
+        });
+        return serde_json::to_string_pretty(&blob)
+            .map(|mut s| {
+                s.push('\n');
+                s
+            })
+            .map_err(|e| err(e.to_string()));
+    }
+
+    if args.get("asm").is_some() {
+        return Ok(vliw_sched::asm::emit_block(
+            &result.bound,
+            &result.schedule,
+            &machine,
+        ));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{algo} on {machine}: latency {} cycles, {} transfers",
+        result.latency(),
+        result.moves()
+    );
+    let _ = write!(out, "{}", result.schedule.to_table(&result.bound, &machine));
+    Ok(out)
+}
+
+fn cmd_dot(args: &Args) -> Result<String, CliError> {
+    let dfg = load_dfg(args)?;
+    let machine = load_machine(args)?;
+    let result = Binder::new(&machine).bind(&dfg);
+    let bound = &result.bound;
+    Ok(vliw_dfg::dot::to_dot(bound.dfg(), "bound", |v| {
+        Some(bound.cluster_of(v).index())
+    }))
+}
+
+fn cmd_explore(args: &Args) -> Result<String, CliError> {
+    use vliw_explore::{Explorer, ExplorerConfig};
+    let dfg = load_dfg(args)?;
+    let mut config = ExplorerConfig::default();
+    if let Some(v) = args.get("max-fus") {
+        config.max_total_fus = v.parse().map_err(|_| err("--max-fus takes a number"))?;
+    }
+    if let Some(v) = args.get("max-clusters") {
+        config.max_clusters = v.parse().map_err(|_| err("--max-clusters takes a number"))?;
+    }
+    let exploration = Explorer::new(config).explore(&dfg);
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<20} {:>6} {:>9} {:>10}", "datapath", "area", "latency", "moves");
+    for p in exploration.pareto() {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>6.1} {:>9} {:>10}",
+            p.machine.to_string(),
+            p.area,
+            p.latency(),
+            p.moves()
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &str) -> Result<String, CliError> {
+        let args = Args::parse(line.split_whitespace().map(str::to_owned))?;
+        run(&args)
+    }
+
+    #[test]
+    fn kernels_lists_all_seven() {
+        let out = run_line("kernels").expect("ok");
+        for kernel in Kernel::ALL {
+            assert!(out.contains(kernel.name()), "{out}");
+        }
+    }
+
+    #[test]
+    fn stats_matches_paper_header() {
+        let out = run_line("stats --kernel EWF").expect("ok");
+        assert!(out.contains("N_V = 34"), "{out}");
+        assert!(out.contains("L_CP = 14"), "{out}");
+    }
+
+    #[test]
+    fn bind_reports_latency_and_schedule() {
+        let out = run_line("bind --kernel ARF --machine [1,1|1,1]").expect("ok");
+        assert!(out.contains("latency"), "{out}");
+        assert!(out.contains("cycle"), "{out}");
+    }
+
+    #[test]
+    fn bind_algorithms_all_run() {
+        for algo in ["binit", "biter", "pcc", "uas", "sa"] {
+            let out = run_line(&format!("bind --kernel ARF --machine [1,1|1,1] --algo {algo}"))
+                .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert!(out.contains(algo), "{out}");
+        }
+    }
+
+    #[test]
+    fn bind_json_round_trips_the_dfg() {
+        let out = run_line("bind --kernel FFT --machine [2,1|1,1] --json").expect("ok");
+        let blob: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        assert_eq!(blob["machine"], "[2,1|1,1]");
+        let dfg: Dfg = serde_json::from_value(blob["dfg"].clone()).expect("embedded dfg");
+        assert_eq!(dfg.len(), 38);
+    }
+
+    #[test]
+    fn dfg_file_input_works() {
+        let dfg = vliw_kernels::arf();
+        let path = std::env::temp_dir().join("vliw_tools_test_arf.json");
+        std::fs::write(&path, serde_json::to_string(&dfg).expect("serializes")).expect("writes");
+        let out = run_line(&format!("stats --dfg {}", path.display())).expect("ok");
+        assert!(out.contains("N_V = 28"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bus_overrides_apply() {
+        let out = run_line(
+            "bind --kernel FFT --machine [2,1|2,1] --buses 1 --move-latency 2 --algo binit",
+        )
+        .expect("ok");
+        assert!(out.contains("latency"), "{out}");
+    }
+
+    #[test]
+    fn dot_emits_graphviz() {
+        let out = run_line("dot --kernel ARF --machine [1,1|1,1]").expect("ok");
+        assert!(out.starts_with("digraph"));
+        assert!(out.contains("fillcolor"));
+    }
+
+    #[test]
+    fn explore_prints_a_frontier() {
+        let out = run_line("explore --kernel ARF --max-fus 5 --max-clusters 2").expect("ok");
+        assert!(out.contains("datapath"), "{out}");
+        assert!(out.lines().count() >= 2, "{out}");
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        assert!(run_line("bogus").unwrap_err().0.contains("unknown command"));
+        assert!(run_line("bind --kernel ARF").unwrap_err().0.contains("--machine"));
+        assert!(run_line("bind --machine [1,1]").unwrap_err().0.contains("--kernel"));
+        assert!(run_line("stats --kernel NOPE").unwrap_err().0.contains("unknown kernel"));
+        assert!(run_line("bind --kernel ARF --machine [1,1] --algo magic")
+            .unwrap_err()
+            .0
+            .contains("unknown --algo"));
+        // A mul-free machine cannot run ARF.
+        assert!(run_line("bind --kernel ARF --machine [2,0]")
+            .unwrap_err()
+            .0
+            .contains("cannot execute"));
+    }
+}
+
+#[cfg(test)]
+mod asm_tests {
+    use super::*;
+
+    #[test]
+    fn bind_asm_emits_instruction_words() {
+        let args = Args::parse(
+            "bind --kernel ARF --machine [1,1|1,1] --asm"
+                .split_whitespace()
+                .map(str::to_owned),
+        )
+        .expect("parses");
+        let out = run(&args).expect("ok");
+        assert!(out.starts_with(";; [1,1|1,1]"), "{out}");
+        assert!(out.contains("{ cl0:"), "{out}");
+        assert!(out.contains("bus:"), "{out}");
+    }
+}

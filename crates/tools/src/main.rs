@@ -1,0 +1,18 @@
+//! Thin binary wrapper over [`vliw_tools`]: parse, run, print.
+
+fn main() {
+    let args = match vliw_tools::Args::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match vliw_tools::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

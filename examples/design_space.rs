@@ -1,0 +1,85 @@
+//! Design-space exploration — the use case the paper's conclusions
+//! highlight: "the flexibility and efficiency of this algorithm make it
+//! a very good candidate for use within a design space exploration
+//! framework for application-specific VLIW processors."
+//!
+//! Powered by the `vliw-explore` crate: every canonical clustered
+//! datapath under an area budget is enumerated and bound with the full
+//! B-INIT + B-ITER driver, then the area/latency Pareto frontier and the
+//! architecture team's three standard queries are answered.
+//!
+//! Run with: `cargo run --release --example design_space [KERNEL]`
+
+use clustered_vliw::kernels::Kernel;
+use clustered_vliw::prelude::*;
+use vliw_explore::{Explorer, ExplorerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernel = match std::env::args().nth(1).as_deref() {
+        Some(name) => Kernel::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| format!("unknown kernel {name:?}"))?,
+        None => Kernel::DctDif,
+    };
+    let dfg = kernel.build();
+    println!("exploring datapaths for {kernel}: {}\n", DfgStats::unit_latency(&dfg));
+
+    let explorer = Explorer::new(ExplorerConfig {
+        max_clusters: 3,
+        max_alus_per_cluster: 3,
+        max_muls_per_cluster: 2,
+        max_total_fus: 9,
+        ..ExplorerConfig::default()
+    });
+    let candidates = explorer.enumerate().len();
+    let exploration = explorer.explore(&dfg);
+    println!(
+        "evaluated {} feasible designs out of {candidates} candidates\n",
+        exploration.points.len()
+    );
+
+    println!("area/latency Pareto frontier:");
+    println!(
+        "{:<18} {:>6} {:>9} {:>10} {:>10}",
+        "datapath", "area", "latency", "transfers", "RF ports"
+    );
+    for p in exploration.pareto() {
+        println!(
+            "{:<18} {:>6.1} {:>9} {:>10} {:>10}",
+            p.machine.to_string(),
+            p.area,
+            p.latency(),
+            p.moves(),
+            p.worst_rf_ports
+        );
+    }
+
+    if let Some(p) = exploration.best_under_area(6.0) {
+        println!(
+            "\nbest under 6 FU-equivalents: {} at {} cycles",
+            p.machine,
+            p.latency()
+        );
+    }
+    let target = exploration
+        .points
+        .iter()
+        .map(|p| p.latency())
+        .min()
+        .expect("non-empty")
+        + 2;
+    if let Some(p) = exploration.cheapest_meeting(target) {
+        println!(
+            "cheapest design within 2 cycles of optimum ({target}): {} (area {:.1})",
+            p.machine, p.area
+        );
+    }
+    if let Some(p) = exploration.fewest_ports_meeting(target) {
+        println!(
+            "fewest worst-cluster RF ports at that target: {} ({} ports)",
+            p.machine, p.worst_rf_ports
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Schedule and bound-DFG inspector: binds a kernel, prints the
+//! cycle-by-cycle schedule, runs the cycle-accurate simulator, and emits
+//! a Graphviz DOT rendering of the bound dataflow graph (clusters
+//! color-coded, inserted transfers as gray boxes — the paper's
+//! Figure 1(b) view).
+//!
+//! Run with:
+//! `cargo run --release --example schedule_viewer [KERNEL] [DATAPATH] > bound.dot`
+//! then `dot -Tsvg bound.dot -o bound.svg`.
+
+use clustered_vliw::kernels::Kernel;
+use clustered_vliw::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernel = match std::env::args().nth(1).as_deref() {
+        Some(name) => Kernel::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| format!("unknown kernel {name:?}"))?,
+        None => Kernel::Arf,
+    };
+    let datapath = std::env::args().nth(2).unwrap_or_else(|| "[2,1|1,1]".to_owned());
+    let dfg = kernel.build();
+    let machine = Machine::parse(&datapath)?;
+
+    let result = Binder::new(&machine).bind(&dfg);
+    eprintln!("{kernel} on {machine}: latency {} with {} transfers", result.latency(), result.moves());
+    eprintln!("\n{}", result.schedule.to_table(&result.bound, &machine));
+
+    let report = Simulator::new(&machine).run(&result.bound, &result.schedule)?;
+    eprintln!("simulator: {} cycles, bus utilization {:.0}%", report.cycles, 100.0 * report.bus_utilization);
+
+    // DOT on stdout so it can be piped to graphviz.
+    let bound = &result.bound;
+    let dot = clustered_vliw::dfg::dot::to_dot(bound.dfg(), "bound", |v| {
+        Some(bound.cluster_of(v).index())
+    });
+    println!("{dot}");
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Binding transformed loops — the paper's Section-4 position: "a
+//! final, high quality binding and scheduling solution should always be
+//! generated for the selected retiming function (or unrolling factor,
+//! etc.), since one can then take advantage of having complete
+//! information on the *transformed* DFG."
+//!
+//! This example unrolls a complex multiply-accumulate loop (the heart
+//! of an adaptive filter) by increasing factors and binds each
+//! transformed body, showing throughput (cycles per original iteration)
+//! improving until the loop-carried accumulator chain becomes the
+//! bottleneck.
+//!
+//! Run with: `cargo run --release --example unrolled_loop`
+
+use clustered_vliw::prelude::*;
+use vliw_dfg::{unroll, LoopCarry};
+
+/// One iteration of `acc += x[i] * w[i]` over complex numbers.
+fn cmac_body() -> Result<(Dfg, Vec<LoopCarry>), Box<dyn std::error::Error>> {
+    let mut b = DfgBuilder::new();
+    let m1 = b.add_named_op(OpType::Mul, &[], "xr*wr");
+    let m2 = b.add_named_op(OpType::Mul, &[], "xi*wi");
+    let m3 = b.add_named_op(OpType::Mul, &[], "xr*wi");
+    let m4 = b.add_named_op(OpType::Mul, &[], "xi*wr");
+    let pr = b.add_named_op(OpType::Sub, &[m1, m2], "prod.re");
+    let pi = b.add_named_op(OpType::Add, &[m3, m4], "prod.im");
+    let ar = b.add_named_op(OpType::Add, &[pr], "acc.re");
+    let ai = b.add_named_op(OpType::Add, &[pi], "acc.im");
+    let body = b.finish()?;
+    let carries = vec![
+        LoopCarry::next_iteration(ar, ar),
+        LoopCarry::next_iteration(ai, ai),
+    ];
+    Ok((body, carries))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (body, carries) = cmac_body()?;
+    let machine = Machine::parse("[2,2|2,2]")?;
+    println!("complex MAC loop on {machine}\n");
+    println!(
+        "{:>7} {:>6} {:>9} {:>10} {:>16} {:>12}",
+        "factor", "ops", "latency", "transfers", "cycles/iteration", "RF pressure"
+    );
+    for factor in [1usize, 2, 4, 8] {
+        let dfg = unroll(&body, &carries, factor)?;
+        let result = Binder::new(&machine).bind(&dfg);
+        let pressure = result
+            .schedule
+            .register_pressure(&result.bound, &machine);
+        println!(
+            "{:>7} {:>6} {:>9} {:>10} {:>16.2} {:>12}",
+            factor,
+            dfg.len(),
+            result.latency(),
+            result.moves(),
+            result.latency() as f64 / factor as f64,
+            pressure.max
+        );
+    }
+    println!(
+        "\nthe accumulator recurrence bounds cycles/iteration from below at 1.0 \
+         (one add per iteration per accumulator chain); unrolling amortizes the \
+         multiply tree across clusters until that recurrence dominates."
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! # clustered-vliw
+//!
+//! Facade crate for the reproduction of Lapinskii, Jacome and de Veciana,
+//! *"High-Quality Operation Binding for Clustered VLIW Datapaths"*
+//! (DAC 2001). It re-exports the workspace crates under stable module
+//! names so examples and downstream users need a single dependency:
+//!
+//! * [`dfg`] — dataflow-graph substrate and ASAP/ALAP analysis;
+//! * [`datapath`] — clustered machine model and the paper's `[i,j|…]`
+//!   configuration notation;
+//! * [`sched`] — bound-DFG construction and the resource-constrained list
+//!   scheduler;
+//! * [`binding`] — the paper's contribution: B-INIT, B-ITER and the driver;
+//! * [`pcc`] — the Partial Component Clustering baseline (Desoli,
+//!   HPL-98-13) reconstructed for comparison;
+//! * [`kernels`] — the benchmark DFGs of the paper's evaluation
+//!   (EWF, ARF, FFT, DCT-DIF, DCT-LEE, DCT-DIT, DCT-DIT-2);
+//! * [`sim`] — a cycle-accurate datapath simulator used as an independent
+//!   oracle for schedule validity;
+//! * [`baselines`] — further binding baselines from the paper's related
+//!   work: unified assign-and-schedule (Özer et al.) and simulated
+//!   annealing (Leupers);
+//! * [`modulo`] — software pipelining: MII bounds, modulo scheduling and
+//!   an II-driven binding driver (the paper's §4 context);
+//! * [`explore`] — design-space exploration under an area budget (the
+//!   paper's stated ongoing work).
+//!
+//! # Quickstart
+//!
+//! Bind the elliptic-wave-filter kernel onto a two-cluster machine and
+//! schedule it:
+//!
+//! ```
+//! use clustered_vliw::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dfg = clustered_vliw::kernels::ewf();
+//! let machine = Machine::parse("[1,1|1,1]")?;
+//! let result = Binder::new(&machine).bind(&dfg);
+//! println!(
+//!     "latency {} with {} transfers",
+//!     result.schedule.latency(),
+//!     result.moves()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use vliw_baselines as baselines;
+pub use vliw_binding as binding;
+pub use vliw_datapath as datapath;
+pub use vliw_dfg as dfg;
+pub use vliw_kernels as kernels;
+pub use vliw_explore as explore;
+pub use vliw_modulo as modulo;
+pub use vliw_pcc as pcc;
+pub use vliw_sched as sched;
+pub use vliw_sim as sim;
+
+/// Convenience prelude importing the types most programs need.
+pub mod prelude {
+    pub use vliw_binding::{Binder, BinderConfig, BindingResult};
+    pub use vliw_datapath::{ClusterId, Machine, MachineBuilder};
+    pub use vliw_dfg::{Dfg, DfgBuilder, DfgStats, OpId, OpType, Timing};
+    pub use vliw_pcc::Pcc;
+    pub use vliw_sched::{Binding, BoundDfg, ListScheduler, Schedule};
+    pub use vliw_sim::Simulator;
+}

@@ -1,0 +1,123 @@
+//! Cross-crate tests of the extension features through the facade
+//! crate: unrolling, register pressure, assembly emission, machine
+//! presets, extra kernels and the CLI-visible surfaces working together.
+
+use clustered_vliw::prelude::*;
+use vliw_dfg::{unroll, LoopCarry};
+
+#[test]
+fn unrolled_kernel_binds_and_checks_functionally() {
+    // Unroll the ARF body twice (its lattice state carried) and push the
+    // result through binding, scheduling, simulation and the functional
+    // checker.
+    let arf = clustered_vliw::kernels::arf();
+    let find = |name: &str| {
+        arf.op_ids()
+            .find(|&v| arf.name(v) == Some(name))
+            .unwrap_or_else(|| panic!("{name} exists"))
+    };
+    let carries = vec![
+        LoopCarry::next_iteration(find("st4.u1"), find("st1.t1")),
+        LoopCarry::next_iteration(find("st4.u2"), find("st1.t2")),
+    ];
+    let unrolled = unroll(&arf, &carries, 2).expect("unrolls");
+    assert_eq!(unrolled.len(), 56);
+
+    let machine = Machine::parse("[2,1|1,1]").expect("machine");
+    let result = Binder::new(&machine).bind(&unrolled);
+    result
+        .schedule
+        .validate(&result.bound, &machine)
+        .expect("valid schedule");
+    clustered_vliw::sim::functional_check(&unrolled, &result.bound).expect("semantics preserved");
+    let report = Simulator::new(&machine)
+        .run(&result.bound, &result.schedule)
+        .expect("executes");
+    assert_eq!(report.cycles, result.latency());
+}
+
+#[test]
+fn register_pressure_reported_for_every_kernel() {
+    let machine = Machine::parse("[2,1|1,1]").expect("machine");
+    for kernel in clustered_vliw::kernels::Kernel::ALL {
+        let dfg = kernel.build();
+        let result = Binder::new(&machine).bind_initial(&dfg);
+        let pressure = result.schedule.register_pressure(&result.bound, &machine);
+        assert_eq!(pressure.per_cluster.len(), machine.cluster_count());
+        assert!(pressure.max >= 1, "{kernel}: some value must live");
+        assert!(
+            pressure.max <= dfg.len(),
+            "{kernel}: pressure cannot exceed the value count"
+        );
+    }
+}
+
+#[test]
+fn assembly_listing_matches_schedule_shape() {
+    let dfg = clustered_vliw::kernels::ewf();
+    let machine = Machine::tms320c6x();
+    let result = Binder::new(&machine).bind(&dfg);
+    let listing = clustered_vliw::sched::asm::emit_block(&result.bound, &result.schedule, &machine);
+    let words = listing.lines().filter(|l| l.starts_with('{')).count() as u32;
+    assert_eq!(words, result.latency());
+    // Every transfer appears as a mov in the bus slot.
+    assert_eq!(listing.matches("mov ").count(), result.moves());
+}
+
+#[test]
+fn presets_run_the_benchmark_suite() {
+    for machine in [Machine::tms320c6x(), Machine::lx(2), Machine::lx(4)] {
+        for kernel in [
+            clustered_vliw::kernels::Kernel::Arf,
+            clustered_vliw::kernels::Kernel::Fft,
+        ] {
+            let dfg = kernel.build();
+            let result = Binder::new(&machine).bind_initial(&dfg);
+            result
+                .schedule
+                .validate(&result.bound, &machine)
+                .unwrap_or_else(|e| panic!("{kernel} on {machine}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn extra_kernels_bind_end_to_end() {
+    let machine = Machine::parse("[2,1|1,2]").expect("machine");
+    for (name, dfg) in [
+        ("fir", clustered_vliw::kernels::extra::fir(16)),
+        ("iir", clustered_vliw::kernels::extra::iir_biquad_cascade(3)),
+        ("fft_stage", clustered_vliw::kernels::extra::fft_stage(4)),
+        ("matvec", clustered_vliw::kernels::extra::matvec(4)),
+        ("lattice", clustered_vliw::kernels::extra::lattice(5)),
+        ("conv3x3", clustered_vliw::kernels::extra::conv3x3()),
+    ] {
+        let result = Binder::new(&machine).bind(&dfg);
+        result
+            .schedule
+            .validate(&result.bound, &machine)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        clustered_vliw::sim::functional_check(&dfg, &result.bound)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn modulo_pipeline_through_the_facade() {
+    use clustered_vliw::modulo::{expand, listing, LoopDfg, ModuloBinder};
+    let mut b = DfgBuilder::new();
+    let m = b.add_named_op(OpType::Mul, &[], "p");
+    let acc = b.add_named_op(OpType::Add, &[m], "acc");
+    let looped = LoopDfg::new(
+        b.finish().expect("acyclic"),
+        vec![LoopCarry::next_iteration(acc, acc)],
+    )
+    .expect("valid");
+    let machine = Machine::parse("[1,1|1,1]").expect("machine");
+    let (bound, schedule) = ModuloBinder::new(&machine).bind(&looped);
+    assert_eq!(schedule.ii(), 1);
+    let flat = expand(&bound, &schedule, &machine, 5);
+    flat.validate(&machine).expect("expansion legal");
+    let kernel = listing::emit_kernel(&bound, &schedule, &machine);
+    assert!(kernel.contains("acc"), "{kernel}");
+}

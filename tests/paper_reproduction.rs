@@ -1,0 +1,149 @@
+//! Reproduction-level assertions: the *shape* of the paper's evaluation
+//! must hold for the shipped defaults. These tests bind every Table-1
+//! row with B-INIT (cheap) and a representative subset with the full
+//! driver, comparing against the embedded paper values with explicit
+//! tolerances. Absolute equality with the paper is not expected — the
+//! kernels are structural reconstructions and PCC is a reimplementation
+//! — but gross regressions of reproduction quality fail here.
+
+use clustered_vliw::kernels::Kernel;
+use clustered_vliw::prelude::*;
+use vliw_dfg::DfgStats;
+
+/// The paper's Table-1 B-INIT latencies, keyed like vliw-bench's rows.
+/// (Duplicated from the bench crate to keep the root test free of the
+/// harness dependency direction.)
+const TABLE1_INIT: &[(Kernel, &str, u32)] = &[
+    (Kernel::DctDif, "[1,1|1,1]", 15),
+    (Kernel::DctDif, "[2,1|2,1]", 11),
+    (Kernel::DctDif, "[2,1|1,1]", 11),
+    (Kernel::DctDif, "[1,1|1,1|1,1]", 12),
+    (Kernel::DctLee, "[1,1|1,1]", 16),
+    (Kernel::DctLee, "[2,1|2,1]", 12),
+    (Kernel::DctLee, "[2,1|1,1]", 13),
+    (Kernel::DctLee, "[2,2|2,1]", 10),
+    (Kernel::DctLee, "[1,1|1,1|1,1]", 12),
+    (Kernel::DctDit, "[1,1|1,1]", 19),
+    (Kernel::DctDit, "[2,1|2,1]", 13),
+    (Kernel::DctDit, "[1,1|1,1|1,1]", 15),
+    (Kernel::DctDit, "[2,1|2,1|1,1]", 11),
+    (Kernel::DctDit, "[3,1|2,2|1,3]", 11),
+    (Kernel::DctDit, "[1,1|1,1|1,1|1,1]", 13),
+    (Kernel::DctDit2, "[1,1|1,1]", 37),
+    (Kernel::DctDit2, "[2,1|2,1]", 23),
+    (Kernel::DctDit2, "[1,1|1,1|1,1]", 27),
+    (Kernel::DctDit2, "[3,1|2,2|1,3]", 17),
+    (Kernel::DctDit2, "[1,1|1,1|1,1|1,1]", 20),
+    (Kernel::Fft, "[1,1|1,1]", 14),
+    (Kernel::Fft, "[2,1|2,1]", 10),
+    (Kernel::Fft, "[1,1|1,1|1,1]", 10),
+    (Kernel::Fft, "[2,1|2,1|1,2]", 8),
+    (Kernel::Fft, "[3,2|3,1|1,3]", 7),
+    (Kernel::Fft, "[1,1|1,1|1,1|1,1]", 10),
+    (Kernel::Ewf, "[1,1|1,1]", 17),
+    (Kernel::Ewf, "[2,1|2,1]", 16),
+    (Kernel::Ewf, "[2,1|1,1]", 16),
+    (Kernel::Ewf, "[1,1|1,1|1,1]", 17),
+    (Kernel::Ewf, "[2,2|2,1|1,1]", 15),
+    (Kernel::Arf, "[1,1|1,1]", 11),
+    (Kernel::Arf, "[1,2|1,2]", 10),
+];
+
+#[test]
+fn kernel_statistics_match_the_paper_sub_headers() {
+    for kernel in Kernel::ALL {
+        let stats = DfgStats::unit_latency(&kernel.build());
+        let (n_v, n_cc, l_cp) = kernel.paper_stats();
+        assert_eq!(
+            (stats.n_v, stats.n_cc, stats.l_cp),
+            (n_v, n_cc, l_cp),
+            "{kernel}"
+        );
+    }
+}
+
+#[test]
+fn b_init_latency_stays_near_the_paper_on_every_row() {
+    // Tolerance: ±3 cycles per row and ≤ +20 cycles aggregate drift.
+    let mut total_excess: i64 = 0;
+    for &(kernel, datapath, paper) in TABLE1_INIT {
+        let dfg = kernel.build();
+        let machine = Machine::parse(datapath).expect("machine parses");
+        let measured = Binder::new(&machine).bind_initial(&dfg).latency();
+        let delta = measured as i64 - paper as i64;
+        assert!(
+            delta.abs() <= 3,
+            "{kernel} on {datapath}: measured {measured} vs paper {paper}"
+        );
+        total_excess += delta;
+    }
+    assert!(
+        total_excess <= 20,
+        "aggregate B-INIT drift vs paper too large: {total_excess}"
+    );
+}
+
+#[test]
+fn b_iter_beats_or_ties_pcc_on_a_clear_majority() {
+    // Release-speed workloads only; the paper's headline claim is that
+    // B-ITER "demonstrates consistent improvements over PCC".
+    let rows: &[(Kernel, &str)] = &[
+        (Kernel::Arf, "[1,1|1,1]"),
+        (Kernel::Fft, "[1,1|1,1]"),
+        (Kernel::Fft, "[2,1|2,1]"),
+        (Kernel::Ewf, "[2,1|2,1]"),
+        (Kernel::DctDif, "[2,1|2,1]"),
+        (Kernel::DctDif, "[1,1|1,1]"),
+    ];
+    let mut ok = 0;
+    for &(kernel, datapath) in rows {
+        let dfg = kernel.build();
+        let machine = Machine::parse(datapath).expect("machine parses");
+        let ours = Binder::new(&machine).bind(&dfg).latency();
+        let pcc = Pcc::new(&machine).bind(&dfg).latency();
+        if ours <= pcc {
+            ok += 1;
+        }
+    }
+    assert!(ok >= rows.len() - 1, "B-ITER lost to PCC on {} of {} rows", rows.len() - ok, rows.len());
+}
+
+#[test]
+fn table2_trends_reproduce() {
+    // Table 2 trends on the 5-cluster FFT: (a) fewer buses never help,
+    // (b) slower transfers never help, for the full driver.
+    let dfg = Kernel::Fft.build();
+    let base = Machine::parse("[2,2|2,1|2,2|3,1|1,1]").expect("machine parses");
+    let bind = |buses: u32, move_lat: u32| {
+        let machine = base.clone().with_bus_count(buses).with_move_latency(move_lat);
+        Binder::new(&machine).bind(&dfg).latency()
+    };
+    let l11 = bind(1, 1);
+    let l21 = bind(2, 1);
+    let l12 = bind(1, 2);
+    let l22 = bind(2, 2);
+    assert!(l21 <= l11, "adding a bus must not hurt ({l21} vs {l11})");
+    assert!(l22 <= l12, "adding a bus must not hurt ({l22} vs {l12})");
+    assert!(l12 + 1 >= l11, "sanity: lat(move)=2 should not be wildly better");
+    assert!(l11 <= l12, "slower transfers must not speed things up");
+}
+
+#[test]
+fn b_init_is_orders_of_magnitude_faster_than_b_iter() {
+    // The paper's CPU-time story: B-INIT in milliseconds, B-ITER up to
+    // seconds. Assert the ordering without timing flakiness by bounding
+    // the ratio loosely.
+    let dfg = Kernel::DctDit.build();
+    let machine = Machine::parse("[2,1|2,1]").expect("machine parses");
+    let binder = Binder::new(&machine);
+    let t0 = std::time::Instant::now();
+    let _ = binder.bind_initial(&dfg);
+    let init = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let _ = binder.bind(&dfg);
+    let full = t1.elapsed();
+    assert!(
+        full >= init,
+        "full driver cannot be cheaper than its own first phase"
+    );
+}

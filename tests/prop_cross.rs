@@ -1,0 +1,88 @@
+//! Cross-crate property tests: random kernels through the whole stack.
+
+use clustered_vliw::kernels::random::{generate, RandomDfgConfig};
+use clustered_vliw::prelude::*;
+use proptest::prelude::*;
+use vliw_binding::exact;
+
+fn arb_machine() -> impl Strategy<Value = Machine> {
+    let configs = prop::sample::select(vec![
+        "[1,1]",
+        "[1,1|1,1]",
+        "[2,1|1,1]",
+        "[2,0|1,2]",
+        "[2,1|2,1|1,2]",
+    ]);
+    (configs, 1..=2u32, 1..=2u32).prop_map(|(cfg, buses, move_lat)| {
+        Machine::parse(cfg)
+            .expect("config valid")
+            .with_bus_count(buses)
+            .with_move_latency(move_lat)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The full pipeline produces valid, simulator-approved results on
+    /// arbitrary layered DAGs and machines.
+    #[test]
+    fn pipeline_is_sound_on_random_graphs(
+        seed in 0u64..1_000,
+        ops in 8usize..32,
+        machine in arb_machine(),
+    ) {
+        let layers = (ops / 4).clamp(2, 8);
+        let dfg = generate(seed, RandomDfgConfig { ops, layers, ..Default::default() });
+        let result = Binder::new(&machine).bind_initial(&dfg);
+        prop_assert!(result.binding.validate(&dfg, &machine).is_ok());
+        prop_assert_eq!(result.schedule.validate(&result.bound, &machine), Ok(()));
+        let report = Simulator::new(&machine)
+            .run(&result.bound, &result.schedule)
+            .expect("simulator accepts scheduler output");
+        prop_assert_eq!(report.cycles, result.latency());
+        // Binding + transfer insertion must preserve dataflow semantics.
+        prop_assert!(vliw_sim::functional_check(&dfg, &result.bound).is_ok());
+    }
+
+    /// PCC is subject to the same validity requirements.
+    #[test]
+    fn pcc_is_sound_on_random_graphs(
+        seed in 0u64..1_000,
+        machine in arb_machine(),
+    ) {
+        let dfg = generate(seed, RandomDfgConfig { ops: 20, layers: 5, ..Default::default() });
+        let result = Pcc::new(&machine).bind(&dfg);
+        prop_assert!(result.binding.validate(&dfg, &machine).is_ok());
+        prop_assert_eq!(result.schedule.validate(&result.bound, &machine), Ok(()));
+    }
+
+    /// The heuristic never beats the exhaustive optimum (it would mean
+    /// one of the two evaluates bindings inconsistently).
+    #[test]
+    fn heuristic_never_beats_exact(seed in 0u64..400) {
+        let dfg = generate(seed, RandomDfgConfig { ops: 9, layers: 3, ..Default::default() });
+        let machine = Machine::parse("[1,1|1,1]").expect("machine valid");
+        let best = exact::bind_exhaustive(&dfg, &machine, 1 << 22)
+            .expect("9-op instance is searchable");
+        let ours = Binder::new(&machine).bind(&dfg);
+        prop_assert!(ours.latency() >= best.latency());
+        // And stays close: within one cycle on these tiny instances.
+        prop_assert!(ours.latency() <= best.latency() + 1,
+            "heuristic {} vs exact {}", ours.latency(), best.latency());
+    }
+
+    /// Binding quality is monotone in machine strength: adding an extra
+    /// cluster of each FU type can never make the best found binding
+    /// slower than the single-cluster schedule.
+    #[test]
+    fn more_clusters_never_forced_to_be_used(seed in 0u64..400) {
+        let dfg = generate(seed, RandomDfgConfig { ops: 18, layers: 5, ..Default::default() });
+        let narrow = Machine::parse("[2,2]").expect("machine valid");
+        let wide = Machine::parse("[2,2|2,2]").expect("machine valid");
+        let l_narrow = Binder::new(&narrow).bind_initial(&dfg).latency();
+        let l_wide = Binder::new(&wide).bind(&dfg).latency();
+        prop_assert!(l_wide <= l_narrow,
+            "wide machine bound worse than its own single-cluster subset: {l_wide} > {l_narrow}");
+    }
+}

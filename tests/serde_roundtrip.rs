@@ -1,0 +1,74 @@
+//! Serialization round trips: machines, DFGs and bindings are data
+//! structures users persist (machine descriptions in JSON config files,
+//! kernels captured from compilers), so `serde` support must be lossless
+//! and deserialized data must re-validate.
+
+use clustered_vliw::kernels::Kernel;
+use clustered_vliw::prelude::*;
+
+#[test]
+fn machine_round_trips_through_json() {
+    for text in ["[1,1|1,1]", "[3,1|2,2|1,3]", "[2,2|2,1|2,2|3,1|1,1]"] {
+        let machine = Machine::parse(text)
+            .expect("machine parses")
+            .with_bus_count(1)
+            .with_move_latency(2);
+        let json = serde_json::to_string(&machine).expect("serializes");
+        let back: Machine = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(machine, back);
+        assert_eq!(back.to_string(), text);
+    }
+}
+
+#[test]
+fn kernel_dfgs_round_trip_and_revalidate() {
+    for kernel in Kernel::ALL {
+        let dfg = kernel.build();
+        let json = serde_json::to_string(&dfg).expect("serializes");
+        let back: Dfg = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(dfg, back, "{kernel}");
+        assert!(back.validate().is_ok(), "{kernel}");
+    }
+}
+
+#[test]
+fn bindings_round_trip() {
+    let dfg = Kernel::Arf.build();
+    let machine = Machine::parse("[1,1|1,1]").expect("machine parses");
+    let binding = Binder::new(&machine).bind_initial(&dfg).binding;
+    let json = serde_json::to_string(&binding).expect("serializes");
+    let back: Binding = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(binding, back);
+    assert!(back.validate(&dfg, &machine).is_ok());
+    // A deserialized binding evaluates identically.
+    let a = vliw_binding::BindingResult::evaluate(&dfg, &machine, binding);
+    let b = vliw_binding::BindingResult::evaluate(&dfg, &machine, back);
+    assert_eq!(a.lm(), b.lm());
+}
+
+#[test]
+fn binder_config_round_trips() {
+    let config = BinderConfig {
+        gamma: 1.5,
+        improve_starts: 5,
+        ..BinderConfig::default()
+    };
+    let json = serde_json::to_string(&config).expect("serializes");
+    let back: BinderConfig = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(config, back);
+}
+
+#[test]
+fn corrupted_dfg_fails_validation() {
+    // Hand-craft JSON with a dangling predecessor: deserialization
+    // succeeds structurally but validate() must reject it.
+    let json = r#"{
+        "ops": [{"kind": "Add", "name": null}],
+        "preds": [[7]],
+        "succs": [[]]
+    }"#;
+    let dfg: Result<Dfg, _> = serde_json::from_str(json);
+    if let Ok(dfg) = dfg {
+        assert!(dfg.validate().is_err());
+    }
+}
