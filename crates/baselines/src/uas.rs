@@ -15,6 +15,11 @@ use vliw_datapath::{ClusterId, Machine};
 use vliw_dfg::{Dfg, FuType, OpId, Timing};
 use vliw_sched::{Binding, BoundDfg, Schedule};
 
+/// A feasible placement of a ready operation at the current cycle: the
+/// cluster, the operand copies it requires (producer, bus start cycle),
+/// and how many operands are already local.
+type Placement = (ClusterId, Vec<(OpId, u32)>, usize);
+
 /// Cluster-selection heuristic applied when several clusters can accept
 /// an operation in the current cycle (the UAS paper compares several;
 /// these are the natural analogues for a fixed issue cycle).
@@ -165,7 +170,7 @@ impl<'m> Uas<'m> {
                 let ts = machine.target_set(dfg.op_type(v));
                 assert!(!ts.is_empty(), "operation {v} has an empty target set");
                 // Gather feasible placements at cycle tau.
-                let mut feasible: Vec<(ClusterId, Vec<(OpId, u32)>, usize)> = Vec::new();
+                let mut feasible: Vec<Placement> = Vec::new();
                 for &c in &ts {
                     let t = dfg.op_type(v).fu_type();
                     let pool = &pools[c.index()][t.index()];
@@ -279,18 +284,19 @@ impl<'m> Uas<'m> {
         }
     }
 
-    fn pick(
-        &self,
-        feasible: &[(ClusterId, Vec<(OpId, u32)>, usize)],
-        issued: &[usize],
-    ) -> Option<(ClusterId, Vec<(OpId, u32)>, usize)> {
+    fn pick(&self, feasible: &[Placement], issued: &[usize]) -> Option<Placement> {
         if feasible.is_empty() {
             return None;
         }
         let best = match self.choice {
             ClusterChoice::FirstFit => feasible.first(),
             ClusterChoice::MostLocalOperands => feasible.iter().min_by_key(|(c, needed, local)| {
-                (needed.len(), issued[c.index()], usize::MAX - local, c.index())
+                (
+                    needed.len(),
+                    issued[c.index()],
+                    usize::MAX - local,
+                    c.index(),
+                )
             }),
             ClusterChoice::LeastLoaded => feasible
                 .iter()
@@ -355,7 +361,9 @@ mod tests {
             b.add_op(OpType::Mul, &[p]);
         }
         let dfg = b.finish().expect("acyclic");
-        let machine = Machine::parse("[6,0|0,6]").expect("machine").with_bus_count(1);
+        let machine = Machine::parse("[6,0|0,6]")
+            .expect("machine")
+            .with_bus_count(1);
         let result = Uas::new(&machine).bind(&dfg);
         result
             .schedule
@@ -389,7 +397,9 @@ mod tests {
         let a = b.add_op(OpType::Add, &[]);
         let _ = b.add_op(OpType::Mul, &[a]);
         let dfg = b.finish().expect("acyclic");
-        let machine = Machine::parse("[1,0|0,1]").expect("machine").with_move_latency(2);
+        let machine = Machine::parse("[1,0|0,1]")
+            .expect("machine")
+            .with_move_latency(2);
         let result = Uas::new(&machine).bind(&dfg);
         // add(1) ; copy(2) ; mul(1) = 4 cycles minimum.
         assert_eq!(result.latency(), 4);

@@ -85,11 +85,46 @@ fn bench_table2_parameters(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parallel_eval(c: &mut Criterion) {
+    // Serial vs. parallel candidate evaluation on the full B-ITER driver
+    // (the tentpole hot path), plus the cache-off ablation. The outputs
+    // are bit-identical across rows; only wall-clock may differ. The
+    // eval-cache hit rate of each configuration is printed alongside so
+    // a speedup can be attributed to threads vs. memoization.
+    let mut group = c.benchmark_group("parallel_eval");
+    group.sample_size(10);
+    let machine = Machine::parse("[2,1|1,1]").expect("datapath parses");
+    let dfg = Kernel::DctLee.build();
+    for (label, threads, cache) in [
+        ("serial_nocache", 1usize, false),
+        ("serial_cached", 1, true),
+        ("threads4_cached", 4, true),
+    ] {
+        let config = BinderConfig {
+            threads,
+            eval_cache: cache,
+            ..BinderConfig::default()
+        };
+        let binder = Binder::with_config(&machine, config);
+        let (result, stats) = binder.bind_with_stats(&dfg);
+        println!(
+            "parallel_eval/{label}: (L, N_MV) = {:?}, eval-cache hit rate {:.1}%",
+            result.lm(),
+            100.0 * stats.hit_rate()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(label), &dfg, |b, dfg| {
+            b.iter(|| binder.bind(dfg).latency())
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_b_init,
     bench_pcc,
     bench_b_iter,
-    bench_table2_parameters
+    bench_table2_parameters,
+    bench_parallel_eval
 );
 criterion_main!(benches);

@@ -69,9 +69,7 @@ pub fn total_iter_latency(config: &BinderConfig, quality: Option<QualityKind>) -
             let start = binder.bind_initial(&dfg);
             let improved = match quality {
                 None => binder.improve(&dfg, start),
-                Some(kind) => {
-                    vliw_binding::iter::improve_with(&dfg, machine, config, start, kind)
-                }
+                Some(kind) => vliw_binding::iter::improve_with(&dfg, machine, config, start, kind),
             };
             improved.latency()
         })

@@ -1,6 +1,7 @@
 //! Ablation studies over the paper's design choices.
 //!
-//! Usage: `cargo run -p vliw-bench --release --bin ablation -- <study>`
+//! Usage: `cargo run -p vliw-bench --release --bin ablation -- <study>
+//! [--threads N] [--no-eval-cache]`
 //! where `<study>` is one of `gamma`, `lpr`, `reverse`, `quality`,
 //! `pairs`, `fucost`, `priority`, `optimal`, or `all`.
 
@@ -9,6 +10,7 @@ use vliw_binding::{BinderConfig, QualityKind};
 
 fn main() {
     let study = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let base = vliw_bench::runner::config_from_args(BinderConfig::default());
     let all = study == "all";
     let mut ran = false;
 
@@ -26,23 +28,23 @@ fn main() {
     if all || study == "lpr" {
         ran = true;
         println!("# L_PR stretching (paper Section 3.1.3)");
-        let with = ablation::total_init_latency(&BinderConfig::default());
-        let without = ablation::total_init_latency(&BinderConfig::default().without_lpr_sweep());
+        let with = ablation::total_init_latency(&base.clone());
+        let without = ablation::total_init_latency(&base.clone().without_lpr_sweep());
         println!("  with sweep:    {with}");
         println!("  L_PR = L_CP:   {without}");
     }
     if all || study == "reverse" {
         ran = true;
         println!("# reverse-order binding (paper Section 3.1.4)");
-        let with = ablation::total_init_latency(&BinderConfig::default());
-        let without = ablation::total_init_latency(&BinderConfig::default().without_reverse());
+        let with = ablation::total_init_latency(&base.clone());
+        let without = ablation::total_init_latency(&base.clone().without_reverse());
         println!("  forward+reverse: {with}");
         println!("  forward only:    {without}");
     }
     if all || study == "quality" {
         ran = true;
         println!("# B-ITER quality vector (paper Section 3.2, Figure 6)");
-        let cfg = BinderConfig::default();
+        let cfg = base.clone();
         let qu_then_qm = ablation::total_iter_latency(&cfg, None);
         let qm_only = ablation::total_iter_latency(&cfg, Some(QualityKind::Qm));
         let qu_only = ablation::total_iter_latency(&cfg, Some(QualityKind::Qu));

@@ -3,7 +3,8 @@
 //! against B-INIT and B-ITER. Extends the paper's two-baseline
 //! evaluation with the other algorithms its Section 4 discusses.
 //!
-//! Usage: `cargo run -p vliw-bench --release --bin baselines [--quick]`
+//! Usage: `cargo run -p vliw-bench --release --bin baselines [--quick]
+//! [--threads N] [--no-eval-cache] [--pairs MODE] [--starts N]`
 
 use std::time::Instant;
 use vliw_baselines::{Annealer, Uas};
@@ -14,7 +15,7 @@ use vliw_pcc::Pcc;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let config = BinderConfig::default();
+    let config = vliw_bench::runner::config_from_args(BinderConfig::default());
     let mut totals = [0u64; 5];
     let mut times = [0f64; 5];
     let mut rows = 0u32;
@@ -24,7 +25,7 @@ fn main() {
         "KERNEL", "DATAPATH", "UAS", "SA", "PCC", "B-INIT", "B-ITER"
     );
     for row in TABLE1 {
-        if quick && rows % 3 != 0 {
+        if quick && !rows.is_multiple_of(3) {
             rows += 1;
             continue;
         }

@@ -3,7 +3,8 @@
 //! Table 1. For each (loop, datapath): MII bounds, the II achieved from
 //! a block-latency binding, and the II achieved by the II-driven binder.
 //!
-//! Usage: `cargo run -p vliw-bench --release --bin pipeline`
+//! Usage: `cargo run -p vliw-bench --release --bin pipeline
+//! [--threads N] [--no-eval-cache]`
 
 use vliw_binding::{Binder, BinderConfig};
 use vliw_datapath::Machine;
@@ -74,6 +75,7 @@ fn loops() -> Vec<(&'static str, LoopDfg)> {
 }
 
 fn main() {
+    let config = vliw_bench::runner::config_from_args(BinderConfig::default());
     let machines = ["[1,1]", "[2,1]", "[1,1|1,1]", "[2,1|2,1]", "[3,1|3,1]"];
     println!(
         "{:<10} {:<12} {:>7} {:>7} {:>9} {:>9} {:>8} {:>12}",
@@ -82,14 +84,16 @@ fn main() {
     for (name, looped) in loops() {
         for text in machines {
             let machine = Machine::parse(text).expect("machine parses");
-            let block_bound = bind_loop(&looped, &machine, &BinderConfig::default());
+            let block_bound = bind_loop(&looped, &machine, &config);
             let block_ii = ModuloScheduler::new(&machine)
                 .schedule(&block_bound)
                 .expect("schedulable")
                 .ii();
             let (bound, schedule) = ModuloBinder::new(&machine).bind(&looped);
             schedule.validate(&bound, &machine).expect("valid");
-            let block_latency = Binder::new(&machine).bind(looped.body()).latency();
+            let block_latency = Binder::with_config(&machine, config.clone())
+                .bind(looped.body())
+                .latency();
             println!(
                 "{:<10} {:<12} {:>7} {:>7} {:>9} {:>9} {:>8} {:>12}",
                 name,

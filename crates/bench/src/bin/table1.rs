@@ -1,7 +1,8 @@
 //! Regenerates the paper's Table 1: all 33 (kernel × datapath) rows with
 //! `N_B = 2`, `lat(move) = 1`, printing paper-vs-measured side by side.
 //!
-//! Usage: `cargo run -p vliw-bench --release --bin table1 [--json FILE]`
+//! Usage: `cargo run -p vliw-bench --release --bin table1 [--json FILE]
+//! [--threads N] [--no-eval-cache] [--pairs MODE] [--starts N]`
 
 use std::collections::BTreeMap;
 use vliw_bench::runner::lm;
@@ -11,9 +12,7 @@ use vliw_datapath::Machine;
 use vliw_dfg::DfgStats;
 
 fn main() {
-    let json_path = std::env::args()
-        .skip_while(|a| a != "--json")
-        .nth(1);
+    let json_path = std::env::args().skip_while(|a| a != "--json").nth(1);
     let config = vliw_bench::runner::config_from_args(BinderConfig::default());
     let mut json_rows: Vec<serde_json::Value> = Vec::new();
     let mut current_kernel = None;
@@ -21,7 +20,18 @@ fn main() {
     let mut rows_done = 0;
 
     println!("Table 1 reproduction: N_B = 2, lat(move) = 1");
+    println!(
+        "evaluation threads: {} ({} eval cache)",
+        if config.threads == 0 {
+            "auto".to_owned()
+        } else {
+            config.threads.to_string()
+        },
+        if config.eval_cache { "with" } else { "without" },
+    );
     println!("paper values in parentheses; ΔL% is improvement over measured PCC\n");
+    let mut iter_ms_total = 0.0;
+    let mut hit_rate_total = 0.0;
 
     for row in TABLE1 {
         if current_kernel != Some(row.kernel) {
@@ -61,6 +71,8 @@ fn main() {
             *wins.get_mut("iter").expect("key") += 1;
         }
         rows_done += 1;
+        iter_ms_total += m.timings.iter_ms;
+        hit_rate_total += m.iter_hit_rate;
         json_rows.push(serde_json::json!({
             "kernel": row.kernel.name(),
             "datapath": row.datapath,
@@ -72,6 +84,7 @@ fn main() {
                 "init_gain_pct": m.init_gain_pct(),
                 "iter_gain_pct": m.iter_gain_pct(),
                 "timings_ms": m.timings,
+                "iter_cache_hit_rate": m.iter_hit_rate,
             },
         }));
     }
@@ -80,6 +93,11 @@ fn main() {
     println!(
         "  B-INIT no worse than PCC on {} rows; B-ITER no worse on {} rows",
         wins["init"], wins["iter"]
+    );
+    println!(
+        "  B-ITER wall-clock total {:.1} ms; mean eval-cache hit rate {:.1}%",
+        iter_ms_total,
+        100.0 * hit_rate_total / rows_done as f64
     );
 
     if let Some(path) = json_path {

@@ -2,7 +2,8 @@
 //! datapath `[2,2|2,1|2,2|3,1|1,1]` with `N_B ∈ {1,2}` and
 //! `lat(move) ∈ {1,2}`.
 //!
-//! Usage: `cargo run -p vliw-bench --release --bin table2 [--json FILE]`
+//! Usage: `cargo run -p vliw-bench --release --bin table2 [--json FILE]
+//! [--threads N] [--no-eval-cache] [--pairs MODE] [--starts N]`
 
 use vliw_bench::rows::TABLE2_DATAPATH;
 use vliw_bench::runner::lm;

@@ -7,11 +7,11 @@ use vliw_kernels::Kernel;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PaperRow {
     /// PCC schedule latency / transfers.
-    pub pcc: (u32, u32),
+    pub pcc: (u32, usize),
     /// B-INIT schedule latency / transfers.
-    pub init: (u32, u32),
+    pub init: (u32, usize),
     /// B-ITER schedule latency / transfers.
-    pub iter: (u32, u32),
+    pub iter: (u32, usize),
 }
 
 /// One row of Table 1: a kernel on a datapath (`N_B = 2`,
@@ -34,7 +34,7 @@ const fn row(kernel: Kernel, datapath: &'static str, paper: PaperRow) -> Table1R
     }
 }
 
-const fn p(pcc: (u32, u32), init: (u32, u32), iter: (u32, u32)) -> PaperRow {
+const fn p(pcc: (u32, usize), init: (u32, usize), iter: (u32, usize)) -> PaperRow {
     PaperRow { pcc, init, iter }
 }
 
@@ -44,33 +44,65 @@ pub const TABLE1: &[Table1Row] = &[
     row(Kernel::DctDif, "[1,1|1,1]", p((16, 15), (15, 2), (15, 2))),
     row(Kernel::DctDif, "[2,1|2,1]", p((11, 0), (11, 10), (10, 6))),
     row(Kernel::DctDif, "[2,1|1,1]", p((11, 12), (11, 6), (10, 6))),
-    row(Kernel::DctDif, "[1,1|1,1|1,1]", p((12, 8), (12, 9), (11, 8))),
+    row(
+        Kernel::DctDif,
+        "[1,1|1,1|1,1]",
+        p((12, 8), (12, 9), (11, 8)),
+    ),
     // DCT-LEE: N_V = 49, N_CC = 2, L_CP = 9.
     row(Kernel::DctLee, "[1,1|1,1]", p((16, 11), (16, 7), (16, 6))),
     row(Kernel::DctLee, "[2,1|2,1]", p((12, 8), (12, 2), (12, 2))),
     row(Kernel::DctLee, "[2,1|1,1]", p((13, 9), (13, 5), (13, 3))),
     row(Kernel::DctLee, "[2,2|2,1]", p((11, 0), (10, 2), (10, 1))),
-    row(Kernel::DctLee, "[1,1|1,1|1,1]", p((14, 8), (12, 14), (12, 10))),
+    row(
+        Kernel::DctLee,
+        "[1,1|1,1|1,1]",
+        p((14, 8), (12, 14), (12, 10)),
+    ),
     // DCT-DIT: N_V = 48, N_CC = 1, L_CP = 7.
     row(Kernel::DctDit, "[1,1|1,1]", p((19, 18), (19, 7), (19, 7))),
     row(Kernel::DctDit, "[2,1|2,1]", p((13, 18), (13, 7), (12, 7))),
-    row(Kernel::DctDit, "[1,1|1,1|1,1]", p((15, 18), (15, 19), (13, 15))),
-    row(Kernel::DctDit, "[2,1|2,1|1,1]", p((12, 6), (11, 13), (11, 9))),
-    row(Kernel::DctDit, "[3,1|2,2|1,3]", p((11, 12), (11, 12), (9, 9))),
+    row(
+        Kernel::DctDit,
+        "[1,1|1,1|1,1]",
+        p((15, 18), (15, 19), (13, 15)),
+    ),
+    row(
+        Kernel::DctDit,
+        "[2,1|2,1|1,1]",
+        p((12, 6), (11, 13), (11, 9)),
+    ),
+    row(
+        Kernel::DctDit,
+        "[3,1|2,2|1,3]",
+        p((11, 12), (11, 12), (9, 9)),
+    ),
     row(
         Kernel::DctDit,
         "[1,1|1,1|1,1|1,1]",
         p((14, 17), (13, 17), (11, 14)),
     ),
     // DCT-DIT-2: N_V = 96, N_CC = 2, L_CP = 7.
-    row(Kernel::DctDit2, "[1,1|1,1]", p((37, 32), (37, 14), (37, 13))),
-    row(Kernel::DctDit2, "[2,1|2,1]", p((23, 28), (23, 17), (22, 23))),
+    row(
+        Kernel::DctDit2,
+        "[1,1|1,1]",
+        p((37, 32), (37, 14), (37, 13)),
+    ),
+    row(
+        Kernel::DctDit2,
+        "[2,1|2,1]",
+        p((23, 28), (23, 17), (22, 23)),
+    ),
     row(
         Kernel::DctDit2,
         "[1,1|1,1|1,1]",
         p((25, 28), (27, 15), (25, 13)),
     ),
-    row(Kernel::DctDit2, "[3,1|2,2|1,3]", p((17, 18), (17, 20), (14, 20))),
+    row(
+        Kernel::DctDit2,
+        "[3,1|2,2|1,3]",
+        p((17, 18), (17, 20), (14, 20)),
+    ),
     row(
         Kernel::DctDit2,
         "[1,1|1,1|1,1|1,1]",

@@ -19,17 +19,23 @@ pub struct RowTimings {
     pub iter_ms: f64,
 }
 
-/// Measured `L/M` values of one row.
+/// Measured `L/M` values of one row. The transfer counts are `usize`
+/// exactly as the algorithms report them ([`vliw_binding::BindingResult::moves`]
+/// returns `usize`; an earlier version narrowed it with `as u32`, which
+/// would silently truncate on a pathological row).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct MeasuredRow {
     /// PCC latency / transfers.
-    pub pcc: (u32, u32),
+    pub pcc: (u32, usize),
     /// B-INIT latency / transfers.
-    pub init: (u32, u32),
+    pub init: (u32, usize),
     /// B-ITER latency / transfers.
-    pub iter: (u32, u32),
+    pub iter: (u32, usize),
     /// Wall-clock timings.
     pub timings: RowTimings,
+    /// Fraction of B-ITER candidate evaluations served from the
+    /// binding-evaluation memo (`0.0` when the cache is disabled).
+    pub iter_hit_rate: f64,
 }
 
 impl MeasuredRow {
@@ -61,39 +67,43 @@ pub fn run_row(dfg: &Dfg, machine: &Machine, config: &BinderConfig) -> MeasuredR
     let init_ms = t1.elapsed().as_secs_f64() * 1e3;
 
     let t2 = Instant::now();
-    let iter = binder.bind(dfg);
+    let (iter, stats) = binder.bind_with_stats(dfg);
     let iter_ms = t2.elapsed().as_secs_f64() * 1e3;
 
     MeasuredRow {
-        pcc: (pcc.latency(), pcc.moves() as u32),
-        init: (init.latency(), init.moves() as u32),
-        iter: (iter.latency(), iter.moves() as u32),
+        pcc: (pcc.latency(), pcc.moves()),
+        init: (init.latency(), init.moves()),
+        iter: (iter.latency(), iter.moves()),
         timings: RowTimings {
             pcc_ms,
             init_ms,
             iter_ms,
         },
+        iter_hit_rate: stats.hit_rate(),
     }
 }
 
 /// Formats one `(L, M)` pair the way the paper prints it.
-pub fn lm(pair: (u32, u32)) -> String {
+pub fn lm(pair: (u32, usize)) -> String {
     format!("{}/{}", pair.0, pair.1)
 }
 
 /// Applies the common CLI overrides of the table binaries to a config:
-/// `--pairs none|adjacent|all` and `--starts N`.
+/// `--pairs none|adjacent|all`, `--starts N`, `--threads N` (0 = one
+/// evaluation worker per CPU) and `--no-eval-cache`.
 pub fn config_from_args(mut config: BinderConfig) -> BinderConfig {
     use vliw_binding::PairMode;
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--no-eval-cache") {
+        config.eval_cache = false;
+    }
     for window in args.windows(2) {
         match (window[0].as_str(), window[1].as_str()) {
             ("--pairs", "none") => config.pair_mode = PairMode::None,
             ("--pairs", "adjacent") => config.pair_mode = PairMode::Adjacent,
             ("--pairs", "all") => config.pair_mode = PairMode::All,
-            ("--starts", n) => {
-                config.improve_starts = n.parse().expect("--starts takes a number")
-            }
+            ("--starts", n) => config.improve_starts = n.parse().expect("--starts takes a number"),
+            ("--threads", n) => config.threads = n.parse().expect("--threads takes a number"),
             _ => {}
         }
     }
@@ -128,6 +138,7 @@ mod tests {
                 init_ms: 1.0,
                 iter_ms: 1.0,
             },
+            iter_hit_rate: 0.0,
         };
         assert!((row.init_gain_pct() - 100.0 * 2.0 / 12.0).abs() < 0.01);
         assert!((row.iter_gain_pct() - 40.0).abs() < 0.01);

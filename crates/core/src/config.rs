@@ -98,6 +98,23 @@ pub struct BinderConfig {
     /// larger values trade compile time for robustness against local
     /// minima of the boundary-perturbation search.
     pub improve_starts: usize,
+    /// Worker threads for candidate evaluation (`0` = one per available
+    /// CPU). Parallel evaluation is bit-identical to `threads = 1`: the
+    /// fan-out only covers the independent schedule evaluations and the
+    /// reduction breaks ties by candidate enumeration index.
+    #[serde(default)]
+    pub threads: usize,
+    /// Whether evaluations are memoized per distinct binding, so the
+    /// sweep/descent never schedules the same binding twice (on by
+    /// default; a cache hit returns the identical stored result, so
+    /// quality is unaffected).
+    #[serde(default = "default_eval_cache")]
+    pub eval_cache: bool,
+}
+
+/// Serde default for [`BinderConfig::eval_cache`] (on).
+fn default_eval_cache() -> bool {
+    true
 }
 
 impl Default for BinderConfig {
@@ -112,6 +129,8 @@ impl Default for BinderConfig {
             max_iterations: 1_000,
             cost_model: CostModel::Hybrid,
             improve_starts: 3,
+            threads: 0,
+            eval_cache: true,
         }
     }
 }
@@ -172,8 +191,24 @@ mod tests {
     }
 
     #[test]
+    fn legacy_configs_without_parallel_fields_deserialize() {
+        // Configs serialized before `threads`/`eval_cache` existed must
+        // keep loading: absent fields fall back to auto threads and a
+        // warm cache.
+        let mut v = serde_json::to_value(&BinderConfig::default());
+        if let serde_json::Value::Object(fields) = &mut v {
+            fields.retain(|(k, _)| k != "threads" && k != "eval_cache");
+        }
+        let cfg: BinderConfig = serde_json::from_value(v).expect("legacy config loads");
+        assert_eq!(cfg.threads, 0);
+        assert!(cfg.eval_cache);
+    }
+
+    #[test]
     fn ablation_helpers() {
-        let cfg = BinderConfig::default().without_lpr_sweep().without_reverse();
+        let cfg = BinderConfig::default()
+            .without_lpr_sweep()
+            .without_reverse();
         assert_eq!(cfg.lpr_values(9), 9..=9);
         assert!(!cfg.try_reverse);
     }

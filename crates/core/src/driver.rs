@@ -3,11 +3,30 @@
 //! list-schedule quality, then refine with B-ITER.
 
 use crate::config::BinderConfig;
+use crate::eval::{EvalStats, Evaluator};
 use crate::init::initial_binding;
 use crate::iter;
 use vliw_datapath::Machine;
-use vliw_dfg::{critical_path_len, Dfg};
+use vliw_dfg::{critical_path_len, Dfg, FuType};
 use vliw_sched::{Binding, BoundDfg, ListScheduler, Schedule};
+
+/// A machine-independent latency floor: the critical path of `dfg`,
+/// maxed with the per-FU-type work bound `⌈|ops of type t| / #FUs(t)⌉`.
+/// No binding of `dfg` on `machine` can schedule below it, which lets
+/// [`Binder::bind_initial`] stop its sweep as soon as a candidate with
+/// zero transfers reaches the floor.
+pub fn resource_lower_bound(dfg: &Dfg, machine: &Machine) -> u32 {
+    let lat = machine.op_latencies(dfg);
+    let mut lb = critical_path_len(dfg, &lat);
+    let (alu, mul) = dfg.regular_op_mix();
+    for (t, work) in [(FuType::Alu, alu as u32), (FuType::Mul, mul as u32)] {
+        let n = machine.fu_count_total(t);
+        if n > 0 {
+            lb = lb.max(work.div_ceil(n));
+        }
+    }
+    lb
+}
 
 /// The outcome of binding a DFG: the binding itself, the bound graph with
 /// materialized transfers, and its list schedule.
@@ -74,7 +93,9 @@ impl BindingResult {
 /// let dfg = b.finish()?;
 /// let machine = Machine::parse("[1,1|1,1]")?;
 ///
-/// // Fast path: initial binding only (compile-time critical contexts).
+/// // Phase 1 only: the full B-INIT sweep (it can stop early when a
+/// // candidate provably cannot be beaten, but still evaluates every
+/// // sweep point otherwise — it is cheaper than `bind`, not free).
 /// let quick = Binder::new(&machine).bind_initial(&dfg);
 /// // Full quality: initial + iterative improvement.
 /// let best = Binder::new(&machine).bind(&dfg);
@@ -113,26 +134,55 @@ impl<'m> Binder<'m> {
     }
 
     /// Phase 1 only — **B-INIT** under the driver's parameter sweep
-    /// (Sections 3.1.3–3.1.4): runs the greedy binding for every
-    /// `L_PR ∈ {L_CP, …}` and both directions, evaluates each candidate
+    /// (Sections 3.1.3–3.1.4): runs the greedy binding over the
+    /// `L_PR ∈ {L_CP, …}` × direction grid, evaluates the candidates
     /// with a real list schedule, and returns the lexicographically best
-    /// `(L, N_MV)`.
+    /// `(L, N_MV)`. The sweep stops early once a candidate reaches the
+    /// [`resource_lower_bound`] with zero transfers — nothing later in
+    /// the sweep can beat `(L_lb, 0)`, so the result is identical to the
+    /// exhaustive sweep either way.
     ///
     /// # Panics
     ///
     /// Panics if the machine cannot execute some operation of `dfg`
     /// (empty target set) or `dfg` already contains `move` operations.
     pub fn bind_initial(&self, dfg: &Dfg) -> BindingResult {
-        self.initial_candidates(dfg)
-            .into_iter()
-            .next()
-            .expect("the L_PR sweep is never empty")
+        let evaluator = Evaluator::new(dfg, self.machine, &self.config);
+        self.bind_initial_eval(dfg, &evaluator)
     }
 
-    /// All *distinct* bindings produced by the driver sweep, evaluated
-    /// and sorted best-first by `(L, N_MV)`. [`Binder::bind`] refines the
-    /// top [`BinderConfig::improve_starts`] of these with B-ITER.
-    pub fn initial_candidates(&self, dfg: &Dfg) -> Vec<BindingResult> {
+    /// [`Binder::bind_initial`] against a caller-supplied evaluator, so
+    /// the memo carries over into later phases. Only the winning sweep
+    /// point is materialized into a full result; the sweep itself runs on
+    /// memoized [`crate::EvalOutcome`] metrics.
+    fn bind_initial_eval(&self, dfg: &Dfg, evaluator: &Evaluator<'_>) -> BindingResult {
+        let floor = resource_lower_bound(dfg, self.machine);
+        // Evaluate a pool of sweep points at a time: big enough to keep
+        // the workers busy, small enough that the early exit still skips
+        // most of the sweep when the floor is reached quickly.
+        let chunk = if evaluator.threads() > 1 {
+            evaluator.threads() * 2
+        } else {
+            1
+        };
+        let mut best: Option<((u32, usize), Binding)> = None;
+        for batch in self.sweep_bindings(dfg).chunks(chunk) {
+            for (binding, outcome) in batch.iter().zip(evaluator.outcomes(batch)) {
+                if outcome.lm() == (floor, 0) {
+                    return evaluator.evaluate(binding.clone());
+                }
+                if best.as_ref().is_none_or(|(lm, _)| outcome.lm() < *lm) {
+                    best = Some((outcome.lm(), binding.clone()));
+                }
+            }
+        }
+        let (_, binding) = best.expect("the L_PR sweep is never empty");
+        evaluator.evaluate(binding)
+    }
+
+    /// The *distinct* bindings produced by the B-INIT parameter sweep, in
+    /// sweep order (before evaluation).
+    fn sweep_bindings(&self, dfg: &Dfg) -> Vec<Binding> {
         let lat = self.machine.op_latencies(dfg);
         let l_cp = critical_path_len(dfg, &lat);
         let directions: &[bool] = if self.config.try_reverse {
@@ -140,16 +190,32 @@ impl<'m> Binder<'m> {
         } else {
             &[false]
         };
-        let mut results: Vec<BindingResult> = Vec::new();
+        let mut bindings: Vec<Binding> = Vec::new();
         for l_pr in self.config.lpr_values(l_cp) {
             for &reverse in directions {
                 let binding = initial_binding(dfg, self.machine, &self.config, l_pr, reverse);
-                if results.iter().any(|r| r.binding == binding) {
-                    continue;
+                if !bindings.contains(&binding) {
+                    bindings.push(binding);
                 }
-                results.push(BindingResult::evaluate(dfg, self.machine, binding));
             }
         }
+        bindings
+    }
+
+    /// All *distinct* bindings produced by the driver sweep, evaluated
+    /// and sorted best-first by `(L, N_MV)`. [`Binder::bind`] refines the
+    /// top [`BinderConfig::improve_starts`] of these with B-ITER.
+    pub fn initial_candidates(&self, dfg: &Dfg) -> Vec<BindingResult> {
+        let evaluator = Evaluator::new(dfg, self.machine, &self.config);
+        self.initial_candidates_eval(dfg, &evaluator)
+    }
+
+    /// [`Binder::initial_candidates`] against a caller-supplied
+    /// evaluator. The stable sort preserves sweep order among equal
+    /// `(L, N_MV)` pairs, so the outcome does not depend on thread count
+    /// or cache state.
+    fn initial_candidates_eval(&self, dfg: &Dfg, evaluator: &Evaluator<'_>) -> Vec<BindingResult> {
+        let mut results = evaluator.evaluate_all(self.sweep_bindings(dfg));
         results.sort_by_key(BindingResult::lm);
         results
     }
@@ -162,21 +228,35 @@ impl<'m> Binder<'m> {
 
     /// The complete algorithm: B-INIT sweep followed by B-ITER on the
     /// top [`BinderConfig::improve_starts`] distinct initial bindings,
-    /// keeping the best refined result.
+    /// keeping the best refined result. One [`Evaluator`] is shared by
+    /// every phase, so its memo spans the sweep, all starts and both
+    /// descent passes.
     ///
     /// # Panics
     ///
     /// Same conditions as [`Binder::bind_initial`].
     pub fn bind(&self, dfg: &Dfg) -> BindingResult {
+        self.bind_with_stats(dfg).0
+    }
+
+    /// [`Binder::bind`], also reporting the evaluation-cache counters of
+    /// the run (for the benchmark harness).
+    pub fn bind_with_stats(&self, dfg: &Dfg) -> (BindingResult, EvalStats) {
+        let evaluator = Evaluator::new(dfg, self.machine, &self.config);
         let starts = self.config.improve_starts.max(1);
         let mut best: Option<BindingResult> = None;
-        for start in self.initial_candidates(dfg).into_iter().take(starts) {
-            let improved = self.improve(dfg, start);
-            if best.as_ref().map_or(true, |b| improved.lm() < b.lm()) {
+        for start in self
+            .initial_candidates_eval(dfg, &evaluator)
+            .into_iter()
+            .take(starts)
+        {
+            let improved = iter::improve_eval(&evaluator, &self.config, start);
+            if best.as_ref().is_none_or(|b| improved.lm() < b.lm()) {
                 best = Some(improved);
             }
         }
-        best.expect("at least one initial candidate exists")
+        let best = best.expect("at least one initial candidate exists");
+        (best, evaluator.stats())
     }
 }
 

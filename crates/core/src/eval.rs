@@ -1,0 +1,476 @@
+//! The parallel, memoized evaluation engine behind the driver and
+//! B-ITER.
+//!
+//! Every phase of the algorithm reduces to the same hot step: take a
+//! candidate [`Binding`], materialize its bound graph, list-schedule it,
+//! and read off the quality metrics. The candidates inside one sweep or
+//! descent step are completely independent, so an [`Evaluator`] batches
+//! them and fans them across a scoped worker pool
+//! ([`std::thread::scope`] — no extra dependency), while a memo table
+//! keyed by the binding makes sure no binding is ever scheduled twice
+//! across the whole run (the `L_PR` sweep, multiple improvement starts
+//! and the `Q_U`/`Q_M` descents revisit each other's neighborhoods
+//! constantly).
+//!
+//! The memo stores compact [`EvalOutcome`]s — `(L, N_MV, completion
+//! profile)` — rather than whole [`BindingResult`]s: a descent step only
+//! needs the quality vector of every candidate to pick a winner, and
+//! only the winner is materialized in full. Keeping the cache entries
+//! ~100 bytes instead of a cloned graph + schedule is what makes the
+//! memo profitable.
+//!
+//! Determinism is a hard guarantee, not an accident: results are written
+//! to slots indexed by the candidate's enumeration order and every
+//! reduction in the callers scans those slots in order with a strict
+//! `<`, so the parallel output is bit-identical to `threads = 1` and the
+//! memoized output is bit-identical to a cold cache (evaluation is a
+//! pure function of `(dfg, machine, binding)`).
+
+use crate::config::BinderConfig;
+use crate::driver::BindingResult;
+use crate::iter::{Quality, QualityKind};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use vliw_datapath::Machine;
+use vliw_dfg::Dfg;
+use vliw_sched::Binding;
+
+/// Below this many uncached bindings a batch is evaluated on the calling
+/// thread: spawning workers costs tens of microseconds, which dwarfs the
+/// evaluation of a handful of small graphs.
+const PARALLEL_THRESHOLD: usize = 32;
+
+/// The memoized metrics of one evaluated binding: everything the
+/// driver's `(L, N_MV)` ranking and both B-ITER quality vectors need,
+/// without holding onto the bound graph or schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalOutcome {
+    /// Schedule latency `L` in cycles.
+    pub latency: u32,
+    /// Number of inserted data transfers `N_MV`.
+    pub moves: usize,
+    /// The completion-tail profile `(U_0, U_1, …)` backing `Q_U`.
+    pub completion: Vec<usize>,
+}
+
+impl EvalOutcome {
+    /// Compresses a full evaluation into its memoizable metrics.
+    pub fn of(result: &BindingResult) -> Self {
+        EvalOutcome {
+            latency: result.latency(),
+            moves: result.moves(),
+            completion: result.schedule.completion_profile(&result.bound),
+        }
+    }
+
+    /// The `(L, N_MV)` pair, as in [`BindingResult::lm`].
+    pub fn lm(&self) -> (u32, usize) {
+        (self.latency, self.moves)
+    }
+
+    /// The quality vector under `kind`, identical to
+    /// [`Quality::measure`] on the corresponding full result.
+    pub fn quality(&self, kind: QualityKind) -> Quality {
+        match kind {
+            QualityKind::Qu => Quality::from_parts(self.latency, self.completion.clone()),
+            QualityKind::Qm => Quality::from_parts(self.latency, vec![self.moves]),
+        }
+    }
+}
+
+/// Cache-hit counters of an [`Evaluator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalStats {
+    /// Evaluation requests served without scheduling: memo lookups plus
+    /// duplicates coalesced inside one batch.
+    pub hits: usize,
+    /// Requests that actually ran the list scheduler.
+    pub misses: usize,
+}
+
+impl EvalStats {
+    /// Fraction of requests served from the memo, in `0.0..=1.0`
+    /// (`0.0` when nothing was requested).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A memoizing, optionally parallel evaluator of candidate bindings for
+/// one `(dfg, machine)` pair.
+///
+/// Create one per binding run and pass it to every phase so the memo
+/// spans the `L_PR` sweep, all improvement starts and both descent
+/// passes. See the [module docs](self) for the determinism contract.
+#[derive(Debug)]
+pub struct Evaluator<'e> {
+    dfg: &'e Dfg,
+    machine: &'e Machine,
+    threads: usize,
+    memo: Option<Mutex<HashMap<Binding, EvalOutcome>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<'e> Evaluator<'e> {
+    /// An evaluator configured from [`BinderConfig::threads`] and
+    /// [`BinderConfig::eval_cache`].
+    pub fn new(dfg: &'e Dfg, machine: &'e Machine, config: &BinderConfig) -> Self {
+        Self::with_settings(dfg, machine, config.threads, config.eval_cache)
+    }
+
+    /// An evaluator with explicit settings; `threads = 0` means one
+    /// worker per available CPU.
+    pub fn with_settings(
+        dfg: &'e Dfg,
+        machine: &'e Machine,
+        threads: usize,
+        eval_cache: bool,
+    ) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        Evaluator {
+            dfg,
+            machine,
+            threads,
+            memo: eval_cache.then(|| Mutex::new(HashMap::new())),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The resolved worker count (never 0).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The DFG this evaluator binds.
+    pub fn dfg(&self) -> &'e Dfg {
+        self.dfg
+    }
+
+    /// The target machine.
+    pub fn machine(&self) -> &'e Machine {
+        self.machine
+    }
+
+    /// Cache counters accumulated so far.
+    pub fn stats(&self) -> EvalStats {
+        EvalStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fully evaluates one binding (bound graph + schedule), warming the
+    /// memo as a side effect. Used to materialize winners; batch metric
+    /// queries should go through [`Evaluator::outcomes`] instead.
+    pub fn evaluate(&self, binding: Binding) -> BindingResult {
+        let result = BindingResult::evaluate(self.dfg, self.machine, binding);
+        if let Some(memo) = &self.memo {
+            memo.lock()
+                .expect("memo lock")
+                .insert(result.binding.clone(), EvalOutcome::of(&result));
+        }
+        result
+    }
+
+    /// The memoized metrics of a batch of candidate bindings, in input
+    /// order. Memoized and in-batch duplicate bindings are served
+    /// without scheduling; the remaining distinct bindings are scheduled,
+    /// in parallel when the batch is large enough to pay for the scoped
+    /// worker pool.
+    pub fn outcomes(&self, bindings: &[Binding]) -> Vec<EvalOutcome> {
+        let mut slots: Vec<Option<EvalOutcome>> = vec![None; bindings.len()];
+        // Distinct bindings that need a real evaluation, in first-seen
+        // order, with the slots each one fills.
+        let mut pending: Vec<(&Binding, Vec<usize>)> = Vec::new();
+        {
+            let mut seen: HashMap<&Binding, usize> = HashMap::new();
+            let memo = self.memo.as_ref().map(|m| m.lock().expect("memo lock"));
+            for (i, binding) in bindings.iter().enumerate() {
+                if let Some(hit) = memo.as_ref().and_then(|m| m.get(binding)) {
+                    slots[i] = Some(hit.clone());
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                } else if let Some(&p) = seen.get(binding) {
+                    // Coalesced duplicate within this batch: scheduled
+                    // once, so the extra request counts as a hit.
+                    pending[p].1.push(i);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    seen.insert(binding, pending.len());
+                    pending.push((binding, vec![i]));
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        let fresh: Vec<EvalOutcome> = self
+            .run_batch(pending.iter().map(|(b, _)| (*b).clone()).collect())
+            .iter()
+            .map(EvalOutcome::of)
+            .collect();
+
+        if let Some(memo) = &self.memo {
+            let mut memo = memo.lock().expect("memo lock");
+            for ((binding, _), outcome) in pending.iter().zip(&fresh) {
+                memo.insert((*binding).clone(), outcome.clone());
+            }
+        }
+        for ((_, targets), outcome) in pending.into_iter().zip(fresh) {
+            let (last, rest) = targets
+                .split_last()
+                .expect("every pending entry has a slot");
+            for &i in rest {
+                slots[i] = Some(outcome.clone());
+            }
+            slots[*last] = Some(outcome);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot is filled"))
+            .collect()
+    }
+
+    /// Fully evaluates a batch of candidate bindings, returning results
+    /// in input order (in parallel for large batches). Duplicates within
+    /// the batch are scheduled once; the memo is warmed with every
+    /// outcome but cannot serve full results, so each distinct binding
+    /// is scheduled even when its metrics are cached.
+    pub fn evaluate_all(&self, bindings: Vec<Binding>) -> Vec<BindingResult> {
+        let mut slots: Vec<Option<BindingResult>> = (0..bindings.len()).map(|_| None).collect();
+        let mut pending: Vec<(Binding, Vec<usize>)> = Vec::new();
+        {
+            let mut seen: HashMap<&Binding, usize> = HashMap::new();
+            for (i, binding) in bindings.iter().enumerate() {
+                if let Some(&p) = seen.get(binding) {
+                    pending[p].1.push(i);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    seen.insert(binding, pending.len());
+                    pending.push((binding.clone(), vec![i]));
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let results = self.run_batch(pending.iter().map(|(b, _)| b.clone()).collect());
+        if let Some(memo) = &self.memo {
+            let mut memo = memo.lock().expect("memo lock");
+            for ((binding, _), result) in pending.iter().zip(&results) {
+                memo.insert(binding.clone(), EvalOutcome::of(result));
+            }
+        }
+        for ((_, targets), result) in pending.iter().zip(results) {
+            let (last, rest) = targets
+                .split_last()
+                .expect("every pending entry has a slot");
+            for &i in rest {
+                slots[i] = Some(result.clone());
+            }
+            slots[*last] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot is filled"))
+            .collect()
+    }
+
+    /// Schedules each binding, serially or across the worker pool. The
+    /// result order matches the input order either way.
+    fn run_batch(&self, bindings: Vec<Binding>) -> Vec<BindingResult> {
+        if self.threads <= 1 || bindings.len() < PARALLEL_THRESHOLD {
+            return bindings
+                .into_iter()
+                .map(|b| BindingResult::evaluate(self.dfg, self.machine, b))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(bindings.len());
+        let mut tagged = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        // Work-stealing by atomic index: each worker owns
+                        // the candidates it claims and tags results with
+                        // the claimed index, so the merged output is
+                        // positionally identical to a serial loop.
+                        let mut out: Vec<(usize, BindingResult)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(binding) = bindings.get(i) else {
+                                break;
+                            };
+                            let result =
+                                BindingResult::evaluate(self.dfg, self.machine, binding.clone());
+                            out.push((i, result));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("evaluation worker panicked"))
+                .collect::<Vec<(usize, BindingResult)>>()
+        });
+        tagged.sort_by_key(|(i, _)| *i);
+        debug_assert_eq!(tagged.len(), bindings.len());
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Binder;
+    use vliw_datapath::ClusterId;
+    use vliw_dfg::{DfgBuilder, OpType};
+
+    fn chain(len: usize) -> Dfg {
+        let mut b = DfgBuilder::new();
+        let mut prev = b.add_op(OpType::Add, &[]);
+        for _ in 1..len {
+            prev = b.add_op(OpType::Add, &[prev]);
+        }
+        b.finish().expect("acyclic")
+    }
+
+    fn all_bindings(dfg: &Dfg, machine: &Machine) -> Vec<Binding> {
+        // Every assignment of a small DFG to 2 clusters.
+        let n = dfg.len();
+        (0..(1usize << n))
+            .map(|mask| {
+                let of = (0..n)
+                    .map(|i| ClusterId::from_index((mask >> i) & 1))
+                    .collect();
+                Binding::new(dfg, machine, of).expect("homogeneous machine")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_exhaustive_batch() {
+        let dfg = chain(6);
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let bindings = all_bindings(&dfg, &machine);
+        let serial = Evaluator::with_settings(&dfg, &machine, 1, false);
+        let parallel = Evaluator::with_settings(&dfg, &machine, 4, true);
+        let a = serial.evaluate_all(bindings.clone());
+        let b = parallel.evaluate_all(bindings.clone());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.lm(), y.lm());
+            assert_eq!(x.binding, y.binding);
+            assert_eq!(x.schedule, y.schedule);
+        }
+        // Outcomes agree with the full results they compress — whether
+        // computed fresh (serial side) or served from the warmed memo.
+        for ev in [&serial, &parallel] {
+            for (outcome, full) in ev.outcomes(&bindings).iter().zip(&a) {
+                assert_eq!(outcome.lm(), full.lm());
+                assert_eq!(
+                    outcome.completion,
+                    full.schedule.completion_profile(&full.bound)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memo_coalesces_duplicates_within_and_across_batches() {
+        let dfg = chain(4);
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let ev = Evaluator::with_settings(&dfg, &machine, 1, true);
+        let b = all_bindings(&dfg, &machine);
+        // Three copies of the same binding in one batch …
+        let batch = [b[3].clone(), b[5].clone(), b[3].clone(), b[3].clone()];
+        let out = ev.outcomes(&batch);
+        assert_eq!(out[0], out[2]);
+        assert_eq!(ev.stats(), EvalStats { hits: 2, misses: 2 });
+        // … and a second batch fully served from the memo.
+        let again = ev.outcomes(&[b[5].clone(), b[3].clone()]);
+        assert_eq!(again[0], out[1]);
+        assert_eq!(ev.stats(), EvalStats { hits: 4, misses: 2 });
+    }
+
+    #[test]
+    fn cache_disabled_never_memoizes() {
+        let dfg = chain(3);
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let ev = Evaluator::with_settings(&dfg, &machine, 1, false);
+        let b = all_bindings(&dfg, &machine);
+        ev.outcomes(&[b[1].clone(), b[1].clone()]);
+        // Duplicates inside one batch are structural and always
+        // coalesced; only memoization *across* calls is off.
+        assert_eq!(ev.stats().hits, 1, "in-batch coalescing still applies");
+        ev.outcomes(&[b[1].clone()]);
+        assert_eq!(ev.stats().misses, 2, "no memo across calls");
+    }
+
+    #[test]
+    fn evaluate_warms_the_memo() {
+        let dfg = chain(3);
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let ev = Evaluator::with_settings(&dfg, &machine, 1, true);
+        let b = all_bindings(&dfg, &machine);
+        let full = ev.evaluate(b[2].clone());
+        let outcome = ev.outcomes(&[b[2].clone()]);
+        assert_eq!(outcome[0].lm(), full.lm());
+        assert_eq!(ev.stats(), EvalStats { hits: 1, misses: 0 });
+    }
+
+    #[test]
+    fn auto_thread_count_resolves() {
+        let dfg = chain(2);
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let ev = Evaluator::with_settings(&dfg, &machine, 0, true);
+        assert!(ev.threads() >= 1);
+        assert_eq!(ev.dfg().len(), 2);
+        assert_eq!(ev.machine().cluster_count(), 2);
+    }
+
+    #[test]
+    fn hit_rate_is_a_fraction() {
+        assert_eq!(EvalStats::default().hit_rate(), 0.0);
+        let s = EvalStats { hits: 3, misses: 1 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outcome_quality_matches_full_measurement() {
+        let dfg = chain(5);
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        for binding in all_bindings(&dfg, &machine).into_iter().step_by(7) {
+            let full = BindingResult::evaluate(&dfg, &machine, binding);
+            let outcome = EvalOutcome::of(&full);
+            for kind in [QualityKind::Qu, QualityKind::Qm] {
+                assert_eq!(
+                    outcome.quality(kind),
+                    Quality::measure(kind, &full.bound, &full.schedule)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binder_sweep_records_memo_hits() {
+        // The driver sweep plus two-phase descent re-evaluates
+        // overlapping neighborhoods (at minimum, the Q_M pass rescans
+        // the neighborhood the Q_U pass converged in), so the shared
+        // memo must see hits on any kernel with cross-cluster traffic.
+        let dfg = vliw_kernels::Kernel::Arf.build();
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let (result, stats) = Binder::new(&machine).bind_with_stats(&dfg);
+        assert!(result.latency() >= 8);
+        assert!(stats.hits > 0, "sweep with duplicates must hit the memo");
+    }
+}

@@ -63,7 +63,11 @@ pub fn bind_exhaustive(dfg: &Dfg, machine: &Machine, max_leaves: u64) -> Option<
     let symmetric = machine.is_homogeneous();
     let mut leaves: u64 = 1;
     for (i, ts) in target_sets.iter().enumerate() {
-        let width = if i == 0 && symmetric { 1 } else { ts.len() as u64 };
+        let width = if i == 0 && symmetric {
+            1
+        } else {
+            ts.len() as u64
+        };
         leaves = leaves.saturating_mul(width);
         if leaves > max_leaves {
             return None;
@@ -128,7 +132,7 @@ fn search(
     }
     if depth == order.len() {
         let result = BindingResult::evaluate(dfg, machine, binding.clone());
-        if best.as_ref().map_or(true, |b| result.lm() < b.lm()) {
+        if best.as_ref().is_none_or(|b| result.lm() < b.lm()) {
             *best = Some(result);
         }
         return;
@@ -223,11 +227,19 @@ mod tests {
             let i1 = b.add_op(OpType::Mul, &[]);
             let i2 = b.add_op(OpType::Add, &[]);
             let m0 = b.add_op(
-                if shape & 1 == 0 { OpType::Add } else { OpType::Mul },
+                if shape & 1 == 0 {
+                    OpType::Add
+                } else {
+                    OpType::Mul
+                },
                 &[i0, i1],
             );
             let m1 = b.add_op(
-                if shape & 2 == 0 { OpType::Add } else { OpType::Mul },
+                if shape & 2 == 0 {
+                    OpType::Add
+                } else {
+                    OpType::Mul
+                },
                 &[i1, i2],
             );
             let top = b.add_op(OpType::Add, &[m0, m1]);

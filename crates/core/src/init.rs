@@ -104,7 +104,7 @@ fn initial_binding_forward(
                 + trcost * config.gamma * lat_move;
             // Strict `<` keeps the lowest-indexed cluster on ties, making
             // the greedy pass deterministic.
-            if best.map_or(true, |(b, _)| icost < b - 1e-12) {
+            if best.is_none_or(|(b, _)| icost < b - 1e-12) {
                 best = Some((icost, c));
             }
         }
@@ -255,13 +255,20 @@ mod tests {
         let mut prev = b.add_op(OpType::Mul, &[]);
         for i in 0..7 {
             let other = b.add_op(OpType::Add, &[]);
-            prev = b.add_op(if i % 2 == 0 { OpType::Add } else { OpType::Mul }, &[prev, other]);
+            prev = b.add_op(
+                if i % 2 == 0 { OpType::Add } else { OpType::Mul },
+                &[prev, other],
+            );
         }
         let dfg = b.finish().expect("acyclic");
         let machine = Machine::parse("[1,1|1,1]").expect("machine");
         for stretch in 0..4 {
             let bn = initial_binding(&dfg, &machine, &cfg(), 8 + stretch, false);
-            assert!(bn.validate(&dfg, &machine).is_ok(), "L_PR = {}", 8 + stretch);
+            assert!(
+                bn.validate(&dfg, &machine).is_ok(),
+                "L_PR = {}",
+                8 + stretch
+            );
         }
     }
 

@@ -13,6 +13,7 @@
 
 use crate::config::{BinderConfig, PairMode};
 use crate::driver::BindingResult;
+use crate::eval::Evaluator;
 use vliw_datapath::{ClusterId, Machine};
 use vliw_dfg::{Dfg, OpId};
 use vliw_sched::{Binding, BoundDfg, Schedule};
@@ -47,6 +48,12 @@ impl Quality {
         }
     }
 
+    /// Reassembles a quality vector from memoized components
+    /// (see [`crate::eval::EvalOutcome::quality`]).
+    pub(crate) fn from_parts(latency: u32, tail: Vec<usize>) -> Self {
+        Quality { latency, tail }
+    }
+
     /// The schedule latency component `L`.
     pub fn latency(&self) -> u32 {
         self.latency
@@ -75,8 +82,19 @@ pub fn improve(
     config: &BinderConfig,
     start: BindingResult,
 ) -> BindingResult {
-    let mut current = improve_with(dfg, machine, config, start, QualityKind::Qu);
-    current = improve_with(dfg, machine, config, current, QualityKind::Qm);
+    let evaluator = Evaluator::new(dfg, machine, config);
+    improve_eval(&evaluator, config, start)
+}
+
+/// [`improve`] against a caller-supplied evaluator, so the memo and
+/// worker pool are shared with the rest of the run.
+pub fn improve_eval(
+    evaluator: &Evaluator<'_>,
+    config: &BinderConfig,
+    start: BindingResult,
+) -> BindingResult {
+    let mut current = improve_with_eval(evaluator, config, start, QualityKind::Qu);
+    current = improve_with_eval(evaluator, config, current, QualityKind::Qm);
     current
 }
 
@@ -88,27 +106,54 @@ pub fn improve_with(
     start: BindingResult,
     kind: QualityKind,
 ) -> BindingResult {
+    let evaluator = Evaluator::new(dfg, machine, config);
+    improve_with_eval(&evaluator, config, start, kind)
+}
+
+/// [`improve_with`] against a caller-supplied evaluator. Each descent
+/// step measures the whole perturbation neighborhood as one
+/// [`Evaluator::outcomes`] batch (memoized, fanned across the
+/// evaluator's workers) and reduces it in enumeration order with a
+/// strict `<`, which keeps the first of equally good candidates —
+/// exactly what the serial loop did, so the outcome is bit-identical for
+/// any thread count. Only the winning candidate of a step is
+/// materialized into a full [`BindingResult`]; since evaluation is a
+/// pure function of the binding, that materialization reproduces exactly
+/// the result whose metrics won the reduction.
+pub fn improve_with_eval(
+    evaluator: &Evaluator<'_>,
+    config: &BinderConfig,
+    start: BindingResult,
+    kind: QualityKind,
+) -> BindingResult {
+    let dfg = evaluator.dfg();
+    let machine = evaluator.machine();
     let mut current = start;
     let mut quality = Quality::measure(kind, &current.bound, &current.schedule);
     for _ in 0..config.max_iterations {
         let candidates = perturbations(dfg, machine, config, &current.binding);
-        let mut best: Option<(Quality, BindingResult)> = None;
-        for p in candidates {
-            let mut binding = current.binding.clone();
-            binding.bind(p.first.0, p.first.1);
-            if let Some((v, c)) = p.second {
-                binding.bind(v, c);
-            }
-            let result = BindingResult::evaluate(dfg, machine, binding);
-            let q = Quality::measure(kind, &result.bound, &result.schedule);
-            if best.as_ref().map_or(true, |(bq, _)| q < *bq) {
-                best = Some((q, result));
+        let mut bindings: Vec<Binding> = candidates
+            .iter()
+            .map(|p| {
+                let mut binding = current.binding.clone();
+                binding.bind(p.first.0, p.first.1);
+                if let Some((v, c)) = p.second {
+                    binding.bind(v, c);
+                }
+                binding
+            })
+            .collect();
+        let mut best: Option<(Quality, usize)> = None;
+        for (i, outcome) in evaluator.outcomes(&bindings).into_iter().enumerate() {
+            let q = outcome.quality(kind);
+            if best.as_ref().is_none_or(|(bq, _)| q < *bq) {
+                best = Some((q, i));
             }
         }
         match best {
-            Some((q, result)) if q < quality => {
+            Some((q, i)) if q < quality => {
                 quality = q;
-                current = result;
+                current = evaluator.evaluate(bindings.swap_remove(i));
             }
             _ => break,
         }
@@ -186,8 +231,7 @@ fn perturbations(
                 joint.sort_unstable();
                 joint.dedup();
                 for c in joint {
-                    if machine.supports(c, dfg.op_type(u)) && machine.supports(c, dfg.op_type(v))
-                    {
+                    if machine.supports(c, dfg.op_type(u)) && machine.supports(c, dfg.op_type(v)) {
                         let first = if binding.cluster_of(u) != c {
                             (u, c)
                         } else {
@@ -327,7 +371,11 @@ mod tests {
             let mut b = DfgBuilder::new();
             let mut layer = vec![b.add_op(OpType::Add, &[]), b.add_op(OpType::Mul, &[])];
             for i in 0..6 {
-                let kind = if (seed + i) % 3 == 0 { OpType::Mul } else { OpType::Add };
+                let kind = if (seed + i) % 3 == 0 {
+                    OpType::Mul
+                } else {
+                    OpType::Add
+                };
                 let n = b.add_op(kind, &[layer[0], layer[1]]);
                 layer = vec![layer[1], n];
             }

@@ -21,6 +21,11 @@
 //!   evaluates every candidate with a real list schedule, and hands the
 //!   best initial binding to B-ITER.
 //!
+//! All candidate evaluations funnel through [`eval::Evaluator`], a
+//! memoized engine that optionally fans independent evaluations across a
+//! scoped thread pool ([`BinderConfig::threads`]) with a deterministic
+//! reduction — the parallel result is bit-identical to the serial one.
+//!
 //! An exact branch-and-bound binder ([`exact`]) serves as an optimality
 //! oracle for small graphs, mirroring the paper's observation that B-INIT
 //! solutions are frequently optimal.
@@ -55,6 +60,7 @@
 
 mod config;
 mod driver;
+pub mod eval;
 pub mod exact;
 pub mod init;
 pub mod iter;
@@ -62,5 +68,6 @@ pub mod order;
 pub mod profile;
 
 pub use config::{BinderConfig, CostModel, PairMode};
-pub use driver::{Binder, BindingResult};
+pub use driver::{resource_lower_bound, Binder, BindingResult};
+pub use eval::{EvalOutcome, EvalStats, Evaluator};
 pub use iter::{Quality, QualityKind};

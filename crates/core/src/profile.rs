@@ -77,7 +77,11 @@ impl<'a> LoadProfiles<'a> {
     /// `timing` must have been computed on `dfg` with `L_TG = L_PR`
     /// (the load-profile latency being explored).
     pub fn new(dfg: &'a Dfg, machine: &'a Machine, timing: &'a Timing) -> Self {
-        let max_dii = FuType::ALL.iter().map(|&t| machine.dii(t)).max().unwrap_or(1);
+        let max_dii = FuType::ALL
+            .iter()
+            .map(|&t| machine.dii(t))
+            .max()
+            .unwrap_or(1);
         let horizon = (2 * timing.target_latency() + max_dii + 2) as usize;
         let mut dp = [vec![0.0; horizon], vec![0.0; horizon]];
         for v in dfg.op_ids() {
@@ -189,7 +193,11 @@ impl<'a> LoadProfiles<'a> {
         let binary = || {
             let mut cost = 0.0;
             for tau in 0..self.horizon {
-                let extra = if tentative.is_empty() { 0.0 } else { tentative[tau] };
+                let extra = if tentative.is_empty() {
+                    0.0
+                } else {
+                    tentative[tau]
+                };
                 if self.bus[tau] + extra > 1.0 + EPS {
                     cost += 1.0;
                 }
@@ -201,11 +209,11 @@ impl<'a> LoadProfiles<'a> {
                 return 0.0;
             }
             let mut cost = 0.0;
-            for tau in 0..self.horizon {
-                if tentative[tau] == 0.0 {
+            for (tau, &t) in tentative.iter().enumerate().take(self.horizon) {
+                if t == 0.0 {
                     continue;
                 }
-                let after = (self.bus[tau] + tentative[tau] - 1.0).max(0.0);
+                let after = (self.bus[tau] + t - 1.0).max(0.0);
                 let before = if marginal {
                     (self.bus[tau] - 1.0).max(0.0)
                 } else {
@@ -323,7 +331,7 @@ mod tests {
         }
         let dfg = b.finish().expect("acyclic");
         let machine = Machine::parse("[1,1|1,1]").expect("machine");
-        let timing = Timing::with_critical_path(&dfg, &vec![1; 4]);
+        let timing = Timing::with_critical_path(&dfg, &[1; 4]);
         let p = LoadProfiles::new(&dfg, &machine, &timing);
         // 4 ops, N(ALU) = 2 -> normalized centralized load 2.0 at step 0.
         assert!((p.dp_load(FuType::Alu, 0) - 2.0).abs() < 1e-12);
@@ -342,7 +350,7 @@ mod tests {
         let _free = b.add_op(OpType::Add, &[]);
         let dfg = b.finish().expect("acyclic");
         let machine = Machine::parse("[1,1|1,1]").expect("machine");
-        let timing = Timing::with_critical_path(&dfg, &vec![1; 4]);
+        let timing = Timing::with_critical_path(&dfg, &[1; 4]);
         let p = LoadProfiles::new(&dfg, &machine, &timing);
         // Chain contributes 1/2 per step (N=2); free op 1/6 per step.
         for tau in 0..3 {
@@ -359,7 +367,7 @@ mod tests {
         }
         let dfg = b.finish().expect("acyclic");
         let machine = Machine::parse("[1,1|1,1]").expect("machine");
-        let timing = Timing::with_critical_path(&dfg, &vec![1; 3]);
+        let timing = Timing::with_critical_path(&dfg, &[1; 3]);
         let mut p = LoadProfiles::new(&dfg, &machine, &timing);
         let mut bn = Binding::unbound(&dfg);
         let v: Vec<OpId> = dfg.op_ids().collect();
@@ -388,7 +396,7 @@ mod tests {
         }
         let dfg = b.finish().expect("acyclic");
         let machine = Machine::parse("[1,1|1,1|1,1]").expect("machine");
-        let timing = Timing::with_critical_path(&dfg, &vec![1; 5]);
+        let timing = Timing::with_critical_path(&dfg, &[1; 5]);
         let mut p = LoadProfiles::new(&dfg, &machine, &timing);
         let bn = Binding::unbound(&dfg);
         let v: Vec<OpId> = dfg.op_ids().collect();
@@ -419,17 +427,17 @@ mod tests {
         }
         let dfg = b.finish().expect("acyclic");
         let machine = Machine::parse("[2,1|0,1]").expect("machine");
-        let timing = Timing::with_critical_path(&dfg, &vec![1; 6]);
+        let timing = Timing::with_critical_path(&dfg, &[1; 6]);
         let mut p = LoadProfiles::new(&dfg, &machine, &timing);
         let bn = Binding::unbound(&dfg);
         let v: Vec<OpId> = dfg.op_ids().collect();
-        for i in 0..5 {
+        for (i, &op) in v.iter().enumerate().take(5) {
             assert_eq!(
-                p.fu_cost(CostModel::ExcessMass, v[i], cl(0)),
+                p.fu_cost(CostModel::ExcessMass, op, cl(0)),
                 0.0,
                 "op {i} under DP load"
             );
-            p.commit(&bn, v[i], cl(0));
+            p.commit(&bn, op, cl(0));
         }
         // Sixth op: cluster load 3.0 == DP load 3.0 -> still no penalty
         // (strict inequality).
@@ -452,8 +460,10 @@ mod tests {
             cons.push(b.add_op(OpType::Add, &[u]));
         }
         let dfg = b.finish().expect("acyclic");
-        let machine = Machine::parse("[3,1|3,1]").expect("machine").with_bus_count(1);
-        let timing = Timing::with_critical_path(&dfg, &vec![1; 6]);
+        let machine = Machine::parse("[3,1|3,1]")
+            .expect("machine")
+            .with_bus_count(1);
+        let timing = Timing::with_critical_path(&dfg, &[1; 6]);
         let mut p = LoadProfiles::new(&dfg, &machine, &timing);
         let mut bn = Binding::unbound(&dfg);
         for &u in &prods {
@@ -466,7 +476,10 @@ mod tests {
         p.commit(&bn, cons[0], cl(1));
         bn.bind(cons[0], cl(1));
         // Second consumer cross-cluster: 2.0 > 1 at cycle 1 -> penalty 1.
-        assert_eq!(p.bus_cost(CostModel::BinaryCycles, &bn, cons[1], cl(1)), 1.0);
+        assert_eq!(
+            p.bus_cost(CostModel::BinaryCycles, &bn, cons[1], cl(1)),
+            1.0
+        );
         assert_eq!(p.bus_cost(CostModel::ExcessMass, &bn, cons[1], cl(1)), 1.0);
         // Binding it to the producers' cluster avoids the transfer.
         assert_eq!(p.bus_cost(CostModel::ExcessMass, &bn, cons[1], cl(0)), 0.0);
@@ -481,8 +494,10 @@ mod tests {
         let c1 = b.add_op(OpType::Add, &[u]);
         let c2 = b.add_op(OpType::Add, &[u]);
         let dfg = b.finish().expect("acyclic");
-        let machine = Machine::parse("[2,1|2,1]").expect("machine").with_bus_count(1);
-        let timing = Timing::with_critical_path(&dfg, &vec![1; 3]);
+        let machine = Machine::parse("[2,1|2,1]")
+            .expect("machine")
+            .with_bus_count(1);
+        let timing = Timing::with_critical_path(&dfg, &[1; 3]);
         let mut p = LoadProfiles::new(&dfg, &machine, &timing);
         let mut bn = Binding::unbound(&dfg);
         p.commit(&bn, u, cl(0));
@@ -526,7 +541,7 @@ mod tests {
         let v = b.add_op(OpType::Add, &[u]);
         let dfg = b.finish().expect("acyclic");
         let machine = Machine::parse("[1,1|1,1]").expect("machine");
-        let timing = Timing::with_critical_path(&dfg, &vec![1; 2]);
+        let timing = Timing::with_critical_path(&dfg, &[1; 2]);
         let (lo, hi, w) = move_load(&dfg, &machine, &timing, u, v);
         assert_eq!((lo, hi), (1, 1));
         assert!((w - 1.0).abs() < 1e-12);

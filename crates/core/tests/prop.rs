@@ -2,7 +2,7 @@
 //! DFGs and machines.
 
 use proptest::prelude::*;
-use vliw_binding::{init, iter, Binder, BinderConfig, CostModel, PairMode, QualityKind};
+use vliw_binding::{init, iter, Binder, BinderConfig, CostModel, Evaluator, PairMode, QualityKind};
 use vliw_datapath::Machine;
 use vliw_dfg::{critical_path_len, Dfg, DfgBuilder, OpType};
 use vliw_sched::Binding;
@@ -127,6 +127,62 @@ proptest! {
         let b = binder.bind(&dfg);
         prop_assert_eq!(a.lm(), b.lm());
         prop_assert_eq!(a.binding, b.binding);
+    }
+
+    /// The parallel, memoized evaluation engine is an observational
+    /// no-op: for any thread count and cache setting, the driver returns
+    /// the identical (L, N_MV) *and* the identical binding as the serial,
+    /// cache-free reference.
+    #[test]
+    fn parallel_evaluation_is_bit_identical_to_serial(
+        dfg in arb_dfg(20),
+        machine in arb_machine(),
+        threads in 1usize..=8,
+        cache in any::<bool>(),
+    ) {
+        let reference = Binder::with_config(&machine, BinderConfig {
+            threads: 1,
+            eval_cache: false,
+            ..BinderConfig::default()
+        }).bind(&dfg);
+        let config = BinderConfig { threads, eval_cache: cache, ..BinderConfig::default() };
+        let subject = Binder::with_config(&machine, config).bind(&dfg);
+        prop_assert_eq!(reference.lm(), subject.lm());
+        prop_assert_eq!(reference.binding, subject.binding);
+        prop_assert_eq!(reference.schedule, subject.schedule);
+    }
+
+    /// Raw evaluator batches agree element-wise with one-at-a-time
+    /// serial evaluation, for any thread count and duplicated inputs.
+    #[test]
+    fn evaluator_batches_match_pointwise_evaluation(
+        dfg in arb_dfg(14),
+        machine in arb_machine(),
+        threads in 1usize..=8,
+        cache in any::<bool>(),
+        seeds in prop::collection::vec(0usize..64, 24),
+    ) {
+        // Random bindings, with deliberate repetition to exercise the
+        // in-batch coalescing path.
+        let mut bindings = Vec::new();
+        for chunk in seeds.chunks(2) {
+            let mut bn = Binding::unbound(&dfg);
+            for v in dfg.op_ids() {
+                let ts = machine.target_set(dfg.op_type(v));
+                bn.bind(v, ts[chunk[v.index() % chunk.len()] % ts.len()]);
+            }
+            bindings.push(bn.clone());
+            bindings.push(bn);
+        }
+        let ev = Evaluator::with_settings(&dfg, &machine, threads, cache);
+        let batch = ev.evaluate_all(bindings.clone());
+        prop_assert_eq!(batch.len(), bindings.len());
+        for (bn, got) in bindings.into_iter().zip(batch) {
+            let want = vliw_binding::BindingResult::evaluate(&dfg, &machine, bn);
+            prop_assert_eq!(want.lm(), got.lm());
+            prop_assert_eq!(want.binding, got.binding);
+            prop_assert_eq!(want.schedule, got.schedule);
+        }
     }
 
     /// Binding the transposed graph in reverse "mirrors": the reverse

@@ -248,7 +248,9 @@ impl Machine {
     /// `TS(v)`: the target set of an operation type — all clusters with at
     /// least one FU able to execute it.
     pub fn target_set(&self, p: OpType) -> Vec<ClusterId> {
-        self.cluster_ids().filter(|&c| self.supports(c, p)).collect()
+        self.cluster_ids()
+            .filter(|&c| self.supports(c, p))
+            .collect()
     }
 
     /// Per-operation latency vector for a DFG under this machine, in the
@@ -513,10 +515,7 @@ mod tests {
 
     #[test]
     fn builder_rejects_invalid_machines() {
-        assert_eq!(
-            MachineBuilder::new().build(),
-            Err(MachineError::NoClusters)
-        );
+        assert_eq!(MachineBuilder::new().build(), Err(MachineError::NoClusters));
         assert_eq!(
             MachineBuilder::new().cluster(Cluster::new(0, 0)).build(),
             Err(MachineError::EmptyCluster(ClusterId::from_index(0)))

@@ -40,7 +40,10 @@ impl fmt::Display for DfgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DfgError::UnknownOp { id, len } => {
-                write!(f, "edge references unknown operation {id} (graph has {len} ops)")
+                write!(
+                    f,
+                    "edge references unknown operation {id} (graph has {len} ops)"
+                )
             }
             DfgError::Cycle => write!(f, "data-dependence edges form a cycle"),
             DfgError::DuplicateEdge { from, to } => {

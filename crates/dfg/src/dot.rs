@@ -27,11 +27,7 @@ use std::fmt::Write as _;
 /// # Ok(())
 /// # }
 /// ```
-pub fn to_dot(
-    dfg: &Dfg,
-    graph_name: &str,
-    cluster_of: impl Fn(OpId) -> Option<usize>,
-) -> String {
+pub fn to_dot(dfg: &Dfg, graph_name: &str, cluster_of: impl Fn(OpId) -> Option<usize>) -> String {
     const PALETTE: [&str; 8] = [
         "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
     ];

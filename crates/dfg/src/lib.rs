@@ -16,7 +16,7 @@
 //!   per-operation latency assignment and target latency `L_TG`
 //!   (paper footnote 2);
 //! * [`analysis`] helpers — topological order, connected components,
-//!!  critical-path length, graph statistics;
+//!   critical-path length, graph statistics;
 //! * [`dot`] — Graphviz export for debugging and documentation.
 //!
 //! # Example

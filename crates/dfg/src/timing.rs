@@ -76,13 +76,15 @@ impl Timing {
         // tail(v) = longest completion chain starting at v, including v.
         let mut tail = vec![0u32; dfg.len()];
         for &v in order.iter().rev() {
-            let below = dfg.succs(v).iter().map(|&s| tail[s.index()]).max().unwrap_or(0);
+            let below = dfg
+                .succs(v)
+                .iter()
+                .map(|&s| tail[s.index()])
+                .max()
+                .unwrap_or(0);
             tail[v.index()] = lat[v.index()] + below;
         }
-        let alap: Vec<u32> = dfg
-            .op_ids()
-            .map(|v| l_tg - tail[v.index()])
-            .collect();
+        let alap: Vec<u32> = dfg.op_ids().map(|v| l_tg - tail[v.index()]).collect();
 
         Timing {
             asap,

@@ -222,7 +222,10 @@ mod tests {
             to: acc,
             distance: 0,
         };
-        assert!(matches!(unroll(&body, &[zero], 2), Err(DfgError::SelfLoop(_))));
+        assert!(matches!(
+            unroll(&body, &[zero], 2),
+            Err(DfgError::SelfLoop(_))
+        ));
     }
 
     #[test]
@@ -243,16 +246,17 @@ mod tests {
         let late_producer = b.add_op(OpType::Mul, &[]);
         b.add_edge(late_producer, consumer).expect("ids exist");
         let body = b.finish().expect("acyclic");
-        let u = unroll(&body, &[LoopCarry::next_iteration(consumer, late_producer)], 3)
-            .expect("unrolls");
+        let u = unroll(
+            &body,
+            &[LoopCarry::next_iteration(consumer, late_producer)],
+            3,
+        )
+        .expect("unrolls");
         assert_eq!(u.len(), 6);
         assert!(u.validate().is_ok());
         // Intra edge preserved in every copy.
         for k in 0..3 {
-            assert!(u.has_edge(
-                OpId::from_index(2 * k + 1),
-                OpId::from_index(2 * k),
-            ));
+            assert!(u.has_edge(OpId::from_index(2 * k + 1), OpId::from_index(2 * k),));
         }
     }
 

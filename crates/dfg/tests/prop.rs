@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use vliw_dfg::{
-    connected_components, critical_path_len, topo_order, unroll, Dfg, DfgBuilder, LoopCarry,
-    OpId, OpType, Timing,
+    connected_components, critical_path_len, topo_order, unroll, Dfg, DfgBuilder, LoopCarry, OpId,
+    OpType, Timing,
 };
 
 fn arb_dfg(max_ops: usize) -> impl Strategy<Value = Dfg> {
@@ -65,7 +65,7 @@ proptest! {
             prop_assert!(t.asap(v) <= t.alap(v));
             prop_assert_eq!(t.mobility(v), t.alap(v) - t.asap(v));
             for &u in dfg.preds(v) {
-                prop_assert!(t.asap(v) >= t.asap(u) + 1);
+                prop_assert!(t.asap(v) > t.asap(u));
             }
         }
         // Some op is critical at every stretch.

@@ -243,8 +243,8 @@ impl Explorer {
                 continue;
             }
             let result = Binder::with_config(&machine, self.config.binder.clone()).bind(dfg);
-            let area = machine.total_fus() as f64
-                + self.config.bus_area * machine.bus_count() as f64;
+            let area =
+                machine.total_fus() as f64 + self.config.bus_area * machine.bus_count() as f64;
             let worst_rf_ports = machine
                 .cluster_ids()
                 .map(|c| 3 * machine.cluster(c).total_fus())
@@ -383,12 +383,16 @@ mod tests {
             .map(DesignPoint::latency)
             .min()
             .expect("non-empty");
-        let best = exploration.best_under_area(f64::INFINITY).expect("non-empty");
+        let best = exploration
+            .best_under_area(f64::INFINITY)
+            .expect("non-empty");
         assert_eq!(best.latency(), fastest);
         let cheapest = exploration.cheapest_meeting(fastest).expect("achievable");
         assert!(cheapest.latency() <= fastest);
         // Port-minimizing query returns something meeting the target.
-        let ports = exploration.fewest_ports_meeting(fastest + 4).expect("achievable");
+        let ports = exploration
+            .fewest_ports_meeting(fastest + 4)
+            .expect("achievable");
         assert!(ports.latency() <= fastest + 4);
     }
 

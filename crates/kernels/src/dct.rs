@@ -283,11 +283,7 @@ mod tests {
         assert_eq!(count, 2);
         for v in dfg.op_ids() {
             let name = dfg.name(v).expect("all ops named");
-            let expected = comp[dfg
-                .op_ids()
-                .next()
-                .expect("nonempty")
-                .index()];
+            let expected = comp[dfg.op_ids().next().expect("nonempty").index()];
             if name.starts_with("ev.") {
                 assert_eq!(comp[v.index()], expected, "{name} in even half");
             } else {

@@ -24,12 +24,7 @@ fn ops2(x: Option<OpId>, y: Option<OpId>) -> Vec<OpId> {
 
 /// A full radix-2 butterfly with complex twiddle `W = wr + j·wi`:
 /// `(a, b) → (a + W·b, a − W·b)`. 4 muls + 6 adds, depth 3.
-fn butterfly(
-    b: &mut DfgBuilder,
-    a: Complex,
-    x: Complex,
-    tag: &str,
-) -> (Complex, Complex) {
+fn butterfly(b: &mut DfgBuilder, a: Complex, x: Complex, tag: &str) -> (Complex, Complex) {
     let (ar, ai) = a;
     let (br, bi) = x;
     let t1 = b.add_named_op(OpType::Mul, &ops(br), &format!("{tag}.br*wr"));
@@ -47,12 +42,7 @@ fn butterfly(
 
 /// A butterfly with the trivial twiddle `W = −j`: `W·b = bi − j·br`, so
 /// only a negation and four additions are needed (depth 2).
-fn butterfly_neg_j(
-    b: &mut DfgBuilder,
-    a: Complex,
-    x: Complex,
-    tag: &str,
-) -> (Complex, Complex) {
+fn butterfly_neg_j(b: &mut DfgBuilder, a: Complex, x: Complex, tag: &str) -> (Complex, Complex) {
     let (ar, ai) = a;
     let (br, bi) = x;
     let nbr = b.add_named_op(OpType::Neg, &ops(br), &format!("{tag}.-br"));
@@ -130,7 +120,9 @@ mod tests {
             "bf3 outputs should reach depth 6: {deepest:?}"
         );
         assert!(
-            deepest.iter().all(|n| n.starts_with("bf3") || n.starts_with("mag")),
+            deepest
+                .iter()
+                .all(|n| n.starts_with("bf3") || n.starts_with("mag")),
             "only bf3 outputs and magnitude taps may reach depth 6: {deepest:?}"
         );
     }

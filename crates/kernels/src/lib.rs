@@ -164,7 +164,11 @@ mod tests {
     #[test]
     fn kernels_are_deterministic() {
         for kernel in Kernel::ALL {
-            assert_eq!(kernel.build(), kernel.build(), "{kernel} must be reproducible");
+            assert_eq!(
+                kernel.build(),
+                kernel.build(),
+                "{kernel} must be reproducible"
+            );
         }
     }
 
@@ -173,7 +177,15 @@ mod tests {
         let names: Vec<_> = Kernel::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(
             names,
-            vec!["DCT-DIF", "DCT-LEE", "DCT-DIT", "DCT-DIT-2", "FFT", "EWF", "ARF"]
+            vec![
+                "DCT-DIF",
+                "DCT-LEE",
+                "DCT-DIT",
+                "DCT-DIT-2",
+                "FFT",
+                "EWF",
+                "ARF"
+            ]
         );
     }
 

@@ -28,7 +28,10 @@ impl fmt::Display for LoopDfgError {
         match self {
             LoopDfgError::UnknownOp(v) => write!(f, "carry references unknown operation {v}"),
             LoopDfgError::ZeroDistance { from, to } => {
-                write!(f, "carry {from} -> {to} has distance 0 (use an ordinary edge)")
+                write!(
+                    f,
+                    "carry {from} -> {to} has distance 0 (use an ordinary edge)"
+                )
             }
             LoopDfgError::BodyHasMoves(v) => {
                 write!(f, "loop body already contains a move operation ({v})")
@@ -212,10 +215,7 @@ pub fn bound_loop_with(
     }
     // Distance-0 entries introduced above are ordinary edges; fold them
     // into the graph instead of the carried list.
-    let carried: Vec<(OpId, OpId, u32)> = carried
-        .into_iter()
-        .filter(|&(_, _, d)| d > 0)
-        .collect();
+    let carried: Vec<(OpId, OpId, u32)> = carried.into_iter().filter(|&(_, _, d)| d > 0).collect();
 
     let dfg = b.finish().expect("bound loop body is acyclic");
     BoundLoop {
@@ -287,8 +287,7 @@ mod tests {
         let s = b.add_op(OpType::Add, &[a]);
         let body = b.finish().expect("acyclic");
         // m's value is carried into next iteration's s.
-        let looped =
-            LoopDfg::new(body, vec![LoopCarry::next_iteration(m, s)]).expect("valid");
+        let looped = LoopDfg::new(body, vec![LoopCarry::next_iteration(m, s)]).expect("valid");
         let machine = Machine::parse("[2,0|0,1]").expect("machine");
         let bound = bind_loop(&looped, &machine, &BinderConfig::default());
         // m is forced to cluster 1, s to cluster 0: the carry must route

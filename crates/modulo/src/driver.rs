@@ -81,9 +81,8 @@ impl<'m> ModuloBinder<'m> {
                 .expect("serial II always schedules");
             (bound, schedule)
         };
-        let key = |bound: &BoundLoop, schedule: &ModuloSchedule| {
-            (schedule.ii(), bound.move_count())
-        };
+        let key =
+            |bound: &BoundLoop, schedule: &ModuloSchedule| (schedule.ii(), bound.move_count());
 
         // Starts: the block driver's candidate sweep, judged by II.
         let binder = Binder::with_config(machine, self.config.clone());
@@ -97,13 +96,12 @@ impl<'m> ModuloBinder<'m> {
             let (bound, schedule) = evaluate(&candidate.binding);
             if best
                 .as_ref()
-                .map_or(true, |(_, b, s)| key(&bound, &schedule) < key(b, s))
+                .is_none_or(|(_, b, s)| key(&bound, &schedule) < key(b, s))
             {
                 best = Some((candidate.binding, bound, schedule));
             }
         }
-        let (mut binding, mut bound, mut schedule) =
-            best.expect("the driver sweep is never empty");
+        let (mut binding, mut bound, mut schedule) = best.expect("the driver sweep is never empty");
 
         // Steepest descent: re-bind single operations anywhere in their
         // target set (the overloaded-cluster case needs non-neighbor
@@ -121,7 +119,7 @@ impl<'m> ModuloBinder<'m> {
                     let better_than_current = key(&b, &s) < key(&bound, &schedule);
                     let better_than_best = improved
                         .as_ref()
-                        .map_or(true, |(_, ib, is)| key(&b, &s) < key(ib, is));
+                        .is_none_or(|(_, ib, is)| key(&b, &s) < key(ib, is));
                     if better_than_current && better_than_best {
                         improved = Some((candidate, b, s));
                     }

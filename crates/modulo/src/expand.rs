@@ -238,11 +238,7 @@ mod tests {
         let mut flat = expand(&bound, &schedule, &machine, 3);
         // Sabotage: pull the last copy one cycle early.
         let lat = vec![1u32; flat.dfg.len()];
-        let mut starts: Vec<u32> = flat
-            .dfg
-            .op_ids()
-            .map(|v| flat.schedule.start(v))
-            .collect();
+        let mut starts: Vec<u32> = flat.dfg.op_ids().map(|v| flat.schedule.start(v)).collect();
         let last = starts.len() - 1;
         starts[last] = starts[last].saturating_sub(schedule.ii());
         flat.schedule = Schedule::from_starts(starts, &lat);

@@ -125,7 +125,10 @@ mod tests {
     fn stage_annotations_are_present() {
         let (bound, schedule, machine) = mac_kernel();
         let listing = emit_kernel(&bound, &schedule, &machine);
-        assert!(listing.contains("p[-0]") || listing.contains("p[-1]"), "{listing}");
+        assert!(
+            listing.contains("p[-0]") || listing.contains("p[-1]"),
+            "{listing}"
+        );
         assert!(listing.contains("acc[-"), "{listing}");
     }
 
@@ -133,7 +136,10 @@ mod tests {
     fn header_reports_ii_and_stages() {
         let (bound, schedule, machine) = mac_kernel();
         let listing = emit_kernel(&bound, &schedule, &machine);
-        assert!(listing.starts_with(&format!(";; II = {}", schedule.ii())), "{listing}");
+        assert!(
+            listing.starts_with(&format!(";; II = {}", schedule.ii())),
+            "{listing}"
+        );
     }
 
     #[test]

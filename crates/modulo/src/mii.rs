@@ -190,7 +190,9 @@ mod tests {
         }
         let body = b.finish().expect("acyclic");
         let looped = LoopDfg::new(body, vec![]).expect("valid");
-        let machine = Machine::parse("[3,0|0,3]").expect("machine").with_bus_count(1);
+        let machine = Machine::parse("[3,0|0,3]")
+            .expect("machine")
+            .with_bus_count(1);
         let bound = bind_loop(&looped, &machine, &BinderConfig::default());
         assert_eq!(bound.move_count(), 3);
         assert!(res_mii(&bound, &machine) >= 3);

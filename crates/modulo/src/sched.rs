@@ -61,7 +61,10 @@ impl fmt::Display for ModuloScheduleError {
                 if *cluster == usize::MAX {
                     write!(f, "bus reservation table overloaded at slot {slot}")
                 } else {
-                    write!(f, "cluster cl{cluster} reservation table overloaded at slot {slot}")
+                    write!(
+                        f,
+                        "cluster cl{cluster} reservation table overloaded at slot {slot}"
+                    )
                 }
             }
             ModuloScheduleError::WrongLength { got, expected } => {
@@ -279,19 +282,18 @@ impl<'m> ModuloScheduler<'m> {
             let mut earliest: i64 = 0;
             for &(u, d) in &in_edges[v.index()] {
                 if let Some(su) = start[u.index()] {
-                    earliest = earliest
-                        .max(su as i64 + lat[u.index()] as i64 - ii as i64 * d as i64);
+                    earliest =
+                        earliest.max(su as i64 + lat[u.index()] as i64 - ii as i64 * d as i64);
                 }
             }
             let mut latest: i64 = i64::MAX;
             for &(w, d) in &out_edges[v.index()] {
                 if let Some(sw) = start[w.index()] {
-                    latest = latest
-                        .min(sw as i64 - lat[v.index()] as i64 + ii as i64 * d as i64);
+                    latest = latest.min(sw as i64 - lat[v.index()] as i64 + ii as i64 * d as i64);
                 }
             }
             let earliest = earliest.max(0) as u32;
-            if (latest as i64) < earliest as i64 {
+            if latest < earliest as i64 {
                 return None;
             }
             let window_end = (earliest as i64 + ii as i64 - 1).min(latest) as u32;
@@ -390,8 +392,7 @@ mod tests {
         let mut b = DfgBuilder::new();
         let acc = b.add_op(OpType::Add, &[]);
         let body = b.finish().expect("acyclic");
-        let looped =
-            LoopDfg::new(body, vec![LoopCarry::next_iteration(acc, acc)]).expect("valid");
+        let looped = LoopDfg::new(body, vec![LoopCarry::next_iteration(acc, acc)]).expect("valid");
         let machine = MachineBuilder::new()
             .cluster(Cluster::new(4, 1))
             .op_latency(OpType::Add, 2)
@@ -501,7 +502,9 @@ mod tests {
             "[1,1]",
         );
         assert_eq!(schedule.ii(), 3);
-        assert!(ModuloScheduler::new(&machine).schedule_at(&bound, 2).is_none());
+        assert!(ModuloScheduler::new(&machine)
+            .schedule_at(&bound, 2)
+            .is_none());
     }
 
     #[test]

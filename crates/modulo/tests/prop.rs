@@ -14,7 +14,8 @@ fn arb_loop(max_ops: usize) -> impl Strategy<Value = LoopDfg> {
     (2..=max_ops).prop_flat_map(|n| {
         let kinds = prop::collection::vec(0..2u8, n);
         let picks = prop::collection::vec((0usize..usize::MAX, 0..2u8), n);
-        let carries = prop::collection::vec((0usize..usize::MAX, 0usize..usize::MAX, 1..3u32), 0..3);
+        let carries =
+            prop::collection::vec((0usize..usize::MAX, 0usize..usize::MAX, 1..3u32), 0..3);
         (kinds, picks, carries).prop_map(move |(kinds, picks, raw_carries)| {
             let mut b = DfgBuilder::new();
             let mut ids = Vec::new();

@@ -83,7 +83,7 @@ fn best_cluster_among(
     let mut best: Option<(f64, ClusterId)> = None;
     for &c in feasible {
         let cost = placement_cost(dfg, machine, binding, load, ops, c);
-        if best.map_or(true, |(b, _)| cost < b - 1e-12) {
+        if best.is_none_or(|(b, _)| cost < b - 1e-12) {
             best = Some((cost, c));
         }
     }

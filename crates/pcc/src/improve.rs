@@ -30,7 +30,7 @@ pub fn improve(
                 binding.bind(v, c);
             }
             let result = BindingResult::evaluate(dfg, machine, binding);
-            if best.as_ref().map_or(true, |b| result.lm() < b.lm()) {
+            if best.as_ref().is_none_or(|b| result.lm() < b.lm()) {
                 best = Some(result);
             }
         }

@@ -105,14 +105,9 @@ impl<'m> Pcc<'m> {
             let comps = components::grow(dfg, theta.max(1));
             let binding = assign::assign(dfg, self.machine, &comps);
             let start = BindingResult::evaluate(dfg, self.machine, binding);
-            let improved = improve::improve(
-                dfg,
-                self.machine,
-                &comps,
-                start,
-                self.config.max_iterations,
-            );
-            if best.as_ref().map_or(true, |b| improved.lm() < b.lm()) {
+            let improved =
+                improve::improve(dfg, self.machine, &comps, start, self.config.max_iterations);
+            if best.as_ref().is_none_or(|b| improved.lm() < b.lm()) {
                 best = Some(improved);
             }
         }

@@ -174,7 +174,10 @@ mod tests {
     #[test]
     fn header_summarizes_the_block() {
         let listing = emit_simple();
-        assert!(listing.starts_with(";; [1,1|1,1] | 3 cycles, 3 ops (1 transfers)"), "{listing}");
+        assert!(
+            listing.starts_with(";; [1,1|1,1] | 3 cycles, 3 ops (1 transfers)"),
+            "{listing}"
+        );
     }
 
     #[test]

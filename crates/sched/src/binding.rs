@@ -32,10 +32,16 @@ impl fmt::Display for BindingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BindingError::WrongLength { got, expected } => {
-                write!(f, "binding has {got} entries but the DFG has {expected} operations")
+                write!(
+                    f,
+                    "binding has {got} entries but the DFG has {expected} operations"
+                )
             }
             BindingError::OutsideTargetSet { op, cluster } => {
-                write!(f, "operation {op} bound to {cluster} which cannot execute it")
+                write!(
+                    f,
+                    "operation {op} bound to {cluster} which cannot execute it"
+                )
             }
             BindingError::UnknownCluster(c) => write!(f, "cluster {c} does not exist"),
         }
@@ -71,9 +77,19 @@ impl Error for BindingError {}
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Binding {
     of: Vec<ClusterId>,
+}
+
+impl std::hash::Hash for Binding {
+    /// Hashes the single [`Binding::fingerprint`] word instead of the
+    /// assignment vector element by element, so memo tables keyed by
+    /// binding (cf. `vliw_binding::Evaluator`) pay one hasher write per
+    /// lookup regardless of DFG size.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.fingerprint());
+    }
 }
 
 impl Binding {
@@ -122,10 +138,7 @@ impl Binding {
     #[inline]
     pub fn cluster_of(&self, v: OpId) -> ClusterId {
         let c = self.of[v.index()];
-        assert!(
-            c.index() != Self::UNBOUND,
-            "operation {v} is not bound yet"
-        );
+        assert!(c.index() != Self::UNBOUND, "operation {v} is not bound yet");
         c
     }
 
@@ -200,8 +213,19 @@ impl Binding {
     pub fn as_slice(&self) -> &[ClusterId] {
         &self.of
     }
-}
 
+    /// A cheap 64-bit key of the assignment vector (FNV-1a over the
+    /// cluster indices). Equal bindings always agree on it, so it can
+    /// seed `Hash` and pre-filter memo-table lookups.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for c in &self.of {
+            h ^= c.index() as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -237,7 +261,10 @@ mod tests {
         let (dfg, machine) = setup();
         assert!(matches!(
             Binding::new(&dfg, &machine, vec![cl(1)]),
-            Err(BindingError::WrongLength { got: 1, expected: 3 })
+            Err(BindingError::WrongLength {
+                got: 1,
+                expected: 3
+            })
         ));
         assert!(matches!(
             Binding::new(&dfg, &machine, vec![cl(1), cl(7), cl(0)]),
@@ -287,6 +314,21 @@ mod tests {
         bn.bind(v, cl(0));
         bn.bind(v, cl(1));
         assert_eq!(bn.cluster_of(v), cl(1));
+    }
+
+    #[test]
+    fn fingerprint_tracks_equality() {
+        let (dfg, machine) = setup();
+        let a = Binding::new(&dfg, &machine, vec![cl(1), cl(0), cl(1)]).expect("valid");
+        let b = Binding::new(&dfg, &machine, vec![cl(1), cl(0), cl(1)]).expect("valid");
+        let c = Binding::new(&dfg, &machine, vec![cl(1), cl(1), cl(0)]).expect("valid");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Not guaranteed in general, but a collision between these two
+        // tiny vectors would indicate a broken mixing function.
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        use std::collections::HashSet;
+        let set: HashSet<Binding> = [a, b, c].into_iter().collect();
+        assert_eq!(set.len(), 2);
     }
 
     #[test]

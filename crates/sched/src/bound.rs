@@ -251,8 +251,7 @@ mod tests {
         let _c3 = b.add_op(OpType::Add, &[p]);
         let dfg = b.finish().expect("acyclic");
         let machine = Machine::parse("[1,1|1,1|1,1]").expect("machine");
-        let bn =
-            Binding::new(&dfg, &machine, vec![cl(0), cl(1), cl(1), cl(2)]).expect("valid");
+        let bn = Binding::new(&dfg, &machine, vec![cl(0), cl(1), cl(1), cl(2)]).expect("valid");
         let bound = BoundDfg::new(&dfg, &machine, &bn);
         assert_eq!(bound.move_count(), 2);
         assert_eq!(bound.dfg().len(), 6);

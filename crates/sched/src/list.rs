@@ -160,8 +160,9 @@ impl<'m> ListScheduler<'m> {
                     earliest[s.index()] = earliest[s.index()].max(fin);
                     indeg[s.index()] -= 1;
                     if indeg[s.index()] == 0 {
-                        let pos = ready
-                            .partition_point(|&r| std::cmp::Reverse(key(r)) < std::cmp::Reverse(key(s)));
+                        let pos = ready.partition_point(|&r| {
+                            std::cmp::Reverse(key(r)) < std::cmp::Reverse(key(s))
+                        });
                         ready.insert(pos, s);
                         // Successors inserted below the cursor would be
                         // visited this same cycle; that is fine (they can
@@ -198,7 +199,8 @@ mod tests {
         let bn = Binding::new(dfg, machine, of).expect("valid binding");
         let bound = BoundDfg::new(dfg, machine, &bn);
         let s = ListScheduler::new(machine).schedule(&bound);
-        s.validate(&bound, machine).expect("scheduler output is valid");
+        s.validate(&bound, machine)
+            .expect("scheduler output is valid");
         (bound, s)
     }
 
@@ -255,7 +257,9 @@ mod tests {
             b.add_op(OpType::Add, &[p]);
         }
         let dfg = b.finish().expect("acyclic");
-        let machine = Machine::parse("[4,1|4,1]").expect("machine").with_bus_count(1);
+        let machine = Machine::parse("[4,1|4,1]")
+            .expect("machine")
+            .with_bus_count(1);
         let mut of = vec![cl(0); 4];
         of.extend(vec![cl(1); 4]);
         let (bound, s) = schedule_all_on(&dfg, &machine, of);
@@ -298,7 +302,9 @@ mod tests {
         let a = b.add_op(OpType::Add, &[]);
         let _ = b.add_op(OpType::Add, &[a]);
         let dfg = b.finish().expect("acyclic");
-        let machine = Machine::parse("[1,1|1,1]").expect("machine").with_move_latency(2);
+        let machine = Machine::parse("[1,1|1,1]")
+            .expect("machine")
+            .with_move_latency(2);
         let (_, s) = schedule_all_on(&dfg, &machine, vec![cl(0), cl(1)]);
         assert_eq!(s.latency(), 4); // add ; move(2) ; add
     }
@@ -397,7 +403,11 @@ mod priority_tests {
             // Chain (add, mul, add) + two filler adds on one ALU: the
             // four ALU ops need 4 cycles; a priority that delays the
             // chain pays one more.
-            assert!((4..=5).contains(&s.latency()), "{priority:?}: {}", s.latency());
+            assert!(
+                (4..=5).contains(&s.latency()),
+                "{priority:?}: {}",
+                s.latency()
+            );
         }
     }
 

@@ -44,10 +44,16 @@ impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScheduleError::PrecedenceViolation { producer, consumer } => {
-                write!(f, "{consumer} starts before its producer {producer} finishes")
+                write!(
+                    f,
+                    "{consumer} starts before its producer {producer} finishes"
+                )
             }
             ScheduleError::FuOverload { cluster, fu, cycle } => {
-                write!(f, "cluster cl{cluster} overloads its {fu}s at cycle {cycle}")
+                write!(
+                    f,
+                    "cluster cl{cluster} overloads its {fu}s at cycle {cycle}"
+                )
             }
             ScheduleError::BusOverload { cycle } => {
                 write!(f, "bus overloaded at cycle {cycle}")

@@ -12,7 +12,8 @@ use vliw_sched::{Binding, BoundDfg, ListScheduler};
 fn arb_dfg(max_ops: usize) -> impl Strategy<Value = Dfg> {
     (1..=max_ops).prop_flat_map(|n| {
         let op_kinds = prop::collection::vec(0..2u8, n);
-        let operand_picks = prop::collection::vec((0usize..usize::MAX, 0usize..usize::MAX, 0..3u8), n);
+        let operand_picks =
+            prop::collection::vec((0usize..usize::MAX, 0usize..usize::MAX, 0..3u8), n);
         (op_kinds, operand_picks).prop_map(|(kinds, picks)| {
             let mut b = DfgBuilder::new();
             let mut ids = Vec::new();

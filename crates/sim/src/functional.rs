@@ -33,7 +33,10 @@ impl fmt::Display for FunctionalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FunctionalError::ValueMismatch { op, expected, got } => {
-                write!(f, "{op} computes {got} in the bound graph, expected {expected}")
+                write!(
+                    f,
+                    "{op} computes {got} in the bound graph, expected {expected}"
+                )
             }
         }
     }
@@ -47,7 +50,10 @@ impl Error for FunctionalError {}
 /// primary input bound to the op's own seed, keeping evaluation total.
 fn apply(kind: OpType, seed: i64, operands: &[i64]) -> i64 {
     let a = operands.first().copied().unwrap_or(seed);
-    let b = operands.get(1).copied().unwrap_or_else(|| seed.wrapping_mul(31).wrapping_add(7));
+    let b = operands
+        .get(1)
+        .copied()
+        .unwrap_or_else(|| seed.wrapping_mul(31).wrapping_add(7));
     match kind {
         OpType::Add => a.wrapping_add(b),
         OpType::Sub => a.wrapping_sub(b),
@@ -66,7 +72,8 @@ fn apply(kind: OpType, seed: i64, operands: &[i64]) -> i64 {
 /// nodes, so they are keyed by the consuming operation).
 fn seed_for(v: OpId) -> i64 {
     let x = v.index() as i64;
-    x.wrapping_mul(0x9E37_79B9_7F4A_7C15u64 as i64).wrapping_add(0x5851_F42D)
+    x.wrapping_mul(0x9E37_79B9_7F4A_7C15u64 as i64)
+        .wrapping_add(0x5851_F42D)
 }
 
 fn evaluate(dfg: &Dfg, seed_of: impl Fn(OpId) -> i64) -> Vec<i64> {
@@ -136,8 +143,7 @@ mod tests {
         for kernel in vliw_kernels::Kernel::ALL {
             let dfg = kernel.build();
             let result = Binder::new(&machine).bind_initial(&dfg);
-            functional_check(&dfg, &result.bound)
-                .unwrap_or_else(|e| panic!("{kernel}: {e}"));
+            functional_check(&dfg, &result.bound).unwrap_or_else(|e| panic!("{kernel}: {e}"));
         }
     }
 

@@ -95,12 +95,23 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::OperandNotReady { op, operand, cycle } => {
-                write!(f, "{op} issued at cycle {cycle} before operand {operand} was ready")
+                write!(
+                    f,
+                    "{op} issued at cycle {cycle} before operand {operand} was ready"
+                )
             }
             SimError::OperandForeign { op, operand } => {
-                write!(f, "{op} reads {operand} from another cluster without a transfer")
+                write!(
+                    f,
+                    "{op} reads {operand} from another cluster without a transfer"
+                )
             }
-            SimError::NoFreeUnit { op, cluster, fu, cycle } => {
+            SimError::NoFreeUnit {
+                op,
+                cluster,
+                fu,
+                cycle,
+            } => {
                 write!(f, "no free {fu} on {cluster} for {op} at cycle {cycle}")
             }
             SimError::NoFreeBusLane { op, cycle } => {
@@ -276,10 +287,7 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{kernel}: {e}"));
             assert_eq!(report.cycles, result.latency());
             assert_eq!(report.bus_transfers, result.moves());
-            assert_eq!(
-                report.issues_per_cluster.iter().sum::<usize>(),
-                dfg.len()
-            );
+            assert_eq!(report.issues_per_cluster.iter().sum::<usize>(), dfg.len());
         }
     }
 
@@ -325,7 +333,9 @@ mod tests {
         let _ = b.add_op(OpType::Add, &[p1]);
         let _ = b.add_op(OpType::Add, &[p2]);
         let dfg = b.finish().expect("acyclic");
-        let machine = Machine::parse("[2,1|2,1]").expect("machine").with_bus_count(1);
+        let machine = Machine::parse("[2,1|2,1]")
+            .expect("machine")
+            .with_bus_count(1);
         let bn = Binding::new(&dfg, &machine, vec![cl(0), cl(0), cl(1), cl(1)]).expect("valid");
         let bound = BoundDfg::new(&dfg, &machine, &bn);
         // Both moves at cycle 1 on the single bus lane.

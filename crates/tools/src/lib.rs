@@ -130,8 +130,8 @@ fn load_dfg(args: &Args) -> Result<Dfg, CliError> {
         return Ok(kernel.build());
     }
     if let Some(path) = args.get("dfg") {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
         let dfg: Dfg =
             serde_json::from_str(&text).map_err(|e| err(format!("bad DFG in {path}: {e}")))?;
         dfg.validate()
@@ -142,14 +142,18 @@ fn load_dfg(args: &Args) -> Result<Dfg, CliError> {
 }
 
 fn load_machine(args: &Args) -> Result<Machine, CliError> {
-    let text = args.get("machine").ok_or_else(|| err("need --machine \"[a,m|...]\""))?;
+    let text = args
+        .get("machine")
+        .ok_or_else(|| err("need --machine \"[a,m|...]\""))?;
     let mut machine = Machine::parse(text).map_err(|e| err(e.to_string()))?;
     if let Some(buses) = args.get("buses") {
         let n: u32 = buses.parse().map_err(|_| err("--buses takes a number"))?;
         machine = machine.with_bus_count(n);
     }
     if let Some(lat) = args.get("move-latency") {
-        let n: u32 = lat.parse().map_err(|_| err("--move-latency takes a number"))?;
+        let n: u32 = lat
+            .parse()
+            .map_err(|_| err("--move-latency takes a number"))?;
         machine = machine.with_move_latency(n);
     }
     Ok(machine)
@@ -159,7 +163,11 @@ fn cmd_kernels() -> String {
     let mut out = String::new();
     for kernel in Kernel::ALL {
         let (n_v, n_cc, l_cp) = kernel.paper_stats();
-        let _ = writeln!(out, "{:<10} N_V = {n_v:<3} N_CC = {n_cc}  L_CP = {l_cp}", kernel.name());
+        let _ = writeln!(
+            out,
+            "{:<10} N_V = {n_v:<3} N_CC = {n_cc}  L_CP = {l_cp}",
+            kernel.name()
+        );
     }
     out
 }
@@ -247,11 +255,17 @@ fn cmd_explore(args: &Args) -> Result<String, CliError> {
         config.max_total_fus = v.parse().map_err(|_| err("--max-fus takes a number"))?;
     }
     if let Some(v) = args.get("max-clusters") {
-        config.max_clusters = v.parse().map_err(|_| err("--max-clusters takes a number"))?;
+        config.max_clusters = v
+            .parse()
+            .map_err(|_| err("--max-clusters takes a number"))?;
     }
     let exploration = Explorer::new(config).explore(&dfg);
     let mut out = String::new();
-    let _ = writeln!(out, "{:<20} {:>6} {:>9} {:>10}", "datapath", "area", "latency", "moves");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>6} {:>9} {:>10}",
+        "datapath", "area", "latency", "moves"
+    );
     for p in exploration.pareto() {
         let _ = writeln!(
             out,
@@ -299,8 +313,10 @@ mod tests {
     #[test]
     fn bind_algorithms_all_run() {
         for algo in ["binit", "biter", "pcc", "uas", "sa"] {
-            let out = run_line(&format!("bind --kernel ARF --machine [1,1|1,1] --algo {algo}"))
-                .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            let out = run_line(&format!(
+                "bind --kernel ARF --machine [1,1|1,1] --algo {algo}"
+            ))
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
             assert!(out.contains(algo), "{out}");
         }
     }
@@ -350,9 +366,18 @@ mod tests {
     #[test]
     fn errors_are_helpful() {
         assert!(run_line("bogus").unwrap_err().0.contains("unknown command"));
-        assert!(run_line("bind --kernel ARF").unwrap_err().0.contains("--machine"));
-        assert!(run_line("bind --machine [1,1]").unwrap_err().0.contains("--kernel"));
-        assert!(run_line("stats --kernel NOPE").unwrap_err().0.contains("unknown kernel"));
+        assert!(run_line("bind --kernel ARF")
+            .unwrap_err()
+            .0
+            .contains("--machine"));
+        assert!(run_line("bind --machine [1,1]")
+            .unwrap_err()
+            .0
+            .contains("--kernel"));
+        assert!(run_line("stats --kernel NOPE")
+            .unwrap_err()
+            .0
+            .contains("unknown kernel"));
         assert!(run_line("bind --kernel ARF --machine [1,1] --algo magic")
             .unwrap_err()
             .0

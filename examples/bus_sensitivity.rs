@@ -18,14 +18,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let dfg = kernel.build();
     let base = Machine::parse("[2,2|2,1|2,2|3,1|1,1]")?;
+    println!("{kernel} on {base}: latency/transfers over the bus grid\n");
     println!(
-        "{kernel} on {base}: latency/transfers over the bus grid\n"
+        "{:>10} {:>12} {:>12} {:>12}",
+        "", "lat(move)=1", "lat(move)=2", "lat(move)=3"
     );
-    println!("{:>10} {:>12} {:>12} {:>12}", "", "lat(move)=1", "lat(move)=2", "lat(move)=3");
     for buses in 1..=3u32 {
         let mut cells = Vec::new();
         for move_lat in 1..=3u32 {
-            let machine = base.clone().with_bus_count(buses).with_move_latency(move_lat);
+            let machine = base
+                .clone()
+                .with_bus_count(buses)
+                .with_move_latency(move_lat);
             let result = Binder::new(&machine).bind(&dfg);
             cells.push(format!("{}/{}", result.latency(), result.moves()));
         }

@@ -52,9 +52,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Execute the best binding on the cycle-accurate simulator and
     // report utilization.
     let report = Simulator::new(&machine).run(&full.bound, &full.schedule)?;
-    println!("\nsimulated {} cycles, {} bus transfers", report.cycles, report.bus_transfers);
+    println!(
+        "\nsimulated {} cycles, {} bus transfers",
+        report.cycles, report.bus_transfers
+    );
     for (c, util) in report.fu_utilization.iter().enumerate() {
-        println!("  cluster {c}: {:>5.1}% FU issue-slot utilization", 100.0 * util);
+        println!(
+            "  cluster {c}: {:>5.1}% FU issue-slot utilization",
+            100.0 * util
+        );
     }
     println!("  bus      : {:>5.1}%", 100.0 * report.bus_utilization);
     Ok(())

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => Kernel::DctDif,
     };
     let dfg = kernel.build();
-    println!("exploring datapaths for {kernel}: {}\n", DfgStats::unit_latency(&dfg));
+    println!(
+        "exploring datapaths for {kernel}: {}\n",
+        DfgStats::unit_latency(&dfg)
+    );
 
     let explorer = Explorer::new(ExplorerConfig {
         max_clusters: 3,

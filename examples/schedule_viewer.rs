@@ -19,16 +19,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .ok_or_else(|| format!("unknown kernel {name:?}"))?,
         None => Kernel::Arf,
     };
-    let datapath = std::env::args().nth(2).unwrap_or_else(|| "[2,1|1,1]".to_owned());
+    let datapath = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "[2,1|1,1]".to_owned());
     let dfg = kernel.build();
     let machine = Machine::parse(&datapath)?;
 
     let result = Binder::new(&machine).bind(&dfg);
-    eprintln!("{kernel} on {machine}: latency {} with {} transfers", result.latency(), result.moves());
+    eprintln!(
+        "{kernel} on {machine}: latency {} with {} transfers",
+        result.latency(),
+        result.moves()
+    );
     eprintln!("\n{}", result.schedule.to_table(&result.bound, &machine));
 
     let report = Simulator::new(&machine).run(&result.bound, &result.schedule)?;
-    eprintln!("simulator: {} cycles, bus utilization {:.0}%", report.cycles, 100.0 * report.bus_utilization);
+    eprintln!(
+        "simulator: {} cycles, bus utilization {:.0}%",
+        report.cycles,
+        100.0 * report.bus_utilization
+    );
 
     // DOT on stdout so it can be piped to graphviz.
     let bound = &result.bound;

@@ -45,9 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for factor in [1usize, 2, 4, 8] {
         let dfg = unroll(&body, &carries, factor)?;
         let result = Binder::new(&machine).bind(&dfg);
-        let pressure = result
-            .schedule
-            .register_pressure(&result.bound, &machine);
+        let pressure = result.schedule.register_pressure(&result.bound, &machine);
         println!(
             "{:>7} {:>6} {:>9} {:>10} {:>16.2} {:>12}",
             factor,

@@ -52,8 +52,8 @@ pub use vliw_baselines as baselines;
 pub use vliw_binding as binding;
 pub use vliw_datapath as datapath;
 pub use vliw_dfg as dfg;
-pub use vliw_kernels as kernels;
 pub use vliw_explore as explore;
+pub use vliw_kernels as kernels;
 pub use vliw_modulo as modulo;
 pub use vliw_pcc as pcc;
 pub use vliw_sched as sched;

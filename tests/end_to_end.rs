@@ -91,7 +91,10 @@ fn pcc_and_b_iter_both_respect_lower_bounds() {
             let pcc = Pcc::new(&machine).bind(&dfg);
             let ours = Binder::new(&machine).bind(&dfg);
             assert!(pcc.latency() >= lb, "{kernel} on {text}: PCC below bound");
-            assert!(ours.latency() >= lb, "{kernel} on {text}: B-ITER below bound");
+            assert!(
+                ours.latency() >= lb,
+                "{kernel} on {text}: B-ITER below bound"
+            );
         }
     }
 }
@@ -132,6 +135,9 @@ fn move_latency_increase_never_reduces_latency() {
             prev = prev.max(result.latency());
         }
         let fast = Binder::new(&base).bind_initial(&dfg).latency();
-        assert!(prev >= fast, "{kernel}: slower buses cannot beat faster ones overall");
+        assert!(
+            prev >= fast,
+            "{kernel}: slower buses cannot beat faster ones overall"
+        );
     }
 }

@@ -105,7 +105,12 @@ fn b_iter_beats_or_ties_pcc_on_a_clear_majority() {
             ok += 1;
         }
     }
-    assert!(ok >= rows.len() - 1, "B-ITER lost to PCC on {} of {} rows", rows.len() - ok, rows.len());
+    assert!(
+        ok >= rows.len() - 1,
+        "B-ITER lost to PCC on {} of {} rows",
+        rows.len() - ok,
+        rows.len()
+    );
 }
 
 #[test]
@@ -115,7 +120,10 @@ fn table2_trends_reproduce() {
     let dfg = Kernel::Fft.build();
     let base = Machine::parse("[2,2|2,1|2,2|3,1|1,1]").expect("machine parses");
     let bind = |buses: u32, move_lat: u32| {
-        let machine = base.clone().with_bus_count(buses).with_move_latency(move_lat);
+        let machine = base
+            .clone()
+            .with_bus_count(buses)
+            .with_move_latency(move_lat);
         Binder::new(&machine).bind(&dfg).latency()
     };
     let l11 = bind(1, 1);
@@ -124,7 +132,10 @@ fn table2_trends_reproduce() {
     let l22 = bind(2, 2);
     assert!(l21 <= l11, "adding a bus must not hurt ({l21} vs {l11})");
     assert!(l22 <= l12, "adding a bus must not hurt ({l22} vs {l12})");
-    assert!(l12 + 1 >= l11, "sanity: lat(move)=2 should not be wildly better");
+    assert!(
+        l12 + 1 >= l11,
+        "sanity: lat(move)=2 should not be wildly better"
+    );
     assert!(l11 <= l12, "slower transfers must not speed things up");
 }
 

@@ -1,0 +1,213 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the tiny API subset it actually consumes: [`rngs::StdRng`]
+//! seeded via [`SeedableRng::seed_from_u64`], and the [`Rng`] extension
+//! methods `gen_range`, `gen_bool` and `gen::<f64>()`. The generator is
+//! SplitMix64 — deterministic per seed, which is all the callers
+//! (seeded kernel generators, the annealing baseline, property tests)
+//! rely on. It is **not** a cryptographic generator and makes no
+//! attempt to match upstream `rand`'s value streams.
+
+// Vendored stand-in crate: keep the subset simple, not lint-perfect.
+#![allow(clippy::all)]
+
+use std::ops::Range;
+
+/// Core entropy source: everything above is derived from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding support (subset of upstream's `SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed. The same seed always
+    /// yields the same stream.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that [`Rng::gen`] can produce (upstream: the `Standard`
+/// distribution).
+pub trait Standard: Sized {
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn from_bits(bits: u64) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn from_bits(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn from_bits(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn from_bits(bits: u64) -> u64 {
+        bits
+    }
+}
+
+/// Types usable as [`Rng::gen_range`] bounds.
+pub trait SampleUniform: Copy {
+    fn sample_half_open(rng: &mut dyn RngCore, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open(rng: &mut dyn RngCore, range: Range<$t>) -> $t {
+                assert!(
+                    range.start < range.end,
+                    "cannot sample empty range {}..{}",
+                    range.start,
+                    range.end
+                );
+                let span = (range.end as u128).wrapping_sub(range.start as u128);
+                let r = ((rng.next_u64() as u128) % span) as $t;
+                range.start + r
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// Extension methods over any [`RngCore`] (subset of upstream's `Rng`).
+pub trait Rng: RngCore {
+    /// A value of `T` from its standard distribution (`f64` in `[0,1)`).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// A uniform value in `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_half_open(self, range)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0, 1]"
+        );
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        #[inline]
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014) — public-domain mixer.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let x = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(5usize..5);
+    }
+}

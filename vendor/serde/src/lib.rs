@@ -1,0 +1,360 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! vendors a minimal data-model-compatible replacement: a JSON-shaped
+//! [`Value`] tree, [`Serialize`]/[`Deserialize`] traits that convert to
+//! and from that tree, and `#[derive(Serialize, Deserialize)]` macros
+//! (re-exported from the sibling `serde_derive` crate) for structs with
+//! named fields, newtype structs, and enums with unit variants — the
+//! exact shapes this repository serializes. `serde_json` (also
+//! vendored) layers JSON text parsing/printing on top of [`Value`].
+//!
+//! Compatibility notes versus upstream serde:
+//! - serialization is eager and tree-based, not visitor-based;
+//! - unknown object fields are ignored on deserialize (upstream
+//!   default), and `#[serde(default)]` on a field falls back to
+//!   `Default::default()` when the field is missing;
+//! - unit enum variants serialize as their name string, newtype structs
+//!   as their inner value, tuples and arrays as JSON arrays — all
+//!   matching upstream serde_json conventions, so documented JSON
+//!   formats stay valid.
+
+// Vendored stand-in crate: keep the subset simple, not lint-perfect.
+#![allow(clippy::all)]
+
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value};
+
+use std::fmt;
+
+/// Serialization/deserialization error: a message describing the
+/// mismatch between a [`Value`] and the requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error with the given message (mirrors `serde::de::Error::custom`).
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Error {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] naming the first structural mismatch.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Field lookup in an object body, used by the derive expansion.
+#[doc(hidden)]
+pub fn __find<'v>(fields: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| {
+                    Error::custom(format!(
+                        "expected unsigned integer, found {}", v.kind()
+                    ))
+                })?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 {
+                    Value::Number(Number::PosInt(i as u64))
+                } else {
+                    Value::Number(Number::NegInt(i))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| {
+                    Error::custom(format!("expected integer, found {}", v.kind()))
+                })?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, found {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let got = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected array of length {N}, found {got}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+) with $len:expr;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    Value::Array(items) => Err(Error::custom(format!(
+                        "expected tuple of length {}, found {}", $len, items.len()
+                    ))),
+                    other => Err(Error::custom(format!(
+                        "expected array, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0) with 1;
+    (A: 0, B: 1) with 2;
+    (A: 0, B: 1, C: 2) with 3;
+    (A: 0, B: 1, C: 2, D: 3) with 4;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_round_trip_and_range_check() {
+        let v = 300u32.to_value();
+        assert_eq!(u32::from_value(&v), Ok(300));
+        assert!(u8::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn int_sign_preserved() {
+        let v = (-5i32).to_value();
+        assert_eq!(i32::from_value(&v), Ok(-5));
+        assert!(u32::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn float_accepts_integer_literals() {
+        let v = Value::Number(Number::PosInt(3));
+        assert_eq!(f64::from_value(&v), Ok(3.0));
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Some(7u32).to_value(), 7u32.to_value());
+    }
+
+    #[test]
+    fn tuple_as_array() {
+        let v = (3u32, 4u32).to_value();
+        assert_eq!(v, Value::Array(vec![3u32.to_value(), 4u32.to_value()]));
+        assert_eq!(<(u32, u32)>::from_value(&v), Ok((3, 4)));
+    }
+
+    #[test]
+    fn fixed_array_length_checked() {
+        let v = [1u32, 2].to_value();
+        assert_eq!(<[u32; 2]>::from_value(&v), Ok([1, 2]));
+        assert!(<[u32; 3]>::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn find_locates_fields() {
+        let fields = vec![
+            ("a".to_string(), Value::Null),
+            ("b".to_string(), Value::Bool(true)),
+        ];
+        assert_eq!(__find(&fields, "b"), Some(&Value::Bool(true)));
+        assert_eq!(__find(&fields, "c"), None);
+    }
+}

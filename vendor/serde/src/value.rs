@@ -1,0 +1,219 @@
+//! The JSON-shaped value tree shared by the vendored `serde` and
+//! `serde_json` stand-ins.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON number: unsigned, signed-negative, or floating.
+///
+/// Keeping integers apart from floats lets `u64`/`i64` round-trip
+/// losslessly, matching upstream `serde_json::Number`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A floating-point number.
+    Float(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::PosInt(n) => write!(f, "{n}"),
+            Number::NegInt(n) => write!(f, "{n}"),
+            Number::Float(x) => {
+                if x.is_finite() && x.fract() == 0.0 && x.abs() < 1e15 {
+                    // Keep a fractional part so the text re-parses as a float.
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}
+
+/// A JSON document tree (stand-in for `serde_json::Value`).
+///
+/// Objects preserve insertion order; lookup is linear, which is fine at
+/// the sizes this repository serializes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The object body, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The array body, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `u64` if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `i64` if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => i64::try_from(*n).ok(),
+            Value::Number(Number::NegInt(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64` (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => Some(*n as f64),
+            Value::Number(Number::NegInt(n)) => Some(*n as f64),
+            Value::Number(Number::Float(x)) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Member lookup; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|fields| fields.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+macro_rules! impl_value_eq_num {
+    ($($t:ty => $via:ident),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.$via().and_then(|n| <$t>::try_from(n).ok()) == Some(*other)
+            }
+        }
+    )*};
+}
+
+impl_value_eq_num!(u8 => as_u64, u16 => as_u64, u32 => as_u64, u64 => as_u64,
+                   i8 => as_i64, i16 => as_i64, i32 => as_i64, i64 => as_i64);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        matches!(self, Value::Number(Number::Float(x)) if x == other)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// `value["key"]`, yielding `Null` for anything missing — the same
+    /// forgiving behavior as `serde_json`.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_missing_is_null() {
+        let v = Value::Object(vec![("a".into(), Value::Bool(true))]);
+        assert_eq!(v["a"], Value::Bool(true));
+        assert_eq!(v["zzz"], Value::Null);
+        assert_eq!(Value::Null["anything"], Value::Null);
+    }
+
+    #[test]
+    fn number_display_keeps_float_shape() {
+        assert_eq!(Number::Float(1.0).to_string(), "1.0");
+        assert_eq!(Number::Float(1.5).to_string(), "1.5");
+        assert_eq!(Number::PosInt(7).to_string(), "7");
+        assert_eq!(Number::NegInt(-7).to_string(), "-7");
+    }
+
+    #[test]
+    fn as_i64_covers_both_int_variants() {
+        assert_eq!(Value::Number(Number::PosInt(5)).as_i64(), Some(5));
+        assert_eq!(Value::Number(Number::NegInt(-5)).as_i64(), Some(-5));
+        assert_eq!(Value::Number(Number::Float(5.0)).as_i64(), None);
+    }
+}

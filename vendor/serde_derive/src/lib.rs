@@ -1,0 +1,449 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! crates.io (and therefore `syn`/`quote`) is unreachable in this build
+//! environment, so the derive macros are written directly against
+//! `proc_macro` token trees. They support exactly the shapes this
+//! workspace serializes:
+//!
+//! - structs with named fields (honoring `#[serde(default)]` and
+//!   `#[serde(default = "path")]` per field),
+//! - one-field tuple structs (serialized transparently, like upstream
+//!   serde's newtype structs),
+//! - enums whose variants are all unit variants (serialized as the
+//!   variant-name string).
+//!
+//! Anything else (generics, data-carrying enum variants, multi-field
+//! tuple structs) produces a `compile_error!` naming the limitation, so
+//! a future change that outgrows the stand-in fails loudly rather than
+//! silently mis-serializing.
+
+// Vendored stand-in crate: keep the subset simple, not lint-perfect.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => expand_serialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => expand_deserialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error token stream parses")
+}
+
+/// One named field: its identifier and its `#[serde(default)]` policy.
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+/// How a missing field deserializes.
+#[derive(Clone, PartialEq)]
+enum FieldDefault {
+    /// No default attribute: missing field is an error.
+    Required,
+    /// `#[serde(default)]`: use `Default::default()`.
+    Trait,
+    /// `#[serde(default = "path")]`: call `path()`.
+    Path(String),
+}
+
+enum Shape {
+    /// `struct S { a: T, b: U }`
+    Named(Vec<Field>),
+    /// `struct S(T);`
+    Newtype,
+    /// `enum E { A, B, C }`
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips `#[...]` attribute groups, reporting any
+    /// `#[serde(default)]` / `#[serde(default = "path")]` among them.
+    fn skip_attributes(&mut self) -> FieldDefault {
+        let mut default = FieldDefault::Required;
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next(); // '#'
+            if let Some(TokenTree::Group(g)) = self.next() {
+                if let Some(d) = serde_default(&g.stream()) {
+                    default = d;
+                }
+            }
+        }
+        default
+    }
+
+    /// Skips `pub` / `pub(crate)` / `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            if matches!(
+                self.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!(
+                "serde stand-in derive: expected identifier, found {other:?}"
+            )),
+        }
+    }
+}
+
+/// `serde ( default )` and `serde ( default = "path" )` — the only helper
+/// attribute forms the stand-in honors.
+fn serde_default(attr_body: &TokenStream) -> Option<FieldDefault> {
+    let tokens: Vec<TokenTree> = attr_body.clone().into_iter().collect();
+    let args = match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => {
+            args.stream().into_iter().collect::<Vec<TokenTree>>()
+        }
+        _ => return None,
+    };
+    match args.as_slice() {
+        [TokenTree::Ident(i)] if i.to_string() == "default" => Some(FieldDefault::Trait),
+        [TokenTree::Ident(i), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+            if i.to_string() == "default" && eq.as_char() == '=' =>
+        {
+            let text = lit.to_string();
+            let path = text.trim_matches('"').to_string();
+            Some(FieldDefault::Path(path))
+        }
+        _ => None,
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kw = c.expect_ident()?;
+    let name = c.expect_ident()?;
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in derive: generic type `{name}` is not supported; \
+             extend vendor/serde_derive if this is needed"
+        ));
+    }
+    let body = match c.next() {
+        Some(TokenTree::Group(g)) => g,
+        other => {
+            return Err(format!(
+                "serde stand-in derive: expected body of `{name}`, found {other:?}"
+            ))
+        }
+    };
+    let shape = match (kw.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::Named(parse_named_fields(body.stream())?),
+        ("struct", Delimiter::Parenthesis) => {
+            let arity = parse_tuple_arity(body.stream());
+            if arity == 1 {
+                Shape::Newtype
+            } else {
+                return Err(format!(
+                    "serde stand-in derive: tuple struct `{name}` has {arity} fields; \
+                     only newtype (1-field) tuple structs are supported"
+                ));
+            }
+        }
+        ("enum", Delimiter::Brace) => Shape::UnitEnum(parse_unit_variants(body.stream(), &name)?),
+        _ => {
+            return Err(format!(
+                "serde stand-in derive: unsupported item `{kw} {name}`"
+            ))
+        }
+    };
+    Ok(Item { name, shape })
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let default = c.skip_attributes();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_visibility();
+        let name = c.expect_ident()?;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde stand-in derive: expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type: everything up to the next comma that is not
+        // nested inside `<...>` (commas inside (), [] and {} are whole
+        // groups and never split).
+        let mut angle_depth = 0i32;
+        while let Some(t) = c.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    c.next();
+                    break;
+                }
+                _ => {}
+            }
+            c.next();
+        }
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_arity(stream: TokenStream) -> usize {
+    // Fields of a tuple struct are separated by top-level commas; a
+    // trailing comma does not add a field.
+    let mut arity = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                arity += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_unit_variants(stream: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident()?;
+        match c.next() {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name),
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde stand-in derive: variant `{enum_name}::{name}` carries data; \
+                     only unit variants are supported"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Skip an explicit discriminant.
+                while let Some(t) = c.next() {
+                    if matches!(&t, TokenTree::Punct(q) if q.as_char() == ',') {
+                        break;
+                    }
+                }
+                variants.push(name);
+            }
+            other => {
+                return Err(format!(
+                    "serde stand-in derive: unexpected token after variant \
+                     `{enum_name}::{name}`: {other:?}"
+                ));
+            }
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn expand_serialize(item: &Item) -> String {
+    let name = &item.name;
+    match &item.shape {
+        Shape::Named(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push((::std::string::String::from({n:?}), \
+                         ::serde::Serialize::to_value(&self.{n})));\n",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Shape::Newtype => format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}\n"
+        ),
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},\n"))
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::String(::std::string::String::from(match self {{\n\
+                             {arms}\
+                         }}))\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+fn expand_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    match &item.shape {
+        Shape::Named(fields) => {
+            let field_inits: String = fields
+                .iter()
+                .map(|f| {
+                    let missing = match &f.default {
+                        FieldDefault::Trait => "::std::default::Default::default()".to_string(),
+                        FieldDefault::Path(path) => format!("{path}()"),
+                        FieldDefault::Required => {
+                            let msg = format!("missing field `{}` in {}", f.name, name);
+                            format!(
+                                "return ::std::result::Result::Err(::serde::Error::custom({msg:?}))"
+                            )
+                        }
+                    };
+                    format!(
+                        "{n}: match ::serde::__find(__fields, {n:?}) {{\n\
+                             ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                             ::std::option::Option::None => {missing},\n\
+                         }},\n",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __fields = match __v {{\n\
+                             ::serde::Value::Object(__m) => __m.as_slice(),\n\
+                             __other => return ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"expected object for struct {name}, found {{}}\", __other.kind()))),\n\
+                         }};\n\
+                         ::std::result::Result::Ok({name} {{\n\
+                             {field_inits}\
+                         }})\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Shape::Newtype => format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))\n\
+                 }}\n\
+             }}\n"
+        ),
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                                 {arms}\
+                                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                             }},\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"expected string for enum {name}, found {{}}\", __other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}

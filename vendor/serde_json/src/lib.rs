@@ -1,0 +1,266 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Layers JSON text parsing and printing over the vendored `serde`
+//! crate's [`Value`] tree, covering the API subset this workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], [`from_value`],
+//! [`to_value`], [`Value`]/[`Number`], [`Error`], and a [`json!`] macro
+//! supporting object/array literals with string keys and arbitrary
+//! serializable expression values.
+
+// Vendored stand-in crate: keep the subset simple, not lint-perfect.
+#![allow(clippy::all)]
+
+mod parse;
+mod print;
+
+pub use serde::{Number, Value};
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// JSON error: a message, optionally with the byte offset where text
+/// parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    offset: Option<usize>,
+}
+
+impl Error {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+            offset: None,
+        }
+    }
+
+    pub(crate) fn at(message: impl Into<String>, offset: usize) -> Self {
+        Error {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "{} at byte {o}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes `value` as compact JSON text.
+///
+/// # Errors
+///
+/// Returns an [`Error`] if the value contains a non-finite float (JSON
+/// has no representation for NaN/infinity).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    print::print(&value.to_value(), None)
+}
+
+/// Serializes `value` as two-space-indented JSON text.
+///
+/// # Errors
+///
+/// Same conditions as [`to_string`].
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    print::print(&value.to_value(), Some(2))
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Returns an [`Error`] for malformed JSON or a structural mismatch
+/// with `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Converts a [`Value`] tree into any deserializable type.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on structural mismatch.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    Ok(T::from_value(&value)?)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// Infallible in this stand-in (upstream returns `Result`); the
+/// [`json!`] macro relies on it.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Builds a [`Value`] from a JSON-shaped literal.
+///
+/// Supports `null`, `true`/`false`, array literals, object literals
+/// with string-literal keys, and arbitrary serializable Rust
+/// expressions in value position:
+///
+/// ```
+/// let who = "paper";
+/// let v = serde_json::json!({
+///     "name": who,
+///     "tables": [1, 2],
+///     "nested": { "ok": true },
+/// });
+/// assert_eq!(v["nested"]["ok"], serde_json::Value::Bool(true));
+/// ```
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => { $crate::json_value!($($tt)+) };
+}
+
+/// Implementation detail of [`json!`]: classifies one JSON value.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_value {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {{
+        let mut __items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_munch!(@arr __items () ($($tt)+));
+        $crate::Value::Array(__items)
+    }};
+    ({}) => { $crate::Value::Object(::std::vec::Vec::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut __fields: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::json_munch!(@obj __fields ($($tt)+));
+        $crate::Value::Object(__fields)
+    }};
+    ($($expr:tt)+) => { $crate::to_value(&($($expr)+)) };
+}
+
+/// Implementation detail of [`json!`]: token munchers for object and
+/// array bodies. Commas nested inside `()`/`[]`/`{}` are invisible to
+/// the muncher (they sit inside a single token tree), so value
+/// expressions may contain calls and literals freely.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_munch {
+    // -- objects: `key : value , ...` with string-literal keys --------
+    (@obj $fields:ident ()) => {};
+    (@obj $fields:ident ($key:tt : $($rest:tt)+)) => {
+        $crate::json_munch!(@objval $fields $key () ($($rest)+));
+    };
+    // Value complete at a top-level comma.
+    (@objval $fields:ident $key:tt ($($val:tt)+) (, $($rest:tt)*)) => {
+        $fields.push((::std::string::String::from($key), $crate::json_value!($($val)+)));
+        $crate::json_munch!(@obj $fields ($($rest)*));
+    };
+    // Value complete at end of input.
+    (@objval $fields:ident $key:tt ($($val:tt)+) ()) => {
+        $fields.push((::std::string::String::from($key), $crate::json_value!($($val)+)));
+    };
+    // Otherwise: move one token into the accumulator.
+    (@objval $fields:ident $key:tt ($($val:tt)*) ($next:tt $($rest:tt)*)) => {
+        $crate::json_munch!(@objval $fields $key ($($val)* $next) ($($rest)*));
+    };
+
+    // -- arrays: `value , value , ...` --------------------------------
+    (@arr $items:ident ($($val:tt)+) (, $($rest:tt)*)) => {
+        $items.push($crate::json_value!($($val)+));
+        $crate::json_munch!(@arr $items () ($($rest)*));
+    };
+    (@arr $items:ident ($($val:tt)+) ()) => {
+        $items.push($crate::json_value!($($val)+));
+    };
+    (@arr $items:ident () ()) => {};
+    (@arr $items:ident ($($val:tt)*) ($next:tt $($rest:tt)*)) => {
+        $crate::json_munch!(@arr $items ($($val)* $next) ($($rest)*));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_literals() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(true), Value::Bool(true));
+        assert_eq!(json!(3), Value::Number(Number::PosInt(3)));
+        assert_eq!(json!("hi"), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn json_macro_nested_structures() {
+        let kernel = "arf";
+        let pair = (8u32, 2u32);
+        let v = json!({
+            "kernel": kernel,
+            "paper": { "pcc": pair, "empty": {} },
+            "rows": [1, 2, 3],
+            "trailing": [true, false,],
+        });
+        assert_eq!(v["kernel"], Value::String("arf".into()));
+        assert_eq!(v["paper"]["pcc"][1], Value::Number(Number::PosInt(2)));
+        assert_eq!(v["paper"]["empty"], Value::Object(vec![]));
+        assert_eq!(v["rows"].as_array().unwrap().len(), 3);
+        assert_eq!(v["trailing"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn json_macro_method_call_values() {
+        struct P;
+        impl P {
+            fn name(&self) -> String {
+                "ewf".into()
+            }
+            fn gain(&self, base: f64) -> f64 {
+                base + 1.5
+            }
+        }
+        let p = P;
+        let v = json!({ "name": p.name(), "gain": p.gain(2.0), "sum": 1 + 2 });
+        assert_eq!(v["name"].as_str(), Some("ewf"));
+        assert_eq!(v["gain"].as_f64(), Some(3.5));
+        assert_eq!(v["sum"].as_u64(), Some(3));
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let v = json!({
+            "a": [1, -2, 3.5],
+            "b": { "c": null, "d": "x\"y\n" },
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(back2, v);
+    }
+
+    #[test]
+    fn from_value_and_to_value() {
+        let v = to_value(&vec![(1u32, 2u32)]);
+        let back: Vec<(u32, u32)> = from_value(v).unwrap();
+        assert_eq!(back, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(from_str::<Value>("{ not json").is_err());
+        assert!(from_str::<u32>("\"string\"").is_err());
+        assert!(to_string(&f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! JSON text printing (compact and pretty) for [`Value`] trees.
+
+use crate::Error;
+use serde::{Number, Value};
+use std::fmt::Write;
+
+/// Prints `value`; `indent = None` is compact, `Some(n)` indents nested
+/// levels by `n` spaces per depth (serde_json pretty style).
+pub(crate) fn print(value: &Value, indent: Option<usize>) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, indent, 0)?;
+    Ok(out)
+}
+
+fn write_value(
+    out: &mut String,
+    value: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => {
+            if let Number::Float(x) = n {
+                if !x.is_finite() {
+                    return Err(Error::new(format!(
+                        "JSON cannot represent non-finite float {x}"
+                    )));
+                }
+            }
+            let _ = write!(out, "{n}");
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1)?;
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1)?;
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(n) = indent {
+        out.push('\n');
+        for _ in 0..n * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_output() {
+        let v = Value::Object(vec![
+            (
+                "a".into(),
+                Value::Array(vec![Value::Null, Value::Bool(true)]),
+            ),
+            ("b".into(), Value::Number(Number::Float(1.0))),
+        ]);
+        assert_eq!(print(&v, None).unwrap(), r#"{"a":[null,true],"b":1.0}"#);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = Value::Object(vec![("a".into(), Value::Number(Number::PosInt(1)))]);
+        assert_eq!(print(&v, Some(2)).unwrap(), "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let v = Value::String("a\u{1}b".into());
+        assert_eq!(print(&v, None).unwrap(), "\"a\\u0001b\"");
+    }
+}
