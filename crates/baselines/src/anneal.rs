@@ -13,7 +13,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vliw_binding::BindingResult;
+use vliw_binding::{validate_inputs, verify_result, BindError, BindingResult};
 use vliw_datapath::Machine;
 use vliw_dfg::Dfg;
 use vliw_sched::Binding;
@@ -88,8 +88,28 @@ impl<'m> Annealer<'m> {
     ///
     /// # Panics
     ///
-    /// Panics if the machine cannot execute some operation of `dfg`.
+    /// Panics on the [`Annealer::try_bind`] error conditions.
     pub fn bind(&self, dfg: &Dfg) -> BindingResult {
+        self.try_bind(dfg)
+            .unwrap_or_else(|e| panic!("annealing binding failed: {e}"))
+    }
+
+    /// Fallible [`Annealer::bind`]: validates the inputs up front and
+    /// re-checks the best result with the independent verifier
+    /// ([`vliw_sched::verify`]).
+    ///
+    /// # Errors
+    ///
+    /// A [`BindError`] for malformed inputs or a result failing
+    /// verification.
+    pub fn try_bind(&self, dfg: &Dfg) -> Result<BindingResult, BindError> {
+        validate_inputs(dfg, self.machine)?;
+        let result = self.bind_inner(dfg);
+        verify_result(dfg, self.machine, &result)?;
+        Ok(result)
+    }
+
+    fn bind_inner(&self, dfg: &Dfg) -> BindingResult {
         let machine = self.machine;
         let mut rng = StdRng::seed_from_u64(self.config.seed);
 

@@ -10,7 +10,7 @@
 //! never fixes start times while binding.
 
 use std::collections::HashMap;
-use vliw_binding::BindingResult;
+use vliw_binding::{validate_inputs, verify_result, BindError, BindingResult};
 use vliw_datapath::{ClusterId, Machine};
 use vliw_dfg::{Dfg, FuType, OpId, Timing};
 use vliw_sched::{Binding, BoundDfg, Schedule};
@@ -82,8 +82,28 @@ impl<'m> Uas<'m> {
     ///
     /// # Panics
     ///
-    /// Panics if the machine cannot execute some operation of `dfg`.
+    /// Panics on the [`Uas::try_bind`] error conditions.
     pub fn bind(&self, dfg: &Dfg) -> BindingResult {
+        self.try_bind(dfg)
+            .unwrap_or_else(|e| panic!("UAS binding failed: {e}"))
+    }
+
+    /// Fallible [`Uas::bind`]: validates the inputs up front and
+    /// re-checks the result with the independent verifier
+    /// ([`vliw_sched::verify`]).
+    ///
+    /// # Errors
+    ///
+    /// A [`BindError`] for malformed inputs or a result failing
+    /// verification.
+    pub fn try_bind(&self, dfg: &Dfg) -> Result<BindingResult, BindError> {
+        validate_inputs(dfg, self.machine)?;
+        let result = self.bind_inner(dfg);
+        verify_result(dfg, self.machine, &result)?;
+        Ok(result)
+    }
+
+    fn bind_inner(&self, dfg: &Dfg) -> BindingResult {
         let machine = self.machine;
         let n = dfg.len();
         let lat = machine.op_latencies(dfg);

@@ -4,7 +4,8 @@
 //! evaluation with the other algorithms its Section 4 discusses.
 //!
 //! Usage: `cargo run -p vliw-bench --release --bin baselines [--quick]
-//! [--threads N] [--no-eval-cache] [--pairs MODE] [--starts N]`
+//! [--threads N] [--no-eval-cache] [--pairs MODE] [--starts N]
+//! [--deadline-ms N] [--max-rounds N] [--verify | --no-verify]`
 
 use std::time::Instant;
 use vliw_baselines::{Annealer, Uas};

@@ -2,7 +2,8 @@
 //! `N_B = 2`, `lat(move) = 1`, printing paper-vs-measured side by side.
 //!
 //! Usage: `cargo run -p vliw-bench --release --bin table1 [--json FILE]
-//! [--threads N] [--no-eval-cache] [--pairs MODE] [--starts N]`
+//! [--threads N] [--no-eval-cache] [--pairs MODE] [--starts N]
+//! [--deadline-ms N] [--max-rounds N] [--verify | --no-verify]`
 
 use std::collections::BTreeMap;
 use vliw_bench::runner::lm;
@@ -13,6 +14,9 @@ use vliw_dfg::DfgStats;
 
 fn main() {
     let json_path = std::env::args().skip_while(|a| a != "--json").nth(1);
+    if let Some(path) = &json_path {
+        vliw_bench::runner::ensure_writable_or_exit(path);
+    }
     let config = vliw_bench::runner::config_from_args(BinderConfig::default());
     let mut json_rows: Vec<serde_json::Value> = Vec::new();
     let mut current_kernel = None;
@@ -102,7 +106,7 @@ fn main() {
 
     if let Some(path) = json_path {
         let blob = serde_json::to_string_pretty(&json_rows).expect("serializable");
-        std::fs::write(&path, blob).expect("write json output");
+        vliw_bench::runner::write_or_exit(&path, &blob);
         println!("  wrote {path}");
     }
 }

@@ -3,7 +3,8 @@
 //! `lat(move) ∈ {1,2}`.
 //!
 //! Usage: `cargo run -p vliw-bench --release --bin table2 [--json FILE]
-//! [--threads N] [--no-eval-cache] [--pairs MODE] [--starts N]`
+//! [--threads N] [--no-eval-cache] [--pairs MODE] [--starts N]
+//! [--deadline-ms N] [--max-rounds N] [--verify | --no-verify]`
 
 use vliw_bench::rows::TABLE2_DATAPATH;
 use vliw_bench::runner::lm;
@@ -14,6 +15,9 @@ use vliw_kernels::Kernel;
 
 fn main() {
     let json_path = std::env::args().skip_while(|a| a != "--json").nth(1);
+    if let Some(path) = &json_path {
+        vliw_bench::runner::ensure_writable_or_exit(path);
+    }
     let config = vliw_bench::runner::config_from_args(BinderConfig::default());
     let dfg = Kernel::Fft.build();
     let mut json_rows: Vec<serde_json::Value> = Vec::new();
@@ -57,7 +61,7 @@ fn main() {
 
     if let Some(path) = json_path {
         let blob = serde_json::to_string_pretty(&json_rows).expect("serializable");
-        std::fs::write(&path, blob).expect("write json output");
+        vliw_bench::runner::write_or_exit(&path, &blob);
         println!("\nwrote {path}");
     }
 }

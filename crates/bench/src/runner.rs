@@ -90,24 +90,100 @@ pub fn lm(pair: (u32, usize)) -> String {
 
 /// Applies the common CLI overrides of the table binaries to a config:
 /// `--pairs none|adjacent|all`, `--starts N`, `--threads N` (0 = one
-/// evaluation worker per CPU) and `--no-eval-cache`.
-pub fn config_from_args(mut config: BinderConfig) -> BinderConfig {
+/// evaluation worker per CPU), `--no-eval-cache`, `--deadline-ms N`,
+/// `--max-rounds N` and `--verify` / `--no-verify`. Flags the runner
+/// does not know (each binary has its own, e.g. `--json FILE`) pass
+/// through untouched.
+///
+/// # Errors
+///
+/// A one-line message when a known flag carries a bad or missing value.
+pub fn try_config_from_args<I>(mut config: BinderConfig, args: I) -> Result<BinderConfig, String>
+where
+    I: IntoIterator<Item = String>,
+{
     use vliw_binding::PairMode;
-    let args: Vec<String> = std::env::args().collect();
-    if args.iter().any(|a| a == "--no-eval-cache") {
-        config.eval_cache = false;
+    let args: Vec<String> = args.into_iter().collect();
+    let value = |i: usize, flag: &str| -> Result<&str, String> {
+        args.get(i + 1)
+            .map(String::as_str)
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    fn number<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> {
+        text.parse()
+            .map_err(|_| format!("{flag} takes a number, got {text:?}"))
     }
-    for window in args.windows(2) {
-        match (window[0].as_str(), window[1].as_str()) {
-            ("--pairs", "none") => config.pair_mode = PairMode::None,
-            ("--pairs", "adjacent") => config.pair_mode = PairMode::Adjacent,
-            ("--pairs", "all") => config.pair_mode = PairMode::All,
-            ("--starts", n) => config.improve_starts = n.parse().expect("--starts takes a number"),
-            ("--threads", n) => config.threads = n.parse().expect("--threads takes a number"),
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--no-eval-cache" => config.eval_cache = false,
+            "--verify" => config.verify = true,
+            "--no-verify" => config.verify = false,
+            "--pairs" => {
+                config.pair_mode = match value(i, "--pairs")? {
+                    "none" => PairMode::None,
+                    "adjacent" => PairMode::Adjacent,
+                    "all" => PairMode::All,
+                    other => return Err(format!("--pairs takes none|adjacent|all, got {other:?}")),
+                };
+                i += 1;
+            }
+            "--starts" => {
+                config.improve_starts = number(value(i, "--starts")?, "--starts")?;
+                i += 1;
+            }
+            "--threads" => {
+                config.threads = number(value(i, "--threads")?, "--threads")?;
+                i += 1;
+            }
+            "--deadline-ms" => {
+                config.deadline_ms = Some(number(value(i, "--deadline-ms")?, "--deadline-ms")?);
+                i += 1;
+            }
+            "--max-rounds" => {
+                config.max_iter_rounds = Some(number(value(i, "--max-rounds")?, "--max-rounds")?);
+                i += 1;
+            }
             _ => {}
         }
+        i += 1;
     }
-    config
+    Ok(config)
+}
+
+/// [`try_config_from_args`] over the process arguments, printing a
+/// one-line error and exiting with status 2 on a bad flag.
+pub fn config_from_args(config: BinderConfig) -> BinderConfig {
+    match try_config_from_args(config, std::env::args().skip(1)) {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Pre-flight check that an output path is writable (creating it if
+/// absent), printing a one-line error and exiting with status 2 when it
+/// is not — so a long benchmark run fails before the work, not after.
+pub fn ensure_writable_or_exit(path: &str) {
+    let probe = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path);
+    if let Err(e) = probe {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+}
+
+/// Writes an output file, printing a one-line error and exiting with
+/// status 2 on failure.
+pub fn write_or_exit(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(2);
+    }
 }
 
 #[cfg(test)]
@@ -147,5 +223,50 @@ mod tests {
     #[test]
     fn lm_formats_like_the_paper() {
         assert_eq!(lm((16, 15)), "16/15");
+    }
+
+    fn parse_flags(line: &str) -> Result<BinderConfig, String> {
+        try_config_from_args(
+            BinderConfig::default(),
+            line.split_whitespace().map(str::to_owned),
+        )
+    }
+
+    #[test]
+    fn config_overrides_parse() {
+        let c = parse_flags(
+            "--pairs all --starts 3 --threads 2 --no-eval-cache \
+             --deadline-ms 500 --max-rounds 7 --verify",
+        )
+        .expect("valid flags");
+        assert_eq!(c.pair_mode, vliw_binding::PairMode::All);
+        assert_eq!(c.improve_starts, 3);
+        assert_eq!(c.threads, 2);
+        assert!(!c.eval_cache);
+        assert_eq!(c.deadline_ms, Some(500));
+        assert_eq!(c.max_iter_rounds, Some(7));
+        assert!(c.verify);
+        assert!(!parse_flags("--no-verify").expect("valid").verify);
+    }
+
+    #[test]
+    fn unrelated_binary_flags_pass_through() {
+        let c = parse_flags("--json out.json --quick --starts 2").expect("valid");
+        assert_eq!(c.improve_starts, 2);
+    }
+
+    #[test]
+    fn bad_flag_values_are_one_line_errors() {
+        for (line, needle) in [
+            ("--pairs sideways", "--pairs takes"),
+            ("--starts many", "--starts takes a number"),
+            ("--threads", "--threads needs a value"),
+            ("--deadline-ms soon", "--deadline-ms takes a number"),
+            ("--max-rounds --verify", "--max-rounds takes a number"),
+        ] {
+            let e = parse_flags(line).expect_err(line);
+            assert!(e.contains(needle), "{line}: {e}");
+            assert!(!e.contains('\n'), "{line}: multi-line error {e:?}");
+        }
     }
 }

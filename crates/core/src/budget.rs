@@ -1,0 +1,124 @@
+//! Search budgets: wall-clock deadlines and descent-round caps.
+//!
+//! The driver and both B-ITER descents share one [`Budget`] per run, so
+//! the configured limits bound the *whole* bind, not each phase. An
+//! exhausted budget never aborts: phases keep whatever best-so-far result
+//! they hold and the driver reports `truncated: true` in its stats.
+
+use crate::config::BinderConfig;
+use std::cell::Cell;
+use std::time::Instant;
+
+/// Shared, interior-mutable budget for one binding run.
+#[derive(Debug)]
+pub(crate) struct Budget {
+    deadline: Option<Instant>,
+    rounds_left: Cell<Option<usize>>,
+    truncated: Cell<bool>,
+}
+
+impl Budget {
+    /// A budget from the config's `deadline_ms` / `max_iter_rounds`
+    /// knobs; `None` on both means unlimited.
+    pub(crate) fn new(config: &BinderConfig) -> Self {
+        Budget {
+            deadline: config
+                .deadline_ms
+                .map(|ms| Instant::now() + std::time::Duration::from_millis(ms)),
+            rounds_left: Cell::new(config.max_iter_rounds),
+            truncated: Cell::new(false),
+        }
+    }
+
+    /// An unlimited budget, for the infallible legacy entry points.
+    pub(crate) fn unlimited() -> Self {
+        Budget {
+            deadline: None,
+            rounds_left: Cell::new(None),
+            truncated: Cell::new(false),
+        }
+    }
+
+    /// Whether a wall-clock deadline is set at all. Phases use this to
+    /// keep the deadline-free fast path batch-granular.
+    pub(crate) fn has_deadline(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    /// Whether the wall-clock deadline has passed. Checking an expired
+    /// budget marks the run as truncated.
+    pub(crate) fn expired(&self) -> bool {
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.truncated.set(true);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Claims one descent round. Returns `false` (and marks the run
+    /// truncated) once the round cap is exhausted; the deadline is
+    /// checked too, so a round never starts on an expired budget.
+    pub(crate) fn take_round(&self) -> bool {
+        if self.expired() {
+            return false;
+        }
+        match self.rounds_left.get() {
+            None => true,
+            Some(0) => {
+                self.truncated.set(true);
+                false
+            }
+            Some(n) => {
+                self.rounds_left.set(Some(n - 1));
+                true
+            }
+        }
+    }
+
+    /// Whether any limit cut the search short.
+    pub(crate) fn truncated(&self) -> bool {
+        self.truncated.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_truncates() {
+        let b = Budget::unlimited();
+        for _ in 0..100 {
+            assert!(b.take_round());
+            assert!(!b.expired());
+        }
+        assert!(!b.truncated());
+    }
+
+    #[test]
+    fn round_cap_is_enforced() {
+        let config = BinderConfig {
+            max_iter_rounds: Some(2),
+            ..BinderConfig::default()
+        };
+        let b = Budget::new(&config);
+        assert!(b.take_round());
+        assert!(b.take_round());
+        assert!(!b.take_round(), "third round exceeds the cap");
+        assert!(b.truncated());
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let config = BinderConfig {
+            deadline_ms: Some(0),
+            ..BinderConfig::default()
+        };
+        let b = Budget::new(&config);
+        assert!(b.expired());
+        assert!(!b.take_round());
+        assert!(b.truncated());
+    }
+}

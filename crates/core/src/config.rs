@@ -110,11 +110,40 @@ pub struct BinderConfig {
     /// quality is unaffected).
     #[serde(default = "default_eval_cache")]
     pub eval_cache: bool,
+    /// Whether every materialized result (including each accepted B-ITER
+    /// step) is re-checked by the independent verifier
+    /// ([`vliw_sched::verify`]). Defaults to the `VLIW_VERIFY`
+    /// environment variable (`0`/`false`/`off` disables, anything else
+    /// enables) and, when unset, to on in debug builds and off in
+    /// release builds — tests and CI verify, hot benchmark paths do not.
+    #[serde(default = "default_verify")]
+    pub verify: bool,
+    /// Wall-clock budget for a whole `try_bind` run, in milliseconds.
+    /// When it expires, the driver stops sweeping/descending and returns
+    /// the best result found so far, flagged `truncated` in its stats.
+    /// `None` (the default) runs to convergence.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
+    /// Cap on the total number of B-ITER descent rounds across both
+    /// quality passes and all improvement starts. `None` (the default)
+    /// leaves only the per-pass `max_iterations` safety cap.
+    #[serde(default)]
+    pub max_iter_rounds: Option<usize>,
 }
 
 /// Serde default for [`BinderConfig::eval_cache`] (on).
 fn default_eval_cache() -> bool {
     true
+}
+
+/// Serde/`Default` default for [`BinderConfig::verify`]: the
+/// `VLIW_VERIFY` environment variable when set, otherwise on in debug
+/// builds, off in release builds.
+fn default_verify() -> bool {
+    match std::env::var("VLIW_VERIFY") {
+        Ok(v) => !matches!(v.to_ascii_lowercase().as_str(), "0" | "false" | "off" | ""),
+        Err(_) => cfg!(debug_assertions),
+    }
 }
 
 impl Default for BinderConfig {
@@ -131,6 +160,9 @@ impl Default for BinderConfig {
             improve_starts: 3,
             threads: 0,
             eval_cache: true,
+            verify: default_verify(),
+            deadline_ms: None,
+            max_iter_rounds: None,
         }
     }
 }
@@ -192,16 +224,24 @@ mod tests {
 
     #[test]
     fn legacy_configs_without_parallel_fields_deserialize() {
-        // Configs serialized before `threads`/`eval_cache` existed must
-        // keep loading: absent fields fall back to auto threads and a
-        // warm cache.
+        // Configs serialized before `threads`/`eval_cache`/`verify`/
+        // budget knobs existed must keep loading: absent fields fall back
+        // to auto threads, a warm cache and an unbounded search.
         let mut v = serde_json::to_value(&BinderConfig::default());
         if let serde_json::Value::Object(fields) = &mut v {
-            fields.retain(|(k, _)| k != "threads" && k != "eval_cache");
+            fields.retain(|(k, _)| {
+                k != "threads"
+                    && k != "eval_cache"
+                    && k != "verify"
+                    && k != "deadline_ms"
+                    && k != "max_iter_rounds"
+            });
         }
         let cfg: BinderConfig = serde_json::from_value(v).expect("legacy config loads");
         assert_eq!(cfg.threads, 0);
         assert!(cfg.eval_cache);
+        assert_eq!(cfg.deadline_ms, None);
+        assert_eq!(cfg.max_iter_rounds, None);
     }
 
     #[test]

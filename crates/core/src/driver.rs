@@ -2,7 +2,9 @@
 //! load-profile latency and binding direction, pick the best by actual
 //! list-schedule quality, then refine with B-ITER.
 
+use crate::budget::Budget;
 use crate::config::BinderConfig;
+use crate::error::{validate_inputs, BindError};
 use crate::eval::{EvalStats, Evaluator};
 use crate::init::initial_binding;
 use crate::iter;
@@ -76,6 +78,28 @@ impl BindingResult {
     }
 }
 
+/// Counters reported by [`Binder::try_bind_with_stats`]: the evaluation
+/// cache statistics of the run plus whether a budget limit
+/// ([`BinderConfig::deadline_ms`] / [`BinderConfig::max_iter_rounds`])
+/// cut the search short.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BindStats {
+    /// Evaluation-cache counters of the run.
+    pub eval: EvalStats,
+    /// Whether the search stopped early on an exhausted budget. The
+    /// returned result is still the best *fully evaluated* (and, with
+    /// [`BinderConfig::verify`] on, verified) binding found so far.
+    pub truncated: bool,
+}
+
+impl BindStats {
+    /// Fraction of evaluations served from the memo (see
+    /// [`EvalStats::hit_rate`]).
+    pub fn hit_rate(&self) -> f64 {
+        self.eval.hit_rate()
+    }
+}
+
 /// The binding driver: B-INIT parameter sweep plus B-ITER refinement.
 ///
 /// # Example
@@ -146,16 +170,41 @@ impl<'m> Binder<'m> {
     ///
     /// Panics if the machine cannot execute some operation of `dfg`
     /// (empty target set) or `dfg` already contains `move` operations.
+    /// Use [`Binder::try_bind_initial`] for a fallible variant.
     pub fn bind_initial(&self, dfg: &Dfg) -> BindingResult {
+        self.try_bind_initial(dfg)
+            .unwrap_or_else(|e| panic!("binding failed: {e}"))
+    }
+
+    /// Fallible [`Binder::bind_initial`]: validates the inputs up front
+    /// and, with [`BinderConfig::verify`] on, re-checks the returned
+    /// result with the independent verifier.
+    ///
+    /// # Errors
+    ///
+    /// A [`BindError`] for malformed inputs or a result failing
+    /// verification.
+    pub fn try_bind_initial(&self, dfg: &Dfg) -> Result<BindingResult, BindError> {
+        validate_inputs(dfg, self.machine)?;
+        let budget = Budget::new(&self.config);
         let evaluator = Evaluator::new(dfg, self.machine, &self.config);
-        self.bind_initial_eval(dfg, &evaluator)
+        let result = self.bind_initial_eval(dfg, &evaluator, &budget);
+        self.verify_result(dfg, &result)?;
+        Ok(result)
     }
 
     /// [`Binder::bind_initial`] against a caller-supplied evaluator, so
     /// the memo carries over into later phases. Only the winning sweep
     /// point is materialized into a full result; the sweep itself runs on
-    /// memoized [`crate::EvalOutcome`] metrics.
-    fn bind_initial_eval(&self, dfg: &Dfg, evaluator: &Evaluator<'_>) -> BindingResult {
+    /// memoized [`crate::EvalOutcome`] metrics. At least one chunk of
+    /// sweep points is always evaluated, so an already-expired budget
+    /// still yields a real (best-of-first-chunk) binding.
+    fn bind_initial_eval(
+        &self,
+        dfg: &Dfg,
+        evaluator: &Evaluator<'_>,
+        budget: &Budget,
+    ) -> BindingResult {
         let floor = resource_lower_bound(dfg, self.machine);
         // Evaluate a pool of sweep points at a time: big enough to keep
         // the workers busy, small enough that the early exit still skips
@@ -174,6 +223,9 @@ impl<'m> Binder<'m> {
                 if best.as_ref().is_none_or(|(lm, _)| outcome.lm() < *lm) {
                     best = Some((outcome.lm(), binding.clone()));
                 }
+            }
+            if budget.expired() {
+                break;
             }
         }
         let (_, binding) = best.expect("the L_PR sweep is never empty");
@@ -207,23 +259,67 @@ impl<'m> Binder<'m> {
     /// top [`BinderConfig::improve_starts`] of these with B-ITER.
     pub fn initial_candidates(&self, dfg: &Dfg) -> Vec<BindingResult> {
         let evaluator = Evaluator::new(dfg, self.machine, &self.config);
-        self.initial_candidates_eval(dfg, &evaluator)
+        self.initial_candidates_eval(dfg, &evaluator, &Budget::unlimited())
     }
 
     /// [`Binder::initial_candidates`] against a caller-supplied
     /// evaluator. The stable sort preserves sweep order among equal
     /// `(L, N_MV)` pairs, so the outcome does not depend on thread count
-    /// or cache state.
-    fn initial_candidates_eval(&self, dfg: &Dfg, evaluator: &Evaluator<'_>) -> Vec<BindingResult> {
-        let mut results = evaluator.evaluate_all(self.sweep_bindings(dfg));
+    /// or cache state. With a deadline set, sweep points are evaluated a
+    /// chunk at a time and an expiring clock stops after the current
+    /// chunk — the first chunk always completes, so at least one
+    /// candidate is returned.
+    fn initial_candidates_eval(
+        &self,
+        dfg: &Dfg,
+        evaluator: &Evaluator<'_>,
+        budget: &Budget,
+    ) -> Vec<BindingResult> {
+        let bindings = self.sweep_bindings(dfg);
+        let chunk = if budget.has_deadline() {
+            (evaluator.threads() * 2).max(1)
+        } else {
+            bindings.len().max(1)
+        };
+        let mut results: Vec<BindingResult> = Vec::with_capacity(bindings.len());
+        for batch in bindings.chunks(chunk) {
+            results.extend(evaluator.evaluate_all(batch.to_vec()));
+            if budget.expired() {
+                break;
+            }
+        }
         results.sort_by_key(BindingResult::lm);
         results
     }
 
     /// Phase 2 — **B-ITER** refinement of an existing result
     /// (Section 3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`Binder::try_improve`] error conditions.
     pub fn improve(&self, dfg: &Dfg, start: BindingResult) -> BindingResult {
         iter::improve(dfg, self.machine, &self.config, start)
+    }
+
+    /// Fallible [`Binder::improve`]: validates the inputs and the
+    /// starting binding, runs both B-ITER descents under the configured
+    /// budget, and (with [`BinderConfig::verify`] on) re-checks the
+    /// refined result.
+    ///
+    /// # Errors
+    ///
+    /// A [`BindError`] for malformed inputs, a starting binding that is
+    /// illegal for this DFG/machine pair, or a result failing
+    /// verification.
+    pub fn try_improve(&self, dfg: &Dfg, start: BindingResult) -> Result<BindingResult, BindError> {
+        validate_inputs(dfg, self.machine)?;
+        start.binding.validate(dfg, self.machine)?;
+        let budget = Budget::new(&self.config);
+        let evaluator = Evaluator::new(dfg, self.machine, &self.config);
+        let improved = iter::improve_eval_budgeted(&evaluator, &self.config, start, &budget);
+        self.verify_result(dfg, &improved)?;
+        Ok(improved)
     }
 
     /// The complete algorithm: B-INIT sweep followed by B-ITER on the
@@ -234,29 +330,85 @@ impl<'m> Binder<'m> {
     ///
     /// # Panics
     ///
-    /// Same conditions as [`Binder::bind_initial`].
+    /// Panics on the [`Binder::try_bind`] error conditions. Use
+    /// [`Binder::try_bind`] for a fallible variant.
     pub fn bind(&self, dfg: &Dfg) -> BindingResult {
-        self.bind_with_stats(dfg).0
+        self.try_bind(dfg)
+            .unwrap_or_else(|e| panic!("binding failed: {e}"))
     }
 
-    /// [`Binder::bind`], also reporting the evaluation-cache counters of
-    /// the run (for the benchmark harness).
-    pub fn bind_with_stats(&self, dfg: &Dfg) -> (BindingResult, EvalStats) {
+    /// Fallible [`Binder::bind`]: rejects malformed inputs with a typed
+    /// [`BindError`] instead of panicking, bounds the search by
+    /// [`BinderConfig::deadline_ms`] / [`BinderConfig::max_iter_rounds`],
+    /// and (with [`BinderConfig::verify`] on) re-checks the final result
+    /// with the independent verifier.
+    ///
+    /// # Errors
+    ///
+    /// A [`BindError`] for malformed inputs or a result failing
+    /// verification.
+    pub fn try_bind(&self, dfg: &Dfg) -> Result<BindingResult, BindError> {
+        Ok(self.try_bind_with_stats(dfg)?.0)
+    }
+
+    /// [`Binder::bind`], also reporting the run's [`BindStats`] (for the
+    /// benchmark harness and budget-aware callers).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`Binder::try_bind`] error conditions.
+    pub fn bind_with_stats(&self, dfg: &Dfg) -> (BindingResult, BindStats) {
+        self.try_bind_with_stats(dfg)
+            .unwrap_or_else(|e| panic!("binding failed: {e}"))
+    }
+
+    /// Fallible [`Binder::bind_with_stats`]: the full pipeline with
+    /// input validation, budgeted descents and optional result
+    /// verification. An exhausted budget is not an error — the best
+    /// result found so far comes back with `truncated: true` in the
+    /// stats.
+    ///
+    /// # Errors
+    ///
+    /// A [`BindError`] for malformed inputs or a result failing
+    /// verification.
+    pub fn try_bind_with_stats(&self, dfg: &Dfg) -> Result<(BindingResult, BindStats), BindError> {
+        validate_inputs(dfg, self.machine)?;
+        let budget = Budget::new(&self.config);
         let evaluator = Evaluator::new(dfg, self.machine, &self.config);
         let starts = self.config.improve_starts.max(1);
         let mut best: Option<BindingResult> = None;
         for start in self
-            .initial_candidates_eval(dfg, &evaluator)
+            .initial_candidates_eval(dfg, &evaluator, &budget)
             .into_iter()
             .take(starts)
         {
-            let improved = iter::improve_eval(&evaluator, &self.config, start);
+            let improved = iter::improve_eval_budgeted(&evaluator, &self.config, start, &budget);
             if best.as_ref().is_none_or(|b| improved.lm() < b.lm()) {
                 best = Some(improved);
             }
+            if budget.expired() {
+                break;
+            }
         }
         let best = best.expect("at least one initial candidate exists");
-        (best, evaluator.stats())
+        self.verify_result(dfg, &best)?;
+        Ok((
+            best,
+            BindStats {
+                eval: evaluator.stats(),
+                truncated: budget.truncated(),
+            },
+        ))
+    }
+
+    /// Runs the independent verifier over a materialized result when
+    /// [`BinderConfig::verify`] is on.
+    fn verify_result(&self, dfg: &Dfg, result: &BindingResult) -> Result<(), BindError> {
+        if !self.config.verify {
+            return Ok(());
+        }
+        crate::error::verify_result(dfg, self.machine, result)
     }
 }
 
@@ -361,5 +513,91 @@ mod tests {
         let binder = Binder::new(&machine);
         assert_eq!(binder.config().gamma, 1.1);
         assert_eq!(binder.machine().cluster_count(), 1);
+    }
+
+    #[test]
+    fn try_bind_rejects_unsupported_operations() {
+        let mut b = DfgBuilder::new();
+        let _ = b.add_op(OpType::Mul, &[]);
+        let dfg = b.finish().expect("acyclic");
+        let no_mul = Machine::parse("[2,0]").expect("machine");
+        let err = Binder::new(&no_mul).try_bind(&dfg).unwrap_err();
+        assert!(matches!(err, BindError::Unsupported { .. }), "{err}");
+        assert!(Binder::new(&no_mul).try_bind_initial(&dfg).is_err());
+    }
+
+    #[test]
+    fn try_bind_rejects_moves_in_input() {
+        let mut b = DfgBuilder::new();
+        let a = b.add_op(OpType::Add, &[]);
+        let _ = b.add_op(vliw_dfg::OpType::Move, &[a]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        assert!(matches!(
+            Binder::new(&machine).try_bind(&dfg),
+            Err(BindError::MoveInInput { .. })
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_still_returns_verified_result() {
+        let dfg = two_chains(6);
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let config = BinderConfig {
+            deadline_ms: Some(0),
+            verify: true,
+            ..BinderConfig::default()
+        };
+        let (result, stats) = Binder::with_config(&machine, config)
+            .try_bind_with_stats(&dfg)
+            .expect("degrades gracefully, never errors on an expired clock");
+        assert!(stats.truncated, "a 0 ms deadline must truncate the search");
+        result
+            .schedule
+            .validate(&result.bound, &machine)
+            .expect("best-so-far result is still legal");
+        assert!(result.binding.validate(&dfg, &machine).is_ok());
+    }
+
+    #[test]
+    fn round_cap_truncates_but_stays_valid() {
+        let dfg = two_chains(6);
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let config = BinderConfig {
+            max_iter_rounds: Some(1),
+            ..BinderConfig::default()
+        };
+        let binder = Binder::with_config(&machine, config);
+        let (result, stats) = binder.try_bind_with_stats(&dfg).expect("binds");
+        assert!(stats.truncated, "one round cannot finish both descents");
+        result
+            .schedule
+            .validate(&result.bound, &machine)
+            .expect("valid schedule");
+        // An unbounded run must be at least as good.
+        let full = Binder::new(&machine).bind(&dfg);
+        assert!(full.lm() <= result.lm());
+    }
+
+    #[test]
+    fn unbudgeted_runs_report_untruncated_stats() {
+        let dfg = two_chains(4);
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let (_, stats) = Binder::new(&machine).bind_with_stats(&dfg);
+        assert!(!stats.truncated);
+        assert_eq!(stats.hit_rate(), stats.eval.hit_rate());
+    }
+
+    #[test]
+    fn try_improve_rejects_foreign_bindings() {
+        let dfg = two_chains(3);
+        let other = two_chains(4);
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let binder = Binder::new(&machine);
+        let start = binder.bind_initial(&other);
+        assert!(matches!(
+            binder.try_improve(&dfg, start),
+            Err(BindError::Binding(_))
+        ));
     }
 }

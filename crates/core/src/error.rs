@@ -1,0 +1,232 @@
+//! Typed errors for the fallible binding pipeline.
+//!
+//! Every `try_*` entry point of [`crate::Binder`] (and the downstream
+//! modulo/PCC/baseline drivers) reports failures through [`BindError`]
+//! instead of panicking: malformed input graphs, unusable machine
+//! descriptions, operations with no compatible FU anywhere, and — when
+//! [`crate::BinderConfig::verify`] is on — results that fail the
+//! independent [`vliw_sched::verify`] re-check.
+
+use std::error::Error;
+use std::fmt;
+use vliw_datapath::{Machine, MachineError};
+use vliw_dfg::{Dfg, DfgError, OpId, OpType};
+use vliw_sched::{BindingError, Violation};
+
+/// Why a binding run could not produce (or certify) a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindError {
+    /// The input DFG is structurally broken (cycle, dangling edge,
+    /// duplicate edge, self-loop).
+    Dfg(DfgError),
+    /// The input DFG already contains `move` operations; binding applies
+    /// to *original* (move-free) graphs only.
+    MoveInInput {
+        /// The offending operation.
+        op: OpId,
+    },
+    /// The machine description is unusable (no clusters, empty cluster,
+    /// no bus, zero latency/dii) — typically a hand-edited or
+    /// deserialized description that bypassed the builder.
+    Machine(MachineError),
+    /// A supplied binding is illegal for this DFG/machine pair.
+    Binding(BindingError),
+    /// An operation has no compatible FU in *any* cluster, so no binding
+    /// exists at all.
+    Unsupported {
+        /// The operation with an empty target set.
+        op: OpId,
+        /// Its operation type.
+        op_type: OpType,
+    },
+    /// The produced result failed the independent verifier
+    /// ([`vliw_sched::verify`]); carries every violation found.
+    Verification(Vec<Violation>),
+    /// A produced schedule failed its owning scheduler's bespoke
+    /// re-validation (used by drivers whose schedule type has its own
+    /// checker, e.g. the modulo pipeline's `ModuloSchedule::validate`).
+    InvalidSchedule(String),
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindError::Dfg(e) => write!(f, "invalid DFG: {e}"),
+            BindError::MoveInInput { op } => {
+                write!(
+                    f,
+                    "input DFG contains a move at {op}; bind original graphs only"
+                )
+            }
+            BindError::Machine(e) => write!(f, "invalid machine: {e}"),
+            BindError::Binding(e) => write!(f, "invalid binding: {e}"),
+            BindError::Unsupported { op, op_type } => {
+                write!(
+                    f,
+                    "no cluster can execute {op} ({op_type}): empty target set"
+                )
+            }
+            BindError::Verification(violations) => {
+                write!(
+                    f,
+                    "result failed verification ({} violations):",
+                    violations.len()
+                )?;
+                for v in violations {
+                    write!(f, "\n  - {v}")?;
+                }
+                Ok(())
+            }
+            BindError::InvalidSchedule(reason) => {
+                write!(f, "result failed schedule validation: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for BindError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BindError::Dfg(e) => Some(e),
+            BindError::Machine(e) => Some(e),
+            BindError::Binding(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DfgError> for BindError {
+    fn from(e: DfgError) -> Self {
+        BindError::Dfg(e)
+    }
+}
+
+impl From<MachineError> for BindError {
+    fn from(e: MachineError) -> Self {
+        BindError::Machine(e)
+    }
+}
+
+impl From<BindingError> for BindError {
+    fn from(e: BindingError) -> Self {
+        BindError::Binding(e)
+    }
+}
+
+/// Front-door validation shared by every fallible driver: checks the DFG
+/// structure, rejects pre-existing moves, re-validates the machine
+/// invariants (deserialized descriptions bypass the builder), and
+/// requires a non-empty target set for every operation.
+///
+/// # Errors
+///
+/// The first problem found, as a [`BindError`].
+pub fn validate_inputs(dfg: &Dfg, machine: &Machine) -> Result<(), BindError> {
+    dfg.validate()?;
+    if let Some(op) = dfg.op_ids().find(|&v| dfg.op_type(v) == OpType::Move) {
+        return Err(BindError::MoveInInput { op });
+    }
+    machine.validate()?;
+    if let Err(op) = machine.check_supports_dfg(dfg) {
+        return Err(BindError::Unsupported {
+            op,
+            op_type: dfg.op_type(op),
+        });
+    }
+    Ok(())
+}
+
+/// Runs the independent verifier ([`vliw_sched::verify`]) over a
+/// materialized result, mapping any violations to
+/// [`BindError::Verification`]. Shared by [`crate::Binder`] and the
+/// downstream PCC/baseline drivers.
+///
+/// # Errors
+///
+/// [`BindError::Verification`] carrying every violation found.
+pub fn verify_result(
+    dfg: &Dfg,
+    machine: &Machine,
+    result: &crate::driver::BindingResult,
+) -> Result<(), BindError> {
+    let violations = vliw_sched::verify(
+        dfg,
+        machine,
+        &result.binding,
+        &result.bound,
+        &result.schedule,
+    );
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(BindError::Verification(violations))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_dfg::DfgBuilder;
+
+    #[test]
+    fn accepts_well_formed_inputs() {
+        let mut b = DfgBuilder::new();
+        let a = b.add_op(OpType::Add, &[]);
+        let _ = b.add_op(OpType::Mul, &[a]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        assert_eq!(validate_inputs(&dfg, &machine), Ok(()));
+    }
+
+    #[test]
+    fn rejects_unsupported_operations() {
+        let mut b = DfgBuilder::new();
+        let _ = b.add_op(OpType::Mul, &[]);
+        let dfg = b.finish().expect("acyclic");
+        let no_mul = Machine::parse("[2,0|3,0]").expect("machine");
+        assert!(matches!(
+            validate_inputs(&dfg, &no_mul),
+            Err(BindError::Unsupported {
+                op_type: OpType::Mul,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_moves_in_input() {
+        let mut b = DfgBuilder::new();
+        let a = b.add_op(OpType::Add, &[]);
+        let _ = b.add_op(OpType::Move, &[a]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1]").expect("machine");
+        assert!(matches!(
+            validate_inputs(&dfg, &machine),
+            Err(BindError::MoveInInput { .. })
+        ));
+    }
+
+    #[test]
+    fn error_conversions_and_display() {
+        let e: BindError = DfgError::Cycle.into();
+        assert!(e.to_string().contains("cycle"));
+        let e: BindError = MachineError::NoBus.into();
+        assert!(e.to_string().contains("bus"));
+        let e: BindError = BindingError::WrongLength {
+            got: 1,
+            expected: 2,
+        }
+        .into();
+        assert!(e.to_string().contains("entries"));
+        let e = BindError::Verification(vec![Violation::BusOverload {
+            cycle: 3,
+            used: 4,
+            capacity: 2,
+        }]);
+        let text = e.to_string();
+        assert!(
+            text.contains("1 violations") && text.contains("cycle 3"),
+            "{text}"
+        );
+    }
+}

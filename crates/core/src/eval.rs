@@ -471,6 +471,9 @@ mod tests {
         let machine = Machine::parse("[1,1|1,1]").expect("machine");
         let (result, stats) = Binder::new(&machine).bind_with_stats(&dfg);
         assert!(result.latency() >= 8);
-        assert!(stats.hits > 0, "sweep with duplicates must hit the memo");
+        assert!(
+            stats.eval.hits > 0,
+            "sweep with duplicates must hit the memo"
+        );
     }
 }

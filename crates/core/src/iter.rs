@@ -11,6 +11,7 @@
 //! itself cannot drop in a single step (Figure 6). A second descent under
 //! `Q_M = (L, N_MV)` then sheds redundant data transfers at equal latency.
 
+use crate::budget::Budget;
 use crate::config::{BinderConfig, PairMode};
 use crate::driver::BindingResult;
 use crate::eval::Evaluator;
@@ -93,8 +94,20 @@ pub fn improve_eval(
     config: &BinderConfig,
     start: BindingResult,
 ) -> BindingResult {
-    let mut current = improve_with_eval(evaluator, config, start, QualityKind::Qu);
-    current = improve_with_eval(evaluator, config, current, QualityKind::Qm);
+    improve_eval_budgeted(evaluator, config, start, &Budget::unlimited())
+}
+
+/// [`improve_eval`] under a shared search [`Budget`]: both quality
+/// passes draw rounds from (and check the deadline of) the same budget,
+/// so the caller's limits bound the whole refinement.
+pub(crate) fn improve_eval_budgeted(
+    evaluator: &Evaluator<'_>,
+    config: &BinderConfig,
+    start: BindingResult,
+    budget: &Budget,
+) -> BindingResult {
+    let mut current = improve_with_eval_budgeted(evaluator, config, start, QualityKind::Qu, budget);
+    current = improve_with_eval_budgeted(evaluator, config, current, QualityKind::Qm, budget);
     current
 }
 
@@ -126,13 +139,35 @@ pub fn improve_with_eval(
     start: BindingResult,
     kind: QualityKind,
 ) -> BindingResult {
+    improve_with_eval_budgeted(evaluator, config, start, kind, &Budget::unlimited())
+}
+
+/// [`improve_with_eval`] under a shared [`Budget`]. Each descent round
+/// first claims a round from the budget; with a deadline set, the
+/// neighborhood is additionally evaluated chunk by chunk so an expiring
+/// clock stops the round mid-batch (the evaluated prefix still competes,
+/// keeping the best-so-far result valid). With
+/// [`BinderConfig::verify`] on, every accepted step is re-checked by the
+/// independent verifier and any candidate producing violations is
+/// discarded — the descent falls through to the next-best strictly
+/// improving candidate instead of propagating a corrupt result.
+pub(crate) fn improve_with_eval_budgeted(
+    evaluator: &Evaluator<'_>,
+    config: &BinderConfig,
+    start: BindingResult,
+    kind: QualityKind,
+    budget: &Budget,
+) -> BindingResult {
     let dfg = evaluator.dfg();
     let machine = evaluator.machine();
     let mut current = start;
     let mut quality = Quality::measure(kind, &current.bound, &current.schedule);
     for _ in 0..config.max_iterations {
+        if !budget.take_round() {
+            break;
+        }
         let candidates = perturbations(dfg, machine, config, &current.binding);
-        let mut bindings: Vec<Binding> = candidates
+        let bindings: Vec<Binding> = candidates
             .iter()
             .map(|p| {
                 let mut binding = current.binding.clone();
@@ -143,19 +178,55 @@ pub fn improve_with_eval(
                 binding
             })
             .collect();
-        let mut best: Option<(Quality, usize)> = None;
-        for (i, outcome) in evaluator.outcomes(&bindings).into_iter().enumerate() {
-            let q = outcome.quality(kind);
-            if best.as_ref().is_none_or(|(bq, _)| q < *bq) {
-                best = Some((q, i));
+        // Without a deadline the whole neighborhood goes to the workers
+        // at once (identical to the unbudgeted loop); with one, chunking
+        // bounds how stale an expired clock can get.
+        let chunk = if budget.has_deadline() {
+            32.max(evaluator.threads() * 4)
+        } else {
+            bindings.len().max(1)
+        };
+        let mut scored: Vec<(Quality, usize)> = Vec::new();
+        let mut offset = 0;
+        for batch in bindings.chunks(chunk) {
+            for (j, outcome) in evaluator.outcomes(batch).into_iter().enumerate() {
+                scored.push((outcome.quality(kind), offset + j));
+            }
+            offset += batch.len();
+            if budget.expired() {
+                break;
             }
         }
-        match best {
-            Some((q, i)) if q < quality => {
-                quality = q;
-                current = evaluator.evaluate(bindings.swap_remove(i));
+        // Best quality first, candidate enumeration order breaking ties —
+        // the same winner the serial reduction picked.
+        scored.sort();
+        let mut accepted = false;
+        for (q, i) in scored {
+            if q >= quality {
+                break;
             }
-            _ => break,
+            let result = evaluator.evaluate(bindings[i].clone());
+            if config.verify {
+                let violations = vliw_sched::verify(
+                    dfg,
+                    machine,
+                    &result.binding,
+                    &result.bound,
+                    &result.schedule,
+                );
+                if !violations.is_empty() {
+                    // Catch-and-reject: a perturbation whose materialized
+                    // result fails verification never becomes `current`.
+                    continue;
+                }
+            }
+            quality = q;
+            current = result;
+            accepted = true;
+            break;
+        }
+        if !accepted {
+            break;
         }
     }
     current

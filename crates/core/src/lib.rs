@@ -58,8 +58,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod config;
 mod driver;
+pub mod error;
 pub mod eval;
 pub mod exact;
 pub mod init;
@@ -68,6 +70,7 @@ pub mod order;
 pub mod profile;
 
 pub use config::{BinderConfig, CostModel, PairMode};
-pub use driver::{resource_lower_bound, Binder, BindingResult};
+pub use driver::{resource_lower_bound, BindStats, Binder, BindingResult};
+pub use error::{validate_inputs, verify_result, BindError};
 pub use eval::{EvalOutcome, EvalStats, Evaluator};
 pub use iter::{Quality, QualityKind};

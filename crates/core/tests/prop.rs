@@ -49,6 +49,24 @@ fn arb_machine() -> impl Strategy<Value = Machine> {
     .prop_map(|cfg| Machine::parse(cfg).expect("valid"))
 }
 
+/// The Table-1 datapaths (the paper's evaluation matrix).
+fn arb_table1_machine() -> impl Strategy<Value = Machine> {
+    prop::sample::select(vec![
+        "[1,1|1,1]",
+        "[2,1|2,1]",
+        "[2,1|1,1]",
+        "[1,1|1,1|1,1]",
+        "[3,1|2,2|1,3]",
+        "[1,1|1,1|1,1|1,1]",
+        "[2,2|2,1]",
+        "[2,1|2,1|1,2]",
+        "[3,2|3,1|1,3]",
+        "[2,2|2,1|1,1]",
+        "[1,2|1,2]",
+    ])
+    .prop_map(|cfg| Machine::parse(cfg).expect("valid"))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -183,6 +201,57 @@ proptest! {
             prop_assert_eq!(want.binding, got.binding);
             prop_assert_eq!(want.schedule, got.schedule);
         }
+    }
+
+    /// Every result the pipeline emits — B-INIT and B-ITER, across
+    /// random DFGs and the full Table-1 datapath matrix — passes the
+    /// independent verifier with zero violations, including the
+    /// reported (L, N_MV) cross-check.
+    #[test]
+    fn pipeline_results_verify_clean(
+        dfg in arb_dfg(20),
+        machine in arb_table1_machine(),
+    ) {
+        let config = BinderConfig { verify: true, ..BinderConfig::default() };
+        let binder = Binder::with_config(&machine, config);
+        let init = binder.try_bind_initial(&dfg).expect("B-INIT verifies");
+        let iter = binder.try_bind(&dfg).expect("B-ITER verifies");
+        for result in [&init, &iter] {
+            let violations = vliw_sched::verify_reported(
+                &dfg,
+                &machine,
+                &result.binding,
+                &result.bound,
+                &result.schedule,
+                (result.latency(), result.moves()),
+            );
+            prop_assert!(violations.is_empty(), "{:?}", violations);
+        }
+    }
+
+    /// An expired (or immediately-expiring) budget degrades gracefully:
+    /// the result is still complete, verified and flagged truncated —
+    /// never an error, never an illegal binding.
+    #[test]
+    fn exhausted_budgets_still_verify(
+        dfg in arb_dfg(18),
+        machine in arb_machine(),
+        deadline_ms in 0u64..=1,
+        rounds in 0usize..3,
+    ) {
+        let config = BinderConfig {
+            verify: true,
+            deadline_ms: Some(deadline_ms),
+            max_iter_rounds: Some(rounds),
+            ..BinderConfig::default()
+        };
+        let binder = Binder::with_config(&machine, config);
+        let (result, _stats) = binder.try_bind_with_stats(&dfg).expect("budgeted bind verifies");
+        prop_assert!(result.binding.is_complete());
+        let violations = vliw_sched::verify(
+            &dfg, &machine, &result.binding, &result.bound, &result.schedule,
+        );
+        prop_assert!(violations.is_empty(), "{:?}", violations);
     }
 
     /// Binding the transposed graph in reverse "mirrors": the reverse

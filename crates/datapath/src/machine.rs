@@ -60,9 +60,10 @@ impl Cluster {
         self.fus[t.index()]
     }
 
-    /// Total FUs in this cluster.
+    /// Total FUs in this cluster (saturating, so adversarial counts
+    /// near `u32::MAX` cannot overflow the emptiness check).
     pub fn total_fus(&self) -> u32 {
-        self.fus.iter().sum()
+        self.fus.iter().fold(0u32, |a, &b| a.saturating_add(b))
     }
 }
 
@@ -292,15 +293,54 @@ impl Machine {
         self
     }
 
+    /// Re-runs the [`MachineBuilder`] invariant checks on an existing
+    /// machine. Construction always validates, but serde deserialization
+    /// bypasses the builder, so descriptions loaded from JSON should be
+    /// checked before use.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MachineBuilder::build`].
+    pub fn validate(&self) -> Result<(), MachineError> {
+        if self.clusters.is_empty() {
+            return Err(MachineError::NoClusters);
+        }
+        for (i, cl) in self.clusters.iter().enumerate() {
+            if cl.total_fus() == 0 {
+                return Err(MachineError::EmptyCluster(ClusterId::from_index(i)));
+            }
+        }
+        if self.bus_count == 0 {
+            return Err(MachineError::NoBus);
+        }
+        for (idx, &lat) in self.op_latency.iter().enumerate() {
+            if lat == 0 {
+                return Err(MachineError::ZeroLatency(OpType::REGULAR[idx]));
+            }
+        }
+        if self.move_latency == 0 {
+            return Err(MachineError::ZeroLatency(OpType::Move));
+        }
+        for t in FuType::ALL {
+            if self.dii[t.index()] == 0 {
+                return Err(MachineError::ZeroDii(t));
+            }
+        }
+        Ok(())
+    }
+
     /// Whether all clusters have identical FU complements (Capitanio's
     /// algorithm requires this; ours and PCC do not).
     pub fn is_homogeneous(&self) -> bool {
         self.clusters.windows(2).all(|w| w[0] == w[1])
     }
 
-    /// Total number of regular FUs in the datapath.
+    /// Total number of regular FUs in the datapath (saturating).
     pub fn total_fus(&self) -> u32 {
-        self.clusters.iter().map(Cluster::total_fus).sum()
+        self.clusters
+            .iter()
+            .map(Cluster::total_fus)
+            .fold(0u32, u32::saturating_add)
     }
 }
 
@@ -421,37 +461,15 @@ impl MachineBuilder {
     /// cluster, no bus, a zero latency, or a zero data-introduction
     /// interval.
     pub fn build(self) -> Result<Machine, MachineError> {
-        if self.clusters.is_empty() {
-            return Err(MachineError::NoClusters);
-        }
-        for (i, cl) in self.clusters.iter().enumerate() {
-            if cl.total_fus() == 0 {
-                return Err(MachineError::EmptyCluster(ClusterId::from_index(i)));
-            }
-        }
-        if self.bus_count == 0 {
-            return Err(MachineError::NoBus);
-        }
-        for (idx, &lat) in self.op_latency.iter().enumerate() {
-            if lat == 0 {
-                return Err(MachineError::ZeroLatency(OpType::REGULAR[idx]));
-            }
-        }
-        if self.move_latency == 0 {
-            return Err(MachineError::ZeroLatency(OpType::Move));
-        }
-        for t in FuType::ALL {
-            if self.dii[t.index()] == 0 {
-                return Err(MachineError::ZeroDii(t));
-            }
-        }
-        Ok(Machine {
+        let machine = Machine {
             clusters: self.clusters,
             bus_count: self.bus_count,
             op_latency: self.op_latency,
             move_latency: self.move_latency,
             dii: self.dii,
-        })
+        };
+        machine.validate()?;
+        Ok(machine)
     }
 }
 
@@ -616,5 +634,23 @@ mod tests {
         let json = serde_json::to_string(&m).expect("serialize");
         let back: Machine = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(m, back);
+    }
+
+    #[test]
+    fn validate_catches_deserialized_invalid_machines() {
+        let m = two_one_one_one();
+        assert_eq!(m.validate(), Ok(()));
+        // Deserialization bypasses the builder: a zero-bus description
+        // loads fine but must fail validation.
+        let mut v = serde_json::to_value(&m);
+        if let serde_json::Value::Object(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "bus_count" {
+                    *val = serde_json::to_value(&0u32);
+                }
+            }
+        }
+        let back: Machine = serde_json::from_value(v).expect("deserialize");
+        assert_eq!(back.validate(), Err(MachineError::NoBus));
     }
 }

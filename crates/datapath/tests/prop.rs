@@ -1,0 +1,83 @@
+//! Fuzz-style property tests for the datapath parser: arbitrary input
+//! must never panic, and everything the parser accepts must be a valid,
+//! round-trippable machine.
+
+use proptest::prelude::*;
+use vliw_datapath::Machine;
+
+/// Characters the parser's grammar actually talks about, so random
+/// strings exercise deep parse paths instead of failing on byte one.
+const GRAMMAR: &[u8] = b"0123456789,|[] x";
+
+fn grammar_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..GRAMMAR.len(), 0..48)
+        .prop_map(|picks| picks.into_iter().map(|i| GRAMMAR[i] as char).collect())
+}
+
+fn ascii_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..128, 0..64)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("ASCII is UTF-8"))
+}
+
+/// Small random cluster lists, including empty clusters and empty lists.
+fn cluster_lists() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..4, 0u32..4), 0..6)
+}
+
+fn render(clusters: &[(u32, u32)]) -> String {
+    let body: Vec<String> = clusters
+        .iter()
+        .map(|(alus, muls)| format!("{alus},{muls}"))
+        .collect();
+    format!("[{}]", body.join("|"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary ASCII never panics the parser, and anything accepted
+    /// passes the machine invariants.
+    #[test]
+    fn arbitrary_ascii_never_panics(text in ascii_soup()) {
+        if let Ok(machine) = Machine::parse(&text) {
+            prop_assert!(machine.validate().is_ok());
+        }
+    }
+
+    /// Strings over the parser's own alphabet — much likelier to parse
+    /// partway — never panic either, and accepted machines round-trip
+    /// through their canonical rendering.
+    #[test]
+    fn grammar_shaped_soup_never_panics(text in grammar_soup()) {
+        if let Ok(machine) = Machine::parse(&text) {
+            prop_assert!(machine.validate().is_ok());
+            let back = Machine::parse(&machine.to_string()).expect("canonical form reparses");
+            prop_assert_eq!(back, machine);
+        }
+    }
+
+    /// A cluster list parses iff it is non-empty and no cluster is
+    /// `0,0`: single-FU clusters like `[0,1]` are legal, FU-less ones
+    /// are not.
+    #[test]
+    fn empty_clusters_are_the_only_structural_rejection(clusters in cluster_lists()) {
+        let text = render(&clusters);
+        let parsed = Machine::parse(&text);
+        let legal = !clusters.is_empty() && clusters.iter().all(|&(a, m)| a + m > 0);
+        prop_assert_eq!(parsed.is_ok(), legal, "{}", text);
+        if let Ok(machine) = parsed {
+            prop_assert_eq!(machine.cluster_count(), clusters.len());
+            prop_assert_eq!(machine.to_string(), text);
+        }
+    }
+
+    /// Adversarially huge FU counts neither panic nor overflow.
+    #[test]
+    fn huge_fu_counts_are_handled(alus in 0u64..=u64::from(u32::MAX) * 2, muls in 0u32..=u32::MAX) {
+        let text = format!("[{alus},{muls}]");
+        if let Ok(machine) = Machine::parse(&text) {
+            prop_assert!(machine.validate().is_ok());
+            prop_assert!(machine.total_fus() > 0);
+        }
+    }
+}

@@ -14,7 +14,7 @@
 
 use crate::bound_loop::{bound_loop_with, BoundLoop, LoopDfg};
 use crate::sched::{ModuloSchedule, ModuloScheduler};
-use vliw_binding::{Binder, BinderConfig};
+use vliw_binding::{validate_inputs, BindError, Binder, BinderConfig};
 use vliw_datapath::Machine;
 use vliw_sched::Binding;
 
@@ -70,8 +70,30 @@ impl<'m> ModuloBinder<'m> {
     ///
     /// # Panics
     ///
-    /// Panics if the machine cannot execute some operation of the body.
+    /// Panics on the [`ModuloBinder::try_bind`] error conditions.
     pub fn bind(&self, looped: &LoopDfg) -> (BoundLoop, ModuloSchedule) {
+        self.try_bind(looped)
+            .unwrap_or_else(|e| panic!("modulo binding failed: {e}"))
+    }
+
+    /// Fallible [`ModuloBinder::bind`]: validates the loop body up
+    /// front and re-validates the winning modulo schedule
+    /// ([`ModuloSchedule::validate`]) before returning it.
+    ///
+    /// # Errors
+    ///
+    /// A [`BindError`] for malformed inputs or a schedule failing its
+    /// re-validation.
+    pub fn try_bind(&self, looped: &LoopDfg) -> Result<(BoundLoop, ModuloSchedule), BindError> {
+        validate_inputs(looped.body(), self.machine)?;
+        let (bound, schedule) = self.bind_inner(looped);
+        schedule
+            .validate(&bound, self.machine)
+            .map_err(|e| BindError::InvalidSchedule(e.to_string()))?;
+        Ok((bound, schedule))
+    }
+
+    fn bind_inner(&self, looped: &LoopDfg) -> (BoundLoop, ModuloSchedule) {
         let machine = self.machine;
         let scheduler = ModuloScheduler::new(machine);
         let evaluate = |binding: &Binding| -> (BoundLoop, ModuloSchedule) {

@@ -44,7 +44,7 @@ pub mod assign;
 pub mod components;
 pub mod improve;
 
-use vliw_binding::BindingResult;
+use vliw_binding::{validate_inputs, verify_result, BindError, BindingResult};
 use vliw_datapath::Machine;
 use vliw_dfg::Dfg;
 
@@ -98,8 +98,22 @@ impl<'m> Pcc<'m> {
     ///
     /// # Panics
     ///
-    /// Panics if the machine cannot execute some operation of `dfg`.
+    /// Panics on the [`Pcc::try_bind`] error conditions.
     pub fn bind(&self, dfg: &Dfg) -> BindingResult {
+        self.try_bind(dfg)
+            .unwrap_or_else(|e| panic!("PCC binding failed: {e}"))
+    }
+
+    /// Fallible [`Pcc::bind`]: validates the inputs up front and
+    /// re-checks the winning result with the independent verifier
+    /// ([`vliw_sched::verify`]).
+    ///
+    /// # Errors
+    ///
+    /// A [`BindError`] for malformed inputs or a result failing
+    /// verification.
+    pub fn try_bind(&self, dfg: &Dfg) -> Result<BindingResult, BindError> {
+        validate_inputs(dfg, self.machine)?;
         let mut best: Option<BindingResult> = None;
         for &theta in &self.config.component_sizes {
             let comps = components::grow(dfg, theta.max(1));
@@ -111,7 +125,9 @@ impl<'m> Pcc<'m> {
                 best = Some(improved);
             }
         }
-        best.expect("component-size sweep is never empty")
+        let best = best.expect("component-size sweep is never empty");
+        verify_result(dfg, self.machine, &best)?;
+        Ok(best)
     }
 }
 

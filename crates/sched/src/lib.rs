@@ -56,9 +56,11 @@ mod bound;
 mod list;
 mod pressure;
 mod schedule;
+pub mod verify;
 
 pub use binding::{Binding, BindingError};
 pub use bound::BoundDfg;
 pub use list::{ListScheduler, SchedulePriority};
 pub use pressure::RegisterPressure;
 pub use schedule::{Schedule, ScheduleError};
+pub use verify::{verify, verify_reported, Violation};

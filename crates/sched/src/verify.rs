@@ -1,0 +1,726 @@
+//! Independent verifier for `(Binding, Schedule)` pairs.
+//!
+//! The binding pipeline's value proposition is *quality guarantees*: a
+//! reported `(L, N_MV)` pair is only meaningful if the binding is legal
+//! and the schedule certifying it actually respects the machine. This
+//! module re-derives that legality **from scratch** — it shares no code
+//! with [`crate::ListScheduler`], [`crate::BoundDfg::new`]'s transfer
+//! insertion or [`crate::Schedule::validate`] — so an encoding bug in the
+//! pipeline cannot silently vouch for itself (the pattern of ASP-based
+//! certifiers for exact schedulers).
+//!
+//! Checks performed by [`verify`]:
+//!
+//! 1. **Binding legality** — every operation bound, to an existing
+//!    cluster inside its target set;
+//! 2. **Move coverage** — every cluster-crossing data dependence of the
+//!    original graph is routed through a `move` landing in the consumer's
+//!    cluster and fed by the producer; same-cluster edges are direct;
+//! 3. **Cluster consistency** — the bound graph places each regular
+//!    operation on the cluster the binding says;
+//! 4. **Latencies** — each operation's scheduled duration equals the
+//!    machine's `lat(optype)`;
+//! 5. **Precedence** — no consumer starts before `start + lat` of any
+//!    producer (finish times re-derived from the machine, not read from
+//!    the schedule);
+//! 6. **FU capacity** — per cluster, per regular FU type, the number of
+//!    starts in any `dii(t)` window never exceeds `N(c,t)`;
+//! 7. **Bus occupancy** — transfer starts in any `dii(BUS)` window never
+//!    exceed `N_B`.
+//!
+//! [`verify_reported`] additionally cross-checks a *reported* `(L, N_MV)`
+//! pair against the re-derived latency and move count, catching results
+//! whose schedule is legal but whose headline numbers are not.
+//!
+//! All violations are accumulated (overload checks report the first
+//! offending cycle per resource, so the list stays bounded); an empty
+//! vector means the pair is certified.
+
+use crate::binding::Binding;
+use crate::bound::BoundDfg;
+use crate::schedule::Schedule;
+use std::fmt;
+use vliw_datapath::{ClusterId, Machine};
+use vliw_dfg::{Dfg, FuType, OpId, OpType};
+
+/// One legality violation found by the verifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The binding's length does not match the original DFG.
+    BindingLength {
+        /// Entries in the binding.
+        got: usize,
+        /// Operations in the original DFG.
+        expected: usize,
+    },
+    /// An operation has no cluster assigned.
+    UnboundOp {
+        /// The unassigned operation.
+        op: OpId,
+    },
+    /// An operation is bound to a cluster the machine does not have.
+    UnknownCluster {
+        /// The operation.
+        op: OpId,
+        /// The out-of-range cluster.
+        cluster: ClusterId,
+    },
+    /// An operation is bound to a cluster with no FU able to execute it.
+    OutsideTargetSet {
+        /// The operation.
+        op: OpId,
+        /// The incapable cluster.
+        cluster: ClusterId,
+    },
+    /// A cluster-crossing data dependence has no covering `move` (or the
+    /// move lands in the wrong cluster / reads the wrong producer).
+    MissingMove {
+        /// Producer in the original graph.
+        producer: OpId,
+        /// Consumer in the original graph.
+        consumer: OpId,
+        /// Cluster the value is produced on.
+        from: ClusterId,
+        /// Cluster the consumer reads it on.
+        to: ClusterId,
+    },
+    /// A same-cluster data dependence was needlessly routed through a
+    /// transfer (or dropped entirely).
+    BrokenEdge {
+        /// Producer in the original graph.
+        producer: OpId,
+        /// Consumer in the original graph.
+        consumer: OpId,
+    },
+    /// The bound graph places an operation on a different cluster than
+    /// the binding.
+    ClusterMismatch {
+        /// The operation (original id).
+        op: OpId,
+        /// Cluster recorded in the bound graph.
+        bound: ClusterId,
+        /// Cluster the binding assigns.
+        binding: ClusterId,
+    },
+    /// The schedule does not cover every operation of the bound graph.
+    ScheduleLength {
+        /// Entries in the schedule.
+        got: usize,
+        /// Operations in the bound graph.
+        expected: usize,
+    },
+    /// An operation's scheduled duration differs from the machine's
+    /// latency for its type.
+    WrongLatency {
+        /// The operation (bound id).
+        op: OpId,
+        /// Duration implied by the schedule.
+        got: u32,
+        /// `lat(optype)` per the machine.
+        expected: u32,
+    },
+    /// A consumer starts before a producer's re-derived finish time.
+    Precedence {
+        /// Producer (bound id).
+        producer: OpId,
+        /// Consumer starting too early (bound id).
+        consumer: OpId,
+    },
+    /// More operations of one FU type in flight within a `dii` window
+    /// than the cluster has units.
+    FuOverload {
+        /// The overloaded cluster.
+        cluster: ClusterId,
+        /// The overloaded FU type.
+        fu: FuType,
+        /// First cycle where the window constraint breaks.
+        cycle: u32,
+        /// Starts inside the window.
+        used: u32,
+        /// Units available.
+        capacity: u32,
+    },
+    /// More transfers in flight within a bus `dii` window than `N_B`.
+    BusOverload {
+        /// First cycle where the window constraint breaks.
+        cycle: u32,
+        /// Transfer starts inside the window.
+        used: u32,
+        /// Buses available.
+        capacity: u32,
+    },
+    /// The reported schedule latency does not match the re-derived one.
+    LatencyMismatch {
+        /// Latency claimed by the result.
+        reported: u32,
+        /// Latency re-derived from starts and machine latencies.
+        actual: u32,
+    },
+    /// The reported transfer count does not match the bound graph.
+    MoveCountMismatch {
+        /// Transfer count claimed by the result.
+        reported: usize,
+        /// `move` operations actually present in the bound graph.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::BindingLength { got, expected } => {
+                write!(f, "binding covers {got} ops but the DFG has {expected}")
+            }
+            Violation::UnboundOp { op } => write!(f, "operation {op} has no cluster assigned"),
+            Violation::UnknownCluster { op, cluster } => {
+                write!(f, "operation {op} bound to non-existent {cluster}")
+            }
+            Violation::OutsideTargetSet { op, cluster } => {
+                write!(
+                    f,
+                    "operation {op} bound to {cluster} which cannot execute it"
+                )
+            }
+            Violation::MissingMove {
+                producer,
+                consumer,
+                from,
+                to,
+            } => write!(
+                f,
+                "value {producer} -> {consumer} crosses {from} -> {to} without a covering move"
+            ),
+            Violation::BrokenEdge { producer, consumer } => write!(
+                f,
+                "same-cluster dependence {producer} -> {consumer} is not wired directly"
+            ),
+            Violation::ClusterMismatch { op, bound, binding } => write!(
+                f,
+                "bound graph places {op} on {bound} but the binding says {binding}"
+            ),
+            Violation::ScheduleLength { got, expected } => {
+                write!(
+                    f,
+                    "schedule covers {got} ops but the bound graph has {expected}"
+                )
+            }
+            Violation::WrongLatency { op, got, expected } => {
+                write!(
+                    f,
+                    "{op} occupies {got} cycles but its type takes {expected}"
+                )
+            }
+            Violation::Precedence { producer, consumer } => {
+                write!(
+                    f,
+                    "{consumer} starts before its producer {producer} finishes"
+                )
+            }
+            Violation::FuOverload {
+                cluster,
+                fu,
+                cycle,
+                used,
+                capacity,
+            } => write!(
+                f,
+                "{cluster} runs {used} {fu} ops in the dii window at cycle {cycle} \
+                 but has {capacity} units"
+            ),
+            Violation::BusOverload {
+                cycle,
+                used,
+                capacity,
+            } => write!(
+                f,
+                "{used} transfers in flight at cycle {cycle} but the machine has {capacity} buses"
+            ),
+            Violation::LatencyMismatch { reported, actual } => {
+                write!(
+                    f,
+                    "reported latency {reported} but the schedule finishes at {actual}"
+                )
+            }
+            Violation::MoveCountMismatch { reported, actual } => {
+                write!(
+                    f,
+                    "reported {reported} transfers but the bound graph has {actual}"
+                )
+            }
+        }
+    }
+}
+
+/// Re-derives the legality of a `(Binding, Schedule)` pair from scratch,
+/// returning every violation found (empty = certified legal).
+///
+/// `dfg` is the *original* (move-free) graph the binding applies to;
+/// `bound` and `schedule` are the materialized result under scrutiny.
+/// See the [module docs](self) for the exact checks.
+pub fn verify(
+    dfg: &Dfg,
+    machine: &Machine,
+    binding: &Binding,
+    bound: &BoundDfg,
+    schedule: &Schedule,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // 1. Binding legality.
+    if binding.len() != dfg.len() {
+        out.push(Violation::BindingLength {
+            got: binding.len(),
+            expected: dfg.len(),
+        });
+        // Nothing below can be indexed safely.
+        return out;
+    }
+    for v in dfg.op_ids() {
+        match binding.get(v) {
+            None => out.push(Violation::UnboundOp { op: v }),
+            Some(c) if c.index() >= machine.cluster_count() => {
+                out.push(Violation::UnknownCluster { op: v, cluster: c });
+            }
+            Some(c) => {
+                if !machine.supports(c, dfg.op_type(v)) {
+                    out.push(Violation::OutsideTargetSet { op: v, cluster: c });
+                }
+            }
+        }
+    }
+    if out.iter().any(|viol| {
+        matches!(
+            viol,
+            Violation::UnboundOp { .. } | Violation::UnknownCluster { .. }
+        )
+    }) {
+        // Move-coverage and occupancy checks need every cluster resolved.
+        return out;
+    }
+
+    // 2 + 3. Move coverage and cluster consistency on the bound graph.
+    let bdfg = bound.dfg();
+    if bound.original_len() != dfg.len() {
+        out.push(Violation::BindingLength {
+            got: bound.original_len(),
+            expected: dfg.len(),
+        });
+        return out;
+    }
+    for v in dfg.op_ids() {
+        let bv = bound.bound_of(v);
+        let cv = binding.cluster_of(v);
+        if bound.cluster_of(bv) != cv {
+            out.push(Violation::ClusterMismatch {
+                op: v,
+                bound: bound.cluster_of(bv),
+                binding: cv,
+            });
+        }
+    }
+    for (u, v) in dfg.edges() {
+        let (cu, cv) = (binding.cluster_of(u), binding.cluster_of(v));
+        let (bu, bv) = (bound.bound_of(u), bound.bound_of(v));
+        if cu == cv {
+            if !bdfg.preds(bv).contains(&bu) {
+                out.push(Violation::BrokenEdge {
+                    producer: u,
+                    consumer: v,
+                });
+            }
+        } else {
+            // A covering move: a Move vertex feeding bv, reading bu,
+            // landing in cv.
+            let covered = bdfg.preds(bv).iter().any(|&p| {
+                bdfg.op_type(p) == OpType::Move
+                    && bdfg.preds(p) == [bu]
+                    && bound.cluster_of(p) == cv
+            });
+            if !covered {
+                out.push(Violation::MissingMove {
+                    producer: u,
+                    consumer: v,
+                    from: cu,
+                    to: cv,
+                });
+            }
+        }
+    }
+
+    // 4–7. Schedule checks on the bound graph, with finish times
+    // re-derived from the machine's latency table.
+    if schedule.len() != bdfg.len() {
+        out.push(Violation::ScheduleLength {
+            got: schedule.len(),
+            expected: bdfg.len(),
+        });
+        return out;
+    }
+    let mut finish = vec![0u32; bdfg.len()];
+    for v in bdfg.op_ids() {
+        let expected = machine.latency(bdfg.op_type(v));
+        let got = schedule.finish(v).saturating_sub(schedule.start(v));
+        if got != expected {
+            out.push(Violation::WrongLatency {
+                op: v,
+                got,
+                expected,
+            });
+        }
+        finish[v.index()] = schedule.start(v) + expected;
+    }
+    for (u, v) in bdfg.edges() {
+        if schedule.start(v) < finish[u.index()] {
+            out.push(Violation::Precedence {
+                producer: u,
+                consumer: v,
+            });
+        }
+    }
+
+    let horizon = bdfg.op_ids().map(|v| finish[v.index()]).max().unwrap_or(0) as usize + 1;
+    // Occupancy: count starts per (cluster, fu type, cycle) and slide the
+    // dii window; the first offending cycle per resource is reported.
+    let n_clusters = machine.cluster_count();
+    let mut fu_starts = vec![vec![vec![0u32; horizon]; 2]; n_clusters];
+    let mut bus_starts = vec![0u32; horizon];
+    for v in bdfg.op_ids() {
+        let s = schedule.start(v) as usize;
+        match bdfg.op_type(v).fu_type() {
+            FuType::Bus => bus_starts[s] += 1,
+            t => fu_starts[bound.cluster_of(v).index()][t.index()][s] += 1,
+        }
+    }
+    for (ci, per_fu) in fu_starts.iter().enumerate() {
+        for t in FuType::REGULAR {
+            let cluster = ClusterId::from_index(ci);
+            let cap = machine.fu_count(cluster, t);
+            let dii = machine.dii(t) as usize;
+            let mut window = 0u32;
+            for (tau, &n) in per_fu[t.index()].iter().enumerate() {
+                window += n;
+                if tau >= dii {
+                    window -= per_fu[t.index()][tau - dii];
+                }
+                if window > cap {
+                    out.push(Violation::FuOverload {
+                        cluster,
+                        fu: t,
+                        cycle: tau as u32,
+                        used: window,
+                        capacity: cap,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    let bus_dii = machine.dii(FuType::Bus) as usize;
+    let mut window = 0u32;
+    for (tau, &n) in bus_starts.iter().enumerate() {
+        window += n;
+        if tau >= bus_dii {
+            window -= bus_starts[tau - bus_dii];
+        }
+        if window > machine.bus_count() {
+            out.push(Violation::BusOverload {
+                cycle: tau as u32,
+                used: window,
+                capacity: machine.bus_count(),
+            });
+            break;
+        }
+    }
+    out
+}
+
+/// [`verify`] plus a cross-check of the *reported* `(L, N_MV)` pair
+/// against the re-derived latency and the bound graph's actual transfer
+/// count.
+pub fn verify_reported(
+    dfg: &Dfg,
+    machine: &Machine,
+    binding: &Binding,
+    bound: &BoundDfg,
+    schedule: &Schedule,
+    reported: (u32, usize),
+) -> Vec<Violation> {
+    let mut out = verify(dfg, machine, binding, bound, schedule);
+    let bdfg = bound.dfg();
+    let actual_latency = bdfg
+        .op_ids()
+        .map(|v| schedule.start(v) + machine.latency(bdfg.op_type(v)))
+        .max()
+        .unwrap_or(0);
+    if reported.0 != actual_latency {
+        out.push(Violation::LatencyMismatch {
+            reported: reported.0,
+            actual: actual_latency,
+        });
+    }
+    let actual_moves = bdfg
+        .op_ids()
+        .filter(|&v| bdfg.op_type(v) == OpType::Move)
+        .count();
+    if reported.1 != actual_moves {
+        out.push(Violation::MoveCountMismatch {
+            reported: reported.1,
+            actual: actual_moves,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ListScheduler;
+    use vliw_dfg::DfgBuilder;
+
+    fn cl(i: usize) -> ClusterId {
+        ClusterId::from_index(i)
+    }
+
+    /// A 4-op diamond bound across two clusters, legally scheduled.
+    fn setup() -> (Dfg, Machine, Binding, BoundDfg, Schedule) {
+        let mut b = DfgBuilder::new();
+        let a = b.add_op(OpType::Add, &[]);
+        let m = b.add_op(OpType::Mul, &[a]);
+        let s = b.add_op(OpType::Sub, &[a]);
+        let _ = b.add_op(OpType::Add, &[m, s]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let binding =
+            Binding::new(&dfg, &machine, vec![cl(0), cl(0), cl(1), cl(0)]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &binding);
+        let schedule = ListScheduler::new(&machine).schedule(&bound);
+        (dfg, machine, binding, bound, schedule)
+    }
+
+    #[test]
+    fn clean_pipeline_output_verifies() {
+        let (dfg, machine, binding, bound, schedule) = setup();
+        assert_eq!(verify(&dfg, &machine, &binding, &bound, &schedule), vec![]);
+        let reported = (schedule.latency(), bound.move_count());
+        assert_eq!(
+            verify_reported(&dfg, &machine, &binding, &bound, &schedule, reported),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn dropped_move_is_caught() {
+        // Bound graph built for a same-cluster binding, verified against
+        // a binding that claims a cross-cluster edge: the covering move
+        // does not exist.
+        let mut b = DfgBuilder::new();
+        let p = b.add_op(OpType::Add, &[]);
+        let _ = b.add_op(OpType::Add, &[p]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let same = Binding::new(&dfg, &machine, vec![cl(0), cl(0)]).expect("valid");
+        let crossed = Binding::new(&dfg, &machine, vec![cl(0), cl(1)]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &same);
+        let schedule = ListScheduler::new(&machine).schedule(&bound);
+        let violations = verify(&dfg, &machine, &crossed, &bound, &schedule);
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                Violation::MissingMove { from, to, .. } if *from == cl(0) && *to == cl(1)
+            )),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn overloaded_fu_is_caught() {
+        let (dfg, machine, binding, bound, _) = setup();
+        // Start everything at cycle 0: cluster 0 runs two ALU ops at once
+        // on one ALU, and consumers start before producers finish.
+        let lat = bound.latencies(&machine);
+        let squashed = Schedule::from_starts(vec![0; bound.dfg().len()], &lat);
+        let violations = verify(&dfg, &machine, &binding, &bound, &squashed);
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                Violation::FuOverload { cluster, fu: FuType::Alu, .. } if *cluster == cl(0)
+            )),
+            "{violations:?}"
+        );
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::Precedence { .. })));
+    }
+
+    #[test]
+    fn wrong_latency_is_caught() {
+        let (dfg, machine, binding, bound, schedule) = setup();
+        // Re-pack the same start times against a doubled latency table:
+        // every stored duration is now 2 but the machine says 1.
+        let starts: Vec<u32> = bound.dfg().op_ids().map(|v| schedule.start(v)).collect();
+        let double: Vec<u32> = bound.latencies(&machine).iter().map(|l| l * 2).collect();
+        let stretched = Schedule::from_starts(starts, &double);
+        let violations = verify(&dfg, &machine, &binding, &bound, &stretched);
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                Violation::WrongLatency {
+                    got: 2,
+                    expected: 1,
+                    ..
+                }
+            )),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn bus_overload_is_caught() {
+        // Three transfers forced into one cycle on a 2-bus machine.
+        let mut b = DfgBuilder::new();
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let p = b.add_op(OpType::Add, &[]);
+            consumers.push(b.add_op(OpType::Add, &[p]));
+        }
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[3,1|3,1]").expect("machine");
+        let of = vec![cl(0), cl(1), cl(0), cl(1), cl(0), cl(1)];
+        let binding = Binding::new(&dfg, &machine, of).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &binding);
+        let lat = bound.latencies(&machine);
+        let starts: Vec<u32> = bound
+            .dfg()
+            .op_ids()
+            .map(|v| {
+                if bound.is_move(v) {
+                    1
+                } else if bound.dfg().in_degree(v) == 0 {
+                    0
+                } else {
+                    2
+                }
+            })
+            .collect();
+        let schedule = Schedule::from_starts(starts, &lat);
+        let violations = verify(&dfg, &machine, &binding, &bound, &schedule);
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                Violation::BusOverload {
+                    used: 3,
+                    capacity: 2,
+                    ..
+                }
+            )),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn misreported_lm_is_caught() {
+        let (dfg, machine, binding, bound, schedule) = setup();
+        let honest = (schedule.latency(), bound.move_count());
+        let lies = verify_reported(
+            &dfg,
+            &machine,
+            &binding,
+            &bound,
+            &schedule,
+            (honest.0 + 1, honest.1 + 3),
+        );
+        assert!(lies
+            .iter()
+            .any(|v| matches!(v, Violation::LatencyMismatch { .. })));
+        assert!(lies
+            .iter()
+            .any(|v| matches!(v, Violation::MoveCountMismatch { .. })));
+    }
+
+    #[test]
+    fn illegal_binding_is_caught_before_schedule_checks() {
+        let mut b = DfgBuilder::new();
+        let m = b.add_op(OpType::Mul, &[]);
+        let _ = b.add_op(OpType::Add, &[m]);
+        let dfg = b.finish().expect("acyclic");
+        // Cluster 0 has no multiplier; hand-build the binding unchecked.
+        let machine = Machine::parse("[1,0|1,1]").expect("machine");
+        let mut binding = Binding::unbound(&dfg);
+        binding.bind(OpId::from_index(0), cl(0));
+        binding.bind(OpId::from_index(1), cl(0));
+        let legal = Binding::new(&dfg, &machine, vec![cl(1), cl(0)]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &legal);
+        let schedule = ListScheduler::new(&machine).schedule(&bound);
+        let violations = verify(&dfg, &machine, &binding, &bound, &schedule);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::OutsideTargetSet { .. })),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn unbound_and_short_bindings_are_caught() {
+        let mut b = DfgBuilder::new();
+        let a = b.add_op(OpType::Add, &[]);
+        let _ = b.add_op(OpType::Add, &[a]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1]").expect("machine");
+        let legal = Binding::new(&dfg, &machine, vec![cl(0), cl(0)]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &legal);
+        let schedule = ListScheduler::new(&machine).schedule(&bound);
+
+        let unbound = Binding::unbound(&dfg);
+        let violations = verify(&dfg, &machine, &unbound, &bound, &schedule);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::UnboundOp { .. })));
+
+        let mut tiny = DfgBuilder::new();
+        tiny.add_op(OpType::Add, &[]);
+        let short = Binding::unbound(&tiny.finish().expect("acyclic"));
+        let violations = verify(&dfg, &machine, &short, &bound, &schedule);
+        assert_eq!(
+            violations,
+            vec![Violation::BindingLength {
+                got: 1,
+                expected: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn empty_dfg_verifies() {
+        let dfg = DfgBuilder::new().finish().expect("empty");
+        let machine = Machine::parse("[1,1]").expect("machine");
+        let binding = Binding::unbound(&dfg);
+        let bound = BoundDfg::new(&dfg, &machine, &binding);
+        let schedule = ListScheduler::new(&machine).schedule(&bound);
+        assert_eq!(verify(&dfg, &machine, &binding, &bound, &schedule), vec![]);
+        assert_eq!(
+            verify_reported(&dfg, &machine, &binding, &bound, &schedule, (0, 0)),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn violations_display_the_essentials() {
+        let v = Violation::FuOverload {
+            cluster: cl(1),
+            fu: FuType::Mul,
+            cycle: 4,
+            used: 3,
+            capacity: 2,
+        };
+        let text = v.to_string();
+        assert!(text.contains("cl1") && text.contains("cycle 4"), "{text}");
+        let m = Violation::MissingMove {
+            producer: OpId::from_index(0),
+            consumer: OpId::from_index(1),
+            from: cl(0),
+            to: cl(1),
+        };
+        assert!(m.to_string().contains("without a covering move"));
+    }
+}

@@ -28,6 +28,7 @@ use vliw_datapath::Machine;
 use vliw_dfg::{Dfg, DfgStats};
 use vliw_kernels::Kernel;
 use vliw_pcc::Pcc;
+use vliw_sched::{Binding, BoundDfg, Schedule};
 use vliw_sim::Simulator;
 
 /// A fatal CLI error with the message shown to the user.
@@ -101,6 +102,8 @@ commands:
           [--json | --asm]
   dot     --kernel K | --dfg FILE  --machine \"[...]\"   bound-DFG Graphviz
   explore --kernel K | --dfg FILE  [--max-fus N] [--max-clusters N]
+  verify  --input FILE                  re-check a `bind --json` result
+          | --kernel K | --dfg FILE  --machine \"[...]\" [--algo A]
 ";
 
 /// Runs a parsed command, returning the text to print.
@@ -116,6 +119,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "bind" => cmd_bind(args),
         "dot" => cmd_dot(args),
         "explore" => cmd_explore(args),
+        "verify" => cmd_verify(args),
         "help" => Ok(USAGE.to_owned()),
         other => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -178,21 +182,28 @@ fn cmd_stats(args: &Args) -> Result<String, CliError> {
     Ok(format!("{stats}\n"))
 }
 
+/// Runs a named binding algorithm through its fallible entry point, so a
+/// malformed input surfaces as a [`CliError`] instead of a panic.
+fn run_algo(algo: &str, dfg: &Dfg, machine: &Machine) -> Result<BindingResult, CliError> {
+    machine
+        .check_supports_dfg(dfg)
+        .map_err(|v| err(format!("machine {machine} cannot execute operation {v}")))?;
+    match algo {
+        "binit" => Binder::new(machine).try_bind_initial(dfg),
+        "biter" => Binder::new(machine).try_bind(dfg),
+        "pcc" => Pcc::new(machine).try_bind(dfg),
+        "uas" => Uas::new(machine).try_bind(dfg),
+        "sa" => Annealer::new(machine).try_bind(dfg),
+        other => return Err(err(format!("unknown --algo {other:?}"))),
+    }
+    .map_err(|e| err(format!("{algo} binding failed: {e}")))
+}
+
 fn cmd_bind(args: &Args) -> Result<String, CliError> {
     let dfg = load_dfg(args)?;
     let machine = load_machine(args)?;
-    machine
-        .check_supports_dfg(&dfg)
-        .map_err(|v| err(format!("machine {machine} cannot execute operation {v}")))?;
     let algo = args.get("algo").unwrap_or("biter");
-    let result: BindingResult = match algo {
-        "binit" => Binder::new(&machine).bind_initial(&dfg),
-        "biter" => Binder::new(&machine).bind(&dfg),
-        "pcc" => Pcc::new(&machine).bind(&dfg),
-        "uas" => Uas::new(&machine).bind(&dfg),
-        "sa" => Annealer::new(&machine).bind(&dfg),
-        other => return Err(err(format!("unknown --algo {other:?}"))),
-    };
+    let result = run_algo(algo, &dfg, &machine)?;
     result
         .schedule
         .validate(&result.bound, &machine)
@@ -202,13 +213,21 @@ fn cmd_bind(args: &Args) -> Result<String, CliError> {
         let report = Simulator::new(&machine)
             .run(&result.bound, &result.schedule)
             .map_err(|e| err(format!("internal error: simulator rejected: {e}")))?;
+        let starts: Vec<u32> = result
+            .bound
+            .dfg()
+            .op_ids()
+            .map(|v| result.schedule.start(v))
+            .collect();
         let blob = serde_json::json!({
             "algo": algo,
             "machine": machine.to_string(),
+            "machine_config": machine,
             "latency": result.latency(),
             "moves": result.moves(),
             "bus_utilization": report.bus_utilization,
             "binding": result.binding,
+            "starts": starts,
             "dfg": dfg,
         });
         return serde_json::to_string_pretty(&blob)
@@ -277,6 +296,129 @@ fn cmd_explore(args: &Args) -> Result<String, CliError> {
         );
     }
     Ok(out)
+}
+
+/// Reconstructs a binding result from a `bind --json` blob so the
+/// independent verifier can re-check it: the DFG, machine and binding
+/// are deserialized, the bound graph re-derived, and the schedule
+/// rebuilt from the serialized start cycles.
+fn load_result_blob(path: &str) -> Result<(String, Dfg, Machine, BindingResult), CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let blob: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| err(format!("bad JSON in {path}: {e}")))?;
+    let dfg: Dfg = serde_json::from_value(blob["dfg"].clone())
+        .map_err(|e| err(format!("{path}: bad \"dfg\": {e}")))?;
+    dfg.validate()
+        .map_err(|e| err(format!("{path}: invalid DFG: {e}")))?;
+    let machine: Machine = if matches!(blob["machine_config"], serde_json::Value::Null) {
+        // Older blobs carry only the display string (no bus/latency
+        // overrides survive, as those were never serialized).
+        let text = blob["machine"]
+            .as_str()
+            .ok_or_else(|| err(format!("{path}: missing \"machine_config\"/\"machine\"")))?;
+        Machine::parse(text).map_err(|e| err(format!("{path}: bad \"machine\": {e}")))?
+    } else {
+        serde_json::from_value(blob["machine_config"].clone())
+            .map_err(|e| err(format!("{path}: bad \"machine_config\": {e}")))?
+    };
+    machine
+        .validate()
+        .map_err(|e| err(format!("{path}: invalid machine: {e}")))?;
+    let binding: Binding = serde_json::from_value(blob["binding"].clone())
+        .map_err(|e| err(format!("{path}: bad \"binding\": {e}")))?;
+    binding
+        .validate(&dfg, &machine)
+        .map_err(|e| err(format!("{path}: invalid binding: {e}")))?;
+    let bound = BoundDfg::new(&dfg, &machine, &binding);
+    let starts: Vec<u32> = serde_json::from_value(blob["starts"].clone()).map_err(|e| {
+        err(format!(
+            "{path}: bad \"starts\" (re-emit with `bind --json`): {e}"
+        ))
+    })?;
+    if starts.len() != bound.dfg().len() {
+        return Err(err(format!(
+            "{path}: {} start cycles for {} bound operations",
+            starts.len(),
+            bound.dfg().len()
+        )));
+    }
+    let schedule = Schedule::from_starts(starts, &bound.latencies(&machine));
+    let label = match blob["algo"].as_str() {
+        Some(algo) => format!("{path} ({algo})"),
+        None => path.to_owned(),
+    };
+    Ok((
+        label,
+        dfg,
+        machine,
+        BindingResult {
+            binding,
+            bound,
+            schedule,
+        },
+    ))
+}
+
+/// The reported `(L, N_MV)` pair from a blob, when present, so the
+/// verifier can cross-check the claimed figures of merit too.
+fn reported_lm(path: &str) -> Option<(u32, usize)> {
+    let blob: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(path).ok()?).ok()?;
+    Some((
+        u32::try_from(blob["latency"].as_u64()?).ok()?,
+        usize::try_from(blob["moves"].as_u64()?).ok()?,
+    ))
+}
+
+fn cmd_verify(args: &Args) -> Result<String, CliError> {
+    let (label, dfg, machine, result, reported) = if let Some(path) = args.get("input") {
+        let (label, dfg, machine, result) = load_result_blob(path)?;
+        let reported = reported_lm(path);
+        (label, dfg, machine, result, reported)
+    } else {
+        let dfg = load_dfg(args)?;
+        let machine = load_machine(args)?;
+        let algo = args.get("algo").unwrap_or("biter");
+        let result = run_algo(algo, &dfg, &machine)?;
+        let reported = Some((result.latency(), result.moves()));
+        (
+            format!("{algo} on {machine}"),
+            dfg,
+            machine,
+            result,
+            reported,
+        )
+    };
+    let violations = match reported {
+        Some(lm) => vliw_sched::verify_reported(
+            &dfg,
+            &machine,
+            &result.binding,
+            &result.bound,
+            &result.schedule,
+            lm,
+        ),
+        None => vliw_sched::verify(
+            &dfg,
+            &machine,
+            &result.binding,
+            &result.bound,
+            &result.schedule,
+        ),
+    };
+    if violations.is_empty() {
+        return Ok(format!(
+            "OK: {label} verifies clean: latency {} cycles, {} transfers\n",
+            result.latency(),
+            result.moves()
+        ));
+    }
+    let mut msg = format!("{label}: {} violations:", violations.len());
+    for v in &violations {
+        let _ = write!(msg, "\n  - {v}");
+    }
+    Err(err(msg))
 }
 
 #[cfg(test)]
@@ -361,6 +503,69 @@ mod tests {
         let out = run_line("explore --kernel ARF --max-fus 5 --max-clusters 2").expect("ok");
         assert!(out.contains("datapath"), "{out}");
         assert!(out.lines().count() >= 2, "{out}");
+    }
+
+    #[test]
+    fn verify_fresh_bind_is_clean_for_every_algo() {
+        for algo in ["binit", "biter", "pcc", "uas", "sa"] {
+            let out = run_line(&format!(
+                "verify --kernel ARF --machine [1,1|1,1] --algo {algo}"
+            ))
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert!(out.starts_with("OK:"), "{out}");
+        }
+    }
+
+    #[test]
+    fn verify_accepts_a_bind_json_blob() {
+        let blob = run_line("bind --kernel EWF --machine [2,1|1,1] --buses 1 --json").expect("ok");
+        let path = std::env::temp_dir().join("vliw_tools_test_verify_ok.json");
+        std::fs::write(&path, &blob).expect("writes");
+        let out = run_line(&format!("verify --input {}", path.display())).expect("verifies");
+        assert!(out.starts_with("OK:"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn verify_catches_a_corrupted_blob() {
+        use serde_json::{Number, Value};
+        let text = run_line("bind --kernel ARF --machine [1,1|1,1] --json").expect("ok");
+        let mut blob: Value = serde_json::from_str(&text).expect("json");
+        // Claim a latency one cycle better than the schedule delivers.
+        let claimed = blob["latency"].as_u64().expect("latency") - 1;
+        let Value::Object(fields) = &mut blob else {
+            panic!("blob is an object")
+        };
+        for (k, v) in fields.iter_mut() {
+            if k == "latency" {
+                *v = Value::Number(Number::PosInt(claimed));
+            } else if k == "starts" {
+                // And delay one operation past its recorded start.
+                let Value::Array(starts) = v else {
+                    panic!("starts is an array")
+                };
+                let last = starts.len() - 1;
+                let delayed = starts[last].as_u64().expect("start") + 50;
+                starts[last] = Value::Number(Number::PosInt(delayed));
+            }
+        }
+        let path = std::env::temp_dir().join("vliw_tools_test_verify_bad.json");
+        std::fs::write(&path, serde_json::to_string(&blob).expect("serializes")).expect("writes");
+        let e = run_line(&format!("verify --input {}", path.display())).unwrap_err();
+        assert!(e.0.contains("violations"), "{e}");
+        assert!(e.0.contains("latency"), "{e}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn verify_rejects_malformed_blobs_gracefully() {
+        let path = std::env::temp_dir().join("vliw_tools_test_verify_garbage.json");
+        std::fs::write(&path, "{\"latency\": 3}").expect("writes");
+        let e = run_line(&format!("verify --input {}", path.display())).unwrap_err();
+        assert!(e.0.contains("dfg"), "{e}");
+        let _ = std::fs::remove_file(&path);
+        let e = run_line("verify --input /nonexistent/blob.json").unwrap_err();
+        assert!(e.0.contains("cannot read"), "{e}");
     }
 
     #[test]
