@@ -1,7 +1,7 @@
 //! Ablation studies over the paper's design choices.
 //!
 //! Usage: `cargo run -p vliw-bench --release --bin ablation -- <study>
-//! [--threads N] [--no-eval-cache]`
+//! [--threads N] [--no-eval-cache] [--trace-out FILE]`
 //! where `<study>` is one of `gamma`, `lpr`, `reverse`, `quality`,
 //! `pairs`, `fucost`, `priority`, `optimal`, or `all`.
 
@@ -9,8 +9,9 @@ use vliw_bench::ablation;
 use vliw_binding::{BinderConfig, QualityKind};
 
 fn main() {
-    let study = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
-    let base = vliw_bench::runner::config_from_args(BinderConfig::default());
+    let cli = vliw_bench::BenchCli::from_env(BinderConfig::default());
+    let study = cli.positional.clone().unwrap_or_else(|| "all".to_owned());
+    let base = cli.config.clone();
     let all = study == "all";
     let mut ran = false;
 
@@ -88,4 +89,5 @@ fn main() {
         eprintln!("unknown study {study:?}; try gamma|lpr|reverse|quality|pairs|fucost|priority|optimal|all");
         std::process::exit(2);
     }
+    cli.finish();
 }

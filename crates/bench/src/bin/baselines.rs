@@ -4,19 +4,21 @@
 //! evaluation with the other algorithms its Section 4 discusses.
 //!
 //! Usage: `cargo run -p vliw-bench --release --bin baselines [--quick]
-//! [--threads N] [--no-eval-cache] [--pairs MODE] [--starts N]
-//! [--deadline-ms N] [--max-rounds N] [--verify | --no-verify]`
+//! [--trace-out FILE] [--threads N] [--no-eval-cache] [--pairs MODE]
+//! [--starts N] [--deadline-ms N] [--max-rounds N]
+//! [--verify | --no-verify]`
 
 use std::time::Instant;
 use vliw_baselines::{Annealer, Uas};
-use vliw_bench::TABLE1;
+use vliw_bench::{BenchCli, TABLE1};
 use vliw_binding::{Binder, BinderConfig};
 use vliw_datapath::Machine;
 use vliw_pcc::Pcc;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let config = vliw_bench::runner::config_from_args(BinderConfig::default());
+    let cli = BenchCli::from_env(BinderConfig::default());
+    let quick = cli.quick;
+    let config = cli.config.clone();
     let mut totals = [0u64; 5];
     let mut times = [0f64; 5];
     let mut rows = 0u32;
@@ -80,4 +82,5 @@ fn main() {
     {
         println!("  {name:<8} {total:>5} cycles   {:>8.2}s", time);
     }
+    cli.finish();
 }

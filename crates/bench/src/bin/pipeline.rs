@@ -4,7 +4,7 @@
 //! a block-latency binding, and the II achieved by the II-driven binder.
 //!
 //! Usage: `cargo run -p vliw-bench --release --bin pipeline
-//! [--threads N] [--no-eval-cache]`
+//! [--threads N] [--no-eval-cache] [--trace-out FILE]`
 
 use vliw_binding::{Binder, BinderConfig};
 use vliw_datapath::Machine;
@@ -75,7 +75,8 @@ fn loops() -> Vec<(&'static str, LoopDfg)> {
 }
 
 fn main() {
-    let config = vliw_bench::runner::config_from_args(BinderConfig::default());
+    let cli = vliw_bench::BenchCli::from_env(BinderConfig::default());
+    let config = cli.config.clone();
     let machines = ["[1,1]", "[2,1]", "[1,1|1,1]", "[2,1|2,1]", "[3,1|3,1]"];
     println!(
         "{:<10} {:<12} {:>7} {:>7} {:>9} {:>9} {:>8} {:>12}",
@@ -108,4 +109,5 @@ fn main() {
         }
         println!();
     }
+    cli.finish();
 }

@@ -2,22 +2,26 @@
 //! `N_B = 2`, `lat(move) = 1`, printing paper-vs-measured side by side.
 //!
 //! Usage: `cargo run -p vliw-bench --release --bin table1 [--json FILE]
-//! [--threads N] [--no-eval-cache] [--pairs MODE] [--starts N]
-//! [--deadline-ms N] [--max-rounds N] [--verify | --no-verify]`
+//! [--bench-out FILE] [--trace-out FILE] [--threads N] [--no-eval-cache]
+//! [--pairs MODE] [--starts N] [--deadline-ms N] [--max-rounds N]
+//! [--verify | --no-verify]`
+//!
+//! Besides the printed table, always writes the machine-readable perf
+//! trajectory `BENCH_table1.json` (override with `--bench-out`): every
+//! kernel × distinct Table-1 datapath, with wall-clock, per-phase
+//! timings and the `(L, N_MV)` result.
 
 use std::collections::BTreeMap;
 use vliw_bench::runner::lm;
-use vliw_bench::{run_row, TABLE1};
+use vliw_bench::{run_row, BenchCli, TABLE1};
 use vliw_binding::BinderConfig;
 use vliw_datapath::Machine;
 use vliw_dfg::DfgStats;
 
 fn main() {
-    let json_path = std::env::args().skip_while(|a| a != "--json").nth(1);
-    if let Some(path) = &json_path {
-        vliw_bench::runner::ensure_writable_or_exit(path);
-    }
-    let config = vliw_bench::runner::config_from_args(BinderConfig::default());
+    let cli = BenchCli::from_env(BinderConfig::default());
+    let json_path = cli.json_path.clone();
+    let config = cli.config.clone();
     let mut json_rows: Vec<serde_json::Value> = Vec::new();
     let mut current_kernel = None;
     let mut wins = BTreeMap::from([("init", 0i32), ("iter", 0i32)]);
@@ -109,4 +113,15 @@ fn main() {
         vliw_bench::runner::write_or_exit(&path, &blob);
         println!("  wrote {path}");
     }
+
+    // The perf trajectory: every kernel on every distinct Table-1
+    // datapath, re-bound with tracing on for the phase breakdown.
+    let trajectory = vliw_bench::runner::table1_trajectory(&config);
+    let bench_path = cli.bench_out_or("BENCH_table1.json");
+    vliw_bench::runner::write_or_exit(
+        &bench_path,
+        &vliw_bench::runner::trajectory_json("table1", &trajectory),
+    );
+    println!("  wrote {bench_path} ({} rows)", trajectory.len());
+    cli.finish();
 }

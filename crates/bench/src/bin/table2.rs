@@ -3,24 +3,28 @@
 //! `lat(move) ∈ {1,2}`.
 //!
 //! Usage: `cargo run -p vliw-bench --release --bin table2 [--json FILE]
-//! [--threads N] [--no-eval-cache] [--pairs MODE] [--starts N]
-//! [--deadline-ms N] [--max-rounds N] [--verify | --no-verify]`
+//! [--bench-out FILE] [--trace-out FILE] [--threads N] [--no-eval-cache]
+//! [--pairs MODE] [--starts N] [--deadline-ms N] [--max-rounds N]
+//! [--verify | --no-verify]`
+//!
+//! Besides the printed table, always writes the perf trajectory
+//! `BENCH_table2.json` (override with `--bench-out`): the four bus
+//! configurations with wall-clock, per-phase timings and `(L, N_MV)`.
 
 use vliw_bench::rows::TABLE2_DATAPATH;
 use vliw_bench::runner::lm;
-use vliw_bench::{run_row, TABLE2};
+use vliw_bench::{run_row, BenchCli, TABLE2};
 use vliw_binding::BinderConfig;
 use vliw_datapath::Machine;
 use vliw_kernels::Kernel;
 
 fn main() {
-    let json_path = std::env::args().skip_while(|a| a != "--json").nth(1);
-    if let Some(path) = &json_path {
-        vliw_bench::runner::ensure_writable_or_exit(path);
-    }
-    let config = vliw_bench::runner::config_from_args(BinderConfig::default());
+    let cli = BenchCli::from_env(BinderConfig::default());
+    let json_path = cli.json_path.clone();
+    let config = cli.config.clone();
     let dfg = Kernel::Fft.build();
     let mut json_rows: Vec<serde_json::Value> = Vec::new();
+    let mut trajectory = Vec::new();
 
     println!("Table 2 reproduction: FFT on {TABLE2_DATAPATH}");
     println!("paper values in parentheses\n");
@@ -57,6 +61,16 @@ fn main() {
                 "timings_ms": m.timings,
             },
         }));
+        trajectory.push(vliw_bench::runner::trajectory_row(
+            "FFT",
+            &format!(
+                "{TABLE2_DATAPATH} N_B={} lat(move)={}",
+                row.buses, row.move_latency
+            ),
+            &dfg,
+            &machine,
+            &config,
+        ));
     }
 
     if let Some(path) = json_path {
@@ -64,4 +78,12 @@ fn main() {
         vliw_bench::runner::write_or_exit(&path, &blob);
         println!("\nwrote {path}");
     }
+
+    let bench_path = cli.bench_out_or("BENCH_table2.json");
+    vliw_bench::runner::write_or_exit(
+        &bench_path,
+        &vliw_bench::runner::trajectory_json("table2", &trajectory),
+    );
+    println!("\nwrote {bench_path} ({} rows)", trajectory.len());
+    cli.finish();
 }

@@ -1,0 +1,249 @@
+//! Shared command-line handling for the five bench binaries.
+//!
+//! Every binary accepts the same surface: the [`BinderConfig`] override
+//! flags (`--threads`, `--pairs`, `--starts`, `--no-eval-cache`,
+//! `--deadline-ms`, `--max-rounds`, `--verify`/`--no-verify`), the
+//! side-output flags (`--json FILE`, `--bench-out FILE`), `--quick`, a
+//! single optional positional (the ablation study name), and
+//! `--trace-out FILE` — which forces [`BinderConfig::trace`] on and
+//! installs a process-global JSONL sink so every traced bind of the run
+//! streams its events to the file.
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::sync::Arc;
+use vliw_binding::BinderConfig;
+use vliw_trace::JsonlSink;
+
+use crate::runner::try_config_from_args;
+
+/// Flags that consume the following argument, used to tell positionals
+/// apart from flag values.
+const VALUE_FLAGS: &[&str] = &[
+    "--json",
+    "--bench-out",
+    "--trace-out",
+    "--pairs",
+    "--starts",
+    "--threads",
+    "--deadline-ms",
+    "--max-rounds",
+];
+
+/// The parsed command line of a bench binary.
+pub struct BenchCli {
+    /// Binder configuration after the override flags; `trace` is forced
+    /// on when `--trace-out` was given.
+    pub config: BinderConfig,
+    /// `--json FILE`: machine-readable row dump.
+    pub json_path: Option<String>,
+    /// `--bench-out FILE`: where to write the perf-trajectory file
+    /// (each binary has its own default, e.g. `BENCH_table1.json`).
+    pub bench_out: Option<String>,
+    /// `--trace-out FILE`: where the JSONL event stream goes.
+    pub trace_path: Option<String>,
+    /// `--quick`: subsample the experiment matrix.
+    pub quick: bool,
+    /// The first non-flag argument (the ablation study name).
+    pub positional: Option<String>,
+    /// The live `--trace-out` sink, kept for the final flush.
+    sink: Option<Arc<JsonlSink<BufWriter<File>>>>,
+}
+
+impl std::fmt::Debug for BenchCli {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenchCli")
+            .field("config", &self.config)
+            .field("json_path", &self.json_path)
+            .field("bench_out", &self.bench_out)
+            .field("trace_path", &self.trace_path)
+            .field("quick", &self.quick)
+            .field("positional", &self.positional)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BenchCli {
+    /// Parses an argument list (no binary name) on top of `base`. Pure:
+    /// opens no files and installs no sinks — that happens in
+    /// [`BenchCli::from_env`].
+    ///
+    /// # Errors
+    ///
+    /// A one-line message when a known flag carries a bad or missing
+    /// value.
+    pub fn try_parse<I>(base: BinderConfig, args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let args: Vec<String> = args.into_iter().collect();
+        let mut config = try_config_from_args(base, args.iter().cloned())?;
+        let value_of = |flag: &str| -> Result<Option<String>, String> {
+            match args.iter().position(|a| a == flag) {
+                None => Ok(None),
+                Some(i) => args
+                    .get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .cloned()
+                    .map(Some)
+                    .ok_or_else(|| format!("{flag} needs a value")),
+            }
+        };
+        let json_path = value_of("--json")?;
+        let bench_out = value_of("--bench-out")?;
+        let trace_path = value_of("--trace-out")?;
+        if trace_path.is_some() {
+            // The stream is only fed by traced binds.
+            config.trace = true;
+        }
+        let mut positional = None;
+        let mut i = 0;
+        while i < args.len() {
+            let arg = args[i].as_str();
+            if VALUE_FLAGS.contains(&arg) {
+                i += 2;
+                continue;
+            }
+            if arg.starts_with("--") {
+                i += 1;
+                continue;
+            }
+            positional = Some(args[i].clone());
+            break;
+        }
+        Ok(BenchCli {
+            config,
+            json_path,
+            bench_out,
+            trace_path,
+            quick: args.iter().any(|a| a == "--quick"),
+            positional,
+            sink: None,
+        })
+    }
+
+    /// Parses the process arguments, printing a one-line error and
+    /// exiting with status 2 on a bad flag; pre-flights `--json` /
+    /// `--bench-out` for writability and opens + globally installs the
+    /// `--trace-out` sink.
+    pub fn from_env(base: BinderConfig) -> Self {
+        let mut cli = match Self::try_parse(base, std::env::args().skip(1)) {
+            Ok(cli) => cli,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        };
+        for path in [&cli.json_path, &cli.bench_out].into_iter().flatten() {
+            crate::runner::ensure_writable_or_exit(path);
+        }
+        if let Some(path) = &cli.trace_path {
+            match File::create(path) {
+                Ok(file) => {
+                    let sink = Arc::new(JsonlSink::new(BufWriter::new(file)));
+                    vliw_trace::install_global(sink.clone());
+                    cli.sink = Some(sink);
+                }
+                Err(e) => {
+                    eprintln!("error: cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        cli
+    }
+
+    /// Flushes the `--trace-out` sink (if any), reporting where the
+    /// events went. Call once at the end of `main`.
+    pub fn finish(&self) {
+        let (Some(sink), Some(path)) = (&self.sink, &self.trace_path) else {
+            return;
+        };
+        match sink.finish() {
+            Ok(()) => println!("wrote trace events to {path}"),
+            Err(e) => {
+                eprintln!("error: trace stream to {path} failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The perf-trajectory output path: `--bench-out` or the binary's
+    /// default.
+    pub fn bench_out_or(&self, default: &str) -> String {
+        self.bench_out.clone().unwrap_or_else(|| default.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<BenchCli, String> {
+        BenchCli::try_parse(
+            BinderConfig::default(),
+            line.split_whitespace().map(str::to_owned),
+        )
+    }
+
+    #[test]
+    fn shared_flags_parse_once_for_every_binary() {
+        let cli = parse(
+            "--json out.json --threads 2 --no-eval-cache --quick \
+             --trace-out t.jsonl --bench-out BENCH.json",
+        )
+        .expect("valid");
+        assert_eq!(cli.json_path.as_deref(), Some("out.json"));
+        assert_eq!(cli.bench_out.as_deref(), Some("BENCH.json"));
+        assert_eq!(cli.trace_path.as_deref(), Some("t.jsonl"));
+        assert!(cli.quick);
+        assert_eq!(cli.config.threads, 2);
+        assert!(!cli.config.eval_cache);
+        assert_eq!(cli.positional, None);
+        assert_eq!(cli.bench_out_or("X.json"), "BENCH.json");
+    }
+
+    #[test]
+    fn trace_out_forces_tracing_on() {
+        assert!(!parse("").expect("valid").config.trace);
+        assert!(parse("--trace-out t.jsonl").expect("valid").config.trace);
+    }
+
+    #[test]
+    fn positional_skips_flag_values() {
+        // The ablation binary: `ablation gamma --threads 2`.
+        assert_eq!(
+            parse("gamma --threads 2")
+                .expect("ok")
+                .positional
+                .as_deref(),
+            Some("gamma")
+        );
+        // A flag value is not a positional.
+        assert_eq!(
+            parse("--threads 2 gamma")
+                .expect("ok")
+                .positional
+                .as_deref(),
+            Some("gamma")
+        );
+        assert_eq!(parse("--json out.json").expect("ok").positional, None);
+        assert_eq!(parse("").expect("ok").positional, None);
+    }
+
+    #[test]
+    fn missing_values_are_one_line_errors() {
+        for line in ["--json", "--trace-out", "--bench-out --quick"] {
+            let e = parse(line).expect_err(line);
+            assert!(e.contains("needs a value"), "{line}: {e}");
+            assert!(!e.contains('\n'), "{line}: {e:?}");
+        }
+    }
+
+    #[test]
+    fn defaults_fall_back() {
+        let cli = parse("").expect("valid");
+        assert_eq!(cli.bench_out_or("BENCH_table1.json"), "BENCH_table1.json");
+        assert!(cli.json_path.is_none() && cli.trace_path.is_none());
+    }
+}

@@ -11,14 +11,21 @@
 //! This crate embeds the paper's reported numbers next to each
 //! experiment so the binaries print paper-vs-measured side by side, and
 //! exposes the shared row runner used by `table1`, `table2`, `ablation`
-//! and the Criterion benches.
+//! and the Criterion benches. The `table1`/`table2` binaries also write
+//! the machine-readable perf trajectory (`BENCH_table1.json` /
+//! `BENCH_table2.json`: wall-clock, per-phase timings and `(L, N_MV)`
+//! per experiment point), and every binary takes `--trace-out FILE` to
+//! stream the structured trace events of its binds as JSONL (see
+//! [`cli::BenchCli`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod cli;
 pub mod rows;
 pub mod runner;
 
+pub use cli::BenchCli;
 pub use rows::{PaperRow, Table1Row, Table2Row, TABLE1, TABLE2};
-pub use runner::{run_row, MeasuredRow, RowTimings};
+pub use runner::{run_row, MeasuredRow, RowTimings, TrajectoryRow};

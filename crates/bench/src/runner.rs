@@ -3,9 +3,10 @@
 
 use serde::Serialize;
 use std::time::Instant;
-use vliw_binding::{Binder, BinderConfig};
+use vliw_binding::{Binder, BinderConfig, PhaseStats};
 use vliw_datapath::Machine;
 use vliw_dfg::Dfg;
+use vliw_kernels::Kernel;
 use vliw_pcc::Pcc;
 
 /// Wall-clock timings of one row, in milliseconds.
@@ -23,7 +24,7 @@ pub struct RowTimings {
 /// exactly as the algorithms report them ([`vliw_binding::BindingResult::moves`]
 /// returns `usize`; an earlier version narrowed it with `as u32`, which
 /// would silently truncate on a pathological row).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct MeasuredRow {
     /// PCC latency / transfers.
     pub pcc: (u32, usize),
@@ -36,6 +37,10 @@ pub struct MeasuredRow {
     /// Fraction of B-ITER candidate evaluations served from the
     /// binding-evaluation memo (`0.0` when the cache is disabled).
     pub iter_hit_rate: f64,
+    /// Per-phase breakdown of the B-ITER run, folded from its trace
+    /// events. Empty unless [`BinderConfig::trace`] is on (e.g. via the
+    /// binaries' `--trace-out`).
+    pub phases: PhaseStats,
 }
 
 impl MeasuredRow {
@@ -80,7 +85,103 @@ pub fn run_row(dfg: &Dfg, machine: &Machine, config: &BinderConfig) -> MeasuredR
             iter_ms,
         },
         iter_hit_rate: stats.hit_rate(),
+        phases: stats.phases,
     }
+}
+
+/// One row of the machine-readable perf trajectory (`BENCH_table1.json`
+/// / `BENCH_table2.json`): the B-ITER result and per-phase timings of
+/// one kernel × datapath point.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TrajectoryRow {
+    /// Kernel name as printed in the paper's tables.
+    pub kernel: String,
+    /// Datapath in `[alus,muls|…]` notation (Table 2 rows append the
+    /// bus configuration).
+    pub datapath: String,
+    /// B-ITER schedule latency `L`.
+    pub latency: u32,
+    /// B-ITER transfer count `N_MV`.
+    pub moves: usize,
+    /// Total wall-clock of the traced B-ITER bind, in milliseconds.
+    pub wall_ms: f64,
+    /// Per-phase elapsed times and counters of that bind.
+    pub phases: PhaseStats,
+}
+
+/// The distinct datapaths of the paper's Table 1, in first-use order.
+pub fn table1_datapaths() -> Vec<&'static str> {
+    let mut out = Vec::new();
+    for row in crate::TABLE1 {
+        if !out.contains(&row.datapath) {
+            out.push(row.datapath);
+        }
+    }
+    out
+}
+
+/// Runs one traced B-ITER bind and folds it into a [`TrajectoryRow`].
+/// Tracing is forced on so the phase breakdown is populated; results
+/// are bit-identical to an untraced bind (tracing only observes the
+/// search).
+pub fn trajectory_row(
+    kernel: &str,
+    datapath: &str,
+    dfg: &Dfg,
+    machine: &Machine,
+    config: &BinderConfig,
+) -> TrajectoryRow {
+    let traced = BinderConfig {
+        trace: true,
+        ..config.clone()
+    };
+    let binder = Binder::with_config(machine, traced);
+    let t = Instant::now();
+    let (result, stats) = binder.bind_with_stats(dfg);
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    TrajectoryRow {
+        kernel: kernel.to_owned(),
+        datapath: datapath.to_owned(),
+        latency: result.latency(),
+        moves: result.moves(),
+        wall_ms,
+        phases: stats.phases,
+    }
+}
+
+/// The full Table-1 perf-trajectory matrix: every kernel on every
+/// distinct Table-1 datapath (a superset of the paper's 33 published
+/// rows), each bound once with tracing on.
+pub fn table1_trajectory(config: &BinderConfig) -> Vec<TrajectoryRow> {
+    let datapaths = table1_datapaths();
+    let mut rows = Vec::with_capacity(Kernel::ALL.len() * datapaths.len());
+    for kernel in Kernel::ALL {
+        let dfg = kernel.build();
+        for datapath in &datapaths {
+            let machine = Machine::parse(datapath).expect("datapath parses");
+            rows.push(trajectory_row(
+                kernel.name(),
+                datapath,
+                &dfg,
+                &machine,
+                config,
+            ));
+        }
+    }
+    rows
+}
+
+/// Serializes a trajectory file: a versioned envelope around the rows,
+/// so downstream tooling can detect schema changes.
+pub fn trajectory_json(table: &str, rows: &[TrajectoryRow]) -> String {
+    let mut text = serde_json::to_string_pretty(&serde_json::json!({
+        "schema": "vliw-perf-trajectory-v1",
+        "table": table,
+        "rows": rows,
+    }))
+    .expect("serializable");
+    text.push('\n');
+    text
 }
 
 /// Formats one `(L, M)` pair the way the paper prints it.
@@ -215,6 +316,7 @@ mod tests {
                 iter_ms: 1.0,
             },
             iter_hit_rate: 0.0,
+            phases: PhaseStats::default(),
         };
         assert!((row.init_gain_pct() - 100.0 * 2.0 / 12.0).abs() < 0.01);
         assert!((row.iter_gain_pct() - 40.0).abs() < 0.01);
@@ -223,6 +325,47 @@ mod tests {
     #[test]
     fn lm_formats_like_the_paper() {
         assert_eq!(lm((16, 15)), "16/15");
+    }
+
+    #[test]
+    fn untraced_rows_have_no_phase_breakdown() {
+        let dfg = Kernel::Arf.build();
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let row = run_row(&dfg, &machine, &BinderConfig::default());
+        assert!(row.phases.is_empty());
+        let traced = BinderConfig {
+            trace: true,
+            ..BinderConfig::default()
+        };
+        let row = run_row(&dfg, &machine, &traced);
+        assert!(row.phases.phase("b_init").is_some());
+    }
+
+    #[test]
+    fn table1_has_twelve_distinct_datapaths() {
+        let dps = table1_datapaths();
+        assert_eq!(dps.len(), 12);
+        assert!(dps.contains(&"[1,1|1,1]") && dps.contains(&"[1,2|1,2]"));
+    }
+
+    #[test]
+    fn trajectory_rows_carry_phases_and_match_untraced_results() {
+        let dfg = Kernel::Arf.build();
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let config = BinderConfig::default();
+        let row = trajectory_row("ARF", "[1,1|1,1]", &dfg, &machine, &config);
+        let plain = Binder::with_config(&machine, config).bind(&dfg);
+        assert_eq!((row.latency, row.moves), plain.lm());
+        assert!(!row.phases.is_empty());
+        for phase in ["run", "b_init", "b_iter_qu", "b_iter_qm"] {
+            assert!(row.phases.phase(phase).is_some(), "missing {phase}");
+        }
+        let text = trajectory_json("table1", &[row]);
+        assert!(text.contains("vliw-perf-trajectory-v1"), "{text}");
+        let blob: serde_json::Value = serde_json::from_str(&text).expect("valid json");
+        assert_eq!(blob["table"], "table1");
+        assert_eq!(blob["rows"][0]["kernel"], "ARF");
+        assert!(blob["rows"][0]["phases"]["phases"].as_array().is_some());
     }
 
     fn parse_flags(line: &str) -> Result<BinderConfig, String> {

@@ -4,10 +4,17 @@
 //! the configured limits bound the *whole* bind, not each phase. An
 //! exhausted budget never aborts: phases keep whatever best-so-far result
 //! they hold and the driver reports `truncated: true` in its stats.
+//!
+//! With tracing attached ([`Budget::with_tracer`]), the budget emits its
+//! consumption timeline: one `budget_round` counter per claimed round
+//! (carrying the wall-clock consumed so far) and a single
+//! `budget_truncated` counter naming the cause (`deadline` or `rounds`)
+//! the first time a limit fires.
 
 use crate::config::BinderConfig;
 use std::cell::Cell;
 use std::time::Instant;
+use vliw_trace::Tracer;
 
 /// Shared, interior-mutable budget for one binding run.
 #[derive(Debug)]
@@ -15,6 +22,8 @@ pub(crate) struct Budget {
     deadline: Option<Instant>,
     rounds_left: Cell<Option<usize>>,
     truncated: Cell<bool>,
+    started: Instant,
+    tracer: Tracer,
 }
 
 impl Budget {
@@ -27,6 +36,8 @@ impl Budget {
                 .map(|ms| Instant::now() + std::time::Duration::from_millis(ms)),
             rounds_left: Cell::new(config.max_iter_rounds),
             truncated: Cell::new(false),
+            started: Instant::now(),
+            tracer: Tracer::off(),
         }
     }
 
@@ -36,6 +47,42 @@ impl Budget {
             deadline: None,
             rounds_left: Cell::new(None),
             truncated: Cell::new(false),
+            started: Instant::now(),
+            tracer: Tracer::off(),
+        }
+    }
+
+    /// Attaches a tracer for the consumption timeline, announcing the
+    /// configured limits as counters so the trace is self-describing.
+    pub(crate) fn with_tracer(mut self, tracer: Tracer, config: &BinderConfig) -> Self {
+        if tracer.is_enabled() {
+            if let Some(ms) = config.deadline_ms {
+                tracer.counter("budget_deadline_ms", ms, vec![]);
+            }
+            if let Some(rounds) = config.max_iter_rounds {
+                tracer.counter("budget_round_cap", rounds as u64, vec![]);
+            }
+        }
+        self.tracer = tracer;
+        self
+    }
+
+    /// Milliseconds of wall clock consumed since the budget was created.
+    fn consumed_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Marks the run truncated, emitting the cause once.
+    fn truncate(&self, cause: &'static str) {
+        if !self.truncated.replace(true) {
+            self.tracer.counter(
+                "budget_truncated",
+                1,
+                vec![
+                    ("cause", cause.into()),
+                    ("consumed_ms", self.consumed_ms().into()),
+                ],
+            );
         }
     }
 
@@ -50,7 +97,7 @@ impl Budget {
     pub(crate) fn expired(&self) -> bool {
         match self.deadline {
             Some(d) if Instant::now() >= d => {
-                self.truncated.set(true);
+                self.truncate("deadline");
                 true
             }
             _ => false,
@@ -64,17 +111,25 @@ impl Budget {
         if self.expired() {
             return false;
         }
-        match self.rounds_left.get() {
+        let granted = match self.rounds_left.get() {
             None => true,
             Some(0) => {
-                self.truncated.set(true);
+                self.truncate("rounds");
                 false
             }
             Some(n) => {
                 self.rounds_left.set(Some(n - 1));
                 true
             }
+        };
+        if granted && self.tracer.is_enabled() {
+            self.tracer.counter(
+                "budget_round",
+                1,
+                vec![("consumed_ms", self.consumed_ms().into())],
+            );
         }
+        granted
     }
 
     /// Whether any limit cut the search short.
@@ -86,6 +141,8 @@ impl Budget {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+    use vliw_trace::{EventKind, MemorySink};
 
     #[test]
     fn unlimited_budget_never_truncates() {
@@ -120,5 +177,37 @@ mod tests {
         assert!(b.expired());
         assert!(!b.take_round());
         assert!(b.truncated());
+    }
+
+    #[test]
+    fn traced_budget_emits_timeline_and_one_truncation() {
+        let config = BinderConfig {
+            max_iter_rounds: Some(2),
+            deadline_ms: Some(60_000),
+            ..BinderConfig::default()
+        };
+        let sink = Arc::new(MemorySink::new());
+        let b = Budget::new(&config).with_tracer(Tracer::new(sink.clone()), &config);
+        while b.take_round() {}
+        assert!(!b.take_round(), "stays exhausted");
+        let events = sink.events();
+        let count = |name: &str| {
+            events
+                .iter()
+                .filter(|e| e.name == name && matches!(e.kind, EventKind::Counter { .. }))
+                .count()
+        };
+        assert_eq!(count("budget_deadline_ms"), 1);
+        assert_eq!(count("budget_round_cap"), 1);
+        assert_eq!(count("budget_round"), 2, "one event per granted round");
+        assert_eq!(count("budget_truncated"), 1, "cause reported exactly once");
+        let trunc = events
+            .iter()
+            .find(|e| e.name == "budget_truncated")
+            .unwrap();
+        assert!(trunc
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "cause" && *v == vliw_trace::AttrValue::Str("rounds".into())));
     }
 }

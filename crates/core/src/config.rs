@@ -129,6 +129,15 @@ pub struct BinderConfig {
     /// leaves only the per-pass `max_iterations` safety cap.
     #[serde(default)]
     pub max_iter_rounds: Option<usize>,
+    /// Whether the run emits structured trace events (spans, counters)
+    /// to the binder's attached [`vliw_trace::TraceSink`]s and the
+    /// process-global sink, and derives per-phase
+    /// [`crate::PhaseStats`] into the returned [`crate::BindStats`].
+    /// Off by default: the disabled path is a single branch per call
+    /// site, and results are bit-identical either way — tracing only
+    /// observes the search, it never steers it.
+    #[serde(default)]
+    pub trace: bool,
 }
 
 /// Serde default for [`BinderConfig::eval_cache`] (on).
@@ -163,6 +172,7 @@ impl Default for BinderConfig {
             verify: default_verify(),
             deadline_ms: None,
             max_iter_rounds: None,
+            trace: false,
         }
     }
 }
@@ -235,6 +245,7 @@ mod tests {
                     && k != "verify"
                     && k != "deadline_ms"
                     && k != "max_iter_rounds"
+                    && k != "trace"
             });
         }
         let cfg: BinderConfig = serde_json::from_value(v).expect("legacy config loads");
@@ -242,6 +253,7 @@ mod tests {
         assert!(cfg.eval_cache);
         assert_eq!(cfg.deadline_ms, None);
         assert_eq!(cfg.max_iter_rounds, None);
+        assert!(!cfg.trace, "legacy configs load with tracing off");
     }
 
     #[test]

@@ -8,9 +8,13 @@ use crate::error::{validate_inputs, BindError};
 use crate::eval::{EvalStats, Evaluator};
 use crate::init::initial_binding;
 use crate::iter;
+use crate::stats::PhaseStats;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use vliw_datapath::Machine;
 use vliw_dfg::{critical_path_len, Dfg, FuType};
 use vliw_sched::{Binding, BoundDfg, ListScheduler, Schedule};
+use vliw_trace::{PhaseCollector, SpanCat, TraceSink, Tracer};
 
 /// A machine-independent latency floor: the critical path of `dfg`,
 /// maxed with the per-FU-type work bound `⌈|ops of type t| / #FUs(t)⌉`.
@@ -79,10 +83,11 @@ impl BindingResult {
 }
 
 /// Counters reported by [`Binder::try_bind_with_stats`]: the evaluation
-/// cache statistics of the run plus whether a budget limit
+/// cache statistics of the run, whether a budget limit
 /// ([`BinderConfig::deadline_ms`] / [`BinderConfig::max_iter_rounds`])
-/// cut the search short.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// cut the search short, and — with [`BinderConfig::trace`] on — the
+/// per-phase breakdown derived from the run's trace event stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BindStats {
     /// Evaluation-cache counters of the run.
     pub eval: EvalStats,
@@ -90,6 +95,11 @@ pub struct BindStats {
     /// returned result is still the best *fully evaluated* (and, with
     /// [`BinderConfig::verify`] on, verified) binding found so far.
     pub truncated: bool,
+    /// Per-phase elapsed times and counters, folded from the same trace
+    /// events any attached [`TraceSink`] saw. Empty when
+    /// [`BinderConfig::trace`] is off.
+    #[serde(default)]
+    pub phases: PhaseStats,
 }
 
 impl BindStats {
@@ -98,6 +108,33 @@ impl BindStats {
     pub fn hit_rate(&self) -> f64 {
         self.eval.hit_rate()
     }
+}
+
+/// One point of the B-INIT parameter sweep: the greedy binding produced
+/// at load-profile latency `l_pr` in the given direction.
+#[derive(Debug, Clone)]
+struct SweepPoint {
+    binding: Binding,
+    l_pr: u32,
+    reverse: bool,
+}
+
+/// Emits the instantaneous detail span recording one evaluated sweep
+/// point (`L_PR`, direction, resulting `(L, N_MV)`).
+fn trace_sweep_point(tracer: &Tracer, point: &SweepPoint, lm: (u32, usize)) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    let _point = tracer.span(
+        SpanCat::Detail,
+        "sweep_point",
+        vec![
+            ("l_pr", point.l_pr.into()),
+            ("reverse", point.reverse.into()),
+            ("latency", lm.0.into()),
+            ("moves", lm.1.into()),
+        ],
+    );
 }
 
 /// The binding driver: B-INIT parameter sweep plus B-ITER refinement.
@@ -127,10 +164,21 @@ impl BindStats {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Binder<'m> {
     machine: &'m Machine,
     config: BinderConfig,
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for Binder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Binder")
+            .field("machine", &self.machine)
+            .field("config", &self.config)
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
 }
 
 impl<'m> Binder<'m> {
@@ -139,12 +187,43 @@ impl<'m> Binder<'m> {
         Binder {
             machine,
             config: BinderConfig::default(),
+            sinks: Vec::new(),
         }
     }
 
     /// A binder with an explicit configuration (ablations, tuning).
     pub fn with_config(machine: &'m Machine, config: BinderConfig) -> Self {
-        Binder { machine, config }
+        Binder {
+            machine,
+            config,
+            sinks: Vec::new(),
+        }
+    }
+
+    /// Attaches a sink that receives this binder's trace events.
+    /// Inert unless [`BinderConfig::trace`] is on — attaching a sink
+    /// deliberately does *not* enable tracing, so a wired-up-but-disabled
+    /// binder emits exactly zero events.
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// The tracer of one run plus the collector backing
+    /// [`BindStats::phases`]. With [`BinderConfig::trace`] off this is
+    /// the null tracer: no collector, no events, a single branch per
+    /// call site.
+    fn run_tracer(&self) -> (Tracer, Option<Arc<PhaseCollector>>) {
+        if !self.config.trace {
+            return (Tracer::off(), None);
+        }
+        let collector = Arc::new(PhaseCollector::new());
+        let mut sinks: Vec<Arc<dyn TraceSink>> = vec![collector.clone()];
+        sinks.extend(self.sinks.iter().cloned());
+        if let Some(global) = vliw_trace::global_sink() {
+            sinks.push(global);
+        }
+        (Tracer::with_sinks(sinks), Some(collector))
     }
 
     /// The active configuration.
@@ -185,12 +264,42 @@ impl<'m> Binder<'m> {
     /// A [`BindError`] for malformed inputs or a result failing
     /// verification.
     pub fn try_bind_initial(&self, dfg: &Dfg) -> Result<BindingResult, BindError> {
+        Ok(self.try_bind_initial_with_stats(dfg)?.0)
+    }
+
+    /// [`Binder::try_bind_initial`], also reporting the run's
+    /// [`BindStats`] (phase timings and eval counters under
+    /// [`BinderConfig::trace`]).
+    ///
+    /// # Errors
+    ///
+    /// A [`BindError`] for malformed inputs or a result failing
+    /// verification.
+    pub fn try_bind_initial_with_stats(
+        &self,
+        dfg: &Dfg,
+    ) -> Result<(BindingResult, BindStats), BindError> {
         validate_inputs(dfg, self.machine)?;
-        let budget = Budget::new(&self.config);
-        let evaluator = Evaluator::new(dfg, self.machine, &self.config);
+        let (tracer, collector) = self.run_tracer();
+        let run_span = tracer.span(SpanCat::Phase, "run", vec![("ops", dfg.len().into())]);
+        let budget = Budget::new(&self.config).with_tracer(tracer.clone(), &self.config);
+        let evaluator = Evaluator::new(dfg, self.machine, &self.config).with_tracer(tracer.clone());
         let result = self.bind_initial_eval(dfg, &evaluator, &budget);
-        self.verify_result(dfg, &result)?;
-        Ok(result)
+        self.verify_result(dfg, &result, &tracer)?;
+        if tracer.is_enabled() {
+            tracer.counter("result_latency", u64::from(result.latency()), vec![]);
+            tracer.counter("result_moves", result.moves() as u64, vec![]);
+        }
+        drop(run_span);
+        Ok((
+            result,
+            BindStats {
+                eval: evaluator.stats(),
+                truncated: budget.truncated(),
+                phases: collector
+                    .map_or_else(PhaseStats::default, |c| PhaseStats::from(c.totals())),
+            },
+        ))
     }
 
     /// [`Binder::bind_initial`] against a caller-supplied evaluator, so
@@ -205,6 +314,8 @@ impl<'m> Binder<'m> {
         evaluator: &Evaluator<'_>,
         budget: &Budget,
     ) -> BindingResult {
+        let tracer = evaluator.tracer();
+        let _phase = tracer.span(SpanCat::Phase, "b_init", vec![]);
         let floor = resource_lower_bound(dfg, self.machine);
         // Evaluate a pool of sweep points at a time: big enough to keep
         // the workers busy, small enough that the early exit still skips
@@ -215,13 +326,15 @@ impl<'m> Binder<'m> {
             1
         };
         let mut best: Option<((u32, usize), Binding)> = None;
-        for batch in self.sweep_bindings(dfg).chunks(chunk) {
-            for (binding, outcome) in batch.iter().zip(evaluator.outcomes(batch)) {
+        for batch in self.sweep_points(dfg).chunks(chunk) {
+            let bindings: Vec<Binding> = batch.iter().map(|p| p.binding.clone()).collect();
+            for (point, outcome) in batch.iter().zip(evaluator.outcomes(&bindings)) {
+                trace_sweep_point(tracer, point, outcome.lm());
                 if outcome.lm() == (floor, 0) {
-                    return evaluator.evaluate(binding.clone());
+                    return evaluator.evaluate(point.binding.clone());
                 }
                 if best.as_ref().is_none_or(|(lm, _)| outcome.lm() < *lm) {
-                    best = Some((outcome.lm(), binding.clone()));
+                    best = Some((outcome.lm(), point.binding.clone()));
                 }
             }
             if budget.expired() {
@@ -232,9 +345,11 @@ impl<'m> Binder<'m> {
         evaluator.evaluate(binding)
     }
 
-    /// The *distinct* bindings produced by the B-INIT parameter sweep, in
-    /// sweep order (before evaluation).
-    fn sweep_bindings(&self, dfg: &Dfg) -> Vec<Binding> {
+    /// The *distinct* sweep points produced by the B-INIT parameter
+    /// sweep, in sweep order (before evaluation). A binding reachable
+    /// from several `(L_PR, direction)` parameters is kept at its first
+    /// occurrence, exactly as the pre-dedup enumeration visits it.
+    fn sweep_points(&self, dfg: &Dfg) -> Vec<SweepPoint> {
         let lat = self.machine.op_latencies(dfg);
         let l_cp = critical_path_len(dfg, &lat);
         let directions: &[bool] = if self.config.try_reverse {
@@ -242,16 +357,20 @@ impl<'m> Binder<'m> {
         } else {
             &[false]
         };
-        let mut bindings: Vec<Binding> = Vec::new();
+        let mut points: Vec<SweepPoint> = Vec::new();
         for l_pr in self.config.lpr_values(l_cp) {
             for &reverse in directions {
                 let binding = initial_binding(dfg, self.machine, &self.config, l_pr, reverse);
-                if !bindings.contains(&binding) {
-                    bindings.push(binding);
+                if !points.iter().any(|p| p.binding == binding) {
+                    points.push(SweepPoint {
+                        binding,
+                        l_pr,
+                        reverse,
+                    });
                 }
             }
         }
-        bindings
+        points
     }
 
     /// All *distinct* bindings produced by the driver sweep, evaluated
@@ -275,15 +394,22 @@ impl<'m> Binder<'m> {
         evaluator: &Evaluator<'_>,
         budget: &Budget,
     ) -> Vec<BindingResult> {
-        let bindings = self.sweep_bindings(dfg);
+        let tracer = evaluator.tracer();
+        let _phase = tracer.span(SpanCat::Phase, "b_init", vec![]);
+        let points = self.sweep_points(dfg);
         let chunk = if budget.has_deadline() {
             (evaluator.threads() * 2).max(1)
         } else {
-            bindings.len().max(1)
+            points.len().max(1)
         };
-        let mut results: Vec<BindingResult> = Vec::with_capacity(bindings.len());
-        for batch in bindings.chunks(chunk) {
-            results.extend(evaluator.evaluate_all(batch.to_vec()));
+        let mut results: Vec<BindingResult> = Vec::with_capacity(points.len());
+        for batch in points.chunks(chunk) {
+            let bindings: Vec<Binding> = batch.iter().map(|p| p.binding.clone()).collect();
+            let evaluated = evaluator.evaluate_all(bindings);
+            for (point, result) in batch.iter().zip(&evaluated) {
+                trace_sweep_point(tracer, point, result.lm());
+            }
+            results.extend(evaluated);
             if budget.expired() {
                 break;
             }
@@ -315,10 +441,13 @@ impl<'m> Binder<'m> {
     pub fn try_improve(&self, dfg: &Dfg, start: BindingResult) -> Result<BindingResult, BindError> {
         validate_inputs(dfg, self.machine)?;
         start.binding.validate(dfg, self.machine)?;
-        let budget = Budget::new(&self.config);
-        let evaluator = Evaluator::new(dfg, self.machine, &self.config);
+        let (tracer, _collector) = self.run_tracer();
+        let run_span = tracer.span(SpanCat::Phase, "run", vec![("ops", dfg.len().into())]);
+        let budget = Budget::new(&self.config).with_tracer(tracer.clone(), &self.config);
+        let evaluator = Evaluator::new(dfg, self.machine, &self.config).with_tracer(tracer.clone());
         let improved = iter::improve_eval_budgeted(&evaluator, &self.config, start, &budget);
-        self.verify_result(dfg, &improved)?;
+        self.verify_result(dfg, &improved, &tracer)?;
+        drop(run_span);
         Ok(improved)
     }
 
@@ -374,8 +503,10 @@ impl<'m> Binder<'m> {
     /// verification.
     pub fn try_bind_with_stats(&self, dfg: &Dfg) -> Result<(BindingResult, BindStats), BindError> {
         validate_inputs(dfg, self.machine)?;
-        let budget = Budget::new(&self.config);
-        let evaluator = Evaluator::new(dfg, self.machine, &self.config);
+        let (tracer, collector) = self.run_tracer();
+        let run_span = tracer.span(SpanCat::Phase, "run", vec![("ops", dfg.len().into())]);
+        let budget = Budget::new(&self.config).with_tracer(tracer.clone(), &self.config);
+        let evaluator = Evaluator::new(dfg, self.machine, &self.config).with_tracer(tracer.clone());
         let starts = self.config.improve_starts.max(1);
         let mut best: Option<BindingResult> = None;
         for start in self
@@ -392,23 +523,36 @@ impl<'m> Binder<'m> {
             }
         }
         let best = best.expect("at least one initial candidate exists");
-        self.verify_result(dfg, &best)?;
+        self.verify_result(dfg, &best, &tracer)?;
+        if tracer.is_enabled() {
+            tracer.counter("result_latency", u64::from(best.latency()), vec![]);
+            tracer.counter("result_moves", best.moves() as u64, vec![]);
+        }
+        drop(run_span);
         Ok((
             best,
             BindStats {
                 eval: evaluator.stats(),
                 truncated: budget.truncated(),
+                phases: collector
+                    .map_or_else(PhaseStats::default, |c| PhaseStats::from(c.totals())),
             },
         ))
     }
 
     /// Runs the independent verifier over a materialized result when
-    /// [`BinderConfig::verify`] is on.
-    fn verify_result(&self, dfg: &Dfg, result: &BindingResult) -> Result<(), BindError> {
+    /// [`BinderConfig::verify`] is on, its wall clock recorded under a
+    /// `verify` phase span.
+    fn verify_result(
+        &self,
+        dfg: &Dfg,
+        result: &BindingResult,
+        tracer: &Tracer,
+    ) -> Result<(), BindError> {
         if !self.config.verify {
             return Ok(());
         }
-        crate::error::verify_result(dfg, self.machine, result)
+        crate::error::verify_result_traced(dfg, self.machine, result, tracer)
     }
 }
 

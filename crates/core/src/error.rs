@@ -149,12 +149,28 @@ pub fn verify_result(
     machine: &Machine,
     result: &crate::driver::BindingResult,
 ) -> Result<(), BindError> {
-    let violations = vliw_sched::verify(
+    verify_result_traced(dfg, machine, result, &vliw_trace::Tracer::off())
+}
+
+/// [`verify_result`] with the verifier's wall clock recorded under a
+/// `verify` phase span on `tracer` (see [`vliw_sched::verify_traced`]).
+///
+/// # Errors
+///
+/// [`BindError::Verification`] carrying every violation found.
+pub fn verify_result_traced(
+    dfg: &Dfg,
+    machine: &Machine,
+    result: &crate::driver::BindingResult,
+    tracer: &vliw_trace::Tracer,
+) -> Result<(), BindError> {
+    let violations = vliw_sched::verify_traced(
         dfg,
         machine,
         &result.binding,
         &result.bound,
         &result.schedule,
+        tracer,
     );
     if violations.is_empty() {
         Ok(())

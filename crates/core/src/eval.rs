@@ -29,12 +29,15 @@
 use crate::config::BinderConfig;
 use crate::driver::BindingResult;
 use crate::iter::{Quality, QualityKind};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 use vliw_datapath::Machine;
 use vliw_dfg::Dfg;
 use vliw_sched::Binding;
+use vliw_trace::Tracer;
 
 /// Below this many uncached bindings a batch is evaluated on the calling
 /// thread: spawning workers costs tens of microseconds, which dwarfs the
@@ -80,7 +83,7 @@ impl EvalOutcome {
 }
 
 /// Cache-hit counters of an [`Evaluator`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct EvalStats {
     /// Evaluation requests served without scheduling: memo lookups plus
     /// duplicates coalesced inside one batch.
@@ -116,6 +119,7 @@ pub struct Evaluator<'e> {
     memo: Option<Mutex<HashMap<Binding, EvalOutcome>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    tracer: Tracer,
 }
 
 impl<'e> Evaluator<'e> {
@@ -145,7 +149,23 @@ impl<'e> Evaluator<'e> {
             memo: eval_cache.then(|| Mutex::new(HashMap::new())),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attaches a tracer: each batch then reports its cache
+    /// hits/misses (`eval_cache_hits` / `eval_cache_misses`) and each
+    /// evaluation worker its busy time (`eval_worker_us`), attributed to
+    /// whichever pipeline phase issued the batch.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The tracer events are emitted to (off unless
+    /// [`Evaluator::with_tracer`] attached one).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The resolved worker count (never 0).
@@ -213,6 +233,7 @@ impl<'e> Evaluator<'e> {
                 }
             }
         }
+        self.trace_cache_counters(bindings.len() - pending.len(), pending.len());
 
         let fresh: Vec<EvalOutcome> = self
             .run_batch(pending.iter().map(|(b, _)| (*b).clone()).collect())
@@ -262,6 +283,7 @@ impl<'e> Evaluator<'e> {
                 }
             }
         }
+        self.trace_cache_counters(bindings.len() - pending.len(), pending.len());
         let results = self.run_batch(pending.iter().map(|(b, _)| b.clone()).collect());
         if let Some(memo) = &self.memo {
             let mut memo = memo.lock().expect("memo lock");
@@ -284,17 +306,41 @@ impl<'e> Evaluator<'e> {
             .collect()
     }
 
+    /// Reports one batch's cache classification to the tracer (no-op
+    /// when tracing is off or the batch was empty).
+    fn trace_cache_counters(&self, hits: usize, misses: usize) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        if hits > 0 {
+            self.tracer.counter("eval_cache_hits", hits as u64, vec![]);
+        }
+        if misses > 0 {
+            self.tracer
+                .counter("eval_cache_misses", misses as u64, vec![]);
+        }
+    }
+
     /// Schedules each binding, serially or across the worker pool. The
     /// result order matches the input order either way.
     fn run_batch(&self, bindings: Vec<Binding>) -> Vec<BindingResult> {
         if self.threads <= 1 || bindings.len() < PARALLEL_THRESHOLD {
-            return bindings
+            let started = self.tracer.is_enabled().then(Instant::now);
+            let evals = bindings.len();
+            let results: Vec<BindingResult> = bindings
                 .into_iter()
                 .map(|b| BindingResult::evaluate(self.dfg, self.machine, b))
                 .collect();
+            if let Some(started) = started {
+                if evals > 0 {
+                    self.trace_worker(0, started.elapsed(), evals);
+                }
+            }
+            return results;
         }
         let next = AtomicUsize::new(0);
         let workers = self.threads.min(bindings.len());
+        let mut worker_timings: Vec<(std::time::Duration, usize)> = Vec::with_capacity(workers);
         let mut tagged = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -303,6 +349,7 @@ impl<'e> Evaluator<'e> {
                         // the candidates it claims and tags results with
                         // the claimed index, so the merged output is
                         // positionally identical to a serial loop.
+                        let started = Instant::now();
                         let mut out: Vec<(usize, BindingResult)> = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -313,18 +360,37 @@ impl<'e> Evaluator<'e> {
                                 BindingResult::evaluate(self.dfg, self.machine, binding.clone());
                             out.push((i, result));
                         }
-                        out
+                        (out, started.elapsed())
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("evaluation worker panicked"))
-                .collect::<Vec<(usize, BindingResult)>>()
+            let mut merged: Vec<(usize, BindingResult)> = Vec::with_capacity(bindings.len());
+            for handle in handles {
+                let (out, busy) = handle.join().expect("evaluation worker panicked");
+                worker_timings.push((busy, out.len()));
+                merged.extend(out);
+            }
+            merged
         });
+        if self.tracer.is_enabled() {
+            // Emitted from the calling thread after the join, so the
+            // event order is deterministic per batch.
+            for (slot, (busy, evals)) in worker_timings.into_iter().enumerate() {
+                self.trace_worker(slot, busy, evals);
+            }
+        }
         tagged.sort_by_key(|(i, _)| *i);
         debug_assert_eq!(tagged.len(), bindings.len());
         tagged.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Emits one worker's busy time for the batch just evaluated.
+    fn trace_worker(&self, slot: usize, busy: std::time::Duration, evals: usize) {
+        self.tracer.counter(
+            "eval_worker_us",
+            u64::try_from(busy.as_micros()).unwrap_or(u64::MAX),
+            vec![("worker", slot.into()), ("evals", evals.into())],
+        );
     }
 }
 

@@ -18,6 +18,7 @@ use crate::eval::Evaluator;
 use vliw_datapath::{ClusterId, Machine};
 use vliw_dfg::{Dfg, OpId};
 use vliw_sched::{Binding, BoundDfg, Schedule};
+use vliw_trace::SpanCat;
 
 /// Which quality vector steers an improvement pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -160,6 +161,17 @@ pub(crate) fn improve_with_eval_budgeted(
 ) -> BindingResult {
     let dfg = evaluator.dfg();
     let machine = evaluator.machine();
+    let tracer = evaluator.tracer();
+    // The per-quality phase span: every evaluation batch, budget round
+    // and perturbation counter inside this descent is attributed to it.
+    let _phase = tracer.span(
+        SpanCat::Phase,
+        match kind {
+            QualityKind::Qu => "b_iter_qu",
+            QualityKind::Qm => "b_iter_qm",
+        },
+        vec![],
+    );
     let mut current = start;
     let mut quality = Quality::measure(kind, &current.bound, &current.schedule);
     for _ in 0..config.max_iterations {
@@ -197,6 +209,22 @@ pub(crate) fn improve_with_eval_budgeted(
                 break;
             }
         }
+        if tracer.is_enabled() {
+            // `tried` counts perturbations actually evaluated this round
+            // (the whole neighborhood, or the prefix an expiring deadline
+            // allowed), split by kind.
+            let pairs = scored
+                .iter()
+                .filter(|&&(_, i)| candidates[i].second.is_some())
+                .count() as u64;
+            let singles = scored.len() as u64 - pairs;
+            if singles > 0 {
+                tracer.counter("tried_single", singles, vec![]);
+            }
+            if pairs > 0 {
+                tracer.counter("tried_pair", pairs, vec![]);
+            }
+        }
         // Best quality first, candidate enumeration order breaking ties —
         // the same winner the serial reduction picked.
         scored.sort();
@@ -218,6 +246,34 @@ pub(crate) fn improve_with_eval_budgeted(
                     // Catch-and-reject: a perturbation whose materialized
                     // result fails verification never becomes `current`.
                     continue;
+                }
+            }
+            if tracer.is_enabled() {
+                // `accepted` = became the new descent point (strictly
+                // better quality vector); `improved` additionally lowered
+                // the reported `(L, N_MV)` — a `Q_U` step can thin the
+                // completion tail without touching either, so
+                // tried ≥ accepted ≥ improved holds per kind.
+                let pair = candidates[i].second.is_some();
+                tracer.counter(
+                    if pair {
+                        "accepted_pair"
+                    } else {
+                        "accepted_single"
+                    },
+                    1,
+                    vec![],
+                );
+                if result.lm() < current.lm() {
+                    tracer.counter(
+                        if pair {
+                            "improved_pair"
+                        } else {
+                            "improved_single"
+                        },
+                        1,
+                        vec![],
+                    );
                 }
             }
             quality = q;

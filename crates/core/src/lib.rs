@@ -68,9 +68,11 @@ pub mod init;
 pub mod iter;
 pub mod order;
 pub mod profile;
+pub mod stats;
 
 pub use config::{BinderConfig, CostModel, PairMode};
 pub use driver::{resource_lower_bound, BindStats, Binder, BindingResult};
 pub use error::{validate_inputs, verify_result, BindError};
 pub use eval::{EvalOutcome, EvalStats, Evaluator};
 pub use iter::{Quality, QualityKind};
+pub use stats::{CounterSummary, PhaseStats, PhaseSummary};

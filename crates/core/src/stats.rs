@@ -1,0 +1,170 @@
+//! Serializable per-phase metrics derived from the trace event stream.
+//!
+//! [`PhaseStats`] is the bridge between the observability layer
+//! ([`vliw_trace`]) and the stable, machine-readable surfaces of the
+//! repo (`bind --json`, `BENCH_table1.json`): a [`Binder`] run with
+//! [`crate::BinderConfig::trace`] on attaches a
+//! [`vliw_trace::PhaseCollector`] to the same tracer that feeds any
+//! `--trace-out` JSONL file and snapshots the collector into the
+//! returned [`crate::BindStats`] — both views are folds of one event
+//! stream and can never disagree.
+//!
+//! [`Binder`]: crate::Binder
+
+use serde::{Deserialize, Serialize};
+use vliw_trace::PhaseTotal;
+
+/// One named counter total inside a phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSummary {
+    /// Counter name (`tried_single`, `eval_cache_hits`, …).
+    pub name: String,
+    /// Summed value over the phase.
+    pub value: u64,
+}
+
+/// Aggregated metrics of one pipeline phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseSummary {
+    /// Phase name: `run`, `b_init`, `b_iter_qu`, `b_iter_qm`, `verify`.
+    pub name: String,
+    /// Total elapsed wall-clock over all spans of this phase, in
+    /// microseconds.
+    pub elapsed_us: u64,
+    /// Number of spans (e.g. one `b_iter_qu` span per improvement
+    /// start).
+    pub spans: u64,
+    /// Counters attributed to this phase, sorted by name.
+    pub counters: Vec<CounterSummary>,
+}
+
+/// Per-phase breakdown of one binding run, in phase-start order.
+/// Empty when [`crate::BinderConfig::trace`] is off.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct PhaseStats {
+    /// The phases, in the order each was first entered.
+    pub phases: Vec<PhaseSummary>,
+}
+
+impl PhaseStats {
+    /// Whether any phase was recorded (i.e. tracing was on).
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// The summary of the phase called `name`, if recorded.
+    pub fn phase(&self, name: &str) -> Option<&PhaseSummary> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// The value of `counter` inside `phase`, zero if either is absent.
+    pub fn counter(&self, phase: &str, counter: &str) -> u64 {
+        self.phase(phase)
+            .and_then(|p| p.counters.iter().find(|c| c.name == counter))
+            .map_or(0, |c| c.value)
+    }
+
+    /// The value of `counter` summed over every phase.
+    pub fn counter_total(&self, counter: &str) -> u64 {
+        self.phases
+            .iter()
+            .flat_map(|p| &p.counters)
+            .filter(|c| c.name == counter)
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// Total wall-clock of the run (the `run` phase), in microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.phase("run").map_or(0, |p| p.elapsed_us)
+    }
+
+    /// Sum of the elapsed times of every phase except `run` (whose span
+    /// *contains* the others), in microseconds. On a traced run this
+    /// covers all but the driver's own glue, so it lands within a few
+    /// percent of [`PhaseStats::total_us`].
+    pub fn phase_sum_us(&self) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.name != "run")
+            .map(|p| p.elapsed_us)
+            .sum()
+    }
+}
+
+impl From<Vec<PhaseTotal>> for PhaseStats {
+    fn from(totals: Vec<PhaseTotal>) -> Self {
+        PhaseStats {
+            phases: totals
+                .into_iter()
+                .map(|t| PhaseSummary {
+                    name: t.name,
+                    elapsed_us: t.elapsed_us,
+                    spans: t.spans,
+                    counters: t
+                        .counters
+                        .into_iter()
+                        .map(|(name, value)| CounterSummary { name, value })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PhaseStats {
+        PhaseStats::from(vec![
+            PhaseTotal {
+                name: "run".into(),
+                elapsed_us: 1000,
+                spans: 1,
+                counters: vec![("eval_cache_hits".into(), 2)],
+            },
+            PhaseTotal {
+                name: "b_init".into(),
+                elapsed_us: 400,
+                spans: 1,
+                counters: vec![("eval_cache_hits".into(), 7)],
+            },
+            PhaseTotal {
+                name: "b_iter_qu".into(),
+                elapsed_us: 550,
+                spans: 3,
+                counters: vec![("tried_single".into(), 30), ("accepted_single".into(), 4)],
+            },
+        ])
+    }
+
+    #[test]
+    fn lookups() {
+        let s = sample();
+        assert!(!s.is_empty());
+        assert_eq!(s.total_us(), 1000);
+        assert_eq!(s.phase_sum_us(), 950);
+        assert_eq!(s.counter("b_iter_qu", "tried_single"), 30);
+        assert_eq!(s.counter("b_iter_qu", "missing"), 0);
+        assert_eq!(s.counter("missing", "tried_single"), 0);
+        assert_eq!(s.counter_total("eval_cache_hits"), 9);
+        assert_eq!(s.phase("b_init").unwrap().spans, 1);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let s = PhaseStats::default();
+        assert!(s.is_empty());
+        assert_eq!(s.total_us(), 0);
+        assert_eq!(s.phase_sum_us(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = sample();
+        let text = serde_json::to_string(&s).expect("serializes");
+        let back: PhaseStats = serde_json::from_str(&text).expect("round trip");
+        assert_eq!(back, s);
+    }
+}

@@ -254,6 +254,36 @@ proptest! {
         prop_assert!(violations.is_empty(), "{:?}", violations);
     }
 
+    /// Tracing is purely observational: a traced run returns the
+    /// identical (L, N_MV), binding and schedule as an untraced one, for
+    /// any thread count — the event stream only watches the search.
+    #[test]
+    fn tracing_never_changes_results(
+        dfg in arb_dfg(20),
+        machine in arb_machine(),
+        threads in 1usize..=4,
+    ) {
+        let plain = Binder::with_config(&machine, BinderConfig {
+            threads,
+            ..BinderConfig::default()
+        }).bind(&dfg);
+        let sink = std::sync::Arc::new(vliw_trace::MemorySink::new());
+        let traced_binder = Binder::with_config(&machine, BinderConfig {
+            threads,
+            trace: true,
+            ..BinderConfig::default()
+        }).with_trace_sink(sink.clone());
+        let (traced, stats) = traced_binder
+            .try_bind_with_stats(&dfg)
+            .expect("traced bind succeeds");
+        prop_assert_eq!(plain.lm(), traced.lm());
+        prop_assert_eq!(plain.binding, traced.binding);
+        prop_assert_eq!(plain.schedule, traced.schedule);
+        prop_assert!(!sink.is_empty(), "a traced run must emit events");
+        prop_assert!(!stats.phases.is_empty());
+        prop_assert_eq!(stats.phases.total_us(), stats.phases.phase("run").unwrap().elapsed_us);
+    }
+
     /// Binding the transposed graph in reverse "mirrors": the reverse
     /// pass on the original equals the forward pass on the transpose
     /// (definitionally), and both produce valid bindings of the original.

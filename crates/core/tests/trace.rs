@@ -1,0 +1,323 @@
+//! Golden tests of the observability layer: the trace event stream must
+//! be structurally well-formed (spans nest and close), reconcile exactly
+//! with the reported [`BindStats`], and cost nothing when disabled.
+
+use std::sync::Arc;
+use vliw_binding::{BindStats, Binder, BinderConfig, BindingResult};
+use vliw_datapath::Machine;
+use vliw_dfg::{Dfg, DfgBuilder, OpType};
+use vliw_sched::Binding;
+use vliw_trace::{EventKind, MemorySink, SpanCat, TraceEvent};
+
+/// A graph with real cross-cluster pressure so B-ITER has work to do.
+fn butterfly() -> Dfg {
+    let mut b = DfgBuilder::new();
+    let mut layer: Vec<_> = (0..4)
+        .map(|i| b.add_op(if i % 2 == 0 { OpType::Mul } else { OpType::Add }, &[]))
+        .collect();
+    while layer.len() > 1 {
+        let x = layer.remove(0);
+        let y = layer.remove(0);
+        layer.push(b.add_op(OpType::Add, &[x, y]));
+        if layer.len() > 1 {
+            let z = layer[0];
+            layer.push(b.add_op(OpType::Mul, &[z]));
+            layer.remove(0);
+        }
+    }
+    b.finish().expect("acyclic")
+}
+
+/// Runs a traced bind and returns the events plus the reported stats.
+fn traced_bind(config: BinderConfig) -> (Vec<TraceEvent>, BindStats, BindingResult) {
+    let dfg = butterfly();
+    let machine = Machine::parse("[1,1|1,1]").expect("machine");
+    let sink = Arc::new(MemorySink::new());
+    let binder = Binder::with_config(
+        &machine,
+        BinderConfig {
+            trace: true,
+            verify: true,
+            ..config
+        },
+    )
+    .with_trace_sink(sink.clone());
+    let (result, stats) = binder.try_bind_with_stats(&dfg).expect("binds");
+    (sink.events(), stats, result)
+}
+
+#[test]
+fn spans_nest_and_close_correctly() {
+    let (events, _, _) = traced_bind(BinderConfig::default());
+    assert!(!events.is_empty());
+
+    // Replay the stream against a stack: every end matches the innermost
+    // open span, every start's parent is the current innermost, and the
+    // stack drains to empty.
+    let mut stack: Vec<u64> = Vec::new();
+    let mut opened = 0usize;
+    for e in &events {
+        match &e.kind {
+            EventKind::SpanStart { span, parent, .. } => {
+                assert_eq!(
+                    *parent,
+                    stack.last().copied(),
+                    "span {span} ({}) has wrong parent",
+                    e.name
+                );
+                stack.push(*span);
+                opened += 1;
+            }
+            EventKind::SpanEnd { span, .. } => {
+                assert_eq!(
+                    stack.pop(),
+                    Some(*span),
+                    "span {span} ({}) closed out of order",
+                    e.name
+                );
+            }
+            EventKind::Counter { .. } => {}
+        }
+    }
+    assert!(stack.is_empty(), "unclosed spans: {stack:?}");
+    assert!(opened >= 3, "expected at least run/b_init/verify spans");
+
+    // Sequence numbers are strictly increasing and timestamps monotone.
+    for pair in events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq);
+        assert!(pair[0].t_us <= pair[1].t_us);
+    }
+
+    // The phase skeleton of a verified full bind is present, and the
+    // root span is the run itself.
+    let phase_names: Vec<&str> = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                EventKind::SpanStart {
+                    cat: SpanCat::Phase,
+                    ..
+                }
+            )
+        })
+        .map(|e| e.name.as_str())
+        .collect();
+    assert_eq!(phase_names[0], "run");
+    for required in ["b_init", "b_iter_qu", "b_iter_qm", "verify"] {
+        assert!(
+            phase_names.contains(&required),
+            "missing phase {required} in {phase_names:?}"
+        );
+    }
+
+    // One detail span per B-INIT sweep point, each carrying its
+    // parameters and resulting (L, N_MV).
+    let sweep_points: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| {
+            e.name == "sweep_point"
+                && matches!(
+                    e.kind,
+                    EventKind::SpanStart {
+                        cat: SpanCat::Detail,
+                        ..
+                    }
+                )
+        })
+        .collect();
+    assert!(!sweep_points.is_empty());
+    for p in sweep_points {
+        for key in ["l_pr", "reverse", "latency", "moves"] {
+            assert!(
+                p.attrs.iter().any(|(k, _)| k == key),
+                "sweep point missing attr {key}: {:?}",
+                p.attrs
+            );
+        }
+    }
+}
+
+#[test]
+fn counters_reconcile_with_bind_stats() {
+    let (events, stats, result) = traced_bind(BinderConfig::default());
+
+    let counter_total = |name: &str| -> u64 {
+        events
+            .iter()
+            .filter(|e| e.name == name)
+            .filter_map(|e| match e.kind {
+                EventKind::Counter { value } => Some(value),
+                _ => None,
+            })
+            .sum()
+    };
+
+    // The eval-cache counters in the stream are the same numbers the
+    // evaluator reports in BindStats — one stream, two views.
+    assert_eq!(counter_total("eval_cache_hits"), stats.eval.hits as u64);
+    assert_eq!(counter_total("eval_cache_misses"), stats.eval.misses as u64);
+    assert!(stats.eval.misses > 0);
+
+    // Perturbation funnel per kind: tried >= accepted >= improved.
+    for kind in ["single", "pair"] {
+        let tried = counter_total(&format!("tried_{kind}"));
+        let accepted = counter_total(&format!("accepted_{kind}"));
+        let improved = counter_total(&format!("improved_{kind}"));
+        assert!(
+            tried >= accepted && accepted >= improved,
+            "{kind}: tried {tried} >= accepted {accepted} >= improved {improved} violated"
+        );
+    }
+    assert!(
+        counter_total("tried_single") + counter_total("tried_pair") > 0,
+        "B-ITER must have tried perturbations on this graph"
+    );
+
+    // PhaseStats is folded from the identical stream: totals must agree.
+    assert_eq!(
+        stats.phases.counter_total("eval_cache_misses"),
+        counter_total("eval_cache_misses"),
+    );
+    assert_eq!(
+        stats.phases.counter_total("tried_single"),
+        counter_total("tried_single"),
+    );
+    for phase in ["run", "b_init", "verify"] {
+        assert!(
+            stats.phases.phase(phase).is_some(),
+            "PhaseStats missing {phase}"
+        );
+    }
+
+    // The run records the final quality, matching the returned result.
+    assert_eq!(counter_total("result_latency"), u64::from(result.latency()));
+    assert_eq!(counter_total("result_moves"), result.moves() as u64);
+
+    // Worker busy time was sampled for the evaluation batches.
+    assert!(counter_total("eval_worker_us") > 0 || stats.eval.misses == 0);
+}
+
+#[test]
+fn phase_elapsed_covers_the_run() {
+    let (_, stats, _) = traced_bind(BinderConfig::default());
+    let total = stats.phases.total_us();
+    let covered = stats.phases.phase_sum_us();
+    assert!(total > 0);
+    // The child phases (B-INIT, descents, verify) account for the run up
+    // to driver glue; on micro-runs the glue can be a larger slice, so
+    // the hard invariant here is containment, not the 5%-coverage bound
+    // (which `vliw trace` checks on real kernels).
+    assert!(
+        covered <= total,
+        "child phases ({covered} us) cannot exceed the run ({total} us)"
+    );
+}
+
+#[test]
+fn disabled_tracing_emits_zero_events() {
+    let dfg = butterfly();
+    let machine = Machine::parse("[1,1|1,1]").expect("machine");
+    let sink = Arc::new(MemorySink::new());
+    // Sink attached but `trace` off: the wiring must stay inert.
+    let binder = Binder::new(&machine).with_trace_sink(sink.clone());
+    assert!(!binder.config().trace);
+    let (_, stats) = binder.try_bind_with_stats(&dfg).expect("binds");
+    assert_eq!(sink.len(), 0, "disabled tracing must emit nothing");
+    assert!(stats.phases.is_empty());
+}
+
+#[test]
+fn budget_truncation_cause_appears_in_stream() {
+    let (events, stats, _) = traced_bind(BinderConfig {
+        max_iter_rounds: Some(1),
+        ..BinderConfig::default()
+    });
+    assert!(stats.truncated);
+    let trunc: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| e.name == "budget_truncated")
+        .collect();
+    assert_eq!(trunc.len(), 1, "cause reported exactly once");
+    assert!(trunc[0]
+        .attrs
+        .iter()
+        .any(|(k, v)| k == "cause" && *v == vliw_trace::AttrValue::Str("rounds".into())));
+    assert_eq!(
+        events.iter().filter(|e| e.name == "budget_round").count(),
+        1,
+        "exactly the granted round is on the timeline"
+    );
+}
+
+#[test]
+fn initial_bind_traces_sweep_only() {
+    let dfg = butterfly();
+    let machine = Machine::parse("[1,1|1,1]").expect("machine");
+    let sink = Arc::new(MemorySink::new());
+    let binder = Binder::with_config(
+        &machine,
+        BinderConfig {
+            trace: true,
+            verify: true,
+            ..BinderConfig::default()
+        },
+    )
+    .with_trace_sink(sink.clone());
+    let (result, stats) = binder.try_bind_initial_with_stats(&dfg).expect("binds");
+    assert!(result.binding.is_complete());
+    assert!(stats.phases.phase("b_init").is_some());
+    assert!(stats.phases.phase("b_iter_qu").is_none(), "no descent ran");
+    let events = sink.events();
+    assert!(events.iter().any(|e| e.name == "sweep_point"));
+    assert!(events.iter().all(|e| e.name != "tried_single"));
+}
+
+#[test]
+fn improve_only_entry_point_is_traced_too() {
+    let dfg = butterfly();
+    let machine = Machine::parse("[1,1|1,1]").expect("machine");
+    // A deliberately scrambled start so the descent has moves to shed.
+    let scrambled = Binding::new(
+        &dfg,
+        &machine,
+        dfg.op_ids()
+            .map(|v| {
+                let ts = machine.target_set(dfg.op_type(v));
+                ts[v.index() % ts.len()]
+            })
+            .collect(),
+    )
+    .expect("valid");
+    let start = BindingResult::evaluate(&dfg, &machine, scrambled);
+    let sink = Arc::new(MemorySink::new());
+    let binder = Binder::with_config(
+        &machine,
+        BinderConfig {
+            trace: true,
+            verify: true,
+            ..BinderConfig::default()
+        },
+    )
+    .with_trace_sink(sink.clone());
+    let improved = binder.try_improve(&dfg, start).expect("improves");
+    assert!(improved.binding.is_complete());
+    let events = sink.events();
+    let has_phase = |name: &str| {
+        events.iter().any(|e| {
+            e.name == name
+                && matches!(
+                    e.kind,
+                    EventKind::SpanStart {
+                        cat: SpanCat::Phase,
+                        ..
+                    }
+                )
+        })
+    };
+    assert!(has_phase("run"));
+    assert!(has_phase("b_iter_qu"));
+    assert!(has_phase("b_iter_qm"));
+    assert!(has_phase("verify"));
+    assert!(!has_phase("b_init"), "improve alone never sweeps");
+}

@@ -63,4 +63,4 @@ pub use bound::BoundDfg;
 pub use list::{ListScheduler, SchedulePriority};
 pub use pressure::RegisterPressure;
 pub use schedule::{Schedule, ScheduleError};
-pub use verify::{verify, verify_reported, Violation};
+pub use verify::{verify, verify_reported, verify_traced, Violation};

@@ -471,6 +471,26 @@ pub fn verify_reported(
     out
 }
 
+/// [`verify`] wrapped in a `verify` phase span, so the independent
+/// re-check's wall clock shows up in per-phase breakdowns. The span
+/// carries the violation count; results are identical to [`verify`].
+pub fn verify_traced(
+    dfg: &Dfg,
+    machine: &Machine,
+    binding: &Binding,
+    bound: &BoundDfg,
+    schedule: &Schedule,
+    tracer: &vliw_trace::Tracer,
+) -> Vec<Violation> {
+    let span = tracer.span(vliw_trace::SpanCat::Phase, "verify", vec![]);
+    let violations = verify(dfg, machine, binding, bound, schedule);
+    if tracer.is_enabled() {
+        tracer.counter("verify_violations", violations.len() as u64, vec![]);
+    }
+    drop(span);
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,6 +5,7 @@
 //! vliw kernels                                 list built-in kernels
 //! vliw stats   --kernel EWF                    N_V / N_CC / L_CP / op mix
 //! vliw bind    --kernel FFT --machine "[2,1|1,1]" [--algo biter] [--json]
+//! vliw trace   ewf 2x11 [--out trace.jsonl]    per-phase timing breakdown
 //! vliw dot     --kernel ARF --machine "[1,1|1,1]"    bound-DFG Graphviz
 //! vliw explore --kernel DCT-DIT --max-fus 8          area/latency frontier
 //! ```
@@ -22,14 +23,16 @@
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use vliw_baselines::{Annealer, Uas};
-use vliw_binding::{Binder, BindingResult};
+use vliw_binding::{BindStats, Binder, BinderConfig, BindingResult};
 use vliw_datapath::Machine;
 use vliw_dfg::{Dfg, DfgStats};
 use vliw_kernels::Kernel;
 use vliw_pcc::Pcc;
 use vliw_sched::{Binding, BoundDfg, Schedule};
 use vliw_sim::Simulator;
+use vliw_trace::{event_to_jsonl, EventKind, MemorySink, SpanCat};
 
 /// A fatal CLI error with the message shown to the user.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,11 +55,13 @@ fn err(msg: impl Into<String>) -> CliError {
 pub struct Args {
     command: String,
     flags: Vec<(String, String)>,
+    positionals: Vec<String>,
 }
 
 impl Args {
     /// Parses `argv[1..]`-style arguments: one subcommand followed by
-    /// `--flag value` pairs.
+    /// positional operands and `--flag value` pairs, in any order
+    /// (`vliw trace ewf 2x11 --out t.jsonl`).
     ///
     /// # Errors
     ///
@@ -65,10 +70,12 @@ impl Args {
         let mut it = argv.into_iter();
         let command = it.next().ok_or_else(|| err(USAGE))?;
         let mut flags = Vec::new();
-        while let Some(flag) = it.next() {
-            let name = flag
-                .strip_prefix("--")
-                .ok_or_else(|| err(format!("expected --flag, got {flag:?}")))?;
+        let mut positionals = Vec::new();
+        while let Some(token) = it.next() {
+            let Some(name) = token.strip_prefix("--") else {
+                positionals.push(token);
+                continue;
+            };
             // Boolean flags take no value.
             if matches!(name, "json" | "asm") {
                 flags.push((name.to_owned(), "true".to_owned()));
@@ -79,7 +86,11 @@ impl Args {
                 .ok_or_else(|| err(format!("--{name} needs a value")))?;
             flags.push((name.to_owned(), value));
         }
-        Ok(Args { command, flags })
+        Ok(Args {
+            command,
+            flags,
+            positionals,
+        })
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -87,6 +98,10 @@ impl Args {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    fn positional(&self, index: usize) -> Option<&str> {
+        self.positionals.get(index).map(String::as_str)
     }
 }
 
@@ -100,6 +115,9 @@ commands:
   bind    --kernel K | --dfg FILE  --machine \"[2,1|1,1]\"
           [--algo binit|biter|pcc|uas|sa] [--buses N] [--move-latency N]
           [--json | --asm]
+  trace   KERNEL DATAPATH [--algo binit|biter] [--out FILE.jsonl]
+          traced bind with a per-phase breakdown; DATAPATH is
+          \"[a,m|...]\" or NxAM shorthand (2x11 = [1,1|1,1])
   dot     --kernel K | --dfg FILE  --machine \"[...]\"   bound-DFG Graphviz
   explore --kernel K | --dfg FILE  [--max-fus N] [--max-clusters N]
   verify  --input FILE                  re-check a `bind --json` result
@@ -117,6 +135,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "kernels" => Ok(cmd_kernels()),
         "stats" => cmd_stats(args),
         "bind" => cmd_bind(args),
+        "trace" => cmd_trace(args),
         "dot" => cmd_dot(args),
         "explore" => cmd_explore(args),
         "verify" => cmd_verify(args),
@@ -125,13 +144,17 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     }
 }
 
+fn kernel_dfg(name: &str) -> Result<Dfg, CliError> {
+    Kernel::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+        .map(|k| k.build())
+        .ok_or_else(|| err(format!("unknown kernel {name:?} (try `vliw kernels`)")))
+}
+
 fn load_dfg(args: &Args) -> Result<Dfg, CliError> {
     if let Some(name) = args.get("kernel") {
-        let kernel = Kernel::ALL
-            .into_iter()
-            .find(|k| k.name().eq_ignore_ascii_case(name))
-            .ok_or_else(|| err(format!("unknown kernel {name:?} (try `vliw kernels`)")))?;
-        return Ok(kernel.build());
+        return kernel_dfg(name);
     }
     if let Some(path) = args.get("dfg") {
         let text =
@@ -145,11 +168,34 @@ fn load_dfg(args: &Args) -> Result<Dfg, CliError> {
     Err(err("need --kernel NAME or --dfg FILE"))
 }
 
+/// Expands the `NxAM` datapath shorthand: `N` identical clusters of `A`
+/// adders and `M` multipliers, so `2x11` means `[1,1|1,1]` and `3x21`
+/// means `[2,1|2,1|2,1]`. Returns `None` when `text` is not shorthand
+/// (callers then parse it as a full `[a,m|...]` description).
+fn expand_datapath_shorthand(text: &str) -> Option<String> {
+    let (clusters, fus) = text.split_once('x')?;
+    let n: usize = clusters.parse().ok()?;
+    let digits: Vec<u32> = fus.chars().map(|c| c.to_digit(10)).collect::<Option<_>>()?;
+    if n == 0 || digits.len() != 2 {
+        return None;
+    }
+    let cluster = format!("{},{}", digits[0], digits[1]);
+    Some(format!("[{}]", vec![cluster; n].join("|")))
+}
+
+/// Parses a datapath given either as a full `[a,m|...]` description or
+/// as `NxAM` shorthand.
+fn parse_datapath(text: &str) -> Result<Machine, CliError> {
+    let canonical = expand_datapath_shorthand(text);
+    Machine::parse(canonical.as_deref().unwrap_or(text))
+        .map_err(|e| err(format!("bad datapath {text:?}: {e}")))
+}
+
 fn load_machine(args: &Args) -> Result<Machine, CliError> {
     let text = args
         .get("machine")
         .ok_or_else(|| err("need --machine \"[a,m|...]\""))?;
-    let mut machine = Machine::parse(text).map_err(|e| err(e.to_string()))?;
+    let mut machine = parse_datapath(text)?;
     if let Some(buses) = args.get("buses") {
         let n: u32 = buses.parse().map_err(|_| err("--buses takes a number"))?;
         machine = machine.with_bus_count(n);
@@ -183,17 +229,26 @@ fn cmd_stats(args: &Args) -> Result<String, CliError> {
 }
 
 /// Runs a named binding algorithm through its fallible entry point, so a
-/// malformed input surfaces as a [`CliError`] instead of a panic.
-fn run_algo(algo: &str, dfg: &Dfg, machine: &Machine) -> Result<BindingResult, CliError> {
+/// malformed input surfaces as a [`CliError`] instead of a panic. The
+/// paper's own pipeline ([`Binder`]) also reports its [`BindStats`]; the
+/// baselines have no stats-bearing entry point and return `None`.
+fn run_algo(
+    algo: &str,
+    dfg: &Dfg,
+    machine: &Machine,
+    binder: Binder<'_>,
+) -> Result<(BindingResult, Option<BindStats>), CliError> {
     machine
         .check_supports_dfg(dfg)
         .map_err(|v| err(format!("machine {machine} cannot execute operation {v}")))?;
     match algo {
-        "binit" => Binder::new(machine).try_bind_initial(dfg),
-        "biter" => Binder::new(machine).try_bind(dfg),
-        "pcc" => Pcc::new(machine).try_bind(dfg),
-        "uas" => Uas::new(machine).try_bind(dfg),
-        "sa" => Annealer::new(machine).try_bind(dfg),
+        "binit" => binder
+            .try_bind_initial_with_stats(dfg)
+            .map(|(r, s)| (r, Some(s))),
+        "biter" => binder.try_bind_with_stats(dfg).map(|(r, s)| (r, Some(s))),
+        "pcc" => Pcc::new(machine).try_bind(dfg).map(|r| (r, None)),
+        "uas" => Uas::new(machine).try_bind(dfg).map(|r| (r, None)),
+        "sa" => Annealer::new(machine).try_bind(dfg).map(|r| (r, None)),
         other => return Err(err(format!("unknown --algo {other:?}"))),
     }
     .map_err(|e| err(format!("{algo} binding failed: {e}")))
@@ -203,7 +258,7 @@ fn cmd_bind(args: &Args) -> Result<String, CliError> {
     let dfg = load_dfg(args)?;
     let machine = load_machine(args)?;
     let algo = args.get("algo").unwrap_or("biter");
-    let result = run_algo(algo, &dfg, &machine)?;
+    let (result, stats) = run_algo(algo, &dfg, &machine, Binder::new(&machine))?;
     result
         .schedule
         .validate(&result.bound, &machine)
@@ -228,6 +283,7 @@ fn cmd_bind(args: &Args) -> Result<String, CliError> {
             "bus_utilization": report.bus_utilization,
             "binding": result.binding,
             "starts": starts,
+            "stats": stats,
             "dfg": dfg,
         });
         return serde_json::to_string_pretty(&blob)
@@ -254,6 +310,254 @@ fn cmd_bind(args: &Args) -> Result<String, CliError> {
     );
     let _ = write!(out, "{}", result.schedule.to_table(&result.bound, &machine));
     Ok(out)
+}
+
+/// Display name of a pipeline phase in the `vliw trace` breakdown.
+fn phase_label(name: &str) -> &str {
+    match name {
+        "b_init" => "B-INIT",
+        "b_iter_qu" => "B-ITER Q_U",
+        "b_iter_qm" => "B-ITER Q_M",
+        other => other,
+    }
+}
+
+fn cmd_trace(args: &Args) -> Result<String, CliError> {
+    // `vliw trace ewf 2x11`: kernel and datapath as positionals, with
+    // the flag spellings (`--kernel`/`--dfg`, `--machine`) as fallback.
+    let dfg = match args.positional(0) {
+        Some(name) => kernel_dfg(name)?,
+        None => load_dfg(args)?,
+    };
+    let label = args
+        .positional(0)
+        .or_else(|| args.get("kernel"))
+        .map_or_else(|| "input".to_owned(), str::to_uppercase);
+    let machine = match args.positional(1) {
+        Some(spec) => parse_datapath(spec)?,
+        None => load_machine(args)?,
+    };
+    let algo = args.get("algo").unwrap_or("biter");
+    if !matches!(algo, "binit" | "biter") {
+        return Err(err(format!(
+            "trace instruments the paper pipeline only: --algo binit|biter, got {algo:?}"
+        )));
+    }
+
+    let sink = Arc::new(MemorySink::new());
+    let binder = Binder::with_config(
+        &machine,
+        BinderConfig {
+            trace: true,
+            verify: true,
+            ..BinderConfig::default()
+        },
+    )
+    .with_trace_sink(sink.clone());
+    let (result, stats) = run_algo(algo, &dfg, &machine, binder)?;
+    let stats = stats.expect("the traced pipeline reports stats");
+    let events = sink.events();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{algo} on {machine} ({label}): latency {} cycles, {} transfers",
+        result.latency(),
+        result.moves()
+    );
+    let _ = writeln!(out);
+
+    let total = stats.phases.total_us();
+    let share = |us: u64| 100.0 * us as f64 / total.max(1) as f64;
+    let _ = writeln!(
+        out,
+        "{:<12} {:>6} {:>12} {:>8}",
+        "phase", "spans", "elapsed", "share"
+    );
+    for p in &stats.phases.phases {
+        if p.name == "run" {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6} {:>9} us {:>7.1}%",
+            phase_label(&p.name),
+            p.spans,
+            p.elapsed_us,
+            share(p.elapsed_us)
+        );
+    }
+    let covered = stats.phases.phase_sum_us();
+    let glue = total.saturating_sub(covered);
+    let _ = writeln!(
+        out,
+        "{:<12} {:>6} {:>9} us {:>7.1}%",
+        "driver glue",
+        "-",
+        glue,
+        share(glue)
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>6} {:>9} us {:>7.1}%",
+        "total (run)", 1, total, 100.0
+    );
+    let coverage = share(covered);
+    let _ = writeln!(
+        out,
+        "\nphase coverage: {coverage:.1}% of wall-clock{}",
+        if coverage < 95.0 {
+            "  (WARNING: below the 95% target)"
+        } else {
+            ""
+        }
+    );
+
+    // Search-funnel summary, from the same counters the JSONL carries.
+    let sweep_points = events
+        .iter()
+        .filter(|e| {
+            e.name == "sweep_point"
+                && matches!(
+                    e.kind,
+                    EventKind::SpanStart {
+                        cat: SpanCat::Detail,
+                        ..
+                    }
+                )
+        })
+        .count();
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "B-INIT       swept {sweep_points} points; eval cache {} hits / {} misses over the run",
+        stats.eval.hits, stats.eval.misses
+    );
+    for phase in ["b_iter_qu", "b_iter_qm"] {
+        if stats.phases.phase(phase).is_none() {
+            continue;
+        }
+        let c = |name: &str| stats.phases.counter(phase, name);
+        let _ = writeln!(
+            out,
+            "{:<12} tried {} ({} single, {} pair), accepted {}, improved {}",
+            phase_label(phase),
+            c("tried_single") + c("tried_pair"),
+            c("tried_single"),
+            c("tried_pair"),
+            c("accepted_single") + c("accepted_pair"),
+            c("improved_single") + c("improved_pair"),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "verify       {} violations",
+        stats.phases.counter_total("verify_violations")
+    );
+
+    if let Some(path) = args.get("out") {
+        let mut text = String::with_capacity(events.len() * 128);
+        for e in &events {
+            text.push_str(&event_to_jsonl(e));
+            text.push('\n');
+        }
+        let count = validate_jsonl(&text).map_err(|e| {
+            err(format!(
+                "internal error: emitted JSONL fails the schema: {e}"
+            ))
+        })?;
+        std::fs::write(path, &text).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "\nwrote {count} events to {path} (schema OK)");
+    }
+    Ok(out)
+}
+
+/// Validates trace JSONL (as written by `vliw trace --out` and the
+/// bench bins' `--trace-out`) against the documented schema: every line
+/// a JSON object with increasing `seq`, monotone `t_us`, a known `ev`
+/// kind with its required fields, and properly nested spans.
+///
+/// Returns the number of events on success.
+///
+/// # Errors
+///
+/// A `line N: ...` description of the first schema violation.
+pub fn validate_jsonl(text: &str) -> Result<usize, String> {
+    use serde_json::Value;
+    let mut last_seq = 0u64;
+    let mut last_t = 0u64;
+    let mut open: Vec<u64> = Vec::new();
+    let mut count = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        let v: Value =
+            serde_json::from_str(line).map_err(|e| format!("line {n}: not JSON: {e}"))?;
+        let field_u64 = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("line {n}: missing numeric {key:?}"))
+        };
+        let field_str = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("line {n}: missing string {key:?}"))
+        };
+        let seq = field_u64("seq")?;
+        if seq <= last_seq {
+            return Err(format!(
+                "line {n}: seq {seq} not increasing (last {last_seq})"
+            ));
+        }
+        last_seq = seq;
+        let t = field_u64("t_us")?;
+        if t < last_t {
+            return Err(format!("line {n}: t_us {t} went backwards (last {last_t})"));
+        }
+        last_t = t;
+        field_str("name")?;
+        if v.get("attrs").and_then(Value::as_object).is_none() {
+            return Err(format!("line {n}: missing object \"attrs\""));
+        }
+        match field_str("ev")? {
+            "span_start" => {
+                let span = field_u64("span")?;
+                let parent = match v.get("parent") {
+                    Some(Value::Null) => None,
+                    Some(p) => Some(p.as_u64().ok_or_else(|| {
+                        format!("line {n}: \"parent\" must be a span id or null")
+                    })?),
+                    None => return Err(format!("line {n}: missing \"parent\"")),
+                };
+                if parent != open.last().copied() {
+                    return Err(format!(
+                        "line {n}: span {span} claims parent {parent:?} but {:?} is open",
+                        open.last()
+                    ));
+                }
+                let cat = field_str("cat")?;
+                if !matches!(cat, "phase" | "detail") {
+                    return Err(format!("line {n}: unknown cat {cat:?}"));
+                }
+                open.push(span);
+            }
+            "span_end" => {
+                let span = field_u64("span")?;
+                field_u64("elapsed_us")?;
+                if open.pop() != Some(span) {
+                    return Err(format!("line {n}: span {span} closed out of order"));
+                }
+            }
+            "counter" => {
+                field_u64("value")?;
+            }
+            other => return Err(format!("line {n}: unknown ev {other:?}")),
+        }
+        count += 1;
+    }
+    if !open.is_empty() {
+        return Err(format!("unclosed spans at end of stream: {open:?}"));
+    }
+    Ok(count)
 }
 
 fn cmd_dot(args: &Args) -> Result<String, CliError> {
@@ -380,7 +684,7 @@ fn cmd_verify(args: &Args) -> Result<String, CliError> {
         let dfg = load_dfg(args)?;
         let machine = load_machine(args)?;
         let algo = args.get("algo").unwrap_or("biter");
-        let result = run_algo(algo, &dfg, &machine)?;
+        let (result, _stats) = run_algo(algo, &dfg, &machine, Binder::new(&machine))?;
         let reported = Some((result.latency(), result.moves()));
         (
             format!("{algo} on {machine}"),
@@ -470,6 +774,109 @@ mod tests {
         assert_eq!(blob["machine"], "[2,1|1,1]");
         let dfg: Dfg = serde_json::from_value(blob["dfg"].clone()).expect("embedded dfg");
         assert_eq!(dfg.len(), 38);
+    }
+
+    #[test]
+    fn bind_json_embeds_pipeline_stats() {
+        let out = run_line("bind --kernel ARF --machine [1,1|1,1] --json").expect("ok");
+        let blob: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        let misses = blob["stats"]["eval"]["misses"]
+            .as_u64()
+            .expect("eval stats");
+        assert!(misses > 0, "{out}");
+        // Tracing is off for plain binds, so the phase breakdown is empty.
+        assert_eq!(blob["stats"]["phases"]["phases"], serde_json::json!([]));
+        // Baselines have no stats-bearing entry point.
+        let out = run_line("bind --kernel ARF --machine [1,1|1,1] --algo sa --json").expect("ok");
+        let blob: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        assert_eq!(blob["stats"], serde_json::Value::Null);
+    }
+
+    #[test]
+    fn datapath_shorthand_expands() {
+        assert_eq!(
+            parse_datapath("2x11").expect("shorthand").to_string(),
+            "[1,1|1,1]"
+        );
+        assert_eq!(
+            parse_datapath("3x21").expect("shorthand").to_string(),
+            "[2,1|2,1|2,1]"
+        );
+        // Full descriptions still parse, bad specs still fail.
+        assert_eq!(
+            parse_datapath("[2,2|2,1]").expect("full").to_string(),
+            "[2,2|2,1]"
+        );
+        assert!(parse_datapath("0x11").is_err());
+        assert!(parse_datapath("2x1").is_err());
+        assert!(parse_datapath("garbage").is_err());
+    }
+
+    #[test]
+    fn trace_prints_a_phase_breakdown() {
+        let out = run_line("trace ewf 2x11").expect("ok");
+        for needle in [
+            "B-INIT",
+            "B-ITER Q_U",
+            "B-ITER Q_M",
+            "verify",
+            "phase coverage",
+            "tried",
+            "latency",
+        ] {
+            assert!(out.contains(needle), "missing {needle:?} in:\n{out}");
+        }
+        assert!(out.contains("0 violations"), "{out}");
+    }
+
+    #[test]
+    fn trace_accepts_flag_spellings_and_binit() {
+        let out = run_line("trace --kernel ARF --machine [1,1|1,1] --algo binit").expect("ok");
+        assert!(out.contains("B-INIT"), "{out}");
+        assert!(
+            !out.contains("B-ITER"),
+            "binit alone never descends:\n{out}"
+        );
+        let e = run_line("trace ewf 2x11 --algo sa").unwrap_err();
+        assert!(e.0.contains("binit|biter"), "{e}");
+    }
+
+    #[test]
+    fn trace_out_writes_schema_valid_jsonl() {
+        let path = std::env::temp_dir().join("vliw_tools_test_trace.jsonl");
+        let out = run_line(&format!("trace arf 2x11 --out {}", path.display())).expect("ok");
+        assert!(out.contains("schema OK"), "{out}");
+        let text = std::fs::read_to_string(&path).expect("reads");
+        let events = validate_jsonl(&text).expect("schema-valid");
+        assert!(events > 10, "expected a real event stream, got {events}");
+        assert!(text
+            .lines()
+            .next()
+            .expect("events")
+            .contains("\"name\":\"run\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn validate_jsonl_rejects_malformed_streams() {
+        assert!(validate_jsonl("not json\n").is_err());
+        // Well-formed JSON but an unknown event kind.
+        let bad = r#"{"seq":1,"t_us":0,"ev":"bogus","name":"x","attrs":{}}"#;
+        assert!(validate_jsonl(bad).unwrap_err().contains("unknown ev"));
+        // Span closed that was never opened.
+        let bad = r#"{"seq":1,"t_us":0,"ev":"span_end","name":"x","span":3,"cat":"phase","elapsed_us":1,"attrs":{}}"#;
+        assert!(validate_jsonl(bad).unwrap_err().contains("out of order"));
+        // Non-increasing sequence numbers.
+        let bad = concat!(
+            "{\"seq\":2,\"t_us\":0,\"ev\":\"counter\",\"name\":\"a\",\"value\":1,\"attrs\":{}}\n",
+            "{\"seq\":2,\"t_us\":0,\"ev\":\"counter\",\"name\":\"b\",\"value\":1,\"attrs\":{}}\n",
+        );
+        assert!(validate_jsonl(bad).unwrap_err().contains("not increasing"));
+        // Unclosed span at end of stream.
+        let bad = r#"{"seq":1,"t_us":0,"ev":"span_start","name":"x","span":1,"parent":null,"cat":"phase","attrs":{}}"#;
+        assert!(validate_jsonl(bad).unwrap_err().contains("unclosed"));
+        // The empty stream is trivially valid.
+        assert_eq!(validate_jsonl(""), Ok(0));
     }
 
     #[test]

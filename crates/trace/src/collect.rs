@@ -1,0 +1,222 @@
+//! A [`TraceSink`] that folds the event stream into per-phase totals.
+//!
+//! The collector is the bridge between raw events and the serializable
+//! `PhaseStats` reported in `BindStats`: attaching it alongside a JSONL
+//! sink guarantees the CLI JSON blob and the trace file are two views of
+//! the same stream and can never disagree.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::{EventKind, SpanCat, TraceEvent, TraceSink};
+
+/// Aggregated totals for one phase name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseTotal {
+    /// Phase span name (`run`, `b_init`, `b_iter_qu`, …).
+    pub name: String,
+    /// Sum of `elapsed_us` over all closed spans with this name.
+    pub elapsed_us: u64,
+    /// Number of closed spans with this name.
+    pub spans: u64,
+    /// Counters attributed to this phase (innermost open phase at the
+    /// time each counter fired), summed per counter name and sorted by
+    /// name for determinism.
+    pub counters: Vec<(String, u64)>,
+}
+
+#[derive(Default)]
+struct State {
+    /// Innermost-last stack of open *phase* spans: `(span_id, slot)`.
+    open: Vec<(u64, usize)>,
+    /// Phase slots in first-seen order.
+    phases: Vec<PhaseAccum>,
+    /// Phase name → slot index.
+    index: HashMap<String, usize>,
+    /// Counters that fired with no phase span open.
+    orphans: HashMap<String, u64>,
+}
+
+#[derive(Default)]
+struct PhaseAccum {
+    name: String,
+    elapsed_us: u64,
+    spans: u64,
+    counters: HashMap<String, u64>,
+}
+
+impl State {
+    fn slot(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.phases.len();
+        self.phases.push(PhaseAccum {
+            name: name.to_owned(),
+            ..PhaseAccum::default()
+        });
+        self.index.insert(name.to_owned(), i);
+        i
+    }
+}
+
+/// Folds phase spans and counters into [`PhaseTotal`]s as events arrive.
+#[derive(Default)]
+pub struct PhaseCollector {
+    state: Mutex<State>,
+}
+
+impl PhaseCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        PhaseCollector::default()
+    }
+
+    /// Per-phase totals in first-seen order. Phases still open
+    /// contribute their counters but not (yet) their elapsed time.
+    pub fn totals(&self) -> Vec<PhaseTotal> {
+        let state = self.state.lock().expect("collector lock");
+        state
+            .phases
+            .iter()
+            .map(|p| {
+                let mut counters: Vec<(String, u64)> =
+                    p.counters.iter().map(|(k, v)| (k.clone(), *v)).collect();
+                counters.sort();
+                PhaseTotal {
+                    name: p.name.clone(),
+                    elapsed_us: p.elapsed_us,
+                    spans: p.spans,
+                    counters,
+                }
+            })
+            .collect()
+    }
+
+    /// Counters that fired while no phase span was open, sorted by name.
+    pub fn orphan_counters(&self) -> Vec<(String, u64)> {
+        let state = self.state.lock().expect("collector lock");
+        let mut out: Vec<(String, u64)> =
+            state.orphans.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        out.sort();
+        out
+    }
+
+    /// Total elapsed of the phase called `name`, zero if absent.
+    pub fn elapsed_us(&self, name: &str) -> u64 {
+        self.totals()
+            .iter()
+            .find(|p| p.name == name)
+            .map_or(0, |p| p.elapsed_us)
+    }
+}
+
+impl TraceSink for PhaseCollector {
+    fn record(&self, event: &TraceEvent) {
+        let mut state = self.state.lock().expect("collector lock");
+        match &event.kind {
+            EventKind::SpanStart {
+                span,
+                cat: SpanCat::Phase,
+                ..
+            } => {
+                let slot = state.slot(&event.name);
+                state.open.push((*span, slot));
+            }
+            EventKind::SpanEnd {
+                span,
+                cat: SpanCat::Phase,
+                elapsed_us,
+            } => {
+                let slot = if state.open.last().map(|(id, _)| *id) == Some(*span) {
+                    state.open.pop().map(|(_, s)| s)
+                } else {
+                    state
+                        .open
+                        .iter()
+                        .rposition(|(id, _)| id == span)
+                        .map(|pos| state.open.remove(pos).1)
+                };
+                let slot = slot.unwrap_or_else(|| state.slot(&event.name));
+                state.phases[slot].elapsed_us += elapsed_us;
+                state.phases[slot].spans += 1;
+            }
+            EventKind::Counter { value } => {
+                if let Some(&(_, slot)) = state.open.last() {
+                    *state.phases[slot]
+                        .counters
+                        .entry(event.name.clone())
+                        .or_insert(0) += value;
+                } else {
+                    *state.orphans.entry(event.name.clone()).or_insert(0) += value;
+                }
+            }
+            // Detail spans are invisible to phase accounting.
+            EventKind::SpanStart { .. } | EventKind::SpanEnd { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+    use std::sync::Arc;
+
+    #[test]
+    fn phases_aggregate_elapsed_spans_and_counters() {
+        let collector = Arc::new(PhaseCollector::new());
+        let tracer = Tracer::new(collector.clone());
+        {
+            let _run = tracer.span(SpanCat::Phase, "run", vec![]);
+            tracer.counter("top_level", 1, vec![]);
+            for _ in 0..2 {
+                let _qu = tracer.span(SpanCat::Phase, "b_iter_qu", vec![]);
+                tracer.counter("tried_single", 5, vec![]);
+                tracer.counter("tried_single", 2, vec![]);
+                // Detail spans must not shift counter attribution.
+                let _d = tracer.span(SpanCat::Detail, "round", vec![]);
+                tracer.counter("accepted_single", 1, vec![]);
+            }
+        }
+        let totals = collector.totals();
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0].name, "run");
+        assert_eq!(totals[0].spans, 1);
+        assert_eq!(totals[0].counters, vec![("top_level".to_owned(), 1)]);
+        let qu = &totals[1];
+        assert_eq!(qu.name, "b_iter_qu");
+        assert_eq!(qu.spans, 2);
+        assert_eq!(
+            qu.counters,
+            vec![
+                ("accepted_single".to_owned(), 2),
+                ("tried_single".to_owned(), 14),
+            ]
+        );
+        assert!(collector.orphan_counters().is_empty());
+    }
+
+    #[test]
+    fn orphan_counters_are_kept_separately() {
+        let collector = Arc::new(PhaseCollector::new());
+        let tracer = Tracer::new(collector.clone());
+        tracer.counter("stray", 3, vec![]);
+        assert_eq!(collector.orphan_counters(), vec![("stray".to_owned(), 3)]);
+        assert!(collector.totals().is_empty());
+    }
+
+    #[test]
+    fn elapsed_us_lookup() {
+        let collector = Arc::new(PhaseCollector::new());
+        let tracer = Tracer::new(collector.clone());
+        {
+            let _v = tracer.span(SpanCat::Phase, "verify", vec![]);
+        }
+        // Elapsed is wall-clock so only >= 0 is guaranteed; the span
+        // must exist and absent names read as zero.
+        let totals = collector.totals();
+        assert_eq!(totals.len(), 1);
+        assert_eq!(collector.elapsed_us("missing"), 0);
+    }
+}

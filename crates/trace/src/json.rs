@@ -1,0 +1,192 @@
+//! Hand-rolled JSON encoding for trace events.
+//!
+//! The trace crate depends on nothing, so it cannot use the workspace's
+//! vendored `serde_json`; the event shape is small and fixed, making a
+//! direct encoder both simpler and faster than a generic one.
+//!
+//! One event is one JSON object on one line (JSONL). The documented
+//! schema (see EXPERIMENTS.md) is:
+//!
+//! ```json
+//! {"seq":1,"t_us":12,"ev":"span_start","name":"run","span":1,"parent":null,"cat":"phase","attrs":{}}
+//! {"seq":2,"t_us":90,"ev":"counter","name":"tried_single","value":4,"attrs":{"quality":"qu"}}
+//! {"seq":3,"t_us":120,"ev":"span_end","name":"run","span":1,"cat":"phase","elapsed_us":108,"attrs":{}}
+//! ```
+
+use crate::{AttrValue, EventKind, TraceEvent};
+
+/// Encodes one event as a single JSON line (no trailing newline).
+pub fn event_to_jsonl(event: &TraceEvent) -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("{\"seq\":");
+    push_u64(&mut out, event.seq);
+    out.push_str(",\"t_us\":");
+    push_u64(&mut out, event.t_us);
+    match &event.kind {
+        EventKind::SpanStart { span, parent, cat } => {
+            out.push_str(",\"ev\":\"span_start\",\"name\":");
+            push_str(&mut out, &event.name);
+            out.push_str(",\"span\":");
+            push_u64(&mut out, *span);
+            out.push_str(",\"parent\":");
+            match parent {
+                Some(p) => push_u64(&mut out, *p),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"cat\":\"");
+            out.push_str(cat.name());
+            out.push('"');
+        }
+        EventKind::SpanEnd {
+            span,
+            cat,
+            elapsed_us,
+        } => {
+            out.push_str(",\"ev\":\"span_end\",\"name\":");
+            push_str(&mut out, &event.name);
+            out.push_str(",\"span\":");
+            push_u64(&mut out, *span);
+            out.push_str(",\"cat\":\"");
+            out.push_str(cat.name());
+            out.push_str("\",\"elapsed_us\":");
+            push_u64(&mut out, *elapsed_us);
+        }
+        EventKind::Counter { value } => {
+            out.push_str(",\"ev\":\"counter\",\"name\":");
+            push_str(&mut out, &event.name);
+            out.push_str(",\"value\":");
+            push_u64(&mut out, *value);
+        }
+    }
+    out.push_str(",\"attrs\":{");
+    for (i, (key, value)) in event.attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str(&mut out, key);
+        out.push(':');
+        push_attr(&mut out, value);
+    }
+    out.push_str("}}");
+    out
+}
+
+fn push_u64(out: &mut String, v: u64) {
+    out.push_str(&v.to_string());
+}
+
+fn push_attr(out: &mut String, value: &AttrValue) {
+    match value {
+        AttrValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        AttrValue::UInt(u) => out.push_str(&u.to_string()),
+        AttrValue::Int(i) => out.push_str(&i.to_string()),
+        AttrValue::Float(f) => {
+            // JSON has no NaN/Infinity; degrade to null.
+            if f.is_finite() {
+                out.push_str(&f.to_string());
+            } else {
+                out.push_str("null");
+            }
+        }
+        AttrValue::Str(s) => push_str(out, s),
+    }
+}
+
+/// Appends `s` as a JSON string with full escaping.
+fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanCat;
+
+    fn event(kind: EventKind, attrs: Vec<(String, AttrValue)>) -> TraceEvent {
+        TraceEvent {
+            seq: 7,
+            t_us: 42,
+            name: "n".into(),
+            kind,
+            attrs,
+        }
+    }
+
+    #[test]
+    fn span_start_shape() {
+        let line = event_to_jsonl(&event(
+            EventKind::SpanStart {
+                span: 3,
+                parent: Some(1),
+                cat: SpanCat::Phase,
+            },
+            vec![],
+        ));
+        assert_eq!(
+            line,
+            "{\"seq\":7,\"t_us\":42,\"ev\":\"span_start\",\"name\":\"n\",\
+             \"span\":3,\"parent\":1,\"cat\":\"phase\",\"attrs\":{}}"
+        );
+    }
+
+    #[test]
+    fn root_span_has_null_parent() {
+        let line = event_to_jsonl(&event(
+            EventKind::SpanStart {
+                span: 1,
+                parent: None,
+                cat: SpanCat::Detail,
+            },
+            vec![],
+        ));
+        assert!(line.contains("\"parent\":null"));
+        assert!(line.contains("\"cat\":\"detail\""));
+    }
+
+    #[test]
+    fn counter_with_attrs() {
+        let line = event_to_jsonl(&event(
+            EventKind::Counter { value: 9 },
+            vec![
+                ("quality".into(), AttrValue::Str("qu".into())),
+                ("ok".into(), AttrValue::Bool(true)),
+                ("delta".into(), AttrValue::Int(-2)),
+            ],
+        ));
+        assert!(line.contains("\"ev\":\"counter\""));
+        assert!(line.contains("\"value\":9"));
+        assert!(line.contains("\"attrs\":{\"quality\":\"qu\",\"ok\":true,\"delta\":-2}"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let line = event_to_jsonl(&event(
+            EventKind::Counter { value: 1 },
+            vec![("path".into(), AttrValue::Str("a\"b\\c\nd\te\u{1}".into()))],
+        ));
+        assert!(line.contains("a\\\"b\\\\c\\nd\\te\\u0001"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let line = event_to_jsonl(&event(
+            EventKind::Counter { value: 1 },
+            vec![("x".into(), AttrValue::Float(f64::NAN))],
+        ));
+        assert!(line.contains("\"x\":null"));
+    }
+}

@@ -1,0 +1,460 @@
+//! Hand-rolled structured tracing for the binding pipeline.
+//!
+//! The build environment has no access to crates.io, so this crate is a
+//! deliberately small, dependency-free stand-in for the `tracing`
+//! ecosystem covering exactly what the binder needs:
+//!
+//! * **spans** — named, nested intervals with attributes and measured
+//!   elapsed time ([`Tracer::span`] returns a guard that closes the span
+//!   on drop);
+//! * **counters** — named monotonic increments with attributes
+//!   ([`Tracer::counter`]);
+//! * **sinks** — pluggable [`TraceSink`] consumers: an in-memory buffer
+//!   ([`MemorySink`]), a JSONL stream ([`JsonlSink`]), and a per-phase
+//!   aggregator ([`PhaseCollector`]) that turns the event stream into
+//!   per-phase elapsed/counter totals.
+//!
+//! A disabled [`Tracer`] (the default) is a single `Option` check per
+//! call site: no events are constructed, no clocks are read, no
+//! allocations happen — the overhead of tracing-off code is one branch.
+//!
+//! Span categories split the stream in two: [`SpanCat::Phase`] spans are
+//! the accounting units (`run`, `b_init`, `b_iter_qu`, `b_iter_qm`,
+//! `verify`) whose elapsed times the [`PhaseCollector`] aggregates,
+//! while [`SpanCat::Detail`] spans (e.g. one per B-INIT sweep point)
+//! carry fine-grained attributes without affecting the accounting.
+//!
+//! Events can also flow to a process-wide default sink
+//! ([`install_global`]), the analogue of `tracing`'s global subscriber —
+//! command-line binaries use it so a `--trace-out` flag reaches every
+//! binder constructed anywhere in the process.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vliw_trace::{MemorySink, SpanCat, Tracer};
+//!
+//! let sink = Arc::new(MemorySink::new());
+//! let tracer = Tracer::new(sink.clone());
+//! {
+//!     let _run = tracer.span(SpanCat::Phase, "run", vec![]);
+//!     tracer.counter("work_items", 3, vec![("kind", "demo".into())]);
+//! }
+//! let events = sink.events();
+//! assert_eq!(events.len(), 3); // span_start, counter, span_end
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collect;
+mod json;
+mod sink;
+
+pub use collect::{PhaseCollector, PhaseTotal};
+pub use json::event_to_jsonl;
+pub use sink::{JsonlSink, MemorySink};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// An attribute value attached to a span or counter event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Boolean flag.
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// Free-form text.
+    Str(String),
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::UInt(v)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::UInt(u64::from(v))
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::UInt(v as u64)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_owned())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+/// Attribute list type accepted by the emit APIs.
+pub type Attrs = Vec<(&'static str, AttrValue)>;
+
+/// What a span measures, for downstream accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanCat {
+    /// A pipeline phase: its elapsed time is an accounting unit that the
+    /// [`PhaseCollector`] sums per name, and counters emitted while it is
+    /// the innermost open phase are attributed to it.
+    Phase,
+    /// Fine-grained detail (e.g. one sweep point): recorded in the event
+    /// stream but invisible to per-phase accounting.
+    Detail,
+}
+
+impl SpanCat {
+    /// The category's wire name in the JSONL stream.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanCat::Phase => "phase",
+            SpanCat::Detail => "detail",
+        }
+    }
+}
+
+/// The payload of one trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A span opened.
+    SpanStart {
+        /// Span id, unique within the tracer.
+        span: u64,
+        /// Id of the enclosing open span, if any.
+        parent: Option<u64>,
+        /// Accounting category.
+        cat: SpanCat,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Span id matching the corresponding start.
+        span: u64,
+        /// Accounting category (repeated so sinks need no lookup).
+        cat: SpanCat,
+        /// Wall-clock span duration in microseconds.
+        elapsed_us: u64,
+    },
+    /// A monotonic counter increment.
+    Counter {
+        /// Amount added to the counter.
+        value: u64,
+    },
+}
+
+/// One structured trace event, as delivered to every [`TraceSink`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number, starting at 1 per tracer.
+    pub seq: u64,
+    /// Microseconds since the tracer was created.
+    pub t_us: u64,
+    /// Span or counter name.
+    pub name: String,
+    /// Start / end / counter payload.
+    pub kind: EventKind,
+    /// Attributes attached at the call site.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+/// A consumer of trace events. Implementations must tolerate concurrent
+/// `record` calls (the evaluator's worker pool reports through the same
+/// tracer as the driver thread).
+pub trait TraceSink: Send + Sync {
+    /// Consumes one event. Must not panic; sinks that can fail (I/O)
+    /// should latch the error and go quiet.
+    fn record(&self, event: &TraceEvent);
+}
+
+/// Process-wide default sink, the analogue of `tracing`'s global
+/// subscriber. `None` until [`install_global`] is called.
+static GLOBAL_SINK: RwLock<Option<Arc<dyn TraceSink>>> = RwLock::new(None);
+
+/// Installs (or replaces) the process-wide default sink. Binders with
+/// tracing enabled fan events out to it in addition to any explicitly
+/// attached sinks — this is how a CLI `--trace-out FILE` flag reaches
+/// every binder the process constructs.
+pub fn install_global(sink: Arc<dyn TraceSink>) {
+    *GLOBAL_SINK.write().expect("global sink lock") = Some(sink);
+}
+
+/// The currently installed process-wide sink, if any.
+pub fn global_sink() -> Option<Arc<dyn TraceSink>> {
+    GLOBAL_SINK.read().expect("global sink lock").clone()
+}
+
+/// The shared state of an enabled tracer.
+struct Inner {
+    sinks: Vec<Arc<dyn TraceSink>>,
+    epoch: Instant,
+    seq: AtomicU64,
+    next_span: AtomicU64,
+    /// Open span ids, innermost last. Spans are opened and closed on the
+    /// driver thread in LIFO order; the mutex makes stray cross-thread
+    /// use safe rather than fast.
+    stack: Mutex<Vec<u64>>,
+}
+
+/// A handle that emits structured events to its sinks. Cheap to clone
+/// (an `Arc` under the hood); a default-constructed tracer is *off* and
+/// every call on it is a single branch.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(inner) => f
+                .debug_struct("Tracer")
+                .field("sinks", &inner.sinks.len())
+                .field("seq", &inner.seq.load(Ordering::Relaxed))
+                .finish(),
+            None => f.write_str("Tracer(off)"),
+        }
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer: no sinks, no events, one branch per call site.
+    pub fn off() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// A tracer delivering every event to one sink.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Tracer::with_sinks(vec![sink])
+    }
+
+    /// A tracer fanning every event out to all `sinks` in order. An
+    /// empty list yields a disabled tracer.
+    pub fn with_sinks(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        if sinks.is_empty() {
+            return Tracer::off();
+        }
+        Tracer {
+            inner: Some(Arc::new(Inner {
+                sinks,
+                epoch: Instant::now(),
+                seq: AtomicU64::new(0),
+                next_span: AtomicU64::new(0),
+                stack: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Whether events are being recorded at all. Call sites with
+    /// non-trivial attribute construction should check this first.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span; the returned guard closes it (emitting the
+    /// `span_end` event with measured elapsed time) when dropped. Spans
+    /// must be closed in LIFO order, which scope-guard usage guarantees.
+    pub fn span(&self, cat: SpanCat, name: &'static str, attrs: Attrs) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span { state: None };
+        };
+        let id = inner.next_span.fetch_add(1, Ordering::Relaxed) + 1;
+        let parent = {
+            let mut stack = inner.stack.lock().expect("span stack");
+            let parent = stack.last().copied();
+            stack.push(id);
+            parent
+        };
+        emit(
+            inner,
+            name,
+            EventKind::SpanStart {
+                span: id,
+                parent,
+                cat,
+            },
+            attrs,
+        );
+        Span {
+            state: Some(SpanState {
+                inner: Arc::clone(inner),
+                id,
+                cat,
+                name,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Emits a counter increment.
+    pub fn counter(&self, name: &'static str, value: u64, attrs: Attrs) {
+        if let Some(inner) = &self.inner {
+            emit(inner, name, EventKind::Counter { value }, attrs);
+        }
+    }
+}
+
+/// Builds and fans out one event.
+fn emit(inner: &Inner, name: &str, kind: EventKind, attrs: Attrs) {
+    let event = TraceEvent {
+        seq: inner.seq.fetch_add(1, Ordering::Relaxed) + 1,
+        t_us: u64::try_from(inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX),
+        name: name.to_owned(),
+        kind,
+        attrs: attrs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+    };
+    for sink in &inner.sinks {
+        sink.record(&event);
+    }
+}
+
+/// Live part of a span guard.
+struct SpanState {
+    inner: Arc<Inner>,
+    id: u64,
+    cat: SpanCat,
+    name: &'static str,
+    start: Instant,
+}
+
+/// Guard returned by [`Tracer::span`]; closes the span on drop. Inert
+/// (zero-cost beyond its size) when the tracer is off.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct Span {
+    state: Option<SpanState>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(state) = self.state.take() else {
+            return;
+        };
+        {
+            let mut stack = state.inner.stack.lock().expect("span stack");
+            // LIFO in correct usage; remove by id to stay robust if a
+            // guard outlives its scope.
+            if stack.last() == Some(&state.id) {
+                stack.pop();
+            } else if let Some(pos) = stack.iter().rposition(|&s| s == state.id) {
+                stack.remove(pos);
+            }
+        }
+        let elapsed_us = u64::try_from(state.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        emit(
+            &state.inner,
+            state.name,
+            EventKind::SpanEnd {
+                span: state.id,
+                cat: state.cat,
+                elapsed_us,
+            },
+            Vec::new(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_tracer_emits_nothing_and_allocates_nothing() {
+        let tracer = Tracer::off();
+        assert!(!tracer.is_enabled());
+        let span = tracer.span(SpanCat::Phase, "run", vec![]);
+        tracer.counter("x", 1, vec![]);
+        drop(span);
+        // Also the Default construction is off.
+        assert!(!Tracer::default().is_enabled());
+    }
+
+    #[test]
+    fn spans_nest_with_parent_ids() {
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink.clone());
+        {
+            let _outer = tracer.span(SpanCat::Phase, "outer", vec![]);
+            {
+                let _inner = tracer.span(SpanCat::Detail, "inner", vec![]);
+            }
+            tracer.counter("c", 2, vec![("k", "v".into())]);
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 5);
+        let EventKind::SpanStart {
+            span: outer_id,
+            parent: None,
+            cat: SpanCat::Phase,
+        } = events[0].kind
+        else {
+            panic!("outer start first: {:?}", events[0]);
+        };
+        let EventKind::SpanStart {
+            parent: Some(p), ..
+        } = events[1].kind
+        else {
+            panic!("inner start second: {:?}", events[1]);
+        };
+        assert_eq!(p, outer_id);
+        assert!(matches!(events[2].kind, EventKind::SpanEnd { span, .. } if span != outer_id));
+        assert!(matches!(events[3].kind, EventKind::Counter { value: 2 }));
+        assert!(
+            matches!(events[4].kind, EventKind::SpanEnd { span, .. } if span == outer_id),
+            "outer closes last"
+        );
+        // Sequence numbers are 1-based and strictly increasing.
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let tracer = Tracer::with_sinks(vec![a.clone(), b.clone()]);
+        tracer.counter("c", 1, vec![]);
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events(), a.events());
+    }
+
+    #[test]
+    fn empty_sink_list_is_off() {
+        assert!(!Tracer::with_sinks(vec![]).is_enabled());
+    }
+
+    #[test]
+    fn attr_conversions() {
+        assert_eq!(AttrValue::from(3u32), AttrValue::UInt(3));
+        assert_eq!(AttrValue::from(true), AttrValue::Bool(true));
+        assert_eq!(AttrValue::from("s"), AttrValue::Str("s".into()));
+        assert_eq!(AttrValue::from(-4i64), AttrValue::Int(-4));
+        assert_eq!(AttrValue::from(1.5f64), AttrValue::Float(1.5));
+    }
+}

@@ -1,0 +1,164 @@
+//! Concrete [`TraceSink`] implementations: an in-memory buffer for tests
+//! and a buffered JSONL writer for `--trace-out`.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::json::event_to_jsonl;
+use crate::{TraceEvent, TraceSink};
+
+/// Buffers every event in memory. Used by tests and by the `vliw trace`
+/// pretty-printer.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// A snapshot of everything recorded so far, in arrival order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("memory sink lock").clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink lock").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, event: &TraceEvent) {
+        self.events
+            .lock()
+            .expect("memory sink lock")
+            .push(event.clone());
+    }
+}
+
+/// Streams events as JSON lines to any writer (typically a `BufWriter`
+/// around the `--trace-out` file).
+///
+/// `record` must not panic, so I/O failures latch the sink into a quiet
+/// error state instead; callers inspect [`JsonlSink::finish`] at the end
+/// of the run to report the failure once.
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+    failed: AtomicBool,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps `writer`; every event becomes one line.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+            failed: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether any write has failed so far.
+    pub fn has_failed(&self) -> bool {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    /// Flushes the writer and reports whether all writes succeeded.
+    pub fn finish(&self) -> std::io::Result<()> {
+        if self.has_failed() {
+            return Err(std::io::Error::other("trace sink write failed"));
+        }
+        self.writer.lock().expect("jsonl sink lock").flush()
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&self, event: &TraceEvent) {
+        if self.has_failed() {
+            return;
+        }
+        let line = event_to_jsonl(event);
+        let mut writer = self.writer.lock().expect("jsonl sink lock");
+        if writeln!(writer, "{line}").is_err() {
+            self.failed.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventKind, SpanCat, Tracer};
+    use std::sync::Arc;
+
+    #[test]
+    fn memory_sink_orders_events() {
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink.clone());
+        tracer.counter("a", 1, vec![]);
+        tracer.counter("b", 2, vec![]);
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "a");
+        assert_eq!(events[1].name, "b");
+        assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let sink = Arc::new(JsonlSink::new(Vec::<u8>::new()));
+        let tracer = Tracer::new(sink.clone());
+        {
+            let _run = tracer.span(SpanCat::Phase, "run", vec![("l_pr", 4u64.into())]);
+            tracer.counter("tried_single", 3, vec![]);
+        }
+        sink.finish().expect("no write failures");
+        let bytes = {
+            let writer = sink.writer.lock().unwrap();
+            writer.clone()
+        };
+        let text = String::from_utf8(bytes).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"ev\":\"span_start\""));
+        assert!(lines[0].contains("\"l_pr\":4"));
+        assert!(lines[1].contains("\"ev\":\"counter\""));
+        assert!(lines[2].contains("\"ev\":\"span_end\""));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_latches_on_failure() {
+        struct FailWriter;
+        impl Write for FailWriter {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(FailWriter);
+        let event = TraceEvent {
+            seq: 1,
+            t_us: 0,
+            name: "x".into(),
+            kind: EventKind::Counter { value: 1 },
+            attrs: vec![],
+        };
+        sink.record(&event);
+        assert!(sink.has_failed());
+        sink.record(&event); // quiet after the latch
+        assert!(sink.finish().is_err());
+    }
+}
