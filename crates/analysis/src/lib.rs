@@ -1,0 +1,672 @@
+//! Certified lower bounds on binding quality, computed *before* any
+//! binding runs.
+//!
+//! [`analyze`] takes a `(Dfg, Machine)` pair and derives a
+//! [`BoundReport`]: a set of lower bounds on the schedule latency `L`
+//! and the inter-cluster transfer count `N_MV` that hold for **every**
+//! legal binding of the graph on the machine. Each bound carries a
+//! machine-checkable [`LatencyCertificate`] / [`MoveCertificate`] — the
+//! witness (dependence chain, op window, uncoverable component, …) from
+//! which the bound follows by a short counting argument — so a
+//! completely independent checker (`vliw_sched::verify`, which shares no
+//! derivation code with this crate) can re-validate every claim.
+//!
+//! The bounds:
+//!
+//! * **Critical path** — `L ≥ Σ lat(v)` along a dependence chain
+//!   (transfers only add latency on edges, so the move-free chain length
+//!   is a lower bound for any binding).
+//! * **Resource / interval (Rim–Jain style)** — for any set `W` of
+//!   operations of one FU class `t` whose members all have
+//!   `asap(v) ≥ h` and at least `τ` cycles of dependent work after
+//!   their completion, every start lies in a window of
+//!   `L − h − τ − lat_min + 1` cycles served by `N(t)` units at one
+//!   start per `dii(t)` cycles, hence
+//!   `L ≥ h + τ + lat_min + dii(t)·(⌈|W|/N(t)⌉ − 1)`.
+//!   The whole-graph case `h = τ = 0` is the classic work bound
+//!   `⌈|ops(t)|/N(t)⌉` (unit latency, pipelined).
+//! * **Forced transfers** — `N_MV` is bounded below by (a) the number
+//!   of producers with a consumer whose target set is disjoint from
+//!   theirs (the two can never be co-clustered) and (b) the number of
+//!   weakly-connected components whose op-class mix no single cluster
+//!   supports (such a component spans ≥ 2 clusters, and connectivity
+//!   forces a cut edge, i.e. a transfer, inside it). The two counts may
+//!   share witnesses, so the report keeps both and
+//!   [`BoundReport::moves_bound`] takes the max, never the sum.
+//! * **Bus bandwidth** — `M` forced transfers must each start after
+//!   their producer (`≥ 1` cycle) and finish before their consumer
+//!   (`≥ 1` cycle), with at most `N_B` transfers starting per
+//!   `dii(BUS)` cycles: `L ≥ 2 + lat(move) + dii(BUS)·(⌈M/N_B⌉ − 1)`.
+//!
+//! A pair where some op class has zero compatible FUs anywhere is
+//! *structurally infeasible* — no target latency fixes it — and is
+//! reported as an [`Infeasibility`] certificate instead of a bound
+//! (`vliw_binding::BindError` integrates it as its `Unsupported` case).
+//!
+//! Everything here is a pure function of the inputs: no randomness, no
+//! clocks, no hash-order dependence — the same pair always produces the
+//! same report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use vliw_datapath::Machine;
+use vliw_dfg::{connected_components, topo_order, Dfg, FuType, OpId};
+
+/// The witness behind a latency lower bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LatencyCertificate {
+    /// A dependence chain: consecutive elements are edges of the DFG, so
+    /// any schedule runs them back-to-back at best and
+    /// `L ≥ Σ lat(v)` over the chain.
+    CriticalPath {
+        /// The chain, in dependence order (producer first).
+        path: Vec<OpId>,
+    },
+    /// An op-class window: every op in `ops` has FU class `class`,
+    /// `asap(v) ≥ head`, and at least `tail` cycles of dependent work
+    /// after its completion, so
+    /// `L ≥ head + tail + lat_min + dii·(⌈|ops|/N⌉ − 1)`.
+    /// `head = tail = 0` is the whole-graph resource bound.
+    Interval {
+        /// FU class of every witness operation.
+        class: FuType,
+        /// Lower bound on the ASAP level of every witness operation.
+        head: u32,
+        /// Lower bound on the dependent work after every witness
+        /// operation completes.
+        tail: u32,
+        /// The witness operations, in id order.
+        ops: Vec<OpId>,
+    },
+    /// A bus-saturation argument on top of a forced-transfer bound:
+    /// the certified `moves.moves` transfers need
+    /// `L ≥ 2 + lat(move) + dii(BUS)·(⌈M/N_B⌉ − 1)`.
+    BusBandwidth {
+        /// The forced-transfer bound the argument builds on.
+        moves: MoveBound,
+    },
+}
+
+impl LatencyCertificate {
+    /// A short kebab-case name of the bound family, for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LatencyCertificate::CriticalPath { .. } => "critical-path",
+            LatencyCertificate::Interval {
+                head: 0, tail: 0, ..
+            } => "resource",
+            LatencyCertificate::Interval { .. } => "interval",
+            LatencyCertificate::BusBandwidth { .. } => "bus-bandwidth",
+        }
+    }
+}
+
+/// A certified lower bound on the schedule latency `L`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyBound {
+    /// No legal binding of the pair schedules in fewer cycles.
+    pub cycles: u32,
+    /// The witness justifying `cycles`.
+    pub certificate: LatencyCertificate,
+}
+
+/// The witness behind a transfer-count lower bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MoveCertificate {
+    /// Edges `(u, v)` whose endpoint target sets share no cluster: `u`
+    /// and `v` can never be co-clustered, so each listed producer must
+    /// source at least one transfer. Producers are pairwise distinct, so
+    /// the transfers are distinct too.
+    DisjointTargets {
+        /// One witness edge per distinct producer, in producer id order.
+        edges: Vec<(OpId, OpId)>,
+    },
+    /// Weakly-connected components whose op-class mix no single cluster
+    /// supports. Each must span ≥ 2 clusters, and connectivity forces a
+    /// cluster-crossing edge — a transfer — among its own operations;
+    /// the components are vertex-disjoint, so the transfers are
+    /// distinct.
+    ComponentSplit {
+        /// The uncoverable components, each as an op list in id order.
+        components: Vec<Vec<OpId>>,
+    },
+}
+
+impl MoveCertificate {
+    /// A short kebab-case name of the bound family, for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MoveCertificate::DisjointTargets { .. } => "disjoint-targets",
+            MoveCertificate::ComponentSplit { .. } => "component-split",
+        }
+    }
+}
+
+/// A certified lower bound on the transfer count `N_MV`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MoveBound {
+    /// No legal binding of the pair inserts fewer transfers.
+    pub moves: usize,
+    /// The witness justifying `moves`.
+    pub certificate: MoveCertificate,
+}
+
+/// A certificate that *no* binding of the pair exists, at any latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Infeasibility {
+    /// Operations of `class` exist but no cluster has an FU of that
+    /// class, so their target set is empty machine-wide.
+    NoCompatibleFu {
+        /// The FU class with zero units anywhere.
+        class: FuType,
+        /// Every operation of that class, in id order.
+        ops: Vec<OpId>,
+    },
+}
+
+impl std::fmt::Display for Infeasibility {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Infeasibility::NoCompatibleFu { class, ops } => write!(
+                f,
+                "{} operation(s) of class {class} but no {class} unit on any cluster",
+                ops.len()
+            ),
+        }
+    }
+}
+
+/// The full analyzer output: every derived bound with its certificate,
+/// plus an infeasibility certificate when the pair has no binding at
+/// all.
+///
+/// Empty DFGs produce an empty report ([`BoundReport::latency_bound`]
+/// `= 0`, [`BoundReport::moves_bound`] `= 0`): the empty schedule
+/// trivially meets both.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BoundReport {
+    /// All latency bounds, strongest-family-agnostic (take the max).
+    pub latency: Vec<LatencyBound>,
+    /// All transfer bounds (take the max — witnesses may overlap, so
+    /// the counts must never be summed).
+    pub moves: Vec<MoveBound>,
+    /// A certificate that no binding exists, when one was found. The
+    /// latency list still carries the bounds that remain meaningful
+    /// (critical path, classes that do have units); the move bounds are
+    /// suppressed since "forced transfer" arguments presuppose every op
+    /// can be placed somewhere.
+    pub infeasible: Option<Infeasibility>,
+}
+
+impl BoundReport {
+    /// The strongest certified latency lower bound (0 for an empty DFG).
+    pub fn latency_bound(&self) -> u32 {
+        self.latency.iter().map(|b| b.cycles).max().unwrap_or(0)
+    }
+
+    /// The strongest certified transfer lower bound.
+    pub fn moves_bound(&self) -> usize {
+        self.moves.iter().map(|b| b.moves).max().unwrap_or(0)
+    }
+
+    /// The certified `(L, N_MV)` floor. No binding evaluates to a
+    /// lexicographically smaller pair, because both components are
+    /// simultaneous lower bounds: any result has `L ≥ lm.0`, and at
+    /// `L = lm.0` it still has `N_MV ≥ lm.1`.
+    pub fn lm_bound(&self) -> (u32, usize) {
+        (self.latency_bound(), self.moves_bound())
+    }
+
+    /// The first latency bound achieving [`BoundReport::latency_bound`].
+    pub fn dominating_latency(&self) -> Option<&LatencyBound> {
+        let max = self.latency_bound();
+        self.latency.iter().find(|b| b.cycles == max)
+    }
+
+    /// The first move bound achieving [`BoundReport::moves_bound`].
+    pub fn dominating_moves(&self) -> Option<&MoveBound> {
+        let max = self.moves_bound();
+        self.moves.iter().find(|b| b.moves == max)
+    }
+
+    /// Whether some binding can exist at all (no structural
+    /// infeasibility was certified).
+    pub fn is_feasible(&self) -> bool {
+        self.infeasible.is_none()
+    }
+}
+
+/// Analyzes a `(Dfg, Machine)` pair into a [`BoundReport`].
+///
+/// Pure and total for any graph a [`vliw_dfg::DfgBuilder`] can produce
+/// and any machine a [`vliw_datapath::MachineBuilder`] accepts
+/// (including pairs the binder would reject — those come back with
+/// [`BoundReport::infeasible`] set instead of an error).
+pub fn analyze(dfg: &Dfg, machine: &Machine) -> BoundReport {
+    let mut report = BoundReport::default();
+    if dfg.is_empty() {
+        return report;
+    }
+    let lat = machine.op_latencies(dfg);
+
+    for class in FuType::REGULAR {
+        let ops: Vec<OpId> = dfg
+            .op_ids()
+            .filter(|&v| dfg.op_type(v).fu_type() == class)
+            .collect();
+        if !ops.is_empty() && machine.fu_count_total(class) == 0 {
+            report.infeasible = Some(Infeasibility::NoCompatibleFu { class, ops });
+            break;
+        }
+    }
+
+    report.latency.push(critical_path_bound(dfg, &lat));
+
+    let asap = asap_levels(dfg, &lat);
+    let tail = tail_after_levels(dfg, &lat);
+    for class in FuType::REGULAR {
+        report
+            .latency
+            .extend(interval_bounds(dfg, machine, &lat, &asap, &tail, class));
+    }
+
+    if report.infeasible.is_none() {
+        if let Some(b) = disjoint_target_bound(dfg, machine) {
+            report.moves.push(b);
+        }
+        if let Some(b) = component_split_bound(dfg, machine) {
+            report.moves.push(b);
+        }
+        if let Some(dominating) = report.dominating_moves().cloned() {
+            report.latency.push(bus_bound(machine, dominating));
+        }
+    }
+    report
+}
+
+/// Earliest start levels under machine latencies and unlimited
+/// resources. Transfers only delay edges further, so `asap(v)` lower
+/// bounds the start of `v` in any binding's schedule.
+fn asap_levels(dfg: &Dfg, lat: &[u32]) -> Vec<u32> {
+    let order = topo_order(dfg).expect("DfgBuilder only produces acyclic graphs"); // lint:allow(no-panic)
+    let mut asap = vec![0u32; dfg.len()];
+    for &v in &order {
+        asap[v.index()] = dfg
+            .preds(v)
+            .iter()
+            .map(|&u| asap[u.index()] + lat[u.index()])
+            .max()
+            .unwrap_or(0);
+    }
+    asap
+}
+
+/// Longest dependent-work chain *after* each operation completes: any
+/// schedule has `start(v) + lat(v) + tail_after(v) ≤ L`.
+fn tail_after_levels(dfg: &Dfg, lat: &[u32]) -> Vec<u32> {
+    let order = topo_order(dfg).expect("DfgBuilder only produces acyclic graphs"); // lint:allow(no-panic)
+    let mut tail = vec![0u32; dfg.len()];
+    for &v in order.iter().rev() {
+        tail[v.index()] = dfg
+            .succs(v)
+            .iter()
+            .map(|&s| lat[s.index()] + tail[s.index()])
+            .max()
+            .unwrap_or(0);
+    }
+    tail
+}
+
+/// The critical path as an explicit chain witness.
+fn critical_path_bound(dfg: &Dfg, lat: &[u32]) -> LatencyBound {
+    let order = topo_order(dfg).expect("DfgBuilder only produces acyclic graphs"); // lint:allow(no-panic)
+    let mut finish = vec![0u32; dfg.len()];
+    for &v in &order {
+        let start = dfg
+            .preds(v)
+            .iter()
+            .map(|&u| finish[u.index()])
+            .max()
+            .unwrap_or(0);
+        finish[v.index()] = start + lat[v.index()];
+    }
+    let end = dfg
+        .op_ids()
+        .max_by_key(|v| (finish[v.index()], std::cmp::Reverse(v.index())))
+        .expect("non-empty graph"); // lint:allow(no-panic)
+    let mut path = vec![end];
+    let mut cur = end;
+    loop {
+        let start = finish[cur.index()] - lat[cur.index()];
+        let Some(&prev) = dfg.preds(cur).iter().find(|&&u| finish[u.index()] == start) else {
+            break;
+        };
+        path.push(prev);
+        cur = prev;
+    }
+    path.reverse();
+    LatencyBound {
+        cycles: finish[end.index()],
+        certificate: LatencyCertificate::CriticalPath { path },
+    }
+}
+
+/// The whole-graph resource bound for `class` plus, when strictly
+/// stronger, the best `(head, tail)` window over the class.
+fn interval_bounds(
+    dfg: &Dfg,
+    machine: &Machine,
+    lat: &[u32],
+    asap: &[u32],
+    tail: &[u32],
+    class: FuType,
+) -> Vec<LatencyBound> {
+    let ops: Vec<OpId> = dfg
+        .op_ids()
+        .filter(|&v| dfg.op_type(v).fu_type() == class)
+        .collect();
+    let n_fus = machine.fu_count_total(class);
+    if ops.is_empty() || n_fus == 0 {
+        return Vec::new();
+    }
+    let dii = machine.dii(class);
+    let value = |h: u32, t: u32, w: &[OpId]| -> u32 {
+        let lat_min = w.iter().map(|&v| lat[v.index()]).min().unwrap_or(0);
+        let rounds = (w.len() as u32).div_ceil(n_fus);
+        h + t + lat_min + dii * (rounds - 1)
+    };
+    let bound = |h: u32, t: u32, w: Vec<OpId>| -> LatencyBound {
+        LatencyBound {
+            cycles: value(h, t, &w),
+            certificate: LatencyCertificate::Interval {
+                class,
+                head: h,
+                tail: t,
+                ops: w,
+            },
+        }
+    };
+
+    let global = bound(0, 0, ops.clone());
+    let mut heads: Vec<u32> = ops.iter().map(|&v| asap[v.index()]).collect();
+    heads.sort_unstable();
+    heads.dedup();
+    let mut tails: Vec<u32> = ops.iter().map(|&v| tail[v.index()]).collect();
+    tails.sort_unstable();
+    tails.dedup();
+    let mut windowed: Option<(u32, u32, Vec<OpId>)> = None;
+    let mut best = global.cycles;
+    for &h in &heads {
+        for &t in &tails {
+            if h == 0 && t == 0 {
+                continue;
+            }
+            let w: Vec<OpId> = ops
+                .iter()
+                .copied()
+                .filter(|&v| asap[v.index()] >= h && tail[v.index()] >= t)
+                .collect();
+            if w.is_empty() {
+                continue;
+            }
+            let cycles = value(h, t, &w);
+            if cycles > best {
+                best = cycles;
+                windowed = Some((h, t, w));
+            }
+        }
+    }
+    let mut out = vec![global];
+    if let Some((h, t, w)) = windowed {
+        out.push(bound(h, t, w));
+    }
+    out
+}
+
+/// Producers whose consumers can never share their cluster.
+fn disjoint_target_bound(dfg: &Dfg, machine: &Machine) -> Option<MoveBound> {
+    let mut edges: Vec<(OpId, OpId)> = Vec::new();
+    for (u, v) in dfg.edges() {
+        if edges.last().is_some_and(|&(p, _)| p == u) {
+            continue; // one forced transfer counted per producer
+        }
+        let (tu, tv) = (dfg.op_type(u), dfg.op_type(v));
+        let coclusterable = machine
+            .cluster_ids()
+            .any(|c| machine.supports(c, tu) && machine.supports(c, tv));
+        if !coclusterable {
+            edges.push((u, v));
+        }
+    }
+    (!edges.is_empty()).then_some(MoveBound {
+        moves: edges.len(),
+        certificate: MoveCertificate::DisjointTargets { edges },
+    })
+}
+
+/// Weakly-connected components no single cluster can host entirely.
+fn component_split_bound(dfg: &Dfg, machine: &Machine) -> Option<MoveBound> {
+    let (comp_of, count) = connected_components(dfg);
+    let mut members: Vec<Vec<OpId>> = vec![Vec::new(); count];
+    for v in dfg.op_ids() {
+        members[comp_of[v.index()]].push(v);
+    }
+    let components: Vec<Vec<OpId>> = members
+        .into_iter()
+        .filter(|ops| {
+            !machine
+                .cluster_ids()
+                .any(|c| ops.iter().all(|&v| machine.supports(c, dfg.op_type(v))))
+        })
+        .collect();
+    (!components.is_empty()).then_some(MoveBound {
+        moves: components.len(),
+        certificate: MoveCertificate::ComponentSplit { components },
+    })
+}
+
+/// The bus-saturation latency bound implied by a forced-transfer bound.
+fn bus_bound(machine: &Machine, moves: MoveBound) -> LatencyBound {
+    let per_bus = (moves.moves as u32).div_ceil(machine.bus_count().max(1));
+    LatencyBound {
+        cycles: 2 + machine.move_latency() + machine.dii(FuType::Bus) * (per_bus - 1),
+        certificate: LatencyCertificate::BusBandwidth { moves },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_dfg::{DfgBuilder, OpType};
+
+    fn machine(desc: &str) -> Machine {
+        Machine::parse(desc).expect("machine")
+    }
+
+    /// Two independent 4-chains of adds.
+    fn two_chains() -> Dfg {
+        let mut b = DfgBuilder::new();
+        for _ in 0..2 {
+            let mut prev = b.add_op(OpType::Add, &[]);
+            for _ in 1..4 {
+                prev = b.add_op(OpType::Add, &[prev]);
+            }
+        }
+        b.finish().expect("acyclic")
+    }
+
+    #[test]
+    fn empty_dfg_has_zero_bounds() {
+        let dfg = DfgBuilder::new().finish().expect("empty");
+        let report = analyze(&dfg, &machine("[1,1|1,1]"));
+        assert_eq!(report.lm_bound(), (0, 0));
+        assert!(report.is_feasible());
+        assert!(report.latency.is_empty());
+    }
+
+    #[test]
+    fn critical_path_dominates_deep_graphs() {
+        let report = analyze(&two_chains(), &machine("[2,1|2,1]"));
+        assert_eq!(report.latency_bound(), 4);
+        let dom = report.dominating_latency().expect("bounds exist");
+        assert_eq!(dom.certificate.kind(), "critical-path");
+        let LatencyCertificate::CriticalPath { path } = &dom.certificate else {
+            panic!("wrong certificate");
+        };
+        assert_eq!(path.len(), 4, "unit-latency chain of 4");
+        for pair in path.windows(2) {
+            assert!(two_chains().has_edge(pair[0], pair[1]));
+        }
+    }
+
+    #[test]
+    fn resource_bound_dominates_wide_graphs() {
+        // 8 independent adds on one 1-ALU cluster: L ≥ 8 despite L_CP = 1.
+        let mut b = DfgBuilder::new();
+        for _ in 0..8 {
+            b.add_op(OpType::Add, &[]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let report = analyze(&dfg, &machine("[1,1]"));
+        assert_eq!(report.latency_bound(), 8);
+        assert_eq!(
+            report
+                .dominating_latency()
+                .expect("bound")
+                .certificate
+                .kind(),
+            "resource"
+        );
+    }
+
+    #[test]
+    fn interval_bound_beats_both_plain_bounds() {
+        // A 3-add head chain feeding 4 independent muls that all feed a
+        // 3-add tail chain, on one multiplier: the muls all have
+        // asap ≥ 3 and 3 cycles of work after completion, so
+        // L ≥ 3 + 3 + 1 + (4 − 1) = 10, while L_CP = 7 and the global
+        // mul resource bound is 4.
+        let mut b = DfgBuilder::new();
+        let mut head = b.add_op(OpType::Add, &[]);
+        for _ in 0..2 {
+            head = b.add_op(OpType::Add, &[head]);
+        }
+        let muls: Vec<OpId> = (0..4).map(|_| b.add_op(OpType::Mul, &[head])).collect();
+        let mut tail = b.add_op(OpType::Add, &muls);
+        for _ in 0..2 {
+            tail = b.add_op(OpType::Add, &[tail]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let report = analyze(&dfg, &machine("[4,1]"));
+        assert_eq!(report.latency_bound(), 10);
+        let dom = report.dominating_latency().expect("bound");
+        assert_eq!(dom.certificate.kind(), "interval");
+        let LatencyCertificate::Interval {
+            class,
+            head,
+            tail,
+            ops,
+        } = &dom.certificate
+        else {
+            panic!("wrong certificate");
+        };
+        assert_eq!(*class, FuType::Mul);
+        assert_eq!((*head, *tail), (3, 3));
+        assert_eq!(ops.len(), 4);
+    }
+
+    #[test]
+    fn disjoint_targets_force_moves() {
+        // Muls only on cluster 1, adds only on cluster 0: every
+        // mul→add edge forces a transfer.
+        let mut b = DfgBuilder::new();
+        let m0 = b.add_op(OpType::Mul, &[]);
+        let m1 = b.add_op(OpType::Mul, &[]);
+        let _ = b.add_op(OpType::Add, &[m0, m1]);
+        let dfg = b.finish().expect("acyclic");
+        let report = analyze(&dfg, &machine("[1,0|0,1]"));
+        assert_eq!(report.moves_bound(), 2);
+        let dom = report.dominating_moves().expect("bound");
+        assert_eq!(dom.certificate.kind(), "disjoint-targets");
+        // The forced transfers also imply a latency floor via the bus.
+        assert!(report
+            .latency
+            .iter()
+            .any(|b| b.certificate.kind() == "bus-bandwidth"));
+    }
+
+    #[test]
+    fn uncoverable_component_forces_a_split() {
+        // One connected mul+add component on an alu-only + mul-only
+        // machine: no single cluster hosts it.
+        let mut b = DfgBuilder::new();
+        let m = b.add_op(OpType::Mul, &[]);
+        let a = b.add_op(OpType::Add, &[m]);
+        let _ = b.add_op(OpType::Sub, &[a]);
+        let dfg = b.finish().expect("acyclic");
+        let report = analyze(&dfg, &machine("[2,0|0,2]"));
+        assert!(report
+            .moves
+            .iter()
+            .any(|b| b.certificate.kind() == "component-split" && b.moves == 1));
+        assert!(report.moves_bound() >= 1);
+    }
+
+    #[test]
+    fn coverable_components_force_nothing() {
+        let report = analyze(&two_chains(), &machine("[1,1|1,1]"));
+        assert_eq!(report.moves_bound(), 0);
+        assert!(report.moves.is_empty());
+    }
+
+    #[test]
+    fn bus_bound_counts_rounds() {
+        // 6 forced transfers over 2 buses, unit move latency, dii 1:
+        // L ≥ 2 + 1 + (⌈6/2⌉ − 1) = 5.
+        let mut b = DfgBuilder::new();
+        for _ in 0..6 {
+            let m = b.add_op(OpType::Mul, &[]);
+            let _ = b.add_op(OpType::Add, &[m]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let report = analyze(&dfg, &machine("[3,0|0,3]"));
+        assert_eq!(report.moves_bound(), 6);
+        let bus = report
+            .latency
+            .iter()
+            .find(|b| b.certificate.kind() == "bus-bandwidth")
+            .expect("bus bound");
+        assert_eq!(bus.cycles, 5);
+    }
+
+    #[test]
+    fn missing_fu_class_is_infeasible() {
+        let mut b = DfgBuilder::new();
+        let _ = b.add_op(OpType::Mul, &[]);
+        let dfg = b.finish().expect("acyclic");
+        let report = analyze(&dfg, &machine("[2,0]"));
+        assert!(!report.is_feasible());
+        let Some(Infeasibility::NoCompatibleFu { class, ops }) = &report.infeasible else {
+            panic!("expected infeasibility");
+        };
+        assert_eq!(*class, FuType::Mul);
+        assert_eq!(ops.len(), 1);
+        assert!(report
+            .infeasible
+            .as_ref()
+            .unwrap()
+            .to_string()
+            .contains("MUL"));
+        // The still-meaningful bounds survive.
+        assert_eq!(report.latency_bound(), 1);
+        assert!(report.moves.is_empty(), "move bounds are suppressed");
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let dfg = two_chains();
+        let m = machine("[1,1|1,1]");
+        assert_eq!(analyze(&dfg, &m), analyze(&dfg, &m));
+    }
+}

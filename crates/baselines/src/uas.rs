@@ -212,7 +212,7 @@ impl<'m> Uas<'m> {
                                 // Copy from the producer's home cluster.
                                 let home = binding.cluster_of(u);
                                 let ready_at = avail[home.index()][u.index()]
-                                    .expect("producers are scheduled before consumers");
+                                    .expect("producers are scheduled before consumers"); // lint:allow(no-panic)
                                 if tau < ready_at + lat_move {
                                     ok = false;
                                     break;
@@ -250,7 +250,7 @@ impl<'m> Uas<'m> {
                 let slot = pools[c.index()][t.index()]
                     .iter_mut()
                     .find(|free| **free <= tau)
-                    .expect("feasibility checked the pool");
+                    .expect("feasibility checked the pool"); // lint:allow(no-panic)
                 *slot = tau + machine.dii(t);
                 for (u, sigma) in needed {
                     bus_starts.push(sigma);
@@ -291,7 +291,7 @@ impl<'m> Uas<'m> {
                     let producer_bound = bound.dfg().preds(bv)[0];
                     let producer = bound
                         .orig_of(producer_bound)
-                        .expect("moves read regular producers");
+                        .expect("moves read regular producers"); // lint:allow(no-panic)
                     copies[&(producer, bound.cluster_of(bv))]
                 }
             })

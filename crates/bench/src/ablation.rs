@@ -26,7 +26,7 @@ pub fn ablation_workloads() -> Vec<(Kernel, Machine)> {
         (Kernel::Arf, "[1,1|1,1]"),
     ]
     .into_iter()
-    .map(|(k, d)| (k, Machine::parse(d).expect("datapath parses")))
+    .map(|(k, d)| (k, Machine::parse(d).expect("datapath parses"))) // lint:allow(no-panic)
     .collect()
 }
 
@@ -80,7 +80,7 @@ pub fn total_iter_latency(config: &BinderConfig, quality: Option<QualityKind>) -
 /// `(instances, exact_latency_hits, total_heuristic_excess_cycles)`.
 pub fn optimality_check(instances: usize) -> (usize, usize, u32) {
     use vliw_kernels::random::{generate, RandomDfgConfig};
-    let machine = Machine::parse("[1,1|1,1]").expect("machine");
+    let machine = Machine::parse("[1,1|1,1]").expect("machine"); // lint:allow(no-panic)
     let mut hits = 0;
     let mut excess = 0;
     let mut done = 0;

@@ -41,6 +41,15 @@ pub struct MeasuredRow {
     /// events. Empty unless [`BinderConfig::trace`] is on (e.g. via the
     /// binaries' `--trace-out`).
     pub phases: PhaseStats,
+    /// Certified latency lower bound of the instance
+    /// ([`vliw_binding::BindStats::lower_bound`]).
+    pub lower_bound: u32,
+    /// Relative gap of the B-ITER latency to that bound
+    /// ([`vliw_binding::BindStats::optimality_gap`]).
+    pub optimality_gap: f64,
+    /// Whether the B-ITER result is provably lexicographically optimal
+    /// ([`vliw_binding::BindStats::proved_optimal`]).
+    pub proved_optimal: bool,
 }
 
 impl MeasuredRow {
@@ -86,6 +95,9 @@ pub fn run_row(dfg: &Dfg, machine: &Machine, config: &BinderConfig) -> MeasuredR
         },
         iter_hit_rate: stats.hit_rate(),
         phases: stats.phases,
+        lower_bound: stats.lower_bound,
+        optimality_gap: stats.optimality_gap,
+        proved_optimal: stats.proved_optimal,
     }
 }
 
@@ -107,6 +119,12 @@ pub struct TrajectoryRow {
     pub wall_ms: f64,
     /// Per-phase elapsed times and counters of that bind.
     pub phases: PhaseStats,
+    /// Certified latency lower bound of the instance.
+    pub lower_bound: u32,
+    /// Relative gap of `latency` to `lower_bound`, `(L − LB) / LB`.
+    pub optimality_gap: f64,
+    /// Whether `(latency, moves)` provably equals the certified optimum.
+    pub proved_optimal: bool,
 }
 
 /// The distinct datapaths of the paper's Table 1, in first-use order.
@@ -146,6 +164,9 @@ pub fn trajectory_row(
         moves: result.moves(),
         wall_ms,
         phases: stats.phases,
+        lower_bound: stats.lower_bound,
+        optimality_gap: stats.optimality_gap,
+        proved_optimal: stats.proved_optimal,
     }
 }
 
@@ -158,7 +179,7 @@ pub fn table1_trajectory(config: &BinderConfig) -> Vec<TrajectoryRow> {
     for kernel in Kernel::ALL {
         let dfg = kernel.build();
         for datapath in &datapaths {
-            let machine = Machine::parse(datapath).expect("datapath parses");
+            let machine = Machine::parse(datapath).expect("datapath parses"); // lint:allow(no-panic)
             rows.push(trajectory_row(
                 kernel.name(),
                 datapath,
@@ -179,7 +200,7 @@ pub fn trajectory_json(table: &str, rows: &[TrajectoryRow]) -> String {
         "table": table,
         "rows": rows,
     }))
-    .expect("serializable");
+    .expect("serializable"); // lint:allow(no-panic)
     text.push('\n');
     text
 }
@@ -317,6 +338,9 @@ mod tests {
             },
             iter_hit_rate: 0.0,
             phases: PhaseStats::default(),
+            lower_bound: 8,
+            optimality_gap: 0.25,
+            proved_optimal: false,
         };
         assert!((row.init_gain_pct() - 100.0 * 2.0 / 12.0).abs() < 0.01);
         assert!((row.iter_gain_pct() - 40.0).abs() < 0.01);
@@ -366,6 +390,27 @@ mod tests {
         assert_eq!(blob["table"], "table1");
         assert_eq!(blob["rows"][0]["kernel"], "ARF");
         assert!(blob["rows"][0]["phases"]["phases"].as_array().is_some());
+        // Every trajectory row carries the certified-bound triple.
+        let lb = blob["rows"][0]["lower_bound"].as_u64().expect("bound");
+        let latency = blob["rows"][0]["latency"].as_u64().expect("latency");
+        assert!(lb > 0 && lb <= latency, "{text}");
+        assert!(blob["rows"][0]["optimality_gap"].as_f64().is_some());
+        assert!(matches!(
+            blob["rows"][0]["proved_optimal"],
+            serde_json::Value::Bool(_)
+        ));
+    }
+
+    #[test]
+    fn measured_rows_carry_sound_bounds() {
+        let dfg = Kernel::Arf.build();
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let row = run_row(&dfg, &machine, &BinderConfig::default());
+        assert!(row.lower_bound > 0 && row.lower_bound <= row.iter.0);
+        assert!(row.optimality_gap >= 0.0);
+        if row.proved_optimal {
+            assert_eq!(row.iter.0, row.lower_bound);
+        }
     }
 
     fn parse_flags(line: &str) -> Result<BinderConfig, String> {

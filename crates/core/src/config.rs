@@ -129,6 +129,17 @@ pub struct BinderConfig {
     /// leaves only the per-pass `max_iterations` safety cap.
     #[serde(default)]
     pub max_iter_rounds: Option<usize>,
+    /// Whether the B-INIT sweep anchors its `L_PR` grid at the certified
+    /// analyzer lower bound ([`crate::resource_lower_bound`]) instead of
+    /// the bare critical path: load profiles computed for target
+    /// latencies no schedule can meet mislead the greedy pass, so with
+    /// this on the sweep starts where feasible schedules start. Off by
+    /// default to keep the sweep grid (and thus results) bit-identical
+    /// to the paper-faithful driver; the certified *early exits* are
+    /// active either way, because they provably cannot change the
+    /// returned `(L, N_MV)`.
+    #[serde(default)]
+    pub lpr_anchor_bound: bool,
     /// Whether the run emits structured trace events (spans, counters)
     /// to the binder's attached [`vliw_trace::TraceSink`]s and the
     /// process-global sink, and derives per-phase
@@ -172,6 +183,7 @@ impl Default for BinderConfig {
             verify: default_verify(),
             deadline_ms: None,
             max_iter_rounds: None,
+            lpr_anchor_bound: false,
             trace: false,
         }
     }

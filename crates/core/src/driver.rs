@@ -11,27 +11,40 @@ use crate::iter;
 use crate::stats::PhaseStats;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use vliw_analysis::{analyze, BoundReport, Infeasibility};
 use vliw_datapath::Machine;
-use vliw_dfg::{critical_path_len, Dfg, FuType};
+use vliw_dfg::{critical_path_len, Dfg};
 use vliw_sched::{Binding, BoundDfg, ListScheduler, Schedule};
 use vliw_trace::{PhaseCollector, SpanCat, TraceSink, Tracer};
 
-/// A machine-independent latency floor: the critical path of `dfg`,
-/// maxed with the per-FU-type work bound `⌈|ops of type t| / #FUs(t)⌉`.
-/// No binding of `dfg` on `machine` can schedule below it, which lets
-/// [`Binder::bind_initial`] stop its sweep as soon as a candidate with
-/// zero transfers reaches the floor.
+/// The certified latency floor of a `(dfg, machine)` pair: the maximum
+/// over every bound [`vliw_analysis::analyze`] derives — critical path,
+/// per-class resource and interval (window) bounds, and the
+/// bus-bandwidth bound implied by forced transfers. No binding of `dfg`
+/// on `machine` can schedule below it.
+///
+/// This strengthens the historical contract, which ignored op-class /
+/// FU-class compatibility (it divided each class's op count by that
+/// class's *total* FU count but knew nothing of windows or forced
+/// transfers); every value returned now is still a true lower bound,
+/// just never weaker than before. The driver uses it (together with the
+/// analyzer's transfer floor) to stop sweeping or descending the moment
+/// an incumbent provably cannot be beaten.
 pub fn resource_lower_bound(dfg: &Dfg, machine: &Machine) -> u32 {
-    let lat = machine.op_latencies(dfg);
-    let mut lb = critical_path_len(dfg, &lat);
-    let (alu, mul) = dfg.regular_op_mix();
-    for (t, work) in [(FuType::Alu, alu as u32), (FuType::Mul, mul as u32)] {
-        let n = machine.fu_count_total(t);
-        if n > 0 {
-            lb = lb.max(work.div_ceil(n));
-        }
-    }
-    lb
+    analyze(dfg, machine).latency_bound()
+}
+
+/// Maps an analyzer infeasibility certificate onto the pipeline's typed
+/// error, naming the first witness operation. `None` only for a
+/// certificate with an empty witness set, which the analyzer never
+/// emits.
+fn infeasibility_error(dfg: &Dfg, inf: &Infeasibility) -> Option<BindError> {
+    let Infeasibility::NoCompatibleFu { ops, .. } = inf;
+    let &op = ops.first()?;
+    Some(BindError::Unsupported {
+        op,
+        op_type: dfg.op_type(op),
+    })
 }
 
 /// The outcome of binding a DFG: the binding itself, the bound graph with
@@ -87,7 +100,7 @@ impl BindingResult {
 /// ([`BinderConfig::deadline_ms`] / [`BinderConfig::max_iter_rounds`])
 /// cut the search short, and — with [`BinderConfig::trace`] on — the
 /// per-phase breakdown derived from the run's trace event stream.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BindStats {
     /// Evaluation-cache counters of the run.
     pub eval: EvalStats,
@@ -100,6 +113,28 @@ pub struct BindStats {
     /// [`BinderConfig::trace`] is off.
     #[serde(default)]
     pub phases: PhaseStats,
+    /// The certified latency lower bound of the instance
+    /// ([`vliw_analysis::BoundReport::latency_bound`]): no binding can
+    /// schedule in fewer cycles.
+    #[serde(default)]
+    pub lower_bound: u32,
+    /// The certified transfer lower bound
+    /// ([`vliw_analysis::BoundReport::moves_bound`]): every binding
+    /// materializes at least this many inter-cluster moves.
+    #[serde(default)]
+    pub moves_lower_bound: usize,
+    /// Relative gap of the returned latency to the certified bound,
+    /// `(L − LB) / LB` (`0.0` for the degenerate `LB = 0` empty-DFG
+    /// case). `0.0` means the latency is certifiably optimal.
+    #[serde(default)]
+    pub optimality_gap: f64,
+    /// Whether the returned result is *provably* lexicographically
+    /// optimal: its `(L, N_MV)` equals the certified
+    /// `(lower_bound, moves_lower_bound)` pair, so no other binding can
+    /// beat either component. `false` only means the certificates were
+    /// not strong enough to prove it — the result may still be optimal.
+    #[serde(default)]
+    pub proved_optimal: bool,
 }
 
 impl BindStats {
@@ -107,6 +142,32 @@ impl BindStats {
     /// [`EvalStats::hit_rate`]).
     pub fn hit_rate(&self) -> f64 {
         self.eval.hit_rate()
+    }
+
+    /// Assembles the stats of one run from its counters and the
+    /// analyzer report the run was steered by.
+    fn from_run(
+        result: &BindingResult,
+        report: &BoundReport,
+        eval: EvalStats,
+        truncated: bool,
+        phases: PhaseStats,
+    ) -> Self {
+        let (lb_l, lb_m) = report.lm_bound();
+        let gap = if lb_l == 0 {
+            0.0
+        } else {
+            f64::from(result.latency() - lb_l) / f64::from(lb_l)
+        };
+        BindStats {
+            eval,
+            truncated,
+            phases,
+            lower_bound: lb_l,
+            moves_lower_bound: lb_m,
+            optimality_gap: gap,
+            proved_optimal: result.lm() == (lb_l, lb_m),
+        }
     }
 }
 
@@ -241,9 +302,10 @@ impl<'m> Binder<'m> {
     /// `L_PR ∈ {L_CP, …}` × direction grid, evaluates the candidates
     /// with a real list schedule, and returns the lexicographically best
     /// `(L, N_MV)`. The sweep stops early once a candidate reaches the
-    /// [`resource_lower_bound`] with zero transfers — nothing later in
-    /// the sweep can beat `(L_lb, 0)`, so the result is identical to the
-    /// exhaustive sweep either way.
+    /// analyzer's certified `(latency, transfers)` floor
+    /// ([`vliw_analysis::BoundReport::lm_bound`]) — nothing later in the
+    /// sweep can beat a bound that every binding obeys, so the result is
+    /// identical to the exhaustive sweep either way.
     ///
     /// # Panics
     ///
@@ -280,26 +342,33 @@ impl<'m> Binder<'m> {
         dfg: &Dfg,
     ) -> Result<(BindingResult, BindStats), BindError> {
         validate_inputs(dfg, self.machine)?;
+        let report = analyze(dfg, self.machine);
+        if let Some(e) = report
+            .infeasible
+            .as_ref()
+            .and_then(|inf| infeasibility_error(dfg, inf))
+        {
+            return Err(e);
+        }
         let (tracer, collector) = self.run_tracer();
         let run_span = tracer.span(SpanCat::Phase, "run", vec![("ops", dfg.len().into())]);
         let budget = Budget::new(&self.config).with_tracer(tracer.clone(), &self.config);
         let evaluator = Evaluator::new(dfg, self.machine, &self.config).with_tracer(tracer.clone());
-        let result = self.bind_initial_eval(dfg, &evaluator, &budget);
+        let result = self.bind_initial_eval(dfg, &evaluator, &budget, &report);
         self.verify_result(dfg, &result, &tracer)?;
         if tracer.is_enabled() {
             tracer.counter("result_latency", u64::from(result.latency()), vec![]);
             tracer.counter("result_moves", result.moves() as u64, vec![]);
         }
         drop(run_span);
-        Ok((
-            result,
-            BindStats {
-                eval: evaluator.stats(),
-                truncated: budget.truncated(),
-                phases: collector
-                    .map_or_else(PhaseStats::default, |c| PhaseStats::from(c.totals())),
-            },
-        ))
+        let stats = BindStats::from_run(
+            &result,
+            &report,
+            evaluator.stats(),
+            budget.truncated(),
+            collector.map_or_else(PhaseStats::default, |c| PhaseStats::from(c.totals())),
+        );
+        Ok((result, stats))
     }
 
     /// [`Binder::bind_initial`] against a caller-supplied evaluator, so
@@ -313,10 +382,15 @@ impl<'m> Binder<'m> {
         dfg: &Dfg,
         evaluator: &Evaluator<'_>,
         budget: &Budget,
+        report: &BoundReport,
     ) -> BindingResult {
         let tracer = evaluator.tracer();
         let _phase = tracer.span(SpanCat::Phase, "b_init", vec![]);
-        let floor = resource_lower_bound(dfg, self.machine);
+        // A candidate meeting the certified `(L, N_MV)` floor is
+        // lexicographically unbeatable — both components are
+        // simultaneous lower bounds — so the sweep may stop there
+        // without changing its result.
+        let floor = report.lm_bound();
         // Evaluate a pool of sweep points at a time: big enough to keep
         // the workers busy, small enough that the early exit still skips
         // most of the sweep when the floor is reached quickly.
@@ -326,11 +400,11 @@ impl<'m> Binder<'m> {
             1
         };
         let mut best: Option<((u32, usize), Binding)> = None;
-        for batch in self.sweep_points(dfg).chunks(chunk) {
+        for batch in self.sweep_points(dfg, report).chunks(chunk) {
             let bindings: Vec<Binding> = batch.iter().map(|p| p.binding.clone()).collect();
             for (point, outcome) in batch.iter().zip(evaluator.outcomes(&bindings)) {
                 trace_sweep_point(tracer, point, outcome.lm());
-                if outcome.lm() == (floor, 0) {
+                if outcome.lm() == floor {
                     return evaluator.evaluate(point.binding.clone());
                 }
                 if best.as_ref().is_none_or(|(lm, _)| outcome.lm() < *lm) {
@@ -341,7 +415,7 @@ impl<'m> Binder<'m> {
                 break;
             }
         }
-        let (_, binding) = best.expect("the L_PR sweep is never empty");
+        let (_, binding) = best.expect("the L_PR sweep is never empty"); // lint:allow(no-panic)
         evaluator.evaluate(binding)
     }
 
@@ -349,16 +423,25 @@ impl<'m> Binder<'m> {
     /// sweep, in sweep order (before evaluation). A binding reachable
     /// from several `(L_PR, direction)` parameters is kept at its first
     /// occurrence, exactly as the pre-dedup enumeration visits it.
-    fn sweep_points(&self, dfg: &Dfg) -> Vec<SweepPoint> {
+    fn sweep_points(&self, dfg: &Dfg, report: &BoundReport) -> Vec<SweepPoint> {
         let lat = self.machine.op_latencies(dfg);
         let l_cp = critical_path_len(dfg, &lat);
+        // With `lpr_anchor_bound` on, the grid starts at the certified
+        // latency floor: profiles for target latencies no schedule can
+        // meet only mislead the greedy pass. Off (the default), the
+        // grid is the paper's bare `L_CP` anchor, bit-identically.
+        let anchor = if self.config.lpr_anchor_bound {
+            l_cp.max(report.latency_bound())
+        } else {
+            l_cp
+        };
         let directions: &[bool] = if self.config.try_reverse {
             &[false, true]
         } else {
             &[false]
         };
         let mut points: Vec<SweepPoint> = Vec::new();
-        for l_pr in self.config.lpr_values(l_cp) {
+        for l_pr in self.config.lpr_values(anchor) {
             for &reverse in directions {
                 let binding = initial_binding(dfg, self.machine, &self.config, l_pr, reverse);
                 if !points.iter().any(|p| p.binding == binding) {
@@ -378,7 +461,8 @@ impl<'m> Binder<'m> {
     /// top [`BinderConfig::improve_starts`] of these with B-ITER.
     pub fn initial_candidates(&self, dfg: &Dfg) -> Vec<BindingResult> {
         let evaluator = Evaluator::new(dfg, self.machine, &self.config);
-        self.initial_candidates_eval(dfg, &evaluator, &Budget::unlimited())
+        let report = analyze(dfg, self.machine);
+        self.initial_candidates_eval(dfg, &evaluator, &Budget::unlimited(), &report)
     }
 
     /// [`Binder::initial_candidates`] against a caller-supplied
@@ -393,10 +477,11 @@ impl<'m> Binder<'m> {
         dfg: &Dfg,
         evaluator: &Evaluator<'_>,
         budget: &Budget,
+        report: &BoundReport,
     ) -> Vec<BindingResult> {
         let tracer = evaluator.tracer();
         let _phase = tracer.span(SpanCat::Phase, "b_init", vec![]);
-        let points = self.sweep_points(dfg);
+        let points = self.sweep_points(dfg, report);
         let chunk = if budget.has_deadline() {
             (evaluator.threads() * 2).max(1)
         } else {
@@ -441,11 +526,18 @@ impl<'m> Binder<'m> {
     pub fn try_improve(&self, dfg: &Dfg, start: BindingResult) -> Result<BindingResult, BindError> {
         validate_inputs(dfg, self.machine)?;
         start.binding.validate(dfg, self.machine)?;
+        let report = analyze(dfg, self.machine);
         let (tracer, _collector) = self.run_tracer();
         let run_span = tracer.span(SpanCat::Phase, "run", vec![("ops", dfg.len().into())]);
         let budget = Budget::new(&self.config).with_tracer(tracer.clone(), &self.config);
         let evaluator = Evaluator::new(dfg, self.machine, &self.config).with_tracer(tracer.clone());
-        let improved = iter::improve_eval_budgeted(&evaluator, &self.config, start, &budget);
+        let improved = iter::improve_eval_budgeted(
+            &evaluator,
+            &self.config,
+            start,
+            &budget,
+            Some(report.lm_bound()),
+        );
         self.verify_result(dfg, &improved, &tracer)?;
         drop(run_span);
         Ok(improved)
@@ -503,41 +595,54 @@ impl<'m> Binder<'m> {
     /// verification.
     pub fn try_bind_with_stats(&self, dfg: &Dfg) -> Result<(BindingResult, BindStats), BindError> {
         validate_inputs(dfg, self.machine)?;
+        let report = analyze(dfg, self.machine);
+        if let Some(e) = report
+            .infeasible
+            .as_ref()
+            .and_then(|inf| infeasibility_error(dfg, inf))
+        {
+            return Err(e);
+        }
         let (tracer, collector) = self.run_tracer();
         let run_span = tracer.span(SpanCat::Phase, "run", vec![("ops", dfg.len().into())]);
         let budget = Budget::new(&self.config).with_tracer(tracer.clone(), &self.config);
         let evaluator = Evaluator::new(dfg, self.machine, &self.config).with_tracer(tracer.clone());
         let starts = self.config.improve_starts.max(1);
+        // The certified lexicographic floor: an incumbent reaching it is
+        // provably optimal, so remaining starts (and descent rounds —
+        // see `iter::improve_eval_budgeted`) can be skipped without
+        // changing the returned `(L, N_MV)`.
+        let floor = report.lm_bound();
         let mut best: Option<BindingResult> = None;
         for start in self
-            .initial_candidates_eval(dfg, &evaluator, &budget)
+            .initial_candidates_eval(dfg, &evaluator, &budget, &report)
             .into_iter()
             .take(starts)
         {
-            let improved = iter::improve_eval_budgeted(&evaluator, &self.config, start, &budget);
+            let improved =
+                iter::improve_eval_budgeted(&evaluator, &self.config, start, &budget, Some(floor));
             if best.as_ref().is_none_or(|b| improved.lm() < b.lm()) {
                 best = Some(improved);
             }
-            if budget.expired() {
+            if best.as_ref().is_some_and(|b| b.lm() == floor) || budget.expired() {
                 break;
             }
         }
-        let best = best.expect("at least one initial candidate exists");
+        let best = best.expect("at least one initial candidate exists"); // lint:allow(no-panic)
         self.verify_result(dfg, &best, &tracer)?;
         if tracer.is_enabled() {
             tracer.counter("result_latency", u64::from(best.latency()), vec![]);
             tracer.counter("result_moves", best.moves() as u64, vec![]);
         }
         drop(run_span);
-        Ok((
-            best,
-            BindStats {
-                eval: evaluator.stats(),
-                truncated: budget.truncated(),
-                phases: collector
-                    .map_or_else(PhaseStats::default, |c| PhaseStats::from(c.totals())),
-            },
-        ))
+        let stats = BindStats::from_run(
+            &best,
+            &report,
+            evaluator.stats(),
+            budget.truncated(),
+            collector.map_or_else(PhaseStats::default, |c| PhaseStats::from(c.totals())),
+        );
+        Ok((best, stats))
     }
 
     /// Runs the independent verifier over a materialized result when
@@ -705,7 +810,21 @@ mod tests {
 
     #[test]
     fn round_cap_truncates_but_stays_valid() {
-        let dfg = two_chains(6);
+        // A butterfly ladder: each layer's adds read both results of the
+        // previous layer, so no binding reaches the certified floor (a
+        // split pays bus latency, one cluster pays serialization) and
+        // the descents genuinely draw budget rounds — `two_chains` would
+        // be proved optimal before the first round.
+        let mut b = DfgBuilder::new();
+        let mut layer = (b.add_op(OpType::Add, &[]), b.add_op(OpType::Add, &[]));
+        for _ in 0..3 {
+            let (x, y) = layer;
+            layer = (
+                b.add_op(OpType::Add, &[x, y]),
+                b.add_op(OpType::Add, &[x, y]),
+            );
+        }
+        let dfg = b.finish().expect("acyclic");
         let machine = Machine::parse("[1,1|1,1]").expect("machine");
         let config = BinderConfig {
             max_iter_rounds: Some(1),

@@ -33,11 +33,10 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 use vliw_datapath::Machine;
 use vliw_dfg::Dfg;
 use vliw_sched::Binding;
-use vliw_trace::Tracer;
+use vliw_trace::{Stopwatch, Tracer};
 
 /// Below this many uncached bindings a batch is evaluated on the calling
 /// thread: spawning workers costs tens of microseconds, which dwarfs the
@@ -198,7 +197,7 @@ impl<'e> Evaluator<'e> {
         let result = BindingResult::evaluate(self.dfg, self.machine, binding);
         if let Some(memo) = &self.memo {
             memo.lock()
-                .expect("memo lock")
+                .expect("memo lock") // lint:allow(no-panic)
                 .insert(result.binding.clone(), EvalOutcome::of(&result));
         }
         result
@@ -216,7 +215,7 @@ impl<'e> Evaluator<'e> {
         let mut pending: Vec<(&Binding, Vec<usize>)> = Vec::new();
         {
             let mut seen: HashMap<&Binding, usize> = HashMap::new();
-            let memo = self.memo.as_ref().map(|m| m.lock().expect("memo lock"));
+            let memo = self.memo.as_ref().map(|m| m.lock().expect("memo lock")); // lint:allow(no-panic)
             for (i, binding) in bindings.iter().enumerate() {
                 if let Some(hit) = memo.as_ref().and_then(|m| m.get(binding)) {
                     slots[i] = Some(hit.clone());
@@ -242,7 +241,7 @@ impl<'e> Evaluator<'e> {
             .collect();
 
         if let Some(memo) = &self.memo {
-            let mut memo = memo.lock().expect("memo lock");
+            let mut memo = memo.lock().expect("memo lock"); // lint:allow(no-panic)
             for ((binding, _), outcome) in pending.iter().zip(&fresh) {
                 memo.insert((*binding).clone(), outcome.clone());
             }
@@ -250,7 +249,7 @@ impl<'e> Evaluator<'e> {
         for ((_, targets), outcome) in pending.into_iter().zip(fresh) {
             let (last, rest) = targets
                 .split_last()
-                .expect("every pending entry has a slot");
+                .expect("every pending entry has a slot"); // lint:allow(no-panic)
             for &i in rest {
                 slots[i] = Some(outcome.clone());
             }
@@ -258,7 +257,7 @@ impl<'e> Evaluator<'e> {
         }
         slots
             .into_iter()
-            .map(|s| s.expect("every slot is filled"))
+            .map(|s| s.expect("every slot is filled")) // lint:allow(no-panic)
             .collect()
     }
 
@@ -286,7 +285,7 @@ impl<'e> Evaluator<'e> {
         self.trace_cache_counters(bindings.len() - pending.len(), pending.len());
         let results = self.run_batch(pending.iter().map(|(b, _)| b.clone()).collect());
         if let Some(memo) = &self.memo {
-            let mut memo = memo.lock().expect("memo lock");
+            let mut memo = memo.lock().expect("memo lock"); // lint:allow(no-panic)
             for ((binding, _), result) in pending.iter().zip(&results) {
                 memo.insert(binding.clone(), EvalOutcome::of(result));
             }
@@ -294,7 +293,7 @@ impl<'e> Evaluator<'e> {
         for ((_, targets), result) in pending.iter().zip(results) {
             let (last, rest) = targets
                 .split_last()
-                .expect("every pending entry has a slot");
+                .expect("every pending entry has a slot"); // lint:allow(no-panic)
             for &i in rest {
                 slots[i] = Some(result.clone());
             }
@@ -302,7 +301,7 @@ impl<'e> Evaluator<'e> {
         }
         slots
             .into_iter()
-            .map(|s| s.expect("every slot is filled"))
+            .map(|s| s.expect("every slot is filled")) // lint:allow(no-panic)
             .collect()
     }
 
@@ -325,7 +324,7 @@ impl<'e> Evaluator<'e> {
     /// result order matches the input order either way.
     fn run_batch(&self, bindings: Vec<Binding>) -> Vec<BindingResult> {
         if self.threads <= 1 || bindings.len() < PARALLEL_THRESHOLD {
-            let started = self.tracer.is_enabled().then(Instant::now);
+            let started = self.tracer.is_enabled().then(Stopwatch::start);
             let evals = bindings.len();
             let results: Vec<BindingResult> = bindings
                 .into_iter()
@@ -349,7 +348,7 @@ impl<'e> Evaluator<'e> {
                         // the candidates it claims and tags results with
                         // the claimed index, so the merged output is
                         // positionally identical to a serial loop.
-                        let started = Instant::now();
+                        let started = Stopwatch::start();
                         let mut out: Vec<(usize, BindingResult)> = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -366,7 +365,7 @@ impl<'e> Evaluator<'e> {
                 .collect();
             let mut merged: Vec<(usize, BindingResult)> = Vec::with_capacity(bindings.len());
             for handle in handles {
-                let (out, busy) = handle.join().expect("evaluation worker panicked");
+                let (out, busy) = handle.join().expect("evaluation worker panicked"); // lint:allow(no-panic)
                 worker_timings.push((busy, out.len()));
                 merged.extend(out);
             }

@@ -12,7 +12,7 @@
 
 use crate::driver::BindingResult;
 use vliw_datapath::Machine;
-use vliw_dfg::{critical_path_len, topo_order, Dfg, FuType};
+use vliw_dfg::{topo_order, Dfg};
 use vliw_sched::Binding;
 
 /// Exhaustively searches all bindings of `dfg`, returning the one whose
@@ -79,21 +79,10 @@ pub fn bind_exhaustive(dfg: &Dfg, machine: &Machine, max_leaves: u64) -> Option<
         return Some(BindingResult::evaluate(dfg, machine, binding));
     }
 
-    // Absolute lower bounds for early exit: the critical path, and the
-    // per-type work bound ceil(Σ dii / N(t)) (both binding-independent).
-    let lat = machine.op_latencies(dfg);
-    let mut lower = critical_path_len(dfg, &lat);
-    for t in FuType::REGULAR {
-        let work: u32 = dfg
-            .op_ids()
-            .filter(|&v| dfg.op_type(v).fu_type() == t)
-            .count() as u32
-            * machine.dii(t);
-        let n_t = machine.fu_count_total(t);
-        if n_t > 0 && work > 0 {
-            lower = lower.max(work.div_ceil(n_t));
-        }
-    }
+    // Binding-independent certified floor for early exit: the analyzer's
+    // `(L, N_MV)` lower-bound pair. A leaf meeting both components is
+    // lexicographically unbeatable, so the search may stop there.
+    let lower = vliw_analysis::analyze(dfg, machine).lm_bound();
 
     let mut best: Option<BindingResult> = None;
     let mut binding = Binding::unbound(dfg);
@@ -119,14 +108,14 @@ fn search(
     target_sets: &[Vec<vliw_datapath::ClusterId>],
     depth: usize,
     symmetric: bool,
-    lower: u32,
+    lower: (u32, usize),
     binding: &mut Binding,
     best: &mut Option<BindingResult>,
 ) {
-    // Early exit once a provably optimal solution (latency at the lower
-    // bound with zero transfers) is in hand.
+    // Early exit once a provably optimal solution (one meeting the
+    // certified `(L, N_MV)` floor) is in hand.
     if let Some(b) = best {
-        if b.latency() == lower && b.moves() == 0 {
+        if b.lm() == lower {
             return;
         }
     }

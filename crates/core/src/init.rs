@@ -108,7 +108,7 @@ fn initial_binding_forward(
                 best = Some((icost, c));
             }
         }
-        let (_, c) = best.expect("target set is non-empty");
+        let (_, c) = best.expect("target set is non-empty"); // lint:allow(no-panic)
         profiles.commit(&binding, v, c);
         binding.bind(v, c);
     }

@@ -89,26 +89,36 @@ pub fn improve(
 }
 
 /// [`improve`] against a caller-supplied evaluator, so the memo and
-/// worker pool are shared with the rest of the run.
+/// worker pool are shared with the rest of the run. The descents stop
+/// early once the incumbent reaches the certified
+/// [`vliw_analysis::analyze`] floor — a result whose `(L, N_MV)` meets
+/// two simultaneous lower bounds cannot be improved, so the early stop
+/// never changes the outcome.
 pub fn improve_eval(
     evaluator: &Evaluator<'_>,
     config: &BinderConfig,
     start: BindingResult,
 ) -> BindingResult {
-    improve_eval_budgeted(evaluator, config, start, &Budget::unlimited())
+    let floor = vliw_analysis::analyze(evaluator.dfg(), evaluator.machine()).lm_bound();
+    improve_eval_budgeted(evaluator, config, start, &Budget::unlimited(), Some(floor))
 }
 
 /// [`improve_eval`] under a shared search [`Budget`]: both quality
 /// passes draw rounds from (and check the deadline of) the same budget,
-/// so the caller's limits bound the whole refinement.
+/// so the caller's limits bound the whole refinement. `floor` is the
+/// caller's certified `(L, N_MV)` lower-bound pair; a descent whose
+/// incumbent reaches it stops before enumerating another neighborhood.
 pub(crate) fn improve_eval_budgeted(
     evaluator: &Evaluator<'_>,
     config: &BinderConfig,
     start: BindingResult,
     budget: &Budget,
+    floor: Option<(u32, usize)>,
 ) -> BindingResult {
-    let mut current = improve_with_eval_budgeted(evaluator, config, start, QualityKind::Qu, budget);
-    current = improve_with_eval_budgeted(evaluator, config, current, QualityKind::Qm, budget);
+    let mut current =
+        improve_with_eval_budgeted(evaluator, config, start, QualityKind::Qu, budget, floor);
+    current =
+        improve_with_eval_budgeted(evaluator, config, current, QualityKind::Qm, budget, floor);
     current
 }
 
@@ -140,7 +150,7 @@ pub fn improve_with_eval(
     start: BindingResult,
     kind: QualityKind,
 ) -> BindingResult {
-    improve_with_eval_budgeted(evaluator, config, start, kind, &Budget::unlimited())
+    improve_with_eval_budgeted(evaluator, config, start, kind, &Budget::unlimited(), None)
 }
 
 /// [`improve_with_eval`] under a shared [`Budget`]. Each descent round
@@ -151,13 +161,16 @@ pub fn improve_with_eval(
 /// [`BinderConfig::verify`] on, every accepted step is re-checked by the
 /// independent verifier and any candidate producing violations is
 /// discarded — the descent falls through to the next-best strictly
-/// improving candidate instead of propagating a corrupt result.
+/// improving candidate instead of propagating a corrupt result. A
+/// `floor` of certified `(L, N_MV)` lower bounds stops the descent as
+/// soon as the incumbent meets it (provably nothing can be better).
 pub(crate) fn improve_with_eval_budgeted(
     evaluator: &Evaluator<'_>,
     config: &BinderConfig,
     start: BindingResult,
     kind: QualityKind,
     budget: &Budget,
+    floor: Option<(u32, usize)>,
 ) -> BindingResult {
     let dfg = evaluator.dfg();
     let machine = evaluator.machine();
@@ -175,6 +188,13 @@ pub(crate) fn improve_with_eval_budgeted(
     let mut current = start;
     let mut quality = Quality::measure(kind, &current.bound, &current.schedule);
     for _ in 0..config.max_iterations {
+        // Certified early stop: an incumbent whose `(L, N_MV)` equals a
+        // pair of simultaneous lower bounds is lexicographically optimal
+        // — no perturbation can beat it, so skip the neighborhood
+        // without even drawing a budget round.
+        if floor.is_some_and(|f| current.lm() == f) {
+            break;
+        }
         if !budget.take_round() {
             break;
         }

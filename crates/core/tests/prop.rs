@@ -2,7 +2,9 @@
 //! DFGs and machines.
 
 use proptest::prelude::*;
-use vliw_binding::{init, iter, Binder, BinderConfig, CostModel, Evaluator, PairMode, QualityKind};
+use vliw_binding::{
+    exact, init, iter, Binder, BinderConfig, CostModel, Evaluator, PairMode, QualityKind,
+};
 use vliw_datapath::Machine;
 use vliw_dfg::{critical_path_len, Dfg, DfgBuilder, OpType};
 use vliw_sched::Binding;
@@ -298,5 +300,52 @@ proptest! {
         let rev = init::initial_binding(&dfg, &machine, &config, l_pr, true);
         let fwd_on_t = init::initial_binding(&dfg.transposed(), &machine, &config, l_pr, false);
         prop_assert_eq!(rev, fwd_on_t);
+    }
+
+    /// The analyzer's certified `(L, N_MV)` floor never exceeds what the
+    /// full pipeline actually achieves, and every certificate it emits
+    /// survives the independent checker.
+    #[test]
+    fn certified_bounds_never_exceed_achieved(
+        dfg in arb_dfg(24),
+        machine in arb_table1_machine(),
+    ) {
+        let report = vliw_analysis::analyze(&dfg, &machine);
+        prop_assert!(vliw_sched::check_report(&dfg, &machine, &report).is_ok());
+        let result = Binder::new(&machine).bind(&dfg);
+        let (lb_l, lb_m) = report.lm_bound();
+        let (l, m) = result.lm();
+        prop_assert!(lb_l <= l, "certified L >= {} but pipeline achieved {}", lb_l, l);
+        prop_assert!(lb_m <= m, "certified N_MV >= {} but pipeline achieved {}", lb_m, m);
+    }
+
+    /// On instances small enough to enumerate every complete binding,
+    /// the certified floor also respects the exhaustive optimum — the
+    /// bounds are sound against *any* binder, not just ours.
+    #[test]
+    fn certified_bounds_never_exceed_exhaustive_optimum(
+        dfg in arb_dfg(7),
+        machine in arb_machine(),
+    ) {
+        if let Some(opt) = exact::bind_exhaustive(&dfg, &machine, 1 << 15) {
+            let (lb_l, lb_m) = vliw_analysis::analyze(&dfg, &machine).lm_bound();
+            let (l, m) = opt.lm();
+            prop_assert!(lb_l <= l, "certified L >= {} but the optimum is {}", lb_l, l);
+            prop_assert!(lb_m <= m, "certified N_MV >= {} but the optimum is {}", lb_m, m);
+        }
+    }
+
+    /// Inflating a certified bound past what its witness supports must
+    /// be caught by the checker: the claimed value has to *equal* the
+    /// re-derived one, so a +1 perturbation is always rejected.
+    #[test]
+    fn inflated_certificates_are_rejected(
+        dfg in arb_dfg(20),
+        machine in arb_table1_machine(),
+    ) {
+        let mut report = vliw_analysis::analyze(&dfg, &machine);
+        prop_assert!(!report.latency.is_empty(), "non-empty DFGs always have a critical path");
+        report.latency[0].cycles += 1;
+        prop_assert!(vliw_sched::check_report(&dfg, &machine, &report).is_err());
     }
 }

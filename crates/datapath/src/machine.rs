@@ -14,6 +14,10 @@ pub struct ClusterId(pub(crate) u32);
 
 impl ClusterId {
     /// Creates a `ClusterId` from a raw dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` does not fit in `u32`.
     #[inline]
     pub fn from_index(index: usize) -> Self {
         ClusterId(u32::try_from(index).expect("more than u32::MAX clusters"))
@@ -210,7 +214,7 @@ impl Machine {
                 let idx = OpType::REGULAR
                     .iter()
                     .position(|&q| q == p)
-                    .expect("regular op type");
+                    .expect("regular op type"); // lint:allow(no-panic)
                 self.op_latency[idx]
             }
         }

@@ -30,7 +30,7 @@ impl Machine {
             .cluster(Cluster::new(3, 1))
             .bus_count(2)
             .build()
-            .expect("preset is valid")
+            .expect("preset is valid") // lint:allow(no-panic)
     }
 
     /// An HP/ST Lx-style datapath: `clusters` identical clusters of four

@@ -27,6 +27,10 @@ impl OpId {
     ///
     /// Intended for algorithms that iterate `0..dfg.len()`; the id is only
     /// meaningful for the graph it was derived from.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` does not fit in `u32`.
     #[inline]
     pub fn from_index(index: usize) -> Self {
         OpId(u32::try_from(index).expect("DFG larger than u32::MAX operations"))

@@ -45,7 +45,7 @@ pub fn arf() -> Dfg {
     let a2 = b.add_named_op(OpType::Add, &[a1, u1_2], "acc2");
     let a3 = b.add_named_op(OpType::Add, &[a2, u1_3], "acc3");
     let _a4 = b.add_named_op(OpType::Add, &[a3, u2_3], "acc4");
-    b.finish().expect("ARF is acyclic by construction")
+    b.finish().expect("ARF is acyclic by construction") // lint:allow(no-panic)
 }
 
 #[cfg(test)]

@@ -90,7 +90,7 @@ pub fn dct_dif() -> Dfg {
     // L7: output butterflies.
     let _x3 = b.add_named_op(OpType::Add, &[a12, a11], &n("X3"));
     let _x5 = b.add_named_op(OpType::Sub, &[a13, a11], &n("X5"));
-    b.finish().expect("DCT-DIF is acyclic by construction")
+    b.finish().expect("DCT-DIF is acyclic by construction") // lint:allow(no-panic)
 }
 
 /// Builds the DCT-LEE dataflow graph (49 operations: 35 ALU, 14 MUL;
@@ -149,7 +149,7 @@ pub fn dct_lee() -> Dfg {
     let _o1 = b.add_named_op(OpType::Add, &[e1, e2], &n("X1"));
     let _o2 = b.add_named_op(OpType::Add, &[e2, e3], &n("X3"));
     let _o3 = b.add_named_op(OpType::Add, &[e3, e4], &n("X5"));
-    b.finish().expect("DCT-LEE is acyclic by construction")
+    b.finish().expect("DCT-LEE is acyclic by construction") // lint:allow(no-panic)
 }
 
 /// Emits one DCT-DIT instance: coefficient multiplications first, output
@@ -225,7 +225,7 @@ fn emit_dit(b: &mut DfgBuilder, tag: &str) {
 pub fn dct_dit() -> Dfg {
     let mut b = DfgBuilder::with_capacity(48);
     emit_dit(&mut b, "dit");
-    b.finish().expect("DCT-DIT is acyclic by construction")
+    b.finish().expect("DCT-DIT is acyclic by construction") // lint:allow(no-panic)
 }
 
 /// Builds DCT-DIT-2: two unrolled, independent DCT-DIT instances
@@ -241,7 +241,7 @@ pub fn dct_dit2() -> Dfg {
     let mut b = DfgBuilder::with_capacity(96);
     emit_dit(&mut b, "it0");
     emit_dit(&mut b, "it1");
-    b.finish().expect("DCT-DIT-2 is acyclic by construction")
+    b.finish().expect("DCT-DIT-2 is acyclic by construction") // lint:allow(no-panic)
 }
 
 #[cfg(test)]

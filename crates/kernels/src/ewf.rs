@@ -76,7 +76,7 @@ pub fn ewf() -> Dfg {
     // Output: half-sum of the two all-pass branches.
     let sum = b.add_named_op(OpType::Add, &[a2, b2], "y.sum");
     let _y = b.add_named_op(OpType::Mul, &[sum], "y.scale");
-    b.finish().expect("EWF is acyclic by construction")
+    b.finish().expect("EWF is acyclic by construction") // lint:allow(no-panic)
 }
 
 #[cfg(test)]

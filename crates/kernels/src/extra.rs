@@ -47,7 +47,7 @@ fn reduce_tree(b: &mut DfgBuilder, mut frontier: Vec<OpId>, tag: &str) -> OpId {
             .map(|(i, pair)| match pair {
                 [x, y] => b.add_named_op(OpType::Add, &[*x, *y], &format!("{tag}{level}_{i}")),
                 [x] => *x,
-                _ => unreachable!("chunks(2)"),
+                _ => unreachable!("chunks(2)"), // lint:allow(no-panic)
             })
             .collect();
     }
@@ -220,7 +220,7 @@ pub fn conv3x3() -> Dfg {
         .map(|i| b.add_named_op(OpType::Mul, &[], &format!("p{}{}", i / 3, i % 3)))
         .collect();
     reduce_tree(&mut b, products, "acc");
-    b.finish().expect("conv3x3 is acyclic by construction")
+    b.finish().expect("conv3x3 is acyclic by construction") // lint:allow(no-panic)
 }
 
 #[cfg(test)]

@@ -77,17 +77,17 @@ pub fn fft() -> Dfg {
     // kernel squares/accumulates spectrum terms right in the loop body).
     let p1 = b.add_named_op(
         OpType::Add,
-        &[s2b_top.0.expect("real"), s2b_bot.0.expect("real")],
+        &[s2b_top.0.expect("real"), s2b_bot.0.expect("real")], // lint:allow(no-panic)
         "mag.re",
     );
     let _p2 = b.add_named_op(
         OpType::Add,
-        &[s2b_top.1.expect("imag"), s2b_bot.1.expect("imag")],
+        &[s2b_top.1.expect("imag"), s2b_bot.1.expect("imag")], // lint:allow(no-panic)
         "mag.im",
     );
-    let _p3 = b.add_named_op(OpType::Add, &[p1, s2b_top.1.expect("imag")], "mag.mix");
+    let _p3 = b.add_named_op(OpType::Add, &[p1, s2b_top.1.expect("imag")], "mag.mix"); // lint:allow(no-panic)
     let _ = s2a_top;
-    b.finish().expect("FFT kernel is acyclic by construction")
+    b.finish().expect("FFT kernel is acyclic by construction") // lint:allow(no-panic)
 }
 
 #[cfg(test)]

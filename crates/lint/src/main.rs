@@ -1,0 +1,19 @@
+//! `vliw-lint` — run the workspace invariant linter from the repo root.
+//!
+//! Exits 0 when the workspace is clean, 1 when any finding is reported.
+
+use std::path::Path;
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = vliw_lint::lint_workspace(&root);
+    if findings.is_empty() {
+        println!("vliw-lint: clean (no-panic, no-hash-iter, no-instant, unsafe-forbid)");
+        return;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    eprintln!("vliw-lint: {} finding(s)", findings.len());
+    std::process::exit(1);
+}

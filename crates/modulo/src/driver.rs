@@ -100,7 +100,7 @@ impl<'m> ModuloBinder<'m> {
             let bound = bound_loop_with(looped, machine, binding);
             let schedule = scheduler
                 .schedule(&bound)
-                .expect("serial II always schedules");
+                .expect("serial II always schedules"); // lint:allow(no-panic)
             (bound, schedule)
         };
         let key =
@@ -123,7 +123,7 @@ impl<'m> ModuloBinder<'m> {
                 best = Some((candidate.binding, bound, schedule));
             }
         }
-        let (mut binding, mut bound, mut schedule) = best.expect("the driver sweep is never empty");
+        let (mut binding, mut bound, mut schedule) = best.expect("the driver sweep is never empty"); // lint:allow(no-panic)
 
         // Steepest descent: re-bind single operations anywhere in their
         // target set (the overloaded-cluster case needs non-neighbor

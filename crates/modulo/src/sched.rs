@@ -246,7 +246,7 @@ impl<'m> ModuloScheduler<'m> {
         let lat = bound.latencies(machine);
 
         // Height-based priority over intra-iteration edges.
-        let order = vliw_dfg::topo_order(dfg).expect("body is acyclic");
+        let order = vliw_dfg::topo_order(dfg).expect("body is acyclic"); // lint:allow(no-panic)
         let mut height = vec![0u32; n];
         for &v in order.iter().rev() {
             let below = dfg
@@ -325,7 +325,7 @@ impl<'m> ModuloScheduler<'m> {
                 return None;
             }
         }
-        let start: Vec<u32> = start.into_iter().map(|s| s.expect("all placed")).collect();
+        let start: Vec<u32> = start.into_iter().map(|s| s.expect("all placed")).collect(); // lint:allow(no-panic)
         let schedule = ModuloSchedule { start, ii };
         debug_assert_eq!(schedule.validate(bound, machine), Ok(()));
         Some(schedule)

@@ -87,7 +87,7 @@ fn best_cluster_among(
             best = Some((cost, c));
         }
     }
-    best.expect("feasible set is non-empty").1
+    best.expect("feasible set is non-empty").1 // lint:allow(no-panic)
 }
 
 /// Projected normalized load of cluster `c` after receiving `ops`, plus

@@ -125,7 +125,7 @@ impl<'m> Pcc<'m> {
                 best = Some(improved);
             }
         }
-        let best = best.expect("component-size sweep is never empty");
+        let best = best.expect("component-size sweep is never empty"); // lint:allow(no-panic)
         verify_result(dfg, self.machine, &best)?;
         Ok(best)
     }

@@ -63,4 +63,7 @@ pub use bound::BoundDfg;
 pub use list::{ListScheduler, SchedulePriority};
 pub use pressure::RegisterPressure;
 pub use schedule::{Schedule, ScheduleError};
-pub use verify::{verify, verify_reported, verify_traced, Violation};
+pub use verify::{
+    check_infeasibility, check_latency_bound, check_move_bound, check_report, verify,
+    verify_reported, verify_traced, CertificateError, Violation,
+};

@@ -744,3 +744,881 @@ mod tests {
         assert!(m.to_string().contains("without a covering move"));
     }
 }
+
+// ===================================================================
+// Certificate checking for the pre-binding lower bounds of
+// `vliw-analysis`.
+//
+// The analyzer derives its bounds from ASAP levels, dependence tails
+// and component structure computed with `vliw_dfg::analysis`; the
+// checkers below re-derive every quantity **from scratch** (edge-list
+// fixpoints instead of Kahn topological order, in-place flood fill
+// instead of `connected_components`) so a shared derivation bug cannot
+// vouch for itself — the same independence contract the schedule
+// verifier above honors.
+// ===================================================================
+
+use vliw_analysis::{
+    BoundReport, Infeasibility, LatencyBound, LatencyCertificate, MoveBound, MoveCertificate,
+};
+
+/// Why a [`vliw_analysis`] certificate failed to check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertificateError {
+    /// A certificate with no witness operations proves nothing.
+    EmptyWitness {
+        /// Which witness collection was empty.
+        what: &'static str,
+    },
+    /// A witness references an operation the DFG does not have.
+    UnknownOp {
+        /// The out-of-range operation.
+        op: OpId,
+    },
+    /// Two consecutive chain elements are not an edge of the DFG.
+    NotAnEdge {
+        /// Claimed producer.
+        from: OpId,
+        /// Claimed consumer.
+        to: OpId,
+    },
+    /// The claimed bound does not equal the value its witness derives.
+    ValueMismatch {
+        /// The certificate's claimed bound.
+        claimed: u64,
+        /// The value the checker re-derived from the witness.
+        derived: u64,
+        /// Which bound family the mismatch is in.
+        what: &'static str,
+    },
+    /// A witness operation does not have the claimed FU class.
+    WrongClass {
+        /// The offending operation.
+        op: OpId,
+        /// The class the certificate claims.
+        expected: FuType,
+    },
+    /// An interval/infeasibility certificate names a non-regular class.
+    NotRegularClass {
+        /// The offending class.
+        class: FuType,
+    },
+    /// A witness operation appears twice.
+    DuplicateOp {
+        /// The repeated operation.
+        op: OpId,
+    },
+    /// Two disjoint-target witness edges share a producer, so their
+    /// forced transfers may coincide.
+    DuplicateProducer {
+        /// The repeated producer.
+        op: OpId,
+    },
+    /// A witness operation starts earlier than the claimed window head.
+    HeadViolated {
+        /// The offending operation.
+        op: OpId,
+        /// The certificate's claimed head.
+        head: u32,
+        /// The checker's re-derived earliest start.
+        asap: u64,
+    },
+    /// A witness operation has less dependent work after completion
+    /// than the claimed window tail.
+    TailViolated {
+        /// The offending operation.
+        op: OpId,
+        /// The certificate's claimed tail.
+        tail: u32,
+        /// The checker's re-derived dependent work.
+        actual: u64,
+    },
+    /// A resource bound names a class with no units (which bounds
+    /// nothing — that pair is infeasible, not slow).
+    NoUnits {
+        /// The unit-less class.
+        class: FuType,
+    },
+    /// A disjoint-target witness edge is co-clusterable after all.
+    CoClusterable {
+        /// The witness producer.
+        producer: OpId,
+        /// The witness consumer.
+        consumer: OpId,
+        /// A cluster supporting both.
+        cluster: ClusterId,
+    },
+    /// A component witness fits on a single cluster after all.
+    Coverable {
+        /// A cluster supporting every witness operation.
+        cluster: ClusterId,
+    },
+    /// A component witness is not weakly connected.
+    Disconnected {
+        /// An operation unreachable from the component's first op.
+        op: OpId,
+    },
+    /// An infeasibility certificate names a class the machine serves.
+    FeasibleClass {
+        /// The class that does have units.
+        class: FuType,
+    },
+}
+
+impl fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertificateError::EmptyWitness { what } => write!(f, "empty {what} witness"),
+            CertificateError::UnknownOp { op } => write!(f, "witness names unknown op {op}"),
+            CertificateError::NotAnEdge { from, to } => {
+                write!(f, "chain step {from} -> {to} is not a DFG edge")
+            }
+            CertificateError::ValueMismatch {
+                claimed,
+                derived,
+                what,
+            } => write!(
+                f,
+                "{what} bound claims {claimed} but its witness derives {derived}"
+            ),
+            CertificateError::WrongClass { op, expected } => {
+                write!(f, "witness op {op} is not of class {expected}")
+            }
+            CertificateError::NotRegularClass { class } => {
+                write!(f, "{class} is not a regular FU class")
+            }
+            CertificateError::DuplicateOp { op } => write!(f, "witness op {op} appears twice"),
+            CertificateError::DuplicateProducer { op } => {
+                write!(f, "producer {op} appears in two witness edges")
+            }
+            CertificateError::HeadViolated { op, head, asap } => {
+                write!(
+                    f,
+                    "op {op} can start at {asap}, before the claimed head {head}"
+                )
+            }
+            CertificateError::TailViolated { op, tail, actual } => write!(
+                f,
+                "op {op} has {actual} dependent cycles after completion, \
+                 below the claimed tail {tail}"
+            ),
+            CertificateError::NoUnits { class } => {
+                write!(f, "resource bound names class {class} with zero units")
+            }
+            CertificateError::CoClusterable {
+                producer,
+                consumer,
+                cluster,
+            } => write!(
+                f,
+                "edge {producer} -> {consumer} is co-clusterable on {cluster}"
+            ),
+            CertificateError::Coverable { cluster } => {
+                write!(f, "component witness fits entirely on {cluster}")
+            }
+            CertificateError::Disconnected { op } => {
+                write!(f, "component witness is not connected at {op}")
+            }
+            CertificateError::FeasibleClass { class } => {
+                write!(
+                    f,
+                    "infeasibility claims class {class}, but the machine has units for it"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertificateError {}
+
+/// Ensures `op` indexes into `dfg`.
+fn known(dfg: &Dfg, op: OpId) -> Result<(), CertificateError> {
+    if op.index() < dfg.len() {
+        Ok(())
+    } else {
+        Err(CertificateError::UnknownOp { op })
+    }
+}
+
+/// Earliest start levels, re-derived by edge-list fixpoint relaxation
+/// (acyclic graphs converge in at most `|V|` passes; one extra pass
+/// detects the cycles `DfgBuilder` already rejects, returning the
+/// partial levels, which only makes the head check stricter).
+fn asap_by_relaxation(dfg: &Dfg, machine: &Machine) -> Vec<u64> {
+    let lat: Vec<u64> = dfg
+        .op_ids()
+        .map(|v| u64::from(machine.latency(dfg.op_type(v))))
+        .collect();
+    let mut asap = vec![0u64; dfg.len()];
+    for _ in 0..=dfg.len() {
+        let mut changed = false;
+        for (u, v) in dfg.edges() {
+            let finish = asap[u.index()] + lat[u.index()];
+            if finish > asap[v.index()] {
+                asap[v.index()] = finish;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    asap
+}
+
+/// Dependent work after each operation completes, re-derived by the
+/// reverse fixpoint.
+fn tail_by_relaxation(dfg: &Dfg, machine: &Machine) -> Vec<u64> {
+    let lat: Vec<u64> = dfg
+        .op_ids()
+        .map(|v| u64::from(machine.latency(dfg.op_type(v))))
+        .collect();
+    let mut tail = vec![0u64; dfg.len()];
+    for _ in 0..=dfg.len() {
+        let mut changed = false;
+        for (u, v) in dfg.edges() {
+            let through = lat[v.index()] + tail[v.index()];
+            if through > tail[u.index()] {
+                tail[u.index()] = through;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    tail
+}
+
+/// Checks one latency lower bound against its certificate.
+///
+/// Certificates are tight by construction, so the claimed value must
+/// *equal* the value the checker re-derives from the witness — a
+/// weaker-than-witness claim is treated as corruption, not charity.
+///
+/// # Errors
+///
+/// The first [`CertificateError`] found, if the witness does not
+/// support the claim.
+pub fn check_latency_bound(
+    dfg: &Dfg,
+    machine: &Machine,
+    bound: &LatencyBound,
+) -> Result<(), CertificateError> {
+    match &bound.certificate {
+        LatencyCertificate::CriticalPath { path } => {
+            if path.is_empty() {
+                return Err(CertificateError::EmptyWitness {
+                    what: "critical-path",
+                });
+            }
+            for &v in path {
+                known(dfg, v)?;
+            }
+            for pair in path.windows(2) {
+                if !dfg.has_edge(pair[0], pair[1]) {
+                    return Err(CertificateError::NotAnEdge {
+                        from: pair[0],
+                        to: pair[1],
+                    });
+                }
+            }
+            let derived: u64 = path
+                .iter()
+                .map(|&v| u64::from(machine.latency(dfg.op_type(v))))
+                .sum();
+            if u64::from(bound.cycles) != derived {
+                return Err(CertificateError::ValueMismatch {
+                    claimed: u64::from(bound.cycles),
+                    derived,
+                    what: "critical-path",
+                });
+            }
+            Ok(())
+        }
+        LatencyCertificate::Interval {
+            class,
+            head,
+            tail,
+            ops,
+        } => {
+            if !class.is_regular() {
+                return Err(CertificateError::NotRegularClass { class: *class });
+            }
+            if ops.is_empty() {
+                return Err(CertificateError::EmptyWitness { what: "interval" });
+            }
+            let mut seen = vec![false; dfg.len()];
+            for &v in ops {
+                known(dfg, v)?;
+                if seen[v.index()] {
+                    return Err(CertificateError::DuplicateOp { op: v });
+                }
+                seen[v.index()] = true;
+                if dfg.op_type(v).fu_type() != *class {
+                    return Err(CertificateError::WrongClass {
+                        op: v,
+                        expected: *class,
+                    });
+                }
+            }
+            let n_fus = machine.fu_count_total(*class);
+            if n_fus == 0 {
+                return Err(CertificateError::NoUnits { class: *class });
+            }
+            let asap = asap_by_relaxation(dfg, machine);
+            let tails = tail_by_relaxation(dfg, machine);
+            for &v in ops {
+                if asap[v.index()] < u64::from(*head) {
+                    return Err(CertificateError::HeadViolated {
+                        op: v,
+                        head: *head,
+                        asap: asap[v.index()],
+                    });
+                }
+                if tails[v.index()] < u64::from(*tail) {
+                    return Err(CertificateError::TailViolated {
+                        op: v,
+                        tail: *tail,
+                        actual: tails[v.index()],
+                    });
+                }
+            }
+            let lat_min: u64 = ops
+                .iter()
+                .map(|&v| u64::from(machine.latency(dfg.op_type(v))))
+                .min()
+                .unwrap_or(0);
+            let rounds = (ops.len() as u64).div_ceil(u64::from(n_fus));
+            let derived = u64::from(*head)
+                + u64::from(*tail)
+                + lat_min
+                + u64::from(machine.dii(*class)) * (rounds - 1);
+            if u64::from(bound.cycles) != derived {
+                return Err(CertificateError::ValueMismatch {
+                    claimed: u64::from(bound.cycles),
+                    derived,
+                    what: "interval",
+                });
+            }
+            Ok(())
+        }
+        LatencyCertificate::BusBandwidth { moves } => {
+            check_move_bound(dfg, machine, moves)?;
+            let per_bus = (moves.moves as u64).div_ceil(u64::from(machine.bus_count().max(1)));
+            let derived = 2
+                + u64::from(machine.move_latency())
+                + u64::from(machine.dii(FuType::Bus)) * (per_bus - 1);
+            if u64::from(bound.cycles) != derived {
+                return Err(CertificateError::ValueMismatch {
+                    claimed: u64::from(bound.cycles),
+                    derived,
+                    what: "bus-bandwidth",
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Checks one transfer-count lower bound against its certificate.
+///
+/// # Errors
+///
+/// The first [`CertificateError`] found, if the witness does not
+/// support the claim.
+pub fn check_move_bound(
+    dfg: &Dfg,
+    machine: &Machine,
+    bound: &MoveBound,
+) -> Result<(), CertificateError> {
+    match &bound.certificate {
+        MoveCertificate::DisjointTargets { edges } => {
+            if edges.is_empty() {
+                return Err(CertificateError::EmptyWitness {
+                    what: "disjoint-targets",
+                });
+            }
+            let mut producer_seen = vec![false; dfg.len()];
+            for &(u, v) in edges {
+                known(dfg, u)?;
+                known(dfg, v)?;
+                if producer_seen[u.index()] {
+                    return Err(CertificateError::DuplicateProducer { op: u });
+                }
+                producer_seen[u.index()] = true;
+                if !dfg.has_edge(u, v) {
+                    return Err(CertificateError::NotAnEdge { from: u, to: v });
+                }
+                let (tu, tv) = (dfg.op_type(u), dfg.op_type(v));
+                if let Some(c) = machine
+                    .cluster_ids()
+                    .find(|&c| machine.supports(c, tu) && machine.supports(c, tv))
+                {
+                    return Err(CertificateError::CoClusterable {
+                        producer: u,
+                        consumer: v,
+                        cluster: c,
+                    });
+                }
+            }
+            if bound.moves != edges.len() {
+                return Err(CertificateError::ValueMismatch {
+                    claimed: bound.moves as u64,
+                    derived: edges.len() as u64,
+                    what: "disjoint-targets",
+                });
+            }
+            Ok(())
+        }
+        MoveCertificate::ComponentSplit { components } => {
+            if components.is_empty() {
+                return Err(CertificateError::EmptyWitness {
+                    what: "component-split",
+                });
+            }
+            let mut member = vec![false; dfg.len()];
+            for comp in components {
+                let Some(&first) = comp.first() else {
+                    return Err(CertificateError::EmptyWitness {
+                        what: "component-split",
+                    });
+                };
+                let mut in_comp = vec![false; dfg.len()];
+                for &v in comp {
+                    known(dfg, v)?;
+                    if member[v.index()] {
+                        return Err(CertificateError::DuplicateOp { op: v });
+                    }
+                    member[v.index()] = true;
+                    in_comp[v.index()] = true;
+                }
+                // Flood fill inside the witness set: weak connectivity.
+                let mut reached = vec![false; dfg.len()];
+                let mut stack = vec![first];
+                reached[first.index()] = true;
+                while let Some(v) = stack.pop() {
+                    for &w in dfg.preds(v).iter().chain(dfg.succs(v)) {
+                        if in_comp[w.index()] && !reached[w.index()] {
+                            reached[w.index()] = true;
+                            stack.push(w);
+                        }
+                    }
+                }
+                if let Some(&stranded) = comp.iter().find(|&&v| !reached[v.index()]) {
+                    return Err(CertificateError::Disconnected { op: stranded });
+                }
+                if let Some(c) = machine
+                    .cluster_ids()
+                    .find(|&c| comp.iter().all(|&v| machine.supports(c, dfg.op_type(v))))
+                {
+                    return Err(CertificateError::Coverable { cluster: c });
+                }
+            }
+            if bound.moves != components.len() {
+                return Err(CertificateError::ValueMismatch {
+                    claimed: bound.moves as u64,
+                    derived: components.len() as u64,
+                    what: "component-split",
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Checks a structural infeasibility certificate.
+///
+/// # Errors
+///
+/// The first [`CertificateError`] found, if the certificate does not
+/// establish infeasibility.
+pub fn check_infeasibility(
+    dfg: &Dfg,
+    machine: &Machine,
+    inf: &Infeasibility,
+) -> Result<(), CertificateError> {
+    match inf {
+        Infeasibility::NoCompatibleFu { class, ops } => {
+            if !class.is_regular() {
+                return Err(CertificateError::NotRegularClass { class: *class });
+            }
+            if ops.is_empty() {
+                return Err(CertificateError::EmptyWitness {
+                    what: "infeasibility",
+                });
+            }
+            if machine.fu_count_total(*class) != 0 {
+                return Err(CertificateError::FeasibleClass { class: *class });
+            }
+            for &v in ops {
+                known(dfg, v)?;
+                if dfg.op_type(v).fu_type() != *class {
+                    return Err(CertificateError::WrongClass {
+                        op: v,
+                        expected: *class,
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Checks every certificate of a [`BoundReport`] against the
+/// `(Dfg, Machine)` pair it claims to bound.
+///
+/// # Errors
+///
+/// The first [`CertificateError`] found across the report's latency
+/// bounds, move bounds and infeasibility certificate.
+pub fn check_report(
+    dfg: &Dfg,
+    machine: &Machine,
+    report: &BoundReport,
+) -> Result<(), CertificateError> {
+    for bound in &report.latency {
+        check_latency_bound(dfg, machine, bound)?;
+    }
+    for bound in &report.moves {
+        check_move_bound(dfg, machine, bound)?;
+    }
+    if let Some(inf) = &report.infeasible {
+        check_infeasibility(dfg, machine, inf)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod cert_tests {
+    use super::*;
+    use vliw_analysis::analyze;
+    use vliw_dfg::DfgBuilder;
+
+    fn machine(desc: &str) -> Machine {
+        Machine::parse(desc).expect("machine")
+    }
+
+    /// A mul-heavy diamond with a forced-transfer structure on
+    /// heterogeneous machines.
+    fn sample() -> Dfg {
+        let mut b = DfgBuilder::new();
+        let m0 = b.add_op(OpType::Mul, &[]);
+        let m1 = b.add_op(OpType::Mul, &[]);
+        let a0 = b.add_op(OpType::Add, &[m0, m1]);
+        let m2 = b.add_op(OpType::Mul, &[a0]);
+        let _ = b.add_op(OpType::Add, &[m2, a0]);
+        b.finish().expect("acyclic")
+    }
+
+    #[test]
+    fn analyzer_reports_check_clean() {
+        let dfg = sample();
+        for desc in [
+            "[1,1|1,1]",
+            "[2,1]",
+            "[1,0|0,1]",
+            "[2,0|0,2]",
+            "[3,1|1,1|1,1]",
+        ] {
+            let m = machine(desc);
+            let report = analyze(&dfg, &m);
+            check_report(&dfg, &m, &report).unwrap_or_else(|e| panic!("{desc}: {e}"));
+        }
+    }
+
+    #[test]
+    fn corrupted_critical_path_rejected() {
+        let dfg = sample();
+        let m = machine("[1,1|1,1]");
+        let report = analyze(&dfg, &m);
+        let cp = report
+            .latency
+            .iter()
+            .find(|b| matches!(b.certificate, LatencyCertificate::CriticalPath { .. }))
+            .expect("critical path bound")
+            .clone();
+
+        // Inflating the claim breaks the value equality.
+        let mut inflated = cp.clone();
+        inflated.cycles += 1;
+        assert!(matches!(
+            check_latency_bound(&dfg, &m, &inflated),
+            Err(CertificateError::ValueMismatch { .. })
+        ));
+
+        // Removing a middle chain element breaks edge-ness.
+        let LatencyCertificate::CriticalPath { mut path } = cp.certificate.clone() else {
+            unreachable!()
+        };
+        assert!(path.len() >= 3, "sample has a 3-op chain");
+        path.remove(1);
+        let broken = LatencyBound {
+            cycles: cp.cycles,
+            certificate: LatencyCertificate::CriticalPath { path },
+        };
+        assert!(matches!(
+            check_latency_bound(&dfg, &m, &broken),
+            Err(CertificateError::NotAnEdge { .. })
+        ));
+
+        // An empty chain proves nothing.
+        let empty = LatencyBound {
+            cycles: 0,
+            certificate: LatencyCertificate::CriticalPath { path: Vec::new() },
+        };
+        assert!(matches!(
+            check_latency_bound(&dfg, &m, &empty),
+            Err(CertificateError::EmptyWitness { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_interval_rejected() {
+        let dfg = sample();
+        let m = machine("[1,1]");
+        let report = analyze(&dfg, &m);
+        let iv = report
+            .latency
+            .iter()
+            .find(|b| matches!(b.certificate, LatencyCertificate::Interval { .. }))
+            .expect("interval bound")
+            .clone();
+        let LatencyCertificate::Interval {
+            class,
+            head,
+            tail,
+            ops,
+        } = iv.certificate.clone()
+        else {
+            unreachable!()
+        };
+
+        // Claiming a later head than the ops allow.
+        let late_head = LatencyBound {
+            cycles: iv.cycles + 5,
+            certificate: LatencyCertificate::Interval {
+                class,
+                head: head + 5,
+                tail,
+                ops: ops.clone(),
+            },
+        };
+        assert!(matches!(
+            check_latency_bound(&dfg, &m, &late_head),
+            Err(CertificateError::HeadViolated { .. })
+        ));
+
+        // Padding the witness with a duplicate op.
+        let mut padded_ops = ops.clone();
+        padded_ops.push(ops[0]);
+        let padded = LatencyBound {
+            cycles: iv.cycles,
+            certificate: LatencyCertificate::Interval {
+                class,
+                head,
+                tail,
+                ops: padded_ops,
+            },
+        };
+        assert!(matches!(
+            check_latency_bound(&dfg, &m, &padded),
+            Err(CertificateError::DuplicateOp { .. })
+        ));
+
+        // Smuggling in an op of the wrong class.
+        let foreign = dfg
+            .op_ids()
+            .find(|&v| dfg.op_type(v).fu_type() != class)
+            .expect("mixed graph");
+        let mut wrong_ops = ops.clone();
+        wrong_ops[0] = foreign;
+        let wrong = LatencyBound {
+            cycles: iv.cycles,
+            certificate: LatencyCertificate::Interval {
+                class,
+                head,
+                tail,
+                ops: wrong_ops,
+            },
+        };
+        assert!(matches!(
+            check_latency_bound(&dfg, &m, &wrong),
+            Err(CertificateError::WrongClass { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_disjoint_targets_rejected() {
+        let dfg = sample();
+        let m = machine("[1,0|0,1]");
+        let report = analyze(&dfg, &m);
+        let dt = report
+            .moves
+            .iter()
+            .find(|b| matches!(b.certificate, MoveCertificate::DisjointTargets { .. }))
+            .expect("disjoint-targets bound")
+            .clone();
+        let MoveCertificate::DisjointTargets { edges } = dt.certificate.clone() else {
+            unreachable!()
+        };
+
+        // On a homogeneous machine the same witness is co-clusterable.
+        let homog = machine("[1,1|1,1]");
+        assert!(matches!(
+            check_move_bound(&dfg, &homog, &dt),
+            Err(CertificateError::CoClusterable { .. })
+        ));
+
+        // Repeating a producer would double-count its transfer.
+        let mut doubled = edges.clone();
+        doubled.push(edges[0]);
+        let bad = MoveBound {
+            moves: doubled.len(),
+            certificate: MoveCertificate::DisjointTargets { edges: doubled },
+        };
+        assert!(matches!(
+            check_move_bound(&dfg, &m, &bad),
+            Err(CertificateError::DuplicateProducer { .. })
+        ));
+
+        // A non-edge pair proves nothing about data flow.
+        let not_edge = MoveBound {
+            moves: 1,
+            certificate: MoveCertificate::DisjointTargets {
+                edges: vec![(edges[0].0, edges[0].0)],
+            },
+        };
+        assert!(matches!(
+            check_move_bound(&dfg, &m, &not_edge),
+            Err(CertificateError::NotAnEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_component_split_rejected() {
+        let dfg = sample();
+        let m = machine("[2,0|0,2]");
+        let report = analyze(&dfg, &m);
+        let cs = report
+            .moves
+            .iter()
+            .find(|b| matches!(b.certificate, MoveCertificate::ComponentSplit { .. }))
+            .expect("component-split bound")
+            .clone();
+        let MoveCertificate::ComponentSplit { components } = cs.certificate.clone() else {
+            unreachable!()
+        };
+
+        // The same witness is coverable on a homogeneous machine.
+        let homog = machine("[1,1|1,1]");
+        assert!(matches!(
+            check_move_bound(&dfg, &homog, &cs),
+            Err(CertificateError::Coverable { .. })
+        ));
+
+        // Claiming one component as two (double-counts the same cut).
+        let split: Vec<Vec<OpId>> = vec![components[0].clone(), components[0].clone()];
+        let doubled = MoveBound {
+            moves: 2,
+            certificate: MoveCertificate::ComponentSplit { components: split },
+        };
+        assert!(matches!(
+            check_move_bound(&dfg, &m, &doubled),
+            Err(CertificateError::DuplicateOp { .. })
+        ));
+
+        // A disconnected "component" cannot force an internal cut.
+        let muls: Vec<OpId> = dfg
+            .op_ids()
+            .filter(|&v| dfg.op_type(v) == OpType::Mul)
+            .collect();
+        assert!(muls.len() >= 2);
+        let scattered = MoveBound {
+            moves: 1,
+            certificate: MoveCertificate::ComponentSplit {
+                components: vec![vec![muls[0], muls[1]]],
+            },
+        };
+        assert!(matches!(
+            check_move_bound(&dfg, &m, &scattered),
+            Err(CertificateError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_bus_bound_rejected() {
+        let mut b = DfgBuilder::new();
+        let m0 = b.add_op(OpType::Mul, &[]);
+        let _ = b.add_op(OpType::Add, &[m0]);
+        let dfg = b.finish().expect("acyclic");
+        let m = machine("[1,0|0,1]");
+        let report = analyze(&dfg, &m);
+        let bus = report
+            .latency
+            .iter()
+            .find(|b| matches!(b.certificate, LatencyCertificate::BusBandwidth { .. }))
+            .expect("bus bound")
+            .clone();
+        check_latency_bound(&dfg, &m, &bus).expect("genuine bound checks");
+        let mut tampered = bus.clone();
+        tampered.cycles += 3;
+        assert!(matches!(
+            check_latency_bound(&dfg, &m, &tampered),
+            Err(CertificateError::ValueMismatch { .. })
+        ));
+        // Corruption inside the nested move bound is also caught.
+        let LatencyCertificate::BusBandwidth { mut moves } = bus.certificate.clone() else {
+            unreachable!()
+        };
+        moves.moves += 1;
+        let nested = LatencyBound {
+            cycles: bus.cycles,
+            certificate: LatencyCertificate::BusBandwidth { moves },
+        };
+        assert!(check_latency_bound(&dfg, &m, &nested).is_err());
+    }
+
+    #[test]
+    fn infeasibility_cross_checked() {
+        let mut b = DfgBuilder::new();
+        let _ = b.add_op(OpType::Mul, &[]);
+        let dfg = b.finish().expect("acyclic");
+        let no_mul = machine("[2,0]");
+        let report = analyze(&dfg, &no_mul);
+        let inf = report.infeasible.clone().expect("infeasible pair");
+        check_infeasibility(&dfg, &no_mul, &inf).expect("genuine certificate");
+        check_report(&dfg, &no_mul, &report).expect("whole report checks");
+        // The same certificate is a lie about a machine with MULs.
+        let with_mul = machine("[2,1]");
+        assert!(matches!(
+            check_infeasibility(&dfg, &with_mul, &inf),
+            Err(CertificateError::FeasibleClass { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_ops_rejected_everywhere() {
+        let dfg = sample();
+        let m = machine("[1,1|1,1]");
+        let ghost = OpId::from_index(dfg.len() + 7);
+        let chain = LatencyBound {
+            cycles: 1,
+            certificate: LatencyCertificate::CriticalPath { path: vec![ghost] },
+        };
+        assert!(matches!(
+            check_latency_bound(&dfg, &m, &chain),
+            Err(CertificateError::UnknownOp { .. })
+        ));
+        let comp = MoveBound {
+            moves: 1,
+            certificate: MoveCertificate::ComponentSplit {
+                components: vec![vec![ghost]],
+            },
+        };
+        assert!(matches!(
+            check_move_bound(&dfg, &m, &comp),
+            Err(CertificateError::UnknownOp { .. })
+        ));
+    }
+}

@@ -4,6 +4,7 @@
 //! ```text
 //! vliw kernels                                 list built-in kernels
 //! vliw stats   --kernel EWF                    N_V / N_CC / L_CP / op mix
+//! vliw analyze ewf 2x11                        certified lower bounds + gap
 //! vliw bind    --kernel FFT --machine "[2,1|1,1]" [--algo biter] [--json]
 //! vliw trace   ewf 2x11 [--out trace.jsonl]    per-phase timing breakdown
 //! vliw dot     --kernel ARF --machine "[1,1|1,1]"    bound-DFG Graphviz
@@ -112,6 +113,10 @@ usage: vliw <command> [--flag value ...]
 commands:
   kernels                               list built-in kernels
   stats   --kernel K | --dfg FILE       graph statistics
+  analyze KERNEL DATAPATH               certified pre-binding lower bounds,
+          the dominating certificate of each, the achieved (L, N_MV) and
+          the optimality gap; exits nonzero if any certificate fails the
+          independent checker or a bound exceeds the achieved result
   bind    --kernel K | --dfg FILE  --machine \"[2,1|1,1]\"
           [--algo binit|biter|pcc|uas|sa] [--buses N] [--move-latency N]
           [--json | --asm]
@@ -134,6 +139,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     match args.command.as_str() {
         "kernels" => Ok(cmd_kernels()),
         "stats" => cmd_stats(args),
+        "analyze" => cmd_analyze(args),
         "bind" => cmd_bind(args),
         "trace" => cmd_trace(args),
         "dot" => cmd_dot(args),
@@ -254,6 +260,149 @@ fn run_algo(
     .map_err(|e| err(format!("{algo} binding failed: {e}")))
 }
 
+/// One-line witness summary of a latency certificate for the
+/// `vliw analyze` breakdown.
+fn describe_latency_certificate(c: &vliw_analysis::LatencyCertificate) -> String {
+    use vliw_analysis::LatencyCertificate::*;
+    match c {
+        CriticalPath { path } => format!("dependence chain of {} operations", path.len()),
+        Interval {
+            class,
+            head,
+            tail,
+            ops,
+        } => {
+            if *head == 0 && *tail == 0 {
+                format!(
+                    "{} {class} operations share the machine's {class} units",
+                    ops.len()
+                )
+            } else {
+                format!(
+                    "{} {class} operations squeezed between head {head} and tail {tail}",
+                    ops.len()
+                )
+            }
+        }
+        BusBandwidth { moves } => format!(
+            "{} forced transfers ({}) serialize on the bus",
+            moves.moves,
+            moves.certificate.kind()
+        ),
+    }
+}
+
+/// One-line witness summary of a transfer-count certificate.
+fn describe_move_certificate(c: &vliw_analysis::MoveCertificate) -> String {
+    use vliw_analysis::MoveCertificate::*;
+    match c {
+        DisjointTargets { edges } => format!(
+            "{} producers feed consumers no shared cluster can execute",
+            edges.len()
+        ),
+        ComponentSplit { components } => format!(
+            "{} connected components exceed every single cluster's FU mix",
+            components.len()
+        ),
+    }
+}
+
+fn cmd_analyze(args: &Args) -> Result<String, CliError> {
+    // `vliw analyze ewf 2x11`: kernel and datapath as positionals, with
+    // the flag spellings (`--kernel`/`--dfg`, `--machine`) as fallback.
+    let dfg = match args.positional(0) {
+        Some(name) => kernel_dfg(name)?,
+        None => load_dfg(args)?,
+    };
+    let label = args
+        .positional(0)
+        .or_else(|| args.get("kernel"))
+        .map_or_else(|| "input".to_owned(), str::to_uppercase);
+    let machine = match args.positional(1) {
+        Some(spec) => parse_datapath(spec)?,
+        None => load_machine(args)?,
+    };
+
+    let report = vliw_analysis::analyze(&dfg, &machine);
+    // Every emitted certificate must survive the independent checker —
+    // a failure here means the analyzer itself is broken, so it is a
+    // hard error, not a warning.
+    vliw_sched::check_report(&dfg, &machine, &report)
+        .map_err(|e| err(format!("certificate failed the independent checker: {e}")))?;
+
+    let mut out = String::new();
+    if let Some(inf) = &report.infeasible {
+        let _ = writeln!(out, "{label} on {machine}: INFEASIBLE — {inf}");
+        return Ok(out);
+    }
+    let (lb_l, lb_m) = report.lm_bound();
+    let _ = writeln!(
+        out,
+        "{label} on {machine}: certified L >= {lb_l}, N_MV >= {lb_m}"
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "latency bounds (— = dominated, * = dominating):");
+    let dominating = report.dominating_latency().map(|b| b as *const _);
+    for b in &report.latency {
+        let marker = if Some(b as *const _) == dominating {
+            '*'
+        } else {
+            '—'
+        };
+        let _ = writeln!(
+            out,
+            "  {marker} {:<14} {:>4} cycles   {}",
+            b.certificate.kind(),
+            b.cycles,
+            describe_latency_certificate(&b.certificate)
+        );
+    }
+    let _ = writeln!(out, "transfer bounds:");
+    if report.moves.is_empty() {
+        let _ = writeln!(out, "  (none — no inter-cluster transfer is forced)");
+    }
+    let dominating = report.dominating_moves().map(|b| b as *const _);
+    for b in &report.moves {
+        let marker = if Some(b as *const _) == dominating {
+            '*'
+        } else {
+            '—'
+        };
+        let _ = writeln!(
+            out,
+            "  {marker} {:<16} {:>3} moves    {}",
+            b.certificate.kind(),
+            b.moves,
+            describe_move_certificate(&b.certificate)
+        );
+    }
+
+    // Cross-check against the achieved result: a certified lower bound
+    // above what the binder actually schedules disproves the
+    // certificate chain, so treat it as a hard failure.
+    let binder = Binder::new(&machine);
+    let (result, stats) = binder
+        .try_bind_with_stats(&dfg)
+        .map_err(|e| err(format!("binding failed: {e}")))?;
+    if result.latency() < lb_l || result.moves() < lb_m {
+        return Err(err(format!(
+            "UNSOUND: achieved ({}, {}) beats the certified bound ({lb_l}, {lb_m})",
+            result.latency(),
+            result.moves()
+        )));
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "achieved (B-ITER): L = {}, N_MV = {}  gap {:.1}%  proved optimal: {}",
+        result.latency(),
+        result.moves(),
+        100.0 * stats.optimality_gap,
+        if stats.proved_optimal { "yes" } else { "no" }
+    );
+    Ok(out)
+}
+
 fn cmd_bind(args: &Args) -> Result<String, CliError> {
     let dfg = load_dfg(args)?;
     let machine = load_machine(args)?;
@@ -355,7 +504,7 @@ fn cmd_trace(args: &Args) -> Result<String, CliError> {
     )
     .with_trace_sink(sink.clone());
     let (result, stats) = run_algo(algo, &dfg, &machine, binder)?;
-    let stats = stats.expect("the traced pipeline reports stats");
+    let stats = stats.expect("the traced pipeline reports stats"); // lint:allow(no-panic)
     let events = sink.events();
 
     let mut out = String::new();
@@ -453,6 +602,14 @@ fn cmd_trace(args: &Args) -> Result<String, CliError> {
         out,
         "verify       {} violations",
         stats.phases.counter_total("verify_violations")
+    );
+    let _ = writeln!(
+        out,
+        "bound        certified L >= {}, N_MV >= {}; optimality gap {:.1}%; proved optimal: {}",
+        stats.lower_bound,
+        stats.moves_lower_bound,
+        100.0 * stats.optimality_gap,
+        if stats.proved_optimal { "yes" } else { "no" }
     );
 
     if let Some(path) = args.get("out") {
@@ -790,6 +947,68 @@ mod tests {
         let out = run_line("bind --kernel ARF --machine [1,1|1,1] --algo sa --json").expect("ok");
         let blob: serde_json::Value = serde_json::from_str(&out).expect("valid json");
         assert_eq!(blob["stats"], serde_json::Value::Null);
+    }
+
+    #[test]
+    fn analyze_prints_bounds_and_gap_for_every_kernel() {
+        for kernel in ["EWF", "ARF"] {
+            let out = run_line(&format!("analyze {kernel} 2x11")).expect("ok");
+            for needle in [
+                "certified L >=",
+                "latency bounds",
+                "critical-path",
+                "transfer bounds",
+                "achieved (B-ITER)",
+                "proved optimal",
+            ] {
+                assert!(
+                    out.contains(needle),
+                    "{kernel}: missing {needle:?} in:\n{out}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn analyze_accepts_flag_spellings() {
+        let out = run_line("analyze --kernel FFT --machine [2,1|1,1]").expect("ok");
+        assert!(out.contains("FFT on [2,1|1,1]"), "{out}");
+        assert!(out.contains("gap"), "{out}");
+    }
+
+    #[test]
+    fn analyze_bound_never_exceeds_achieved() {
+        // The command itself hard-errors on an unsound bound, so a clean
+        // run doubles as the consistency check CI loops over.
+        for dp in ["2x11", "[2,1|1,1]", "3x11"] {
+            let out = run_line(&format!("analyze DCT-DIF {dp}")).expect("sound");
+            assert!(!out.contains("UNSOUND"), "{out}");
+        }
+    }
+
+    #[test]
+    fn bind_json_carries_bound_fields() {
+        let out = run_line("bind --kernel EWF --machine [1,1|1,1] --json").expect("ok");
+        let blob: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        let lb = blob["stats"]["lower_bound"].as_u64().expect("lower_bound");
+        let latency = blob["latency"].as_u64().expect("latency");
+        assert!(lb > 0 && lb <= latency, "{out}");
+        assert!(blob["stats"]["optimality_gap"].as_f64().is_some(), "{out}");
+        assert!(
+            matches!(blob["stats"]["proved_optimal"], serde_json::Value::Bool(_)),
+            "{out}"
+        );
+        assert!(
+            blob["stats"]["moves_lower_bound"].as_u64().is_some(),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn trace_surfaces_the_certified_bound() {
+        let out = run_line("trace ewf 2x11").expect("ok");
+        assert!(out.contains("certified L >="), "{out}");
+        assert!(out.contains("proved optimal"), "{out}");
     }
 
     #[test]

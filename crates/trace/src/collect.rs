@@ -75,7 +75,7 @@ impl PhaseCollector {
     /// Per-phase totals in first-seen order. Phases still open
     /// contribute their counters but not (yet) their elapsed time.
     pub fn totals(&self) -> Vec<PhaseTotal> {
-        let state = self.state.lock().expect("collector lock");
+        let state = self.state.lock().expect("collector lock"); // lint:allow(no-panic)
         state
             .phases
             .iter()
@@ -95,7 +95,7 @@ impl PhaseCollector {
 
     /// Counters that fired while no phase span was open, sorted by name.
     pub fn orphan_counters(&self) -> Vec<(String, u64)> {
-        let state = self.state.lock().expect("collector lock");
+        let state = self.state.lock().expect("collector lock"); // lint:allow(no-panic)
         let mut out: Vec<(String, u64)> =
             state.orphans.iter().map(|(k, v)| (k.clone(), *v)).collect();
         out.sort();
@@ -113,7 +113,7 @@ impl PhaseCollector {
 
 impl TraceSink for PhaseCollector {
     fn record(&self, event: &TraceEvent) {
-        let mut state = self.state.lock().expect("collector lock");
+        let mut state = self.state.lock().expect("collector lock"); // lint:allow(no-panic)
         match &event.kind {
             EventKind::SpanStart {
                 span,

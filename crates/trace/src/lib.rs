@@ -202,12 +202,12 @@ static GLOBAL_SINK: RwLock<Option<Arc<dyn TraceSink>>> = RwLock::new(None);
 /// attached sinks — this is how a CLI `--trace-out FILE` flag reaches
 /// every binder the process constructs.
 pub fn install_global(sink: Arc<dyn TraceSink>) {
-    *GLOBAL_SINK.write().expect("global sink lock") = Some(sink);
+    *GLOBAL_SINK.write().expect("global sink lock") = Some(sink); // lint:allow(no-panic)
 }
 
 /// The currently installed process-wide sink, if any.
 pub fn global_sink() -> Option<Arc<dyn TraceSink>> {
-    GLOBAL_SINK.read().expect("global sink lock").clone()
+    GLOBAL_SINK.read().expect("global sink lock").clone() // lint:allow(no-panic)
 }
 
 /// The shared state of an enabled tracer.
@@ -286,7 +286,7 @@ impl Tracer {
         };
         let id = inner.next_span.fetch_add(1, Ordering::Relaxed) + 1;
         let parent = {
-            let mut stack = inner.stack.lock().expect("span stack");
+            let mut stack = inner.stack.lock().expect("span stack"); // lint:allow(no-panic)
             let parent = stack.last().copied();
             stack.push(id);
             parent
@@ -356,9 +356,9 @@ impl Drop for Span {
             return;
         };
         {
-            let mut stack = state.inner.stack.lock().expect("span stack");
-            // LIFO in correct usage; remove by id to stay robust if a
-            // guard outlives its scope.
+            let mut stack = state.inner.stack.lock().expect("span stack"); // lint:allow(no-panic)
+                                                                           // LIFO in correct usage; remove by id to stay robust if a
+                                                                           // guard outlives its scope.
             if stack.last() == Some(&state.id) {
                 stack.pop();
             } else if let Some(pos) = stack.iter().rposition(|&s| s == state.id) {
@@ -376,6 +376,29 @@ impl Drop for Span {
             },
             Vec::new(),
         );
+    }
+}
+
+/// A minimal monotonic stopwatch for ad-hoc phase timing in crates that
+/// must not read the wall clock themselves.
+///
+/// The workspace invariant linter (`vliw-lint`) confines
+/// `std::time::Instant` to this crate, the search-budget module and the
+/// benchmark harness, so that timing can never silently become a search
+/// input elsewhere; code that only needs "how long did this take"
+/// reaches for `Stopwatch` instead.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts the stopwatch at the current instant.
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.0.elapsed()
     }
 }
 
