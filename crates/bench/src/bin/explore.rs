@@ -1,0 +1,158 @@
+//! Design-space exploration benchmark: sweeps the candidate space for
+//! three paper kernels serially and sharded, reports the frontier, the
+//! lower-bound pruning hit-rate, and cross-checks that neither sharding
+//! nor pruning changes the result.
+//!
+//! Usage: `cargo run -p vliw-bench --release --bin explore
+//! [--threads N] [--quick] [--bench-out FILE] [--json FILE]`
+//!
+//! Always writes the machine-readable perf trajectory
+//! `BENCH_explore.json` (override with `--bench-out`).
+
+use std::time::Instant;
+use vliw_bench::BenchCli;
+use vliw_binding::BinderConfig;
+use vliw_explore::{Exploration, Explorer, ExplorerConfig};
+use vliw_kernels::Kernel;
+
+const KERNELS: [Kernel; 3] = [Kernel::Arf, Kernel::Ewf, Kernel::DctDit];
+
+fn frontier_key(e: &Exploration) -> Vec<(String, u32, usize)> {
+    e.pareto()
+        .iter()
+        .map(|p| (p.machine.to_string(), p.latency(), p.moves()))
+        .collect()
+}
+
+fn main() {
+    let cli = BenchCli::from_env(BinderConfig::default());
+    // `--threads N` picks the sharded worker count; the default (0 =
+    // auto) is replaced by an explicit 4 so the determinism check
+    // exercises real sharding even on single-CPU boxes.
+    let sharded_threads = if cli.config.threads > 1 {
+        cli.config.threads
+    } else {
+        4
+    };
+    let bounds = if cli.quick {
+        ExplorerConfig {
+            max_clusters: 2,
+            max_alus_per_cluster: 2,
+            max_muls_per_cluster: 1,
+            max_total_fus: 5,
+            ..ExplorerConfig::default()
+        }
+    } else {
+        ExplorerConfig::default()
+    };
+
+    println!(
+        "design-space exploration: {} candidates bounds, sharded at {} threads",
+        if cli.quick { "quick" } else { "default" },
+        if sharded_threads == 0 {
+            "auto".to_owned()
+        } else {
+            sharded_threads.to_string()
+        },
+    );
+    println!(
+        "{:<10} {:>6} {:>6} {:>6} {:>7} {:>10} {:>11} {:>9}",
+        "kernel", "cands", "eval", "prune", "hit%", "serial ms", "sharded ms", "frontier"
+    );
+
+    let mut rows: Vec<serde_json::Value> = Vec::new();
+    for kernel in KERNELS {
+        let dfg = kernel.build();
+
+        let serial_cfg = Explorer::new(ExplorerConfig {
+            threads: 1,
+            ..bounds.clone()
+        });
+        let start = Instant::now();
+        let serial = serial_cfg.try_explore(&dfg).expect("kernel DFGs are valid");
+        let serial_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let start = Instant::now();
+        let sharded = Explorer::new(ExplorerConfig {
+            threads: sharded_threads,
+            ..bounds.clone()
+        })
+        .try_explore(&dfg)
+        .expect("kernel DFGs are valid");
+        let sharded_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let unpruned = Explorer::new(ExplorerConfig {
+            prune: false,
+            threads: 1,
+            ..bounds.clone()
+        })
+        .try_explore(&dfg)
+        .expect("kernel DFGs are valid");
+
+        // The determinism and pruning contracts, checked on every run.
+        assert_eq!(
+            frontier_key(&serial),
+            frontier_key(&sharded),
+            "{kernel}: sharded sweep diverged from serial"
+        );
+        assert_eq!(
+            frontier_key(&serial),
+            frontier_key(&unpruned),
+            "{kernel}: pruning changed the frontier"
+        );
+
+        let stats = serial.stats;
+        let considered = stats.evaluated + stats.pruned;
+        let hit = if considered == 0 {
+            0.0
+        } else {
+            100.0 * stats.pruned as f64 / considered as f64
+        };
+        println!(
+            "{:<10} {:>6} {:>6} {:>6} {:>6.1}% {:>10.1} {:>11.1} {:>9}",
+            kernel.name(),
+            stats.enumerated,
+            stats.evaluated,
+            stats.pruned,
+            hit,
+            serial_ms,
+            sharded_ms,
+            serial.pareto().len(),
+        );
+
+        rows.push(serde_json::json!({
+            "kernel": kernel.name(),
+            "enumerated": stats.enumerated,
+            "evaluated": stats.evaluated,
+            "skipped": stats.skipped,
+            "pruned": stats.pruned,
+            "prune_hit_rate": hit / 100.0,
+            "serial_ms": serial_ms,
+            "sharded_ms": sharded_ms,
+            "sharded_threads": sharded_threads,
+            "frontier": serial.pareto().iter().map(|p| serde_json::json!({
+                "machine": p.machine.to_string(),
+                "area": p.area,
+                "latency": p.latency(),
+                "moves": p.moves(),
+                "rf_ports": p.worst_rf_ports,
+            })).collect::<Vec<_>>(),
+        }));
+    }
+
+    let mut text = serde_json::to_string_pretty(&serde_json::json!({
+        "schema": "vliw-perf-trajectory-v1",
+        "table": "explore",
+        "rows": rows,
+    }))
+    .expect("serializable");
+    text.push('\n');
+    let out = cli.bench_out_or("BENCH_explore.json");
+    vliw_bench::runner::write_or_exit(&out, &text);
+    println!("\nwrote perf trajectory to {out}");
+    if let Some(path) = &cli.json_path {
+        vliw_bench::runner::write_or_exit(path, &text);
+        println!("wrote rows to {path}");
+    }
+    cli.finish();
+}

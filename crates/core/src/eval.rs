@@ -337,50 +337,17 @@ impl<'e> Evaluator<'e> {
             }
             return results;
         }
-        let next = AtomicUsize::new(0);
-        let workers = self.threads.min(bindings.len());
-        let mut worker_timings: Vec<(std::time::Duration, usize)> = Vec::with_capacity(workers);
-        let mut tagged = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        // Work-stealing by atomic index: each worker owns
-                        // the candidates it claims and tags results with
-                        // the claimed index, so the merged output is
-                        // positionally identical to a serial loop.
-                        let started = Stopwatch::start();
-                        let mut out: Vec<(usize, BindingResult)> = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(binding) = bindings.get(i) else {
-                                break;
-                            };
-                            let result =
-                                BindingResult::evaluate(self.dfg, self.machine, binding.clone());
-                            out.push((i, result));
-                        }
-                        (out, started.elapsed())
-                    })
-                })
-                .collect();
-            let mut merged: Vec<(usize, BindingResult)> = Vec::with_capacity(bindings.len());
-            for handle in handles {
-                let (out, busy) = handle.join().expect("evaluation worker panicked"); // lint:allow(no-panic)
-                worker_timings.push((busy, out.len()));
-                merged.extend(out);
-            }
-            merged
+        let (results, workers) = crate::pool::run_indexed(self.threads, &bindings, |_, b| {
+            BindingResult::evaluate(self.dfg, self.machine, b.clone())
         });
         if self.tracer.is_enabled() {
             // Emitted from the calling thread after the join, so the
             // event order is deterministic per batch.
-            for (slot, (busy, evals)) in worker_timings.into_iter().enumerate() {
-                self.trace_worker(slot, busy, evals);
+            for (slot, report) in workers.into_iter().enumerate() {
+                self.trace_worker(slot, report.busy, report.items);
             }
         }
-        tagged.sort_by_key(|(i, _)| *i);
-        debug_assert_eq!(tagged.len(), bindings.len());
-        tagged.into_iter().map(|(_, r)| r).collect()
+        results
     }
 
     /// Emits one worker's busy time for the batch just evaluated.

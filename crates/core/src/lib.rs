@@ -67,6 +67,7 @@ pub mod exact;
 pub mod init;
 pub mod iter;
 pub mod order;
+pub mod pool;
 pub mod profile;
 pub mod stats;
 

@@ -1,0 +1,130 @@
+//! A scoped worker pool with a deterministic, slot-indexed reduction.
+//!
+//! Both the evaluation engine ([`crate::eval::Evaluator`]) and the
+//! design-space explorer fan independent work items across threads with
+//! the same shape: workers claim items by an atomic cursor
+//! (work-stealing by index), tag every result with the claimed index,
+//! and the caller merges the tagged results back into input order — so
+//! the parallel output is positionally bit-identical to a serial loop,
+//! whatever the interleaving. This module is that shape, extracted once.
+//!
+//! Timing uses [`vliw_trace::Stopwatch`] rather than `std::time::Instant`
+//! directly: the workspace linter confines the raw clock to the trace
+//! crate, the budget module and the bench harness, and per-worker busy
+//! time is observability output, not a search input.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+use vliw_trace::Stopwatch;
+
+/// Busy time and item count of one pool worker, for trace counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Wall-clock time the worker spent claiming and processing items.
+    pub busy: Duration,
+    /// Number of items the worker processed.
+    pub items: usize,
+}
+
+/// Runs `f` over every item, in parallel across at most `threads`
+/// scoped workers, returning the results in input order plus one
+/// [`WorkerReport`] per worker (slot order).
+///
+/// `f` receives the item's index and the item; it must be a pure
+/// function of those for the determinism guarantee to mean anything.
+/// With `threads <= 1` (or fewer than two items) everything runs on the
+/// calling thread and a single report is returned.
+pub fn run_indexed<T, R, F>(threads: usize, items: &[T], f: F) -> (Vec<R>, Vec<WorkerReport>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() < 2 {
+        let started = Stopwatch::start();
+        let results: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let report = WorkerReport {
+            busy: started.elapsed(),
+            items: items.len(),
+        };
+        return (results, vec![report]);
+    }
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(items.len());
+    let mut reports: Vec<WorkerReport> = Vec::with_capacity(workers);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    // Work-stealing by atomic index: each worker owns the
+                    // items it claims and tags results with the claimed
+                    // index, so the merged output is positionally
+                    // identical to a serial loop.
+                    let started = Stopwatch::start();
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else {
+                            break;
+                        };
+                        out.push((i, f(i, item)));
+                    }
+                    (out, started.elapsed())
+                })
+            })
+            .collect();
+        let mut merged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+        for handle in handles {
+            let (out, busy) = handle.join().expect("pool worker panicked"); // lint:allow(no-panic)
+            reports.push(WorkerReport {
+                busy,
+                items: out.len(),
+            });
+            merged.extend(out);
+        }
+        merged
+    });
+    tagged.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), items.len());
+    (tagged.into_iter().map(|(_, r)| r).collect(), reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_order_matches_serial() {
+        let items: Vec<u64> = (0..100).collect();
+        let square = |i: usize, &x: &u64| (i as u64, x * x);
+        let (serial, s_reports) = run_indexed(1, &items, square);
+        let (parallel, p_reports) = run_indexed(4, &items, square);
+        assert_eq!(serial, parallel);
+        for (i, &(tag, sq)) in parallel.iter().enumerate() {
+            assert_eq!(tag, i as u64);
+            assert_eq!(sq, (i * i) as u64);
+        }
+        assert_eq!(s_reports.len(), 1);
+        assert_eq!(s_reports[0].items, 100);
+        assert_eq!(p_reports.len(), 4);
+        assert_eq!(p_reports.iter().map(|r| r.items).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn tiny_batches_stay_on_the_calling_thread() {
+        let one = [7u32];
+        let (out, reports) = run_indexed(8, &one, |_, &x| x + 1);
+        assert_eq!(out, vec![8]);
+        assert_eq!(reports.len(), 1, "a single item never pays for workers");
+        let empty: [u32; 0] = [];
+        let (out, _) = run_indexed(8, &empty, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_count_never_exceeds_items() {
+        let items: Vec<u32> = (0..3).collect();
+        let (_, reports) = run_indexed(16, &items, |_, &x| x);
+        assert!(reports.len() <= 3);
+    }
+}

@@ -8,12 +8,31 @@
 //!
 //! * [`Explorer::enumerate`] generates every *canonical* clustered
 //!   datapath under an area budget (clusters sorted descending so that
-//!   permutation-symmetric machines are enumerated once);
-//! * [`Explorer::explore`] binds a kernel onto each candidate with the
-//!   paper's algorithm and collects [`DesignPoint`]s;
+//!   permutation-symmetric machines are enumerated once, bus parameter
+//!   lists deduplicated, and single-cluster shapes — which have no
+//!   inter-cluster traffic — emitted with one bus variant instead of
+//!   `|bus_counts| × |move_latencies|` behaviorally identical copies);
+//! * [`Explorer::try_explore`] binds a kernel onto each candidate with
+//!   the paper's algorithm and collects [`DesignPoint`]s — sharded
+//!   across a scoped worker pool ([`ExplorerConfig::threads`]) with a
+//!   deterministic slot-indexed reduction (the parallel sweep is
+//!   bit-identical to the serial one), budgeted by a wall-clock deadline
+//!   and a candidate cap (an exhausted budget returns a *partial*
+//!   [`Exploration`] with [`Exploration::truncated`] set instead of
+//!   panicking mid-sweep), and pruned by the certified `vliw-analysis`
+//!   latency lower bound (a candidate whose certified floor cannot beat
+//!   the incumbent frontier at equal-or-smaller area is never bound);
 //! * [`Exploration`] extracts the area/latency Pareto frontier, the best
 //!   design under an area cap, and the cheapest design meeting a latency
 //!   target — the three queries an architecture team actually asks.
+//!
+//! The sweep visits candidates cheapest-first (area ascending, ties in
+//! enumeration order): the Pareto frontier then grows left to right, a
+//! truncated sweep keeps the cheap end of the space, and the lower-bound
+//! pruning has incumbents to prune against. Pruning is *frontier-exact*:
+//! a pruned candidate is dominated by construction, so the reported
+//! frontier is identical with pruning on or off — only
+//! [`ExploreStats::pruned`] grows.
 //!
 //! The area model is deliberately simple and explicit: one unit per
 //! functional unit plus a configurable per-bus cost; the worst cluster's
@@ -35,7 +54,8 @@
 //!     max_total_fus: 6,
 //!     ..ExplorerConfig::default()
 //! });
-//! let exploration = explorer.explore(&dfg);
+//! let exploration = explorer.try_explore(&dfg)?;
+//! assert!(!exploration.truncated);
 //! let frontier = exploration.pareto();
 //! assert!(!frontier.is_empty());
 //! // The frontier is strictly improving in latency as area grows.
@@ -49,11 +69,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use vliw_binding::{Binder, BinderConfig, BindingResult};
+use std::sync::Arc;
+use std::time::Duration;
+use vliw_binding::{pool, BindError, Binder, BinderConfig, BindingResult};
 use vliw_datapath::{Cluster, Machine, MachineBuilder};
 use vliw_dfg::Dfg;
+use vliw_trace::{SpanCat, Stopwatch, TraceSink, Tracer};
 
-/// Bounds and models for the enumeration.
+/// Candidates submitted to the worker pool per round. Fixed (rather than
+/// scaled by the thread count) so that the pruning decisions — which are
+/// made against the incumbent frontier as of the last completed round —
+/// are identical for every [`ExplorerConfig::threads`] setting.
+const CHUNK: usize = 16;
+
+/// Bounds, budgets and models for the enumeration and the sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExplorerConfig {
     /// Maximum number of clusters per candidate.
@@ -71,7 +100,34 @@ pub struct ExplorerConfig {
     /// Area charged per bus lane (FU-equivalents).
     pub bus_area: f64,
     /// Binder configuration used to evaluate each candidate.
+    /// [`BinderConfig::trace`] gates the *explorer's* spans and counters;
+    /// per-candidate binds always run untraced (their interleaved spans
+    /// would be meaningless across workers).
     pub binder: BinderConfig,
+    /// Worker threads sharding candidate evaluation: `1` (the default)
+    /// sweeps serially on the calling thread, `0` uses one worker per
+    /// available CPU. The sharded sweep is bit-identical to the serial
+    /// one. With more than one explorer worker, each candidate's binder
+    /// runs its evaluations single-threaded to avoid oversubscription
+    /// (results are unaffected — evaluation is deterministic either way).
+    pub threads: usize,
+    /// Soft wall-clock budget for the sweep, in milliseconds. Checked
+    /// between evaluation rounds once at least one design point exists,
+    /// so even a 1 ms deadline returns a non-empty [`Exploration`] (with
+    /// [`Exploration::truncated`] set) whenever any candidate is
+    /// feasible.
+    pub deadline_ms: Option<u64>,
+    /// Cap on candidates submitted for binding; the sweep stops (and
+    /// marks the result truncated) once the cap is reached with
+    /// candidates still unconsidered.
+    pub max_candidates: Option<usize>,
+    /// Prune candidates whose certified latency lower bound
+    /// ([`vliw_analysis::analyze`]) already ties or exceeds the incumbent
+    /// frontier's latency at equal-or-smaller area. Such candidates are
+    /// dominated by construction, so the Pareto frontier is identical
+    /// with pruning on or off; only [`ExploreStats::pruned`] (and the
+    /// sweep's wall-clock) changes.
+    pub prune: bool,
 }
 
 impl Default for ExplorerConfig {
@@ -85,6 +141,10 @@ impl Default for ExplorerConfig {
             move_latencies: vec![1],
             bus_area: 0.5,
             binder: BinderConfig::default(),
+            threads: 1,
+            deadline_ms: None,
+            max_candidates: None,
+            prune: true,
         }
     }
 }
@@ -116,11 +176,38 @@ impl DesignPoint {
     }
 }
 
+/// Candidate accounting of one sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExploreStats {
+    /// Canonical machines the enumeration produced.
+    pub enumerated: usize,
+    /// Candidates successfully bound into a [`DesignPoint`].
+    pub evaluated: usize,
+    /// Candidates that failed (infeasible machine, binder error); each
+    /// is recorded in [`Exploration::skipped`].
+    pub skipped: usize,
+    /// Candidates eliminated by the certified lower-bound prune without
+    /// being bound.
+    pub pruned: usize,
+}
+
 /// The outcome of exploring one kernel over the candidate space.
 #[derive(Debug, Clone)]
 pub struct Exploration {
-    /// Every feasible evaluated candidate, in enumeration order.
+    /// Every successfully evaluated candidate, in sweep order: area
+    /// ascending, ties in enumeration order.
     pub points: Vec<DesignPoint>,
+    /// Candidates that could not be evaluated, with the reason — a
+    /// machine missing an FU class the kernel needs surfaces here as
+    /// [`BindError::Unsupported`] rather than panicking the sweep.
+    pub skipped: Vec<(Machine, BindError)>,
+    /// Whether a budget ([`ExplorerConfig::deadline_ms`] /
+    /// [`ExplorerConfig::max_candidates`]) stopped the sweep with
+    /// candidates still unconsidered. `false` means every enumerated
+    /// candidate was evaluated, skipped or pruned.
+    pub truncated: bool,
+    /// Candidate accounting.
+    pub stats: ExploreStats,
 }
 
 impl Exploration {
@@ -184,22 +271,44 @@ impl Exploration {
 }
 
 /// The exploration driver.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Explorer {
     config: ExplorerConfig,
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for Explorer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Explorer")
+            .field("config", &self.config)
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
 }
 
 impl Explorer {
     /// Creates an explorer with the given bounds.
     pub fn new(config: ExplorerConfig) -> Self {
-        Explorer { config }
+        Explorer {
+            config,
+            sinks: Vec::new(),
+        }
     }
 
     /// An explorer with [`ExplorerConfig::default`] bounds.
     pub fn with_defaults() -> Self {
-        Explorer {
-            config: ExplorerConfig::default(),
-        }
+        Explorer::new(ExplorerConfig::default())
+    }
+
+    /// Attaches a trace sink (in addition to the process-global one, if
+    /// installed). Events flow only when [`BinderConfig::trace`] is set
+    /// on [`ExplorerConfig::binder`]: a root `explore` phase span, one
+    /// `candidate` detail span per evaluated design (with
+    /// machine/area/latency/moves attributes) and the
+    /// `candidates_enumerated/evaluated/skipped/pruned` counters.
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sinks.push(sink);
+        self
     }
 
     /// The active configuration.
@@ -209,20 +318,30 @@ impl Explorer {
 
     /// Enumerates every canonical machine under the configured bounds:
     /// cluster multisets (sorted descending, so `[2,1|1,1]` appears and
-    /// `[1,1|2,1]` does not) crossed with the bus parameter lists.
+    /// `[1,1|2,1]` does not) crossed with the deduplicated bus parameter
+    /// lists. Single-cluster shapes never use the bus, so they are
+    /// emitted once — with the first configured bus count and move
+    /// latency — instead of once per behaviorally identical combination.
     pub fn enumerate(&self) -> Vec<Machine> {
         let cfg = &self.config;
         let mut shapes: Vec<Vec<Cluster>> = Vec::new();
         let mut current: Vec<Cluster> = Vec::new();
         enumerate_shapes(cfg, &mut current, None, &mut shapes);
 
+        let bus_counts = dedup_first_seen(&cfg.bus_counts);
+        let move_latencies = dedup_first_seen(&cfg.move_latencies);
         let mut machines = Vec::new();
         for shape in shapes {
-            for &buses in &cfg.bus_counts {
-                for &move_lat in &cfg.move_latencies {
+            let (buses, lats) = if shape.len() == 1 {
+                (&bus_counts[..1], &move_latencies[..1])
+            } else {
+                (&bus_counts[..], &move_latencies[..])
+            };
+            for &bus in buses {
+                for &move_lat in lats {
                     let machine = MachineBuilder::new()
                         .clusters(shape.clone())
-                        .bus_count(buses)
+                        .bus_count(bus)
                         .move_latency(move_lat)
                         .build()
                         .expect("enumerated shapes are valid"); // lint:allow(no-panic)
@@ -233,32 +352,235 @@ impl Explorer {
         machines
     }
 
-    /// Binds `dfg` onto every feasible candidate and collects the
-    /// results. Candidates that cannot execute some operation of `dfg`
-    /// (e.g. no multiplier anywhere) are skipped.
+    /// Binds `dfg` onto every candidate and collects the results,
+    /// panicking if the input graph itself is unusable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`Explorer::try_explore`] returns an error (a
+    /// structurally broken DFG or one that already contains moves).
+    /// Per-candidate failures never panic — they land in
+    /// [`Exploration::skipped`] either way.
     pub fn explore(&self, dfg: &Dfg) -> Exploration {
-        let mut points = Vec::new();
-        for machine in self.enumerate() {
-            if machine.check_supports_dfg(dfg).is_err() {
+        self.try_explore(dfg)
+            .unwrap_or_else(|e| panic!("explore: {e}"))
+    }
+
+    /// Binds `dfg` onto every candidate, sharded across the worker pool,
+    /// within the configured budgets. See the [module docs](self) for
+    /// the determinism and pruning contracts.
+    ///
+    /// # Errors
+    ///
+    /// [`BindError::Dfg`] / [`BindError::MoveInInput`] when the input
+    /// graph itself is unusable for *every* candidate. Per-candidate
+    /// failures (machines missing an FU class, verification failures)
+    /// are collected in [`Exploration::skipped`] instead.
+    pub fn try_explore(&self, dfg: &Dfg) -> Result<Exploration, BindError> {
+        dfg.validate()?;
+        if let Some(op) = dfg
+            .op_ids()
+            .find(|&v| dfg.op_type(v) == vliw_dfg::OpType::Move)
+        {
+            return Err(BindError::MoveInInput { op });
+        }
+
+        // Sweep cheapest-first: the frontier grows left to right, a
+        // truncated sweep keeps the cheap end, and the prune always has
+        // smaller-area incumbents to compare against. Ties keep
+        // enumeration order (stable sort), so the order is total and
+        // identical for every thread count.
+        let machines = self.enumerate();
+        let mut order: Vec<usize> = (0..machines.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.area_of(&machines[a])
+                .partial_cmp(&self.area_of(&machines[b]))
+                .expect("area is finite") // lint:allow(no-panic)
+                .then(a.cmp(&b))
+        });
+
+        let tracer = self.run_tracer();
+        let root = tracer.span(
+            SpanCat::Phase,
+            "explore",
+            vec![
+                ("candidates", machines.len().into()),
+                ("threads", self.worker_count().into()),
+                ("ops", dfg.len().into()),
+            ],
+        );
+
+        let sweep = Stopwatch::start();
+        let deadline = self.config.deadline_ms.map(Duration::from_millis);
+        let workers = self.worker_count();
+        let mut cand_config = self.config.binder.clone();
+        cand_config.trace = false;
+        if workers > 1 {
+            cand_config.threads = 1;
+        }
+
+        let mut stats = ExploreStats {
+            enumerated: machines.len(),
+            ..ExploreStats::default()
+        };
+        let mut points: Vec<DesignPoint> = Vec::new();
+        let mut skipped: Vec<(Machine, BindError)> = Vec::new();
+        let mut truncated = false;
+        // Incumbent (area, latency) pairs of evaluated points, for the
+        // lower-bound prune. Updated only between rounds, so pruning
+        // decisions are independent of the worker interleaving.
+        let mut incumbent: Vec<(f64, u32)> = Vec::new();
+        let mut attempted = 0usize;
+
+        let mut cursor = 0usize;
+        while cursor < order.len() {
+            if let Some(d) = deadline {
+                if !points.is_empty() && sweep.elapsed() >= d {
+                    truncated = true;
+                    break;
+                }
+            }
+            let cap = match self.config.max_candidates {
+                Some(max) if attempted >= max => {
+                    truncated = true;
+                    break;
+                }
+                Some(max) => CHUNK.min(max - attempted),
+                None => CHUNK,
+            };
+
+            // Assemble the next round: cheap feasibility and prune
+            // checks run on the coordinator; only survivors are bound.
+            let mut round: Vec<&Machine> = Vec::with_capacity(cap);
+            while cursor < order.len() && round.len() < cap {
+                let machine = &machines[order[cursor]];
+                cursor += 1;
+                if let Err(op) = machine.check_supports_dfg(dfg) {
+                    stats.skipped += 1;
+                    skipped.push((
+                        machine.clone(),
+                        BindError::Unsupported {
+                            op,
+                            op_type: dfg.op_type(op),
+                        },
+                    ));
+                    continue;
+                }
+                if self.config.prune {
+                    let floor = vliw_analysis::analyze(dfg, machine).latency_bound();
+                    let area = self.area_of(machine);
+                    if incumbent.iter().any(|&(a, l)| a <= area && floor >= l) {
+                        stats.pruned += 1;
+                        continue;
+                    }
+                }
+                round.push(machine);
+            }
+            if round.is_empty() {
                 continue;
             }
-            let result = Binder::with_config(&machine, self.config.binder.clone()).bind(dfg);
-            let area =
-                machine.total_fus() as f64 + self.config.bus_area * machine.bus_count() as f64;
-            let worst_rf_ports = machine
-                .cluster_ids()
-                .map(|c| 3 * machine.cluster(c).total_fus())
-                .max()
-                .unwrap_or(0);
-            points.push(DesignPoint {
-                machine,
-                result,
-                area,
-                worst_rf_ports,
+            attempted += round.len();
+
+            let (outcomes, _workers) = pool::run_indexed(workers, &round, |_, machine| {
+                Binder::with_config(machine, cand_config.clone()).try_bind(dfg)
             });
+            for (machine, outcome) in round.into_iter().zip(outcomes) {
+                match outcome {
+                    Ok(result) => {
+                        let area = self.area_of(machine);
+                        let latency = result.latency();
+                        if tracer.is_enabled() {
+                            let _candidate = tracer.span(
+                                SpanCat::Detail,
+                                "candidate",
+                                vec![
+                                    ("machine", machine.to_string().into()),
+                                    ("area", area.into()),
+                                    ("latency", latency.into()),
+                                    ("moves", result.moves().into()),
+                                ],
+                            );
+                        }
+                        incumbent.push((area, latency));
+                        stats.evaluated += 1;
+                        points.push(DesignPoint {
+                            machine: machine.clone(),
+                            result,
+                            area,
+                            worst_rf_ports: worst_rf_ports(machine),
+                        });
+                    }
+                    Err(e) => {
+                        stats.skipped += 1;
+                        skipped.push((machine.clone(), e));
+                    }
+                }
+            }
         }
-        Exploration { points }
+
+        tracer.counter("candidates_enumerated", stats.enumerated as u64, vec![]);
+        tracer.counter("candidates_evaluated", stats.evaluated as u64, vec![]);
+        tracer.counter("candidates_skipped", stats.skipped as u64, vec![]);
+        tracer.counter("candidates_pruned", stats.pruned as u64, vec![]);
+        if truncated {
+            tracer.counter("explore_truncated", 1, vec![]);
+        }
+        drop(root);
+
+        Ok(Exploration {
+            points,
+            skipped,
+            truncated,
+            stats,
+        })
     }
+
+    /// Area of a candidate under the configured model.
+    fn area_of(&self, machine: &Machine) -> f64 {
+        machine.total_fus() as f64 + self.config.bus_area * machine.bus_count() as f64
+    }
+
+    /// The resolved explorer worker count (never 0).
+    fn worker_count(&self) -> usize {
+        if self.config.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.config.threads
+        }
+    }
+
+    /// The explorer's tracer: off unless [`BinderConfig::trace`] is set,
+    /// fanning out to the attached sinks plus the process-global one.
+    fn run_tracer(&self) -> Tracer {
+        if !self.config.binder.trace {
+            return Tracer::off();
+        }
+        let mut sinks = self.sinks.clone();
+        if let Some(global) = vliw_trace::global_sink() {
+            sinks.push(global);
+        }
+        Tracer::with_sinks(sinks)
+    }
+}
+
+/// Worst-cluster register-file port count (3 per local FU).
+fn worst_rf_ports(machine: &Machine) -> u32 {
+    machine
+        .cluster_ids()
+        .map(|c| 3 * machine.cluster(c).total_fus())
+        .max()
+        .unwrap_or(0)
+}
+
+/// First-seen-order deduplication of a parameter list.
+fn dedup_first_seen(values: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(values.len());
+    for &v in values {
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
 }
 
 /// Recursively builds cluster multisets in non-increasing order
@@ -310,6 +632,14 @@ mod tests {
         }
     }
 
+    /// Frontier fingerprint for bit-identity comparisons.
+    fn frontier_key(e: &Exploration) -> Vec<(String, u32, usize)> {
+        e.pareto()
+            .iter()
+            .map(|p| (p.machine.to_string(), p.latency(), p.moves()))
+            .collect()
+    }
+
     #[test]
     fn enumeration_is_canonical_and_within_budget() {
         let explorer = Explorer::new(small());
@@ -351,14 +681,78 @@ mod tests {
     }
 
     #[test]
+    fn enumeration_count_is_pinned_and_duplicate_free() {
+        // 1×{1,1} FU budget of 2 over ≤2 clusters yields exactly six
+        // shapes: (1,1) · (1,0) · (0,1) · (1,0|1,0) · (1,0|0,1) ·
+        // (0,1|0,1). The bus grid [1,2]×[1] multiplies only the three
+        // two-cluster shapes (single-cluster machines never use the
+        // bus), and repeated list entries collapse: 3·1 + 3·2 = 9.
+        let cfg = ExplorerConfig {
+            max_clusters: 2,
+            max_alus_per_cluster: 1,
+            max_muls_per_cluster: 1,
+            max_total_fus: 2,
+            bus_counts: vec![1, 2, 2],
+            move_latencies: vec![1, 1],
+            ..ExplorerConfig::default()
+        };
+        let machines = Explorer::new(cfg).enumerate();
+        assert_eq!(machines.len(), 9, "{machines:?}");
+        let singles = machines.iter().filter(|m| m.cluster_count() == 1).count();
+        assert_eq!(singles, 3);
+        let mut keys: Vec<String> = machines
+            .iter()
+            .map(|m| format!("{m} b{} l{}", m.bus_count(), m.move_latency()))
+            .collect();
+        keys.sort();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "behavioral duplicates enumerated");
+    }
+
+    #[test]
+    fn bus_parameters_multiply_only_multi_cluster_shapes() {
+        let mut cfg = small();
+        let base = Explorer::new(cfg.clone()).enumerate();
+        let singles = base.iter().filter(|m| m.cluster_count() == 1).count();
+        let multis = base.len() - singles;
+        assert!(singles > 0 && multis > 0, "both kinds present");
+        cfg.bus_counts = vec![1, 2];
+        cfg.move_latencies = vec![1, 2];
+        let grid = Explorer::new(cfg).enumerate().len();
+        // Single-cluster shapes have no inter-cluster traffic: the 2×2
+        // bus grid multiplies only the multi-cluster shapes.
+        assert_eq!(grid, singles + 4 * multis);
+    }
+
+    #[test]
     fn exploration_skips_infeasible_machines() {
-        // ARF needs multipliers; ALU-only machines must be skipped.
+        // ARF needs multipliers; ALU-only machines must be skipped —
+        // and recorded as skipped, with the unsupported-op error.
         let dfg = vliw_kernels::arf();
         let exploration = Explorer::new(small()).explore(&dfg);
         for p in &exploration.points {
             assert!(p.machine.fu_count_total(FuType::Mul) > 0, "{}", p.machine);
         }
         assert!(!exploration.points.is_empty());
+        assert!(!exploration.truncated);
+        assert!(exploration.stats.skipped > 0);
+        assert_eq!(exploration.skipped.len(), exploration.stats.skipped);
+        for (m, e) in &exploration.skipped {
+            // ARF has both adds and muls: a skipped machine lacks one
+            // of the two FU classes entirely.
+            assert!(
+                m.fu_count_total(FuType::Mul) == 0 || m.fu_count_total(FuType::Alu) == 0,
+                "{m}"
+            );
+            assert!(matches!(e, BindError::Unsupported { .. }), "{m}: {e}");
+        }
+        let stats = exploration.stats;
+        assert_eq!(
+            stats.evaluated + stats.skipped + stats.pruned,
+            stats.enumerated,
+            "untruncated sweeps account for every candidate"
+        );
     }
 
     #[test]
@@ -397,12 +791,138 @@ mod tests {
     }
 
     #[test]
-    fn bus_parameters_multiply_the_space() {
+    fn sharded_sweep_is_bit_identical_to_serial() {
+        let dfg = vliw_kernels::arf();
+        let serial = Explorer::new(small()).try_explore(&dfg).expect("valid");
+        let sharded = Explorer::new(ExplorerConfig {
+            threads: 4,
+            ..small()
+        })
+        .try_explore(&dfg)
+        .expect("valid");
+        assert!(!serial.truncated && !sharded.truncated);
+        assert_eq!(serial.stats, sharded.stats);
+        assert_eq!(frontier_key(&serial), frontier_key(&sharded));
+        assert_eq!(serial.points.len(), sharded.points.len());
+        for (a, b) in serial.points.iter().zip(&sharded.points) {
+            assert_eq!(a.machine, b.machine);
+            assert_eq!(a.result.lm(), b.result.lm());
+            assert_eq!(a.result.binding, b.result.binding);
+            assert_eq!(a.result.schedule, b.result.schedule);
+        }
+        assert_eq!(serial.skipped.len(), sharded.skipped.len());
+    }
+
+    #[test]
+    fn pruning_never_changes_the_frontier() {
+        let dfg = vliw_kernels::ewf();
+        let pruned = Explorer::new(small()).try_explore(&dfg).expect("valid");
+        let full = Explorer::new(ExplorerConfig {
+            prune: false,
+            ..small()
+        })
+        .try_explore(&dfg)
+        .expect("valid");
+        assert_eq!(full.stats.pruned, 0);
+        assert_eq!(frontier_key(&pruned), frontier_key(&full));
+        assert!(pruned.points.len() <= full.points.len());
+        assert_eq!(
+            pruned.stats.evaluated + pruned.stats.pruned,
+            full.stats.evaluated,
+            "every full-sweep evaluation is either kept or pruned"
+        );
+    }
+
+    #[test]
+    fn one_millisecond_deadline_returns_verified_partial_results() {
+        let dfg = vliw_kernels::ewf();
+        let exploration = Explorer::new(ExplorerConfig {
+            deadline_ms: Some(1),
+            ..ExplorerConfig::default()
+        })
+        .try_explore(&dfg)
+        .expect("valid");
+        // The first round always runs to completion, so the partial
+        // result is non-empty even under an already-expired deadline.
+        assert!(!exploration.points.is_empty());
+        assert!(exploration.truncated, "1 ms cannot cover the full space");
+        for p in &exploration.points {
+            vliw_binding::verify_result(&dfg, &p.machine, &p.result)
+                .expect("partial results verify clean");
+        }
+    }
+
+    #[test]
+    fn candidate_cap_truncates_deterministically() {
+        let dfg = vliw_kernels::arf();
+        let capped = Explorer::new(ExplorerConfig {
+            max_candidates: Some(5),
+            prune: false,
+            ..small()
+        })
+        .try_explore(&dfg)
+        .expect("valid");
+        assert!(capped.truncated);
+        // The cap counts binding *attempts* (unsupported machines are
+        // rejected before spending budget), so at most 5 points exist.
+        assert!(capped.stats.evaluated > 0 && capped.stats.evaluated <= 5);
+        // Identical under sharding.
+        let sharded = Explorer::new(ExplorerConfig {
+            max_candidates: Some(5),
+            prune: false,
+            threads: 4,
+            ..small()
+        })
+        .try_explore(&dfg)
+        .expect("valid");
+        assert_eq!(frontier_key(&capped), frontier_key(&sharded));
+        assert_eq!(capped.stats, sharded.stats);
+    }
+
+    #[test]
+    fn rejects_graphs_with_moves() {
+        use vliw_dfg::{DfgBuilder, OpType};
+        let mut b = DfgBuilder::new();
+        let x = b.add_op(OpType::Add, &[]);
+        let _ = b.add_op(OpType::Move, &[x]);
+        let dfg = b.finish().expect("acyclic");
+        let err = Explorer::new(small()).try_explore(&dfg).expect_err("move");
+        assert!(matches!(err, BindError::MoveInInput { .. }));
+    }
+
+    #[test]
+    fn tracing_emits_root_span_and_counters() {
+        use vliw_trace::{EventKind, MemorySink};
+        let dfg = vliw_kernels::arf();
+        let sink = Arc::new(MemorySink::new());
         let mut cfg = small();
-        let base = Explorer::new(cfg.clone()).enumerate().len();
-        cfg.bus_counts = vec![1, 2];
-        cfg.move_latencies = vec![1, 2];
-        let grid = Explorer::new(cfg).enumerate().len();
-        assert_eq!(grid, base * 4);
+        cfg.binder.trace = true;
+        let exploration = Explorer::new(cfg)
+            .with_trace_sink(sink.clone())
+            .try_explore(&dfg)
+            .expect("valid");
+        let events = sink.events();
+        assert!(events
+            .iter()
+            .any(|e| e.name == "explore" && matches!(e.kind, EventKind::SpanStart { .. })));
+        let candidates = events
+            .iter()
+            .filter(|e| e.name == "candidate" && matches!(e.kind, EventKind::SpanStart { .. }))
+            .count();
+        assert_eq!(candidates, exploration.stats.evaluated);
+        for counter in [
+            "candidates_enumerated",
+            "candidates_evaluated",
+            "candidates_skipped",
+            "candidates_pruned",
+        ] {
+            assert!(
+                events.iter().any(|e| e.name == counter),
+                "missing {counter}"
+            );
+        }
+        // Tracing off by default: no events, same results.
+        let untraced = Explorer::new(small()).try_explore(&dfg).expect("valid");
+        assert_eq!(untraced.stats.evaluated, exploration.stats.evaluated);
     }
 }

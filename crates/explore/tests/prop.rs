@@ -1,0 +1,200 @@
+//! Property tests for the exploration engine: Pareto-frontier
+//! invariants over synthetic design spaces, and determinism of the
+//! sharded/budgeted sweep on real kernels.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use vliw_binding::{verify_result, Binder};
+use vliw_datapath::Machine;
+use vliw_dfg::{Dfg, DfgBuilder, OpType};
+use vliw_explore::{DesignPoint, Exploration, ExploreStats, Explorer, ExplorerConfig};
+
+/// A chain of `n` dependent adds: bound on a single-ALU machine it
+/// schedules in exactly `n` cycles, giving a stock of results with
+/// pinned latencies 1..=8 for building synthetic design points.
+fn stock() -> &'static (Machine, Vec<vliw_binding::BindingResult>) {
+    static STOCK: OnceLock<(Machine, Vec<vliw_binding::BindingResult>)> = OnceLock::new();
+    STOCK.get_or_init(|| {
+        let machine = Machine::parse("[1,0]").expect("machine");
+        let results = (1..=8u32)
+            .map(|n| {
+                let mut b = DfgBuilder::new();
+                let mut prev = b.add_op(OpType::Add, &[]);
+                for _ in 1..n {
+                    prev = b.add_op(OpType::Add, &[prev]);
+                }
+                let dfg = b.finish().expect("acyclic");
+                let result = Binder::new(&machine).bind(&dfg);
+                assert_eq!(result.latency(), n, "chain-of-{n} latency");
+                result
+            })
+            .collect();
+        (machine, results)
+    })
+}
+
+/// Builds a synthetic exploration from `(latency 1..=8, area-step)`
+/// pairs; areas land on a 0.5 grid so ties occur often.
+fn synthetic(raw: &[(u32, usize)]) -> Exploration {
+    let (machine, results) = stock();
+    let points = raw
+        .iter()
+        .map(|&(latency, area_step)| DesignPoint {
+            machine: machine.clone(),
+            result: results[(latency - 1) as usize].clone(),
+            area: 1.0 + 0.5 * area_step as f64,
+            worst_rf_ports: 3,
+        })
+        .collect();
+    Exploration {
+        points,
+        skipped: Vec::new(),
+        truncated: false,
+        stats: ExploreStats::default(),
+    }
+}
+
+fn dominates(a: (f64, u32), b: (f64, u32)) -> bool {
+    (a.0 <= b.0 && a.1 < b.1) || (a.0 < b.0 && a.1 <= b.1)
+}
+
+/// Deterministic Fisher–Yates using a tiny LCG (the vendored proptest
+/// has no shuffle strategy).
+fn permute<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        items.swap(i, j);
+    }
+}
+
+fn key(p: &DesignPoint) -> (f64, u32) {
+    (p.area, p.latency())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn pareto_frontier_invariants(
+        raw in prop::collection::vec((1u32..=8, 0usize..=18), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let exploration = synthetic(&raw);
+        let frontier: Vec<(f64, u32)> =
+            exploration.pareto().iter().map(|p| key(p)).collect();
+        let all: Vec<(f64, u32)> = exploration.points.iter().map(key).collect();
+
+        // Non-empty, and a subset of the point set.
+        prop_assert!(!frontier.is_empty());
+        for f in &frontier {
+            prop_assert!(all.contains(f), "{f:?} not among the points");
+        }
+        // Sorted: strictly increasing area, strictly decreasing latency.
+        for w in frontier.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "area not strictly increasing: {frontier:?}");
+            prop_assert!(w[0].1 > w[1].1, "latency not strictly decreasing: {frontier:?}");
+        }
+        // No point dominates a frontier member...
+        for f in &frontier {
+            for p in &all {
+                prop_assert!(!dominates(*p, *f), "{p:?} dominates frontier member {f:?}");
+            }
+        }
+        // ...and every point is covered by some frontier member.
+        for p in &all {
+            prop_assert!(
+                frontier.iter().any(|f| f.0 <= p.0 && f.1 <= p.1),
+                "{p:?} beats the whole frontier"
+            );
+        }
+
+        // Permutation-invariant: the frontier depends on the set of
+        // (area, latency) pairs, not on sweep order.
+        let mut shuffled = synthetic(&raw);
+        permute(&mut shuffled.points, seed);
+        let again: Vec<(f64, u32)> = shuffled.pareto().iter().map(|p| key(p)).collect();
+        prop_assert_eq!(frontier, again);
+    }
+}
+
+fn kernel(pick: usize) -> Dfg {
+    match pick {
+        0 => vliw_kernels::arf(),
+        _ => vliw_kernels::ewf(),
+    }
+}
+
+fn tiny(pick: usize) -> ExplorerConfig {
+    ExplorerConfig {
+        max_clusters: 2,
+        max_alus_per_cluster: 2,
+        max_muls_per_cluster: 1,
+        max_total_fus: 4 + (pick % 2) as u32,
+        ..ExplorerConfig::default()
+    }
+}
+
+fn frontier_key(e: &Exploration) -> Vec<(String, u32, usize)> {
+    e.pareto()
+        .iter()
+        .map(|p| (p.machine.to_string(), p.latency(), p.moves()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn sweeps_are_identical_across_threads_and_deadlines(
+        pick in 0usize..4,
+        threads in prop::sample::select(vec![1usize, 4]),
+    ) {
+        let dfg = kernel(pick % 2);
+        let base = Explorer::new(tiny(pick)).try_explore(&dfg).expect("valid dfg");
+        prop_assert!(!base.truncated);
+
+        // Same sweep sharded, and under a deadline generous enough to
+        // never fire: bit-identical outcomes.
+        for deadline_ms in [None, Some(600_000)] {
+            let cfg = ExplorerConfig { threads, deadline_ms, ..tiny(pick) };
+            let run = Explorer::new(cfg).try_explore(&dfg).expect("valid dfg");
+            prop_assert!(!run.truncated);
+            prop_assert_eq!(&base.stats, &run.stats);
+            prop_assert_eq!(frontier_key(&base), frontier_key(&run));
+            prop_assert_eq!(base.points.len(), run.points.len());
+            for (a, b) in base.points.iter().zip(&run.points) {
+                prop_assert_eq!(&a.machine, &b.machine);
+                prop_assert_eq!(a.result.lm(), b.result.lm());
+                prop_assert_eq!(&a.result.binding, &b.result.binding);
+                prop_assert_eq!(&a.result.schedule, &b.result.schedule);
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_still_yields_a_verified_partial_frontier(
+        pick in 0usize..2,
+        threads in prop::sample::select(vec![1usize, 4]),
+    ) {
+        // The full default space is far more than 1 ms of binding work,
+        // but the first round always completes: the sweep must come back
+        // truncated, non-empty, and every surviving point must verify.
+        let dfg = kernel(pick);
+        let cfg = ExplorerConfig {
+            threads,
+            deadline_ms: Some(1),
+            ..ExplorerConfig::default()
+        };
+        let run = Explorer::new(cfg).try_explore(&dfg).expect("valid dfg");
+        prop_assert!(run.truncated, "1 ms cannot cover the default space");
+        prop_assert!(!run.points.is_empty());
+        prop_assert!(!run.pareto().is_empty());
+        for p in &run.points {
+            let verdict = verify_result(&dfg, &p.machine, &p.result);
+            prop_assert!(verdict.is_ok(), "{}: {:?}", p.machine, verdict);
+        }
+    }
+}

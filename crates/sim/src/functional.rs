@@ -58,7 +58,7 @@ fn apply(kind: OpType, seed: i64, operands: &[i64]) -> i64 {
         OpType::Add => a.wrapping_add(b),
         OpType::Sub => a.wrapping_sub(b),
         OpType::Neg => a.wrapping_neg(),
-        OpType::Shift => a.wrapping_shl((b.unsigned_abs() % 63) as u32),
+        OpType::Shift => a.wrapping_shl((b.unsigned_abs() & 63) as u32),
         OpType::Cmp => i64::from(a < b),
         OpType::Logic => a ^ b,
         OpType::Mul => a.wrapping_mul(b),
@@ -193,5 +193,19 @@ mod tests {
         assert_eq!(apply(OpType::Sub, 0, &[2, 3]), -1);
         assert_eq!(apply(OpType::Move, 0, &[42]), 42);
         assert_eq!(apply(OpType::Neg, 0, &[42]), -42);
+    }
+
+    #[test]
+    fn shift_covers_the_full_i64_domain() {
+        // The amount was once reduced `% 63`, which made shift-by-63
+        // unreachable and aliased every `b ≡ 0 (mod 63)` onto shift-0.
+        // The mask `& 63` pins the boundary values:
+        assert_eq!(apply(OpType::Shift, 0, &[1, 63]), 1i64.wrapping_shl(63));
+        assert_eq!(apply(OpType::Shift, 0, &[3, -63]), 3i64.wrapping_shl(63));
+        // 64 wraps at the shift domain (64 & 63 == 0), not at 63.
+        assert_eq!(apply(OpType::Shift, 0, &[5, 64]), 5);
+        // 126 & 63 == 62 (the old `% 63` collapsed this to shift-0).
+        assert_eq!(apply(OpType::Shift, 0, &[7, 126]), 7i64.wrapping_shl(62));
+        assert_eq!(apply(OpType::Shift, 0, &[9, 0]), 9);
     }
 }

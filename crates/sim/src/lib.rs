@@ -135,9 +135,13 @@ pub struct SimReport {
     pub issues_per_cluster: Vec<usize>,
     /// Number of transfers executed on the bus.
     pub bus_transfers: usize,
-    /// Fraction of (FU × cycle) issue slots actually used, per cluster.
+    /// Fraction of (FU × cycle) slots occupied, per cluster. Each issue
+    /// occupies its unit for `dii(t)` cycles (clamped to the schedule
+    /// horizon), so a unit saturated by back-to-back `dii = 2` issues
+    /// reports 1.0, not 0.5.
     pub fu_utilization: Vec<f64>,
-    /// Fraction of (bus lane × cycle) slots used.
+    /// Fraction of (bus lane × cycle) slots occupied, under the same
+    /// `dii`-weighted model as [`SimReport::fu_utilization`].
     pub bus_utilization: f64,
 }
 
@@ -207,6 +211,13 @@ impl<'m> Simulator<'m> {
 
         let mut issues_per_cluster = vec![0usize; machine.cluster_count()];
         let mut bus_transfers = 0usize;
+        // Occupancy in (unit × cycle) slots: each issue holds its unit
+        // for `dii(t)` cycles, not one. Issues never overlap on a unit
+        // (the free-slot check enforces it), so summing `dii` per issue
+        // and trimming whatever the *last* issue on each unit ran past
+        // the horizon gives the exact busy time within the schedule.
+        let mut fu_busy = vec![0u64; machine.cluster_count()];
+        let mut bus_busy = 0u64;
 
         for v in order {
             let tau = schedule.start(v);
@@ -241,17 +252,37 @@ impl<'m> Simulator<'m> {
             *slot = tau + machine.dii(t);
             ready_at[v.index()] = tau + machine.latency(dfg.op_type(v));
             match t {
-                FuType::Bus => bus_transfers += 1,
-                _ => issues_per_cluster[bound.cluster_of(v).index()] += 1,
+                FuType::Bus => {
+                    bus_transfers += 1;
+                    bus_busy += u64::from(machine.dii(t));
+                }
+                _ => {
+                    issues_per_cluster[bound.cluster_of(v).index()] += 1;
+                    fu_busy[bound.cluster_of(v).index()] += u64::from(machine.dii(t));
+                }
             }
         }
 
         let cycles = schedule.latency();
+        // Clamp occupancy to the schedule horizon: only the final issue
+        // on a unit can run past it, and each unit's release cycle holds
+        // exactly that issue's end.
+        let horizon = u64::from(cycles);
+        for (c, pools) in fus.iter().enumerate() {
+            for pool in pools {
+                for &end in pool {
+                    fu_busy[c] = fu_busy[c].saturating_sub(u64::from(end).saturating_sub(horizon));
+                }
+            }
+        }
+        for &end in &bus {
+            bus_busy = bus_busy.saturating_sub(u64::from(end).saturating_sub(horizon));
+        }
         let fu_utilization = machine
             .cluster_ids()
             .map(|c| {
                 let slots = (machine.cluster(c).total_fus() as u64 * cycles as u64).max(1);
-                issues_per_cluster[c.index()] as f64 / slots as f64
+                fu_busy[c.index()] as f64 / slots as f64
             })
             .collect();
         let bus_slots = (machine.bus_count() as u64 * cycles as u64).max(1);
@@ -260,7 +291,7 @@ impl<'m> Simulator<'m> {
             issues_per_cluster,
             bus_transfers,
             fu_utilization,
-            bus_utilization: bus_transfers as f64 / bus_slots as f64,
+            bus_utilization: bus_busy as f64 / bus_slots as f64,
         })
     }
 }
@@ -372,6 +403,41 @@ mod tests {
             assert!((0.0..=1.0).contains(u));
         }
         assert!((0.0..=1.0).contains(&report.bus_utilization));
+    }
+
+    #[test]
+    fn saturated_unit_reports_full_utilization() {
+        // One ALU with dii = 2, issued back-to-back: the unit is busy
+        // every cycle of the horizon, so utilization must be exactly 1.0
+        // (a per-issue count would claim 0.5).
+        use vliw_datapath::{Cluster, MachineBuilder};
+        let machine = MachineBuilder::new()
+            .clusters(vec![Cluster::new(1, 0)])
+            .bus_count(1)
+            .fu_dii(FuType::Alu, 2)
+            .build()
+            .expect("valid machine");
+        let mut b = DfgBuilder::new();
+        let _ = b.add_op(OpType::Add, &[]);
+        let _ = b.add_op(OpType::Add, &[]);
+        let dfg = b.finish().expect("acyclic");
+        let bn = Binding::new(&dfg, &machine, vec![cl(0), cl(0)]).expect("valid");
+        let bound = BoundDfg::new(&dfg, &machine, &bn);
+        let lat = bound.latencies(&machine);
+        let schedule = vliw_sched::Schedule::from_starts(vec![0, 2], &lat);
+        let report = Simulator::new(&machine)
+            .run(&bound, &schedule)
+            .expect("valid execution");
+        // Horizon is 3 cycles (second issue at 2, latency 1): the first
+        // issue occupies cycles 0-1 and the second is clamped at the
+        // horizon, so busy = 2 + 1 over 1 x 3 slots.
+        assert_eq!(report.cycles, 3);
+        assert_eq!(report.issues_per_cluster, vec![2]);
+        assert!(
+            (report.fu_utilization[0] - 1.0).abs() < 1e-12,
+            "got {}",
+            report.fu_utilization[0]
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! vliw bind    --kernel FFT --machine "[2,1|1,1]" [--algo biter] [--json]
 //! vliw trace   ewf 2x11 [--out trace.jsonl]    per-phase timing breakdown
 //! vliw dot     --kernel ARF --machine "[1,1|1,1]"    bound-DFG Graphviz
-//! vliw explore --kernel DCT-DIT --max-fus 8          area/latency frontier
+//! vliw explore ewf --max-fus 8 [--threads 4] [--json]  area/latency frontier
 //! ```
 //!
 //! Kernels may also come from disk: `--dfg path.json` reads a
@@ -78,7 +78,7 @@ impl Args {
                 continue;
             };
             // Boolean flags take no value.
-            if matches!(name, "json" | "asm") {
+            if matches!(name, "json" | "asm" | "no-prune") {
                 flags.push((name.to_owned(), "true".to_owned()));
                 continue;
             }
@@ -124,7 +124,11 @@ commands:
           traced bind with a per-phase breakdown; DATAPATH is
           \"[a,m|...]\" or NxAM shorthand (2x11 = [1,1|1,1])
   dot     --kernel K | --dfg FILE  --machine \"[...]\"   bound-DFG Graphviz
-  explore --kernel K | --dfg FILE  [--max-fus N] [--max-clusters N]
+  explore KERNEL [--max-fus N] [--max-clusters N] [--max-alus N]
+          [--max-muls N] [--threads N] [--deadline-ms N] [--max-candidates N]
+          [--no-prune] [--json] [--trace-out FILE.jsonl]
+          area/latency Pareto frontier over every canonical datapath
+          (also accepts --kernel K | --dfg FILE)
   verify  --input FILE                  re-check a `bind --json` result
           | --kernel K | --dfg FILE  --machine \"[...]\" [--algo A]
 ";
@@ -729,32 +733,129 @@ fn cmd_dot(args: &Args) -> Result<String, CliError> {
 
 fn cmd_explore(args: &Args) -> Result<String, CliError> {
     use vliw_explore::{Explorer, ExplorerConfig};
-    let dfg = load_dfg(args)?;
+    // `vliw explore ewf`: kernel as positional, with the flag
+    // spellings (`--kernel`/`--dfg`) as fallback.
+    let dfg = match args.positional(0) {
+        Some(name) => kernel_dfg(name)?,
+        None => load_dfg(args)?,
+    };
+    let label = args
+        .positional(0)
+        .or_else(|| args.get("kernel"))
+        .map_or_else(|| "input".to_owned(), str::to_uppercase);
+
     let mut config = ExplorerConfig::default();
-    if let Some(v) = args.get("max-fus") {
-        config.max_total_fus = v.parse().map_err(|_| err("--max-fus takes a number"))?;
+    let numeric = |name: &str| -> Result<Option<u32>, CliError> {
+        args.get(name)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| err(format!("--{name} takes a number")))
+            })
+            .transpose()
+    };
+    if let Some(v) = numeric("max-fus")? {
+        config.max_total_fus = v;
     }
-    if let Some(v) = args.get("max-clusters") {
-        config.max_clusters = v
-            .parse()
-            .map_err(|_| err("--max-clusters takes a number"))?;
+    if let Some(v) = numeric("max-clusters")? {
+        config.max_clusters = v as usize;
     }
-    let exploration = Explorer::new(config).explore(&dfg);
+    if let Some(v) = numeric("max-alus")? {
+        config.max_alus_per_cluster = v;
+    }
+    if let Some(v) = numeric("max-muls")? {
+        config.max_muls_per_cluster = v;
+    }
+    if let Some(v) = numeric("threads")? {
+        config.threads = v as usize;
+    }
+    if let Some(v) = numeric("deadline-ms")? {
+        config.deadline_ms = Some(u64::from(v));
+    }
+    if let Some(v) = numeric("max-candidates")? {
+        config.max_candidates = Some(v as usize);
+    }
+    if args.get("no-prune").is_some() {
+        config.prune = false;
+    }
+    let trace_out = args.get("trace-out");
+    config.binder.trace = trace_out.is_some();
+
+    let sink = Arc::new(MemorySink::new());
+    let explorer = Explorer::new(config).with_trace_sink(sink.clone());
+    let exploration = explorer.try_explore(&dfg).map_err(|e| err(e.to_string()))?;
+    let frontier = exploration.pareto();
+    let stats = exploration.stats;
+
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:<20} {:>6} {:>9} {:>10}",
-        "datapath", "area", "latency", "moves"
-    );
-    for p in exploration.pareto() {
+    if args.get("json").is_some() {
+        // Deliberately free of thread counts and timings: the same
+        // sweep must serialize byte-identically however it is sharded.
+        let blob = serde_json::json!({
+            "schema": "vliw-exploration-v1",
+            "kernel": label,
+            "ops": dfg.len(),
+            "truncated": exploration.truncated,
+            "stats": {
+                "enumerated": stats.enumerated,
+                "evaluated": stats.evaluated,
+                "skipped": stats.skipped,
+                "pruned": stats.pruned,
+            },
+            "frontier": frontier.iter().map(|p| serde_json::json!({
+                "machine": p.machine.to_string(),
+                "area": p.area,
+                "latency": p.latency(),
+                "moves": p.moves(),
+                "rf_ports": p.worst_rf_ports,
+            })).collect::<Vec<_>>(),
+        });
+        out = serde_json::to_string_pretty(&blob).map_err(|e| err(e.to_string()))?;
+        out.push('\n');
+    } else {
         let _ = writeln!(
             out,
-            "{:<20} {:>6.1} {:>9} {:>10}",
-            p.machine.to_string(),
-            p.area,
-            p.latency(),
-            p.moves()
+            "{:<20} {:>6} {:>9} {:>10} {:>9}",
+            "datapath", "area", "latency", "moves", "rf ports"
         );
+        for p in &frontier {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>6.1} {:>9} {:>10} {:>9}",
+                p.machine.to_string(),
+                p.area,
+                p.latency(),
+                p.moves(),
+                p.worst_rf_ports
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\n{} candidates: {} evaluated, {} skipped, {} pruned{}",
+            stats.enumerated,
+            stats.evaluated,
+            stats.skipped,
+            stats.pruned,
+            if exploration.truncated {
+                " (budget exhausted: partial sweep)"
+            } else {
+                ""
+            }
+        );
+    }
+
+    if let Some(path) = trace_out {
+        let events = sink.events();
+        let mut text = String::with_capacity(events.len() * 128);
+        for e in &events {
+            text.push_str(&event_to_jsonl(e));
+            text.push('\n');
+        }
+        validate_jsonl(&text).map_err(|e| {
+            err(format!(
+                "internal error: emitted JSONL fails the schema: {e}"
+            ))
+        })?;
+        std::fs::write(path, &text).map_err(|e| err(format!("cannot write {path}: {e}")))?;
     }
     Ok(out)
 }
@@ -1128,7 +1229,55 @@ mod tests {
     fn explore_prints_a_frontier() {
         let out = run_line("explore --kernel ARF --max-fus 5 --max-clusters 2").expect("ok");
         assert!(out.contains("datapath"), "{out}");
+        assert!(out.contains("candidates:"), "{out}");
         assert!(out.lines().count() >= 2, "{out}");
+    }
+
+    #[test]
+    fn explore_accepts_a_positional_kernel_and_budget_flags() {
+        let out = run_line(concat!(
+            "explore arf --max-fus 5 --max-clusters 2 ",
+            "--max-candidates 4 --no-prune"
+        ))
+        .expect("ok");
+        assert!(out.contains("budget exhausted"), "{out}");
+    }
+
+    #[test]
+    fn explore_json_is_identical_across_thread_counts() {
+        let base = "explore ewf --max-fus 5 --max-clusters 2 --json";
+        let serial = run_line(base).expect("ok");
+        let blob: serde_json::Value = serde_json::from_str(&serial).expect("valid JSON");
+        assert_eq!(blob["schema"], "vliw-exploration-v1");
+        assert_eq!(blob["truncated"], false);
+        assert!(blob["frontier"].as_array().is_some_and(|f| !f.is_empty()));
+        assert!(blob["stats"]["evaluated"].as_u64().unwrap() > 0);
+        // Byte-identical under sharding: the JSON carries no thread
+        // counts or timings, and the sweep itself is deterministic.
+        let sharded = run_line(&format!("{base} --threads 4")).expect("ok");
+        assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    fn explore_trace_out_writes_schema_clean_jsonl() {
+        let path = std::env::temp_dir().join("vliw_explore_trace_test.jsonl");
+        let line = format!(
+            "explore arf --max-fus 4 --max-clusters 2 --trace-out {}",
+            path.display()
+        );
+        run_line(&line).expect("ok");
+        let text = std::fs::read_to_string(&path).expect("trace written");
+        let _ = std::fs::remove_file(&path);
+        let count = validate_jsonl(&text).expect("schema-clean");
+        assert!(count > 0);
+        assert!(text.contains("\"explore\""), "root span present");
+        assert!(text.contains("candidates_evaluated"), "counters present");
+    }
+
+    #[test]
+    fn explore_rejects_bad_flags() {
+        let e = run_line("explore arf --threads lots").expect_err("bad value");
+        assert!(e.0.contains("--threads"), "{e}");
     }
 
     #[test]
