@@ -4,10 +4,12 @@
 //! flags (`--threads`, `--pairs`, `--starts`, `--no-eval-cache`,
 //! `--deadline-ms`, `--max-rounds`, `--verify`/`--no-verify`), the
 //! side-output flags (`--json FILE`, `--bench-out FILE`), `--quick`, a
-//! single optional positional (the ablation study name), and
+//! single optional positional (the ablation study name),
 //! `--trace-out FILE` — which forces [`BinderConfig::trace`] on and
 //! installs a process-global JSONL sink so every traced bind of the run
-//! streams its events to the file.
+//! streams its events to the file — and `--fail-spec SPEC` (fallback:
+//! the `VLIW_FAIL` environment variable), which arms deterministic
+//! fault injection for chaos runs.
 
 use std::fs::File;
 use std::io::BufWriter;
@@ -23,6 +25,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--json",
     "--bench-out",
     "--trace-out",
+    "--fail-spec",
     "--pairs",
     "--starts",
     "--threads",
@@ -42,6 +45,9 @@ pub struct BenchCli {
     pub bench_out: Option<String>,
     /// `--trace-out FILE`: where the JSONL event stream goes.
     pub trace_path: Option<String>,
+    /// `--fail-spec SPEC`: deterministic fault-injection spec, armed by
+    /// [`BenchCli::from_env`] (grammar in the `vliw_fault` crate docs).
+    pub fail_spec: Option<String>,
     /// `--quick`: subsample the experiment matrix.
     pub quick: bool,
     /// The first non-flag argument (the ablation study name).
@@ -57,6 +63,7 @@ impl std::fmt::Debug for BenchCli {
             .field("json_path", &self.json_path)
             .field("bench_out", &self.bench_out)
             .field("trace_path", &self.trace_path)
+            .field("fail_spec", &self.fail_spec)
             .field("quick", &self.quick)
             .field("positional", &self.positional)
             .finish_non_exhaustive()
@@ -92,6 +99,7 @@ impl BenchCli {
         let json_path = value_of("--json")?;
         let bench_out = value_of("--bench-out")?;
         let trace_path = value_of("--trace-out")?;
+        let fail_spec = value_of("--fail-spec")?;
         if trace_path.is_some() {
             // The stream is only fed by traced binds.
             config.trace = true;
@@ -116,6 +124,7 @@ impl BenchCli {
             json_path,
             bench_out,
             trace_path,
+            fail_spec,
             quick: args.iter().any(|a| a == "--quick"),
             positional,
             sink: None,
@@ -134,6 +143,18 @@ impl BenchCli {
                 std::process::exit(2);
             }
         };
+        // Arm fault injection before any work: `--fail-spec` wins,
+        // otherwise the `VLIW_FAIL` environment variable is consulted.
+        let armed = match &cli.fail_spec {
+            Some(spec) => vliw_fault::configure(spec).map_err(|e| format!("bad --fail-spec: {e}")),
+            None => vliw_fault::init_from_env()
+                .map(|_| ())
+                .map_err(|e| format!("bad VLIW_FAIL spec: {e}")),
+        };
+        if let Err(msg) = armed {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
         for path in [&cli.json_path, &cli.bench_out].into_iter().flatten() {
             crate::runner::ensure_writable_or_exit(path);
         }
@@ -201,6 +222,19 @@ mod tests {
         assert!(!cli.config.eval_cache);
         assert_eq!(cli.positional, None);
         assert_eq!(cli.bench_out_or("X.json"), "BENCH.json");
+    }
+
+    #[test]
+    fn fail_spec_parses_without_arming() {
+        // try_parse is pure: the spec is carried, not installed (that
+        // happens in from_env), so parsing here cannot perturb other
+        // tests through the process-global registry.
+        let cli = parse("--fail-spec eval.candidate=on3:panic gamma").expect("valid");
+        assert_eq!(cli.fail_spec.as_deref(), Some("eval.candidate=on3:panic"));
+        assert_eq!(cli.positional.as_deref(), Some("gamma"));
+        assert!(!vliw_fault::is_armed());
+        let e = parse("--fail-spec").expect_err("missing value");
+        assert!(e.contains("needs a value"), "{e}");
     }
 
     #[test]

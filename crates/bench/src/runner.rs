@@ -299,19 +299,52 @@ pub fn ensure_writable_or_exit(path: &str) {
     }
 }
 
-/// Writes an output file, printing a one-line error and exiting with
-/// status 2 on failure.
+/// Writes an output file atomically — the contents land in a temporary
+/// sibling first and are renamed into place, so a crash or `ENOSPC`
+/// mid-write can never leave a truncated `BENCH_*.json` that downstream
+/// trajectory tooling would misparse as a regression. Prints a one-line
+/// error and exits with status 2 on failure.
 pub fn write_or_exit(path: &str, contents: &str) {
-    if let Err(e) = std::fs::write(path, contents) {
+    if let Err(e) = write_atomically(path, contents) {
         eprintln!("error: cannot write {path}: {e}");
         std::process::exit(2);
     }
+}
+
+/// Temp-file-plus-rename write; the temp name is derived from the target
+/// so concurrent writers of *different* outputs never collide.
+fn write_atomically(path: &str, contents: &str) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        // Leave no orphaned temp file behind a failed rename.
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use vliw_kernels::Kernel;
+
+    #[test]
+    fn atomic_write_leaves_no_temp_file() {
+        let path = std::env::temp_dir().join("vliw_bench_atomic_write_test.json");
+        let path = path.to_str().expect("utf8 path");
+        write_atomically(path, "{\"ok\":true}\n").expect("writes");
+        assert_eq!(
+            std::fs::read_to_string(path).expect("reads"),
+            "{\"ok\":true}\n"
+        );
+        assert!(!std::path::Path::new(&format!("{path}.tmp")).exists());
+        // Overwrite goes through the same rename, replacing the old
+        // contents wholesale.
+        write_atomically(path, "{}\n").expect("overwrites");
+        assert_eq!(std::fs::read_to_string(path).expect("reads"), "{}\n");
+        let _ = std::fs::remove_file(path);
+        // A doomed target directory fails cleanly instead of exiting.
+        assert!(write_atomically("/nonexistent-dir/out.json", "x").is_err());
+    }
 
     #[test]
     fn runner_produces_consistent_row() {

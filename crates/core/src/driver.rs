@@ -68,9 +68,14 @@ impl BindingResult {
     ///
     /// # Panics
     ///
-    /// Panics if the binding is incomplete or mismatched with `dfg`.
+    /// Panics if the binding is incomplete or mismatched with `dfg`, or
+    /// when an armed [`vliw_fault`] failpoint fires at the `sched.list`
+    /// site (contained as a typed error by the supervised entry points).
     pub fn evaluate(dfg: &Dfg, machine: &Machine, binding: Binding) -> Self {
         let bound = BoundDfg::new(dfg, machine, &binding);
+        // The list-scheduler invocation has no error channel, so faults
+        // injected here surface as supervised panics.
+        vliw_fault::point_infallible("sched.list");
         let schedule = ListScheduler::new(machine).schedule(&bound);
         BindingResult {
             binding,
@@ -354,7 +359,7 @@ impl<'m> Binder<'m> {
         let run_span = tracer.span(SpanCat::Phase, "run", vec![("ops", dfg.len().into())]);
         let budget = Budget::new(&self.config).with_tracer(tracer.clone(), &self.config);
         let evaluator = Evaluator::new(dfg, self.machine, &self.config).with_tracer(tracer.clone());
-        let result = self.bind_initial_eval(dfg, &evaluator, &budget, &report);
+        let result = self.bind_initial_eval(dfg, &evaluator, &budget, &report)?;
         self.verify_result(dfg, &result, &tracer)?;
         if tracer.is_enabled() {
             tracer.counter("result_latency", u64::from(result.latency()), vec![]);
@@ -383,7 +388,7 @@ impl<'m> Binder<'m> {
         evaluator: &Evaluator<'_>,
         budget: &Budget,
         report: &BoundReport,
-    ) -> BindingResult {
+    ) -> Result<BindingResult, BindError> {
         let tracer = evaluator.tracer();
         let _phase = tracer.span(SpanCat::Phase, "b_init", vec![]);
         // A candidate meeting the certified `(L, N_MV)` floor is
@@ -402,10 +407,10 @@ impl<'m> Binder<'m> {
         let mut best: Option<((u32, usize), Binding)> = None;
         for batch in self.sweep_points(dfg, report).chunks(chunk) {
             let bindings: Vec<Binding> = batch.iter().map(|p| p.binding.clone()).collect();
-            for (point, outcome) in batch.iter().zip(evaluator.outcomes(&bindings)) {
+            for (point, outcome) in batch.iter().zip(evaluator.try_outcomes(&bindings)?) {
                 trace_sweep_point(tracer, point, outcome.lm());
                 if outcome.lm() == floor {
-                    return evaluator.evaluate(point.binding.clone());
+                    return evaluator.try_evaluate(point.binding.clone());
                 }
                 if best.as_ref().is_none_or(|(lm, _)| outcome.lm() < *lm) {
                     best = Some((outcome.lm(), point.binding.clone()));
@@ -416,7 +421,7 @@ impl<'m> Binder<'m> {
             }
         }
         let (_, binding) = best.expect("the L_PR sweep is never empty"); // lint:allow(no-panic)
-        evaluator.evaluate(binding)
+        evaluator.try_evaluate(binding)
     }
 
     /// The *distinct* sweep points produced by the B-INIT parameter
@@ -459,10 +464,17 @@ impl<'m> Binder<'m> {
     /// All *distinct* bindings produced by the driver sweep, evaluated
     /// and sorted best-first by `(L, N_MV)`. [`Binder::bind`] refines the
     /// top [`BinderConfig::improve_starts`] of these with B-ITER.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an armed [`vliw_fault`] failpoint fires during the
+    /// sweep; the fallible driver entry points contain such faults as
+    /// typed errors.
     pub fn initial_candidates(&self, dfg: &Dfg) -> Vec<BindingResult> {
         let evaluator = Evaluator::new(dfg, self.machine, &self.config);
         let report = analyze(dfg, self.machine);
         self.initial_candidates_eval(dfg, &evaluator, &Budget::unlimited(), &report)
+            .unwrap_or_else(|e| panic!("binding failed: {e}"))
     }
 
     /// [`Binder::initial_candidates`] against a caller-supplied
@@ -478,7 +490,7 @@ impl<'m> Binder<'m> {
         evaluator: &Evaluator<'_>,
         budget: &Budget,
         report: &BoundReport,
-    ) -> Vec<BindingResult> {
+    ) -> Result<Vec<BindingResult>, BindError> {
         let tracer = evaluator.tracer();
         let _phase = tracer.span(SpanCat::Phase, "b_init", vec![]);
         let points = self.sweep_points(dfg, report);
@@ -490,7 +502,7 @@ impl<'m> Binder<'m> {
         let mut results: Vec<BindingResult> = Vec::with_capacity(points.len());
         for batch in points.chunks(chunk) {
             let bindings: Vec<Binding> = batch.iter().map(|p| p.binding.clone()).collect();
-            let evaluated = evaluator.evaluate_all(bindings);
+            let evaluated = evaluator.try_evaluate_all(bindings)?;
             for (point, result) in batch.iter().zip(&evaluated) {
                 trace_sweep_point(tracer, point, result.lm());
             }
@@ -500,7 +512,7 @@ impl<'m> Binder<'m> {
             }
         }
         results.sort_by_key(BindingResult::lm);
-        results
+        Ok(results)
     }
 
     /// Phase 2 — **B-ITER** refinement of an existing result
@@ -537,7 +549,7 @@ impl<'m> Binder<'m> {
             start,
             &budget,
             Some(report.lm_bound()),
-        );
+        )?;
         self.verify_result(dfg, &improved, &tracer)?;
         drop(run_span);
         Ok(improved)
@@ -615,12 +627,12 @@ impl<'m> Binder<'m> {
         let floor = report.lm_bound();
         let mut best: Option<BindingResult> = None;
         for start in self
-            .initial_candidates_eval(dfg, &evaluator, &budget, &report)
+            .initial_candidates_eval(dfg, &evaluator, &budget, &report)?
             .into_iter()
             .take(starts)
         {
             let improved =
-                iter::improve_eval_budgeted(&evaluator, &self.config, start, &budget, Some(floor));
+                iter::improve_eval_budgeted(&evaluator, &self.config, start, &budget, Some(floor))?;
             if best.as_ref().is_none_or(|b| improved.lm() < b.lm()) {
                 best = Some(improved);
             }

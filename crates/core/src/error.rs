@@ -46,6 +46,27 @@ pub enum BindError {
     /// re-validation (used by drivers whose schedule type has its own
     /// checker, e.g. the modulo pipeline's `ModuloSchedule::validate`).
     InvalidSchedule(String),
+    /// A pool worker panicked while processing one item. The supervisor
+    /// ([`crate::pool::run_indexed_fallible`]) contains the unwind, so
+    /// one poisoned item degrades to this typed error instead of
+    /// aborting the run.
+    WorkerPanicked {
+        /// Input-order index of the item whose processing panicked.
+        index: usize,
+        /// The failpoint site that injected the panic, when the panic
+        /// came from [`vliw_fault`]; `None` for organic panics.
+        site: Option<String>,
+        /// The panic payload, when it was a string; a placeholder
+        /// otherwise.
+        payload: String,
+    },
+    /// A [`vliw_fault`] failpoint fired its `error` action at this site.
+    FaultInjected {
+        /// The failpoint site that fired.
+        site: String,
+        /// The configured message.
+        message: String,
+    },
 }
 
 impl fmt::Display for BindError {
@@ -80,6 +101,20 @@ impl fmt::Display for BindError {
             BindError::InvalidSchedule(reason) => {
                 write!(f, "result failed schedule validation: {reason}")
             }
+            BindError::WorkerPanicked {
+                index,
+                site,
+                payload,
+            } => {
+                write!(f, "worker panicked on item {index}")?;
+                if let Some(site) = site {
+                    write!(f, " (injected at {site})")?;
+                }
+                write!(f, ": {payload}")
+            }
+            BindError::FaultInjected { site, message } => {
+                write!(f, "injected fault at {site}: {message}")
+            }
         }
     }
 }
@@ -110,6 +145,15 @@ impl From<MachineError> for BindError {
 impl From<BindingError> for BindError {
     fn from(e: BindingError) -> Self {
         BindError::Binding(e)
+    }
+}
+
+impl From<vliw_fault::FaultError> for BindError {
+    fn from(e: vliw_fault::FaultError) -> Self {
+        BindError::FaultInjected {
+            site: e.site,
+            message: e.message,
+        }
     }
 }
 
@@ -244,5 +288,38 @@ mod tests {
             text.contains("1 violations") && text.contains("cycle 3"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn fault_variants_display_their_site() {
+        let e = BindError::WorkerPanicked {
+            index: 7,
+            site: Some("eval.candidate".into()),
+            payload: "chaos".into(),
+        };
+        let text = e.to_string();
+        assert!(
+            text.contains("item 7") && text.contains("eval.candidate") && text.contains("chaos"),
+            "{text}"
+        );
+        let organic = BindError::WorkerPanicked {
+            index: 0,
+            site: None,
+            payload: "oops".into(),
+        };
+        assert!(!organic.to_string().contains("injected"));
+        let e: BindError = vliw_fault::FaultError {
+            site: "sched.list".into(),
+            message: "boom".into(),
+        }
+        .into();
+        assert_eq!(
+            e,
+            BindError::FaultInjected {
+                site: "sched.list".into(),
+                message: "boom".into(),
+            }
+        );
+        assert!(e.to_string().contains("sched.list"));
     }
 }

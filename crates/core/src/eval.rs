@@ -28,6 +28,7 @@
 
 use crate::config::BinderConfig;
 use crate::driver::BindingResult;
+use crate::error::BindError;
 use crate::iter::{Quality, QualityKind};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -193,14 +194,31 @@ impl<'e> Evaluator<'e> {
     /// Fully evaluates one binding (bound graph + schedule), warming the
     /// memo as a side effect. Used to materialize winners; batch metric
     /// queries should go through [`Evaluator::outcomes`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an armed [`vliw_fault`] failpoint fires during the
+    /// evaluation; use [`Evaluator::try_evaluate`] to contain injected
+    /// faults as typed errors instead.
     pub fn evaluate(&self, binding: Binding) -> BindingResult {
-        let result = BindingResult::evaluate(self.dfg, self.machine, binding);
+        self.try_evaluate(binding)
+            .unwrap_or_else(|e| panic!("evaluation failed: {e}"))
+    }
+
+    /// [`Evaluator::evaluate`] with fault supervision: a fault injected
+    /// at the `eval.candidate` or `sched.list` site (including a worker
+    /// panic) is contained and returned as a typed [`BindError`].
+    pub fn try_evaluate(&self, binding: Binding) -> Result<BindingResult, BindError> {
+        let result = crate::pool::guard_item(0, || {
+            vliw_fault::point("eval.candidate")?;
+            Ok(BindingResult::evaluate(self.dfg, self.machine, binding))
+        })?;
         if let Some(memo) = &self.memo {
             memo.lock()
-                .expect("memo lock") // lint:allow(no-panic)
+                .unwrap_or_else(|e| e.into_inner())
                 .insert(result.binding.clone(), EvalOutcome::of(&result));
         }
-        result
+        Ok(result)
     }
 
     /// The memoized metrics of a batch of candidate bindings, in input
@@ -208,7 +226,23 @@ impl<'e> Evaluator<'e> {
     /// without scheduling; the remaining distinct bindings are scheduled,
     /// in parallel when the batch is large enough to pay for the scoped
     /// worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an armed [`vliw_fault`] failpoint fires during the
+    /// batch; use [`Evaluator::try_outcomes`] to contain injected faults
+    /// as typed errors instead.
     pub fn outcomes(&self, bindings: &[Binding]) -> Vec<EvalOutcome> {
+        self.try_outcomes(bindings)
+            .unwrap_or_else(|e| panic!("evaluation failed: {e}"))
+    }
+
+    /// [`Evaluator::outcomes`] with fault supervision: the first fault
+    /// injected while scheduling the batch (including a worker panic,
+    /// contained by [`crate::pool::run_indexed_fallible`]) fails the
+    /// whole batch with a typed [`BindError`] — in input order, so the
+    /// reported fault is deterministic for a deterministic schedule.
+    pub fn try_outcomes(&self, bindings: &[Binding]) -> Result<Vec<EvalOutcome>, BindError> {
         let mut slots: Vec<Option<EvalOutcome>> = vec![None; bindings.len()];
         // Distinct bindings that need a real evaluation, in first-seen
         // order, with the slots each one fills.
@@ -235,7 +269,7 @@ impl<'e> Evaluator<'e> {
         self.trace_cache_counters(bindings.len() - pending.len(), pending.len());
 
         let fresh: Vec<EvalOutcome> = self
-            .run_batch(pending.iter().map(|(b, _)| (*b).clone()).collect())
+            .run_batch(pending.iter().map(|(b, _)| (*b).clone()).collect())?
             .iter()
             .map(EvalOutcome::of)
             .collect();
@@ -255,10 +289,10 @@ impl<'e> Evaluator<'e> {
             }
             slots[*last] = Some(outcome);
         }
-        slots
+        Ok(slots
             .into_iter()
             .map(|s| s.expect("every slot is filled")) // lint:allow(no-panic)
-            .collect()
+            .collect())
     }
 
     /// Fully evaluates a batch of candidate bindings, returning results
@@ -266,7 +300,24 @@ impl<'e> Evaluator<'e> {
     /// the batch are scheduled once; the memo is warmed with every
     /// outcome but cannot serve full results, so each distinct binding
     /// is scheduled even when its metrics are cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an armed [`vliw_fault`] failpoint fires during the
+    /// batch; use [`Evaluator::try_evaluate_all`] to contain injected
+    /// faults as typed errors instead.
     pub fn evaluate_all(&self, bindings: Vec<Binding>) -> Vec<BindingResult> {
+        self.try_evaluate_all(bindings)
+            .unwrap_or_else(|e| panic!("evaluation failed: {e}"))
+    }
+
+    /// [`Evaluator::evaluate_all`] with fault supervision: the first
+    /// fault injected while scheduling the batch fails it with a typed
+    /// [`BindError`] instead of unwinding through the pool.
+    pub fn try_evaluate_all(
+        &self,
+        bindings: Vec<Binding>,
+    ) -> Result<Vec<BindingResult>, BindError> {
         let mut slots: Vec<Option<BindingResult>> = (0..bindings.len()).map(|_| None).collect();
         let mut pending: Vec<(Binding, Vec<usize>)> = Vec::new();
         {
@@ -283,7 +334,7 @@ impl<'e> Evaluator<'e> {
             }
         }
         self.trace_cache_counters(bindings.len() - pending.len(), pending.len());
-        let results = self.run_batch(pending.iter().map(|(b, _)| b.clone()).collect());
+        let results = self.run_batch(pending.iter().map(|(b, _)| b.clone()).collect())?;
         if let Some(memo) = &self.memo {
             let mut memo = memo.lock().expect("memo lock"); // lint:allow(no-panic)
             for ((binding, _), result) in pending.iter().zip(&results) {
@@ -299,10 +350,10 @@ impl<'e> Evaluator<'e> {
             }
             slots[*last] = Some(result);
         }
-        slots
+        Ok(slots
             .into_iter()
             .map(|s| s.expect("every slot is filled")) // lint:allow(no-panic)
-            .collect()
+            .collect())
     }
 
     /// Reports one batch's cache classification to the tracer (no-op
@@ -320,26 +371,36 @@ impl<'e> Evaluator<'e> {
         }
     }
 
-    /// Schedules each binding, serially or across the worker pool. The
-    /// result order matches the input order either way.
-    fn run_batch(&self, bindings: Vec<Binding>) -> Vec<BindingResult> {
+    /// Schedules each binding, serially or across the worker pool, with
+    /// every item supervised by [`crate::pool::guard_item`] so an
+    /// injected (or organic) panic degrades to a typed error. The result
+    /// order matches the input order either way; when a fault fires, the
+    /// first error in input order is returned. The `eval.candidate`
+    /// failpoint is checked per item on both paths, so a given fault
+    /// schedule behaves identically whatever the thread count.
+    fn run_batch(&self, bindings: Vec<Binding>) -> Result<Vec<BindingResult>, BindError> {
         if self.threads <= 1 || bindings.len() < PARALLEL_THRESHOLD {
             let started = self.tracer.is_enabled().then(Stopwatch::start);
             let evals = bindings.len();
-            let results: Vec<BindingResult> = bindings
-                .into_iter()
-                .map(|b| BindingResult::evaluate(self.dfg, self.machine, b))
-                .collect();
+            let mut results: Vec<BindingResult> = Vec::with_capacity(evals);
+            for (i, b) in bindings.into_iter().enumerate() {
+                results.push(crate::pool::guard_item(i, || {
+                    vliw_fault::point("eval.candidate")?;
+                    Ok(BindingResult::evaluate(self.dfg, self.machine, b))
+                })?);
+            }
             if let Some(started) = started {
                 if evals > 0 {
                     self.trace_worker(0, started.elapsed(), evals);
                 }
             }
-            return results;
+            return Ok(results);
         }
-        let (results, workers) = crate::pool::run_indexed(self.threads, &bindings, |_, b| {
-            BindingResult::evaluate(self.dfg, self.machine, b.clone())
-        });
+        let (results, workers) =
+            crate::pool::run_indexed_fallible(self.threads, &bindings, |_, b| {
+                vliw_fault::point("eval.candidate")?;
+                Ok(BindingResult::evaluate(self.dfg, self.machine, b.clone()))
+            });
         if self.tracer.is_enabled() {
             // Emitted from the calling thread after the join, so the
             // event order is deterministic per batch.
@@ -347,7 +408,7 @@ impl<'e> Evaluator<'e> {
                 self.trace_worker(slot, report.busy, report.items);
             }
         }
-        results
+        results.into_iter().collect()
     }
 
     /// Emits one worker's busy time for the batch just evaluated.

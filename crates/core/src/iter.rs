@@ -14,6 +14,7 @@
 use crate::budget::Budget;
 use crate::config::{BinderConfig, PairMode};
 use crate::driver::BindingResult;
+use crate::error::BindError;
 use crate::eval::Evaluator;
 use vliw_datapath::{ClusterId, Machine};
 use vliw_dfg::{Dfg, OpId};
@@ -94,6 +95,12 @@ pub fn improve(
 /// [`vliw_analysis::analyze`] floor — a result whose `(L, N_MV)` meets
 /// two simultaneous lower bounds cannot be improved, so the early stop
 /// never changes the outcome.
+///
+/// # Panics
+///
+/// Panics when an armed [`vliw_fault`] failpoint fires during an
+/// evaluation batch; the fallible driver entry points
+/// ([`crate::Binder::try_bind`]) contain such faults as typed errors.
 pub fn improve_eval(
     evaluator: &Evaluator<'_>,
     config: &BinderConfig,
@@ -101,6 +108,7 @@ pub fn improve_eval(
 ) -> BindingResult {
     let floor = vliw_analysis::analyze(evaluator.dfg(), evaluator.machine()).lm_bound();
     improve_eval_budgeted(evaluator, config, start, &Budget::unlimited(), Some(floor))
+        .unwrap_or_else(|e| panic!("improvement failed: {e}"))
 }
 
 /// [`improve_eval`] under a shared search [`Budget`]: both quality
@@ -114,12 +122,10 @@ pub(crate) fn improve_eval_budgeted(
     start: BindingResult,
     budget: &Budget,
     floor: Option<(u32, usize)>,
-) -> BindingResult {
-    let mut current =
-        improve_with_eval_budgeted(evaluator, config, start, QualityKind::Qu, budget, floor);
-    current =
-        improve_with_eval_budgeted(evaluator, config, current, QualityKind::Qm, budget, floor);
-    current
+) -> Result<BindingResult, BindError> {
+    let current =
+        improve_with_eval_budgeted(evaluator, config, start, QualityKind::Qu, budget, floor)?;
+    improve_with_eval_budgeted(evaluator, config, current, QualityKind::Qm, budget, floor)
 }
 
 /// A single steepest-descent pass under one quality vector.
@@ -144,6 +150,12 @@ pub fn improve_with(
 /// materialized into a full [`BindingResult`]; since evaluation is a
 /// pure function of the binding, that materialization reproduces exactly
 /// the result whose metrics won the reduction.
+///
+/// # Panics
+///
+/// Panics when an armed [`vliw_fault`] failpoint fires during an
+/// evaluation batch; the fallible driver entry points contain such
+/// faults as typed errors.
 pub fn improve_with_eval(
     evaluator: &Evaluator<'_>,
     config: &BinderConfig,
@@ -151,6 +163,7 @@ pub fn improve_with_eval(
     kind: QualityKind,
 ) -> BindingResult {
     improve_with_eval_budgeted(evaluator, config, start, kind, &Budget::unlimited(), None)
+        .unwrap_or_else(|e| panic!("improvement failed: {e}"))
 }
 
 /// [`improve_with_eval`] under a shared [`Budget`]. Each descent round
@@ -171,7 +184,7 @@ pub(crate) fn improve_with_eval_budgeted(
     kind: QualityKind,
     budget: &Budget,
     floor: Option<(u32, usize)>,
-) -> BindingResult {
+) -> Result<BindingResult, BindError> {
     let dfg = evaluator.dfg();
     let machine = evaluator.machine();
     let tracer = evaluator.tracer();
@@ -221,7 +234,7 @@ pub(crate) fn improve_with_eval_budgeted(
         let mut scored: Vec<(Quality, usize)> = Vec::new();
         let mut offset = 0;
         for batch in bindings.chunks(chunk) {
-            for (j, outcome) in evaluator.outcomes(batch).into_iter().enumerate() {
+            for (j, outcome) in evaluator.try_outcomes(batch)?.into_iter().enumerate() {
                 scored.push((outcome.quality(kind), offset + j));
             }
             offset += batch.len();
@@ -253,7 +266,7 @@ pub(crate) fn improve_with_eval_budgeted(
             if q >= quality {
                 break;
             }
-            let result = evaluator.evaluate(bindings[i].clone());
+            let result = evaluator.try_evaluate(bindings[i].clone())?;
             if config.verify {
                 let violations = vliw_sched::verify(
                     dfg,
@@ -305,7 +318,7 @@ pub(crate) fn improve_with_eval_budgeted(
             break;
         }
     }
-    current
+    Ok(current)
 }
 
 /// Enumerates boundary perturbations of a binding: single re-binds of

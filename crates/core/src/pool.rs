@@ -13,6 +13,8 @@
 //! crate, the budget module and the bench harness, and per-worker busy
 //! time is observability output, not a search input.
 
+use crate::error::BindError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 use vliw_trace::Stopwatch;
@@ -89,6 +91,59 @@ where
     (tagged.into_iter().map(|(_, r)| r).collect(), reports)
 }
 
+/// [`run_indexed`] with per-item panic supervision: each invocation of
+/// `f` runs under [`guard_item`], so a panicking item yields
+/// `Err(BindError::WorkerPanicked { .. })` in its slot while the worker
+/// that caught it keeps claiming and draining the remaining items. One
+/// poisoned candidate degrades to a skip instead of aborting the run,
+/// and the slot-indexed reduction keeps the output positionally
+/// bit-identical to a serial loop.
+pub fn run_indexed_fallible<T, R, F>(
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> (Vec<Result<R, BindError>>, Vec<WorkerReport>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> Result<R, BindError> + Sync,
+{
+    run_indexed(threads, items, |i, t| guard_item(i, || f(i, t)))
+}
+
+/// Runs one work item under a panic supervisor: a panic unwinding out of
+/// `f` is caught and converted into [`BindError::WorkerPanicked`],
+/// attributed to its [`vliw_fault`] site when the panic was injected.
+///
+/// `AssertUnwindSafe` is sound here because a failed item's partial
+/// state is discarded wholesale — the caller only ever observes the
+/// returned `Err`, never data `f` was mutating when it unwound.
+pub fn guard_item<R>(
+    index: usize,
+    f: impl FnOnce() -> Result<R, BindError>,
+) -> Result<R, BindError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => Err(BindError::WorkerPanicked {
+            index,
+            site: vliw_fault::take_last_panic_site(),
+            payload: payload_text(payload.as_ref()),
+        }),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (`panic!` with a
+/// literal yields `&str`, with a format string yields `String`).
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +181,95 @@ mod tests {
         let items: Vec<u32> = (0..3).collect();
         let (_, reports) = run_indexed(16, &items, |_, &x| x);
         assert!(reports.len() <= 3);
+    }
+
+    #[test]
+    fn empty_slice_yields_empty_results_and_one_idle_report() {
+        let empty: [u32; 0] = [];
+        for threads in [0, 1, 8] {
+            let (out, reports) = run_indexed(threads, &empty, |_, &x| x);
+            assert!(out.is_empty());
+            assert_eq!(reports.len(), 1, "empty input never spawns workers");
+            assert_eq!(reports[0].items, 0);
+        }
+    }
+
+    #[test]
+    fn report_items_always_sum_to_input_length() {
+        for (threads, n) in [(1, 0), (1, 5), (3, 5), (8, 5), (4, 100), (16, 3)] {
+            let items: Vec<u32> = (0..n).collect();
+            let (out, reports) = run_indexed(threads, &items, |_, &x| x);
+            assert_eq!(out.len(), items.len());
+            assert_eq!(
+                reports.iter().map(|r| r.items).sum::<usize>(),
+                items.len(),
+                "threads={threads} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn fallible_pool_matches_infallible_when_nothing_fails() {
+        let items: Vec<u64> = (0..50).collect();
+        let (plain, _) = run_indexed(4, &items, |i, &x| x * i as u64);
+        let (fallible, reports) = run_indexed_fallible(4, &items, |i, &x| Ok(x * i as u64));
+        let unwrapped: Vec<u64> = fallible
+            .into_iter()
+            .map(|r| r.expect("no injected faults"))
+            .collect();
+        assert_eq!(unwrapped, plain);
+        assert_eq!(reports.iter().map(|r| r.items).sum::<usize>(), items.len());
+    }
+
+    #[test]
+    fn panicking_item_degrades_to_typed_error_and_survivors_drain() {
+        let items: Vec<u32> = (0..20).collect();
+        for threads in [1, 4] {
+            let (out, reports) = run_indexed_fallible(threads, &items, |_, &x| {
+                if x == 7 {
+                    panic!("poisoned item {x}");
+                }
+                Ok(x + 1)
+            });
+            assert_eq!(out.len(), items.len(), "threads={threads}");
+            assert_eq!(reports.iter().map(|r| r.items).sum::<usize>(), items.len());
+            for (i, r) in out.iter().enumerate() {
+                if i == 7 {
+                    let Err(BindError::WorkerPanicked {
+                        index,
+                        site,
+                        payload,
+                    }) = r
+                    else {
+                        panic!("item 7 must fail typed, got {r:?}");
+                    };
+                    assert_eq!(*index, 7);
+                    assert_eq!(*site, None, "organic panic has no failpoint site");
+                    assert!(payload.contains("poisoned item 7"), "{payload}");
+                } else {
+                    assert_eq!(*r, Ok(i as u32 + 1), "survivors drain, threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_attributed_to_its_site() {
+        let _guard = vliw_fault::test_guard();
+        vliw_fault::configure_point(
+            "pool.test",
+            vliw_fault::FaultSchedule::Once,
+            vliw_fault::FaultAction::Panic("chaos".into()),
+        );
+        let result = guard_item(3, || -> Result<(), BindError> {
+            vliw_fault::point("pool.test")?;
+            Ok(())
+        });
+        vliw_fault::reset();
+        let Err(BindError::WorkerPanicked { index, site, .. }) = result else {
+            panic!("expected a supervised panic, got {result:?}");
+        };
+        assert_eq!(index, 3);
+        assert_eq!(site.as_deref(), Some("pool.test"));
     }
 }

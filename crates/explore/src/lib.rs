@@ -481,7 +481,13 @@ impl Explorer {
             }
             attempted += round.len();
 
-            let (outcomes, _workers) = pool::run_indexed(workers, &round, |_, machine| {
+            // Each candidate runs under the fallible pool's per-item
+            // panic supervisor: a panic injected (or organically raised)
+            // while binding one machine becomes a typed
+            // `WorkerPanicked` entry in `skipped`, and the surviving
+            // workers drain the rest of the round.
+            let (outcomes, _workers) = pool::run_indexed_fallible(workers, &round, |_, machine| {
+                vliw_fault::point("explore.candidate")?;
                 Binder::with_config(machine, cand_config.clone()).try_bind(dfg)
             });
             for (machine, outcome) in round.into_iter().zip(outcomes) {

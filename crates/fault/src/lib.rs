@@ -1,0 +1,529 @@
+//! Deterministic fault injection for the binding pipeline.
+//!
+//! The build environment has no access to crates.io, so this crate is a
+//! dependency-free stand-in for the `fail` failpoint crate covering
+//! exactly what the chaos suite needs: **named sites** sprinkled through
+//! the pipeline (`fault::point("eval.candidate")`), **typed actions**
+//! ([`FaultAction::Error`], [`FaultAction::Panic`], [`FaultAction::Delay`])
+//! and **hit-count schedules** ([`FaultSchedule`]: always, on the Nth
+//! hit, every Kth hit, one-shot) so a failure can be injected at a
+//! precise, reproducible moment of a run.
+//!
+//! Faults are configured programmatically ([`configure_point`]), from a
+//! spec string ([`configure`]), or from the `VLIW_FAIL` environment
+//! variable ([`init_from_env`]) that the CLI and bench binaries honor.
+//!
+//! # Disarmed cost
+//!
+//! When no fault is configured the registry is *disarmed* and every
+//! [`point`] / [`point_infallible`] call is a single relaxed atomic load
+//! followed by an early return — the hot path never takes a lock, never
+//! allocates, and never reads a clock, so production behavior is
+//! bit-identical with the crate compiled in.
+//!
+//! # Spec grammar
+//!
+//! ```text
+//! spec    := entry (';' entry)*
+//! entry   := site '=' [schedule ':'] action
+//! schedule:= 'once' | 'on' N | 'every' K          (N, K >= 1; hits are 1-based)
+//! action  := 'panic' ['(' payload ')']
+//!          | 'error' ['(' message ')']
+//!          | 'delay' '(' millis ')'
+//! ```
+//!
+//! Examples: `eval.candidate=panic`,
+//! `explore.candidate=every2:panic;trace.sink=on3:error(disk full)`,
+//! `sched.list=once:delay(5)`.
+//!
+//! # Known sites
+//!
+//! The pipeline currently checks the sites listed in [`SITES`]. A spec
+//! may name any site string — unknown sites simply never fire — but the
+//! chaos suite iterates over [`SITES`] to prove every registered site
+//! degrades gracefully.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Every failpoint site the pipeline currently checks, for suites that
+/// want to inject at each in turn.
+pub const SITES: &[&str] = &[
+    "eval.candidate",
+    "sched.list",
+    "explore.candidate",
+    "trace.sink",
+];
+
+/// What happens when a configured fault fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Return a typed [`FaultError`] carrying this message from
+    /// [`point`]. At infallible sites ([`point_infallible`]) the error
+    /// escalates to a panic, since there is no error channel to use.
+    Error(String),
+    /// Panic with this payload (the payload is prefixed with the site
+    /// name so supervisors can attribute it).
+    Panic(String),
+    /// Sleep for this many milliseconds, then continue normally —
+    /// exercises deadline/budget truncation paths without changing any
+    /// result.
+    Delay(u64),
+}
+
+/// When a configured fault fires, counted in per-site hits (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSchedule {
+    /// Fire on every hit.
+    Always,
+    /// Fire only on the Nth hit of the site.
+    OnNth(u64),
+    /// Fire on every Kth hit (hits K, 2K, 3K, …).
+    EveryKth(u64),
+    /// Fire on the first hit, then never again.
+    Once,
+}
+
+impl FaultSchedule {
+    /// Whether hit number `hit` (1-based) fires under this schedule.
+    fn fires(self, hit: u64) -> bool {
+        match self {
+            FaultSchedule::Always => true,
+            FaultSchedule::OnNth(n) => hit == n,
+            FaultSchedule::EveryKth(k) => k > 0 && hit.is_multiple_of(k),
+            FaultSchedule::Once => hit == 1,
+        }
+    }
+}
+
+/// The typed error an armed [`FaultAction::Error`] injects at a
+/// [`point`]. Downstream crates convert it into their own error types
+/// (e.g. `BindError::FaultInjected`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultError {
+    /// The site that fired.
+    pub site: String,
+    /// The configured message.
+    pub message: String,
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected fault at {}: {}", self.site, self.message)
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// A malformed fault spec string (see the crate docs for the grammar).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    entry: String,
+    reason: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault spec entry `{}`: {}", self.entry, self.reason)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// One configured failpoint.
+#[derive(Debug, Clone)]
+struct Entry {
+    site: String,
+    schedule: FaultSchedule,
+    action: FaultAction,
+    hits: u64,
+}
+
+/// Fast-path gate: a relaxed load of `false` is the entire cost of a
+/// disarmed failpoint.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// The configured failpoints. Only consulted when [`ARMED`] is set.
+static REGISTRY: Mutex<Vec<Entry>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// The site whose injected panic is currently unwinding this thread,
+    /// recorded just before the panic so `catch_unwind` supervisors can
+    /// attribute it (a panic payload alone cannot carry typed data
+    /// through an unwind boundary without downcasting conventions).
+    static LAST_PANIC_SITE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Locks the registry, recovering from poisoning: a worker that panicked
+/// while firing a fault must not cascade a second panic into every
+/// later failpoint check.
+fn registry() -> std::sync::MutexGuard<'static, Vec<Entry>> {
+    REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Replaces the entire fault configuration from a spec string (grammar
+/// in the crate docs) and arms the registry if any entry was parsed.
+/// An empty or all-whitespace spec clears the configuration and
+/// disarms. Returns an error — leaving the previous configuration
+/// untouched — if any entry is malformed.
+pub fn configure(spec: &str) -> Result<(), SpecError> {
+    let mut entries = Vec::new();
+    for raw in spec.split(';') {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        entries.push(parse_entry(raw)?);
+    }
+    let armed = !entries.is_empty();
+    *registry() = entries;
+    ARMED.store(armed, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Adds one failpoint programmatically (keeping any existing ones) and
+/// arms the registry.
+pub fn configure_point(site: &str, schedule: FaultSchedule, action: FaultAction) {
+    registry().push(Entry {
+        site: site.to_owned(),
+        schedule,
+        action,
+        hits: 0,
+    });
+    ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Clears every configured failpoint and disarms the fast path.
+pub fn reset() {
+    registry().clear();
+    ARMED.store(false, Ordering::Relaxed);
+}
+
+/// Whether any failpoint is currently armed.
+pub fn is_armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// The sites with at least one configured entry, in configuration order.
+pub fn configured_sites() -> Vec<String> {
+    let mut sites: Vec<String> = registry().iter().map(|e| e.site.clone()).collect();
+    sites.dedup();
+    sites
+}
+
+/// Reads the `VLIW_FAIL` environment variable and, if set and
+/// non-empty, installs it via [`configure`]. Returns whether a spec was
+/// installed. Binaries call this once at startup so chaos runs need no
+/// code changes.
+pub fn init_from_env() -> Result<bool, SpecError> {
+    match std::env::var("VLIW_FAIL") {
+        Ok(spec) if !spec.trim().is_empty() => {
+            configure(&spec)?;
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// The site of the injected panic currently unwinding this thread, if
+/// any, consumed by the call. Supervisors (`catch_unwind` wrappers) call
+/// this right after catching to attribute the panic to its failpoint.
+pub fn take_last_panic_site() -> Option<String> {
+    LAST_PANIC_SITE.with(|s| s.borrow_mut().take())
+}
+
+/// Serializes tests that configure the process-global registry. Tests in
+/// any crate that call [`configure`] / [`configure_point`] / [`reset`]
+/// must hold this guard for their whole body, otherwise parallel test
+/// threads interleave schedules and hit counts.
+pub fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static TEST_GUARD: Mutex<()> = Mutex::new(());
+    TEST_GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Checks the failpoint `site` from a fallible context.
+///
+/// Disarmed, this is one relaxed atomic load. Armed, a firing
+/// [`FaultAction::Error`] returns `Err`, a [`FaultAction::Delay`] sleeps
+/// then returns `Ok`, and a [`FaultAction::Panic`] panics (after
+/// recording the site for [`take_last_panic_site`]).
+///
+/// # Panics
+///
+/// Panics when a configured [`FaultAction::Panic`] fires — that is the
+/// injected fault itself, meant to be contained by a `catch_unwind`
+/// supervisor upstream.
+pub fn point(site: &str) -> Result<(), FaultError> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    match fire(site) {
+        None => Ok(()),
+        Some(FaultAction::Delay(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(())
+        }
+        Some(FaultAction::Error(message)) => Err(FaultError {
+            site: site.to_owned(),
+            message,
+        }),
+        Some(FaultAction::Panic(payload)) => injected_panic(site, &payload),
+    }
+}
+
+/// Checks the failpoint `site` from an infallible context (code with no
+/// error channel, e.g. inside the list scheduler invocation).
+///
+/// Identical to [`point`] except that a firing [`FaultAction::Error`]
+/// also escalates to a panic, so every action is still observable.
+///
+/// # Panics
+///
+/// Panics when a configured [`FaultAction::Panic`] or
+/// [`FaultAction::Error`] fires; supervisors contain it upstream.
+pub fn point_infallible(site: &str) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    match fire(site) {
+        None => {}
+        Some(FaultAction::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        Some(FaultAction::Error(message)) | Some(FaultAction::Panic(message)) => {
+            injected_panic(site, &message)
+        }
+    }
+}
+
+/// Records the site in the thread-local slot, then panics with an
+/// attributable payload.
+///
+/// # Panics
+///
+/// Always — this is the injected fault.
+fn injected_panic(site: &str, payload: &str) -> ! {
+    LAST_PANIC_SITE.with(|s| *s.borrow_mut() = Some(site.to_owned()));
+    panic!("vliw-fault injected panic at {site}: {payload}")
+}
+
+/// Consults the registry for `site`, bumps its hit counter, and returns
+/// the action to perform if the schedule fires. The lock is released
+/// before the action runs so a sleeping or panicking fault never blocks
+/// (or poisons the view of) other sites.
+fn fire(site: &str) -> Option<FaultAction> {
+    let mut reg = registry();
+    for entry in reg.iter_mut() {
+        if entry.site == site {
+            entry.hits += 1;
+            if entry.schedule.fires(entry.hits) {
+                return Some(entry.action.clone());
+            }
+        }
+    }
+    None
+}
+
+/// Parses one `site=[schedule:]action` spec entry.
+fn parse_entry(raw: &str) -> Result<Entry, SpecError> {
+    let err = |reason: &str| SpecError {
+        entry: raw.to_owned(),
+        reason: reason.to_owned(),
+    };
+    let (site, rhs) = raw
+        .split_once('=')
+        .ok_or_else(|| err("expected `site=action`"))?;
+    let site = site.trim();
+    if site.is_empty() {
+        return Err(err("empty site name"));
+    }
+    let rhs = rhs.trim();
+    // A leading `schedule:` prefix is optional; if the text before the
+    // first ':' does not parse as a schedule, the whole rhs is the
+    // action (no action contains ':').
+    let (schedule, action_src) = match rhs.split_once(':') {
+        Some((s, a)) => match parse_schedule(s.trim()) {
+            Some(schedule) => (schedule, a.trim()),
+            None => (FaultSchedule::Always, rhs),
+        },
+        None => (FaultSchedule::Always, rhs),
+    };
+    let action = parse_action(action_src).ok_or_else(|| {
+        err("expected action `panic[(payload)]`, `error[(message)]` or `delay(millis)`")
+    })?;
+    if let FaultSchedule::OnNth(0) | FaultSchedule::EveryKth(0) = schedule {
+        return Err(err("schedule counts are 1-based; use `on 1` or `every 1`"));
+    }
+    Ok(Entry {
+        site: site.to_owned(),
+        schedule,
+        action,
+        hits: 0,
+    })
+}
+
+/// Parses `once`, `on N` / `onN`, `every K` / `everyK`.
+fn parse_schedule(s: &str) -> Option<FaultSchedule> {
+    if s == "once" {
+        return Some(FaultSchedule::Once);
+    }
+    if let Some(n) = s.strip_prefix("every") {
+        return n.trim().parse().ok().map(FaultSchedule::EveryKth);
+    }
+    if let Some(n) = s.strip_prefix("on") {
+        return n.trim().parse().ok().map(FaultSchedule::OnNth);
+    }
+    None
+}
+
+/// Parses `panic`, `panic(payload)`, `error`, `error(message)`,
+/// `delay(millis)`.
+fn parse_action(s: &str) -> Option<FaultAction> {
+    let (name, arg) = match s.split_once('(') {
+        Some((name, rest)) => (name.trim(), Some(rest.strip_suffix(')')?)),
+        None => (s, None),
+    };
+    match name {
+        "panic" => Some(FaultAction::Panic(
+            arg.unwrap_or("injected panic").to_owned(),
+        )),
+        "error" => Some(FaultAction::Error(
+            arg.unwrap_or("injected error").to_owned(),
+        )),
+        "delay" => arg?.trim().parse().ok().map(FaultAction::Delay),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global; tests that configure it must not
+    /// interleave.
+    fn serialized() -> std::sync::MutexGuard<'static, ()> {
+        test_guard()
+    }
+
+    #[test]
+    fn disarmed_points_are_no_ops() {
+        let _g = serialized();
+        reset();
+        assert!(!is_armed());
+        assert_eq!(point("eval.candidate"), Ok(()));
+        point_infallible("sched.list");
+    }
+
+    #[test]
+    fn error_action_fires_on_schedule() {
+        let _g = serialized();
+        reset();
+        configure("eval.candidate=on2:error(boom)").expect("spec");
+        assert!(is_armed());
+        assert_eq!(point("eval.candidate"), Ok(()));
+        let e = point("eval.candidate").expect_err("second hit fires");
+        assert_eq!(e.site, "eval.candidate");
+        assert_eq!(e.message, "boom");
+        assert!(e.to_string().contains("eval.candidate"));
+        assert_eq!(point("eval.candidate"), Ok(()), "on N fires exactly once");
+        assert_eq!(point("other.site"), Ok(()), "other sites untouched");
+        reset();
+    }
+
+    #[test]
+    fn every_kth_and_once_schedules() {
+        let _g = serialized();
+        reset();
+        configure("a=every2:error;b=once:error").expect("spec");
+        let fired: Vec<bool> = (0..6).map(|_| point("a").is_err()).collect();
+        assert_eq!(fired, vec![false, true, false, true, false, true]);
+        assert!(point("b").is_err());
+        assert!(point("b").is_ok(), "once never fires twice");
+        reset();
+    }
+
+    #[test]
+    fn panic_action_is_catchable_and_attributed() {
+        let _g = serialized();
+        reset();
+        configure("sched.list=panic(chaos)").expect("spec");
+        let caught = std::panic::catch_unwind(|| point_infallible("sched.list"));
+        assert!(caught.is_err());
+        assert_eq!(take_last_panic_site().as_deref(), Some("sched.list"));
+        assert_eq!(take_last_panic_site(), None, "consumed by the take");
+        reset();
+    }
+
+    #[test]
+    fn delay_action_returns_ok() {
+        let _g = serialized();
+        reset();
+        configure("x=delay(1)").expect("spec");
+        assert_eq!(point("x"), Ok(()));
+        reset();
+    }
+
+    #[test]
+    fn spec_parser_accepts_the_documented_grammar() {
+        let _g = serialized();
+        reset();
+        configure("eval.candidate=every2:panic; trace.sink = on 3 : error(disk full)")
+            .expect("spec");
+        assert_eq!(
+            configured_sites(),
+            vec!["eval.candidate".to_owned(), "trace.sink".to_owned()]
+        );
+        reset();
+    }
+
+    #[test]
+    fn spec_parser_rejects_garbage() {
+        let _g = serialized();
+        reset();
+        assert!(configure("no-equals").is_err());
+        assert!(configure("=panic").is_err());
+        assert!(configure("s=frobnicate").is_err());
+        assert!(configure("s=delay").is_err(), "delay needs millis");
+        assert!(configure("s=on0:panic").is_err(), "hits are 1-based");
+        assert!(configure("s=panic(unclosed").is_err());
+        // A failed configure leaves the registry disarmed/untouched.
+        assert!(!is_armed());
+        reset();
+    }
+
+    #[test]
+    fn empty_spec_clears_and_disarms() {
+        let _g = serialized();
+        reset();
+        configure("a=panic").expect("spec");
+        assert!(is_armed());
+        configure("  ").expect("empty spec is valid");
+        assert!(!is_armed());
+        assert!(configured_sites().is_empty());
+    }
+
+    #[test]
+    fn programmatic_configuration_appends() {
+        let _g = serialized();
+        reset();
+        configure_point("a", FaultSchedule::Always, FaultAction::Error("e".into()));
+        configure_point("b", FaultSchedule::Once, FaultAction::Delay(0));
+        assert!(is_armed());
+        assert_eq!(configured_sites(), vec!["a".to_owned(), "b".to_owned()]);
+        assert!(point("a").is_err());
+        reset();
+    }
+
+    #[test]
+    fn known_sites_list_is_nonempty_and_unique() {
+        let mut sites = SITES.to_vec();
+        sites.sort_unstable();
+        sites.dedup();
+        assert_eq!(sites.len(), SITES.len());
+        assert!(!SITES.is_empty());
+    }
+}

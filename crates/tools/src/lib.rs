@@ -131,15 +131,40 @@ commands:
           (also accepts --kernel K | --dfg FILE)
   verify  --input FILE                  re-check a `bind --json` result
           | --kernel K | --dfg FILE  --machine \"[...]\" [--algo A]
+
+global flags:
+  --fail-spec SPEC    arm deterministic fault injection for this run;
+          SPEC is `site=[schedule:]action` entries joined by `;`, e.g.
+          `eval.candidate=on3:panic; trace.sink=error(disk full)`.
+          Schedules: `once`, `on N`, `every K` (default every hit).
+          Actions: `panic[(payload)]`, `error[(message)]`, `delay(ms)`.
+          Without the flag, the VLIW_FAIL environment variable is read.
 ";
+
+/// Arms the process-global fault-injection registry for this invocation.
+/// `--fail-spec SPEC` wins; otherwise the `VLIW_FAIL` environment
+/// variable is consulted, so chaos harnesses can drive an unmodified
+/// command line. A parse failure aborts the run before any work starts,
+/// leaving the previous configuration untouched.
+fn configure_fault_injection(args: &Args) -> Result<(), CliError> {
+    if let Some(spec) = args.get("fail-spec") {
+        vliw_fault::configure(spec).map_err(|e| err(format!("bad --fail-spec: {e}")))
+    } else {
+        vliw_fault::init_from_env()
+            .map(|_| ())
+            .map_err(|e| err(format!("bad VLIW_FAIL spec: {e}")))
+    }
+}
 
 /// Runs a parsed command, returning the text to print.
 ///
 /// # Errors
 ///
 /// Returns a [`CliError`] for unknown commands, bad flags, unreadable
-/// inputs or invalid machine descriptions.
+/// inputs, invalid machine descriptions or malformed `--fail-spec` /
+/// `VLIW_FAIL` fault-injection specs.
 pub fn run(args: &Args) -> Result<String, CliError> {
+    configure_fault_injection(args)?;
     match args.command.as_str() {
         "kernels" => Ok(cmd_kernels()),
         "stats" => cmd_stats(args),
@@ -1367,6 +1392,17 @@ mod tests {
             .unwrap_err()
             .0
             .contains("cannot execute"));
+    }
+
+    #[test]
+    fn malformed_fail_spec_is_rejected_before_any_work() {
+        // A bad spec never arms the registry (configure leaves the
+        // previous state untouched on error), so this is safe to run in
+        // parallel with every other test in this binary.
+        let e = run_line("bind --kernel ARF --machine [1,1|1,1] --fail-spec garbage").unwrap_err();
+        assert!(e.0.contains("bad --fail-spec"), "{e}");
+        let e = run_line("explore arf --fail-spec eval.candidate=on0:panic").unwrap_err();
+        assert!(e.0.contains("1-based"), "{e}");
     }
 }
 

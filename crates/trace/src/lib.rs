@@ -202,12 +202,15 @@ static GLOBAL_SINK: RwLock<Option<Arc<dyn TraceSink>>> = RwLock::new(None);
 /// attached sinks — this is how a CLI `--trace-out FILE` flag reaches
 /// every binder the process constructs.
 pub fn install_global(sink: Arc<dyn TraceSink>) {
-    *GLOBAL_SINK.write().expect("global sink lock") = Some(sink); // lint:allow(no-panic)
+    *GLOBAL_SINK.write().unwrap_or_else(|e| e.into_inner()) = Some(sink);
 }
 
 /// The currently installed process-wide sink, if any.
 pub fn global_sink() -> Option<Arc<dyn TraceSink>> {
-    GLOBAL_SINK.read().expect("global sink lock").clone() // lint:allow(no-panic)
+    GLOBAL_SINK
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
 }
 
 /// The shared state of an enabled tracer.
@@ -286,7 +289,7 @@ impl Tracer {
         };
         let id = inner.next_span.fetch_add(1, Ordering::Relaxed) + 1;
         let parent = {
-            let mut stack = inner.stack.lock().expect("span stack"); // lint:allow(no-panic)
+            let mut stack = inner.stack.lock().unwrap_or_else(|e| e.into_inner());
             let parent = stack.last().copied();
             stack.push(id);
             parent
@@ -320,7 +323,11 @@ impl Tracer {
     }
 }
 
-/// Builds and fans out one event.
+/// Builds and fans out one event. Each sink is isolated behind
+/// `catch_unwind`: `TraceSink::record` is documented not to panic, but
+/// observability must never take the computation down with it, so a
+/// misbehaving (or fault-injected) sink loses its event while every
+/// other sink — and the traced work itself — carries on.
 fn emit(inner: &Inner, name: &str, kind: EventKind, attrs: Attrs) {
     let event = TraceEvent {
         seq: inner.seq.fetch_add(1, Ordering::Relaxed) + 1,
@@ -330,7 +337,15 @@ fn emit(inner: &Inner, name: &str, kind: EventKind, attrs: Attrs) {
         attrs: attrs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
     };
     for sink in &inner.sinks {
-        sink.record(&event);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sink.record(&event);
+        }));
+        if caught.is_err() {
+            // Consume any pending injected-panic attribution so a later,
+            // unrelated supervisor cannot mis-attribute its catch to the
+            // sink's failpoint.
+            let _ = vliw_fault::take_last_panic_site();
+        }
     }
 }
 
@@ -356,9 +371,9 @@ impl Drop for Span {
             return;
         };
         {
-            let mut stack = state.inner.stack.lock().expect("span stack"); // lint:allow(no-panic)
-                                                                           // LIFO in correct usage; remove by id to stay robust if a
-                                                                           // guard outlives its scope.
+            let mut stack = state.inner.stack.lock().unwrap_or_else(|e| e.into_inner());
+            // LIFO in correct usage; remove by id to stay robust if a
+            // guard outlives its scope.
             if stack.last() == Some(&state.id) {
                 stack.pop();
             } else if let Some(pos) = stack.iter().rposition(|&s| s == state.id) {
@@ -470,6 +485,32 @@ mod tests {
     #[test]
     fn empty_sink_list_is_off() {
         assert!(!Tracer::with_sinks(vec![]).is_enabled());
+    }
+
+    #[test]
+    fn panicking_sink_does_not_take_down_its_peers() {
+        struct PanickySink;
+        impl TraceSink for PanickySink {
+            fn record(&self, _event: &TraceEvent) {
+                panic!("sink misbehaved"); // lint:allow(no-panic)
+            }
+        }
+        let survivor = Arc::new(MemorySink::new());
+        let tracer = Tracer::with_sinks(vec![Arc::new(PanickySink), survivor.clone()]);
+        // Quiet the default panic-hook backtrace for the expected panics.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        tracer.counter("c", 1, vec![]);
+        {
+            let _span = tracer.span(SpanCat::Phase, "run", vec![]);
+        }
+        std::panic::set_hook(prev);
+        // Every event still reached the well-behaved sink, in order.
+        let events = survivor.events();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(events[0].kind, EventKind::Counter { value: 1 }));
+        assert!(matches!(events[1].kind, EventKind::SpanStart { .. }));
+        assert!(matches!(events[2].kind, EventKind::SpanEnd { .. }));
     }
 
     #[test]

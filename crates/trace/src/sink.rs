@@ -22,13 +22,18 @@ impl MemorySink {
     }
 
     /// A snapshot of everything recorded so far, in arrival order.
+    /// Recovers from lock poisoning: a worker that panicked mid-`record`
+    /// must not cascade a second panic into every later reader.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().expect("memory sink lock").clone() // lint:allow(no-panic)
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("memory sink lock").len() // lint:allow(no-panic)
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Whether nothing has been recorded.
@@ -41,7 +46,7 @@ impl TraceSink for MemorySink {
     fn record(&self, event: &TraceEvent) {
         self.events
             .lock()
-            .expect("memory sink lock") // lint:allow(no-panic)
+            .unwrap_or_else(|e| e.into_inner())
             .push(event.clone());
     }
 }
@@ -50,11 +55,20 @@ impl TraceSink for MemorySink {
 /// around the `--trace-out` file).
 ///
 /// `record` must not panic, so I/O failures latch the sink into a quiet
-/// error state instead; callers inspect [`JsonlSink::finish`] at the end
-/// of the run to report the failure once.
+/// error state instead. The *first* failure's detail is captured at
+/// event time and reported by [`JsonlSink::finish`] at the end of the
+/// run (and immediately by [`JsonlSink::error_message`]), so a transient
+/// mid-run `ENOSPC` is not reduced to a generic message at final flush.
+///
+/// The sink checks the `trace.sink` [`vliw_fault`] failpoint on every
+/// event: an injected `error` behaves exactly like a failed write
+/// (sticky latch, quiet thereafter), which is how the chaos suite
+/// exercises this path without a real failing disk.
 pub struct JsonlSink<W: Write + Send> {
     writer: Mutex<W>,
     failed: AtomicBool,
+    /// First failure's message, latched at event time.
+    error: Mutex<Option<String>>,
 }
 
 impl<W: Write + Send> JsonlSink<W> {
@@ -63,6 +77,7 @@ impl<W: Write + Send> JsonlSink<W> {
         JsonlSink {
             writer: Mutex::new(writer),
             failed: AtomicBool::new(false),
+            error: Mutex::new(None),
         }
     }
 
@@ -71,12 +86,35 @@ impl<W: Write + Send> JsonlSink<W> {
         self.failed.load(Ordering::Relaxed)
     }
 
-    /// Flushes the writer and reports whether all writes succeeded.
-    pub fn finish(&self) -> std::io::Result<()> {
-        if self.has_failed() {
-            return Err(std::io::Error::other("trace sink write failed"));
+    /// The first failure's detail, captured when the failing event was
+    /// recorded; `None` while everything has succeeded.
+    pub fn error_message(&self) -> Option<String> {
+        self.error.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Latches the sink into its quiet failed state, keeping the first
+    /// failure's message.
+    fn latch(&self, message: String) {
+        let mut slot = self.error.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(message);
         }
-        self.writer.lock().expect("jsonl sink lock").flush() // lint:allow(no-panic)
+        self.failed.store(true, Ordering::Relaxed);
+    }
+
+    /// Flushes the writer and reports whether all writes succeeded; a
+    /// latched failure is reported with the detail captured when it
+    /// happened.
+    pub fn finish(&self) -> std::io::Result<()> {
+        if let Some(message) = self.error_message() {
+            return Err(std::io::Error::other(format!(
+                "trace sink write failed: {message}"
+            )));
+        }
+        self.writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .flush()
     }
 }
 
@@ -85,10 +123,15 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
         if self.has_failed() {
             return;
         }
+        if let Err(e) = vliw_fault::point("trace.sink") {
+            self.latch(e.to_string());
+            return;
+        }
         let line = event_to_jsonl(event);
-        let mut writer = self.writer.lock().expect("jsonl sink lock"); // lint:allow(no-panic)
-        if writeln!(writer, "{line}").is_err() {
-            self.failed.store(true, Ordering::Relaxed);
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        if let Err(e) = writeln!(writer, "{line}") {
+            drop(writer);
+            self.latch(e.to_string());
         }
     }
 }
@@ -158,7 +201,37 @@ mod tests {
         };
         sink.record(&event);
         assert!(sink.has_failed());
+        // The failure's detail was captured at event time, not at flush.
+        let detail = sink.error_message().expect("sticky error");
+        assert!(detail.contains("disk full"), "detail: {detail}");
         sink.record(&event); // quiet after the latch
-        assert!(sink.finish().is_err());
+        let err = sink.finish().expect_err("finish reports the failure");
+        assert!(err.to_string().contains("disk full"), "finish: {err}");
+    }
+
+    #[test]
+    fn injected_trace_sink_fault_latches_like_a_failed_write() {
+        let _guard = vliw_fault::test_guard();
+        vliw_fault::configure("trace.sink=on2:error(injected sink outage)").expect("valid spec");
+        let sink = JsonlSink::new(Vec::<u8>::new());
+        let event = TraceEvent {
+            seq: 1,
+            t_us: 0,
+            name: "x".into(),
+            kind: EventKind::Counter { value: 1 },
+            attrs: vec![],
+        };
+        sink.record(&event); // first hit: schedule not yet firing
+        assert!(!sink.has_failed());
+        sink.record(&event); // second hit: injected error latches
+        assert!(sink.has_failed());
+        sink.record(&event); // quiet after the latch
+        vliw_fault::reset();
+        let detail = sink.error_message().expect("sticky error");
+        assert!(detail.contains("injected sink outage"), "detail: {detail}");
+        // Exactly one event made it to the writer before the outage.
+        let bytes = sink.writer.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).expect("utf8");
+        assert_eq!(text.lines().count(), 1);
     }
 }

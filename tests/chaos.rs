@@ -1,0 +1,306 @@
+//! Chaos suite: random fault schedules across every registered failpoint
+//! must degrade gracefully — a typed error or a verified partial result,
+//! never a process abort — and a disarmed (or armed-but-never-firing)
+//! registry must leave results bit-identical to a clean run.
+//!
+//! Every test takes [`vliw_fault::test_guard`] for its whole body: the
+//! fault registry is process-global, and cargo's parallel test threads
+//! would otherwise interleave schedules and hit counts.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vliw_binding::{BindError, Binder, BinderConfig, BindingResult};
+use vliw_datapath::Machine;
+use vliw_dfg::Dfg;
+use vliw_explore::{Explorer, ExplorerConfig};
+use vliw_kernels::Kernel;
+
+/// Scope guard that silences the default panic hook's backtrace spam for
+/// *injected* panics only; organic panics still print. Restores the
+/// previous hook on drop so later tests are unaffected.
+struct QuietInjectedPanics;
+
+impl QuietInjectedPanics {
+    fn install() -> Self {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("vliw-fault injected panic"));
+            if !injected {
+                prev(info);
+            }
+        }));
+        QuietInjectedPanics
+    }
+}
+
+impl Drop for QuietInjectedPanics {
+    fn drop(&mut self) {
+        let _ = std::panic::take_hook();
+    }
+}
+
+/// The Table-1 datapaths the paper sweeps, as parseable descriptions.
+const DATAPATHS: &[&str] = &["[1,1|1,1]", "[2,1|1,1]", "[2,1|2,1]", "[2,2|2,2]"];
+
+/// A small kernel mix: the two smallest keep proptest runtime sane while
+/// still exercising both FU classes.
+const KERNELS: &[Kernel] = &[Kernel::Arf, Kernel::DctDif, Kernel::Ewf];
+
+fn kernel_dfg(k: Kernel) -> Dfg {
+    k.build()
+}
+
+/// Asserts a binding result verifies clean against the independent
+/// re-checker.
+fn assert_verified(dfg: &Dfg, machine: &Machine, result: &BindingResult) {
+    let violations = vliw_sched::verify(
+        dfg,
+        machine,
+        &result.binding,
+        &result.bound,
+        &result.schedule,
+    );
+    assert!(violations.is_empty(), "verification failed: {violations:?}");
+}
+
+/// Fingerprint of a result for bit-identity comparisons: the serialized
+/// binding plus every operation's start cycle pins the entire outcome.
+fn fingerprint(result: &BindingResult) -> (String, Vec<u32>) {
+    let binding = serde_json::to_string(&result.binding).expect("binding serializes");
+    let starts = result
+        .bound
+        .dfg()
+        .op_ids()
+        .map(|v| result.schedule.start(v))
+        .collect();
+    (binding, starts)
+}
+
+/// One random fault-injection spec entry over the bind-path sites.
+fn arb_bind_spec() -> impl Strategy<Value = String> {
+    let site = prop::sample::select(vec!["eval.candidate", "sched.list"]);
+    let schedule = prop::sample::select(vec![
+        String::new(),
+        "once:".to_owned(),
+        "on2:".to_owned(),
+        "on5:".to_owned(),
+        "every2:".to_owned(),
+        "every7:".to_owned(),
+    ]);
+    let action = prop::sample::select(vec!["panic", "error(chaos)", "delay(1)"]);
+    (site, schedule, action)
+        .prop_map(|(site, schedule, action)| format!("{site}={schedule}{action}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random fault schedules over the bind path: `try_bind` either
+    /// returns a typed error or a result the independent verifier
+    /// accepts. It never aborts the process.
+    #[test]
+    fn bind_degrades_gracefully_under_random_faults(
+        spec in arb_bind_spec(),
+        kernel_idx in 0usize..3,
+        dp_idx in 0usize..4,
+    ) {
+        let _guard = vliw_fault::test_guard();
+        let _quiet = QuietInjectedPanics::install();
+        let dfg = kernel_dfg(KERNELS[kernel_idx]);
+        let machine = Machine::parse(DATAPATHS[dp_idx]).expect("datapath parses");
+        vliw_fault::configure(&spec).expect("generated spec is valid");
+        let outcome = Binder::new(&machine).try_bind(&dfg);
+        vliw_fault::reset();
+        match outcome {
+            Ok(result) => assert_verified(&dfg, &machine, &result),
+            Err(
+                BindError::WorkerPanicked { .. } | BindError::FaultInjected { .. }
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other}"),
+        }
+    }
+
+    /// An armed registry whose schedules never fire is bit-identical to
+    /// a clean, disarmed run — arming must not perturb the search.
+    #[test]
+    fn armed_but_never_firing_bind_is_bit_identical(
+        kernel_idx in 0usize..3,
+        dp_idx in 0usize..4,
+    ) {
+        let _guard = vliw_fault::test_guard();
+        let dfg = kernel_dfg(KERNELS[kernel_idx]);
+        let machine = Machine::parse(DATAPATHS[dp_idx]).expect("datapath parses");
+        vliw_fault::reset();
+        let clean = Binder::new(&machine).try_bind(&dfg).expect("clean bind");
+        vliw_fault::configure("eval.candidate=on999999:delay(1); sched.list=on999999:panic")
+            .expect("valid spec");
+        prop_assert!(vliw_fault::is_armed());
+        let armed = Binder::new(&machine).try_bind(&dfg).expect("armed bind");
+        vliw_fault::reset();
+        prop_assert_eq!(fingerprint(&clean), fingerprint(&armed));
+        prop_assert_eq!(clean.latency(), armed.latency());
+        prop_assert_eq!(clean.moves(), armed.moves());
+    }
+}
+
+/// Every registered failpoint, hit with an unconditional panic in turn:
+/// the bind entry point survives each with a typed error (or, for sites
+/// the path never reaches, a verified clean result).
+#[test]
+fn every_site_panic_is_survived_by_bind() {
+    let _guard = vliw_fault::test_guard();
+    let _quiet = QuietInjectedPanics::install();
+    let dfg = kernel_dfg(Kernel::Arf);
+    let machine = Machine::parse("[1,1|1,1]").expect("datapath parses");
+    for site in vliw_fault::SITES {
+        vliw_fault::configure(&format!("{site}=panic")).expect("valid spec");
+        let outcome = Binder::new(&machine).try_bind(&dfg);
+        vliw_fault::reset();
+        match outcome {
+            Ok(result) => assert_verified(&dfg, &machine, &result),
+            Err(BindError::WorkerPanicked {
+                site: attributed, ..
+            }) => {
+                assert_eq!(attributed.as_deref(), Some(*site), "panic mis-attributed");
+            }
+            Err(BindError::FaultInjected { .. }) => {}
+            Err(other) => panic!("{site}: unexpected error class: {other}"),
+        }
+    }
+}
+
+/// Per-candidate panics during exploration land in `skipped` with the
+/// firing site attributed; the surviving candidates still produce a
+/// non-empty, fully verified frontier.
+#[test]
+fn explore_survives_per_candidate_panics() {
+    let _guard = vliw_fault::test_guard();
+    let _quiet = QuietInjectedPanics::install();
+    let dfg = kernel_dfg(Kernel::Arf);
+    let config = ExplorerConfig {
+        max_total_fus: 5,
+        max_clusters: 2,
+        ..ExplorerConfig::default()
+    };
+    vliw_fault::reset();
+    let clean = Explorer::new(config.clone())
+        .try_explore(&dfg)
+        .expect("clean sweep");
+    // Every second candidate panics before its binder even starts.
+    vliw_fault::configure("explore.candidate=every2:panic").expect("valid spec");
+    let chaotic = Explorer::new(config)
+        .try_explore(&dfg)
+        .expect("chaotic sweep");
+    vliw_fault::reset();
+    assert!(!chaotic.points.is_empty(), "all candidates lost");
+    assert!(!chaotic.skipped.is_empty(), "injected panics left no trace");
+    for (machine, error) in &chaotic.skipped {
+        match error {
+            BindError::WorkerPanicked { site, .. } => {
+                assert_eq!(site.as_deref(), Some("explore.candidate"), "{machine}");
+            }
+            // Candidates the clean sweep also skips (e.g. unsupported
+            // FU mixes) keep their organic error.
+            other => assert!(
+                clean
+                    .skipped
+                    .iter()
+                    .any(|(m, e)| m == machine && e == other),
+                "{machine}: unexpected error {other}"
+            ),
+        }
+    }
+    for point in &chaotic.points {
+        assert_verified(&dfg, &point.machine, &point.result);
+    }
+    // The survivors are the clean sweep's points, bit-identical.
+    for point in &chaotic.points {
+        let twin = clean
+            .points
+            .iter()
+            .find(|p| p.machine == point.machine)
+            .expect("survivor exists in the clean sweep");
+        assert_eq!(fingerprint(&twin.result), fingerprint(&point.result));
+    }
+}
+
+/// A panicking or erroring trace sink never takes down the traced bind:
+/// the computation completes, verifies, and matches the untraced result,
+/// while an injected write error latches the sink with its detail.
+#[test]
+fn trace_sink_faults_never_poison_the_bind() {
+    let _guard = vliw_fault::test_guard();
+    let _quiet = QuietInjectedPanics::install();
+    let dfg = kernel_dfg(Kernel::Arf);
+    let machine = Machine::parse("[1,1|1,1]").expect("datapath parses");
+    vliw_fault::reset();
+    let baseline = Binder::new(&machine).try_bind(&dfg).expect("clean bind");
+
+    for (spec, expect_latched) in [
+        ("trace.sink=every3:panic", false),
+        ("trace.sink=on4:error(injected outage)", true),
+    ] {
+        vliw_fault::configure(spec).expect("valid spec");
+        let sink = Arc::new(vliw_trace::JsonlSink::new(Vec::<u8>::new()));
+        let config = BinderConfig {
+            trace: true,
+            ..BinderConfig::default()
+        };
+        let outcome = Binder::with_config(&machine, config)
+            .with_trace_sink(sink.clone())
+            .try_bind(&dfg);
+        vliw_fault::reset();
+        let result = outcome.expect("sink faults must not reach the binder");
+        assert_verified(&dfg, &machine, &result);
+        assert_eq!(fingerprint(&baseline), fingerprint(&result), "{spec}");
+        assert_eq!(sink.has_failed(), expect_latched, "{spec}");
+        if expect_latched {
+            let detail = sink.error_message().expect("sticky detail");
+            assert!(detail.contains("injected outage"), "{detail}");
+        }
+    }
+}
+
+/// The CLI surface end to end: `--fail-spec` panics surface as clean
+/// typed errors from `vliw bind`, and a per-candidate panic during
+/// `vliw explore --json` still yields a non-empty frontier with the
+/// losses accounted in `skipped`.
+#[test]
+fn cli_fail_spec_degrades_gracefully() {
+    let _guard = vliw_fault::test_guard();
+    let _quiet = QuietInjectedPanics::install();
+    let run = |line: &str| {
+        let args =
+            vliw_tools::Args::parse(line.split_whitespace().map(str::to_owned)).expect("parses");
+        let out = vliw_tools::run(&args);
+        vliw_fault::reset();
+        out
+    };
+    let e = run("bind --kernel ARF --machine [1,1|1,1] --fail-spec eval.candidate=panic")
+        .expect_err("injected panic fails the bind");
+    assert!(e.0.contains("eval.candidate"), "{e}");
+
+    let out = run("explore arf --max-fus 5 --max-clusters 2 --json --fail-spec explore.candidate=every2:panic")
+        .expect("explore degrades gracefully");
+    let blob: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+    assert!(
+        blob["stats"]["skipped"].as_u64().expect("skipped") > 0,
+        "{out}"
+    );
+    assert!(
+        blob["frontier"].as_array().is_some_and(|f| !f.is_empty()),
+        "{out}"
+    );
+
+    // Disarmed byte-identity for the explore surface: an armed registry
+    // that never fires emits the same JSON as no registry at all.
+    let clean = run("explore arf --max-fus 5 --max-clusters 2 --json").expect("clean");
+    let armed = run(
+        "explore arf --max-fus 5 --max-clusters 2 --json --fail-spec eval.candidate=on999999:delay(1)",
+    )
+    .expect("armed");
+    assert_eq!(clean, armed);
+}
