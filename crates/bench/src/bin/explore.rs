@@ -143,6 +143,7 @@ fn main() {
     let mut text = serde_json::to_string_pretty(&serde_json::json!({
         "schema": "vliw-perf-trajectory-v1",
         "table": "explore",
+        "meta": vliw_bench::runner::RunMeta::capture(sharded_threads),
         "rows": rows,
     }))
     .expect("serializable");

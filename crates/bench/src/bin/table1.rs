@@ -116,11 +116,12 @@ fn main() {
 
     // The perf trajectory: every kernel on every distinct Table-1
     // datapath, re-bound with tracing on for the phase breakdown.
-    let trajectory = vliw_bench::runner::table1_trajectory(&config);
+    let trajectory = vliw_bench::runner::table1_trajectory(&config, cli.repeat);
     let bench_path = cli.bench_out_or("BENCH_table1.json");
+    let meta = vliw_bench::runner::RunMeta::capture(config.threads);
     vliw_bench::runner::write_or_exit(
         &bench_path,
-        &vliw_bench::runner::trajectory_json("table1", &trajectory),
+        &vliw_bench::runner::trajectory_json("table1", &trajectory, &meta),
     );
     println!("  wrote {bench_path} ({} rows)", trajectory.len());
     cli.finish();

@@ -61,7 +61,7 @@ fn main() {
                 "timings_ms": m.timings,
             },
         }));
-        trajectory.push(vliw_bench::runner::trajectory_row(
+        trajectory.push(vliw_bench::runner::trajectory_row_repeated(
             "FFT",
             &format!(
                 "{TABLE2_DATAPATH} N_B={} lat(move)={}",
@@ -70,6 +70,7 @@ fn main() {
             &dfg,
             &machine,
             &config,
+            cli.repeat,
         ));
     }
 
@@ -80,9 +81,10 @@ fn main() {
     }
 
     let bench_path = cli.bench_out_or("BENCH_table2.json");
+    let meta = vliw_bench::runner::RunMeta::capture(config.threads);
     vliw_bench::runner::write_or_exit(
         &bench_path,
-        &vliw_bench::runner::trajectory_json("table2", &trajectory),
+        &vliw_bench::runner::trajectory_json("table2", &trajectory, &meta),
     );
     println!("\nwrote {bench_path} ({} rows)", trajectory.len());
     cli.finish();

@@ -7,9 +7,13 @@
 //! single optional positional (the ablation study name),
 //! `--trace-out FILE` — which forces [`BinderConfig::trace`] on and
 //! installs a process-global JSONL sink so every traced bind of the run
-//! streams its events to the file — and `--fail-spec SPEC` (fallback:
-//! the `VLIW_FAIL` environment variable), which arms deterministic
-//! fault injection for chaos runs.
+//! streams its events to the file — `--fail-spec SPEC` (fallback: the
+//! `VLIW_FAIL` environment variable), which arms deterministic fault
+//! injection for chaos runs — `--metrics-out FILE`, which enables the
+//! process-global metrics registry and dumps it in Prometheus text
+//! format at the end of the run — and `--repeat N`, which re-measures
+//! each perf-trajectory row `N` times and reports the median
+//! wall-clock with its min/max spread.
 
 use std::fs::File;
 use std::io::BufWriter;
@@ -26,6 +30,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--bench-out",
     "--trace-out",
     "--fail-spec",
+    "--metrics-out",
+    "--repeat",
     "--pairs",
     "--starts",
     "--threads",
@@ -48,6 +54,12 @@ pub struct BenchCli {
     /// `--fail-spec SPEC`: deterministic fault-injection spec, armed by
     /// [`BenchCli::from_env`] (grammar in the `vliw_fault` crate docs).
     pub fail_spec: Option<String>,
+    /// `--metrics-out FILE`: where the Prometheus text dump of the
+    /// metrics registry goes; its presence enables the registry.
+    pub metrics_path: Option<String>,
+    /// `--repeat N`: wall-clock measurements per perf-trajectory row
+    /// (default 1); the median is reported.
+    pub repeat: usize,
     /// `--quick`: subsample the experiment matrix.
     pub quick: bool,
     /// The first non-flag argument (the ablation study name).
@@ -64,6 +76,8 @@ impl std::fmt::Debug for BenchCli {
             .field("bench_out", &self.bench_out)
             .field("trace_path", &self.trace_path)
             .field("fail_spec", &self.fail_spec)
+            .field("metrics_path", &self.metrics_path)
+            .field("repeat", &self.repeat)
             .field("quick", &self.quick)
             .field("positional", &self.positional)
             .finish_non_exhaustive()
@@ -100,6 +114,15 @@ impl BenchCli {
         let bench_out = value_of("--bench-out")?;
         let trace_path = value_of("--trace-out")?;
         let fail_spec = value_of("--fail-spec")?;
+        let metrics_path = value_of("--metrics-out")?;
+        let repeat = match value_of("--repeat")? {
+            None => 1,
+            Some(v) => v
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("--repeat takes a number >= 1, got {v:?}"))?,
+        };
         if trace_path.is_some() {
             // The stream is only fed by traced binds.
             config.trace = true;
@@ -125,6 +148,8 @@ impl BenchCli {
             bench_out,
             trace_path,
             fail_spec,
+            metrics_path,
+            repeat,
             quick: args.iter().any(|a| a == "--quick"),
             positional,
             sink: None,
@@ -155,8 +180,14 @@ impl BenchCli {
             eprintln!("error: {msg}");
             std::process::exit(2);
         }
-        for path in [&cli.json_path, &cli.bench_out].into_iter().flatten() {
+        for path in [&cli.json_path, &cli.bench_out, &cli.metrics_path]
+            .into_iter()
+            .flatten()
+        {
             crate::runner::ensure_writable_or_exit(path);
+        }
+        if cli.metrics_path.is_some() {
+            vliw_metrics::set_enabled(true);
         }
         if let Some(path) = &cli.trace_path {
             match File::create(path) {
@@ -174,9 +205,14 @@ impl BenchCli {
         cli
     }
 
-    /// Flushes the `--trace-out` sink (if any), reporting where the
-    /// events went. Call once at the end of `main`.
+    /// Flushes the `--trace-out` sink and writes the `--metrics-out`
+    /// Prometheus dump (if any), reporting where each went. Call once
+    /// at the end of `main`.
     pub fn finish(&self) {
+        if let Some(path) = &self.metrics_path {
+            crate::runner::write_or_exit(path, &vliw_metrics::prometheus());
+            println!("wrote metrics to {path}");
+        }
         let (Some(sink), Some(path)) = (&self.sink, &self.trace_path) else {
             return;
         };
@@ -235,6 +271,32 @@ mod tests {
         assert!(!vliw_fault::is_armed());
         let e = parse("--fail-spec").expect_err("missing value");
         assert!(e.contains("needs a value"), "{e}");
+    }
+
+    #[test]
+    fn metrics_and_repeat_flags_parse() {
+        let cli = parse("--metrics-out m.prom --repeat 5").expect("valid");
+        assert_eq!(cli.metrics_path.as_deref(), Some("m.prom"));
+        assert_eq!(cli.repeat, 5);
+        // try_parse is pure: the registry is only enabled in from_env.
+        let cli = parse("").expect("valid");
+        assert_eq!(cli.metrics_path, None);
+        assert_eq!(cli.repeat, 1);
+        // Their values are not positionals.
+        let cli = parse("--metrics-out m.prom --repeat 3 gamma").expect("valid");
+        assert_eq!(cli.positional.as_deref(), Some("gamma"));
+    }
+
+    #[test]
+    fn bad_repeat_values_are_one_line_errors() {
+        for line in ["--repeat 0", "--repeat often", "--repeat", "--metrics-out"] {
+            let e = parse(line).expect_err(line);
+            assert!(
+                e.contains("needs a value") || e.contains("--repeat takes"),
+                "{line}: {e}"
+            );
+            assert!(!e.contains('\n'), "{line}: {e:?}");
+        }
     }
 
     #[test]

@@ -115,8 +115,14 @@ pub struct TrajectoryRow {
     pub latency: u32,
     /// B-ITER transfer count `N_MV`.
     pub moves: usize,
-    /// Total wall-clock of the traced B-ITER bind, in milliseconds.
+    /// Wall-clock of the traced B-ITER bind, in milliseconds — the
+    /// median over `--repeat` runs (a single run is its own median).
     pub wall_ms: f64,
+    /// Fastest wall-clock over the `--repeat` runs (equals `wall_ms`
+    /// for a single run).
+    pub wall_min_ms: f64,
+    /// Slowest wall-clock over the `--repeat` runs.
+    pub wall_max_ms: f64,
     /// Per-phase elapsed times and counters of that bind.
     pub phases: PhaseStats,
     /// Certified latency lower bound of the instance.
@@ -125,6 +131,76 @@ pub struct TrajectoryRow {
     pub optimality_gap: f64,
     /// Whether `(latency, moves)` provably equals the certified optimum.
     pub proved_optimal: bool,
+}
+
+/// Provenance block stamped into every perf-trajectory envelope, so a
+/// committed baseline and a fresh candidate can be told apart by more
+/// than their mtime. Older envelopes without a `meta` block still parse
+/// (`vliw bench-diff` reports them as an unknown baseline).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct RunMeta {
+    /// `git rev-parse HEAD` of the working tree, `"unknown"` outside a
+    /// repository.
+    pub git_rev: String,
+    /// Configured evaluation thread count (0 = one worker per CPU).
+    pub threads: usize,
+    /// UTC wall-clock of the run in ISO-8601 (`2026-08-08T12:34:56Z`).
+    pub timestamp: String,
+    /// CPUs available to the benchmarking host.
+    pub cpus: usize,
+}
+
+impl RunMeta {
+    /// Captures the provenance of the current process.
+    pub fn capture(threads: usize) -> Self {
+        RunMeta {
+            git_rev: git_rev(),
+            threads,
+            timestamp: iso8601_utc_now(),
+            cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+/// Best-effort `git rev-parse HEAD`, `"unknown"` when git or the
+/// repository is unavailable.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// The current UTC time in ISO-8601, derived from the system clock
+/// without a date-time dependency.
+pub fn iso8601_utc_now() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    iso8601_from_epoch(secs)
+}
+
+/// Formats seconds since the Unix epoch as `YYYY-MM-DDThh:mm:ssZ`,
+/// using the standard civil-from-days calendar conversion.
+fn iso8601_from_epoch(secs: u64) -> String {
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (h, m, s) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let mo = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(mo <= 2);
+    format!("{y:04}-{mo:02}-{d:02}T{h:02}:{m:02}:{s:02}Z")
 }
 
 /// The distinct datapaths of the paper's Table 1, in first-use order.
@@ -149,20 +225,45 @@ pub fn trajectory_row(
     machine: &Machine,
     config: &BinderConfig,
 ) -> TrajectoryRow {
+    trajectory_row_repeated(kernel, datapath, dfg, machine, config, 1)
+}
+
+/// [`trajectory_row`] measured `repeat` times: `wall_ms` is the median
+/// wall-clock over the runs, `wall_min_ms`/`wall_max_ms` record the
+/// spread. The binder is deterministic, so quality and phase stats are
+/// taken from the last run.
+pub fn trajectory_row_repeated(
+    kernel: &str,
+    datapath: &str,
+    dfg: &Dfg,
+    machine: &Machine,
+    config: &BinderConfig,
+    repeat: usize,
+) -> TrajectoryRow {
+    let repeat = repeat.max(1);
     let traced = BinderConfig {
         trace: true,
         ..config.clone()
     };
     let binder = Binder::with_config(machine, traced);
-    let t = Instant::now();
-    let (result, stats) = binder.bind_with_stats(dfg);
-    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let mut walls = Vec::with_capacity(repeat);
+    let mut measured = None;
+    for _ in 0..repeat {
+        let t = Instant::now();
+        let out = binder.bind_with_stats(dfg);
+        walls.push(t.elapsed().as_secs_f64() * 1e3);
+        measured = Some(out);
+    }
+    let (result, stats) = measured.expect("repeat >= 1"); // lint:allow(no-panic)
+    walls.sort_by(f64::total_cmp);
     TrajectoryRow {
         kernel: kernel.to_owned(),
         datapath: datapath.to_owned(),
         latency: result.latency(),
         moves: result.moves(),
-        wall_ms,
+        wall_ms: walls[walls.len() / 2],
+        wall_min_ms: walls[0],
+        wall_max_ms: walls[walls.len() - 1],
         phases: stats.phases,
         lower_bound: stats.lower_bound,
         optimality_gap: stats.optimality_gap,
@@ -172,20 +273,21 @@ pub fn trajectory_row(
 
 /// The full Table-1 perf-trajectory matrix: every kernel on every
 /// distinct Table-1 datapath (a superset of the paper's 33 published
-/// rows), each bound once with tracing on.
-pub fn table1_trajectory(config: &BinderConfig) -> Vec<TrajectoryRow> {
+/// rows), each bound `repeat` times with tracing on.
+pub fn table1_trajectory(config: &BinderConfig, repeat: usize) -> Vec<TrajectoryRow> {
     let datapaths = table1_datapaths();
     let mut rows = Vec::with_capacity(Kernel::ALL.len() * datapaths.len());
     for kernel in Kernel::ALL {
         let dfg = kernel.build();
         for datapath in &datapaths {
             let machine = Machine::parse(datapath).expect("datapath parses"); // lint:allow(no-panic)
-            rows.push(trajectory_row(
+            rows.push(trajectory_row_repeated(
                 kernel.name(),
                 datapath,
                 &dfg,
                 &machine,
                 config,
+                repeat,
             ));
         }
     }
@@ -193,11 +295,13 @@ pub fn table1_trajectory(config: &BinderConfig) -> Vec<TrajectoryRow> {
 }
 
 /// Serializes a trajectory file: a versioned envelope around the rows,
-/// so downstream tooling can detect schema changes.
-pub fn trajectory_json(table: &str, rows: &[TrajectoryRow]) -> String {
+/// stamped with run provenance, so downstream tooling can detect schema
+/// changes and tell baselines apart.
+pub fn trajectory_json(table: &str, rows: &[TrajectoryRow], meta: &RunMeta) -> String {
     let mut text = serde_json::to_string_pretty(&serde_json::json!({
         "schema": "vliw-perf-trajectory-v1",
         "table": table,
+        "meta": meta,
         "rows": rows,
     }))
     .expect("serializable"); // lint:allow(no-panic)
@@ -417,10 +521,13 @@ mod tests {
         for phase in ["run", "b_init", "b_iter_qu", "b_iter_qm"] {
             assert!(row.phases.phase(phase).is_some(), "missing {phase}");
         }
-        let text = trajectory_json("table1", &[row]);
+        let text = trajectory_json("table1", &[row], &RunMeta::capture(2));
         assert!(text.contains("vliw-perf-trajectory-v1"), "{text}");
         let blob: serde_json::Value = serde_json::from_str(&text).expect("valid json");
         assert_eq!(blob["table"], "table1");
+        assert_eq!(blob["meta"]["threads"], 2);
+        assert!(blob["meta"]["git_rev"].as_str().is_some());
+        assert!(blob["meta"]["cpus"].as_u64().is_some_and(|n| n >= 1));
         assert_eq!(blob["rows"][0]["kernel"], "ARF");
         assert!(blob["rows"][0]["phases"]["phases"].as_array().is_some());
         // Every trajectory row carries the certified-bound triple.
@@ -432,6 +539,40 @@ mod tests {
             blob["rows"][0]["proved_optimal"],
             serde_json::Value::Bool(_)
         ));
+    }
+
+    #[test]
+    fn repeated_rows_report_median_and_spread() {
+        let dfg = Kernel::Arf.build();
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let config = BinderConfig::default();
+        let row = trajectory_row_repeated("ARF", "[1,1|1,1]", &dfg, &machine, &config, 3);
+        assert!(row.wall_min_ms <= row.wall_ms && row.wall_ms <= row.wall_max_ms);
+        let once = trajectory_row("ARF", "[1,1|1,1]", &dfg, &machine, &config);
+        assert_eq!(once.wall_ms, once.wall_min_ms);
+        assert_eq!(once.wall_ms, once.wall_max_ms);
+        // Repeating only re-measures: quality is unchanged.
+        assert_eq!((row.latency, row.moves), (once.latency, once.moves));
+    }
+
+    #[test]
+    fn iso8601_timestamps_follow_the_calendar() {
+        // Spot checks against `date -u -d @N +%FT%TZ`.
+        assert_eq!(iso8601_from_epoch(0), "1970-01-01T00:00:00Z");
+        assert_eq!(iso8601_from_epoch(951_782_400), "2000-02-29T00:00:00Z");
+        assert_eq!(iso8601_from_epoch(1_754_611_200), "2025-08-08T00:00:00Z");
+        assert_eq!(iso8601_from_epoch(4_102_444_799), "2099-12-31T23:59:59Z");
+        let now = iso8601_utc_now();
+        assert_eq!(now.len(), 20, "{now}");
+        assert!(now.ends_with('Z') && now.contains('T'));
+    }
+
+    #[test]
+    fn run_meta_captures_host_facts() {
+        let meta = RunMeta::capture(4);
+        assert_eq!(meta.threads, 4);
+        assert!(meta.cpus >= 1);
+        assert!(!meta.git_rev.is_empty());
     }
 
     #[test]

@@ -140,6 +140,14 @@ pub struct BindStats {
     /// not strong enough to prove it — the result may still be optimal.
     #[serde(default)]
     pub proved_optimal: bool,
+    /// Snapshot of the process-global [`vliw_metrics`] registry taken
+    /// when the run finished — counters, gauges and latency histograms
+    /// accumulated by every instrumented subsystem (evaluator, worker
+    /// pool, descents, verifier). `None` unless the embedding process
+    /// enabled the registry with [`vliw_metrics::set_enabled`]; note the
+    /// totals are process-wide, not per-run.
+    #[serde(default)]
+    pub metrics: Option<crate::stats::MetricsStats>,
 }
 
 impl BindStats {
@@ -172,6 +180,8 @@ impl BindStats {
             moves_lower_bound: lb_m,
             optimality_gap: gap,
             proved_optimal: result.lm() == (lb_l, lb_m),
+            metrics: vliw_metrics::enabled()
+                .then(|| crate::stats::MetricsStats::from(vliw_metrics::snapshot())),
         }
     }
 }

@@ -105,6 +105,40 @@ impl EvalStats {
     }
 }
 
+/// Process-global metric handles of the evaluation engine, resolved
+/// once per evaluator so the hot path pays only relaxed atomic
+/// increments. Present only when [`vliw_metrics::enabled`] was true at
+/// construction time — strictly observational, never a search input.
+#[derive(Debug)]
+struct EvalMetrics {
+    /// Wall-clock of one candidate evaluation (bound graph + list
+    /// schedule), in microseconds.
+    candidate_us: vliw_metrics::Histogram,
+    /// Requests served from the memo or coalesced in-batch.
+    cache_hits: vliw_metrics::Counter,
+    /// Requests that actually ran the list scheduler.
+    cache_misses: vliw_metrics::Counter,
+}
+
+impl EvalMetrics {
+    fn new() -> Self {
+        EvalMetrics {
+            candidate_us: vliw_metrics::histogram(
+                "eval_candidate_us",
+                "Wall-clock of one candidate evaluation (bound graph + list schedule), in microseconds",
+            ),
+            cache_hits: vliw_metrics::counter(
+                "eval_cache_hits",
+                "Evaluation requests served from the memo or coalesced within a batch",
+            ),
+            cache_misses: vliw_metrics::counter(
+                "eval_cache_misses",
+                "Evaluation requests that ran the list scheduler",
+            ),
+        }
+    }
+}
+
 /// A memoizing, optionally parallel evaluator of candidate bindings for
 /// one `(dfg, machine)` pair.
 ///
@@ -120,6 +154,7 @@ pub struct Evaluator<'e> {
     hits: AtomicUsize,
     misses: AtomicUsize,
     tracer: Tracer,
+    metrics: Option<EvalMetrics>,
 }
 
 impl<'e> Evaluator<'e> {
@@ -150,6 +185,7 @@ impl<'e> Evaluator<'e> {
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             tracer: Tracer::off(),
+            metrics: vliw_metrics::enabled().then(EvalMetrics::new),
         }
     }
 
@@ -211,7 +247,7 @@ impl<'e> Evaluator<'e> {
     pub fn try_evaluate(&self, binding: Binding) -> Result<BindingResult, BindError> {
         let result = crate::pool::guard_item(0, || {
             vliw_fault::point("eval.candidate")?;
-            Ok(BindingResult::evaluate(self.dfg, self.machine, binding))
+            Ok(self.timed_evaluate(binding))
         })?;
         if let Some(memo) = &self.memo {
             memo.lock()
@@ -356,9 +392,14 @@ impl<'e> Evaluator<'e> {
             .collect())
     }
 
-    /// Reports one batch's cache classification to the tracer (no-op
-    /// when tracing is off or the batch was empty).
+    /// Reports one batch's cache classification to the tracer and the
+    /// global metrics registry (no-op when both are off or the batch
+    /// was empty).
     fn trace_cache_counters(&self, hits: usize, misses: usize) {
+        if let Some(metrics) = &self.metrics {
+            metrics.cache_hits.add(hits as u64);
+            metrics.cache_misses.add(misses as u64);
+        }
         if !self.tracer.is_enabled() {
             return;
         }
@@ -386,7 +427,7 @@ impl<'e> Evaluator<'e> {
             for (i, b) in bindings.into_iter().enumerate() {
                 results.push(crate::pool::guard_item(i, || {
                     vliw_fault::point("eval.candidate")?;
-                    Ok(BindingResult::evaluate(self.dfg, self.machine, b))
+                    Ok(self.timed_evaluate(b))
                 })?);
             }
             if let Some(started) = started {
@@ -399,7 +440,7 @@ impl<'e> Evaluator<'e> {
         let (results, workers) =
             crate::pool::run_indexed_fallible(self.threads, &bindings, |_, b| {
                 vliw_fault::point("eval.candidate")?;
-                Ok(BindingResult::evaluate(self.dfg, self.machine, b.clone()))
+                Ok(self.timed_evaluate(b.clone()))
             });
         if self.tracer.is_enabled() {
             // Emitted from the calling thread after the join, so the
@@ -409,6 +450,21 @@ impl<'e> Evaluator<'e> {
             }
         }
         results.into_iter().collect()
+    }
+
+    /// Evaluates one candidate, recording its wall-clock into the
+    /// global `eval_candidate_us` histogram when metrics are on. The
+    /// recording is lock-free, so parallel workers time independently.
+    fn timed_evaluate(&self, binding: Binding) -> BindingResult {
+        let Some(metrics) = &self.metrics else {
+            return BindingResult::evaluate(self.dfg, self.machine, binding);
+        };
+        let started = Stopwatch::start();
+        let result = BindingResult::evaluate(self.dfg, self.machine, binding);
+        metrics
+            .candidate_us
+            .record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        result
     }
 
     /// Emits one worker's busy time for the batch just evaluated.
@@ -552,6 +608,55 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn metrics_record_candidate_timings_and_cache_counters() {
+        let _guard = vliw_metrics::test_guard();
+        vliw_metrics::set_enabled(true);
+        let dfg = chain(5);
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let ev = Evaluator::with_settings(&dfg, &machine, 1, true);
+        let b = all_bindings(&dfg, &machine);
+        ev.outcomes(&b);
+        ev.outcomes(&[b[0].clone()]);
+        // Other tests may race recordings into the global registry while
+        // the guard is held, so the assertions are one-sided.
+        let snap = vliw_metrics::snapshot();
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "eval_candidate_us")
+            .expect("histogram registered");
+        assert!(
+            hist.count >= b.len() as u64,
+            "every distinct candidate is timed: {} < {}",
+            hist.count,
+            b.len()
+        );
+        let hits = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "eval_cache_hits")
+            .expect("counter registered");
+        assert!(hits.value >= 1, "the repeat lookup hits the memo");
+    }
+
+    #[test]
+    fn metrics_disabled_registers_nothing() {
+        let _guard = vliw_metrics::test_guard();
+        let dfg = chain(3);
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let ev = Evaluator::with_settings(&dfg, &machine, 1, true);
+        ev.outcomes(&all_bindings(&dfg, &machine));
+        let snap = vliw_metrics::snapshot();
+        assert!(
+            !snap
+                .histograms
+                .iter()
+                .any(|h| h.name == "eval_candidate_us"),
+            "a disabled registry sees no evaluator registrations"
+        );
     }
 
     #[test]

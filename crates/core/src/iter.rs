@@ -198,6 +198,20 @@ pub(crate) fn improve_with_eval_budgeted(
         },
         vec![],
     );
+    // Global accepted-move delta histograms, resolved once per descent
+    // pass; strictly observational (recording never steers the search).
+    let accept_metrics = vliw_metrics::enabled().then(|| {
+        (
+            vliw_metrics::histogram(
+                "iter_accepted_latency_delta",
+                "Latency improvement in cycles of each accepted B-ITER step (0 for tail-only Q_U steps)",
+            ),
+            vliw_metrics::histogram(
+                "iter_accepted_moves_delta",
+                "Transfer-count improvement of each accepted B-ITER step (0 when moves were unchanged or grew)",
+            ),
+        )
+    });
     let mut current = start;
     let mut quality = Quality::measure(kind, &current.bound, &current.schedule);
     for _ in 0..config.max_iterations {
@@ -308,6 +322,12 @@ pub(crate) fn improve_with_eval_budgeted(
                         vec![],
                     );
                 }
+            }
+            if let Some((lat_h, mov_h)) = &accept_metrics {
+                let (l0, m0) = current.lm();
+                let (l1, m1) = result.lm();
+                lat_h.record(u64::from(l0.saturating_sub(l1)));
+                mov_h.record(m0.saturating_sub(m1) as u64);
             }
             quality = q;
             current = result;

@@ -28,6 +28,59 @@ pub struct WorkerReport {
     pub items: usize,
 }
 
+/// Process-global metric handles of the worker pool, resolved per batch
+/// only when [`vliw_metrics::enabled`] — strictly observational, never
+/// a search input.
+struct PoolMetrics {
+    /// Per-worker busy time over one batch, in microseconds.
+    busy_us: vliw_metrics::Histogram,
+    /// Per-worker idle time over one batch (batch wall minus busy).
+    idle_us: vliw_metrics::Histogram,
+    /// Wall-clock to drain one whole batch through the pool.
+    drain_us: vliw_metrics::Histogram,
+    /// Worker count of the most recent batch.
+    workers: vliw_metrics::Gauge,
+}
+
+impl PoolMetrics {
+    fn new() -> Self {
+        PoolMetrics {
+            busy_us: vliw_metrics::histogram(
+                "pool_worker_busy_us",
+                "Per-worker busy time over one pool batch, in microseconds",
+            ),
+            idle_us: vliw_metrics::histogram(
+                "pool_worker_idle_us",
+                "Per-worker idle time over one pool batch (batch wall minus busy), in microseconds",
+            ),
+            drain_us: vliw_metrics::histogram(
+                "pool_queue_drain_us",
+                "Wall-clock to drain one whole batch through the pool, in microseconds",
+            ),
+            workers: vliw_metrics::gauge(
+                "pool_workers",
+                "Worker count of the most recent pool batch",
+            ),
+        }
+    }
+
+    fn record(&self, wall: Duration, reports: &[WorkerReport]) {
+        let wall_us = micros(wall);
+        self.drain_us.record(wall_us);
+        self.workers.set(reports.len() as i64);
+        for r in reports {
+            let busy = micros(r.busy);
+            self.busy_us.record(busy);
+            self.idle_us.record(wall_us.saturating_sub(busy));
+        }
+    }
+}
+
+/// Saturating microseconds of a duration.
+fn micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
 /// Runs `f` over every item, in parallel across at most `threads`
 /// scoped workers, returning the results in input order plus one
 /// [`WorkerReport`] per worker (slot order).
@@ -42,15 +95,21 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    let metrics = vliw_metrics::enabled().then(PoolMetrics::new);
     if threads <= 1 || items.len() < 2 {
         let started = Stopwatch::start();
         let results: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let busy = started.elapsed();
         let report = WorkerReport {
-            busy: started.elapsed(),
+            busy,
             items: items.len(),
         };
+        if let Some(metrics) = &metrics {
+            metrics.record(busy, std::slice::from_ref(&report));
+        }
         return (results, vec![report]);
     }
+    let batch = Stopwatch::start();
     let next = AtomicUsize::new(0);
     let workers = threads.min(items.len());
     let mut reports: Vec<WorkerReport> = Vec::with_capacity(workers);
@@ -88,6 +147,9 @@ where
     });
     tagged.sort_by_key(|&(i, _)| i);
     debug_assert_eq!(tagged.len(), items.len());
+    if let Some(metrics) = &metrics {
+        metrics.record(batch.elapsed(), &reports);
+    }
     (tagged.into_iter().map(|(_, r)| r).collect(), reports)
 }
 
@@ -251,6 +313,30 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn metrics_capture_worker_busy_idle_and_drain() {
+        let _guard = vliw_metrics::test_guard();
+        vliw_metrics::set_enabled(true);
+        let items: Vec<u64> = (0..40).collect();
+        let (_, reports) = run_indexed(4, &items, |_, &x| x * 2);
+        // One-sided assertions: concurrent tests may also record into
+        // the process-global registry while the guard is held.
+        let snap = vliw_metrics::snapshot();
+        let find = |name: &str| {
+            snap.histograms
+                .iter()
+                .find(|h| h.name == name)
+                .unwrap_or_else(|| panic!("{name} registered"))
+        };
+        assert!(find("pool_worker_busy_us").count >= reports.len() as u64);
+        assert!(find("pool_worker_idle_us").count >= reports.len() as u64);
+        assert!(find("pool_queue_drain_us").count >= 1);
+        // The serial path records too (busy == drain, idle == 0).
+        let (_, serial) = run_indexed(1, &items, |_, &x| x * 2);
+        assert_eq!(serial.len(), 1);
+        assert!(find("pool_worker_busy_us").count >= reports.len() as u64);
     }
 
     #[test]

@@ -112,6 +112,144 @@ impl From<Vec<PhaseTotal>> for PhaseStats {
     }
 }
 
+/// One process-global counter total in a metrics snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricCounter {
+    /// Metric name (`eval_cache_hits`, …).
+    pub name: String,
+    /// Monotone total since the registry was last cleared.
+    pub value: u64,
+}
+
+/// One gauge value in a metrics snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricGauge {
+    /// Metric name (`pool_workers`, …).
+    pub name: String,
+    /// Last set value.
+    pub value: i64,
+}
+
+/// One non-empty histogram bucket: `count` observations in `[low, high)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricBucket {
+    /// Inclusive lower bound of the bucket.
+    pub low: u64,
+    /// Exclusive upper bound of the bucket.
+    pub high: u64,
+    /// Observations in the bucket.
+    pub count: u64,
+}
+
+/// One latency histogram in a metrics snapshot, with precomputed
+/// quantile estimates (each within one log-bucket width, ≤ 12.5%
+/// relative error, of the exact value).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricHistogram {
+    /// Metric name (`eval_candidate_us`, …).
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Estimated median (0 when empty).
+    pub p50: u64,
+    /// Estimated 95th percentile (0 when empty).
+    pub p95: u64,
+    /// Estimated 99th percentile (0 when empty).
+    pub p99: u64,
+    /// The non-empty buckets, in increasing value order.
+    pub buckets: Vec<MetricBucket>,
+}
+
+/// Serializable mirror of a [`vliw_metrics::Snapshot`], embedded in
+/// [`crate::BindStats`] when the process-global metrics registry is
+/// enabled.
+///
+/// The snapshot reflects *process-global* totals accumulated since the
+/// registry was last cleared — on a multi-kernel benchmark run the
+/// numbers span every binding performed so far, not just the run whose
+/// `BindStats` carries them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct MetricsStats {
+    /// All registered counters, sorted by name.
+    pub counters: Vec<MetricCounter>,
+    /// All registered gauges, sorted by name.
+    pub gauges: Vec<MetricGauge>,
+    /// All registered histograms, sorted by name.
+    pub histograms: Vec<MetricHistogram>,
+}
+
+impl MetricsStats {
+    /// Whether nothing was registered when the snapshot was taken.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The value of the counter called `name`, zero if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// The histogram called `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&MetricHistogram> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+impl From<vliw_metrics::Snapshot> for MetricsStats {
+    fn from(snap: vliw_metrics::Snapshot) -> Self {
+        MetricsStats {
+            counters: snap
+                .counters
+                .into_iter()
+                .map(|c| MetricCounter {
+                    name: c.name,
+                    value: c.value,
+                })
+                .collect(),
+            gauges: snap
+                .gauges
+                .into_iter()
+                .map(|g| MetricGauge {
+                    name: g.name,
+                    value: g.value,
+                })
+                .collect(),
+            histograms: snap
+                .histograms
+                .into_iter()
+                .map(|h| MetricHistogram {
+                    p50: h.quantile(0.50).unwrap_or(0),
+                    p95: h.quantile(0.95).unwrap_or(0),
+                    p99: h.quantile(0.99).unwrap_or(0),
+                    name: h.name,
+                    count: h.count,
+                    sum: h.sum,
+                    min: h.min,
+                    max: h.max,
+                    buckets: h
+                        .buckets
+                        .into_iter()
+                        .map(|b| MetricBucket {
+                            low: b.low,
+                            high: b.high,
+                            count: b.count,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,5 +304,46 @@ mod tests {
         let text = serde_json::to_string(&s).expect("serializes");
         let back: PhaseStats = serde_json::from_str(&text).expect("round trip");
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn metrics_mirror_round_trips_a_live_snapshot() {
+        let _guard = vliw_metrics::test_guard();
+        vliw_metrics::set_enabled(true);
+        vliw_metrics::counter("mirror_hits", "test counter").add(5);
+        vliw_metrics::gauge("mirror_level", "test gauge").set(-3);
+        let h = vliw_metrics::histogram("mirror_us", "test histogram");
+        for v in [1u64, 10, 100, 1000] {
+            h.record(v);
+        }
+        let stats = MetricsStats::from(vliw_metrics::snapshot());
+        assert!(!stats.is_empty());
+        assert_eq!(stats.counter("mirror_hits"), 5);
+        assert_eq!(stats.counter("missing"), 0);
+        let gauge = stats
+            .gauges
+            .iter()
+            .find(|g| g.name == "mirror_level")
+            .expect("registered");
+        assert_eq!(gauge.value, -3);
+        let hist = stats.histogram("mirror_us").expect("registered");
+        assert_eq!(hist.count, 4);
+        assert_eq!(hist.sum, 1111);
+        assert_eq!((hist.min, hist.max), (1, 1000));
+        assert!(hist.p50 >= 1 && hist.p50 <= 100);
+        assert!(
+            hist.p99 >= 896,
+            "p99 within one bucket of 1000: {}",
+            hist.p99
+        );
+        let text = serde_json::to_string(&stats).expect("serializes");
+        let back: MetricsStats = serde_json::from_str(&text).expect("round trip");
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn metrics_default_is_empty() {
+        assert!(MetricsStats::default().is_empty());
+        assert!(MetricsStats::default().histogram("x").is_none());
     }
 }

@@ -82,6 +82,36 @@ use vliw_trace::{SpanCat, Stopwatch, TraceSink, Tracer};
 /// are identical for every [`ExplorerConfig::threads`] setting.
 const CHUNK: usize = 16;
 
+/// Process-global metric handles of the sweep, resolved once per
+/// exploration only when [`vliw_metrics::enabled`] — strictly
+/// observational, never a sweep input.
+struct ExploreMetrics {
+    /// Wall-clock to bind one candidate machine, in microseconds.
+    bind_us: vliw_metrics::Histogram,
+    /// Wall-clock of one lower-bound prune decision, in microseconds.
+    prune_us: vliw_metrics::Histogram,
+}
+
+impl ExploreMetrics {
+    fn new() -> Self {
+        ExploreMetrics {
+            bind_us: vliw_metrics::histogram(
+                "explore_bind_us",
+                "Wall-clock to bind one candidate machine during exploration, in microseconds",
+            ),
+            prune_us: vliw_metrics::histogram(
+                "explore_prune_us",
+                "Wall-clock of one certified lower-bound prune decision, in microseconds",
+            ),
+        }
+    }
+}
+
+/// Saturating microseconds of a stopwatch reading.
+fn micros(started: &Stopwatch) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
 /// Bounds, budgets and models for the enumeration and the sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExplorerConfig {
@@ -411,6 +441,7 @@ impl Explorer {
         );
 
         let sweep = Stopwatch::start();
+        let metrics = vliw_metrics::enabled().then(ExploreMetrics::new);
         let deadline = self.config.deadline_ms.map(Duration::from_millis);
         let workers = self.worker_count();
         let mut cand_config = self.config.binder.clone();
@@ -467,9 +498,14 @@ impl Explorer {
                     continue;
                 }
                 if self.config.prune {
+                    let timed = metrics.as_ref().map(|_| Stopwatch::start());
                     let floor = vliw_analysis::analyze(dfg, machine).latency_bound();
                     let area = self.area_of(machine);
-                    if incumbent.iter().any(|&(a, l)| a <= area && floor >= l) {
+                    let dominated = incumbent.iter().any(|&(a, l)| a <= area && floor >= l);
+                    if let (Some(m), Some(t)) = (&metrics, &timed) {
+                        m.prune_us.record(micros(t));
+                    }
+                    if dominated {
                         stats.pruned += 1;
                         continue;
                     }
@@ -488,7 +524,12 @@ impl Explorer {
             // workers drain the rest of the round.
             let (outcomes, _workers) = pool::run_indexed_fallible(workers, &round, |_, machine| {
                 vliw_fault::point("explore.candidate")?;
-                Binder::with_config(machine, cand_config.clone()).try_bind(dfg)
+                let timed = metrics.as_ref().map(|_| Stopwatch::start());
+                let result = Binder::with_config(machine, cand_config.clone()).try_bind(dfg);
+                if let (Some(m), Some(t)) = (&metrics, &timed) {
+                    m.bind_us.record(micros(t));
+                }
+                result
             });
             for (machine, outcome) in round.into_iter().zip(outcomes) {
                 match outcome {

@@ -1,0 +1,730 @@
+//! Process-global performance metrics for the binding pipeline:
+//! counters, gauges and HDR-style log-bucketed latency histograms.
+//!
+//! Like `vliw-trace` and `vliw-fault`, this crate is zero-dependency and
+//! strictly observational: recording never influences any binding
+//! decision, so metrics-on and metrics-off runs are bit-identical in
+//! `(L, N_MV)`. The hot path is lock-free — every `record`/`inc` is a
+//! handful of relaxed atomic operations on a handle obtained once per
+//! batch, and the global on/off switch is a single relaxed load — so
+//! instrumented code pays nothing measurable when metrics are off.
+//!
+//! # Shape
+//!
+//! - [`Counter`]: a monotone `u64`.
+//! - [`Gauge`]: a settable `i64` (last write wins).
+//! - [`Histogram`]: base-2 log buckets with 8 linear sub-buckets per
+//!   octave (relative error ≤ 12.5%), mergeable across workers.
+//! - A process-global [`Registry`] keyed by metric name, exported as a
+//!   plain-data [`Snapshot`] and as Prometheus text exposition
+//!   ([`prometheus`]).
+//!
+//! # Global state and tests
+//!
+//! The registry and its enabled flag are process-global (entry points
+//! such as the bench binaries' `--metrics-out` enable them; library code
+//! only ever *reads* [`enabled`]). Tests that flip the switch must hold
+//! [`test_guard`], which serializes them and restores the disabled,
+//! empty state on drop — the same discipline `vliw_fault::test_guard`
+//! establishes for the fault registry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Linear sub-buckets per power-of-two octave (as a bit count).
+const SUB_BITS: u32 = 3;
+/// Linear sub-buckets per octave.
+const SUBS: usize = 1 << SUB_BITS;
+/// Total bucket count covering all of `u64` (values `< 8` get exact
+/// buckets; above that, 8 sub-buckets per octave up to `2^64`).
+const BUCKETS: usize = 62 * SUBS;
+
+/// Index of the bucket containing `v`. Total order preserving: larger
+/// values never land in earlier buckets.
+fn bucket_index(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let octave = (msb - SUB_BITS) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) as usize) & (SUBS - 1);
+    (octave + 1) * SUBS + sub
+}
+
+/// Half-open value range `[low, high)` of bucket `index`; the `high` of
+/// the last bucket saturates at `u64::MAX`.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUBS {
+        return (index as u64, index as u64 + 1);
+    }
+    let octave = index / SUBS - 1;
+    let sub = index % SUBS;
+    let low = ((SUBS + sub) as u64) << octave;
+    (low, low.saturating_add(1u64 << octave))
+}
+
+/// A monotonically increasing counter. Cloning shares the underlying
+/// cell, so one registered counter can be bumped from many threads.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    inner: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.inner.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.inner.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins signed gauge.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    inner: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.inner.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.inner.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.inner.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramInner {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log-bucketed histogram: base-2 octaves split into 8 linear
+/// sub-buckets each (values below 8 are exact), covering all of `u64`
+/// with at most 12.5% relative bucket width. Recording is lock-free and
+/// histograms recorded on separate workers merge exactly
+/// ([`Histogram::merge_from`]).
+#[derive(Clone, Default)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    /// A fresh, unregistered histogram (useful for per-worker local
+    /// recording merged into a registered one afterwards).
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        let i = &self.inner;
+        i.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        i.count.fetch_add(1, Ordering::Relaxed);
+        i.sum.fetch_add(v, Ordering::Relaxed);
+        i.min.fetch_min(v, Ordering::Relaxed);
+        i.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adds every observation of `other` into `self`, bucket by bucket.
+    /// After the merge, `self` is indistinguishable from having recorded
+    /// both streams directly.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (dst, src) in self.inner.buckets.iter().zip(&other.inner.buckets) {
+            let n = src.load(Ordering::Relaxed);
+            if n > 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let i = &self.inner;
+        let o = &other.inner;
+        i.count
+            .fetch_add(o.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        i.sum
+            .fetch_add(o.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        i.min
+            .fetch_min(o.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        i.max
+            .fetch_max(o.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// A plain-data copy of the current state (named by the caller).
+    fn snapshot(&self, name: &str, help: &str) -> HistogramSnapshot {
+        let count = self.inner.count.load(Ordering::Relaxed);
+        let buckets = self
+            .inner
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let count = c.load(Ordering::Relaxed);
+                (count > 0).then(|| {
+                    let (low, high) = bucket_bounds(i);
+                    BucketCount { low, high, count }
+                })
+            })
+            .collect();
+        HistogramSnapshot {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            count,
+            sum: self.inner.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.inner.min.load(Ordering::Relaxed)
+            },
+            max: self.inner.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// One non-empty histogram bucket: `count` observations fell in the
+/// half-open value range `[low, high)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketCount {
+    /// Inclusive lower bound of the bucket.
+    pub low: u64,
+    /// Exclusive upper bound of the bucket.
+    pub high: u64,
+    /// Observations in the bucket.
+    pub count: u64,
+}
+
+/// Plain-data state of one histogram at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// Registered help text.
+    pub help: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// The non-empty buckets, in increasing value order.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`): the lower bound of the
+    /// bucket holding the `⌈q·count⌉`-th smallest observation, so the
+    /// estimate is within one bucket width of the exact quantile.
+    /// `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.count;
+            if seen >= rank {
+                return Some(b.low);
+            }
+        }
+        self.buckets.last().map(|b| b.low)
+    }
+}
+
+/// Plain-data counter state at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// Registered help text.
+    pub help: String,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// Plain-data gauge state at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// Registered help text.
+    pub help: String,
+    /// Gauge value.
+    pub value: i64,
+}
+
+/// A consistent-enough copy of every registered metric, sorted by name
+/// within each kind. "Consistent enough": each atomic is read once, but
+/// concurrent recording may land between reads — fine for the
+/// end-of-run reporting this feeds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Every registered counter.
+    pub counters: Vec<CounterSnapshot>,
+    /// Every registered gauge.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Every registered histogram.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (`# HELP`/`# TYPE` headers, cumulative `_bucket{le="…"}` series
+    /// per histogram). Bucket `le` labels use each bucket's exclusive
+    /// upper bound, so they over-approximate by at most one bucket
+    /// width — the same error bar as the quantile estimates.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            let _ = writeln!(out, "# HELP {} {}", c.name, c.help);
+            let _ = writeln!(out, "# TYPE {} counter", c.name);
+            let _ = writeln!(out, "{} {}", c.name, c.value);
+        }
+        for g in &self.gauges {
+            let _ = writeln!(out, "# HELP {} {}", g.name, g.help);
+            let _ = writeln!(out, "# TYPE {} gauge", g.name);
+            let _ = writeln!(out, "{} {}", g.name, g.value);
+        }
+        for h in &self.histograms {
+            let _ = writeln!(out, "# HELP {} {}", h.name, h.help);
+            let _ = writeln!(out, "# TYPE {} histogram", h.name);
+            let mut cumulative = 0u64;
+            for b in &h.buckets {
+                cumulative += b.count;
+                let _ = writeln!(out, "{}_bucket{{le=\"{}\"}} {}", h.name, b.high, cumulative);
+            }
+            let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", h.name, h.count);
+            let _ = writeln!(out, "{}_sum {}", h.name, h.sum);
+            let _ = writeln!(out, "{}_count {}", h.name, h.count);
+        }
+        out
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Entry {
+    help: &'static str,
+    metric: Metric,
+}
+
+/// A named collection of metrics. Most code uses the process-global one
+/// through the free functions ([`counter`], [`histogram`], …); separate
+/// instances exist for tests.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<&'static str, Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<&'static str, Entry>> {
+        // Registration never panics while holding the lock, but recover
+        // from poisoning anyway: metrics must not cascade failures.
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The counter registered under `name`, registering it on first
+    /// use. If `name` is already taken by a different metric kind, a
+    /// detached (unregistered, invisible to snapshots) handle is
+    /// returned rather than panicking.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Counter {
+        let mut map = self.lock();
+        let entry = map.entry(name).or_insert_with(|| Entry {
+            help,
+            metric: Metric::Counter(Counter::default()),
+        });
+        match &entry.metric {
+            Metric::Counter(c) => c.clone(),
+            _ => Counter::default(),
+        }
+    }
+
+    /// The gauge registered under `name` (see [`Registry::counter`] for
+    /// the first-use and kind-clash rules).
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
+        let mut map = self.lock();
+        let entry = map.entry(name).or_insert_with(|| Entry {
+            help,
+            metric: Metric::Gauge(Gauge::default()),
+        });
+        match &entry.metric {
+            Metric::Gauge(g) => g.clone(),
+            _ => Gauge::default(),
+        }
+    }
+
+    /// The histogram registered under `name` (see [`Registry::counter`]
+    /// for the first-use and kind-clash rules).
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Histogram {
+        let mut map = self.lock();
+        let entry = map.entry(name).or_insert_with(|| Entry {
+            help,
+            metric: Metric::Histogram(Histogram::default()),
+        });
+        match &entry.metric {
+            Metric::Histogram(h) => h.clone(),
+            _ => Histogram::default(),
+        }
+    }
+
+    /// A plain-data copy of every registered metric, name-sorted.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.lock();
+        let mut snap = Snapshot::default();
+        for (name, entry) in map.iter() {
+            match &entry.metric {
+                Metric::Counter(c) => snap.counters.push(CounterSnapshot {
+                    name: (*name).to_owned(),
+                    help: entry.help.to_owned(),
+                    value: c.get(),
+                }),
+                Metric::Gauge(g) => snap.gauges.push(GaugeSnapshot {
+                    name: (*name).to_owned(),
+                    help: entry.help.to_owned(),
+                    value: g.get(),
+                }),
+                Metric::Histogram(h) => snap.histograms.push(h.snapshot(name, entry.help)),
+            }
+        }
+        snap
+    }
+
+    /// Drops every registered metric. Live handles keep working but
+    /// become invisible to later snapshots.
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Whether metrics collection is on. Instrumented hot paths consult
+/// this once per batch and skip the timing work entirely when off, so
+/// the disabled cost is one relaxed load.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns collection on or off, process-wide. Only call from process
+/// entry points (binaries, test mains under [`test_guard`]) — library
+/// code treats the switch as read-only.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The process-global counter `name` (registering it on first use).
+pub fn counter(name: &'static str, help: &'static str) -> Counter {
+    global().counter(name, help)
+}
+
+/// The process-global gauge `name` (registering it on first use).
+pub fn gauge(name: &'static str, help: &'static str) -> Gauge {
+    global().gauge(name, help)
+}
+
+/// The process-global histogram `name` (registering it on first use).
+pub fn histogram(name: &'static str, help: &'static str) -> Histogram {
+    global().histogram(name, help)
+}
+
+/// A plain-data copy of every process-global metric.
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+/// The process-global registry in Prometheus text exposition format.
+pub fn prometheus() -> String {
+    global().snapshot().to_prometheus()
+}
+
+/// Serializes tests that touch the process-global switch or registry;
+/// restores the disabled, empty state on drop.
+pub struct TestGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for TestGuard {
+    fn drop(&mut self) {
+        set_enabled(false);
+        global().clear();
+    }
+}
+
+/// Takes the global-metrics test lock. Hold the guard for the whole
+/// test; its drop disables collection and clears the global registry so
+/// the next test starts clean.
+pub fn test_guard() -> TestGuard {
+    static LOCK: Mutex<()> = Mutex::new(());
+    TestGuard {
+        _lock: LOCK.lock().unwrap_or_else(|e| e.into_inner()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let mut values = vec![0u64, 1, 2, u64::MAX];
+        for shift in 0..64u32 {
+            for nudge in [0u64, 1, 3] {
+                values.push((1u64 << shift).saturating_add(nudge << shift.saturating_sub(3)));
+            }
+        }
+        values.sort_unstable();
+        let mut last = 0usize;
+        for v in values {
+            let i = bucket_index(v);
+            assert!(i >= last, "index went backwards at {v}");
+            assert!(i < BUCKETS, "index {i} out of range at {v}");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges_do_arithmetic() {
+        let r = Registry::new();
+        let c = r.counter("ops", "operations");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name → same cell.
+        r.counter("ops", "operations").inc();
+        assert_eq!(c.get(), 6);
+        let g = r.gauge("depth", "queue depth");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+        // Kind clash returns a detached handle instead of panicking.
+        let clash = r.gauge("ops", "not a counter");
+        clash.set(99);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters[0].value, 6);
+        assert_eq!(snap.gauges.len(), 1);
+        assert_eq!(snap.gauges[0].value, 4);
+    }
+
+    #[test]
+    fn histogram_snapshot_carries_exact_aggregates() {
+        let h = Histogram::new();
+        for v in [3u64, 3, 100, 40_000] {
+            h.record(v);
+        }
+        let s = h.snapshot("lat", "latency");
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 40_106);
+        assert_eq!(s.min, 3);
+        assert_eq!(s.max, 40_000);
+        assert_eq!(s.buckets.iter().map(|b| b.count).sum::<u64>(), 4);
+        // The two 3s share one exact bucket.
+        assert_eq!(
+            s.buckets[0],
+            BucketCount {
+                low: 3,
+                high: 4,
+                count: 2
+            }
+        );
+        assert_eq!(s.mean(), Some(40_106.0 / 4.0));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let s = Histogram::new().snapshot("x", "");
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min, 0);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let r = Registry::new();
+        r.counter("a_total", "as seen").add(3);
+        r.gauge("b_now", "current b").set(-2);
+        let h = r.histogram("c_us", "c latency");
+        h.record(5);
+        h.record(300);
+        let text = r.snapshot().to_prometheus();
+        for needle in [
+            "# HELP a_total as seen",
+            "# TYPE a_total counter",
+            "a_total 3",
+            "# TYPE b_now gauge",
+            "b_now -2",
+            "# TYPE c_us histogram",
+            "c_us_bucket{le=\"6\"} 1",
+            "c_us_bucket{le=\"+Inf\"} 2",
+            "c_us_sum 305",
+            "c_us_count 2",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // Cumulative bucket counts never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("c_us_bucket")) {
+            let n: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(n >= last, "{line}");
+            last = n;
+        }
+    }
+
+    #[test]
+    fn global_registry_round_trips_and_test_guard_resets() {
+        let _guard = test_guard();
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+        counter("test_global_total", "global test counter").add(2);
+        let snap = snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters[0].value, 2);
+        assert!(prometheus().contains("test_global_total 2"));
+        drop(_guard);
+        assert!(!enabled());
+        let _guard = test_guard();
+        assert!(snapshot().counters.is_empty());
+    }
+
+    /// Exact q-quantile of a sorted sample under the `⌈q·n⌉`-rank
+    /// definition the histogram estimator targets.
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Every recorded value lands in a bucket whose bounds contain it.
+        #[test]
+        fn recorded_values_land_in_their_bucket(v in 0u64..u64::MAX) {
+            let i = bucket_index(v);
+            let (low, high) = bucket_bounds(i);
+            prop_assert!(low <= v && (v < high || high == u64::MAX),
+                "{v} outside bucket {i} = [{low}, {high})");
+            let h = Histogram::new();
+            h.record(v);
+            let s = h.snapshot("x", "");
+            prop_assert_eq!(s.buckets.len(), 1);
+            prop_assert!(s.buckets[0].low <= v && v <= s.max);
+        }
+
+        /// Quantile estimates are within one bucket width of the exact
+        /// quantile of the recorded sample.
+        #[test]
+        fn quantiles_are_within_one_bucket_width(
+            values in proptest::collection::vec(0u64..1_000_000, 1..200),
+            qnum in 0u32..=100,
+        ) {
+            let q = f64::from(qnum) / 100.0;
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let exact = exact_quantile(&sorted, q);
+            let est = h.snapshot("x", "").quantile(q).expect("non-empty");
+            let (low, high) = bucket_bounds(bucket_index(exact));
+            let width = high - low;
+            let diff = est.abs_diff(exact);
+            prop_assert!(diff <= width,
+                "estimate {est} vs exact {exact}: off by {diff} > bucket width {width}");
+        }
+
+        /// Merging per-worker histograms equals recording everything
+        /// into one (the per-worker → global aggregation contract).
+        #[test]
+        fn merged_histograms_equal_single_recording(
+            a in proptest::collection::vec(0u64..1_000_000_000, 0..100),
+            b in proptest::collection::vec(0u64..1_000_000_000, 0..100),
+        ) {
+            let ha = Histogram::new();
+            let hb = Histogram::new();
+            let hall = Histogram::new();
+            for &v in &a {
+                ha.record(v);
+                hall.record(v);
+            }
+            for &v in &b {
+                hb.record(v);
+                hall.record(v);
+            }
+            ha.merge_from(&hb);
+            prop_assert_eq!(ha.snapshot("x", ""), hall.snapshot("x", ""));
+        }
+    }
+}

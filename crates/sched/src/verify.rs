@@ -264,6 +264,28 @@ pub fn verify(
     bound: &BoundDfg,
     schedule: &Schedule,
 ) -> Vec<Violation> {
+    // Observability only: the verdict is identical with metrics off.
+    let timed = vliw_metrics::enabled().then(vliw_trace::Stopwatch::start);
+    let out = verify_impl(dfg, machine, binding, bound, schedule);
+    if let Some(started) = timed {
+        vliw_metrics::histogram(
+            "sched_verify_us",
+            "Wall-clock of one independent schedule verification, in microseconds",
+        )
+        .record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
+    out
+}
+
+/// The actual checks behind [`verify`] (split out so the metrics timer
+/// wraps every early return).
+fn verify_impl(
+    dfg: &Dfg,
+    machine: &Machine,
+    binding: &Binding,
+    bound: &BoundDfg,
+    schedule: &Schedule,
+) -> Vec<Violation> {
     let mut out = Vec::new();
 
     // 1. Binding legality.

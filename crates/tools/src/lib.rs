@@ -33,7 +33,7 @@ use vliw_kernels::Kernel;
 use vliw_pcc::Pcc;
 use vliw_sched::{Binding, BoundDfg, Schedule};
 use vliw_sim::Simulator;
-use vliw_trace::{event_to_jsonl, EventKind, MemorySink, SpanCat};
+use vliw_trace::{event_to_jsonl, CollapsedStackSink, EventKind, MemorySink, SpanCat};
 
 /// A fatal CLI error with the message shown to the user.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -123,6 +123,14 @@ commands:
   trace   KERNEL DATAPATH [--algo binit|biter] [--out FILE.jsonl]
           traced bind with a per-phase breakdown; DATAPATH is
           \"[a,m|...]\" or NxAM shorthand (2x11 = [1,1|1,1])
+  profile KERNEL DATAPATH [--algo binit|biter] [--top N] [--out FILE.folded]
+          span-based self-time profile of one bind: a top-N table of
+          where the wall-clock went; --out writes collapsed stacks
+          (\"run;b_iter_qu 123\") for flamegraph tools
+  bench-diff BASELINE.json CANDIDATE.json [--threshold X] [--min-wall-ms Y]
+          compare two perf-trajectory files; exits nonzero on any
+          (L, N_MV) quality change, or a wall-clock regression beyond
+          X x baseline (default 1.5) on rows slower than Y ms (default 5)
   dot     --kernel K | --dfg FILE  --machine \"[...]\"   bound-DFG Graphviz
   explore KERNEL [--max-fus N] [--max-clusters N] [--max-alus N]
           [--max-muls N] [--threads N] [--deadline-ms N] [--max-candidates N]
@@ -171,6 +179,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "analyze" => cmd_analyze(args),
         "bind" => cmd_bind(args),
         "trace" => cmd_trace(args),
+        "profile" => cmd_profile(args),
+        "bench-diff" => cmd_bench_diff(args),
         "dot" => cmd_dot(args),
         "explore" => cmd_explore(args),
         "verify" => cmd_verify(args),
@@ -658,6 +668,109 @@ fn cmd_trace(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_profile(args: &Args) -> Result<String, CliError> {
+    // `vliw profile ewf 2x11`: kernel and datapath as positionals, with
+    // the flag spellings (`--kernel`/`--dfg`, `--machine`) as fallback.
+    let dfg = match args.positional(0) {
+        Some(name) => kernel_dfg(name)?,
+        None => load_dfg(args)?,
+    };
+    let label = args
+        .positional(0)
+        .or_else(|| args.get("kernel"))
+        .map_or_else(|| "input".to_owned(), str::to_uppercase);
+    let machine = match args.positional(1) {
+        Some(spec) => parse_datapath(spec)?,
+        None => load_machine(args)?,
+    };
+    let algo = args.get("algo").unwrap_or("biter");
+    if !matches!(algo, "binit" | "biter") {
+        return Err(err(format!(
+            "profile instruments the paper pipeline only: --algo binit|biter, got {algo:?}"
+        )));
+    }
+    let top: usize = match args.get("top") {
+        None => 10,
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| err("--top takes a number >= 1"))?,
+    };
+
+    let sink = Arc::new(CollapsedStackSink::new());
+    let binder = Binder::with_config(
+        &machine,
+        BinderConfig {
+            trace: true,
+            verify: true,
+            ..BinderConfig::default()
+        },
+    )
+    .with_trace_sink(sink.clone());
+    let (result, _stats) = run_algo(algo, &dfg, &machine, binder)?;
+
+    let stacks = sink.folded();
+    let root = sink.root_total_us();
+    let self_total = sink.self_total_us();
+    let share = |us: u64| 100.0 * us as f64 / root.max(1) as f64;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{algo} on {machine} ({label}): latency {} cycles, {} transfers",
+        result.latency(),
+        result.moves()
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<40} {:>12} {:>8}",
+        "stack (self time)", "self", "share"
+    );
+    for (path, us) in sink.top_self(top) {
+        let _ = writeln!(out, "{path:<40} {us:>9} us {:>7.1}%", share(us));
+    }
+    if stacks.len() > top {
+        let shown: u64 = sink.top_self(top).iter().map(|(_, us)| us).sum();
+        let rest = self_total.saturating_sub(shown);
+        let _ = writeln!(
+            out,
+            "{:<40} {rest:>9} us {:>7.1}%",
+            format!("({} more stacks)", stacks.len() - top),
+            share(rest)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<40} {root:>9} us {:>7.1}%",
+        "total (root span)", 100.0
+    );
+    // Self times partition the root span exactly, so accounted
+    // wall-clock below 95% means spans went missing — surface it.
+    let coverage = share(self_total);
+    let _ = writeln!(
+        out,
+        "\nself-time coverage: {coverage:.1}% of root wall-clock{}",
+        if coverage < 95.0 {
+            "  (WARNING: below the 95% target)"
+        } else {
+            ""
+        }
+    );
+
+    if let Some(path) = args.get("out") {
+        let text = sink.lines();
+        std::fs::write(path, &text).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(
+            out,
+            "\nwrote {} collapsed stacks to {path} (flamegraph.pl / inferno ready)",
+            stacks.len()
+        );
+    }
+    Ok(out)
+}
+
 /// Validates trace JSONL (as written by `vliw trace --out` and the
 /// bench bins' `--trace-out`) against the documented schema: every line
 /// a JSON object with increasing `seq`, monotone `t_us`, a known `ev`
@@ -744,6 +857,221 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
         return Err(format!("unclosed spans at end of stream: {open:?}"));
     }
     Ok(count)
+}
+
+/// Row fields whose values are deterministic algorithm outputs: any
+/// difference between baseline and candidate is a behavior change and
+/// hard-fails the diff regardless of thresholds.
+const QUALITY_FIELDS: &[&str] = &[
+    "latency",
+    "moves",
+    "lower_bound",
+    "proved_optimal",
+    "frontier",
+    "enumerated",
+    "evaluated",
+    "skipped",
+    "pruned",
+];
+
+/// Row fields that carry wall-clock milliseconds: compared with the
+/// noise-aware ratio threshold instead of exact equality.
+const WALL_FIELDS: &[&str] = &["wall_ms", "serial_ms", "sharded_ms"];
+
+/// Reads and minimally validates one perf-trajectory envelope.
+fn load_envelope(path: &str) -> Result<serde_json::Value, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let blob: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| err(format!("bad JSON in {path}: {e}")))?;
+    if blob["schema"] != "vliw-perf-trajectory-v1" {
+        return Err(err(format!(
+            "{path}: not a vliw-perf-trajectory-v1 file (schema = {})",
+            brief(&blob["schema"])
+        )));
+    }
+    if blob["rows"].as_array().is_none() {
+        return Err(err(format!("{path}: missing \"rows\" array")));
+    }
+    Ok(blob)
+}
+
+/// Display identity of a trajectory row: kernel plus datapath when the
+/// table has one (`explore` rows are keyed by kernel alone).
+fn row_key(row: &serde_json::Value) -> String {
+    match (row["kernel"].as_str(), row["datapath"].as_str()) {
+        (Some(k), Some(d)) => format!("{k} @ {d}"),
+        (Some(k), None) => k.to_owned(),
+        _ => "<unkeyed row>".to_owned(),
+    }
+}
+
+/// Compact rendering of a JSON leaf for diff messages; composites show
+/// only their kind (a changed frontier array needs no full dump).
+fn brief(v: &serde_json::Value) -> String {
+    use serde_json::Value;
+    match v {
+        Value::Null => "absent".to_owned(),
+        Value::Bool(b) => b.to_string(),
+        Value::Number(n) => n.to_string(),
+        Value::String(s) => s.clone(),
+        other => format!("<{}>", other.kind()),
+    }
+}
+
+/// One-line provenance of an envelope's `meta` block; envelopes written
+/// before the block existed read as an unknown baseline, not an error.
+fn meta_line(which: &str, envelope: &serde_json::Value) -> String {
+    let meta = &envelope["meta"];
+    if meta.as_object().is_none() {
+        return format!("{which}: unknown baseline (no meta block)");
+    }
+    format!(
+        "{which}: rev {} at {} ({} threads, {} cpus)",
+        meta["git_rev"].as_str().unwrap_or("unknown"),
+        meta["timestamp"].as_str().unwrap_or("unknown time"),
+        meta["threads"].as_u64().unwrap_or(0),
+        meta["cpus"].as_u64().unwrap_or(0),
+    )
+}
+
+fn cmd_bench_diff(args: &Args) -> Result<String, CliError> {
+    let (Some(base_path), Some(cand_path)) = (args.positional(0), args.positional(1)) else {
+        return Err(err("usage: vliw bench-diff BASELINE.json CANDIDATE.json"));
+    };
+    let threshold: f64 = match args.get("threshold") {
+        None => 1.5,
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|&t| t >= 1.0)
+            .ok_or_else(|| err("--threshold takes a number >= 1.0"))?,
+    };
+    let min_wall_ms: f64 = match args.get("min-wall-ms") {
+        None => 5.0,
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|&t| t >= 0.0)
+            .ok_or_else(|| err("--min-wall-ms takes a number >= 0"))?,
+    };
+
+    let base = load_envelope(base_path)?;
+    let cand = load_envelope(cand_path)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", meta_line("baseline ", &base));
+    let _ = writeln!(out, "{}", meta_line("candidate", &cand));
+    if base["table"] != cand["table"] {
+        return Err(err(format!(
+            "table mismatch: baseline is {}, candidate is {}",
+            brief(&base["table"]),
+            brief(&cand["table"])
+        )));
+    }
+
+    let base_rows: Vec<serde_json::Value> = base["rows"]
+        .as_array()
+        .map(<[_]>::to_vec)
+        .unwrap_or_default();
+    let cand_rows: Vec<serde_json::Value> = cand["rows"]
+        .as_array()
+        .map(<[_]>::to_vec)
+        .unwrap_or_default();
+    let mut failures: Vec<String> = Vec::new();
+
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<44} {:>10} {:>10} {:>7}  status",
+        "row", "base ms", "cand ms", "ratio"
+    );
+    for b in &base_rows {
+        let key = row_key(b);
+        let Some(c) = cand_rows.iter().find(|c| row_key(c) == key) else {
+            failures.push(format!("{key}: missing from candidate"));
+            let _ = writeln!(out, "{key:<44} {:>10} {:>10} {:>7}  MISSING", "-", "-", "-");
+            continue;
+        };
+        // Quality first: any change is a hard failure, walls are moot.
+        let changed: Vec<&str> = QUALITY_FIELDS
+            .iter()
+            .filter(|f| b[**f] != c[**f])
+            .copied()
+            .collect();
+        if !changed.is_empty() {
+            for f in &changed {
+                failures.push(format!(
+                    "{key}: {f} changed from {} to {}",
+                    brief(&b[*f]),
+                    brief(&c[*f])
+                ));
+            }
+            let _ = writeln!(
+                out,
+                "{key:<44} {:>10} {:>10} {:>7}  QUALITY ({})",
+                "-",
+                "-",
+                "-",
+                changed.join(", ")
+            );
+            continue;
+        }
+        for field in WALL_FIELDS {
+            let (Some(bw), Some(cw)) = (b[*field].as_f64(), c[*field].as_f64()) else {
+                continue;
+            };
+            let ratio = cw / bw.max(f64::EPSILON);
+            // Sub-floor rows are pure scheduler noise: report, never fail.
+            let slow = ratio > threshold && cw > min_wall_ms;
+            let label = if WALL_FIELDS
+                .iter()
+                .filter(|f| b[**f].as_f64().is_some())
+                .count()
+                > 1
+            {
+                format!("{key} [{field}]")
+            } else {
+                key.clone()
+            };
+            let _ = writeln!(
+                out,
+                "{label:<44} {bw:>10.2} {cw:>10.2} {ratio:>6.2}x  {}",
+                if slow {
+                    "SLOW"
+                } else if cw <= min_wall_ms {
+                    "ok (under floor)"
+                } else {
+                    "ok"
+                }
+            );
+            if slow {
+                failures.push(format!(
+                    "{label}: wall-clock {bw:.2} ms -> {cw:.2} ms ({ratio:.2}x > {threshold}x)"
+                ));
+            }
+        }
+    }
+    for c in &cand_rows {
+        let key = row_key(c);
+        if !base_rows.iter().any(|b| row_key(b) == key) {
+            failures.push(format!("{key}: not in baseline"));
+            let _ = writeln!(out, "{key:<44} {:>10} {:>10} {:>7}  ADDED", "-", "-", "-");
+        }
+    }
+
+    if failures.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nOK: {} rows compared, no quality change, walls within {threshold}x",
+            base_rows.len()
+        );
+        return Ok(out);
+    }
+    let _ = writeln!(out, "\n{} regression(s):", failures.len());
+    for f in &failures {
+        let _ = writeln!(out, "  - {f}");
+    }
+    Err(err(out))
 }
 
 fn cmd_dot(args: &Args) -> Result<String, CliError> {
@@ -1222,6 +1550,161 @@ mod tests {
         assert!(validate_jsonl(bad).unwrap_err().contains("unclosed"));
         // The empty stream is trivially valid.
         assert_eq!(validate_jsonl(""), Ok(0));
+    }
+
+    #[test]
+    fn profile_accounts_for_the_root_span() {
+        let out = run_line("profile ewf 2x11").expect("ok");
+        assert!(out.contains("self-time coverage"), "{out}");
+        assert!(
+            !out.contains("WARNING"),
+            "self times partition the root span, coverage must be >= 95%:\n{out}"
+        );
+        assert!(out.contains("total (root span)"), "{out}");
+        assert!(out.contains("latency"), "{out}");
+        let coverage: f64 = out
+            .lines()
+            .find(|l| l.starts_with("self-time coverage"))
+            .and_then(|l| l.split(&[' ', '%'][..]).find_map(|w| w.parse().ok()))
+            .expect("coverage figure");
+        assert!(coverage >= 95.0, "{coverage}: {out}");
+    }
+
+    #[test]
+    fn profile_writes_collapsed_stacks() {
+        let path = std::env::temp_dir().join("vliw_tools_test_profile.folded");
+        let out = run_line(&format!("profile arf 2x11 --out {}", path.display())).expect("ok");
+        assert!(out.contains("collapsed stacks"), "{out}");
+        let text = std::fs::read_to_string(&path).expect("reads");
+        let _ = std::fs::remove_file(&path);
+        // Each line is `frame;frame;... <micros>`.
+        for line in text.lines() {
+            let (stack, us) = line.rsplit_once(' ').unwrap_or_else(|| panic!("{line:?}"));
+            assert!(!stack.is_empty(), "{line:?}");
+            us.parse::<u64>().unwrap_or_else(|_| panic!("{line:?}"));
+        }
+        assert!(text.lines().any(|l| l.starts_with("run")), "{text}");
+        let e = run_line("profile ewf 2x11 --algo sa").unwrap_err();
+        assert!(e.0.contains("binit|biter"), "{e}");
+    }
+
+    /// A minimal two-row trajectory envelope for bench-diff tests.
+    fn diff_envelope(latency: u64, wall_ms: f64) -> String {
+        format!(
+            concat!(
+                "{{\"schema\": \"vliw-perf-trajectory-v1\", \"table\": \"table1\",\n",
+                " \"meta\": {{\"git_rev\": \"abc\", \"threads\": 2,",
+                " \"timestamp\": \"2026-08-08T00:00:00Z\", \"cpus\": 8}},\n",
+                " \"rows\": [\n",
+                "  {{\"kernel\": \"ARF\", \"datapath\": \"[1,1|1,1]\",",
+                " \"latency\": {latency}, \"moves\": 3, \"wall_ms\": {wall}}},\n",
+                "  {{\"kernel\": \"EWF\", \"datapath\": \"[1,1|1,1]\",",
+                " \"latency\": 20, \"moves\": 5, \"wall_ms\": 1.0}}\n",
+                " ]}}\n"
+            ),
+            latency = latency,
+            wall = wall_ms
+        )
+    }
+
+    fn write_temp(name: &str, text: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, text).expect("writes");
+        path
+    }
+
+    #[test]
+    fn bench_diff_passes_identical_envelopes() {
+        let a = write_temp("vliw_diff_base_ok.json", &diff_envelope(16, 10.0));
+        let b = write_temp("vliw_diff_cand_ok.json", &diff_envelope(16, 11.0));
+        let out = run_line(&format!("bench-diff {} {}", a.display(), b.display())).expect("ok");
+        assert!(out.contains("OK: 2 rows compared"), "{out}");
+        assert!(out.contains("rev abc"), "{out}");
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn bench_diff_hard_fails_on_quality_change() {
+        let a = write_temp("vliw_diff_base_q.json", &diff_envelope(16, 10.0));
+        // One cycle better AND faster: still a hard failure — quality is
+        // pinned exactly, improvements require a baseline regeneration.
+        let b = write_temp("vliw_diff_cand_q.json", &diff_envelope(15, 1.0));
+        let e = run_line(&format!("bench-diff {} {}", a.display(), b.display())).unwrap_err();
+        assert!(e.0.contains("latency changed from 16 to 15"), "{e}");
+        assert!(e.0.contains("QUALITY"), "{e}");
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn bench_diff_fails_on_wall_regression_above_threshold() {
+        let a = write_temp("vliw_diff_base_w.json", &diff_envelope(16, 10.0));
+        let b = write_temp("vliw_diff_cand_w.json", &diff_envelope(16, 100.0));
+        let e = run_line(&format!("bench-diff {} {}", a.display(), b.display())).unwrap_err();
+        assert!(e.0.contains("SLOW"), "{e}");
+        assert!(e.0.contains("10.00x"), "{e}");
+        // A generous threshold lets the same pair pass.
+        let out = run_line(&format!(
+            "bench-diff {} {} --threshold 20",
+            a.display(),
+            b.display()
+        ))
+        .expect("ok");
+        assert!(out.contains("OK:"), "{out}");
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn bench_diff_ignores_noise_under_the_wall_floor() {
+        // 0.5 ms -> 2 ms is 4x but under the 5 ms floor: noise, not signal.
+        let a = write_temp("vliw_diff_base_f.json", &diff_envelope(16, 0.5));
+        let b = write_temp("vliw_diff_cand_f.json", &diff_envelope(16, 2.0));
+        let out = run_line(&format!("bench-diff {} {}", a.display(), b.display())).expect("ok");
+        assert!(out.contains("under floor"), "{out}");
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn bench_diff_flags_missing_rows_and_unknown_baselines() {
+        let a = write_temp("vliw_diff_base_m.json", &diff_envelope(16, 10.0));
+        let one_row = concat!(
+            "{\"schema\": \"vliw-perf-trajectory-v1\", \"table\": \"table1\",\n",
+            " \"rows\": [{\"kernel\": \"ARF\", \"datapath\": \"[1,1|1,1]\",",
+            " \"latency\": 16, \"moves\": 3, \"wall_ms\": 10.0}]}\n"
+        );
+        let b = write_temp("vliw_diff_cand_m.json", one_row);
+        let e = run_line(&format!("bench-diff {} {}", a.display(), b.display())).unwrap_err();
+        assert!(e.0.contains("missing from candidate"), "{e}");
+        assert!(e.0.contains("unknown baseline (no meta block)"), "{e}");
+        // The reverse direction flags the added row.
+        let e = run_line(&format!("bench-diff {} {}", b.display(), a.display())).unwrap_err();
+        assert!(e.0.contains("not in baseline"), "{e}");
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn bench_diff_rejects_bad_inputs() {
+        let e = run_line("bench-diff /nonexistent/a.json /nonexistent/b.json").unwrap_err();
+        assert!(e.0.contains("cannot read"), "{e}");
+        let e = run_line("bench-diff").unwrap_err();
+        assert!(e.0.contains("usage"), "{e}");
+        let a = write_temp("vliw_diff_not_traj.json", "{\"schema\": \"other\"}");
+        let e = run_line(&format!("bench-diff {} {}", a.display(), a.display())).unwrap_err();
+        assert!(e.0.contains("not a vliw-perf-trajectory-v1"), "{e}");
+        let b = write_temp("vliw_diff_base_t.json", &diff_envelope(16, 1.0));
+        let e = run_line(&format!(
+            "bench-diff {} {} --threshold 0.5",
+            b.display(),
+            b.display()
+        ))
+        .unwrap_err();
+        assert!(e.0.contains("--threshold"), "{e}");
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! A self-profiling sink: folds the span tree into flamegraph-style
+//! collapsed stacks.
+//!
+//! Each closed span contributes its *self time* — elapsed minus the
+//! elapsed of its direct children — to the stack path `root;…;span`
+//! (span names joined by `;`). The output is the classic
+//! `a;b;c <micros>` collapsed-stack format consumed by
+//! `flamegraph.pl` / `inferno`, surfaced on the CLI as `vliw profile`.
+//!
+//! By construction, the self times of all spans in a tree sum to the
+//! root's elapsed time exactly, so the profile accounts for 100% of the
+//! root span's wall-clock — modulo spans still open when the stream
+//! ends, which are dropped (see [`CollapsedStackSink::record`]).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::{EventKind, TraceEvent, TraceSink};
+
+/// One span currently open in the reconstruction.
+struct OpenSpan {
+    name: String,
+    parent: Option<u64>,
+    /// Total elapsed microseconds of already-closed direct children.
+    children_us: u64,
+}
+
+#[derive(Default)]
+struct State {
+    open: HashMap<u64, OpenSpan>,
+    /// Collapsed stack path → accumulated self time in microseconds.
+    folded: BTreeMap<String, u64>,
+    /// Total elapsed of closed root (parentless) spans.
+    root_total_us: u64,
+}
+
+/// A [`TraceSink`] that folds the span stream into collapsed stacks
+/// (path → self-time). Counters are ignored; only span structure and
+/// elapsed times matter.
+///
+/// Unmatched closes (a `span_end` whose start was never seen) are
+/// dropped, and spans still open when the stream ends never contribute
+/// — both are stream corruptions the profiler tolerates quietly, since
+/// a sink must never fail the traced computation.
+#[derive(Default)]
+pub struct CollapsedStackSink {
+    state: Mutex<State>,
+}
+
+impl CollapsedStackSink {
+    /// An empty profiler sink.
+    pub fn new() -> Self {
+        CollapsedStackSink::default()
+    }
+
+    /// The accumulated `(stack path, self micros)` pairs, path-sorted.
+    /// Zero self-time stacks are omitted.
+    pub fn folded(&self) -> Vec<(String, u64)> {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state
+            .folded
+            .iter()
+            .map(|(path, us)| (path.clone(), *us))
+            .collect()
+    }
+
+    /// The accumulated stacks in collapsed-stack text form, one
+    /// `path self_micros` line each — ready for `flamegraph.pl`.
+    pub fn lines(&self) -> String {
+        let mut out = String::new();
+        for (path, us) in self.folded() {
+            let _ = writeln!(out, "{path} {us}");
+        }
+        out
+    }
+
+    /// The `(stack path, self micros)` pairs sorted by descending self
+    /// time, truncated to `n` entries.
+    pub fn top_self(&self, n: usize) -> Vec<(String, u64)> {
+        let mut all = self.folded();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(n);
+        all
+    }
+
+    /// Sum of all recorded self times, in microseconds.
+    pub fn self_total_us(&self) -> u64 {
+        self.folded().iter().map(|(_, us)| us).sum()
+    }
+
+    /// Total elapsed microseconds of closed root (parentless) spans —
+    /// the denominator for profile-coverage checks.
+    pub fn root_total_us(&self) -> u64 {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .root_total_us
+    }
+}
+
+impl TraceSink for CollapsedStackSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match event.kind {
+            EventKind::SpanStart { span, parent, .. } => {
+                state.open.insert(
+                    span,
+                    OpenSpan {
+                        name: event.name.clone(),
+                        parent,
+                        children_us: 0,
+                    },
+                );
+            }
+            EventKind::SpanEnd {
+                span, elapsed_us, ..
+            } => {
+                let Some(closed) = state.open.remove(&span) else {
+                    return; // unmatched close: drop it
+                };
+                // The stack path: ancestors (all still open) root-first.
+                let mut names = vec![closed.name.as_str()];
+                let mut cursor = closed.parent;
+                while let Some(id) = cursor {
+                    match state.open.get(&id) {
+                        Some(ancestor) => {
+                            names.push(ancestor.name.as_str());
+                            cursor = ancestor.parent;
+                        }
+                        None => break, // corrupt chain: keep what we have
+                    }
+                }
+                names.reverse();
+                let path = names.join(";");
+                let self_us = elapsed_us.saturating_sub(closed.children_us);
+                if self_us > 0 {
+                    *state.folded.entry(path).or_insert(0) += self_us;
+                }
+                match closed.parent {
+                    Some(parent) => {
+                        if let Some(p) = state.open.get_mut(&parent) {
+                            p.children_us += elapsed_us;
+                        }
+                    }
+                    None => state.root_total_us += elapsed_us,
+                }
+            }
+            EventKind::Counter { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpanCat, Tracer};
+    use std::sync::Arc;
+
+    fn start(seq: u64, name: &str, span: u64, parent: Option<u64>) -> TraceEvent {
+        TraceEvent {
+            seq,
+            t_us: seq,
+            name: name.into(),
+            kind: EventKind::SpanStart {
+                span,
+                parent,
+                cat: SpanCat::Phase,
+            },
+            attrs: vec![],
+        }
+    }
+
+    fn end(seq: u64, name: &str, span: u64, elapsed_us: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            t_us: seq,
+            name: name.into(),
+            kind: EventKind::SpanEnd {
+                span,
+                cat: SpanCat::Phase,
+                elapsed_us,
+            },
+            attrs: vec![],
+        }
+    }
+
+    #[test]
+    fn self_times_partition_the_root() {
+        let sink = CollapsedStackSink::new();
+        // run(100) { a(30) { b(10) } c(20) } → self: run 50, a 20, b 10, c 20.
+        sink.record(&start(1, "run", 1, None));
+        sink.record(&start(2, "a", 2, Some(1)));
+        sink.record(&start(3, "b", 3, Some(2)));
+        sink.record(&end(4, "b", 3, 10));
+        sink.record(&end(5, "a", 2, 30));
+        sink.record(&start(6, "c", 4, Some(1)));
+        sink.record(&end(7, "c", 4, 20));
+        sink.record(&end(8, "run", 1, 100));
+        assert_eq!(
+            sink.folded(),
+            vec![
+                ("run".to_owned(), 50),
+                ("run;a".to_owned(), 20),
+                ("run;a;b".to_owned(), 10),
+                ("run;c".to_owned(), 20),
+            ]
+        );
+        assert_eq!(sink.root_total_us(), 100);
+        assert_eq!(sink.self_total_us(), 100);
+        assert_eq!(sink.top_self(2)[0], ("run".to_owned(), 50));
+        let text = sink.lines();
+        assert!(text.contains("run;a;b 10\n"), "{text}");
+    }
+
+    #[test]
+    fn repeated_stacks_accumulate() {
+        let sink = CollapsedStackSink::new();
+        sink.record(&start(1, "run", 1, None));
+        for (i, span) in [(2u64, 10u64), (4, 11), (6, 12)] {
+            sink.record(&start(i, "round", span, Some(1)));
+            sink.record(&end(i + 1, "round", span, 5));
+        }
+        sink.record(&end(8, "run", 1, 40));
+        let folded = sink.folded();
+        assert_eq!(
+            folded,
+            vec![("run".to_owned(), 25), ("run;round".to_owned(), 15)]
+        );
+    }
+
+    #[test]
+    fn corrupt_streams_are_tolerated() {
+        let sink = CollapsedStackSink::new();
+        // Unmatched close: dropped.
+        sink.record(&end(1, "ghost", 99, 7));
+        assert!(sink.folded().is_empty());
+        // Span left open at end of stream: contributes nothing.
+        sink.record(&start(2, "run", 1, None));
+        sink.record(&start(3, "a", 2, Some(1)));
+        sink.record(&end(4, "a", 2, 10));
+        assert_eq!(sink.folded(), vec![("run;a".to_owned(), 10)]);
+        assert_eq!(sink.root_total_us(), 0);
+        // A child reporting more elapsed than its parent saturates
+        // instead of underflowing.
+        let sink = CollapsedStackSink::new();
+        sink.record(&start(1, "run", 1, None));
+        sink.record(&start(2, "a", 2, Some(1)));
+        sink.record(&end(3, "a", 2, 50));
+        sink.record(&end(4, "run", 1, 10));
+        assert_eq!(sink.folded(), vec![("run;a".to_owned(), 50)]);
+    }
+
+    #[test]
+    fn live_tracer_round_trip_accounts_for_the_root() {
+        let sink = Arc::new(CollapsedStackSink::new());
+        let tracer = Tracer::new(sink.clone());
+        {
+            let _run = tracer.span(SpanCat::Phase, "run", vec![]);
+            {
+                let _inner = tracer.span(SpanCat::Detail, "work", vec![]);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            tracer.counter("ignored", 3, vec![]);
+        }
+        let folded = sink.folded();
+        assert!(
+            folded.iter().any(|(p, _)| p == "run;work"),
+            "missing run;work in {folded:?}"
+        );
+        // Self times sum exactly to the root's elapsed.
+        assert_eq!(sink.self_total_us(), sink.root_total_us());
+        assert!(sink.root_total_us() >= 2_000);
+    }
+}

@@ -61,6 +61,28 @@ impl State {
 }
 
 /// Folds phase spans and counters into [`PhaseTotal`]s as events arrive.
+///
+/// # Edge-case resolution
+///
+/// The collector must digest whatever stream it is handed — a sink can
+/// never fail the traced computation — so malformed streams resolve
+/// deterministically rather than erroring:
+///
+/// * **Unclosed span at stream end**: the phase keeps every counter
+///   attributed to it while it was the innermost open phase, but its
+///   elapsed time is never added ([`PhaseCollector::totals`] reports
+///   `elapsed_us` from closed spans only).
+/// * **Out-of-order close**: a `span_end` whose id is not the innermost
+///   open phase removes that id from wherever it sits in the open
+///   stack (innermost match first). A close whose start was never seen
+///   still credits `elapsed_us` and the span count to the phase slot
+///   named in the event, creating the slot if needed.
+/// * **Duplicate counter names**: counter events sharing a name are
+///   summed per *(phase, name)* — twice `tried_single` in one phase is
+///   one entry with the summed value, while the same counter name fired
+///   under two phases stays attributed to each phase separately (and
+///   [`PhaseCollector::orphan_counters`] keeps its own sums for
+///   counters that fired with no phase open).
 #[derive(Default)]
 pub struct PhaseCollector {
     state: Mutex<State>,
@@ -204,6 +226,112 @@ mod tests {
         tracer.counter("stray", 3, vec![]);
         assert_eq!(collector.orphan_counters(), vec![("stray".to_owned(), 3)]);
         assert!(collector.totals().is_empty());
+    }
+
+    fn start(seq: u64, name: &str, span: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            t_us: seq,
+            name: name.into(),
+            kind: EventKind::SpanStart {
+                span,
+                parent: None,
+                cat: SpanCat::Phase,
+            },
+            attrs: vec![],
+        }
+    }
+
+    fn end(seq: u64, name: &str, span: u64, elapsed_us: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            t_us: seq,
+            name: name.into(),
+            kind: EventKind::SpanEnd {
+                span,
+                cat: SpanCat::Phase,
+                elapsed_us,
+            },
+            attrs: vec![],
+        }
+    }
+
+    fn counter(seq: u64, name: &str, value: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            t_us: seq,
+            name: name.into(),
+            kind: EventKind::Counter { value },
+            attrs: vec![],
+        }
+    }
+
+    #[test]
+    fn unclosed_span_keeps_counters_but_not_elapsed() {
+        let collector = PhaseCollector::new();
+        collector.record(&start(1, "b_init", 1));
+        collector.record(&counter(2, "swept", 4));
+        // Stream ends with the span still open.
+        let totals = collector.totals();
+        assert_eq!(totals.len(), 1);
+        assert_eq!(totals[0].name, "b_init");
+        assert_eq!(totals[0].elapsed_us, 0, "open spans contribute no time");
+        assert_eq!(totals[0].spans, 0);
+        assert_eq!(totals[0].counters, vec![("swept".to_owned(), 4)]);
+    }
+
+    #[test]
+    fn out_of_order_closes_resolve_by_id_then_by_name() {
+        let collector = PhaseCollector::new();
+        collector.record(&start(1, "run", 1));
+        collector.record(&start(2, "b_init", 2));
+        // The outer span closes first: removed by id from mid-stack,
+        // leaving the inner span open and correctly attributed.
+        collector.record(&end(3, "run", 1, 100));
+        collector.record(&counter(4, "swept", 1));
+        collector.record(&end(5, "b_init", 2, 40));
+        // A close that was never opened credits its name's slot.
+        collector.record(&end(6, "verify", 99, 7));
+        let totals = collector.totals();
+        assert_eq!(totals.len(), 3);
+        assert_eq!(
+            (totals[0].name.as_str(), totals[0].elapsed_us),
+            ("run", 100)
+        );
+        let init = &totals[1];
+        assert_eq!(init.name, "b_init");
+        assert_eq!(init.elapsed_us, 40);
+        assert_eq!(
+            init.counters,
+            vec![("swept".to_owned(), 1)],
+            "counter fired after the outer close belongs to the still-open inner phase"
+        );
+        assert_eq!(
+            (
+                totals[2].name.as_str(),
+                totals[2].elapsed_us,
+                totals[2].spans
+            ),
+            ("verify", 7, 1)
+        );
+    }
+
+    #[test]
+    fn duplicate_counter_names_sum_per_phase() {
+        let collector = PhaseCollector::new();
+        collector.record(&start(1, "b_iter_qu", 1));
+        collector.record(&counter(2, "tried", 3));
+        collector.record(&counter(3, "tried", 4));
+        collector.record(&end(4, "b_iter_qu", 1, 10));
+        collector.record(&start(5, "b_iter_qm", 2));
+        collector.record(&counter(6, "tried", 5));
+        collector.record(&end(7, "b_iter_qm", 2, 10));
+        // Orphans: the same name outside any phase has its own sum.
+        collector.record(&counter(8, "tried", 2));
+        let totals = collector.totals();
+        assert_eq!(totals[0].counters, vec![("tried".to_owned(), 7)]);
+        assert_eq!(totals[1].counters, vec![("tried".to_owned(), 5)]);
+        assert_eq!(collector.orphan_counters(), vec![("tried".to_owned(), 2)]);
     }
 
     #[test]

@@ -10,9 +10,11 @@
 //! * **counters** — named monotonic increments with attributes
 //!   ([`Tracer::counter`]);
 //! * **sinks** — pluggable [`TraceSink`] consumers: an in-memory buffer
-//!   ([`MemorySink`]), a JSONL stream ([`JsonlSink`]), and a per-phase
+//!   ([`MemorySink`]), a JSONL stream ([`JsonlSink`]), a per-phase
 //!   aggregator ([`PhaseCollector`]) that turns the event stream into
-//!   per-phase elapsed/counter totals.
+//!   per-phase elapsed/counter totals, and a flamegraph-style
+//!   self-profiler ([`CollapsedStackSink`]) folding the span tree into
+//!   collapsed stacks.
 //!
 //! A disabled [`Tracer`] (the default) is a single `Option` check per
 //! call site: no events are constructed, no clocks are read, no
@@ -48,10 +50,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod collapse;
 mod collect;
 mod json;
 mod sink;
 
+pub use collapse::CollapsedStackSink;
 pub use collect::{PhaseCollector, PhaseTotal};
 pub use json::event_to_jsonl;
 pub use sink::{JsonlSink, MemorySink};

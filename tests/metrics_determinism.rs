@@ -1,0 +1,84 @@
+//! The acceptance gate of the metrics subsystem: recording is strictly
+//! observational, so a bind with the registry enabled must produce the
+//! bit-identical `(L, N_MV)` of a bind with it disabled — for every
+//! kernel on every distinct Table-1 datapath.
+//!
+//! The registry is process-global, so the enabled phase runs under
+//! `test_guard()`, which serializes these tests against the other
+//! guard-taking metrics tests in the workspace and restores the
+//! disabled state on drop.
+
+use vliw_binding::{Binder, BinderConfig};
+use vliw_datapath::Machine;
+use vliw_kernels::Kernel;
+
+/// Binds every kernel x Table-1 datapath pair once and returns the
+/// quality results in a fixed order.
+fn bind_all(config: &BinderConfig) -> Vec<(String, u32, usize)> {
+    let mut out = Vec::new();
+    for kernel in Kernel::ALL {
+        let dfg = kernel.build();
+        for datapath in vliw_bench::runner::table1_datapaths() {
+            let machine = Machine::parse(datapath).expect("datapath parses");
+            let result = Binder::with_config(&machine, config.clone()).bind(&dfg);
+            out.push((
+                format!("{} @ {datapath}", kernel.name()),
+                result.latency(),
+                result.moves(),
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn metrics_on_and_off_bind_bit_identically_across_table1() {
+    let config = BinderConfig::default();
+    let off = bind_all(&config);
+    assert_eq!(off.len(), Kernel::ALL.len() * 12);
+
+    let on = {
+        let _guard = vliw_metrics::test_guard();
+        vliw_metrics::set_enabled(true);
+        let on = bind_all(&config);
+        // The instrumented run actually recorded something: the eval
+        // histogram saw at least one candidate per bind.
+        let snapshot = vliw_metrics::snapshot();
+        let hist = snapshot
+            .histograms
+            .iter()
+            .find(|h| h.name == "eval_candidate_us")
+            .expect("eval histogram registered");
+        assert!(hist.count >= off.len() as u64, "count {}", hist.count);
+        on
+    };
+
+    assert_eq!(off, on, "metrics recording perturbed the search");
+}
+
+#[test]
+fn metrics_stay_identical_under_nondefault_configs() {
+    // The threaded evaluator and the pair-move neighborhood exercise the
+    // pool and iter instrumentation paths.
+    for config in [
+        BinderConfig {
+            threads: 4,
+            ..BinderConfig::default()
+        },
+        BinderConfig {
+            pair_mode: vliw_binding::PairMode::All,
+            eval_cache: false,
+            ..BinderConfig::default()
+        },
+    ] {
+        let dfg = Kernel::Ewf.build();
+        let machine = Machine::parse("[2,1|1,1]").expect("machine");
+        let off = Binder::with_config(&machine, config.clone()).bind(&dfg);
+        let on = {
+            let _guard = vliw_metrics::test_guard();
+            vliw_metrics::set_enabled(true);
+            Binder::with_config(&machine, config.clone()).bind(&dfg)
+        };
+        assert_eq!(off.lm(), on.lm(), "{config:?}");
+    }
+}
