@@ -188,7 +188,9 @@ pub fn guard_item<R>(
         Ok(result) => result,
         Err(payload) => Err(BindError::WorkerPanicked {
             index,
-            site: vliw_fault::take_last_panic_site(),
+            // The thread-local panic site only annotates the *error*
+            // diagnostic; it never flows into a successful binding.
+            site: vliw_fault::take_last_panic_site(), // lint:allow(determinism-taint)
             payload: payload_text(payload.as_ref()),
         }),
     }

@@ -1,0 +1,338 @@
+//! Name-resolution-lite call graph over the workspace item table.
+//!
+//! Call sites are extracted from masked function bodies and resolved by
+//! name against the [`FnItem`] table:
+//!
+//! - `name(...)` resolves to every *free* function named `name` in the
+//!   workspace;
+//! - `.name(...)` (method syntax) resolves to every `impl`/`trait`
+//!   function named `name` — the receiver's type is unknown, so this
+//!   **over-approximates** (any same-named method anywhere is a
+//!   potential callee);
+//! - `Type::name(...)` resolves to `impl` functions of `Type` when the
+//!   workspace defines such a type, to free functions when the
+//!   qualifier looks like a module path we know, and to nothing when
+//!   the qualifier is foreign (`Vec::new`) — an **under-approximation**
+//!   that keeps std calls out of the graph;
+//! - `Self::name(...)` resolves within the enclosing `impl` type;
+//! - calls through function pointers, closures passed by name, and
+//!   macro-generated calls are not seen (under-approximation).
+//!
+//! The passes that consume the graph are designed so both
+//! approximations fail safe: over-approximated edges can only *add*
+//! candidate witness chains (each reported site is still a real
+//! syntactic panic/taint site), and under-approximated edges are
+//! covered by the file-local token rules that never went away.
+
+use crate::parse::{is_ident, FnItem, SourceFile};
+use std::collections::BTreeMap;
+
+/// One resolved call site inside a function body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSite {
+    /// Index of the callee in the workspace fn table.
+    pub callee: usize,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// An unresolved call observed in a body — kept so passes can treat
+/// specific foreign functions (e.g. `vliw_fault::take_last_panic_site`)
+/// as sources even though they resolve outside the local crate graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawCall {
+    /// Path as written, `::`-joined (`vliw_fault::point`, `m.keys`).
+    pub path: String,
+    /// Bare callee name (last segment).
+    pub name: String,
+    /// Whether the call used method syntax (`.name(...)`).
+    pub is_method: bool,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// The workspace call graph: per-function resolved call sites plus the
+/// raw (pre-resolution) call list.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `calls[f]` — resolved call sites inside fn `f`, in source order.
+    pub calls: Vec<Vec<CallSite>>,
+    /// `raw[f]` — every syntactic call inside fn `f`, resolved or not.
+    pub raw: Vec<Vec<RawCall>>,
+}
+
+/// Keywords that look like `word(...)` in expression position but are
+/// not calls.
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "fn", "let", "else", "move",
+    "break", "continue", "where", "impl", "dyn", "ref", "mut", "pub", "use", "mod", "struct",
+    "enum", "const", "static", "type", "trait", "unsafe", "async", "await", "crate", "super",
+];
+
+/// Extracts every syntactic call from one masked body span.
+fn extract_calls(file: &SourceFile, body: (usize, usize)) -> Vec<RawCall> {
+    let chars = &file.chars;
+    let mut out = Vec::new();
+    let mut i = body.0;
+    let end = body.1.min(chars.len());
+    while i < end {
+        let c = chars[i];
+        if !is_ident(c) || c.is_ascii_digit() || (i > 0 && is_ident(chars[i - 1])) {
+            i += 1;
+            continue;
+        }
+        // A lifetime tick immediately before an ident is not a call.
+        if i > 0 && chars[i - 1] == '\'' {
+            i += 1;
+            continue;
+        }
+        // Method syntax? Look at the previous non-space char.
+        let mut p = i;
+        while p > body.0 && chars[p - 1].is_whitespace() {
+            p -= 1;
+        }
+        let is_method = p > body.0 && chars[p - 1] == '.';
+        // Read the `seg(::seg)*` path.
+        let mut segments: Vec<String> = Vec::new();
+        let mut j = i;
+        loop {
+            let mut seg = String::new();
+            while j < end && is_ident(chars[j]) {
+                seg.push(chars[j]);
+                j += 1;
+            }
+            if seg.is_empty() {
+                break;
+            }
+            segments.push(seg);
+            // `::` continues the path; `::<...>` is a turbofish to skip.
+            if j + 1 < end && chars[j] == ':' && chars[j + 1] == ':' {
+                j += 2;
+                if j < end && chars[j] == '<' {
+                    let mut depth = 0usize;
+                    while j < end {
+                        match chars[j] {
+                            '<' => depth += 1,
+                            '>' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                if j < end && is_ident(chars[j]) && !chars[j].is_ascii_digit() {
+                    continue;
+                }
+            }
+            break;
+        }
+        if segments.is_empty() {
+            i += 1;
+            continue;
+        }
+        let after_path = j;
+        // Macros (`name!(...)`) are not call-graph edges; the panic
+        // macros are handled as direct sites by the passes.
+        if after_path < end && chars[after_path] == '!' {
+            i = after_path + 1;
+            continue;
+        }
+        let k = {
+            let mut k = after_path;
+            while k < end && chars[k].is_whitespace() && chars[k] != '\n' {
+                k += 1;
+            }
+            k
+        };
+        let is_call = k < end && chars[k] == '(';
+        if is_call {
+            let name = segments.last().cloned().unwrap_or_default();
+            if !(segments.len() == 1 && KEYWORDS.contains(&name.as_str())) {
+                out.push(RawCall {
+                    path: segments.join("::"),
+                    name,
+                    is_method,
+                    line: file.line_at(i),
+                });
+            }
+        }
+        i = after_path.max(i + 1);
+    }
+    out
+}
+
+/// Builds the call graph for the whole workspace.
+pub fn build(files: &[SourceFile], fns: &[FnItem]) -> CallGraph {
+    // Name indices. BTreeMap keeps resolution order deterministic.
+    let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut method_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut by_type_and_name: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    for (idx, f) in fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        match &f.self_ty {
+            None => free_by_name.entry(&f.name).or_default().push(idx),
+            Some(ty) => {
+                method_by_name.entry(&f.name).or_default().push(idx);
+                by_type_and_name
+                    .entry((ty.as_str(), &f.name))
+                    .or_default()
+                    .push(idx);
+            }
+        }
+    }
+
+    let mut graph = CallGraph {
+        calls: vec![Vec::new(); fns.len()],
+        raw: vec![Vec::new(); fns.len()],
+    };
+    for (idx, f) in fns.iter().enumerate() {
+        let Some(body) = f.body else {
+            continue;
+        };
+        let file = &files[f.file];
+        let raw_calls = extract_calls(file, body);
+        let mut sites: Vec<CallSite> = Vec::new();
+        for call in &raw_calls {
+            let segments: Vec<&str> = call.path.split("::").collect();
+            let targets: Vec<usize> = if call.is_method {
+                method_by_name
+                    .get(call.name.as_str())
+                    .cloned()
+                    .unwrap_or_default()
+            } else if segments.len() == 1 {
+                free_by_name
+                    .get(call.name.as_str())
+                    .cloned()
+                    .unwrap_or_default()
+            } else {
+                let qualifier = segments[segments.len() - 2];
+                let qualifier = if qualifier == "Self" {
+                    f.self_ty.as_deref().unwrap_or(qualifier)
+                } else {
+                    qualifier
+                };
+                match by_type_and_name.get(&(qualifier, call.name.as_str())) {
+                    Some(t) => t.clone(),
+                    // A module-looking qualifier (snake_case) may name a
+                    // workspace module: fall back to free fns by name.
+                    // Type-looking foreign qualifiers (`Vec::new`)
+                    // resolve to nothing.
+                    None if qualifier.chars().next().is_some_and(char::is_lowercase) => {
+                        free_by_name
+                            .get(call.name.as_str())
+                            .cloned()
+                            .unwrap_or_default()
+                    }
+                    None => Vec::new(),
+                }
+            };
+            for callee in targets {
+                // Self-recursion adds nothing to reachability.
+                if callee == idx {
+                    continue;
+                }
+                if !sites.iter().any(|s| s.callee == callee) {
+                    sites.push(CallSite {
+                        callee,
+                        line: call.line,
+                    });
+                }
+            }
+        }
+        graph.calls[idx] = sites;
+        graph.raw[idx] = raw_calls;
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_items, Area, SourceFile};
+
+    fn ws(src: &str) -> (Vec<SourceFile>, Vec<FnItem>, CallGraph) {
+        let file = SourceFile::new(
+            "crates/core/src/x.rs".into(),
+            Area::Library,
+            "core".into(),
+            src.into(),
+        );
+        let files = vec![file];
+        let fns = parse_items(0, &files[0]);
+        let graph = build(&files, &fns);
+        (files, fns, graph)
+    }
+
+    fn edge(fns: &[FnItem], graph: &CallGraph, from: &str, to: &str) -> bool {
+        let f = fns.iter().position(|i| i.name == from).expect("from");
+        let t = fns.iter().position(|i| i.name == to).expect("to");
+        graph.calls[f].iter().any(|s| s.callee == t)
+    }
+
+    #[test]
+    fn free_method_and_qualified_calls_resolve() {
+        let src = "struct W;\n\
+                   impl W {\n\
+                       fn step(&self) -> u32 { helper() }\n\
+                       fn spawn() -> W { W }\n\
+                   }\n\
+                   fn helper() -> u32 { 3 }\n\
+                   fn dot(w: &W) -> u32 { w.step() }\n\
+                   fn turbo() -> W { W::spawn() }\n";
+        let (_files, fns, graph) = ws(src);
+        assert!(edge(&fns, &graph, "step", "helper"));
+        assert!(edge(&fns, &graph, "dot", "step"));
+        assert!(edge(&fns, &graph, "turbo", "spawn"));
+    }
+
+    #[test]
+    fn foreign_qualified_calls_resolve_to_nothing() {
+        let src = "fn new() -> u32 { 1 }\n\
+                   fn user() -> Vec<u32> { Vec::new() }\n";
+        let (_files, fns, graph) = ws(src);
+        // `Vec::new` must NOT edge to the workspace free fn `new`.
+        assert!(!edge(&fns, &graph, "user", "new"));
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let src = "fn assert_eq() {}\n\
+                   fn user(x: u32) -> u32 {\n\
+                       if x > 0 { println!(\"hi\"); }\n\
+                       while x > 9 { break; }\n\
+                       x\n\
+                   }\n";
+        let (_files, fns, graph) = ws(src);
+        let user = fns.iter().position(|i| i.name == "user").expect("user");
+        assert!(graph.calls[user].is_empty(), "{:?}", graph.calls[user]);
+    }
+
+    #[test]
+    fn raw_calls_keep_foreign_paths() {
+        let src = "fn user() { vliw_fault::take_last_panic_site(); }\n";
+        let (_files, fns, graph) = ws(src);
+        let user = fns.iter().position(|i| i.name == "user").expect("user");
+        assert_eq!(graph.raw[user].len(), 1);
+        assert_eq!(graph.raw[user][0].path, "vliw_fault::take_last_panic_site");
+        assert!(!graph.raw[user][0].is_method);
+    }
+
+    #[test]
+    fn test_fns_are_not_call_targets() {
+        let src = "pub fn lib() { shared(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       pub fn shared() { Some(1).unwrap(); }\n\
+                   }\n";
+        let (_files, fns, graph) = ws(src);
+        let lib = fns.iter().position(|i| i.name == "lib").expect("lib");
+        assert!(graph.calls[lib].is_empty());
+    }
+}

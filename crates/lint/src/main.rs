@@ -1,19 +1,30 @@
-//! `vliw-lint` — run the workspace invariant linter from the repo root.
-//!
-//! Exits 0 when the workspace is clean, 1 when any finding is reported.
+//! `vliw-lint` — run the workspace static analysis and exit nonzero on
+//! any gating finding. The richer surface (`--json`, baselines) is
+//! `vliw lint` in `vliw-tools`.
 
 use std::path::Path;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let findings = vliw_lint::lint_workspace(&root);
-    if findings.is_empty() {
-        println!("vliw-lint: clean (no-panic, no-hash-iter, no-instant, unsafe-forbid)");
-        return;
-    }
+    let findings = match vliw_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("vliw-lint: failed to scan workspace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let gating = findings.iter().filter(|f| f.gating()).count();
+    let advisory = findings.len() - gating;
     for f in &findings {
-        println!("{f}");
+        if f.gating() {
+            println!("{f}");
+        }
     }
-    eprintln!("vliw-lint: {} finding(s)", findings.len());
-    std::process::exit(1);
+    println!("vliw-lint: {gating} gating finding(s), {advisory} advisory");
+    if gating == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

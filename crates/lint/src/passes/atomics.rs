@@ -1,0 +1,269 @@
+//! Atomic-ordering and lock-discipline audit.
+//!
+//! This workspace's concurrency story is deliberately simple: the
+//! atomics in `vliw-metrics`/`vliw-fault`/`vliw-trace` are monotonic
+//! counters and on/off flags, all `Relaxed`, and every global lock is
+//! leaf-level (never held across another acquisition). Three rules
+//! keep it that way:
+//!
+//! - **atomic-ordering** — a non-`Relaxed` ordering (`SeqCst`,
+//!   `AcqRel`, or `Acquire`/`Release` on an atomic-op line) outside a
+//!   waiver means someone started using atomics for *synchronization*,
+//!   which these crates are not designed for;
+//! - **relaxed-rmw** — `compare_exchange*`/`fetch_update` with
+//!   `Relaxed`, or a `Relaxed` RMW result steering control flow
+//!   (`if`/`while` + `.fetch_*`/`.swap(`), is a guard pattern that
+//!   `Relaxed` cannot make correct;
+//! - **lock-order** — two fns acquiring the same pair of global
+//!   `Mutex`/`RwLock` statics in opposite orders (with one level of
+//!   same-crate call inlining) is a deadlock waiting for the right
+//!   interleaving.
+
+use super::Ctx;
+use crate::parse::{token_positions, Area};
+use crate::{Finding, Frame, Rule, Severity};
+use std::collections::BTreeMap;
+
+/// Masked-line markers that make `Acquire`/`Release` atomic-relevant.
+const ATOMIC_OP_MARKERS: [&str; 6] = [
+    ".load(",
+    ".store(",
+    ".fetch_",
+    ".swap(",
+    ".compare_exchange",
+    "fence(",
+];
+
+/// Checks one masked line for a non-Relaxed ordering token.
+fn non_relaxed_ordering(mline: &str) -> Option<&'static str> {
+    for tok in ["SeqCst", "AcqRel"] {
+        if !token_positions(mline, tok).is_empty() {
+            return Some(tok);
+        }
+    }
+    let atomicish = ATOMIC_OP_MARKERS.iter().any(|m| mline.contains(m));
+    if atomicish {
+        for tok in ["Acquire", "Release"] {
+            if !token_positions(mline, tok).is_empty() {
+                return Some(tok);
+            }
+        }
+    }
+    None
+}
+
+/// Checks one masked line for a Relaxed read-modify-write guard.
+fn relaxed_rmw_guard(mline: &str) -> Option<String> {
+    if token_positions(mline, "Relaxed").is_empty() {
+        return None;
+    }
+    for m in ["compare_exchange", "fetch_update"] {
+        if mline.contains(m) {
+            return Some(format!("`{m}` with `Relaxed` ordering"));
+        }
+    }
+    let steers =
+        !token_positions(mline, "if").is_empty() || !token_positions(mline, "while").is_empty();
+    if steers && (mline.contains(".fetch_") || mline.contains(".swap(")) {
+        return Some("`Relaxed` RMW result steering control flow".to_owned());
+    }
+    None
+}
+
+/// A global (or fn-scoped `static`) lock, identified by name.
+#[derive(Debug)]
+struct LockStatic {
+    name: String,
+}
+
+/// Finds every `static NAME: … Mutex<…>`/`RwLock<…>` declaration.
+fn find_lock_statics(ctx: &Ctx<'_>) -> Vec<LockStatic> {
+    let mut locks: Vec<LockStatic> = Vec::new();
+    for file in ctx.files {
+        if !matches!(file.area, Area::Library | Area::Binary) {
+            continue;
+        }
+        for mline in file.masked.lines() {
+            if mline.contains("Mutex<") || mline.contains("RwLock<") {
+                for at in token_positions(mline, "static") {
+                    let rest = mline[at + "static".len()..].trim_start();
+                    let name: String = rest
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    if !name.is_empty()
+                        && name.chars().all(|c| c.is_uppercase() || c == '_')
+                        && !locks.iter().any(|l| l.name == name)
+                    {
+                        locks.push(LockStatic { name });
+                    }
+                }
+            }
+        }
+    }
+    locks
+}
+
+/// The ordered lock-acquisition sequence observed inside one fn body
+/// (which global locks it takes, in source order, deduplicated).
+fn acquisitions(ctx: &Ctx<'_>, fn_idx: usize, locks: &[LockStatic]) -> Vec<(usize, usize)> {
+    let f = &ctx.fns[fn_idx];
+    let file = &ctx.files[f.file];
+    let mut seq: Vec<(usize, usize)> = Vec::new();
+    if f.body.is_none() {
+        return seq;
+    }
+    let masked_lines: Vec<&str> = file.masked.lines().collect();
+    for ln in ctx.body_lines(fn_idx) {
+        let Some(mline) = masked_lines.get(ln - 1) else {
+            continue;
+        };
+        for (lock_idx, lock) in locks.iter().enumerate() {
+            // Locks are matched by name only; same-named statics in
+            // different crates would alias, so keep static names unique.
+            for op in [".lock()", ".read()", ".write()"] {
+                let pat = format!("{}{op}", lock.name);
+                if !token_positions(mline, &pat).is_empty()
+                    && !seq.iter().any(|&(l, _)| l == lock_idx)
+                {
+                    seq.push((lock_idx, ln));
+                }
+            }
+        }
+    }
+    seq
+}
+
+/// Runs the pass.
+pub fn run(ctx: &Ctx<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Line rules: orderings and RMW guards.
+    for (file_idx, file) in ctx.files.iter().enumerate() {
+        if !matches!(file.area, Area::Library | Area::Binary) {
+            continue;
+        }
+        for (idx, mline) in file.masked.lines().enumerate() {
+            let ln = idx + 1;
+            if file.is_test_line(ln) {
+                continue;
+            }
+            if let Some(tok) = non_relaxed_ordering(mline) {
+                if !ctx.waived(file_idx, ln, &[Rule::AtomicOrdering.name()]) {
+                    findings.push(Finding {
+                        rule: Rule::AtomicOrdering,
+                        severity: Severity::Warning,
+                        path: file.path.clone(),
+                        line: ln,
+                        message: format!(
+                            "`{tok}` ordering: this workspace's atomics are \
+                             counters/flags and must stay `Relaxed`; waive with \
+                             `// lint:allow(atomic-ordering)` if synchronization \
+                             is really intended"
+                        ),
+                        witness: Vec::new(),
+                    });
+                }
+            }
+            if let Some(what) = relaxed_rmw_guard(mline) {
+                if !ctx.waived(file_idx, ln, &[Rule::RelaxedRmw.name()]) {
+                    findings.push(Finding {
+                        rule: Rule::RelaxedRmw,
+                        severity: Severity::Warning,
+                        path: file.path.clone(),
+                        line: ln,
+                        message: format!(
+                            "{what}: a guard needs `Acquire`/`Release` (and a \
+                             design note), not `Relaxed`"
+                        ),
+                        witness: Vec::new(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Lock discipline: per-fn acquisition sequences with one level of
+    // same-crate call inlining, then pairwise AB/BA conflict check.
+    let locks = find_lock_statics(ctx);
+    if locks.len() >= 2 {
+        let own: Vec<Vec<(usize, usize)>> = (0..ctx.fns.len())
+            .map(|i| acquisitions(ctx, i, &locks))
+            .collect();
+        // pair_order[(a, b)] = first fn observed acquiring a before b.
+        let mut pair_order: BTreeMap<(usize, usize), (usize, usize, usize)> = BTreeMap::new();
+        for fn_idx in 0..ctx.fns.len() {
+            let f = &ctx.fns[fn_idx];
+            if f.is_test {
+                continue;
+            }
+            let mut seq = own[fn_idx].clone();
+            for site in &ctx.graph.calls[fn_idx] {
+                let callee = &ctx.fns[site.callee];
+                if callee.is_test
+                    || ctx.files[callee.file].crate_name != ctx.files[f.file].crate_name
+                {
+                    continue;
+                }
+                for &(lock, _) in &own[site.callee] {
+                    if !seq.iter().any(|&(l, _)| l == lock) {
+                        seq.push((lock, site.line));
+                    }
+                }
+            }
+            for i in 0..seq.len() {
+                for j in (i + 1)..seq.len() {
+                    let (a, la) = seq[i];
+                    let (b, lb) = seq[j];
+                    pair_order.entry((a, b)).or_insert((fn_idx, la, lb));
+                }
+            }
+        }
+        let mut reported: Vec<(usize, usize)> = Vec::new();
+        for (&(a, b), &(fn_ab, la, lb)) in &pair_order {
+            if a >= b {
+                continue;
+            }
+            let Some(&(fn_ba, ba_la, ba_lb)) = pair_order.get(&(b, a)) else {
+                continue;
+            };
+            if reported.contains(&(a, b)) {
+                continue;
+            }
+            reported.push((a, b));
+            let f_ab = &ctx.fns[fn_ab];
+            let f_ba = &ctx.fns[fn_ba];
+            let line = la.min(lb);
+            if ctx.waived(f_ab.file, line, &[Rule::LockOrder.name()])
+                || ctx.waived(f_ba.file, ba_la.min(ba_lb), &[Rule::LockOrder.name()])
+            {
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::LockOrder,
+                severity: Severity::Warning,
+                path: ctx.files[f_ab.file].path.clone(),
+                line,
+                message: format!(
+                    "lock order conflict: `{}` acquires `{}` then `{}`, but `{}` \
+                     acquires them in the opposite order — potential deadlock",
+                    f_ab.qualified, locks[a].name, locks[b].name, f_ba.qualified,
+                ),
+                witness: vec![
+                    Frame {
+                        qualified: f_ab.qualified.clone(),
+                        path: ctx.files[f_ab.file].path.clone(),
+                        line: la,
+                    },
+                    Frame {
+                        qualified: f_ba.qualified.clone(),
+                        path: ctx.files[f_ba.file].path.clone(),
+                        line: ba_la,
+                    },
+                ],
+            });
+        }
+    }
+
+    findings
+}

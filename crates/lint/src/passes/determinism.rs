@@ -1,0 +1,240 @@
+//! Determinism source→sink taint along the call graph.
+//!
+//! **Sinks** are the result-producing fns: any non-test library fn
+//! whose return type names a binding/scheduling result (`Binding`,
+//! `BindingResult`, `Schedule`, `BindStats`, `Exploration`,
+//! `BoundDfg`, `EvalOutcome`). Their output must be bit-reproducible —
+//! it is what the determinism suites pin and what `--json` serializes.
+//!
+//! **Sources** are the syntactic nondeterminism sites: hash-collection
+//! iteration, `Instant`/`SystemTime`, thread identity, and the
+//! `vliw-fault` panic-site thread-local (`take_last_panic_site`).
+//!
+//! A sink is *tainted* when a source site is reachable from it along
+//! the call graph. Laundering points where taint legitimately stops:
+//!
+//! - edges into the observational crates (`trace`, `metrics`, `fault`,
+//!   `lint`) — they observe the computation but their values must not
+//!   flow back into results (their own APIs return `()` or are
+//!   consumed only by reporting paths);
+//! - `crates/core/src/budget.rs` — the deadline budget deliberately
+//!   makes *truncation* time-dependent; the determinism suites pin
+//!   results under `Budget::unlimited()`, and budget-truncated runs
+//!   are documented as best-effort;
+//! - a `// lint:allow(determinism-taint)` waiver on the callee's
+//!   signature line (e.g. a fn that sorts before reducing), or on the
+//!   source site line itself.
+
+use super::{local, Ctx};
+use crate::parse::{token_positions, Area, FnItem};
+use crate::{Finding, Frame, Rule, Severity};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Return-type names that mark a fn as a determinism sink.
+const SINK_TYPES: [&str; 7] = [
+    "Binding",
+    "BindingResult",
+    "Schedule",
+    "BindStats",
+    "Exploration",
+    "BoundDfg",
+    "EvalOutcome",
+];
+
+/// Crates that observe rather than produce results; taint stops at
+/// their boundary.
+const LAUNDERING_CRATES: [&str; 4] = ["trace", "metrics", "fault", "lint"];
+
+/// One nondeterminism source site.
+struct Source {
+    line: usize,
+    what: String,
+}
+
+/// Does this fn's signature return one of the sink types?
+fn is_sink(ctx: &Ctx<'_>, f: &FnItem) -> bool {
+    if f.is_test || f.body.is_none() || ctx.files[f.file].area != Area::Library {
+        return false;
+    }
+    let sig: String = ctx.files[f.file].chars[f.sig_span.0..f.sig_span.1]
+        .iter()
+        .collect();
+    let Some(arrow) = sig.find("->") else {
+        return false;
+    };
+    let ret = &sig[arrow + 2..];
+    SINK_TYPES
+        .iter()
+        .any(|ty| !token_positions(ret, ty).is_empty())
+}
+
+/// Collects every source site in a file, keyed by owning fn.
+fn collect_sources(ctx: &Ctx<'_>) -> BTreeMap<usize, Vec<Source>> {
+    let mut out: BTreeMap<usize, Vec<Source>> = BTreeMap::new();
+    let mut add = |file_idx: usize, line: usize, what: String| {
+        let file = &ctx.files[file_idx];
+        if file.is_test_line(line) {
+            return;
+        }
+        if ctx.waived(file_idx, line, &[Rule::DeterminismTaint.name()]) {
+            return;
+        }
+        if let Some(owner) = ctx.owner_of(file_idx, line) {
+            out.entry(owner).or_default().push(Source { line, what });
+        }
+    };
+    for (file_idx, file) in ctx.files.iter().enumerate() {
+        if file.area != Area::Library {
+            continue;
+        }
+        for (line, what) in local::hash_iter_sites(file) {
+            add(file_idx, line, format!("hash iteration `{what}`"));
+        }
+        for line in local::instant_sites(file) {
+            add(file_idx, line, "`Instant` timing".to_owned());
+        }
+        for (idx, mline) in file.masked.lines().enumerate() {
+            if !token_positions(mline, "SystemTime").is_empty() {
+                add(file_idx, idx + 1, "`SystemTime` timing".to_owned());
+            }
+            if !token_positions(mline, "ThreadId").is_empty() || mline.contains("thread::current()")
+            {
+                add(file_idx, idx + 1, "thread identity".to_owned());
+            }
+        }
+    }
+    // Foreign source calls seen in raw (unresolved) call lists.
+    for (fn_idx, raws) in ctx.graph.raw.iter().enumerate() {
+        let f = &ctx.fns[fn_idx];
+        if f.is_test || ctx.files[f.file].area != Area::Library {
+            continue;
+        }
+        for call in raws {
+            let hit = match call.name.as_str() {
+                "take_last_panic_site" => Some("`vliw-fault` panic-site thread-local"),
+                "current" if call.path.ends_with("thread::current") => Some("thread identity"),
+                _ => None,
+            };
+            if let Some(what) = hit {
+                let file = &ctx.files[f.file];
+                if file.is_test_line(call.line)
+                    || ctx.waived(f.file, call.line, &[Rule::DeterminismTaint.name()])
+                {
+                    continue;
+                }
+                out.entry(fn_idx).or_default().push(Source {
+                    line: call.line,
+                    what: what.to_owned(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Reconstructs the witness chain sink → … → parent of `fn_idx`; the
+/// caller appends the final frame (the fn containing the source site).
+fn chain(ctx: &Ctx<'_>, parents: &[Option<(usize, usize)>], mut fn_idx: usize) -> Vec<Frame> {
+    let mut frames = Vec::new();
+    while let Some((parent, call_line)) = parents[fn_idx] {
+        let p = &ctx.fns[parent];
+        frames.push(Frame {
+            qualified: p.qualified.clone(),
+            path: ctx.files[p.file].path.clone(),
+            line: call_line,
+        });
+        fn_idx = parent;
+    }
+    frames.reverse();
+    frames
+}
+
+/// Walks parent pointers up to the BFS root (the sink fn).
+fn root_of(parents: &[Option<(usize, usize)>], mut at: usize) -> usize {
+    while let Some((parent, _)) = parents[at] {
+        at = parent;
+    }
+    at
+}
+
+/// Runs the pass.
+pub fn run(ctx: &Ctx<'_>) -> Vec<Finding> {
+    let sources = collect_sources(ctx);
+
+    // Multi-source BFS from every sink fn, stopping at laundering
+    // boundaries. A sink with a sig-line waiver is itself exempt.
+    let mut parents: Vec<Option<(usize, usize)>> = vec![None; ctx.fns.len()];
+    let mut visited = vec![false; ctx.fns.len()];
+    let mut queue = VecDeque::new();
+    for (idx, f) in ctx.fns.iter().enumerate() {
+        if is_sink(ctx, f) && !ctx.waived(f.file, f.sig_line, &[Rule::DeterminismTaint.name()]) {
+            visited[idx] = true;
+            queue.push_back(idx);
+        }
+    }
+
+    let mut order = Vec::new();
+    while let Some(at) = queue.pop_front() {
+        order.push(at);
+        for site in &ctx.graph.calls[at] {
+            let callee = &ctx.fns[site.callee];
+            if visited[site.callee] || callee.is_test {
+                continue;
+            }
+            let cfile = &ctx.files[callee.file];
+            if cfile.area != Area::Library {
+                continue;
+            }
+            if LAUNDERING_CRATES.contains(&cfile.crate_name.as_str())
+                || cfile.path == "crates/core/src/budget.rs"
+            {
+                continue;
+            }
+            if ctx.waived(
+                callee.file,
+                callee.sig_line,
+                &[Rule::DeterminismTaint.name()],
+            ) {
+                continue;
+            }
+            visited[site.callee] = true;
+            parents[site.callee] = Some((at, site.line));
+            queue.push_back(site.callee);
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut seen: std::collections::BTreeSet<(String, usize)> = std::collections::BTreeSet::new();
+    for at in order {
+        let Some(srcs) = sources.get(&at) else {
+            continue;
+        };
+        let f = &ctx.fns[at];
+        let file = &ctx.files[f.file];
+        for src in srcs {
+            if !seen.insert((file.path.clone(), src.line)) {
+                continue;
+            }
+            let mut witness = chain(ctx, &parents, at);
+            witness.push(Frame {
+                qualified: f.qualified.clone(),
+                path: file.path.clone(),
+                line: src.line,
+            });
+            findings.push(Finding {
+                rule: Rule::DeterminismTaint,
+                severity: Severity::Warning,
+                path: file.path.clone(),
+                line: src.line,
+                message: format!(
+                    "{} reaches result sink `{}`; sort/index instead, or waive with \
+                     `// lint:allow(determinism-taint)` and a justification",
+                    src.what,
+                    ctx.fns[root_of(&parents, at)].qualified,
+                ),
+                witness,
+            });
+        }
+    }
+    findings
+}

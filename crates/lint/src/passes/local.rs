@@ -1,0 +1,289 @@
+//! The file-local token rules carried over from the original linter:
+//! `no-panic`, `no-hash-iter`, `no-instant` and `unsafe-forbid`.
+//!
+//! These stay deliberately line-oriented — they are the safety net
+//! under the interprocedural passes (which depend on call-graph
+//! approximations, see [`crate::graph`]). This module also exports the
+//! raw *site* extractors the interprocedural passes reuse, so both
+//! layers agree on what counts as a panic or hash-iteration site.
+
+use super::Ctx;
+use crate::parse::{is_ident, token_positions, Area, SourceFile};
+use crate::{Finding, Rule, Severity};
+
+/// Crates whose binding/scheduling output must be reproducible, so hash
+/// iteration is banned in their non-test code by the *local* rule. The
+/// determinism-taint pass covers the wider set reachable from sinks.
+pub const RESULT_AFFECTING: [&str; 4] = ["core", "sched", "pcc", "baselines"];
+
+/// Files allowed to mention `Instant`: the tracing crate, the metrics
+/// crate, the bench harness, and the deadline budget.
+pub fn instant_allowed(path: &str) -> bool {
+    path.starts_with("crates/trace/")
+        || path.starts_with("crates/metrics/")
+        || path.starts_with("crates/bench/")
+        || path == "crates/core/src/budget.rs"
+}
+
+/// The panic-family macros.
+const PANICKY: [&str; 4] = ["panic!", "unreachable!", "todo!", "unimplemented!"];
+
+/// Every syntactic panic site in a file: `(line, what)` pairs, with no
+/// test/waiver/contract filtering (callers apply their own scoping).
+pub fn panic_sites(file: &SourceFile) -> Vec<(usize, &'static str)> {
+    let mut sites = Vec::new();
+    for (idx, mline) in file.masked.lines().enumerate() {
+        let ln = idx + 1;
+        for pat in PANICKY {
+            if !token_positions(mline, pat).is_empty() {
+                sites.push((ln, pat));
+            }
+        }
+        for pat in [".unwrap()", ".expect("] {
+            if mline.contains(pat) {
+                sites.push((ln, pat));
+            }
+        }
+    }
+    sites
+}
+
+/// Methods on a hash collection whose visit order is unspecified.
+const HASH_ITER_METHODS: [&str; 7] = [
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".drain(",
+];
+
+/// Extract identifiers bound to a `HashMap`/`HashSet` in this file:
+/// `let [mut] x: HashMap<..>`, `let [mut] x = HashMap::new()`, struct
+/// fields and parameters `x: HashSet<..>`.
+fn hash_bound_idents(masked_lines: &[&str]) -> Vec<String> {
+    let mut idents: Vec<String> = Vec::new();
+    for line in masked_lines {
+        for ty in ["HashMap", "HashSet"] {
+            for at in token_positions(line, ty) {
+                // Look backwards over the glue between the binder and the
+                // type or constructor: `: `, `= `, `&`, `&mut `.
+                let mut head = line[..at].trim_end();
+                for prefix in ["&mut", "&"] {
+                    if let Some(h) = head.strip_suffix(prefix) {
+                        head = h.trim_end();
+                        break;
+                    }
+                }
+                let head = head
+                    .strip_suffix(':')
+                    .or_else(|| head.strip_suffix('='))
+                    .unwrap_or(head)
+                    .trim_end();
+                let ident: String = head
+                    .chars()
+                    .rev()
+                    .take_while(|&c| is_ident(c))
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .rev()
+                    .collect();
+                if !ident.is_empty()
+                    && !ident.chars().next().is_some_and(|c| c.is_ascii_digit())
+                    && ident != "use"
+                    && ident != "mut"
+                    && !idents.iter().any(|i| i == &ident)
+                {
+                    idents.push(ident);
+                }
+            }
+        }
+    }
+    idents
+}
+
+/// Every hash-collection iteration site in a file: `(line, what)`.
+pub fn hash_iter_sites(file: &SourceFile) -> Vec<(usize, String)> {
+    let masked_lines: Vec<&str> = file.masked.lines().collect();
+    let idents = hash_bound_idents(&masked_lines);
+    let mut sites = Vec::new();
+    for (idx, mline) in masked_lines.iter().enumerate() {
+        let ln = idx + 1;
+        for ident in &idents {
+            let mut hit: Option<String> = None;
+            for m in HASH_ITER_METHODS {
+                let pat = format!("{ident}{m}");
+                let bounded = token_positions(mline, &pat)
+                    .iter()
+                    .any(|&at| !mline[..at].chars().next_back().is_some_and(is_ident));
+                if bounded {
+                    hit = Some(format!("{ident}{m}"));
+                    break;
+                }
+            }
+            if hit.is_none() && mline.contains("for ") {
+                if let Some(pos) = mline.rfind(" in ") {
+                    let expr = mline[pos + 4..]
+                        .trim()
+                        .trim_end_matches('{')
+                        .trim()
+                        .trim_start_matches('&')
+                        .trim_start_matches("mut ")
+                        .trim();
+                    if expr == ident {
+                        hit = Some(format!("for .. in {ident}"));
+                    }
+                }
+            }
+            if let Some(what) = hit {
+                sites.push((ln, what));
+            }
+        }
+    }
+    sites
+}
+
+/// Every `Instant` token site in a file (line numbers).
+pub fn instant_sites(file: &SourceFile) -> Vec<usize> {
+    file.masked
+        .lines()
+        .enumerate()
+        .filter(|(_, mline)| !token_positions(mline, "Instant").is_empty())
+        .map(|(idx, _)| idx + 1)
+        .collect()
+}
+
+/// Runs the four local rules over every file in the context.
+pub fn run(ctx: &Ctx<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (file_idx, file) in ctx.files.iter().enumerate() {
+        findings.extend(lint_one(ctx, file_idx, file));
+        if file.path.ends_with("/src/lib.rs") || file.path == "src/lib.rs" {
+            if let Some(f) = lib_attr_finding(file) {
+                findings.push(f);
+            }
+        }
+    }
+    findings
+}
+
+/// `unsafe-forbid` check on a crate root.
+fn lib_attr_finding(file: &SourceFile) -> Option<Finding> {
+    let ok = file.masked.contains("#![forbid(unsafe_code)]")
+        || file.masked.contains("#![deny(unsafe_code)]");
+    if ok {
+        None
+    } else {
+        Some(Finding {
+            rule: Rule::UnsafeForbid,
+            severity: Severity::Error,
+            path: file.path.clone(),
+            line: 1,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_owned(),
+            witness: Vec::new(),
+        })
+    }
+}
+
+/// Lines inside the body of a fn documented `/// # Panics` (contract
+/// waives its own body for the local rule).
+fn contract_lines(ctx: &Ctx<'_>, file_idx: usize, total_lines: usize) -> Vec<bool> {
+    let mut waived = vec![false; total_lines];
+    for f in ctx.fns.iter().filter(|f| f.file == file_idx) {
+        if !f.has_panics_doc {
+            continue;
+        }
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        let file = &ctx.files[file_idx];
+        for ln in file.line_at(open)..=file.line_at(close.saturating_sub(1)) {
+            if let Some(slot) = waived.get_mut(ln - 1) {
+                *slot = true;
+            }
+        }
+    }
+    waived
+}
+
+/// The three line rules over one file, area-scoped.
+fn lint_one(ctx: &Ctx<'_>, file_idx: usize, file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let path = &file.path;
+
+    let panic_rule_applies = file.area == Area::Library;
+    let hash_rule_applies =
+        file.area == Area::Library && RESULT_AFFECTING.contains(&file.crate_name.as_str());
+    let instant_rule_applies = matches!(file.area, Area::Library | Area::Binary)
+        && !instant_allowed(path)
+        && !path.ends_with("build.rs");
+
+    if panic_rule_applies {
+        let contract = contract_lines(ctx, file_idx, file.test_lines.len());
+        for (ln, pat) in panic_sites(file) {
+            if file.is_test_line(ln) {
+                continue;
+            }
+            // The waiver check runs before the contract check so a
+            // waiver inside a documented fn still counts as used.
+            if ctx.waived(file_idx, ln, &[Rule::NoPanic.name()]) {
+                continue;
+            }
+            if contract.get(ln - 1).copied() == Some(true) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::NoPanic,
+                severity: Severity::Error,
+                path: path.clone(),
+                line: ln,
+                message: format!(
+                    "`{pat}` in library code; return an error, document `# Panics`, \
+                     or waive with `// lint:allow(no-panic)`"
+                ),
+                witness: Vec::new(),
+            });
+        }
+    }
+
+    if hash_rule_applies {
+        for (ln, what) in hash_iter_sites(file) {
+            if file.is_test_line(ln) || ctx.waived(file_idx, ln, &[Rule::NoHashIter.name()]) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::NoHashIter,
+                severity: Severity::Error,
+                path: path.clone(),
+                line: ln,
+                message: format!(
+                    "`{what}` iterates a hash collection in a result-affecting \
+                     crate; use a sorted or indexed container, or waive with \
+                     `// lint:allow(no-hash-iter)`"
+                ),
+                witness: Vec::new(),
+            });
+        }
+    }
+
+    if instant_rule_applies {
+        for ln in instant_sites(file) {
+            if file.is_test_line(ln) || ctx.waived(file_idx, ln, &[Rule::NoInstant.name()]) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::NoInstant,
+                severity: Severity::Error,
+                path: path.clone(),
+                line: ln,
+                message: "`Instant` outside trace/bench/budget code; use \
+                          `vliw_trace::Stopwatch` or a `Budget` deadline"
+                    .to_owned(),
+                witness: Vec::new(),
+            });
+        }
+    }
+
+    findings
+}

@@ -1,0 +1,100 @@
+//! The analysis passes and their shared context.
+
+pub mod atomics;
+pub mod determinism;
+pub mod local;
+pub mod panic_reach;
+
+use crate::graph::CallGraph;
+use crate::parse::{FnItem, SourceFile};
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+
+/// Shared, read-only view of the loaded workspace plus the mutable
+/// waiver-usage ledger (consumed by the stale-waiver check).
+pub struct Ctx<'a> {
+    /// Every scanned file.
+    pub files: &'a [SourceFile],
+    /// The workspace fn table.
+    pub fns: &'a [FnItem],
+    /// The call graph over `fns`.
+    pub graph: &'a CallGraph,
+    /// `(file idx, line, rule name)` of every waiver that suppressed
+    /// (or would have suppressed) a finding.
+    pub used_waivers: RefCell<BTreeSet<(usize, usize, String)>>,
+    /// `owner[file][line - 1]` — the innermost fn whose body contains
+    /// the line, so sites inside nested fns attribute to the right node.
+    pub owner: Vec<Vec<Option<usize>>>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Builds the context, including the per-line fn-ownership map.
+    pub fn new(files: &'a [SourceFile], fns: &'a [FnItem], graph: &'a CallGraph) -> Self {
+        let mut owner: Vec<Vec<Option<usize>>> = files
+            .iter()
+            .map(|f| vec![None; f.test_lines.len()])
+            .collect();
+        // Outer bodies first (larger spans), inner bodies overwrite.
+        let mut order: Vec<usize> = (0..fns.len()).collect();
+        order.sort_by_key(|&i| {
+            std::cmp::Reverse(fns[i].body.map_or(0, |(open, close)| close - open))
+        });
+        for idx in order {
+            let f = &fns[idx];
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            let file = &files[f.file];
+            let from = file.line_at(open);
+            let to = file.line_at(close.saturating_sub(1));
+            for ln in from..=to {
+                if let Some(slot) = owner[f.file].get_mut(ln - 1) {
+                    *slot = Some(idx);
+                }
+            }
+        }
+        Ctx {
+            files,
+            fns,
+            graph,
+            used_waivers: RefCell::new(BTreeSet::new()),
+            owner,
+        }
+    }
+
+    /// If line `line` of file `file` carries a `lint:allow(...)` waiver
+    /// for any rule in `names`, marks it used and returns `true`.
+    pub fn waived(&self, file: usize, line: usize, names: &[&str]) -> bool {
+        let mut hit = false;
+        for w in &self.files[file].waivers {
+            if w.line == line && names.iter().any(|n| *n == w.rule) {
+                self.used_waivers
+                    .borrow_mut()
+                    .insert((file, line, w.rule.clone()));
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// The innermost fn owning a 1-based line of a file, if any.
+    pub fn owner_of(&self, file: usize, line: usize) -> Option<usize> {
+        self.owner
+            .get(file)
+            .and_then(|v| v.get(line.saturating_sub(1)))
+            .copied()
+            .flatten()
+    }
+
+    /// 1-based line range of a fn's body (empty range when bodyless).
+    pub fn body_lines(&self, fn_idx: usize) -> std::ops::Range<usize> {
+        let f = &self.fns[fn_idx];
+        match f.body {
+            Some((open, close)) => {
+                let file = &self.files[f.file];
+                file.line_at(open)..file.line_at(close.saturating_sub(1)) + 1
+            }
+            None => 0..0,
+        }
+    }
+}

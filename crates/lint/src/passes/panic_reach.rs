@@ -1,0 +1,230 @@
+//! Interprocedural panic-reachability.
+//!
+//! Entry points are the fallible public API surface: every `pub`
+//! non-test library fn whose name starts with `try_`, `verify` or
+//! `check_`. From those we BFS the call graph and ask: is a
+//! `panic!`/`unwrap`/`expect` site transitively reachable? Each finding
+//! carries the full witness call chain from the entry to the site.
+//!
+//! Traversal boundaries (the contract is honored at the *callee*):
+//! - a callee documented `/// # Panics` — its panics are part of its
+//!   contract; the *call* is reported as an advisory `Info` finding so
+//!   `--json` consumers can audit contract propagation;
+//! - a `// lint:allow(no-panic)`/`panic-reach` waiver on the site line;
+//! - test fns and non-library files (binaries may panic).
+//!
+//! Indexing sites (`xs[i]`) are reported at `Info` severity: they can
+//! panic, but banning them outright would force `get().expect()`
+//! churn through hot loops — the advisory tier keeps them visible.
+
+use super::{local, Ctx};
+use crate::parse::{is_ident, Area};
+use crate::{Finding, Frame, Rule, Severity};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Does this fn name mark a fallible entry point?
+fn is_entry_name(name: &str) -> bool {
+    name.starts_with("try_") || name.starts_with("verify") || name.starts_with("check_")
+}
+
+/// Reconstructs the witness chain entry → … → parent of `fn_idx` from
+/// BFS parent pointers. Each frame is a *caller*, carrying the line of
+/// the call it makes toward `fn_idx`; the caller of this helper appends
+/// the final frame (the fn containing the site) itself.
+fn chain(ctx: &Ctx<'_>, parents: &[Option<(usize, usize)>], mut fn_idx: usize) -> Vec<Frame> {
+    let mut frames = Vec::new();
+    while let Some((parent, call_line)) = parents[fn_idx] {
+        let p = &ctx.fns[parent];
+        frames.push(Frame {
+            qualified: p.qualified.clone(),
+            path: ctx.files[p.file].path.clone(),
+            line: call_line,
+        });
+        fn_idx = parent;
+    }
+    frames.reverse();
+    frames
+}
+
+/// Indexing sites (`expr[`) on a masked line: positions where `[` is
+/// preceded by an identifier char, `)` or `]` — i.e. expression
+/// indexing, not attributes, slice types or array literals.
+fn has_index_site(mline: &str) -> bool {
+    let chars: Vec<char> = mline.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' || i == 0 {
+            continue;
+        }
+        let prev = chars[i - 1];
+        // `#[attr]` follows `#`, macro brackets (`vec![..]`) follow
+        // `!`, slice types follow `&` or whitespace — none match.
+        if is_ident(prev) || prev == ')' || prev == ']' {
+            return true;
+        }
+    }
+    false
+}
+
+/// Runs the pass.
+pub fn run(ctx: &Ctx<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Per-fn panic sites, attributed to the innermost owning fn.
+    let mut sites_of: BTreeMap<usize, Vec<(usize, &'static str)>> = BTreeMap::new();
+    let mut index_lines_of: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (file_idx, file) in ctx.files.iter().enumerate() {
+        if file.area != Area::Library {
+            continue;
+        }
+        for (ln, what) in local::panic_sites(file) {
+            if let Some(owner) = ctx.owner_of(file_idx, ln) {
+                sites_of.entry(owner).or_default().push((ln, what));
+            }
+        }
+        for (idx, mline) in file.masked.lines().enumerate() {
+            let ln = idx + 1;
+            if has_index_site(mline) {
+                if let Some(owner) = ctx.owner_of(file_idx, ln) {
+                    index_lines_of.entry(owner).or_default().push(ln);
+                }
+            }
+        }
+    }
+
+    // Multi-source BFS with parent pointers. Entries with a `# Panics`
+    // contract are their own boundary and are skipped entirely.
+    let mut parents: Vec<Option<(usize, usize)>> = vec![None; ctx.fns.len()];
+    let mut visited = vec![false; ctx.fns.len()];
+    let mut queue = VecDeque::new();
+    for (idx, f) in ctx.fns.iter().enumerate() {
+        if f.is_pub
+            && !f.is_test
+            && !f.has_panics_doc
+            && ctx.files[f.file].area == Area::Library
+            && is_entry_name(&f.name)
+        {
+            visited[idx] = true;
+            queue.push_back(idx);
+        }
+    }
+
+    let mut order: Vec<usize> = Vec::new();
+    while let Some(at) = queue.pop_front() {
+        order.push(at);
+        for site in &ctx.graph.calls[at] {
+            let callee = &ctx.fns[site.callee];
+            if visited[site.callee] || callee.is_test {
+                continue;
+            }
+            if ctx.files[callee.file].area != Area::Library {
+                continue;
+            }
+            if callee.has_panics_doc {
+                // Contract boundary: advisory finding at the call site.
+                let caller = &ctx.fns[at];
+                if !ctx.waived(caller.file, site.line, &[Rule::PanicReach.name()]) {
+                    let mut witness = chain(ctx, &parents, at);
+                    witness.push(Frame {
+                        qualified: caller.qualified.clone(),
+                        path: ctx.files[caller.file].path.clone(),
+                        line: site.line,
+                    });
+                    witness.push(Frame {
+                        qualified: callee.qualified.clone(),
+                        path: ctx.files[callee.file].path.clone(),
+                        line: callee.sig_line,
+                    });
+                    findings.push(Finding {
+                        rule: Rule::PanicReach,
+                        severity: Severity::Info,
+                        path: ctx.files[caller.file].path.clone(),
+                        line: site.line,
+                        message: format!(
+                            "fallible entry `{}` calls `{}` which documents `# Panics`; \
+                             the contract is honored here, listed for audit",
+                            ctx.fns[chain_root(&parents, at)].qualified,
+                            callee.qualified
+                        ),
+                        witness,
+                    });
+                }
+                continue;
+            }
+            visited[site.callee] = true;
+            parents[site.callee] = Some((at, site.line));
+            queue.push_back(site.callee);
+        }
+    }
+
+    // Report sites inside every reachable fn.
+    for at in order {
+        let f = &ctx.fns[at];
+        let file_idx = f.file;
+        let file = &ctx.files[file_idx];
+        for &(ln, what) in sites_of.get(&at).into_iter().flatten() {
+            if file.is_test_line(ln) {
+                continue;
+            }
+            if ctx.waived(
+                file_idx,
+                ln,
+                &[Rule::NoPanic.name(), Rule::PanicReach.name()],
+            ) {
+                continue;
+            }
+            let mut witness = chain(ctx, &parents, at);
+            witness.push(Frame {
+                qualified: f.qualified.clone(),
+                path: file.path.clone(),
+                line: ln,
+            });
+            findings.push(Finding {
+                rule: Rule::PanicReach,
+                severity: Severity::Error,
+                path: file.path.clone(),
+                line: ln,
+                message: format!(
+                    "`{what}` reachable from fallible entry `{}` \
+                     ({} call hops); return an error or document `# Panics`",
+                    ctx.fns[chain_root(&parents, at)].qualified,
+                    witness.len().saturating_sub(1),
+                ),
+                witness,
+            });
+        }
+        for &ln in index_lines_of.get(&at).into_iter().flatten() {
+            if file.is_test_line(ln) || ctx.waived(file_idx, ln, &[Rule::PanicReach.name()]) {
+                continue;
+            }
+            let mut witness = chain(ctx, &parents, at);
+            witness.push(Frame {
+                qualified: f.qualified.clone(),
+                path: file.path.clone(),
+                line: ln,
+            });
+            findings.push(Finding {
+                rule: Rule::PanicReach,
+                severity: Severity::Info,
+                path: file.path.clone(),
+                line: ln,
+                message: format!(
+                    "indexing expression reachable from fallible entry `{}`; \
+                     panics on out-of-bounds",
+                    ctx.fns[chain_root(&parents, at)].qualified,
+                ),
+                witness,
+            });
+        }
+    }
+
+    findings
+}
+
+/// Walks parent pointers up to the BFS root (the entry fn).
+fn chain_root(parents: &[Option<(usize, usize)>], mut at: usize) -> usize {
+    while let Some((parent, _)) = parents[at] {
+        at = parent;
+    }
+    at
+}

@@ -1,0 +1,102 @@
+//! Fixture suite: each analysis pass must fire on its seeded-violation
+//! pseudo-workspace under `tests/fixtures/`, with the correct witness
+//! chain, and the clean control fixture must produce nothing.
+//!
+//! The fixture trees are *not* cargo targets — `Workspace::load` scans
+//! them as if they were a workspace root, and the real workspace scan
+//! skips everything under `tests/fixtures/`.
+
+use std::path::{Path, PathBuf};
+use vliw_lint::{Finding, Rule, Severity, Workspace};
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn analyze(name: &str) -> Vec<Finding> {
+    Workspace::load(&fixture_root(name))
+        .expect("load fixture workspace")
+        .analyze()
+}
+
+fn chain(f: &Finding) -> Vec<&str> {
+    f.witness.iter().map(|fr| fr.qualified.as_str()).collect()
+}
+
+#[test]
+fn panic_reach_fires_with_full_witness_chain() {
+    let findings = analyze("panic_reach");
+    let hit = findings
+        .iter()
+        .find(|f| f.rule == Rule::PanicReach && f.severity == Severity::Error)
+        .expect("panic-reach error finding");
+    assert_eq!(hit.path, "crates/app/src/lib.rs");
+    assert_eq!(
+        chain(hit),
+        vec!["app::try_bind", "app::resolve", "app::finish"]
+    );
+    // The last frame pins the panic site itself.
+    assert_eq!(hit.line, hit.witness.last().expect("site frame").line);
+    assert!(hit.message.contains(".unwrap()"), "{}", hit.message);
+}
+
+#[test]
+fn determinism_taint_fires_with_sink_to_source_chain() {
+    let findings = analyze("determinism");
+    let hit = findings
+        .iter()
+        .find(|f| f.rule == Rule::DeterminismTaint)
+        .expect("determinism-taint finding");
+    assert_eq!(hit.severity, Severity::Warning);
+    assert_eq!(hit.path, "crates/app/src/lib.rs");
+    assert_eq!(chain(hit), vec!["app::bind", "app::tally"]);
+    assert!(hit.message.contains("hash iteration"), "{}", hit.message);
+    assert!(hit.message.contains("app::bind"), "{}", hit.message);
+}
+
+#[test]
+fn atomics_pass_fires_on_all_three_rules() {
+    let findings = analyze("atomics");
+    let ordering = findings
+        .iter()
+        .find(|f| f.rule == Rule::AtomicOrdering)
+        .expect("atomic-ordering finding");
+    assert!(ordering.message.contains("SeqCst"), "{}", ordering.message);
+
+    let rmw = findings
+        .iter()
+        .find(|f| f.rule == Rule::RelaxedRmw)
+        .expect("relaxed-rmw finding");
+    assert!(rmw.message.contains("compare_exchange"), "{}", rmw.message);
+
+    let lock = findings
+        .iter()
+        .find(|f| f.rule == Rule::LockOrder)
+        .expect("lock-order finding");
+    assert!(lock.message.contains("ALPHA") && lock.message.contains("BETA"));
+    let fns: Vec<&str> = chain(lock);
+    assert!(fns.contains(&"app::forward") && fns.contains(&"app::backward"));
+}
+
+#[test]
+fn stale_and_unknown_waivers_are_errors() {
+    let findings = analyze("stale_waiver");
+    let stale: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::StaleWaiver)
+        .collect();
+    assert_eq!(stale.len(), 2, "{stale:?}");
+    assert!(stale.iter().all(|f| f.severity == Severity::Error));
+    assert!(stale.iter().any(|f| f.message.contains("not-a-rule")));
+    assert!(stale
+        .iter()
+        .any(|f| f.message.contains("no longer suppresses")));
+}
+
+#[test]
+fn clean_fixture_produces_no_findings() {
+    let findings = analyze("clean");
+    assert!(findings.is_empty(), "{findings:?}");
+}

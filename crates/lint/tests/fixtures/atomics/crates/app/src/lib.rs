@@ -1,0 +1,33 @@
+//! Seeded violations for the atomics/lock-discipline pass: a `SeqCst`
+//! ordering, a `Relaxed` compare-exchange guard, and two fns taking
+//! the same lock pair in opposite orders.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub static FLAG: AtomicBool = AtomicBool::new(false);
+pub static COUNT: AtomicUsize = AtomicUsize::new(0);
+pub static ALPHA: Mutex<u32> = Mutex::new(0);
+pub static BETA: Mutex<u32> = Mutex::new(0);
+
+pub fn publish() {
+    FLAG.store(true, Ordering::SeqCst);
+}
+
+pub fn claim() -> bool {
+    COUNT.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed).is_ok()
+}
+
+pub fn forward() -> u32 {
+    let a = ALPHA.lock().unwrap_or_else(|e| e.into_inner());
+    let b = BETA.lock().unwrap_or_else(|e| e.into_inner());
+    *a + *b
+}
+
+pub fn backward() -> u32 {
+    let b = BETA.lock().unwrap_or_else(|e| e.into_inner());
+    let a = ALPHA.lock().unwrap_or_else(|e| e.into_inner());
+    *a + *b
+}

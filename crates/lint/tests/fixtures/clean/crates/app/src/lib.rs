@@ -1,0 +1,9 @@
+//! Control fixture: panic-free, deterministic, lock-free code that
+//! must produce zero findings (gating or advisory).
+
+#![forbid(unsafe_code)]
+
+/// Saturating-free checked addition as a fallible entry point.
+pub fn try_add(a: u32, b: u32) -> Result<u32, ()> {
+    a.checked_add(b).ok_or(())
+}

@@ -1,0 +1,25 @@
+//! Seeded violation: a hash-map iteration (unspecified order) feeding a
+//! result sink (`-> Binding`) through one call hop. The determinism
+//! pass must report the iteration with the chain `bind` → `tally`.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+pub struct Binding {
+    pub total: u32,
+}
+
+pub fn bind(weights: &HashMap<u32, u32>) -> Binding {
+    Binding {
+        total: tally(weights),
+    }
+}
+
+fn tally(weights: &HashMap<u32, u32>) -> u32 {
+    let mut total = 0;
+    for (_, w) in weights.iter() {
+        total += w;
+    }
+    total
+}

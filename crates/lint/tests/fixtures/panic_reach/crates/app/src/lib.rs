@@ -1,0 +1,17 @@
+//! Seeded violation: a panic site three call hops below a fallible
+//! entry point. The panic-reach pass must report the unwrap in
+//! `finish` with the witness chain `try_bind` → `resolve` → `finish`.
+
+#![forbid(unsafe_code)]
+
+pub fn try_bind(x: Option<u32>) -> Result<u32, ()> {
+    Ok(resolve(x))
+}
+
+fn resolve(x: Option<u32>) -> u32 {
+    finish(x)
+}
+
+fn finish(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

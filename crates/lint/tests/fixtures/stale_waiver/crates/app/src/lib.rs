@@ -1,0 +1,12 @@
+//! Seeded violations for the stale-waiver check: one waiver that
+//! suppresses nothing and one naming a rule that does not exist.
+
+#![forbid(unsafe_code)]
+
+pub fn tidy() -> u32 {
+    7 // lint:allow(no-panic)
+}
+
+pub fn odd() -> u32 {
+    9 // lint:allow(not-a-rule)
+}

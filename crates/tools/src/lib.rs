@@ -131,6 +131,12 @@ commands:
           compare two perf-trajectory files; exits nonzero on any
           (L, N_MV) quality change, or a wall-clock regression beyond
           X x baseline (default 1.5) on rows slower than Y ms (default 5)
+  lint    [--json] [--baseline FILE] [--out FILE] [--root DIR]
+          workspace static analysis: file-local rules, call-graph
+          panic-reachability, determinism source->sink taint, atomic
+          ordering / lock discipline, stale-waiver detection; exits
+          nonzero when a gating (warning/error) finding is not in the
+          baseline; --out writes the vliw-lint-v1 findings JSON
   dot     --kernel K | --dfg FILE  --machine \"[...]\"   bound-DFG Graphviz
   explore KERNEL [--max-fus N] [--max-clusters N] [--max-alus N]
           [--max-muls N] [--threads N] [--deadline-ms N] [--max-candidates N]
@@ -181,6 +187,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "trace" => cmd_trace(args),
         "profile" => cmd_profile(args),
         "bench-diff" => cmd_bench_diff(args),
+        "lint" => cmd_lint(args),
         "dot" => cmd_dot(args),
         "explore" => cmd_explore(args),
         "verify" => cmd_verify(args),
@@ -1074,6 +1081,131 @@ fn cmd_bench_diff(args: &Args) -> Result<String, CliError> {
     Err(err(out))
 }
 
+/// Serializes one lint finding into its stable `vliw-lint-v1` shape.
+fn lint_finding_json(f: &vliw_lint::Finding) -> serde_json::Value {
+    serde_json::json!({
+        "rule": f.rule.name(),
+        "severity": f.severity.name(),
+        "path": f.path,
+        "line": f.line,
+        "message": f.message,
+        "witness": f.witness.iter().map(|fr| serde_json::json!({
+            "fn": fr.qualified,
+            "path": fr.path,
+            "line": fr.line,
+        })).collect::<Vec<_>>(),
+    })
+}
+
+/// Baseline match key: a finding is "known" when its rule, path and
+/// line all match a baseline entry.
+fn lint_key(rule: &str, path: &str, line: u64) -> String {
+    format!("{rule}|{path}|{line}")
+}
+
+/// Loads a `vliw-lint-baseline-v1` file into its set of match keys.
+fn load_lint_baseline(path: &str) -> Result<std::collections::BTreeSet<String>, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let blob: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| err(format!("bad JSON in {path}: {e}")))?;
+    if blob["schema"] != "vliw-lint-baseline-v1" {
+        return Err(err(format!("{path}: not a vliw-lint-baseline-v1 file")));
+    }
+    let mut keys = std::collections::BTreeSet::new();
+    for entry in blob["findings"].as_array().into_iter().flatten() {
+        let (Some(rule), Some(fpath), Some(line)) = (
+            entry["rule"].as_str(),
+            entry["path"].as_str(),
+            entry["line"].as_u64(),
+        ) else {
+            return Err(err(format!("{path}: baseline entries need rule/path/line")));
+        };
+        keys.insert(lint_key(rule, fpath, line));
+    }
+    Ok(keys)
+}
+
+/// `vliw lint [--json] [--baseline FILE] [--out FILE] [--root DIR]` —
+/// run the workspace static analysis engine (`vliw-lint`).
+///
+/// Gating findings (warning/error severity) not present in the
+/// baseline fail the command, with the failure report in the error
+/// (the `bench-diff` convention). `Info` findings are advisory: they
+/// appear in the JSON output but never gate.
+fn cmd_lint(args: &Args) -> Result<String, CliError> {
+    use std::fmt::Write as _;
+    let root = match args.get("root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    let findings = vliw_lint::lint_workspace(&root)
+        .map_err(|e| err(format!("cannot scan {}: {e}", root.display())))?;
+    let baseline = match args.get("baseline") {
+        Some(path) => load_lint_baseline(path)?,
+        None => std::collections::BTreeSet::new(),
+    };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut infos = 0usize;
+    let mut new_gating: Vec<&vliw_lint::Finding> = Vec::new();
+    for f in &findings {
+        match f.severity {
+            vliw_lint::Severity::Error => errors += 1,
+            vliw_lint::Severity::Warning => warnings += 1,
+            vliw_lint::Severity::Info => infos += 1,
+        }
+        if f.gating() && !baseline.contains(&lint_key(f.rule.name(), &f.path, f.line as u64)) {
+            new_gating.push(f);
+        }
+    }
+
+    let blob = serde_json::json!({
+        "schema": "vliw-lint-v1",
+        "counts": {
+            "error": errors,
+            "warning": warnings,
+            "info": infos,
+            "new_gating": new_gating.len(),
+        },
+        "findings": findings.iter().map(lint_finding_json).collect::<Vec<_>>(),
+    });
+    if let Some(path) = args.get("out") {
+        let text = serde_json::to_string_pretty(&blob)
+            .map_err(|e| err(format!("serialize findings: {e}")))?;
+        std::fs::write(path, text).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    }
+
+    let mut out = String::new();
+    if args.get("json").is_some() {
+        out = serde_json::to_string_pretty(&blob)
+            .map_err(|e| err(format!("serialize findings: {e}")))?;
+    } else {
+        for f in &new_gating {
+            let _ = writeln!(out, "{f}");
+        }
+        let _ = writeln!(
+            out,
+            "vliw lint: {errors} error(s), {warnings} warning(s), {infos} advisory; \
+             {} new vs baseline",
+            new_gating.len()
+        );
+    }
+    if new_gating.is_empty() {
+        Ok(out)
+    } else {
+        if args.get("json").is_some() {
+            // Make the failure legible even when stdout carried JSON.
+            let _ = writeln!(out, "\n{} new gating finding(s):", new_gating.len());
+            for f in &new_gating {
+                let _ = writeln!(out, "{f}");
+            }
+        }
+        Err(err(out))
+    }
+}
+
 fn cmd_dot(args: &Args) -> Result<String, CliError> {
     let dfg = load_dfg(args)?;
     let machine = load_machine(args)?;
@@ -1684,6 +1816,71 @@ mod tests {
         assert!(e.0.contains("not in baseline"), "{e}");
         let _ = std::fs::remove_file(&a);
         let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn lint_is_clean_against_the_committed_baseline() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let baseline = root.join("lint-baseline.json");
+        let out = run_line(&format!("lint --baseline {}", baseline.display())).expect("clean");
+        assert!(out.contains("0 new vs baseline"), "{out}");
+    }
+
+    #[test]
+    fn lint_json_emits_the_v1_schema() {
+        let out = run_line("lint --json").expect("clean");
+        let blob: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        assert_eq!(blob["schema"], "vliw-lint-v1");
+        assert_eq!(blob["counts"]["new_gating"], 0);
+        // Advisory findings carry the stable fields.
+        if let Some(first) = blob["findings"].as_array().and_then(|a| a.first()) {
+            assert!(first["rule"].as_str().is_some(), "missing rule");
+            assert!(first["severity"].as_str().is_some(), "missing severity");
+            assert!(first["path"].as_str().is_some(), "missing path");
+            assert!(first["line"].as_u64().is_some(), "missing line");
+            assert!(first["message"].as_str().is_some(), "missing message");
+            assert!(first["witness"].as_array().is_some(), "missing witness");
+        }
+    }
+
+    #[test]
+    fn lint_fails_on_seeded_violations_and_baselines_them_away() {
+        let fixture = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../lint/tests/fixtures/panic_reach");
+        let e = run_line(&format!("lint --root {}", fixture.display())).unwrap_err();
+        assert!(e.0.contains("panic-reach"), "{e}");
+        assert!(e.0.contains("via app::try_bind"), "{e}");
+        // Baseline the seeded findings (the local no-panic rule and the
+        // interprocedural pass both hit the unwrap): the run then passes.
+        let baseline = serde_json::json!({
+            "schema": "vliw-lint-baseline-v1",
+            "findings": [
+                {"rule": "no-panic", "path": "crates/app/src/lib.rs", "line": 16},
+                {"rule": "panic-reach", "path": "crates/app/src/lib.rs", "line": 16},
+            ],
+        });
+        let path = write_temp(
+            "vliw_lint_fixture_baseline.json",
+            &serde_json::to_string(&baseline).expect("serialize baseline"),
+        );
+        let out = run_line(&format!(
+            "lint --root {} --baseline {}",
+            fixture.display(),
+            path.display()
+        ))
+        .expect("baselined run passes");
+        assert!(out.contains("0 new vs baseline"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn lint_rejects_bad_baselines() {
+        let e = run_line("lint --baseline /nonexistent/base.json").unwrap_err();
+        assert!(e.0.contains("cannot read"), "{e}");
+        let p = write_temp("vliw_lint_bad_base.json", "{\"schema\": \"other\"}");
+        let e = run_line(&format!("lint --baseline {}", p.display())).unwrap_err();
+        assert!(e.0.contains("not a vliw-lint-baseline-v1"), "{e}");
+        let _ = std::fs::remove_file(&p);
     }
 
     #[test]

@@ -496,7 +496,7 @@ mod tests {
         struct PanickySink;
         impl TraceSink for PanickySink {
             fn record(&self, _event: &TraceEvent) {
-                panic!("sink misbehaved"); // lint:allow(no-panic)
+                panic!("sink misbehaved");
             }
         }
         let survivor = Arc::new(MemorySink::new());
