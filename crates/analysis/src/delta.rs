@@ -1,0 +1,735 @@
+//! Delta-aware screening bounds for B-ITER candidates.
+//!
+//! The binder's improvement loop perturbs an incumbent binding in one or
+//! two operations and evaluates every candidate with a full list
+//! schedule. Most candidates provably cannot beat the incumbent's
+//! `(L, N_MV)`, and a cheap admissible bound suffices to prove it. The
+//! [`DeltaBoundAnalyzer`] specializes this crate's machinery to that
+//! case:
+//!
+//! * **Per-cluster interval bounds.** The machine-wide interval bound of
+//!   [`crate::analyze`] divides window populations by the *total* FU
+//!   count, so it cannot tell candidates apart. Here the same window
+//!   argument is applied per cluster: for a window `W` of class-`t` ops
+//!   with `asap ≥ h` and `tail ≥ τ`, the members *bound to cluster `c`*
+//!   must all start on `N(c, t)` units, hence
+//!   `L ≥ h + τ + lat_min(W) + dii(t)·(⌈|W ∩ c|/N(c,t)⌉ − 1)`.
+//!   The per-cluster populations are precomputed once per incumbent
+//!   ([`DeltaBoundAnalyzer::anchor`]) and adjusted in O(delta) per
+//!   candidate.
+//! * **Exact transfer recount.** `N_MV` counts distinct
+//!   `(producer, destination cluster)` pairs; re-binding `v` only
+//!   changes the contributions of `v` and its predecessors, so the
+//!   candidate's exact `N_MV` — not merely a bound — is recovered in
+//!   O(affected ops) from the incumbent's per-producer counts.
+//! * **Bus saturation.** The exact transfer count feeds the same
+//!   bus-bandwidth argument as [`crate::analyze`]:
+//!   `L ≥ 2 + lat(move) + dii(BUS)·(⌈N_MV/N_B⌉ − 1)`.
+//!
+//! Every claim carries a [`DeltaCertificate`] witness that the
+//! derivation-independent checker (`vliw_sched::verify::check_delta_bound`,
+//! which shares no code with this module) re-validates from first
+//! principles. Like the rest of the crate, everything here is a pure
+//! function of its inputs.
+
+use crate::{asap_levels, critical_path_bound, tail_after_levels, LatencyCertificate};
+use vliw_datapath::{ClusterId, Machine};
+use vliw_dfg::{Dfg, FuType, OpId};
+
+/// A certified lower bound on a candidate binding's `(L, N_MV)`.
+///
+/// `moves` is the candidate's *exact* transfer count (the recount is
+/// exact, not an estimate); `latency` is an admissible lower bound on
+/// its schedule latency. The certificate justifies both: the latency via
+/// its witness, the move count by independent recount over the binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaBound {
+    /// Admissible lower bound on the candidate's schedule latency `L`.
+    pub latency: u32,
+    /// The candidate's exact transfer count `N_MV`.
+    pub moves: usize,
+    /// The witness justifying `latency` (the checker re-derives `moves`
+    /// from the binding itself).
+    pub certificate: DeltaCertificate,
+}
+
+/// The witness behind a [`DeltaBound`] latency claim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaCertificate {
+    /// A binding-independent dependence chain: `L ≥ Σ lat(v)` over the
+    /// chain, for any binding.
+    CriticalPath {
+        /// The chain, in dependence order (producer first).
+        path: Vec<OpId>,
+    },
+    /// A per-cluster op-class window: every op in `ops` has FU class
+    /// `class`, is bound to `cluster` by the candidate, has
+    /// `asap(v) ≥ head` and at least `tail` cycles of dependent work
+    /// after completion, so with `W` the *full* class window at
+    /// `(head, tail)`,
+    /// `L ≥ head + tail + lat_min(W) + dii·(⌈|ops|/N(cluster, class)⌉ − 1)`.
+    ClusterInterval {
+        /// FU class of every witness operation.
+        class: FuType,
+        /// The cluster the candidate binds every witness operation to.
+        cluster: ClusterId,
+        /// Lower bound on the ASAP level of every witness operation.
+        head: u32,
+        /// Lower bound on the dependent work after every witness
+        /// operation completes.
+        tail: u32,
+        /// The witness operations, in id order.
+        ops: Vec<OpId>,
+    },
+    /// The bus-saturation argument over the candidate's exact transfer
+    /// count: `L ≥ 2 + lat(move) + dii(BUS)·(⌈moves/N_B⌉ − 1)`.
+    BusSaturation {
+        /// The candidate's exact transfer count (must match the
+        /// checker's independent recount).
+        moves: usize,
+    },
+}
+
+impl DeltaCertificate {
+    /// A short kebab-case name of the bound family, for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DeltaCertificate::CriticalPath { .. } => "critical-path",
+            DeltaCertificate::ClusterInterval { .. } => "cluster-interval",
+            DeltaCertificate::BusSaturation { .. } => "bus-saturation",
+        }
+    }
+}
+
+/// One per-(class, window) screening entry; per-cluster populations live
+/// in the anchored state.
+#[derive(Debug, Clone)]
+struct Entry {
+    class: FuType,
+    head: u32,
+    tail: u32,
+    /// `min lat(v)` over the *full* class window at `(head, tail)` —
+    /// binding-independent, so constant across candidates.
+    lat_min: u32,
+    dii: u32,
+    /// `N(c, class)` per cluster index.
+    fus: Vec<u32>,
+}
+
+/// Delta-aware screening analyzer for one `(Dfg, Machine)` pair.
+///
+/// Construction precomputes the binding-independent structure (levels,
+/// windows, critical path); [`DeltaBoundAnalyzer::anchor`] then indexes
+/// one incumbent binding so [`DeltaBoundAnalyzer::screen`] can bound any
+/// candidate differing in a handful of ops in O(delta) time.
+///
+/// ```
+/// use vliw_analysis::DeltaBoundAnalyzer;
+/// use vliw_datapath::Machine;
+/// use vliw_dfg::{DfgBuilder, OpType};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DfgBuilder::new();
+/// let p = b.add_op(OpType::Add, &[]);
+/// let q = b.add_op(OpType::Add, &[p]);
+/// let dfg = b.finish()?;
+/// let machine = Machine::parse("[1,1|1,1]")?;
+/// let c0 = machine.cluster_ids().next().unwrap();
+/// let c1 = machine.cluster_ids().nth(1).unwrap();
+///
+/// let mut analyzer = DeltaBoundAnalyzer::new(&dfg, &machine);
+/// analyzer.anchor(&[c0, c0]);
+/// // Moving the consumer across clusters forces exactly one transfer.
+/// let (latency, moves) = analyzer.screen(&[(q, c1)]);
+/// assert_eq!(moves, 1);
+/// assert!(latency >= 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeltaBoundAnalyzer<'a> {
+    dfg: &'a Dfg,
+    machine: &'a Machine,
+    /// The binding-independent critical-path bound (constant floor).
+    cp_cycles: u32,
+    cp_path: Vec<OpId>,
+    entries: Vec<Entry>,
+    /// Per-op bitmask over `entries` (bit `e` set ⇔ the op belongs to
+    /// entry `e`'s class window).
+    membership: Vec<u32>,
+    /// Bus constants.
+    nb: u32,
+    dii_bus: u32,
+    move_lat: u32,
+    // ---- anchored state (incumbent-dependent) ----
+    /// The incumbent assignment vector, `ClusterId` per op.
+    anchor: Vec<ClusterId>,
+    /// Per-entry, per-cluster window populations under the incumbent.
+    counts: Vec<Vec<u32>>,
+    /// Per-producer transfer contribution under the incumbent: the
+    /// number of distinct successor clusters different from its own.
+    producer_moves: Vec<u32>,
+    /// `Σ producer_moves` — the incumbent's exact `N_MV`.
+    anchor_moves: usize,
+}
+
+impl<'a> DeltaBoundAnalyzer<'a> {
+    /// Precomputes the binding-independent screening structure. Cost is
+    /// comparable to one [`crate::analyze`] call; amortize it over a
+    /// whole descent.
+    pub fn new(dfg: &'a Dfg, machine: &'a Machine) -> Self {
+        let n = dfg.len();
+        let (cp_cycles, cp_path) = if n == 0 {
+            (0, Vec::new())
+        } else {
+            let lat = machine.op_latencies(dfg);
+            let cp = critical_path_bound(dfg, &lat);
+            let LatencyCertificate::CriticalPath { path } = cp.certificate else {
+                unreachable!("critical_path_bound emits a chain witness") // lint:allow(no-panic) lint:allow(panic-reach)
+            };
+            (cp.cycles, path)
+        };
+
+        let mut entries = Vec::new();
+        let mut membership = vec![0u32; n];
+        if n > 0 {
+            let lat = machine.op_latencies(dfg);
+            let asap = asap_levels(dfg, &lat);
+            let tail = tail_after_levels(dfg, &lat);
+            for class in FuType::REGULAR {
+                let ops: Vec<OpId> = dfg
+                    .op_ids()
+                    .filter(|&v| dfg.op_type(v).fu_type() == class)
+                    .collect();
+                if ops.is_empty() {
+                    continue;
+                }
+                let fus: Vec<u32> = machine
+                    .cluster_ids()
+                    .map(|c| machine.fu_count(c, class))
+                    .collect();
+                let dii = machine.dii(class);
+                let windows = class_windows(machine, &lat, &asap, &tail, class, &ops);
+                for (head, tail_level) in windows {
+                    let w: Vec<&OpId> = ops
+                        .iter()
+                        .filter(|&&v| asap[v.index()] >= head && tail[v.index()] >= tail_level)
+                        .collect();
+                    if w.is_empty() {
+                        continue;
+                    }
+                    let lat_min = w.iter().map(|v| lat[v.index()]).min().unwrap_or(0);
+                    let e = entries.len();
+                    assert!(e < 32, "at most 2 windows per regular class");
+                    for &&v in &w {
+                        membership[v.index()] |= 1 << e;
+                    }
+                    entries.push(Entry {
+                        class,
+                        head,
+                        tail: tail_level,
+                        lat_min,
+                        dii,
+                        fus: fus.clone(),
+                    });
+                }
+            }
+        }
+
+        DeltaBoundAnalyzer {
+            dfg,
+            machine,
+            cp_cycles,
+            cp_path,
+            entries,
+            membership,
+            nb: machine.bus_count().max(1),
+            dii_bus: machine.dii(FuType::Bus),
+            move_lat: machine.move_latency(),
+            anchor: Vec::new(),
+            counts: Vec::new(),
+            producer_moves: Vec::new(),
+            anchor_moves: 0,
+        }
+    }
+
+    /// Indexes an incumbent assignment vector (one [`ClusterId`] per op,
+    /// e.g. `Binding::as_slice`): per-cluster window populations and
+    /// per-producer transfer contributions. O(V + E); call once per
+    /// accepted descent step.
+    pub fn anchor(&mut self, binding: &[ClusterId]) {
+        assert_eq!(
+            binding.len(),
+            self.dfg.len(),
+            "anchor binding must cover the DFG"
+        );
+        self.anchor.clear();
+        self.anchor.extend_from_slice(binding);
+        let n_clusters = self.machine.cluster_count();
+        self.counts = vec![vec![0u32; n_clusters]; self.entries.len()];
+        for v in self.dfg.op_ids() {
+            let mask = self.membership[v.index()];
+            if mask == 0 {
+                continue;
+            }
+            let c = binding[v.index()].index();
+            for (e, counts) in self.counts.iter_mut().enumerate() {
+                if mask & (1 << e) != 0 {
+                    counts[c] += 1;
+                }
+            }
+        }
+        self.producer_moves.clear();
+        self.producer_moves.resize(self.dfg.len(), 0);
+        let mut total = 0usize;
+        for u in self.dfg.op_ids() {
+            let contrib = producer_contribution(self.dfg, u, |w| binding[w.index()]);
+            self.producer_moves[u.index()] = contrib;
+            total += contrib as usize;
+        }
+        self.anchor_moves = total;
+    }
+
+    /// The incumbent's exact transfer count, as indexed by
+    /// [`DeltaBoundAnalyzer::anchor`].
+    pub fn anchor_moves(&self) -> usize {
+        self.anchor_moves
+    }
+
+    /// Bounds the candidate that differs from the anchor by `delta`
+    /// (re-bind each listed op to the listed cluster; entries whose
+    /// cluster equals the anchor's are ignored). Returns
+    /// `(latency lower bound, exact transfer count)` of the candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no anchor was set.
+    pub fn screen(&self, delta: &[(OpId, ClusterId)]) -> (u32, usize) {
+        let (latency, moves, _) = self.bound_delta(delta);
+        (latency, moves)
+    }
+
+    /// [`DeltaBoundAnalyzer::screen`] with a full machine-checkable
+    /// witness for the same claim, for verification and audit paths.
+    pub fn certify(&self, delta: &[(OpId, ClusterId)]) -> DeltaBound {
+        let (latency, moves, source) = self.bound_delta(delta);
+        let certificate = match source {
+            BoundSource::CriticalPath => DeltaCertificate::CriticalPath {
+                path: self.cp_path.clone(),
+            },
+            BoundSource::Entry(e, c) => {
+                let entry = &self.entries[e];
+                let cluster = ClusterId::from_index(c);
+                let ops: Vec<OpId> = self
+                    .dfg
+                    .op_ids()
+                    .filter(|&v| {
+                        self.membership[v.index()] & (1 << e) != 0
+                            && self.candidate_cluster(delta, v) == cluster
+                    })
+                    .collect();
+                DeltaCertificate::ClusterInterval {
+                    class: entry.class,
+                    cluster,
+                    head: entry.head,
+                    tail: entry.tail,
+                    ops,
+                }
+            }
+            BoundSource::Bus => DeltaCertificate::BusSaturation { moves },
+        };
+        DeltaBound {
+            latency,
+            moves,
+            certificate,
+        }
+    }
+
+    /// The candidate's cluster for `v`: the delta's entry when listed,
+    /// the anchor's otherwise.
+    fn candidate_cluster(&self, delta: &[(OpId, ClusterId)], v: OpId) -> ClusterId {
+        delta
+            .iter()
+            .find(|&&(u, _)| u == v)
+            .map_or(self.anchor[v.index()], |&(_, c)| c)
+    }
+
+    /// The shared screen/certify computation: latency bound, exact move
+    /// count, and which family achieved the latency maximum.
+    fn bound_delta(&self, delta: &[(OpId, ClusterId)]) -> (u32, usize, BoundSource) {
+        assert_eq!(
+            self.anchor.len(),
+            self.dfg.len(),
+            "screen requires an anchored incumbent"
+        );
+        // Keep only real re-binds; duplicates keep their first entry
+        // (matching `candidate_cluster`).
+        let mut changes: [(OpId, ClusterId, ClusterId); 4] = [(
+            OpId::from_index(0),
+            ClusterId::from_index(0),
+            ClusterId::from_index(0),
+        ); 4];
+        let mut n_changes = 0usize;
+        for &(v, c) in delta {
+            let old = self.anchor[v.index()];
+            if c != old
+                && !changes[..n_changes].iter().any(|&(u, _, _)| u == v)
+                && n_changes < changes.len()
+            {
+                changes[n_changes] = (v, old, c);
+                n_changes += 1;
+            }
+        }
+        let changes = &changes[..n_changes];
+
+        // Exact transfer recount: only the moved ops and their
+        // predecessors can change their producer contributions.
+        let mut affected: Vec<OpId> = Vec::with_capacity(8);
+        for &(v, _, _) in changes {
+            affected.push(v);
+            affected.extend_from_slice(self.dfg.preds(v));
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        let mut moves = self.anchor_moves;
+        for &u in &affected {
+            let fresh = producer_contribution(self.dfg, u, |w| self.candidate_cluster(delta, w));
+            moves = moves + fresh as usize - self.producer_moves[u.index()] as usize;
+        }
+
+        // Latency: max over the constant critical path, every
+        // per-cluster window entry (with O(delta) population
+        // adjustments), and the bus-saturation value of the exact
+        // transfer count. Ties resolve to the earliest family in that
+        // order, deterministically.
+        let mut best = self.cp_cycles;
+        let mut source = BoundSource::CriticalPath;
+        for (e, (entry, counts)) in self.entries.iter().zip(&self.counts).enumerate() {
+            for (c, (&base, &fus)) in counts.iter().zip(&entry.fus).enumerate() {
+                if fus == 0 {
+                    continue;
+                }
+                let mut cnt = base;
+                for &(v, old, new) in changes {
+                    if self.membership[v.index()] & (1 << e) != 0 {
+                        if old.index() == c {
+                            cnt -= 1;
+                        }
+                        if new.index() == c {
+                            cnt += 1;
+                        }
+                    }
+                }
+                if cnt == 0 {
+                    continue;
+                }
+                let value =
+                    entry.head + entry.tail + entry.lat_min + entry.dii * (cnt.div_ceil(fus) - 1);
+                if value > best {
+                    best = value;
+                    source = BoundSource::Entry(e, c);
+                }
+            }
+        }
+        if moves > 0 {
+            let per_bus = (moves as u32).div_ceil(self.nb);
+            let value = 2 + self.move_lat + self.dii_bus * (per_bus - 1);
+            if value > best {
+                best = value;
+                source = BoundSource::Bus;
+            }
+        }
+        (best, moves, source)
+    }
+}
+
+/// Which bound family achieved the maximum in `bound_delta`.
+#[derive(Debug, Clone, Copy)]
+enum BoundSource {
+    CriticalPath,
+    Entry(usize, usize),
+    Bus,
+}
+
+/// The number of distinct destination clusters (different from the
+/// producer's own) among `u`'s successors — `u`'s exact contribution to
+/// `N_MV` under the binding described by `cluster_of`.
+fn producer_contribution(dfg: &Dfg, u: OpId, cluster_of: impl Fn(OpId) -> ClusterId) -> u32 {
+    let own = cluster_of(u).index();
+    let succs = dfg.succs(u);
+    if succs.is_empty() {
+        return 0;
+    }
+    // Cluster counts on real datapaths are tiny; a 64-bit mask covers
+    // them. Wider machines fall back to a sorted scratch list.
+    let mut mask: u64 = 0;
+    let mut wide: Vec<usize> = Vec::new();
+    for &w in succs {
+        let c = cluster_of(w).index();
+        if c == own {
+            continue;
+        }
+        if c < 64 {
+            mask |= 1 << c;
+        } else if !wide.contains(&c) {
+            wide.push(c);
+        }
+    }
+    mask.count_ones() + wide.len() as u32
+}
+
+/// The window set screened for `class`: the whole-graph window `(0, 0)`
+/// plus, when some op sits strictly inside the schedule, the machine-wide
+/// strongest `(head, tail)` window (any window is admissible; the
+/// machine-wide argmax is a good cheap pick for per-cluster use too).
+fn class_windows(
+    machine: &Machine,
+    lat: &[u32],
+    asap: &[u32],
+    tail: &[u32],
+    class: FuType,
+    ops: &[OpId],
+) -> Vec<(u32, u32)> {
+    let mut windows = vec![(0u32, 0u32)];
+    let n_fus = machine.fu_count_total(class);
+    if n_fus == 0 {
+        return windows;
+    }
+    let dii = machine.dii(class);
+    let value = |h: u32, t: u32, w: &[OpId]| -> u32 {
+        let lat_min = w.iter().map(|&v| lat[v.index()]).min().unwrap_or(0);
+        h + t + lat_min + dii * ((w.len() as u32).div_ceil(n_fus) - 1)
+    };
+    let mut heads: Vec<u32> = ops.iter().map(|&v| asap[v.index()]).collect();
+    heads.sort_unstable();
+    heads.dedup();
+    let mut tails: Vec<u32> = ops.iter().map(|&v| tail[v.index()]).collect();
+    tails.sort_unstable();
+    tails.dedup();
+    let mut best = value(0, 0, ops);
+    let mut found = None;
+    for &h in &heads {
+        for &t in &tails {
+            if h == 0 && t == 0 {
+                continue;
+            }
+            let w: Vec<OpId> = ops
+                .iter()
+                .copied()
+                .filter(|&v| asap[v.index()] >= h && tail[v.index()] >= t)
+                .collect();
+            if w.is_empty() {
+                continue;
+            }
+            let cycles = value(h, t, &w);
+            if cycles > best {
+                best = cycles;
+                found = Some((h, t));
+            }
+        }
+    }
+    windows.extend(found);
+    windows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_dfg::{DfgBuilder, OpType};
+
+    fn machine(desc: &str) -> Machine {
+        Machine::parse(desc).expect("machine")
+    }
+
+    fn cl(i: usize) -> ClusterId {
+        ClusterId::from_index(i)
+    }
+
+    /// Brute-force `N_MV` of an assignment: distinct (producer, dest
+    /// cluster) pairs over cut edges.
+    fn exact_moves(dfg: &Dfg, of: &[ClusterId]) -> usize {
+        let mut pairs: Vec<(OpId, usize)> = dfg
+            .edges()
+            .filter(|&(u, v)| of[u.index()] != of[v.index()])
+            .map(|(u, v)| (u, of[v.index()].index()))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs.len()
+    }
+
+    /// A mixed add/mul graph with enough structure to exercise windows.
+    fn mixed() -> Dfg {
+        let mut b = DfgBuilder::new();
+        let a = b.add_op(OpType::Add, &[]);
+        let m0 = b.add_op(OpType::Mul, &[a]);
+        let m1 = b.add_op(OpType::Mul, &[a]);
+        let s = b.add_op(OpType::Add, &[m0, m1]);
+        let _ = b.add_op(OpType::Sub, &[s]);
+        let _ = b.add_op(OpType::Add, &[m1]);
+        b.finish().expect("acyclic")
+    }
+
+    #[test]
+    fn delta_moves_match_brute_force_over_all_single_rebinds() {
+        let dfg = mixed();
+        let m = machine("[2,1|2,1]");
+        let n = dfg.len();
+        let mut analyzer = DeltaBoundAnalyzer::new(&dfg, &m);
+        for mask in 0..(1usize << n) {
+            let of: Vec<ClusterId> = (0..n).map(|i| cl((mask >> i) & 1)).collect();
+            analyzer.anchor(&of);
+            assert_eq!(
+                analyzer.anchor_moves(),
+                exact_moves(&dfg, &of),
+                "mask {mask}"
+            );
+            for v in dfg.op_ids() {
+                for c in [cl(0), cl(1)] {
+                    let mut cand = of.clone();
+                    cand[v.index()] = c;
+                    let (_, moves) = analyzer.screen(&[(v, c)]);
+                    assert_eq!(moves, exact_moves(&dfg, &cand), "mask {mask} op {v} -> {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_moves_match_brute_force_over_pair_rebinds() {
+        let dfg = mixed();
+        let m = machine("[2,1|2,1]");
+        let n = dfg.len();
+        let of: Vec<ClusterId> = (0..n).map(|i| cl(i % 2)).collect();
+        let mut analyzer = DeltaBoundAnalyzer::new(&dfg, &m);
+        analyzer.anchor(&of);
+        for v in dfg.op_ids() {
+            for w in dfg.op_ids() {
+                if v == w {
+                    continue;
+                }
+                for (cv, cw) in [(cl(0), cl(0)), (cl(0), cl(1)), (cl(1), cl(0))] {
+                    let mut cand = of.clone();
+                    cand[v.index()] = cv;
+                    cand[w.index()] = cw;
+                    let (_, moves) = analyzer.screen(&[(v, cv), (w, cw)]);
+                    assert_eq!(moves, exact_moves(&dfg, &cand), "{v}->{cv}, {w}->{cw}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn screen_latency_is_admissible() {
+        // The screening latency bound must never exceed the true list
+        // schedule latency of the candidate.
+        use vliw_sched::{Binding, BoundDfg, ListScheduler};
+        let dfg = mixed();
+        let m = machine("[1,1|1,1]");
+        let n = dfg.len();
+        let mut analyzer = DeltaBoundAnalyzer::new(&dfg, &m);
+        for mask in 0..(1usize << n) {
+            let of: Vec<ClusterId> = (0..n).map(|i| cl((mask >> i) & 1)).collect();
+            analyzer.anchor(&of);
+            for v in dfg.op_ids() {
+                for c in [cl(0), cl(1)] {
+                    let mut cand = of.clone();
+                    cand[v.index()] = c;
+                    let (bound_latency, moves) = analyzer.screen(&[(v, c)]);
+                    let bn = Binding::new(&dfg, &m, cand).expect("valid");
+                    let bdfg = BoundDfg::new(&dfg, &m, &bn);
+                    let s = ListScheduler::new(&m).schedule(&bdfg);
+                    assert!(
+                        bound_latency <= s.latency(),
+                        "mask {mask} {v}->{c}: bound {bound_latency} > true {}",
+                        s.latency()
+                    );
+                    assert_eq!(moves, bdfg.move_count());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn certify_matches_screen_claim() {
+        let dfg = mixed();
+        let m = machine("[1,1|1,1]");
+        let of = vec![cl(0), cl(1), cl(1), cl(0), cl(0), cl(1)];
+        let mut analyzer = DeltaBoundAnalyzer::new(&dfg, &m);
+        analyzer.anchor(&of);
+        for v in dfg.op_ids() {
+            for c in [cl(0), cl(1)] {
+                let delta = [(v, c)];
+                let (latency, moves) = analyzer.screen(&delta);
+                let bound = analyzer.certify(&delta);
+                assert_eq!((bound.latency, bound.moves), (latency, moves));
+                if let DeltaCertificate::ClusterInterval { ops, cluster, .. } = &bound.certificate {
+                    assert!(!ops.is_empty());
+                    for &op in ops {
+                        let cand = if op == v { c } else { of[op.index()] };
+                        assert_eq!(cand, *cluster);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_op_delta_reproduces_anchor() {
+        let dfg = mixed();
+        let m = machine("[2,1|2,1]");
+        let of = vec![cl(0); dfg.len()];
+        let mut analyzer = DeltaBoundAnalyzer::new(&dfg, &m);
+        analyzer.anchor(&of);
+        let v = dfg.op_ids().next().expect("non-empty");
+        let (latency, moves) = analyzer.screen(&[(v, cl(0))]);
+        assert_eq!(moves, 0);
+        assert!(latency >= 4, "critical path of the mixed graph");
+    }
+
+    #[test]
+    fn screening_discriminates_crowded_clusters() {
+        // 6 independent adds on [1,1|3,1]: crowding 5 onto the single-ALU
+        // cluster must screen to a bound above the balanced latency.
+        let mut b = DfgBuilder::new();
+        for _ in 0..6 {
+            b.add_op(OpType::Add, &[]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let m = machine("[1,1|3,1]");
+        let of = vec![cl(1); 6];
+        let mut analyzer = DeltaBoundAnalyzer::new(&dfg, &m);
+        analyzer.anchor(&of);
+        // All six on the 3-ALU cluster: 2 cycles. Screen a candidate that
+        // crowds nothing (stays put) vs the anchor with one op moved to
+        // the single-ALU side.
+        let ops: Vec<OpId> = dfg.op_ids().collect();
+        let crowded = vec![cl(0); 6];
+        analyzer.anchor(&crowded);
+        let (latency, _) = analyzer.screen(&[(ops[0], cl(0))]);
+        assert!(latency >= 6, "5 adds on one ALU need 5+ cycles: {latency}");
+    }
+
+    #[test]
+    fn empty_dfg_screens_to_zero() {
+        let dfg = DfgBuilder::new().finish().expect("empty");
+        let m = machine("[1,1|1,1]");
+        let mut analyzer = DeltaBoundAnalyzer::new(&dfg, &m);
+        analyzer.anchor(&[]);
+        assert_eq!(analyzer.screen(&[]), (0, 0));
+    }
+
+    #[test]
+    fn screen_is_deterministic() {
+        let dfg = mixed();
+        let m = machine("[1,1|1,1]");
+        let of = vec![cl(0), cl(1), cl(0), cl(1), cl(0), cl(1)];
+        let mk = || {
+            let mut a = DeltaBoundAnalyzer::new(&dfg, &m);
+            a.anchor(&of);
+            let v = dfg.op_ids().nth(2).expect("op");
+            (a.screen(&[(v, cl(1))]), a.certify(&[(v, cl(1))]))
+        };
+        assert_eq!(mk(), mk());
+    }
+}

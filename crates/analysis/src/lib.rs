@@ -50,6 +50,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod delta;
+
+pub use delta::{DeltaBound, DeltaBoundAnalyzer, DeltaCertificate};
+
 use vliw_datapath::Machine;
 use vliw_dfg::{connected_components, topo_order, Dfg, FuType, OpId};
 

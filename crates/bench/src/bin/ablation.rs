@@ -1,7 +1,8 @@
 //! Ablation studies over the paper's design choices.
 //!
 //! Usage: `cargo run -p vliw-bench --release --bin ablation -- <study>
-//! [--threads N] [--no-eval-cache] [--trace-out FILE]`
+//! [--threads N] [--no-eval-cache] [--no-screen] [--no-arena]
+//! [--trace-out FILE]`
 //! where `<study>` is one of `gamma`, `lpr`, `reverse`, `quality`,
 //! `pairs`, `fucost`, `priority`, `optimal`, or `all`.
 

@@ -4,7 +4,8 @@
 //! evaluation with the other algorithms its Section 4 discusses.
 //!
 //! Usage: `cargo run -p vliw-bench --release --bin baselines [--quick]
-//! [--trace-out FILE] [--threads N] [--no-eval-cache] [--pairs MODE]
+//! [--trace-out FILE] [--threads N] [--no-eval-cache] [--no-screen]
+//! [--no-arena] [--pairs MODE]
 //! [--starts N] [--deadline-ms N] [--max-rounds N]
 //! [--verify | --no-verify]`
 

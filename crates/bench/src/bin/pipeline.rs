@@ -4,7 +4,8 @@
 //! a block-latency binding, and the II achieved by the II-driven binder.
 //!
 //! Usage: `cargo run -p vliw-bench --release --bin pipeline
-//! [--threads N] [--no-eval-cache] [--trace-out FILE]`
+//! [--threads N] [--no-eval-cache] [--no-screen] [--no-arena]
+//! [--trace-out FILE]`
 
 use vliw_binding::{Binder, BinderConfig};
 use vliw_datapath::Machine;

@@ -3,6 +3,7 @@
 //!
 //! Usage: `cargo run -p vliw-bench --release --bin table1 [--json FILE]
 //! [--bench-out FILE] [--trace-out FILE] [--threads N] [--no-eval-cache]
+//! [--no-screen] [--no-arena]
 //! [--pairs MODE] [--starts N] [--deadline-ms N] [--max-rounds N]
 //! [--verify | --no-verify]`
 //!

@@ -2,7 +2,8 @@
 //!
 //! Every binary accepts the same surface: the [`BinderConfig`] override
 //! flags (`--threads`, `--pairs`, `--starts`, `--no-eval-cache`,
-//! `--deadline-ms`, `--max-rounds`, `--verify`/`--no-verify`), the
+//! `--no-screen`, `--no-arena`, `--deadline-ms`, `--max-rounds`,
+//! `--verify`/`--no-verify`), the
 //! side-output flags (`--json FILE`, `--bench-out FILE`), `--quick`, a
 //! single optional positional (the ablation study name),
 //! `--trace-out FILE` — which forces [`BinderConfig::trace`] on and

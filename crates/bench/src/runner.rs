@@ -316,7 +316,8 @@ pub fn lm(pair: (u32, usize)) -> String {
 
 /// Applies the common CLI overrides of the table binaries to a config:
 /// `--pairs none|adjacent|all`, `--starts N`, `--threads N` (0 = one
-/// evaluation worker per CPU), `--no-eval-cache`, `--deadline-ms N`,
+/// evaluation worker per CPU), `--no-eval-cache`, `--no-screen`,
+/// `--no-arena`, `--deadline-ms N`,
 /// `--max-rounds N` and `--verify` / `--no-verify`. Flags the runner
 /// does not know (each binary has its own, e.g. `--json FILE`) pass
 /// through untouched.
@@ -343,6 +344,8 @@ where
     while i < args.len() {
         match args[i].as_str() {
             "--no-eval-cache" => config.eval_cache = false,
+            "--no-screen" => config.screen = false,
+            "--no-arena" => config.arena = false,
             "--verify" => config.verify = true,
             "--no-verify" => config.verify = false,
             "--pairs" => {
@@ -598,13 +601,15 @@ mod tests {
     fn config_overrides_parse() {
         let c = parse_flags(
             "--pairs all --starts 3 --threads 2 --no-eval-cache \
-             --deadline-ms 500 --max-rounds 7 --verify",
+             --no-screen --no-arena --deadline-ms 500 --max-rounds 7 --verify",
         )
         .expect("valid flags");
         assert_eq!(c.pair_mode, vliw_binding::PairMode::All);
         assert_eq!(c.improve_starts, 3);
         assert_eq!(c.threads, 2);
         assert!(!c.eval_cache);
+        assert!(!c.screen);
+        assert!(!c.arena);
         assert_eq!(c.deadline_ms, Some(500));
         assert_eq!(c.max_iter_rounds, Some(7));
         assert!(c.verify);

@@ -149,10 +149,36 @@ pub struct BinderConfig {
     /// observes the search, it never steers it.
     #[serde(default)]
     pub trace: bool,
+    /// Whether B-ITER screens perturbation candidates with the
+    /// delta-aware admissible bound ([`vliw_analysis::DeltaBoundAnalyzer`])
+    /// before scheduling them: candidates whose certified `(L, N_MV)`
+    /// floor already ties or exceeds the incumbent under the active
+    /// lexicographic quality cannot be accepted and are skipped. On by
+    /// default; provably acceptance-order-preserving, so the returned
+    /// binding, schedule and accepted-move sequence are bit-identical
+    /// either way.
+    #[serde(default = "default_screen")]
+    pub screen: bool,
+    /// Whether candidate evaluations reuse pooled [`vliw_sched::SchedArena`]
+    /// scratch workspaces, making steady-state B-INIT/B-ITER evaluation
+    /// allocation-free. On by default; arenas recycle capacity, never
+    /// scheduling state, so results are bit-identical either way.
+    #[serde(default = "default_arena")]
+    pub arena: bool,
 }
 
 /// Serde default for [`BinderConfig::eval_cache`] (on).
 fn default_eval_cache() -> bool {
+    true
+}
+
+/// Serde default for [`BinderConfig::screen`] (on).
+fn default_screen() -> bool {
+    true
+}
+
+/// Serde default for [`BinderConfig::arena`] (on).
+fn default_arena() -> bool {
     true
 }
 
@@ -185,6 +211,8 @@ impl Default for BinderConfig {
             max_iter_rounds: None,
             lpr_anchor_bound: false,
             trace: false,
+            screen: true,
+            arena: true,
         }
     }
 }
@@ -258,6 +286,8 @@ mod tests {
                     && k != "deadline_ms"
                     && k != "max_iter_rounds"
                     && k != "trace"
+                    && k != "screen"
+                    && k != "arena"
             });
         }
         let cfg: BinderConfig = serde_json::from_value(v).expect("legacy config loads");
@@ -266,6 +296,8 @@ mod tests {
         assert_eq!(cfg.deadline_ms, None);
         assert_eq!(cfg.max_iter_rounds, None);
         assert!(!cfg.trace, "legacy configs load with tracing off");
+        assert!(cfg.screen, "legacy configs load with screening on");
+        assert!(cfg.arena, "legacy configs load with arena reuse on");
     }
 
     #[test]

@@ -72,16 +72,42 @@ impl BindingResult {
     /// when an armed [`vliw_fault`] failpoint fires at the `sched.list`
     /// site (contained as a typed error by the supervised entry points).
     pub fn evaluate(dfg: &Dfg, machine: &Machine, binding: Binding) -> Self {
-        let bound = BoundDfg::new(dfg, machine, &binding);
+        Self::evaluate_with(dfg, machine, binding, &mut vliw_sched::SchedArena::new())
+    }
+
+    /// [`BindingResult::evaluate`] with a caller-owned scheduling arena:
+    /// a warm arena makes the steady-state evaluation allocation-free.
+    /// Bit-identical to a fresh arena — the arena only recycles scratch
+    /// capacity, never scheduling state.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`BindingResult::evaluate`].
+    pub fn evaluate_with(
+        dfg: &Dfg,
+        machine: &Machine,
+        binding: Binding,
+        arena: &mut vliw_sched::SchedArena,
+    ) -> Self {
+        let bound = BoundDfg::new_in(dfg, machine, &binding, arena.bound_scratch());
         // The list-scheduler invocation has no error channel, so faults
         // injected here surface as supervised panics.
         vliw_fault::point_infallible("sched.list");
-        let schedule = ListScheduler::new(machine).schedule(&bound);
+        let schedule = ListScheduler::new(machine).schedule_with(&bound, arena);
         BindingResult {
             binding,
             bound,
             schedule,
         }
+    }
+
+    /// Returns this result's bound-graph storage to `arena`'s
+    /// construction pool, making the next [`BindingResult::evaluate_with`]
+    /// against the same arena allocation-free. Called on evaluation
+    /// results that are reduced to metrics and discarded (the bulk of a
+    /// descent's neighborhood).
+    pub fn recycle_into(self, arena: &mut vliw_sched::SchedArena) {
+        self.bound.dismantle_into(arena.bound_scratch());
     }
 
     /// Schedule latency `L` in cycles.

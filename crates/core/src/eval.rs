@@ -36,7 +36,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use vliw_datapath::Machine;
 use vliw_dfg::Dfg;
-use vliw_sched::Binding;
+use vliw_sched::{Binding, SchedArena};
 use vliw_trace::{Stopwatch, Tracer};
 
 /// Below this many uncached bindings a batch is evaluated on the calling
@@ -105,6 +105,43 @@ impl EvalStats {
     }
 }
 
+/// One memo slot, keyed by the binding's precomputed fingerprint. The
+/// binding itself is retained only in debug builds, where every probe
+/// audits that the fingerprint match is a true binding match — a
+/// collision in the 64-bit FNV space (~2⁻⁶⁴ per pair) would silently
+/// serve the wrong outcome in release builds, so debug runs and the
+/// test suite make it loud instead.
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    outcome: EvalOutcome,
+    #[cfg(debug_assertions)]
+    binding: Binding,
+}
+
+impl MemoEntry {
+    fn new(outcome: EvalOutcome, binding: &Binding) -> Self {
+        #[cfg(not(debug_assertions))]
+        let _ = binding;
+        MemoEntry {
+            outcome,
+            #[cfg(debug_assertions)]
+            binding: binding.clone(),
+        }
+    }
+
+    /// Debug-only collision audit: the probing binding must be the one
+    /// stored under this fingerprint.
+    fn audit(&self, probe: &Binding) {
+        #[cfg(not(debug_assertions))]
+        let _ = probe;
+        #[cfg(debug_assertions)]
+        assert_eq!(
+            &self.binding, probe,
+            "evaluation memo fingerprint collision"
+        );
+    }
+}
+
 /// Process-global metric handles of the evaluation engine, resolved
 /// once per evaluator so the hot path pays only relaxed atomic
 /// increments. Present only when [`vliw_metrics::enabled`] was true at
@@ -118,6 +155,9 @@ struct EvalMetrics {
     cache_hits: vliw_metrics::Counter,
     /// Requests that actually ran the list scheduler.
     cache_misses: vliw_metrics::Counter,
+    /// Evaluations whose pooled arena was reset in place (no scratch
+    /// reallocation).
+    arena_reuse: vliw_metrics::Counter,
 }
 
 impl EvalMetrics {
@@ -135,6 +175,10 @@ impl EvalMetrics {
                 "eval_cache_misses",
                 "Evaluation requests that ran the list scheduler",
             ),
+            arena_reuse: vliw_metrics::counter(
+                "eval_arena_reuse_total",
+                "Candidate evaluations whose pooled scheduling arena was reset in place without reallocating",
+            ),
         }
     }
 }
@@ -150,22 +194,28 @@ pub struct Evaluator<'e> {
     dfg: &'e Dfg,
     machine: &'e Machine,
     threads: usize,
-    memo: Option<Mutex<HashMap<Binding, EvalOutcome>>>,
+    memo: Option<Mutex<HashMap<u64, MemoEntry>>>,
+    /// Pooled scheduling arenas, one checked out per in-flight
+    /// evaluation; `None` disables reuse ([`BinderConfig::arena`]).
+    arenas: Option<Mutex<Vec<SchedArena>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    arena_reuses: AtomicUsize,
     tracer: Tracer,
     metrics: Option<EvalMetrics>,
 }
 
 impl<'e> Evaluator<'e> {
-    /// An evaluator configured from [`BinderConfig::threads`] and
-    /// [`BinderConfig::eval_cache`].
+    /// An evaluator configured from [`BinderConfig::threads`],
+    /// [`BinderConfig::eval_cache`] and [`BinderConfig::arena`].
     pub fn new(dfg: &'e Dfg, machine: &'e Machine, config: &BinderConfig) -> Self {
         Self::with_settings(dfg, machine, config.threads, config.eval_cache)
+            .with_arena(config.arena)
     }
 
     /// An evaluator with explicit settings; `threads = 0` means one
-    /// worker per available CPU.
+    /// worker per available CPU. Arena reuse is on; toggle it with
+    /// [`Evaluator::with_arena`].
     pub fn with_settings(
         dfg: &'e Dfg,
         machine: &'e Machine,
@@ -182,11 +232,20 @@ impl<'e> Evaluator<'e> {
             machine,
             threads,
             memo: eval_cache.then(|| Mutex::new(HashMap::new())),
+            arenas: Some(Mutex::new(Vec::new())),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            arena_reuses: AtomicUsize::new(0),
             tracer: Tracer::off(),
             metrics: vliw_metrics::enabled().then(EvalMetrics::new),
         }
+    }
+
+    /// Enables or disables the pooled-arena fast path. Purely a memory
+    /// optimization: results are bit-identical either way.
+    pub fn with_arena(mut self, arena: bool) -> Self {
+        self.arenas = arena.then(|| Mutex::new(Vec::new()));
+        self
     }
 
     /// Attaches a tracer: each batch then reports its cache
@@ -227,6 +286,12 @@ impl<'e> Evaluator<'e> {
         }
     }
 
+    /// How many evaluations reset a pooled arena in place (no scratch
+    /// reallocation) so far. Zero when arena reuse is disabled.
+    pub fn arena_reuses(&self) -> usize {
+        self.arena_reuses.load(Ordering::Relaxed)
+    }
+
     /// Fully evaluates one binding (bound graph + schedule), warming the
     /// memo as a side effect. Used to materialize winners; batch metric
     /// queries should go through [`Evaluator::outcomes`] instead.
@@ -250,9 +315,10 @@ impl<'e> Evaluator<'e> {
             Ok(self.timed_evaluate(binding))
         })?;
         if let Some(memo) = &self.memo {
-            memo.lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .insert(result.binding.clone(), EvalOutcome::of(&result));
+            memo.lock().unwrap_or_else(|e| e.into_inner()).insert(
+                result.binding.fingerprint(),
+                MemoEntry::new(EvalOutcome::of(&result), &result.binding),
+            );
         }
         Ok(result)
     }
@@ -280,40 +346,46 @@ impl<'e> Evaluator<'e> {
     /// reported fault is deterministic for a deterministic schedule.
     pub fn try_outcomes(&self, bindings: &[Binding]) -> Result<Vec<EvalOutcome>, BindError> {
         let mut slots: Vec<Option<EvalOutcome>> = vec![None; bindings.len()];
+        // Fingerprints are precomputed once per candidate: every memo
+        // probe, in-batch coalescing and memo write below keys on them
+        // instead of re-hashing whole assignment vectors.
+        let fps: Vec<u64> = bindings.iter().map(Binding::fingerprint).collect();
         // Distinct bindings that need a real evaluation, in first-seen
-        // order, with the slots each one fills.
-        let mut pending: Vec<(&Binding, Vec<usize>)> = Vec::new();
+        // order (by first input index), with the slots each one fills.
+        let mut pending: Vec<(usize, Vec<usize>)> = Vec::new();
         {
-            let mut seen: HashMap<&Binding, usize> = HashMap::new();
+            let mut seen: HashMap<u64, usize> = HashMap::new();
             let memo = self.memo.as_ref().map(|m| m.lock().expect("memo lock")); // lint:allow(no-panic)
             for (i, binding) in bindings.iter().enumerate() {
-                if let Some(hit) = memo.as_ref().and_then(|m| m.get(binding)) {
-                    slots[i] = Some(hit.clone());
+                if let Some(hit) = memo.as_ref().and_then(|m| m.get(&fps[i])) {
+                    hit.audit(binding);
+                    slots[i] = Some(hit.outcome.clone());
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                } else if let Some(&p) = seen.get(binding) {
+                } else if let Some(&p) = seen.get(&fps[i]) {
                     // Coalesced duplicate within this batch: scheduled
                     // once, so the extra request counts as a hit.
                     pending[p].1.push(i);
                     self.hits.fetch_add(1, Ordering::Relaxed);
                 } else {
-                    seen.insert(binding, pending.len());
-                    pending.push((binding, vec![i]));
+                    seen.insert(fps[i], pending.len());
+                    pending.push((i, vec![i]));
                     self.misses.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
         self.trace_cache_counters(bindings.len() - pending.len(), pending.len());
 
-        let fresh: Vec<EvalOutcome> = self
-            .run_batch(pending.iter().map(|(b, _)| (*b).clone()).collect())?
-            .iter()
-            .map(EvalOutcome::of)
-            .collect();
+        // Outcomes, not full results: each evaluation dismantles its
+        // bound graph back into the arena it checked out before the
+        // arena returns to the pool, so the next candidate's
+        // construction is allocation-free.
+        let fresh =
+            self.run_batch_outcomes(pending.iter().map(|&(b, _)| bindings[b].clone()).collect())?;
 
         if let Some(memo) = &self.memo {
             let mut memo = memo.lock().expect("memo lock"); // lint:allow(no-panic)
-            for ((binding, _), outcome) in pending.iter().zip(&fresh) {
-                memo.insert((*binding).clone(), outcome.clone());
+            for (&(b, _), outcome) in pending.iter().zip(&fresh) {
+                memo.insert(fps[b], MemoEntry::new(outcome.clone(), &bindings[b]));
             }
         }
         for ((_, targets), outcome) in pending.into_iter().zip(fresh) {
@@ -357,15 +429,18 @@ impl<'e> Evaluator<'e> {
         let mut slots: Vec<Option<BindingResult>> = (0..bindings.len()).map(|_| None).collect();
         let mut pending: Vec<(Binding, Vec<usize>)> = Vec::new();
         {
-            let mut seen: HashMap<&Binding, usize> = HashMap::new();
+            let mut seen: HashMap<u64, usize> = HashMap::new();
             for (i, binding) in bindings.iter().enumerate() {
-                if let Some(&p) = seen.get(binding) {
-                    pending[p].1.push(i);
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    seen.insert(binding, pending.len());
-                    pending.push((binding.clone(), vec![i]));
-                    self.misses.fetch_add(1, Ordering::Relaxed);
+                match seen.entry(binding.fingerprint()) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        pending[*e.get()].1.push(i);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(pending.len());
+                        pending.push((binding.clone(), vec![i]));
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         }
@@ -374,7 +449,10 @@ impl<'e> Evaluator<'e> {
         if let Some(memo) = &self.memo {
             let mut memo = memo.lock().expect("memo lock"); // lint:allow(no-panic)
             for ((binding, _), result) in pending.iter().zip(&results) {
-                memo.insert(binding.clone(), EvalOutcome::of(result));
+                memo.insert(
+                    binding.fingerprint(),
+                    MemoEntry::new(EvalOutcome::of(result), binding),
+                );
             }
         }
         for ((_, targets), result) in pending.iter().zip(results) {
@@ -452,19 +530,130 @@ impl<'e> Evaluator<'e> {
         results.into_iter().collect()
     }
 
-    /// Evaluates one candidate, recording its wall-clock into the
-    /// global `eval_candidate_us` histogram when metrics are on. The
-    /// recording is lock-free, so parallel workers time independently.
-    fn timed_evaluate(&self, binding: Binding) -> BindingResult {
-        let Some(metrics) = &self.metrics else {
-            return BindingResult::evaluate(self.dfg, self.machine, binding);
+    /// [`Evaluator::run_batch`] reduced to [`EvalOutcome`]s: the metric
+    /// path for [`Evaluator::try_outcomes`], where the full schedules
+    /// are never needed. Each evaluation recycles its bound graph into
+    /// the arena before checking it back in, so in steady state every
+    /// candidate in the batch — not just the first — is constructed
+    /// from pooled storage.
+    fn run_batch_outcomes(&self, bindings: Vec<Binding>) -> Result<Vec<EvalOutcome>, BindError> {
+        if self.threads <= 1 || bindings.len() < PARALLEL_THRESHOLD {
+            let started = self.tracer.is_enabled().then(Stopwatch::start);
+            let evals = bindings.len();
+            let mut outcomes: Vec<EvalOutcome> = Vec::with_capacity(evals);
+            for (i, b) in bindings.into_iter().enumerate() {
+                outcomes.push(crate::pool::guard_item(i, || {
+                    vliw_fault::point("eval.candidate")?;
+                    Ok(self.timed_outcome(b))
+                })?);
+            }
+            if let Some(started) = started {
+                if evals > 0 {
+                    self.trace_worker(0, started.elapsed(), evals);
+                }
+            }
+            return Ok(outcomes);
+        }
+        let (outcomes, workers) =
+            crate::pool::run_indexed_fallible(self.threads, &bindings, |_, b| {
+                vliw_fault::point("eval.candidate")?;
+                Ok(self.timed_outcome(b.clone()))
+            });
+        if self.tracer.is_enabled() {
+            for (slot, report) in workers.into_iter().enumerate() {
+                self.trace_worker(slot, report.busy, report.items);
+            }
+        }
+        outcomes.into_iter().collect()
+    }
+
+    /// [`Evaluator::timed_evaluate`] reduced to its [`EvalOutcome`]:
+    /// the full result's storage is dismantled back into the checked-out
+    /// arena instead of escaping with the return value, which is what
+    /// lets the pool actually serve the next evaluation.
+    fn timed_outcome(&self, binding: Binding) -> EvalOutcome {
+        let mut arena = match &self.arenas {
+            Some(pool) => pool
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop()
+                .unwrap_or_default(),
+            None => SchedArena::new(),
         };
-        let started = Stopwatch::start();
-        let result = BindingResult::evaluate(self.dfg, self.machine, binding);
-        metrics
-            .candidate_us
-            .record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        let reuses_before = arena.reuses();
+        let result = if let Some(metrics) = &self.metrics {
+            let started = Stopwatch::start();
+            let result = BindingResult::evaluate_with(self.dfg, self.machine, binding, &mut arena);
+            metrics
+                .candidate_us
+                .record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+            result
+        } else {
+            BindingResult::evaluate_with(self.dfg, self.machine, binding, &mut arena)
+        };
+        let outcome = EvalOutcome::of(&result);
+        if let Some(pool) = &self.arenas {
+            result.recycle_into(&mut arena);
+            if arena.reuses() > reuses_before {
+                self.arena_reuses.fetch_add(1, Ordering::Relaxed);
+                if let Some(metrics) = &self.metrics {
+                    metrics.arena_reuse.add(1);
+                }
+            }
+            pool.lock().unwrap_or_else(|e| e.into_inner()).push(arena);
+        }
+        outcome
+    }
+
+    /// Evaluates one candidate against a pooled arena, recording its
+    /// wall-clock into the global `eval_candidate_us` histogram when
+    /// metrics are on. The recording is lock-free, so parallel workers
+    /// time independently; the arena pool is two short lock holds per
+    /// evaluation (checkout and checkin).
+    fn timed_evaluate(&self, binding: Binding) -> BindingResult {
+        let mut arena = match &self.arenas {
+            Some(pool) => pool
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop()
+                .unwrap_or_default(),
+            None => SchedArena::new(),
+        };
+        let reuses_before = arena.reuses();
+        let result = if let Some(metrics) = &self.metrics {
+            let started = Stopwatch::start();
+            let result = BindingResult::evaluate_with(self.dfg, self.machine, binding, &mut arena);
+            metrics
+                .candidate_us
+                .record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+            result
+        } else {
+            BindingResult::evaluate_with(self.dfg, self.machine, binding, &mut arena)
+        };
+        if let Some(pool) = &self.arenas {
+            if arena.reuses() > reuses_before {
+                self.arena_reuses.fetch_add(1, Ordering::Relaxed);
+                if let Some(metrics) = &self.metrics {
+                    metrics.arena_reuse.add(1);
+                }
+            }
+            pool.lock().unwrap_or_else(|e| e.into_inner()).push(arena);
+        }
         result
+    }
+
+    /// Test hook: plants a memo entry under an arbitrary fingerprint,
+    /// bypassing [`Binding::fingerprint`] — used to force the collision
+    /// audit down the same-fingerprint/different-binding path that FNV
+    /// makes unreachable in practice.
+    #[cfg(test)]
+    fn memo_insert_raw(&self, fp: u64, binding: &Binding, outcome: EvalOutcome) {
+        self.memo
+            .as_ref()
+            .expect("memo enabled")
+            .lock()
+            .expect("memo lock")
+            .insert(fp, MemoEntry::new(outcome, binding));
     }
 
     /// Emits one worker's busy time for the batch just evaluated.
@@ -657,6 +846,43 @@ mod tests {
                 .any(|h| h.name == "eval_candidate_us"),
             "a disabled registry sees no evaluator registrations"
         );
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "the collision audit is debug-only")]
+    #[should_panic(expected = "fingerprint collision")]
+    fn same_fingerprint_probe_trips_the_collision_audit() {
+        let dfg = chain(3);
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let ev = Evaluator::with_settings(&dfg, &machine, 1, true);
+        let b = all_bindings(&dfg, &machine);
+        // Plant one binding's outcome under *another* binding's
+        // fingerprint — the collision FNV makes unreachable in practice.
+        // The next probe with that other binding must refuse to serve it.
+        let outcome = EvalOutcome::of(&BindingResult::evaluate(&dfg, &machine, b[1].clone()));
+        ev.memo_insert_raw(b[2].fingerprint(), &b[1], outcome);
+        ev.outcomes(&[b[2].clone()]);
+    }
+
+    #[test]
+    fn arena_pool_reuses_scratch_and_stays_bit_identical() {
+        let dfg = chain(6);
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let bindings = all_bindings(&dfg, &machine);
+        let pooled = Evaluator::with_settings(&dfg, &machine, 1, false);
+        let fresh = Evaluator::with_settings(&dfg, &machine, 1, false).with_arena(false);
+        let a = pooled.evaluate_all(bindings.clone());
+        let b = fresh.evaluate_all(bindings);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.lm(), y.lm());
+            assert_eq!(x.binding, y.binding);
+            assert_eq!(x.schedule, y.schedule);
+        }
+        assert!(
+            pooled.arena_reuses() > 0,
+            "a serial exhaustive batch must recycle its arena"
+        );
+        assert_eq!(fresh.arena_reuses(), 0, "disabled pool never reuses");
     }
 
     #[test]

@@ -86,6 +86,9 @@ pub fn bind_exhaustive(dfg: &Dfg, machine: &Machine, max_leaves: u64) -> Option<
 
     let mut best: Option<BindingResult> = None;
     let mut binding = Binding::unbound(dfg);
+    // One arena for the whole enumeration: every leaf evaluation after
+    // the first reuses its scratch buffers in place.
+    let mut arena = vliw_sched::SchedArena::new();
     search(
         dfg,
         machine,
@@ -96,6 +99,7 @@ pub fn bind_exhaustive(dfg: &Dfg, machine: &Machine, max_leaves: u64) -> Option<
         lower,
         &mut binding,
         &mut best,
+        &mut arena,
     );
     best
 }
@@ -111,6 +115,7 @@ fn search(
     lower: (u32, usize),
     binding: &mut Binding,
     best: &mut Option<BindingResult>,
+    arena: &mut vliw_sched::SchedArena,
 ) {
     // Early exit once a provably optimal solution (one meeting the
     // certified `(L, N_MV)` floor) is in hand.
@@ -120,7 +125,7 @@ fn search(
         }
     }
     if depth == order.len() {
-        let result = BindingResult::evaluate(dfg, machine, binding.clone());
+        let result = BindingResult::evaluate_with(dfg, machine, binding.clone(), arena);
         if best.as_ref().is_none_or(|b| result.lm() < b.lm()) {
             *best = Some(result);
         }
@@ -144,6 +149,7 @@ fn search(
             lower,
             binding,
             best,
+            arena,
         );
     }
 }

@@ -19,7 +19,7 @@ use crate::eval::Evaluator;
 use vliw_datapath::{ClusterId, Machine};
 use vliw_dfg::{Dfg, OpId};
 use vliw_sched::{Binding, BoundDfg, Schedule};
-use vliw_trace::SpanCat;
+use vliw_trace::{SpanCat, Stopwatch};
 
 /// Which quality vector steers an improvement pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -212,6 +212,24 @@ pub(crate) fn improve_with_eval_budgeted(
             ),
         )
     });
+    // Tier-1 screening state: the delta-aware bound analyzer is built
+    // once per descent pass (its windows and critical path are
+    // binding-independent) and re-anchored on each round's incumbent.
+    let mut screener = config
+        .screen
+        .then(|| vliw_analysis::DeltaBoundAnalyzer::new(dfg, machine));
+    let screen_metrics = vliw_metrics::enabled().then(|| {
+        (
+            vliw_metrics::counter(
+                "iter_screened_total",
+                "B-ITER candidates proven unable to beat the incumbent by the delta bound and skipped without scheduling",
+            ),
+            vliw_metrics::histogram(
+                "screen_bound_us",
+                "Wall-clock of one descent round's delta-bound screening pass, in microseconds",
+            ),
+        )
+    });
     let mut current = start;
     let mut quality = Quality::measure(kind, &current.bound, &current.schedule);
     for _ in 0..config.max_iterations {
@@ -225,10 +243,100 @@ pub(crate) fn improve_with_eval_budgeted(
         if !budget.take_round() {
             break;
         }
-        let candidates = perturbations(dfg, machine, config, &current.binding);
-        let bindings: Vec<Binding> = candidates
+        let candidates = {
+            // Detail spans (here and below) give `vliw profile` a
+            // per-stage breakdown of the round without affecting the
+            // Phase-span accounting of `vliw trace`.
+            let _span = tracer.span(SpanCat::Detail, "neighbors", vec![]);
+            perturbations(dfg, machine, config, &current.binding)
+        };
+        // Tier-1 screening: a candidate is accepted only with a strictly
+        // better quality vector, so one whose certified `(L, N_MV)` floor
+        // already ties or exceeds the incumbent can be skipped without
+        // scheduling. The skip rules are exact about what the bound can
+        // and cannot discriminate — the latency bound is admissible
+        // (true `L` may exceed it) while the transfer recount is exact:
+        //
+        // * `Q_U`: skip iff `L_bound > L_inc`. The completion tail is
+        //   not bounded, so an equal-latency candidate always evaluates.
+        // * `Q_M`: skip iff `L_bound > L_inc`, or `L_bound == L_inc`
+        //   and `moves >= M_inc` — any true latency at or above the tie
+        //   makes the vector `(L, N_MV)` non-improving.
+        //
+        // Skipped candidates therefore never had a chance to win a
+        // round, and survivors keep their enumeration order, so the
+        // accepted-move sequence is bit-identical to screening off.
+        let survivors: Vec<usize> = match screener.as_mut() {
+            Some(screener) => {
+                // A Detail span: `vliw profile` folds it into its own
+                // collapsed-stack frame under the descent phase, while
+                // per-phase accounting (which sums Phase spans only)
+                // keeps attributing the time to the enclosing descent.
+                let _screen_span = tracer.span(SpanCat::Detail, "screen", vec![]);
+                let started = Stopwatch::start();
+                screener.anchor(current.binding.as_slice());
+                let mut keep = Vec::with_capacity(candidates.len());
+                let (mut skipped_single, mut skipped_pair) = (0u64, 0u64);
+                for (i, p) in candidates.iter().enumerate() {
+                    let mut delta = [(p.first.0, p.first.1); 2];
+                    let mut len = 1;
+                    if let Some(second) = p.second {
+                        delta[1] = second;
+                        len = 2;
+                    }
+                    let delta = &delta[..len];
+                    let (lb, mb) = screener.screen(delta);
+                    let mut skip = match kind {
+                        QualityKind::Qu => lb > quality.latency(),
+                        QualityKind::Qm => {
+                            lb > quality.latency()
+                                || (lb == quality.latency() && mb >= quality.tail()[0])
+                        }
+                    };
+                    if skip && config.verify {
+                        // Audit mode: every skip must carry a witness the
+                        // derivation-independent checker accepts; a failed
+                        // check fails open (the candidate is evaluated
+                        // normally), never silently prunes.
+                        let bound = screener.certify(delta);
+                        let mut cand = current.binding.as_slice().to_vec();
+                        for &(v, c) in delta {
+                            cand[v.index()] = c;
+                        }
+                        skip = vliw_sched::verify::check_delta_bound(dfg, machine, &cand, &bound)
+                            .is_ok();
+                    }
+                    if skip {
+                        if p.second.is_some() {
+                            skipped_pair += 1;
+                        } else {
+                            skipped_single += 1;
+                        }
+                    } else {
+                        keep.push(i);
+                    }
+                }
+                if let Some((screened, bound_us)) = &screen_metrics {
+                    screened.add(skipped_single + skipped_pair);
+                    bound_us
+                        .record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+                }
+                if tracer.is_enabled() {
+                    if skipped_single > 0 {
+                        tracer.counter("screened_single", skipped_single, vec![]);
+                    }
+                    if skipped_pair > 0 {
+                        tracer.counter("screened_pair", skipped_pair, vec![]);
+                    }
+                }
+                keep
+            }
+            None => (0..candidates.len()).collect(),
+        };
+        let bindings: Vec<Binding> = survivors
             .iter()
-            .map(|p| {
+            .map(|&i| {
+                let p = &candidates[i];
                 let mut binding = current.binding.clone();
                 binding.bind(p.first.0, p.first.1);
                 if let Some((v, c)) = p.second {
@@ -246,14 +354,17 @@ pub(crate) fn improve_with_eval_budgeted(
             bindings.len().max(1)
         };
         let mut scored: Vec<(Quality, usize)> = Vec::new();
-        let mut offset = 0;
-        for batch in bindings.chunks(chunk) {
-            for (j, outcome) in evaluator.try_outcomes(batch)?.into_iter().enumerate() {
-                scored.push((outcome.quality(kind), offset + j));
-            }
-            offset += batch.len();
-            if budget.expired() {
-                break;
+        {
+            let _span = tracer.span(SpanCat::Detail, "evaluate", vec![]);
+            let mut offset = 0;
+            for batch in bindings.chunks(chunk) {
+                for (j, outcome) in evaluator.try_outcomes(batch)?.into_iter().enumerate() {
+                    scored.push((outcome.quality(kind), offset + j));
+                }
+                offset += batch.len();
+                if budget.expired() {
+                    break;
+                }
             }
         }
         if tracer.is_enabled() {
@@ -262,7 +373,7 @@ pub(crate) fn improve_with_eval_budgeted(
             // allowed), split by kind.
             let pairs = scored
                 .iter()
-                .filter(|&&(_, i)| candidates[i].second.is_some())
+                .filter(|&&(_, i)| candidates[survivors[i]].second.is_some())
                 .count() as u64;
             let singles = scored.len() as u64 - pairs;
             if singles > 0 {
@@ -301,7 +412,7 @@ pub(crate) fn improve_with_eval_budgeted(
                 // the reported `(L, N_MV)` — a `Q_U` step can thin the
                 // completion tail without touching either, so
                 // tried ≥ accepted ≥ improved holds per kind.
-                let pair = candidates[i].second.is_some();
+                let pair = candidates[survivors[i]].second.is_some();
                 tracer.counter(
                     if pair {
                         "accepted_pair"

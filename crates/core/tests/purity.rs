@@ -1,0 +1,108 @@
+//! Observational-purity sweep: the delta-bound candidate screen and the
+//! reusable scheduling arenas are pure speedups. Across every paper
+//! kernel, every distinct Table-1 datapath, and both a serial and a
+//! parallel evaluator, turning them off must not change a single bit of
+//! the result — not the `(L, N_MV)` pair, not the binding, not the
+//! schedule. The descent accepts at most one candidate per round and
+//! the screen only ever removes candidates that provably cannot be
+//! accepted, so identical results here pin down the identical
+//! accepted-move sequence as well.
+
+use vliw_binding::{Binder, BinderConfig, BindingResult};
+use vliw_datapath::Machine;
+use vliw_kernels::Kernel;
+
+/// The 12 distinct datapaths of the paper's Table 1.
+const TABLE1_DATAPATHS: [&str; 12] = [
+    "[1,1|1,1]",
+    "[2,1|2,1]",
+    "[2,1|1,1]",
+    "[1,1|1,1|1,1]",
+    "[2,2|2,1]",
+    "[2,1|2,1|1,1]",
+    "[3,1|2,2|1,3]",
+    "[1,1|1,1|1,1|1,1]",
+    "[2,1|2,1|1,2]",
+    "[3,2|3,1|1,3]",
+    "[2,2|2,1|1,1]",
+    "[1,2|1,2]",
+];
+
+fn config(screen: bool, arena: bool, threads: usize, verify: bool) -> BinderConfig {
+    BinderConfig {
+        screen,
+        arena,
+        threads,
+        verify,
+        ..BinderConfig::default()
+    }
+}
+
+fn assert_identical(reference: &BindingResult, subject: &BindingResult, what: &str) {
+    assert_eq!(reference.lm(), subject.lm(), "{what}: (L, N_MV) changed");
+    assert_eq!(
+        reference.binding, subject.binding,
+        "{what}: binding changed"
+    );
+    assert_eq!(
+        reference.schedule, subject.schedule,
+        "{what}: schedule changed"
+    );
+}
+
+/// Runs the full kernel × datapath matrix: one screen-off, arena-off
+/// reference per cell, compared bit-for-bit against each subject
+/// `(screen, arena)` combination at the given thread count.
+fn sweep(threads: usize, subjects: &[(bool, bool)]) {
+    for kernel in Kernel::ALL {
+        let dfg = kernel.build();
+        for dp in TABLE1_DATAPATHS {
+            let machine = Machine::parse(dp).expect("Table-1 datapath");
+            let reference =
+                Binder::with_config(&machine, config(false, false, threads, false)).bind(&dfg);
+            for &(screen, arena) in subjects {
+                let subject =
+                    Binder::with_config(&machine, config(screen, arena, threads, false)).bind(&dfg);
+                let what = format!(
+                    "{} on {dp} (threads {threads}, screen {screen}, arena {arena})",
+                    kernel.name()
+                );
+                assert_identical(&reference, &subject, &what);
+            }
+        }
+    }
+}
+
+#[test]
+fn screening_and_arenas_are_bit_identical_serial() {
+    // Each knob alone and both together, against the same reference.
+    sweep(1, &[(true, false), (false, true), (true, true)]);
+}
+
+#[test]
+fn screening_and_arenas_are_bit_identical_parallel() {
+    sweep(4, &[(true, true)]);
+}
+
+#[test]
+fn screening_audits_every_skip_under_verify() {
+    // `verify: true` makes the descent certify every screen decision
+    // and run the independent `check_delta_bound` on it before the skip
+    // is allowed to stand — a certificate failure falls back to a full
+    // evaluation, so an unsound witness would surface as a result diff
+    // (and the full-pipeline verifier also re-checks every accepted
+    // step). Verification is expensive, so this audit runs on a
+    // representative subset of the matrix; the full sweep above covers
+    // bit-identity everywhere.
+    for kernel in [Kernel::Ewf, Kernel::Fft, Kernel::DctLee] {
+        let dfg = kernel.build();
+        for dp in ["[1,1|1,1]", "[2,1|2,1|1,2]", "[3,2|3,1|1,3]"] {
+            let machine = Machine::parse(dp).expect("datapath");
+            let reference =
+                Binder::with_config(&machine, config(false, false, 1, false)).bind(&dfg);
+            let audited = Binder::with_config(&machine, config(true, true, 1, true)).bind(&dfg);
+            let what = format!("{} on {dp} (audited)", kernel.name());
+            assert_identical(&reference, &audited, &what);
+        }
+    }
+}

@@ -17,6 +17,20 @@ use std::fmt;
 /// must be repeatable run-to-run.
 pub fn topo_order(dfg: &Dfg) -> Option<Vec<OpId>> {
     let n = dfg.len();
+    // Fast path: graphs whose every edge goes from a smaller to a larger
+    // id (true for anything assembled through `DfgBuilder::add_op`,
+    // including every bound graph) are already in the exact order Kahn's
+    // smallest-ready-id rule produces. Induction: at step `k` every op
+    // `< k` is emitted and op `k`'s predecessors all have smaller ids,
+    // so `k` is ready and is the smallest ready id. The scan is O(E)
+    // with no allocation, replacing the sorted-ready-list bookkeeping
+    // on the candidate-evaluation hot path.
+    if dfg
+        .op_ids()
+        .all(|v| dfg.preds(v).iter().all(|&u| u.index() < v.index()))
+    {
+        return Some(dfg.op_ids().collect());
+    }
     let mut in_deg: Vec<usize> = dfg.op_ids().map(|v| dfg.in_degree(v)).collect();
     // Binary heap would give O(E log V); for the kernel sizes at hand a
     // sorted ready list is plenty and keeps the order fully deterministic.

@@ -11,6 +11,7 @@ use crate::graph::{Dfg, OpId, OpNode};
 use crate::op::OpType;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Error returned by [`DfgBuilder::finish`] and other fallible DFG
 /// constructors.
@@ -56,6 +57,49 @@ impl fmt::Display for DfgError {
 
 impl Error for DfgError {}
 
+/// Recycled backing storage for graphs that are built and torn down in a
+/// hot loop — one bound graph is materialized per candidate evaluation,
+/// and without recycling each of them pays two heap allocations per
+/// operation for its adjacency lists.
+///
+/// The cycle is: [`DfgBuilder::recycled`] moves the pooled buffers into a
+/// builder, [`DfgBuilder::finish_trusted_into`] returns the unused spares,
+/// and [`Dfg::dismantle_into`] gives a retired graph's storage back. A
+/// fresh (default) scratch behaves exactly like the non-pooled path —
+/// the pool only ever recycles capacity, never contents.
+#[derive(Debug, Default)]
+pub struct DfgScratch {
+    pub(crate) ops: Vec<OpNode>,
+    pub(crate) preds: Vec<Vec<OpId>>,
+    pub(crate) succs: Vec<Vec<OpId>>,
+    /// Cleared adjacency lists waiting to be reused by `push`.
+    pub(crate) spare: Vec<Vec<OpId>>,
+}
+
+impl Dfg {
+    /// Tears the graph down into `scratch`, keeping every buffer's
+    /// capacity for the next [`DfgBuilder::recycled`] build.
+    pub fn dismantle_into(self, scratch: &mut DfgScratch) {
+        let Dfg {
+            mut ops,
+            mut preds,
+            mut succs,
+        } = self;
+        ops.clear();
+        scratch.spare.extend(preds.drain(..).map(|mut v| {
+            v.clear();
+            v
+        }));
+        scratch.spare.extend(succs.drain(..).map(|mut v| {
+            v.clear();
+            v
+        }));
+        scratch.ops = ops;
+        scratch.preds = preds;
+        scratch.succs = succs;
+    }
+}
+
 /// Builder for [`Dfg`]s.
 ///
 /// # Example
@@ -76,6 +120,8 @@ pub struct DfgBuilder {
     ops: Vec<OpNode>,
     preds: Vec<Vec<OpId>>,
     succs: Vec<Vec<OpId>>,
+    /// Cleared recycled lists popped instead of allocating in `push`.
+    stash: Vec<Vec<OpId>>,
     extra_edges: bool,
 }
 
@@ -91,8 +137,28 @@ impl DfgBuilder {
             ops: Vec::with_capacity(n),
             preds: Vec::with_capacity(n),
             succs: Vec::with_capacity(n),
+            stash: Vec::new(),
             extra_edges: false,
         }
+    }
+
+    /// Creates a builder backed by a [`DfgScratch`] pool: the outer
+    /// arenas and any spare adjacency lists are moved in, so a build
+    /// following a [`Dfg::dismantle_into`] of a similar-sized graph
+    /// allocates nothing. Finish with [`DfgBuilder::finish_trusted_into`]
+    /// to hand unused spares back.
+    pub fn recycled(scratch: &mut DfgScratch, n: usize) -> Self {
+        let mut b = DfgBuilder {
+            ops: std::mem::take(&mut scratch.ops),
+            preds: std::mem::take(&mut scratch.preds),
+            succs: std::mem::take(&mut scratch.succs),
+            stash: std::mem::take(&mut scratch.spare),
+            extra_edges: false,
+        };
+        b.ops.reserve(n);
+        b.preds.reserve(n);
+        b.succs.reserve(n);
+        b
     }
 
     /// Number of operations added so far.
@@ -124,10 +190,27 @@ impl DfgBuilder {
     ///
     /// Panics if any operand id is unknown (see [`DfgBuilder::add_op`]).
     pub fn add_named_op(&mut self, kind: OpType, operands: &[OpId], name: &str) -> OpId {
-        self.push(kind, operands, Some(name.to_owned()))
+        self.push(kind, operands, Some(Arc::from(name)))
     }
 
-    fn push(&mut self, kind: OpType, operands: &[OpId], name: Option<String>) -> OpId {
+    /// Like [`DfgBuilder::add_named_op`] but takes an already-shared
+    /// name handle (e.g. [`Dfg::shared_name`]), so rebuilding a graph —
+    /// the bound-graph constructor does this once per candidate
+    /// evaluation — propagates names without re-allocating them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand id is unknown (see [`DfgBuilder::add_op`]).
+    pub fn add_op_shared_name(
+        &mut self,
+        kind: OpType,
+        operands: &[OpId],
+        name: Option<Arc<str>>,
+    ) -> OpId {
+        self.push(kind, operands, name)
+    }
+
+    fn push(&mut self, kind: OpType, operands: &[OpId], name: Option<Arc<str>>) -> OpId {
         let id = OpId::from_index(self.ops.len());
         for &u in operands {
             assert!(
@@ -136,8 +219,13 @@ impl DfgBuilder {
             );
         }
         self.ops.push(OpNode { kind, name });
-        self.preds.push(operands.to_vec());
-        self.succs.push(Vec::new());
+        let mut preds = self.stash.pop().unwrap_or_default();
+        preds.clear();
+        preds.extend_from_slice(operands);
+        self.preds.push(preds);
+        let mut succs = self.stash.pop().unwrap_or_default();
+        succs.clear();
+        self.succs.push(succs);
         for &u in operands {
             self.succs[u.index()].push(id);
         }
@@ -200,6 +288,48 @@ impl DfgBuilder {
             return Err(DfgError::Cycle);
         }
         Ok(dfg)
+    }
+
+    /// Finalizes a graph built purely with [`DfgBuilder::add_op`] and
+    /// friends whose operand lists are known duplicate-free, skipping
+    /// the re-validation scan of [`DfgBuilder::finish`]. Graphs built
+    /// this way are acyclic and duplicate-free by construction; the
+    /// bound-graph constructor relies on this to stay off the per-op
+    /// sort-and-scan in its per-candidate hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`DfgBuilder::add_edge`] was used (extra edges need
+    /// the full [`DfgBuilder::finish`] validation). Debug builds
+    /// re-validate the result outright.
+    pub fn finish_trusted(self) -> Dfg {
+        assert!(
+            !self.extra_edges,
+            "finish_trusted after add_edge; use finish"
+        );
+        let dfg = Dfg {
+            ops: self.ops,
+            preds: self.preds,
+            succs: self.succs,
+        };
+        debug_assert!(
+            dfg.validate().is_ok(),
+            "trusted construction produced an invalid graph"
+        );
+        dfg
+    }
+
+    /// [`DfgBuilder::finish_trusted`] for a [`DfgBuilder::recycled`]
+    /// builder: spare lists the build did not consume flow back into
+    /// `scratch` instead of being dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`DfgBuilder::finish_trusted`].
+    pub fn finish_trusted_into(mut self, scratch: &mut DfgScratch) -> Dfg {
+        scratch.spare.append(&mut self.stash);
+        self.finish_trusted()
     }
 }
 

@@ -11,6 +11,7 @@
 use crate::op::OpType;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of an operation in a [`Dfg`] arena.
 ///
@@ -49,11 +50,14 @@ impl fmt::Display for OpId {
     }
 }
 
-/// One operation vertex: its type and an optional debug name.
+/// One operation vertex: its type and an optional debug name. The name
+/// is reference-counted so derived graphs (a bound graph is rebuilt for
+/// every candidate evaluation) can share the allocation instead of
+/// cloning tens of strings per candidate.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub(crate) struct OpNode {
     pub(crate) kind: OpType,
-    pub(crate) name: Option<String>,
+    pub(crate) name: Option<Arc<str>>,
 }
 
 /// A dataflow graph representing a basic block (paper Section 2,
@@ -119,6 +123,14 @@ impl Dfg {
     #[inline]
     pub fn name(&self, v: OpId) -> Option<&str> {
         self.ops[v.index()].name.as_deref()
+    }
+
+    /// The shared handle of a debug name, for propagating names into
+    /// derived graphs without re-allocating the string (see
+    /// [`crate::DfgBuilder::add_op_shared_name`]).
+    #[inline]
+    pub fn shared_name(&self, v: OpId) -> Option<Arc<str>> {
+        self.ops[v.index()].name.clone()
     }
 
     /// Direct predecessors (operand producers) `pred(v)`.

@@ -54,7 +54,7 @@ pub mod timing;
 pub mod unroll;
 
 pub use analysis::{connected_components, critical_path_len, topo_order, DfgStats};
-pub use builder::{DfgBuilder, DfgError};
+pub use builder::{DfgBuilder, DfgError, DfgScratch};
 pub use graph::{Dfg, EdgeIter, OpId};
 pub use op::{FuType, OpType};
 pub use timing::Timing;

@@ -53,6 +53,30 @@ impl Timing {
     /// `l_tg` is smaller than the critical-path length (which would make
     /// mobilities negative).
     pub fn new(dfg: &Dfg, lat: &[u32], l_tg: u32) -> Self {
+        Self::compute(dfg, lat, Some(l_tg))
+    }
+
+    /// Computes ASAP/ALAP with the tightest possible target latency,
+    /// `L_TG = L_CP` (so critical operations have zero mobility).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Timing::new`].
+    pub fn with_critical_path(dfg: &Dfg, lat: &[u32]) -> Self {
+        // `l_tg = None` reuses the ASAP pass's critical-path length as
+        // the target, skipping the separate `critical_path_len`
+        // traversal — this runs once per candidate evaluation.
+        Self::compute(dfg, lat, None)
+    }
+
+    /// The shared analysis: one ASAP pass (which also yields `L_CP`),
+    /// one tail pass, `alap = l_tg - tail`. `l_tg = None` means
+    /// "tightest", i.e. `l_tg = l_cp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions documented on [`Timing::new`].
+    fn compute(dfg: &Dfg, lat: &[u32], l_tg: Option<u32>) -> Self {
         assert_eq!(lat.len(), dfg.len(), "one latency per operation required");
         let order = topo_order(dfg).expect("timing requires an acyclic graph");
 
@@ -68,6 +92,7 @@ impl Timing {
             asap[v.index()] = start;
             l_cp = l_cp.max(start + lat[v.index()]);
         }
+        let l_tg = l_tg.unwrap_or(l_cp);
         assert!(
             l_tg >= l_cp,
             "target latency {l_tg} below critical path {l_cp}"
@@ -93,17 +118,6 @@ impl Timing {
             l_tg,
             l_cp,
         }
-    }
-
-    /// Computes ASAP/ALAP with the tightest possible target latency,
-    /// `L_TG = L_CP` (so critical operations have zero mobility).
-    ///
-    /// # Panics
-    ///
-    /// Panics under the same conditions as [`Timing::new`].
-    pub fn with_critical_path(dfg: &Dfg, lat: &[u32]) -> Self {
-        let l_cp = crate::analysis::critical_path_len(dfg, lat);
-        Self::new(dfg, lat, l_cp)
     }
 
     /// Earliest possible start step of `v`.

@@ -9,9 +9,31 @@
 //! the destination register file every local consumer can read it).
 
 use crate::binding::Binding;
-use std::collections::HashMap;
+
+use std::sync::Arc;
 use vliw_datapath::{ClusterId, Machine};
-use vliw_dfg::{Dfg, DfgBuilder, OpId, OpType};
+use vliw_dfg::{Dfg, DfgBuilder, DfgScratch, OpId, OpType};
+
+/// Recycled workspace for [`BoundDfg::new_in`]: the graph-storage pool,
+/// the flat lookup tables, and a cache of move debug names (a move's
+/// name depends only on its producer id and destination cluster, so the
+/// same `Arc<str>` serves every candidate that inserts that transfer).
+///
+/// A default scratch reproduces [`BoundDfg::new`] exactly; pooling only
+/// recycles capacity, never anything observable.
+#[derive(Debug, Default)]
+pub struct BoundScratch {
+    graph: DfgScratch,
+    /// `(producer, destination) -> name`, flat-indexed like `move_of`;
+    /// valid for any graph/binding under the same `(n, n_clusters)` key.
+    move_names: Vec<Option<Arc<str>>>,
+    /// The `(n, n_clusters)` shape `move_names` was sized for.
+    names_key: (usize, usize),
+    bound_of: Vec<OpId>,
+    move_of: Vec<OpId>,
+    orig_of: Vec<Option<OpId>>,
+    cluster: Vec<ClusterId>,
+}
 
 /// An original DFG plus a complete [`Binding`], with the induced `move`
 /// operations materialized (paper Figure 1b).
@@ -63,58 +85,138 @@ impl BoundDfg {
     /// `dfg`, or `dfg` already contains `move` operations (binding binds
     /// *original* graphs only).
     pub fn new(dfg: &Dfg, machine: &Machine, binding: &Binding) -> Self {
+        Self::new_in(dfg, machine, binding, &mut BoundScratch::default())
+    }
+
+    /// [`BoundDfg::new`] against a recycled [`BoundScratch`]: with a
+    /// scratch warmed by [`BoundDfg::dismantle_into`], construction is
+    /// allocation-free in the steady state. The result is identical to
+    /// [`BoundDfg::new`] whatever the scratch's history.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`BoundDfg::new`].
+    pub fn new_in(
+        dfg: &Dfg,
+        machine: &Machine,
+        binding: &Binding,
+        scratch: &mut BoundScratch,
+    ) -> Self {
         assert_eq!(binding.len(), dfg.len(), "binding/DFG length mismatch");
         assert!(binding.is_complete(), "binding must cover every operation");
-        let _ = machine; // the machine defines cluster ids; construction needs no counts
-        let order = vliw_dfg::topo_order(dfg).expect("original DFG is acyclic");
+        let n = dfg.len();
+        let n_clusters = machine.cluster_count().max(1);
 
-        let mut b = DfgBuilder::with_capacity(dfg.len() + dfg.len() / 2);
+        // This constructor runs once per candidate evaluation — the
+        // descent's hottest loop — so it avoids the generic machinery:
+        // builder-made graphs list operands before consumers, in which
+        // case `topo_order`'s smallest-ready-id rule provably returns
+        // the identity order and the O(V + E) check below replaces the
+        // full sort; the (producer, destination) move table is a flat
+        // array rather than a `HashMap`; `finish_trusted_into` skips the
+        // duplicate re-scan (the original graph is validated and the
+        // move mapping is injective, so operand lists stay
+        // duplicate-free by construction); and every buffer, including
+        // the graph's adjacency storage and the move debug names, is
+        // recycled through the scratch.
+        let index_topological = dfg
+            .op_ids()
+            .all(|v| dfg.preds(v).iter().all(|&u| u.index() < v.index()));
+        let fallback_order = if index_topological {
+            None
+        } else {
+            Some(vliw_dfg::topo_order(dfg).expect("original DFG is acyclic"))
+        };
+
+        let mut b = DfgBuilder::recycled(&mut scratch.graph, n + n / 2);
         let unset = OpId::from_index(u32::MAX as usize - 1);
-        let mut bound_of = vec![unset; dfg.len()];
-        let mut orig_of: Vec<Option<OpId>> = Vec::new();
-        let mut cluster: Vec<ClusterId> = Vec::new();
-        // (original producer, destination cluster) -> bound move id
-        let mut moves: HashMap<(OpId, ClusterId), OpId> = HashMap::new();
+        let mut bound_of = std::mem::take(&mut scratch.bound_of);
+        bound_of.clear();
+        bound_of.resize(n, unset);
+        let mut orig_of = std::mem::take(&mut scratch.orig_of);
+        orig_of.clear();
+        let mut cluster = std::mem::take(&mut scratch.cluster);
+        cluster.clear();
+        // (original producer, destination cluster) -> bound move id,
+        // flat-indexed as `producer * n_clusters + destination`.
+        let mut move_of = std::mem::take(&mut scratch.move_of);
+        move_of.clear();
+        move_of.resize(n * n_clusters, unset);
+        if scratch.names_key != (n, n_clusters) {
+            scratch.move_names.clear();
+            scratch.move_names.resize(n * n_clusters, None);
+            scratch.names_key = (n, n_clusters);
+        }
+        let move_names = &mut scratch.move_names;
+        let mut move_count = 0usize;
+        let mut operands: Vec<OpId> = Vec::new();
 
-        for v in order {
+        let mut step = |v: OpId| {
             assert!(
                 dfg.op_type(v) != OpType::Move,
                 "binding applies to original (move-free) DFGs, found {v}: move"
             );
             let dest = binding.cluster_of(v);
-            let mut operands = Vec::with_capacity(dfg.in_degree(v));
+            operands.clear();
             for &u in dfg.preds(v) {
                 let src = binding.cluster_of(u);
                 if src == dest {
                     operands.push(bound_of[u.index()]);
                 } else {
-                    let mv = *moves.entry((u, dest)).or_insert_with(|| {
-                        let name = format!("{u}->{dest}");
-                        let id = b.add_named_op(OpType::Move, &[bound_of[u.index()]], &name);
+                    let slot = u.index() * n_clusters + dest.index();
+                    if move_of[slot] == unset {
+                        let name = move_names[slot]
+                            .get_or_insert_with(|| Arc::from(format!("{u}->{dest}")))
+                            .clone();
+                        let id =
+                            b.add_op_shared_name(OpType::Move, &[bound_of[u.index()]], Some(name));
                         orig_of.push(None);
                         cluster.push(dest);
-                        id
-                    });
-                    operands.push(mv);
+                        move_of[slot] = id;
+                        move_count += 1;
+                    }
+                    operands.push(move_of[slot]);
                 }
             }
-            let id = match dfg.name(v) {
-                Some(name) => b.add_named_op(dfg.op_type(v), &operands, name),
-                None => b.add_op(dfg.op_type(v), &operands),
-            };
+            let id = b.add_op_shared_name(dfg.op_type(v), &operands, dfg.shared_name(v));
             bound_of[v.index()] = id;
             orig_of.push(Some(v));
             cluster.push(dest);
+        };
+        match &fallback_order {
+            None => dfg.op_ids().for_each(&mut step),
+            Some(order) => order.iter().copied().for_each(&mut step),
         }
+        scratch.move_of = move_of;
 
-        let move_count = moves.len();
         BoundDfg {
-            dfg: b.finish().expect("bound graph is acyclic by construction"),
+            dfg: b.finish_trusted_into(&mut scratch.graph),
             cluster,
             orig_of,
             bound_of,
             move_count,
         }
+    }
+
+    /// Tears the bound graph down into `scratch`, keeping every buffer
+    /// for the next [`BoundDfg::new_in`]. Called on candidates that lose
+    /// the descent round, so the steady-state candidate loop stops
+    /// touching the allocator entirely.
+    pub fn dismantle_into(self, scratch: &mut BoundScratch) {
+        let BoundDfg {
+            dfg,
+            mut cluster,
+            mut orig_of,
+            mut bound_of,
+            move_count: _,
+        } = self;
+        dfg.dismantle_into(&mut scratch.graph);
+        cluster.clear();
+        scratch.cluster = cluster;
+        orig_of.clear();
+        scratch.orig_of = orig_of;
+        bound_of.clear();
+        scratch.bound_of = bound_of;
     }
 
     /// The bound graph itself (regular operations plus moves).

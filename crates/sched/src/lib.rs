@@ -59,11 +59,11 @@ mod schedule;
 pub mod verify;
 
 pub use binding::{Binding, BindingError};
-pub use bound::BoundDfg;
-pub use list::{ListScheduler, SchedulePriority};
+pub use bound::{BoundDfg, BoundScratch};
+pub use list::{ListScheduler, SchedArena, SchedulePriority};
 pub use pressure::RegisterPressure;
 pub use schedule::{Schedule, ScheduleError};
 pub use verify::{
-    check_infeasibility, check_latency_bound, check_move_bound, check_report, verify,
-    verify_reported, verify_traced, CertificateError, Violation,
+    check_delta_bound, check_infeasibility, check_latency_bound, check_move_bound, check_report,
+    verify, verify_reported, verify_traced, CertificateError, Violation,
 };

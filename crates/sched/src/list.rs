@@ -11,6 +11,104 @@ use crate::schedule::Schedule;
 use vliw_datapath::Machine;
 use vliw_dfg::{FuType, OpId, Timing};
 
+/// Reusable scratch workspace for [`ListScheduler::schedule_with`].
+///
+/// A schedule run needs several working vectors (FU instance pools, the
+/// in-degree table, per-op earliest-ready cycles, the ready list). In
+/// the binder's inner loop these are rebuilt thousands of times for
+/// graphs of identical shape, so the arena keeps them between calls:
+/// when the shape matches the previous run everything is reset in place
+/// and steady-state scheduling performs no heap allocation for them.
+///
+/// An arena never influences results — [`ListScheduler::schedule`] and
+/// [`ListScheduler::schedule_with`] are bit-identical for any arena
+/// state, fresh or reused.
+#[derive(Debug, Default)]
+pub struct SchedArena {
+    /// Per-cluster `[Alu, Mul]` free-at tables.
+    pools: Vec<[Vec<u32>; 2]>,
+    /// Bus-lane free-at table.
+    bus_pool: Vec<u32>,
+    /// Remaining unscheduled predecessors per op.
+    indeg: Vec<usize>,
+    /// Earliest data-ready cycle per op.
+    earliest: Vec<u32>,
+    /// Ready list, kept sorted by priority descending.
+    ready: Vec<OpId>,
+    /// How many times the arena was reset in place (shape matched, no
+    /// reallocation) — observability for the no-alloc steady state.
+    reuses: u64,
+    /// Bound-graph construction pool: recycled graph storage, flat
+    /// lookup tables and move-name cache (see [`crate::BoundScratch`]).
+    bound: crate::BoundScratch,
+}
+
+impl SchedArena {
+    /// Creates an empty arena; the first schedule run sizes it.
+    pub fn new() -> Self {
+        SchedArena::default()
+    }
+
+    /// Number of times the arena was reset in place without
+    /// reallocating (i.e. scheduling runs beyond the first for each
+    /// distinct problem shape).
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// The arena's bound-graph construction pool, for pairing
+    /// [`crate::BoundDfg::new_in`] / [`crate::BoundDfg::dismantle_into`]
+    /// with the scheduling scratch of the same evaluation loop.
+    pub fn bound_scratch(&mut self) -> &mut crate::BoundScratch {
+        &mut self.bound
+    }
+
+    /// Resets the workspace for a run over `n` ops on `machine`,
+    /// reusing every buffer whose shape or capacity already suffices.
+    /// Candidate bound DFGs of one binder run share the machine but
+    /// differ slightly in length (their move counts vary), so the
+    /// per-op vectors are matched by capacity, not exact length.
+    fn prepare(&mut self, machine: &Machine, n: usize) {
+        let pools_match = self.pools.len() == machine.cluster_count()
+            && machine.cluster_ids().zip(self.pools.iter()).all(|(c, p)| {
+                p[0].len() == machine.fu_count(c, FuType::Alu) as usize
+                    && p[1].len() == machine.fu_count(c, FuType::Mul) as usize
+            })
+            && self.bus_pool.len() == machine.bus_count() as usize;
+        let in_place = pools_match
+            && self.indeg.capacity() >= n
+            && self.earliest.capacity() >= n
+            && self.ready.capacity() >= n;
+        if pools_match {
+            for pool in &mut self.pools {
+                pool[0].fill(0);
+                pool[1].fill(0);
+            }
+            self.bus_pool.fill(0);
+        } else {
+            self.pools = machine
+                .cluster_ids()
+                .map(|c| {
+                    [
+                        vec![0u32; machine.fu_count(c, FuType::Alu) as usize],
+                        vec![0u32; machine.fu_count(c, FuType::Mul) as usize],
+                    ]
+                })
+                .collect();
+            self.bus_pool = vec![0u32; machine.bus_count() as usize];
+        }
+        self.indeg.clear();
+        self.indeg.resize(n, 0);
+        self.earliest.clear();
+        self.earliest.resize(n, 0);
+        self.ready.clear();
+        self.ready.reserve(n);
+        if in_place {
+            self.reuses += 1;
+        }
+    }
+}
+
 /// Cycle-based list scheduler for bound DFGs on a clustered machine.
 ///
 /// Priority: smallest ALAP first (most critical), ties broken by smaller
@@ -89,6 +187,16 @@ impl<'m> ListScheduler<'m> {
     /// The produced schedule always satisfies [`Schedule::validate`]; the
     /// property-based tests assert this on random graphs and bindings.
     pub fn schedule(&self, bound: &BoundDfg) -> Schedule {
+        self.schedule_with(bound, &mut SchedArena::new())
+    }
+
+    /// [`ListScheduler::schedule`] with caller-owned scratch space.
+    ///
+    /// Repeated calls with the same problem shape reuse the arena's
+    /// working vectors instead of reallocating them; the result is
+    /// bit-identical to [`ListScheduler::schedule`] regardless of what
+    /// the arena previously scheduled.
+    pub fn schedule_with(&self, bound: &BoundDfg, arena: &mut SchedArena) -> Schedule {
         let dfg = bound.dfg();
         let n = dfg.len();
         let lat = bound.latencies(self.machine);
@@ -110,27 +218,27 @@ impl<'m> ListScheduler<'m> {
 
         // FU instance pools: next cycle each instance can accept an op.
         let machine = self.machine;
-        let n_clusters = machine.cluster_count();
-        let mut pools: Vec<[Vec<u32>; 2]> = machine
-            .cluster_ids()
-            .map(|c| {
-                [
-                    vec![0u32; machine.fu_count(c, FuType::Alu) as usize],
-                    vec![0u32; machine.fu_count(c, FuType::Mul) as usize],
-                ]
-            })
-            .collect();
-        let mut bus_pool = vec![0u32; machine.bus_count() as usize];
-        debug_assert_eq!(pools.len(), n_clusters);
+        arena.prepare(machine, n);
+        let SchedArena {
+            pools,
+            bus_pool,
+            indeg,
+            earliest,
+            ready,
+            ..
+        } = arena;
+        debug_assert_eq!(pools.len(), machine.cluster_count());
 
-        let mut indeg: Vec<usize> = dfg.op_ids().map(|v| dfg.in_degree(v)).collect();
-        // Earliest data-ready cycle, updated as producers get scheduled.
-        let mut earliest: Vec<u32> = vec![0; n];
-        let mut ready: Vec<OpId> = dfg.op_ids().filter(|v| indeg[v.index()] == 0).collect();
+        for v in dfg.op_ids() {
+            indeg[v.index()] = dfg.in_degree(v);
+        }
+        ready.extend(dfg.op_ids().filter(|v| indeg[v.index()] == 0));
         // Keep `ready` sorted by priority *descending* so pop() yields the
         // most urgent op and removals at the tail are cheap.
         ready.sort_unstable_by_key(|&v| std::cmp::Reverse(key(v)));
 
+        // The start table is handed to the schedule, so it cannot live
+        // in the arena.
         let mut start = vec![0u32; n];
         let mut scheduled = 0usize;
         let mut tau = 0u32;
@@ -145,7 +253,7 @@ impl<'m> ListScheduler<'m> {
                 }
                 let t = dfg.op_type(v).fu_type();
                 let pool: &mut Vec<u32> = match t {
-                    FuType::Bus => &mut bus_pool,
+                    FuType::Bus => &mut *bus_pool,
                     _ => &mut pools[bound.cluster_of(v).index()][t.index()],
                 };
                 let Some(slot) = pool.iter_mut().find(|free_at| **free_at <= tau) else {
@@ -355,6 +463,93 @@ mod tests {
         let s = ListScheduler::new(&machine).schedule(&bound);
         assert_eq!(s.latency(), 0);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn arena_reuse_is_bit_identical_and_allocation_free() {
+        // A diamond with a cross-cluster edge, scheduled repeatedly under
+        // different bindings of the same shape: after the first run the
+        // arena must be reset in place (counted by `reuses`) with every
+        // buffer keeping its allocation, and each run must match the
+        // arena-free scheduler exactly.
+        let mut b = DfgBuilder::new();
+        let a = b.add_op(OpType::Add, &[]);
+        let m = b.add_op(OpType::Mul, &[a]);
+        let c = b.add_op(OpType::Add, &[a]);
+        let _ = b.add_op(OpType::Add, &[m, c]);
+        let dfg = b.finish().expect("acyclic");
+        let machine = Machine::parse("[1,1|1,1]").expect("machine");
+        let scheduler = ListScheduler::new(&machine);
+        let mut arena = SchedArena::new();
+        let bindings = [
+            vec![cl(0), cl(0), cl(0), cl(0)],
+            vec![cl(0), cl(1), cl(0), cl(0)],
+            vec![cl(0), cl(1), cl(1), cl(1)],
+            vec![cl(1), cl(1), cl(0), cl(0)],
+        ];
+        // First pass warms the arena up to the largest candidate (the
+        // bound DFG lengths differ because the move counts differ); the
+        // second pass is the steady state the binder's inner loop lives
+        // in: every round resets in place and no buffer reallocates.
+        let mut buffer_ptrs = None;
+        for pass in 0..2 {
+            let reuses_before = arena.reuses();
+            for (round, of) in bindings.iter().enumerate() {
+                let bn = Binding::new(&dfg, &machine, of.clone()).expect("valid binding");
+                let bound = BoundDfg::new(&dfg, &machine, &bn);
+                let fresh = scheduler.schedule(&bound);
+                let reused = scheduler.schedule_with(&bound, &mut arena);
+                assert_eq!(fresh, reused, "pass {pass} round {round}");
+                if pass == 1 {
+                    assert_eq!(
+                        arena.reuses(),
+                        reuses_before + round as u64 + 1,
+                        "pass 1 round {round} was not an in-place reset"
+                    );
+                    let ptrs = (
+                        arena.pools.as_ptr(),
+                        arena.bus_pool.as_ptr(),
+                        arena.indeg.as_ptr(),
+                        arena.earliest.as_ptr(),
+                        arena.ready.as_ptr(),
+                    );
+                    match buffer_ptrs {
+                        None => buffer_ptrs = Some(ptrs),
+                        Some(first) => {
+                            assert_eq!(first, ptrs, "pass 1 round {round} reallocated");
+                        }
+                    }
+                    // The ready list stayed within its pre-reservation.
+                    assert!(arena.ready.capacity() >= bound.dfg().len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_rebuilds_on_shape_change() {
+        let mut b = DfgBuilder::new();
+        b.add_op(OpType::Add, &[]);
+        let small = b.finish().expect("acyclic");
+        let mut b = DfgBuilder::new();
+        for _ in 0..5 {
+            b.add_op(OpType::Add, &[]);
+        }
+        let big = b.finish().expect("acyclic");
+        let machine = Machine::parse("[2,1]").expect("machine");
+        let scheduler = ListScheduler::new(&machine);
+        let mut arena = SchedArena::new();
+        for dfg in [&small, &big, &small] {
+            let n = dfg.len();
+            let bn = Binding::new(dfg, &machine, vec![cl(0); n]).expect("valid binding");
+            let bound = BoundDfg::new(dfg, &machine, &bn);
+            let fresh = scheduler.schedule(&bound);
+            let reused = scheduler.schedule_with(&bound, &mut arena);
+            assert_eq!(fresh, reused);
+        }
+        // Cold start and growing past capacity both reallocate; only the
+        // final shrink back to the small graph is an in-place reset.
+        assert_eq!(arena.reuses(), 1);
     }
 
     #[test]

@@ -781,7 +781,8 @@ mod tests {
 // ===================================================================
 
 use vliw_analysis::{
-    BoundReport, Infeasibility, LatencyBound, LatencyCertificate, MoveBound, MoveCertificate,
+    BoundReport, DeltaBound, DeltaCertificate, Infeasibility, LatencyBound, LatencyCertificate,
+    MoveBound, MoveCertificate,
 };
 
 /// Why a [`vliw_analysis`] certificate failed to check.
@@ -885,6 +886,19 @@ pub enum CertificateError {
         /// The class that does have units.
         class: FuType,
     },
+    /// A witness names a cluster the machine does not have.
+    UnknownCluster {
+        /// The out-of-range cluster.
+        cluster: ClusterId,
+    },
+    /// A delta-bound witness operation is not bound to the claimed
+    /// cluster by the candidate binding.
+    NotOnCluster {
+        /// The offending operation.
+        op: OpId,
+        /// The cluster the certificate claims it is bound to.
+        cluster: ClusterId,
+    },
 }
 
 impl fmt::Display for CertificateError {
@@ -945,6 +959,15 @@ impl fmt::Display for CertificateError {
                 write!(
                     f,
                     "infeasibility claims class {class}, but the machine has units for it"
+                )
+            }
+            CertificateError::UnknownCluster { cluster } => {
+                write!(f, "witness names unknown cluster {cluster}")
+            }
+            CertificateError::NotOnCluster { op, cluster } => {
+                write!(
+                    f,
+                    "witness op {op} is not bound to the claimed cluster {cluster}"
                 )
             }
         }
@@ -1311,6 +1334,198 @@ pub fn check_report(
     Ok(())
 }
 
+/// Checks a screening [`DeltaBound`] against the *candidate* assignment
+/// vector it claims to bound (one [`ClusterId`] per op).
+///
+/// The analyzer's screening path derives the claim from incumbent-
+/// anchored per-cluster populations adjusted in O(delta); this checker
+/// shares none of that state. The transfer count is recounted from the
+/// full binding (distinct `(producer, destination cluster)` pairs over
+/// cluster-crossing edges, deduplicated through a sorted list rather
+/// than the builder's hashing), and the latency witness is re-derived
+/// via the same edge-list relaxation fixpoints the other certificate
+/// checkers use. As with [`check_latency_bound`], claims must *equal*
+/// the re-derived values — a weaker-than-witness claim is corruption.
+///
+/// # Errors
+///
+/// The first [`CertificateError`] found, if the witness does not
+/// support the claim.
+pub fn check_delta_bound(
+    dfg: &Dfg,
+    machine: &Machine,
+    binding: &[ClusterId],
+    bound: &DeltaBound,
+) -> Result<(), CertificateError> {
+    if binding.len() != dfg.len() {
+        return Err(CertificateError::ValueMismatch {
+            claimed: binding.len() as u64,
+            derived: dfg.len() as u64,
+            what: "delta-binding length",
+        });
+    }
+    // Independent N_MV recount: one transfer per distinct
+    // (producer, destination cluster) pair among cut edges.
+    let mut pairs: Vec<(OpId, usize)> = dfg
+        .edges()
+        .filter(|&(u, v)| binding[u.index()] != binding[v.index()])
+        .map(|(u, v)| (u, binding[v.index()].index()))
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    let derived_moves = pairs.len();
+    if bound.moves != derived_moves {
+        return Err(CertificateError::ValueMismatch {
+            claimed: bound.moves as u64,
+            derived: derived_moves as u64,
+            what: "delta-moves",
+        });
+    }
+    match &bound.certificate {
+        DeltaCertificate::CriticalPath { path } => {
+            if path.is_empty() {
+                return Err(CertificateError::EmptyWitness {
+                    what: "critical-path",
+                });
+            }
+            for &v in path {
+                known(dfg, v)?;
+            }
+            for pair in path.windows(2) {
+                if !dfg.has_edge(pair[0], pair[1]) {
+                    return Err(CertificateError::NotAnEdge {
+                        from: pair[0],
+                        to: pair[1],
+                    });
+                }
+            }
+            let derived: u64 = path
+                .iter()
+                .map(|&v| u64::from(machine.latency(dfg.op_type(v))))
+                .sum();
+            if u64::from(bound.latency) != derived {
+                return Err(CertificateError::ValueMismatch {
+                    claimed: u64::from(bound.latency),
+                    derived,
+                    what: "delta critical-path",
+                });
+            }
+            Ok(())
+        }
+        DeltaCertificate::ClusterInterval {
+            class,
+            cluster,
+            head,
+            tail,
+            ops,
+        } => {
+            if !class.is_regular() {
+                return Err(CertificateError::NotRegularClass { class: *class });
+            }
+            if ops.is_empty() {
+                return Err(CertificateError::EmptyWitness {
+                    what: "cluster-interval",
+                });
+            }
+            if cluster.index() >= machine.cluster_count() {
+                return Err(CertificateError::UnknownCluster { cluster: *cluster });
+            }
+            let n_fus = machine.fu_count(*cluster, *class);
+            if n_fus == 0 {
+                return Err(CertificateError::NoUnits { class: *class });
+            }
+            let asap = asap_by_relaxation(dfg, machine);
+            let tails = tail_by_relaxation(dfg, machine);
+            let mut seen = vec![false; dfg.len()];
+            for &v in ops {
+                known(dfg, v)?;
+                if seen[v.index()] {
+                    return Err(CertificateError::DuplicateOp { op: v });
+                }
+                seen[v.index()] = true;
+                if dfg.op_type(v).fu_type() != *class {
+                    return Err(CertificateError::WrongClass {
+                        op: v,
+                        expected: *class,
+                    });
+                }
+                if binding[v.index()] != *cluster {
+                    return Err(CertificateError::NotOnCluster {
+                        op: v,
+                        cluster: *cluster,
+                    });
+                }
+                if asap[v.index()] < u64::from(*head) {
+                    return Err(CertificateError::HeadViolated {
+                        op: v,
+                        head: *head,
+                        asap: asap[v.index()],
+                    });
+                }
+                if tails[v.index()] < u64::from(*tail) {
+                    return Err(CertificateError::TailViolated {
+                        op: v,
+                        tail: *tail,
+                        actual: tails[v.index()],
+                    });
+                }
+            }
+            // The screening formula uses `lat_min` over the *full* class
+            // window at (head, tail) — binding-independent, and never
+            // larger than the witness subset's own minimum, so sound.
+            let lat_min: u64 = dfg
+                .op_ids()
+                .filter(|&v| {
+                    dfg.op_type(v).fu_type() == *class
+                        && asap[v.index()] >= u64::from(*head)
+                        && tails[v.index()] >= u64::from(*tail)
+                })
+                .map(|v| u64::from(machine.latency(dfg.op_type(v))))
+                .min()
+                .unwrap_or(0);
+            let rounds = (ops.len() as u64).div_ceil(u64::from(n_fus));
+            let derived = u64::from(*head)
+                + u64::from(*tail)
+                + lat_min
+                + u64::from(machine.dii(*class)) * (rounds - 1);
+            if u64::from(bound.latency) != derived {
+                return Err(CertificateError::ValueMismatch {
+                    claimed: u64::from(bound.latency),
+                    derived,
+                    what: "cluster-interval",
+                });
+            }
+            Ok(())
+        }
+        DeltaCertificate::BusSaturation { moves } => {
+            if *moves != derived_moves {
+                return Err(CertificateError::ValueMismatch {
+                    claimed: *moves as u64,
+                    derived: derived_moves as u64,
+                    what: "bus-saturation moves",
+                });
+            }
+            if *moves == 0 {
+                return Err(CertificateError::EmptyWitness {
+                    what: "bus-saturation",
+                });
+            }
+            let per_bus = (*moves as u64).div_ceil(u64::from(machine.bus_count().max(1)));
+            let derived = 2
+                + u64::from(machine.move_latency())
+                + u64::from(machine.dii(FuType::Bus)) * (per_bus - 1);
+            if u64::from(bound.latency) != derived {
+                return Err(CertificateError::ValueMismatch {
+                    claimed: u64::from(bound.latency),
+                    derived,
+                    what: "bus-saturation",
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
 #[cfg(test)]
 mod cert_tests {
     use super::*;
@@ -1641,6 +1856,115 @@ mod cert_tests {
         assert!(matches!(
             check_move_bound(&dfg, &m, &comp),
             Err(CertificateError::UnknownOp { .. })
+        ));
+    }
+
+    #[test]
+    fn delta_certificates_check_clean() {
+        use vliw_analysis::DeltaBoundAnalyzer;
+        let dfg = sample();
+        let n = dfg.len();
+        for desc in ["[1,1|1,1]", "[2,1|2,1]", "[1,1|3,1]"] {
+            let m = machine(desc);
+            let mut analyzer = DeltaBoundAnalyzer::new(&dfg, &m);
+            for mask in 0..(1usize << n) {
+                let of: Vec<ClusterId> = (0..n)
+                    .map(|i| ClusterId::from_index((mask >> i) & 1))
+                    .collect();
+                analyzer.anchor(&of);
+                for v in dfg.op_ids() {
+                    for c in [ClusterId::from_index(0), ClusterId::from_index(1)] {
+                        let bound = analyzer.certify(&[(v, c)]);
+                        let mut cand = of.clone();
+                        cand[v.index()] = c;
+                        check_delta_bound(&dfg, &m, &cand, &bound)
+                            .unwrap_or_else(|e| panic!("{desc} mask {mask} {v}->{c}: {e}"));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inflated_delta_latency_rejected() {
+        use vliw_analysis::DeltaBoundAnalyzer;
+        let dfg = sample();
+        let m = machine("[1,1|1,1]");
+        let of = vec![ClusterId::from_index(0); dfg.len()];
+        let mut analyzer = DeltaBoundAnalyzer::new(&dfg, &m);
+        analyzer.anchor(&of);
+        let v = dfg.op_ids().next().expect("non-empty");
+        let delta = [(v, ClusterId::from_index(1))];
+        let mut cand = of.clone();
+        cand[v.index()] = ClusterId::from_index(1);
+        let mut bound = analyzer.certify(&delta);
+        check_delta_bound(&dfg, &m, &cand, &bound).expect("genuine bound checks");
+        // A +1-inflated latency claim no longer matches its witness.
+        bound.latency += 1;
+        assert!(matches!(
+            check_delta_bound(&dfg, &m, &cand, &bound),
+            Err(CertificateError::ValueMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn inflated_delta_moves_rejected() {
+        use vliw_analysis::DeltaBoundAnalyzer;
+        let dfg = sample();
+        let m = machine("[1,1|1,1]");
+        let of = vec![ClusterId::from_index(0); dfg.len()];
+        let mut analyzer = DeltaBoundAnalyzer::new(&dfg, &m);
+        analyzer.anchor(&of);
+        let v = dfg.op_ids().next().expect("non-empty");
+        let delta = [(v, ClusterId::from_index(1))];
+        let mut cand = of.clone();
+        cand[v.index()] = ClusterId::from_index(1);
+        let mut bound = analyzer.certify(&delta);
+        check_delta_bound(&dfg, &m, &cand, &bound).expect("genuine bound checks");
+        // A +1-inflated transfer count disagrees with the recount.
+        bound.moves += 1;
+        assert!(matches!(
+            check_delta_bound(&dfg, &m, &cand, &bound),
+            Err(CertificateError::ValueMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn delta_witness_off_cluster_rejected() {
+        use vliw_analysis::{DeltaBound, DeltaBoundAnalyzer, DeltaCertificate};
+        // 6 independent adds crowded onto the single-ALU cluster of
+        // [1,1|3,1] make the cluster-interval bound dominate.
+        let mut b = DfgBuilder::new();
+        for _ in 0..6 {
+            b.add_op(OpType::Add, &[]);
+        }
+        let dfg = b.finish().expect("acyclic");
+        let m = machine("[1,1|3,1]");
+        let crowded = vec![ClusterId::from_index(0); 6];
+        let mut analyzer = DeltaBoundAnalyzer::new(&dfg, &m);
+        analyzer.anchor(&crowded);
+        let v = dfg.op_ids().next().expect("non-empty");
+        let bound = analyzer.certify(&[(v, ClusterId::from_index(0))]);
+        assert!(
+            matches!(bound.certificate, DeltaCertificate::ClusterInterval { .. }),
+            "crowding must surface the per-cluster interval: {bound:?}"
+        );
+        check_delta_bound(&dfg, &m, &crowded, &bound).expect("genuine bound checks");
+        // The same witness is a lie about a binding that spreads the ops.
+        let spread = vec![ClusterId::from_index(1); 6];
+        assert!(matches!(
+            check_delta_bound(&dfg, &m, &spread, &bound),
+            Err(CertificateError::NotOnCluster { .. })
+        ));
+        // And a binding of the wrong length is rejected outright.
+        let short = DeltaBound {
+            latency: bound.latency,
+            moves: bound.moves,
+            certificate: bound.certificate.clone(),
+        };
+        assert!(matches!(
+            check_delta_bound(&dfg, &m, &crowded[..4], &short),
+            Err(CertificateError::ValueMismatch { .. })
         ));
     }
 }

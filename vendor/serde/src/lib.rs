@@ -197,6 +197,18 @@ impl Serialize for str {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        String::from_value(v).map(std::sync::Arc::from)
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
